@@ -1,0 +1,113 @@
+// Command sva-bench regenerates the paper's evaluation tables from the
+// reproduction.
+//
+// Usage:
+//
+//	sva-bench -table=4          porting effort
+//	sva-bench -table=5          application latency overheads
+//	sva-bench -table=6          thttpd bandwidth reduction
+//	sva-bench -table=7          kernel operation latency overheads
+//	sva-bench -table=8          kernel bandwidth reduction
+//	sva-bench -table=9          static safety metrics
+//	sva-bench -table=exploits   §7.2 exploit detection matrix
+//	sva-bench -table=tcb        §5 verifier bug-injection experiment
+//	sva-bench -table=ablation   §4.8 cloning/devirtualization ablation
+//	sva-bench -table=all        everything
+//	sva-bench -scale=4          divide iteration counts by 4 (quick run)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sva/internal/hbench"
+	"sva/internal/report"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate (4..9, exploits, tcb, all)")
+	scale := flag.Uint64("scale", 1, "divide iteration counts (1 = full run)")
+	flag.Parse()
+
+	s := report.Scale(*scale)
+	want := func(name string) bool { return *table == "all" || *table == name }
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "sva-bench:", err)
+		os.Exit(1)
+	}
+
+	if want("api") {
+		fmt.Println(report.APITable())
+	}
+	if want("fig2") {
+		t, err := report.Figure2()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t)
+	}
+	if want("4") {
+		fmt.Println(report.Table4())
+	}
+	if want("5") || want("6") {
+		rows, err := report.RunApps(s)
+		if err != nil {
+			fail(err)
+		}
+		if want("5") {
+			fmt.Println(report.Table5(rows))
+		}
+		if want("6") {
+			fmt.Println(report.Table6(rows))
+		}
+	}
+	if want("7") || want("8") {
+		r, err := hbench.NewRunner()
+		if err != nil {
+			fail(err)
+		}
+		if want("7") {
+			rows, err := report.RunLatencies(r, s)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(report.Table7(rows))
+		}
+		if want("8") {
+			rows, err := report.RunBandwidths(r, s)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(report.Table8(rows))
+		}
+	}
+	if want("9") {
+		t, err := report.Table9()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t)
+	}
+	if want("exploits") {
+		t, err := report.ExploitTable()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t)
+	}
+	if want("ablation") {
+		t, err := report.Ablation()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t)
+	}
+	if want("tcb") {
+		t, err := report.TCBTable()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t)
+	}
+}

@@ -1,0 +1,9 @@
+// Package sva is a from-scratch Go reproduction of "Secure Virtual
+// Architecture: A Safe Execution Environment for Commodity Operating
+// Systems" (Criswell, Lenharth, Dhurjati, Adve — SOSP 2007).
+//
+// The root package holds the benchmark harness (bench_test.go) that
+// regenerates every table of the paper's evaluation; the implementation
+// lives under internal/ (see DESIGN.md for the system inventory) and the
+// runnable entry points under cmd/ and examples/.
+package sva

@@ -1,0 +1,125 @@
+// Quickstart: build a small program in the SVA virtual instruction set,
+// run it through the full pipeline — safety-checking compiler, bytecode
+// round trip, verifier, secure virtual machine — and watch a buffer
+// overrun get caught at run time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sva/internal/bytecode"
+	"sva/internal/hw"
+	"sva/internal/ir"
+	"sva/internal/pointer"
+	"sva/internal/safety"
+	"sva/internal/svaos"
+	"sva/internal/typecheck"
+	"sva/internal/vm"
+)
+
+func main() {
+	// 1. Write a program against the virtual ISA.  sum_first(n) allocates
+	//    a 10-element table on the heap, fills it, and sums table[0..n) —
+	//    with no bounds discipline of its own, like C.
+	m := ir.NewModule("quickstart")
+	bp := ir.PointerTo(ir.I8)
+	malloc := m.NewFunc("malloc", ir.FuncOf(bp, []*ir.Type{ir.I64}, false))
+	malloc.External = true // provided by the runtime below
+	free := m.NewFunc("free", ir.FuncOf(ir.Void, []*ir.Type{bp}, false))
+	free.External = true
+
+	b := ir.NewBuilder(m)
+	b.NewFunc("sum_first", ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false), "n")
+	raw := b.Call(malloc, ir.I64c(80))
+	tbl := b.Bitcast(raw, ir.PointerTo(ir.I64))
+	b.For("i", ir.I64c(0), ir.I64c(10), ir.I64c(1), func(i ir.Value) {
+		b.Store(b.Mul(i, i), b.GEP(tbl, i))
+	})
+	acc := b.Alloca(ir.I64, "acc")
+	b.Store(ir.I64c(0), acc)
+	b.For("i", ir.I64c(0), b.Param(0), ir.I64c(1), func(i ir.Value) {
+		b.Store(b.Add(b.Load(acc), b.Load(b.GEP(tbl, i))), acc)
+	})
+	b.Call(free, raw)
+	b.Ret(b.Load(acc))
+	b.Seal()
+
+	// 2. Run the safety-checking compiler: pointer analysis, metapool
+	//    inference, check insertion, metapool type annotations.
+	cfg := safety.Config{
+		Pointer: pointer.Config{
+			TrackIntToPtrNull: true,
+			Allocators: []pointer.AllocatorInfo{{
+				Name: "malloc", Kind: pointer.OrdinaryAllocator, SizeArg: 0,
+				FreeName: "free", FreePtrArg: 0,
+			}},
+		},
+	}
+	prog, err := safety.Compile(cfg, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("safety compiler: %d metapools, %d bounds checks inserted\n",
+		len(prog.Descs), prog.Metrics.BoundsChecksInserted)
+
+	// 3. Ship it as bytecode and verify it on the "end-user system": the
+	//    structural verifier plus the §5 metapool type checker — the only
+	//    trusted pieces.
+	image, err := bytecode.Encode(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := bytecode.Decode(image)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if errs := ir.VerifyModule(loaded); len(errs) != 0 {
+		log.Fatal(errs[0])
+	}
+	if errs := typecheck.New(loaded.Metapools).Check(loaded); len(errs) != 0 {
+		log.Fatal(errs[0])
+	}
+	h := bytecode.Hash(image)
+	fmt.Printf("bytecode verified: %d bytes, sha256 %x...\n", len(image), h[:8])
+
+	// 4. Execute on the SVM.  malloc/free come from a 3-line host runtime
+	//    (a real kernel brings its own allocators).
+	v := vm.New(hw.NewMachine(0, 16), vm.ConfigSafe)
+	svaos.Install(v)
+	heap := uint64(0x9000_0000)
+	v.RegisterIntrinsic("malloc", func(v *vm.VM, a []uint64) (vm.IntrinsicResult, error) {
+		p := heap
+		heap += (a[0] + 15) &^ 15
+		return vm.IntrinsicResult{Value: p}, nil
+	})
+	v.RegisterIntrinsic("free", func(v *vm.VM, a []uint64) (vm.IntrinsicResult, error) {
+		return vm.IntrinsicResult{}, nil
+	})
+	for _, f := range loaded.Funcs {
+		if f.External {
+			f.External, f.Intrinsic = false, true // route to the handlers above
+		}
+	}
+	if err := v.LoadModule(loaded, false); err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(n uint64) {
+		f := v.FuncByName("sum_first")
+		top, _ := v.AllocKernelStack(64 * 1024)
+		ex, err := v.NewExec(f, []uint64{n}, top, hw.PrivKernel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v.SetExec(ex)
+		got, err := v.Run()
+		if err != nil {
+			fmt.Printf("sum_first(%d) -> SAFETY TRAP: %v\n", n, err)
+			return
+		}
+		fmt.Printf("sum_first(%d) = %d\n", n, got)
+	}
+	run(10) // in bounds: sum of squares 0..9 = 285
+	run(50) // overrun: the inserted boundscheck fires
+}

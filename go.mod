@@ -1,0 +1,3 @@
+module sva
+
+go 1.22

@@ -1,0 +1,51 @@
+// Package abi defines the guest kernel's user-visible ABI: system-call
+// numbers and errno values.  It is a leaf package shared by the kernel
+// builder and userland so neither depends on the other.
+package abi
+
+// Syscall numbers (Linux-flavoured).
+const (
+	SysExit         = 1
+	SysFork         = 2
+	SysRead         = 3
+	SysWrite        = 4
+	SysOpen         = 5
+	SysClose        = 6
+	SysWaitpid      = 7
+	SysUnlink       = 10
+	SysExecve       = 11
+	SysLseek        = 19
+	SysGetpid       = 20
+	SysKill         = 37
+	SysDup          = 41
+	SysPipe         = 42
+	SysBrk          = 45
+	SysSigaction    = 67
+	SysGetrusage    = 77
+	SysGettimeofday = 78
+	SysNetSend      = 102
+	SysNetRecv      = 103
+	SysYield        = 158
+	// The historically vulnerable entry points.
+	SysSetsockoptMSFilter = 200 // BID 10179: MCAST_MSFILTER integer overflow
+	SysIGMPInput          = 201 // BID 11917: IGMP length-byte underflow
+	SysBTIoctl            = 202 // BID 12911: Bluetooth signed buffer index
+	SysPollEvents         = 203 // BID 11956: integer-overflow under-allocation
+	SysCoreDump           = 204 // BID 13589: unchecked length through copy_from_user
+)
+
+// Errno values (negative returns).
+const (
+	EPERM  = 1
+	ENOENT = 2
+	ESRCH  = 3
+	EBADF  = 9
+	ECHILD = 10
+	EAGAIN = 11
+	ENOMEM = 12
+	EFAULT = 14
+	EINVAL = 22
+	ENFILE = 23
+	EMFILE = 24
+	ENOSYS = 38
+)

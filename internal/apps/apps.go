@@ -1,0 +1,311 @@
+// Package apps builds the application workloads of the paper's Tables 5
+// and 6: four local programs (bzip2, lame, gcc, ldd analogues) whose
+// compute/syscall mix is calibrated to the paper's %-system-time column, a
+// scp-style bulk network transfer, and a thttpd-style server benchmarked at
+// three request profiles (311 B static, 85 KB static, cgi).
+//
+// The programs are synthetic equivalents, not ports: each reproduces the
+// *kernel interaction profile* of its namesake (how often it traps, what it
+// asks the kernel to do), which is the only property the paper's relative
+// overheads depend on.  See DESIGN.md §2 and EXPERIMENTS.md.
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"sva/internal/abi"
+	"sva/internal/ir"
+	"sva/internal/kernel"
+	"sva/internal/userland"
+	"sva/internal/vm"
+)
+
+// BuildAppsModule emits all application workloads.
+func BuildAppsModule() *userland.U {
+	u := userland.New("apps")
+	b := u.B
+
+	fname := u.StrGlobal("s_app_file", "/tmp/appdata")
+
+	// compute emits a multiply-xor-rotate loop over `iters` iterations,
+	// accumulating into a cell so nothing folds away.
+	compute := func(acc ir.Value, iters ir.Value) {
+		b.For("c", ir.I64c(0), iters, ir.I64c(1), func(c ir.Value) {
+			v := b.Load(acc)
+			v2 := b.Mul(v, ir.I64c(6364136223846793005))
+			v3 := b.Add(v2, ir.I64c(1442695040888963407))
+			v4 := b.Xor(v3, b.LShr(v3, ir.I64c(29)))
+			b.Store(v4, acc)
+		})
+	}
+
+	// --- bzip2 (≈16% system): read 4 KB, compress-ish, write 4 KB ---------
+
+	u.Prog("app_bzip2")
+	acc := b.Alloca(ir.I64, "acc")
+	b.Store(ir.I64c(0x9E3779B9), acc)
+	area := u.Sbrk(ir.I64c(16 * 1024))
+	fd := u.Open(fname(), 64|512)
+	b.For("unit", ir.I64c(0), b.Param(0), ir.I64c(1), func(unit ir.Value) {
+		// "Compress" a 4 KB block: histogram + mix (about 3 instructions
+		// per input byte, five passes).
+		compute(acc, ir.I64c(470))
+		u.Lseek(fd, ir.I64c(0), ir.I64c(0))
+		u.Write(fd, area, ir.I64c(4096))
+		u.Lseek(fd, ir.I64c(0), ir.I64c(0))
+		u.Read(fd, area, ir.I64c(4096))
+	})
+	u.Close(fd)
+	b.Ret(b.LShr(b.Load(acc), ir.I64c(32)))
+
+	// --- lame (≈1% system): heavy DSP loop, rare I/O -----------------------
+
+	u.Prog("app_lame")
+	acc2 := b.Alloca(ir.I64, "acc")
+	b.Store(ir.I64c(0xABCD), acc2)
+	area2 := u.Sbrk(ir.I64c(8 * 1024))
+	fd2 := u.Open(fname(), 64)
+	b.For("unit", ir.I64c(0), b.Param(0), ir.I64c(1), func(unit ir.Value) {
+		compute(acc2, ir.I64c(3700))
+		u.Write(fd2, area2, ir.I64c(512))
+	})
+	u.Close(fd2)
+	b.Ret(b.LShr(b.Load(acc2), ir.I64c(32)))
+
+	// --- gcc (≈4% system): medium compute with open/close + write bursts --
+
+	u.Prog("app_gcc")
+	acc3 := b.Alloca(ir.I64, "acc")
+	b.Store(ir.I64c(7), acc3)
+	area3 := u.Sbrk(ir.I64c(8 * 1024))
+	b.For("unit", ir.I64c(0), b.Param(0), ir.I64c(1), func(unit ir.Value) {
+		compute(acc3, ir.I64c(1500))
+		tfd := u.Open(fname(), 64)
+		u.Write(tfd, area3, ir.I64c(1024))
+		u.Close(tfd)
+	})
+	b.Ret(b.LShr(b.Load(acc3), ir.I64c(32)))
+
+	// --- ldd (≈56% system): open/close/read dominated ----------------------
+
+	u.Prog("app_ldd")
+	acc4 := b.Alloca(ir.I64, "acc")
+	b.Store(ir.I64c(1), acc4)
+	area4 := u.Sbrk(ir.I64c(8 * 1024))
+	setup := u.Open(fname(), 64|512)
+	u.Write(setup, area4, ir.I64c(4096))
+	u.Close(setup)
+	b.For("unit", ir.I64c(0), b.Param(0), ir.I64c(1), func(unit ir.Value) {
+		compute(acc4, ir.I64c(60))
+		lfd := u.Open(fname(), 0)
+		u.Read(lfd, area4, ir.I64c(1024))
+		u.Read(lfd, area4, ir.I64c(1024))
+		u.Close(lfd)
+	})
+	b.Ret(b.LShr(b.Load(acc4), ir.I64c(32)))
+
+	// --- scp (bulk network + file transfer) --------------------------------
+
+	u.Prog("app_scp")
+	area5 := u.Sbrk(ir.I64c(8 * 1024))
+	fd5 := u.Open(fname(), 64|512)
+	b.For("unit", ir.I64c(0), b.Param(0), ir.I64c(1), func(unit ir.Value) {
+		// 1400-byte frame out, loop back in, append to the file.
+		s := u.Trap(abi.SysNetSend, area5, ir.I64c(1400))
+		bad := b.ICmp(ir.PredSLT, s, ir.I64c(0))
+		b.If(bad, func() { b.Ret(ir.I64c(-1)) })
+		r := u.Trap(abi.SysNetRecv, area5, ir.I64c(1400))
+		bad2 := b.ICmp(ir.PredSLT, r, ir.I64c(0))
+		b.If(bad2, func() { b.Ret(ir.I64c(-2)) })
+		// Light cipher pass over the frame (scp encrypts).
+		accS := b.Alloca(ir.I64, "accs")
+		b.Store(ir.I64c(3), accS)
+		compute(accS, ir.I64c(1400))
+		w := u.Write(fd5, area5, ir.I64c(1400))
+		bad3 := b.ICmp(ir.PredSLE, w, ir.I64c(0))
+		b.If(bad3, func() { b.Ret(ir.I64c(-3)) })
+	})
+	u.Close(fd5)
+	b.Ret(ir.I64c(0))
+
+	// --- thttpd (server/client over pipes; Tables 5 and 6) -----------------
+	//
+	// mode 0: 311-byte responses; mode 1: 85 KB responses; mode 2: "cgi"
+	// (compute then a 256-byte response).  The client sends one-byte
+	// requests; the server answers from its ramfs "document root".
+
+	mode := u.M.NewGlobal("http_mode", ir.I64, ir.I64c(0))
+	u.Prog("http_set_mode")
+	b.Store(b.Param(0), mode)
+	b.Ret(ir.I64c(0))
+
+	u.Prog("app_thttpd")
+	reqP := b.Alloca(ir.ArrayOf(2, ir.I64), "rq")
+	rspP := b.Alloca(ir.ArrayOf(2, ir.I64), "rs")
+	u.Pipe(u.Addr(reqP))
+	u.Pipe(u.Addr(rspP))
+	reqR := b.Load(b.Index(reqP, ir.I32c(0)))
+	reqW := b.Load(b.Index(reqP, ir.I32c(1)))
+	rspR := b.Load(b.Index(rspP, ir.I32c(0)))
+	rspW := b.Load(b.Index(rspP, ir.I32c(1)))
+	nreq := b.Param(0)
+	pid := u.Fork()
+	isServer := b.ICmp(ir.PredEQ, pid, ir.I64c(0))
+	b.If(isServer, func() {
+		sbuf := u.Sbrk(ir.I64c(96 * 1024))
+		m := b.Load(mode)
+		size := b.Select(b.ICmp(ir.PredEQ, m, ir.I64c(1)), ir.I64c(85*1024),
+			b.Select(b.ICmp(ir.PredEQ, m, ir.I64c(2)), ir.I64c(256), ir.I64c(311)))
+		b.For("req", ir.I64c(0), nreq, ir.I64c(1), func(req ir.Value) {
+			one := b.Alloca(ir.ArrayOf(8, ir.I8), "one")
+			rr := u.Read(reqR, u.Addr(one), ir.I64c(1))
+			done := b.ICmp(ir.PredSLE, rr, ir.I64c(0))
+			b.If(done, func() { u.Exit(ir.I64c(2)) })
+			isCGI := b.ICmp(ir.PredEQ, b.Load(mode), ir.I64c(2))
+			b.If(isCGI, func() {
+				accC := b.Alloca(ir.I64, "accc")
+				b.Store(ir.I64c(5), accC)
+				compute(accC, ir.I64c(1500))
+			})
+			sent := b.Alloca(ir.I64, "sent")
+			b.Store(ir.I64c(0), sent)
+			b.While(func() ir.Value {
+				return b.ICmp(ir.PredULT, b.Load(sent), size)
+			}, func() {
+				left := b.Sub(size, b.Load(sent))
+				chunk := b.Select(b.ICmp(ir.PredULT, left, ir.I64c(4096)), left, ir.I64c(4096))
+				w := u.Write(rspW, sbuf, chunk)
+				bad := b.ICmp(ir.PredSLE, w, ir.I64c(0))
+				b.If(bad, func() { u.Exit(ir.I64c(3)) })
+				b.Store(b.Add(b.Load(sent), w), sent)
+			})
+		})
+		u.Exit(ir.I64c(0))
+	})
+	// Client: issue nreq requests, drain each response fully.
+	cbuf := u.Sbrk(ir.I64c(96 * 1024))
+	m2 := b.Load(mode)
+	size2 := b.Select(b.ICmp(ir.PredEQ, m2, ir.I64c(1)), ir.I64c(85*1024),
+		b.Select(b.ICmp(ir.PredEQ, m2, ir.I64c(2)), ir.I64c(256), ir.I64c(311)))
+	total := b.Alloca(ir.I64, "total")
+	b.Store(ir.I64c(0), total)
+	b.For("req", ir.I64c(0), nreq, ir.I64c(1), func(req ir.Value) {
+		one := b.Alloca(ir.ArrayOf(8, ir.I8), "one")
+		accP := b.Alloca(ir.I64, "accp")
+		b.Store(ir.I64c(9), accP)
+		compute(accP, ir.I64c(200))
+		u.Write(reqW, u.Addr(one), ir.I64c(1))
+		got := b.Alloca(ir.I64, "got")
+		b.Store(ir.I64c(0), got)
+		b.While(func() ir.Value {
+			return b.ICmp(ir.PredULT, b.Load(got), size2)
+		}, func() {
+			r := u.Read(rspR, cbuf, ir.I64c(4096))
+			bad := b.ICmp(ir.PredSLE, r, ir.I64c(0))
+			b.If(bad, func() { b.Ret(ir.I64c(-9)) })
+			b.Store(b.Add(b.Load(got), r), got)
+		})
+		b.Store(b.Add(b.Load(total), b.Load(got)), total)
+	})
+	u.Waitpid(pid)
+	b.Ret(b.Load(total))
+
+	u.SealAll()
+	return u
+}
+
+// Workload describes one Table 5 row.
+type Workload struct {
+	Name  string
+	Prog  string
+	Units uint64
+	// Mode is the thttpd request profile (-1 otherwise).
+	Mode int64
+	// PaperSys is the paper's %-system-time column (for EXPERIMENTS.md).
+	PaperSys float64
+}
+
+// Local lists the Table 5 workloads.
+func Local() []Workload {
+	return []Workload{
+		{Name: "bzip2", Prog: "app_bzip2", Units: 60, Mode: -1, PaperSys: 16.4},
+		{Name: "lame", Prog: "app_lame", Units: 12, Mode: -1, PaperSys: 0.91},
+		{Name: "gcc", Prog: "app_gcc", Units: 40, Mode: -1, PaperSys: 4.07},
+		{Name: "ldd", Prog: "app_ldd", Units: 250, Mode: -1, PaperSys: 55.9},
+		{Name: "scp", Prog: "app_scp", Units: 120, Mode: -1, PaperSys: 0},
+		{Name: "thttpd (311B)", Prog: "app_thttpd", Units: 120, Mode: 0, PaperSys: 0},
+		{Name: "thttpd (85K)", Prog: "app_thttpd", Units: 12, Mode: 1, PaperSys: 0},
+		{Name: "thttpd (cgi)", Prog: "app_thttpd", Units: 60, Mode: 2, PaperSys: 0},
+	}
+}
+
+// HTTPBytes returns the response size for a thttpd mode.
+func HTTPBytes(mode int64) uint64 {
+	switch mode {
+	case 1:
+		return 85 * 1024
+	case 2:
+		return 256
+	default:
+		return 311
+	}
+}
+
+// Runner boots one system per configuration with the apps module.
+type Runner struct {
+	Systems map[vm.Config]*kernel.System
+}
+
+// NewRunner boots all four configurations.
+func NewRunner() (*Runner, error) {
+	r := &Runner{Systems: map[vm.Config]*kernel.System{}}
+	for _, cfg := range []vm.Config{vm.ConfigNative, vm.ConfigSVAGCC, vm.ConfigSVALLVM, vm.ConfigSafe} {
+		u := BuildAppsModule()
+		sys, err := kernel.NewSystem(cfg, true, u.M)
+		if err != nil {
+			return nil, fmt.Errorf("apps: boot %v: %w", cfg, err)
+		}
+		r.Systems[cfg] = sys
+	}
+	return r, nil
+}
+
+// Measurement is one workload × configuration result.
+type Measurement struct {
+	// Elapsed is virtual time (deterministic; one cycle = 1 ns).
+	Elapsed time.Duration
+	// SysShare is the measured fraction of guest instructions spent at
+	// kernel privilege (the %-system-time analogue).
+	SysShare float64
+	Ret      int64
+}
+
+// Run executes one workload under one configuration.
+func (r *Runner) Run(cfg vm.Config, w Workload) (Measurement, error) {
+	sys := r.Systems[cfg]
+	mod := sys.Extra[0]
+	if w.Mode >= 0 {
+		if _, err := sys.RunUser(mod.Func("http_set_mode"), uint64(w.Mode), 0); err != nil {
+			return Measurement{}, err
+		}
+	}
+	f := mod.Func(w.Prog)
+	if f == nil {
+		return Measurement{}, fmt.Errorf("apps: no program %s", w.Prog)
+	}
+	steps0 := sys.VM.Counters.Steps
+	ksteps0 := sys.VM.Counters.KSteps
+	c0 := sys.VM.Mach.CPU.Cycles
+	got, err := sys.RunUser(f, w.Units, 8_000_000_000)
+	cycles := sys.VM.Mach.CPU.Cycles - c0
+	if err != nil {
+		return Measurement{}, fmt.Errorf("apps: %s under %v: %w", w.Name, cfg, err)
+	}
+	// One virtual cycle reports as one nanosecond; overheads are ratios.
+	m := Measurement{Elapsed: time.Duration(cycles), Ret: int64(got)}
+	if ds := sys.VM.Counters.Steps - steps0; ds > 0 {
+		m.SysShare = float64(sys.VM.Counters.KSteps-ksteps0) / float64(ds)
+	}
+	return m, nil
+}

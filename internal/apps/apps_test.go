@@ -1,0 +1,49 @@
+package apps
+
+import (
+	"testing"
+
+	"sva/internal/ir"
+	"sva/internal/vm"
+)
+
+func TestAppsModuleVerifies(t *testing.T) {
+	u := BuildAppsModule()
+	if errs := ir.VerifyModule(u.M); len(errs) != 0 {
+		t.Fatalf("%v", errs[0])
+	}
+}
+
+// TestWorkloadsRun exercises every workload at reduced scale under native
+// and safe, and checks the kernel-time ordering the paper's Table 5 rests
+// on: ldd is kernel-dominated, lame is compute-dominated.
+func TestWorkloadsRun(t *testing.T) {
+	r, err := NewRunner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := map[string]float64{}
+	for _, cfg := range []vm.Config{vm.ConfigNative, vm.ConfigSafe} {
+		for _, w := range Local() {
+			w.Units = w.Units / 6
+			if w.Units == 0 {
+				w.Units = 2
+			}
+			m, err := r.Run(cfg, w)
+			if err != nil {
+				t.Fatalf("%s under %v: %v", w.Name, cfg, err)
+			}
+			if m.Ret < 0 {
+				t.Errorf("%s under %v returned %d", w.Name, cfg, m.Ret)
+			}
+			if cfg == vm.ConfigNative {
+				shares[w.Name] = m.SysShare
+			}
+		}
+	}
+	if !(shares["ldd"] > shares["bzip2"] && shares["bzip2"] > shares["gcc"] && shares["gcc"] > shares["lame"]) {
+		t.Errorf("kernel-time ordering wrong: ldd=%.2f bzip2=%.2f gcc=%.2f lame=%.2f",
+			shares["ldd"], shares["bzip2"], shares["gcc"], shares["lame"])
+	}
+	t.Logf("native kernel-time shares: %+v", shares)
+}

@@ -1,0 +1,373 @@
+// Package bytecode implements the on-disk form of SVA modules: a compact
+// binary encoding of the typed IR (the "bytecode" files the SVM verifies
+// and translates, §3.1), plus the signed native-translation cache of §3.4
+// ("the translated native code is cached on disk together with the
+// bytecode, and the pair is digitally signed together").
+package bytecode
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"sva/internal/ir"
+)
+
+// Magic identifies SVA bytecode files.
+var Magic = [4]byte{'S', 'V', 'A', 1}
+
+type writer struct {
+	buf bytes.Buffer
+}
+
+func (w *writer) u64(v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	w.buf.Write(tmp[:n])
+}
+
+func (w *writer) str(s string) {
+	w.u64(uint64(len(s)))
+	w.buf.WriteString(s)
+}
+
+func (w *writer) bool(b bool) {
+	if b {
+		w.buf.WriteByte(1)
+	} else {
+		w.buf.WriteByte(0)
+	}
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.err = fmt.Errorf("bytecode: truncated uvarint at %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) str() string {
+	n := int(r.u64())
+	if r.err != nil {
+		return ""
+	}
+	if r.off+n > len(r.b) {
+		r.err = fmt.Errorf("bytecode: truncated string at %d", r.off)
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// count reads an element count and validates it against the remaining
+// input so corrupted lengths cannot trigger huge allocations.
+func (r *reader) count() int {
+	v := r.u64()
+	if r.err != nil {
+		return 0
+	}
+	if v > uint64(len(r.b)-r.off)+1 {
+		r.err = fmt.Errorf("bytecode: count %d exceeds remaining input", v)
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off >= len(r.b) {
+		r.err = fmt.Errorf("bytecode: truncated bool at %d", r.off)
+		return false
+	}
+	v := r.b[r.off]
+	r.off++
+	return v != 0
+}
+
+// --- type table -----------------------------------------------------------
+
+type typeTable struct {
+	types []*ir.Type
+	index map[*ir.Type]int
+}
+
+func newTypeTable() *typeTable {
+	return &typeTable{index: map[*ir.Type]int{}}
+}
+
+// add interns t (recursively) and returns its index.
+func (tt *typeTable) add(t *ir.Type) int {
+	if i, ok := tt.index[t]; ok {
+		return i
+	}
+	// Reserve the slot first so recursive types terminate.
+	i := len(tt.types)
+	tt.types = append(tt.types, t)
+	tt.index[t] = i
+	switch t.Kind() {
+	case ir.PointerKind, ir.ArrayKind:
+		tt.add(t.Elem())
+	case ir.StructKind:
+		for _, f := range t.Fields() {
+			tt.add(f)
+		}
+	case ir.FuncKind:
+		tt.add(t.Ret())
+		for _, p := range t.Params() {
+			tt.add(p)
+		}
+	}
+	return i
+}
+
+func (tt *typeTable) encode(w *writer) {
+	w.u64(uint64(len(tt.types)))
+	for _, t := range tt.types {
+		w.u64(uint64(t.Kind()))
+		switch t.Kind() {
+		case ir.IntKind:
+			w.u64(uint64(t.Bits()))
+		case ir.PointerKind, ir.ArrayKind:
+			if t.Kind() == ir.ArrayKind {
+				w.u64(uint64(t.Len()))
+			}
+			w.u64(uint64(tt.index[t.Elem()]))
+		case ir.StructKind:
+			w.str(t.StructName())
+			w.u64(uint64(t.NumFields()))
+			for _, f := range t.Fields() {
+				w.u64(uint64(tt.index[f]))
+			}
+		case ir.FuncKind:
+			w.u64(uint64(tt.index[t.Ret()]))
+			w.u64(uint64(len(t.Params())))
+			for _, p := range t.Params() {
+				w.u64(uint64(tt.index[p]))
+			}
+			w.bool(t.Variadic())
+		}
+	}
+}
+
+// decodeTypes rebuilds the type table, re-interning through the ir package
+// so pointer identity holds.
+func decodeTypes(r *reader) ([]*ir.Type, error) {
+	n := r.count()
+	if r.err != nil {
+		return nil, r.err
+	}
+	type pending struct {
+		kind     ir.Kind
+		bits     int
+		n        int
+		elem     int
+		name     string
+		fields   []int
+		ret      int
+		variadic bool
+	}
+	pend := make([]pending, n)
+	for i := 0; i < n; i++ {
+		k := ir.Kind(r.u64())
+		p := pending{kind: k}
+		switch k {
+		case ir.IntKind:
+			p.bits = int(r.u64())
+		case ir.PointerKind:
+			p.elem = int(r.u64())
+		case ir.ArrayKind:
+			p.n = int(r.u64())
+			p.elem = int(r.u64())
+		case ir.StructKind:
+			p.name = r.str()
+			fn := r.count()
+			for j := 0; j < fn; j++ {
+				p.fields = append(p.fields, int(r.u64()))
+			}
+		case ir.FuncKind:
+			p.ret = int(r.u64())
+			pn := r.count()
+			for j := 0; j < pn; j++ {
+				p.fields = append(p.fields, int(r.u64()))
+			}
+			p.variadic = r.bool()
+		}
+		pend[i] = p
+		if r.err != nil {
+			return nil, r.err
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	types := make([]*ir.Type, n)
+	// Named structs first (so recursion can resolve), then fixpoint over
+	// the rest.
+	for i, p := range pend {
+		if p.kind == ir.StructKind && p.name != "" {
+			types[i] = ir.NamedStruct(p.name)
+		}
+	}
+	var resolve func(i int) (*ir.Type, error)
+	resolve = func(i int) (*ir.Type, error) {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("bytecode: type index %d out of range", i)
+		}
+		if types[i] != nil {
+			return types[i], nil
+		}
+		p := pend[i]
+		var t *ir.Type
+		var err error
+		switch p.kind {
+		case ir.VoidKind:
+			t = ir.Void
+		case ir.IntKind:
+			t = ir.IntType(p.bits)
+		case ir.FloatKind:
+			t = ir.F64
+		case ir.LabelKind:
+			t = ir.Label
+		case ir.PointerKind:
+			var e *ir.Type
+			if e, err = resolve(p.elem); err == nil {
+				t = ir.PointerTo(e)
+			}
+		case ir.ArrayKind:
+			var e *ir.Type
+			if e, err = resolve(p.elem); err == nil {
+				t = ir.ArrayOf(p.n, e)
+			}
+		case ir.StructKind:
+			fields := make([]*ir.Type, len(p.fields))
+			for j, fi := range p.fields {
+				if fields[j], err = resolve(fi); err != nil {
+					return nil, err
+				}
+			}
+			t = ir.StructOf(fields...)
+		case ir.FuncKind:
+			var ret *ir.Type
+			if ret, err = resolve(p.ret); err != nil {
+				return nil, err
+			}
+			params := make([]*ir.Type, len(p.fields))
+			for j, fi := range p.fields {
+				if params[j], err = resolve(fi); err != nil {
+					return nil, err
+				}
+			}
+			t = ir.FuncOf(ret, params, p.variadic)
+		default:
+			err = fmt.Errorf("bytecode: unknown type kind %d", p.kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+		types[i] = t
+		return t, nil
+	}
+	for i := range pend {
+		if _, err := resolve(i); err != nil {
+			return nil, err
+		}
+	}
+	// Set named struct bodies after all types exist.
+	for i, p := range pend {
+		if p.kind == ir.StructKind && p.name != "" {
+			fields := make([]*ir.Type, len(p.fields))
+			for j, fi := range p.fields {
+				if fi < 0 || fi >= n {
+					return nil, fmt.Errorf("bytecode: type index %d out of range", fi)
+				}
+				fields[j] = types[fi]
+			}
+			types[i].SetBody(fields...)
+		}
+	}
+	return types, nil
+}
+
+// --- operand encoding -------------------------------------------------------
+
+// Operand tags.
+const (
+	opdConstInt = iota
+	opdConstFloat
+	opdConstNull
+	opdConstUndef
+	opdGlobal
+	opdFunc
+	opdParam
+	opdInstr
+	opdGlobalAddrG // address-of-global constant
+	opdGlobalAddrF // address-of-function constant
+	opdConstString
+)
+
+type encoder struct {
+	w       *writer
+	tt      *typeTable
+	globals map[*ir.Global]int
+	funcs   map[*ir.Function]int
+}
+
+func (e *encoder) operand(f *ir.Function, v ir.Value) error {
+	switch v := v.(type) {
+	case *ir.ConstInt:
+		e.w.u64(opdConstInt)
+		e.w.u64(uint64(e.tt.index[v.Typ]))
+		e.w.u64(v.V)
+	case *ir.ConstFloat:
+		e.w.u64(opdConstFloat)
+		e.w.u64(math.Float64bits(v.F))
+	case *ir.ConstNull:
+		e.w.u64(opdConstNull)
+		e.w.u64(uint64(e.tt.index[v.Typ]))
+	case *ir.ConstUndef:
+		e.w.u64(opdConstUndef)
+		e.w.u64(uint64(e.tt.index[v.Typ]))
+	case *ir.Global:
+		e.w.u64(opdGlobal)
+		e.w.u64(uint64(e.globals[v]))
+	case *ir.Function:
+		e.w.u64(opdFunc)
+		e.w.u64(uint64(e.funcs[v]))
+	case *ir.Param:
+		e.w.u64(opdParam)
+		e.w.u64(uint64(v.Idx))
+	case *ir.Instr:
+		e.w.u64(opdInstr)
+		e.w.u64(uint64(v.Num()))
+	case *ir.GlobalAddr:
+		switch g := v.G.(type) {
+		case *ir.Global:
+			e.w.u64(opdGlobalAddrG)
+			e.w.u64(uint64(e.globals[g]))
+		case *ir.Function:
+			e.w.u64(opdGlobalAddrF)
+			e.w.u64(uint64(e.funcs[g]))
+		default:
+			return fmt.Errorf("bytecode: unsupported global address %T", v.G)
+		}
+	default:
+		return fmt.Errorf("bytecode: unsupported operand %T", v)
+	}
+	return nil
+}

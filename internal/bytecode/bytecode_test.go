@@ -1,0 +1,298 @@
+package bytecode
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sva/internal/hw"
+	"sva/internal/ir"
+	"sva/internal/kernel"
+	"sva/internal/safety"
+	"sva/internal/svaops"
+	"sva/internal/svaos"
+	"sva/internal/typecheck"
+	"sva/internal/vm"
+)
+
+// sampleModule builds a module exercising every encodable construct.
+func sampleModule() *ir.Module {
+	m := ir.NewModule("sample")
+	task := ir.NamedStruct("bc_task_t")
+	task.SetBody(ir.I64, ir.PointerTo(task), ir.ArrayOf(4, ir.I8))
+	m.NewGlobal("counter", ir.I64, ir.I64c(42))
+	m.NewGlobal("msg", ir.ArrayOf(6, ir.I8), &ir.ConstString{S: "hello"})
+	m.NewGlobal("pi", ir.F64, &ir.ConstFloat{F: 3.14159})
+	m.NewGlobal("head", ir.PointerTo(task), ir.Null(ir.PointerTo(task)))
+	sig := ir.FuncOf(ir.I64, []*ir.Type{ir.I64, ir.PointerTo(task)}, false)
+	b := ir.NewBuilder(m)
+	f := b.NewFunc("touch", sig, "n", "t")
+	f.Subsystem = "core"
+	pid := b.FieldAddr(b.Param(1), 0)
+	old := b.Load(pid)
+	b.Store(b.Param(0), pid)
+	cond := b.ICmp(ir.PredSGT, old, ir.I64c(0))
+	b.IfElse(cond, func() {
+		b.Ret(old)
+	}, func() {
+		x := b.Alloca(ir.I64, "x")
+		b.Store(b.Mul(b.Param(0), ir.I64c(2)), x)
+		b.Ret(b.Load(x))
+	})
+	b.Seal() // both arms returned; the join block is dead
+	// A function using switch, phi via select, atomics and intrinsic calls.
+	b.NewFunc("misc", ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false), "v")
+	g := m.Global("counter")
+	oldv := b.AtomicRMW(ir.RMWAdd, g, ir.I64c(1))
+	cas := b.CmpXchg(g, ir.I64c(5), ir.I64c(6))
+	sel := b.Select(b.ICmp(ir.PredEQ, cas, oldv), ir.I64c(1), ir.I64c(0))
+	b.Fence()
+	b.Call(svaops.Get(m, svaops.Halt), ir.I64c(0))
+	one := b.Block("one")
+	two := b.Block("two")
+	done := b.Block("done")
+	b.Switch(b.Param(0), done, []*ir.ConstInt{ir.I64c(1), ir.I64c(2)}, []*ir.BasicBlock{one, two})
+	b.SetBlock(one)
+	b.Br(done)
+	b.SetBlock(two)
+	b.Br(done)
+	b.SetBlock(done)
+	b.Ret(b.Add(oldv, sel))
+	// Table of function pointers in an initializer.
+	fpt := ir.PointerTo(sig)
+	m.NewGlobal("tbl", ir.ArrayOf(1, fpt), &ir.ConstArray{
+		Typ:   ir.ArrayOf(1, fpt),
+		Elems: []ir.Constant{&ir.GlobalAddr{G: f}},
+	})
+	// Metadata.
+	m.Metapools = append(m.Metapools,
+		&ir.MetapoolDesc{Name: "MP0", TypeHomogeneous: true, Complete: true, ElemType: task, Pointee: "MP0"},
+		&ir.MetapoolDesc{Name: "MP1", Complete: false, UserSpace: true},
+	)
+	m.CallSets = append(m.CallSets, []string{"touch", "misc"})
+	return m
+}
+
+func TestRoundTrip(t *testing.T) {
+	m := sampleModule()
+	if errs := ir.VerifyModule(m); len(errs) != 0 {
+		t.Fatalf("sample does not verify: %v", errs[0])
+	}
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := ir.VerifyModule(m2); len(errs) != 0 {
+		t.Fatalf("decoded module does not verify: %v", errs[0])
+	}
+	// The textual forms must be identical — a strong structural equality.
+	if m.String() != m2.String() {
+		t.Errorf("round trip mismatch:\n--- original ---\n%s\n--- decoded ---\n%s", m, m2)
+	}
+	// And a re-encode must be byte-identical (canonical form).
+	data2, err := Encode(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Error("re-encoding is not canonical")
+	}
+}
+
+func TestDecodedModuleExecutes(t *testing.T) {
+	m := sampleModule()
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vm.New(hw.NewMachine(0, 16), vm.ConfigSVALLVM)
+	if err := v.LoadModule(m2, false); err != nil {
+		t.Fatal(err)
+	}
+	f := v.FuncByName("touch")
+	top, _ := v.AllocKernelStack(16 * 1024)
+	// t = null → field write faults; pass a fake task in memory instead.
+	taskAddr := uint64(0x9000_0000)
+	ex, _ := v.NewExec(f, []uint64{7, taskAddr}, top, hw.PrivKernel)
+	v.SetExec(ex)
+	got, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 14 { // old pid 0 → else branch returns n*2
+		t.Errorf("touch(7) = %d, want 14", got)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not bytecode")); err == nil {
+		t.Error("garbage accepted")
+	}
+	m := sampleModule()
+	data, _ := Encode(m)
+	// Truncations must error, not panic.
+	for _, cut := range []int{5, len(data) / 4, len(data) / 2, len(data) - 3} {
+		if _, err := Decode(data[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDecodeTruncationNeverPanics(t *testing.T) {
+	m := sampleModule()
+	data, _ := Encode(m)
+	err := quick.Check(func(cut uint16) bool {
+		n := int(cut) % len(data)
+		defer func() {
+			if recover() != nil {
+				t.Errorf("panic at truncation %d", n)
+			}
+		}()
+		Decode(data[:n])
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignedTranslationCache(t *testing.T) {
+	seed := make([]byte, 32)
+	for i := range seed {
+		seed[i] = byte(i)
+	}
+	signer, err := NewSigner(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache(signer)
+	m := sampleModule()
+	image, _ := Encode(m)
+
+	if e, err := cache.Get(image); e != nil || err != nil {
+		t.Fatalf("empty cache Get = %v, %v", e, err)
+	}
+	cache.Put(image, []byte("native-code-blob"), "sva-safe")
+	e, err := cache.Get(image)
+	if err != nil || e == nil {
+		t.Fatalf("Get after Put = %v, %v", e, err)
+	}
+	if string(e.Translation) != "native-code-blob" {
+		t.Error("translation corrupted")
+	}
+	// Tampering with the cached translation must be detected.
+	e.Translation[0] ^= 0xFF
+	if _, err := cache.Get(image); err == nil {
+		t.Error("tampered translation accepted")
+	}
+	// The corrupt entry is evicted.
+	if e2, err := cache.Get(image); e2 != nil || err != nil {
+		t.Errorf("corrupt entry not evicted: %v, %v", e2, err)
+	}
+	// An entry for different bytecode must not verify.
+	cache.Put(image, []byte("blob"), "sva-safe")
+	other := append([]byte(nil), image...)
+	other[len(other)-1] ^= 1
+	if e3, _ := cache.Get(other); e3 != nil {
+		t.Error("cache returned translation for different bytecode")
+	}
+}
+
+func TestSignerSeedValidation(t *testing.T) {
+	if _, err := NewSigner([]byte("short")); err == nil {
+		t.Error("bad seed size accepted")
+	}
+	if _, err := NewSigner(nil); err != nil {
+		t.Errorf("random signer: %v", err)
+	}
+}
+
+func TestHashStability(t *testing.T) {
+	m := sampleModule()
+	d1, _ := Encode(m)
+	d2, _ := Encode(sampleModule())
+	if Hash(d1) != Hash(d2) {
+		t.Error("identical modules hash differently")
+	}
+}
+
+// TestKernelRoundTrip encodes the entire safety-compiled guest kernel to
+// bytecode, decodes it, verifies it and boots it — the full "ship the
+// kernel as bytecode" path of §2.
+func TestKernelRoundTrip(t *testing.T) {
+	img := kernel.Build()
+	if _, err := safety.Compile(kernel.SafetyConfig(true), img.Kernel); err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(img.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("kernel bytecode: %d bytes", len(data))
+	decoded, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := ir.VerifyModule(decoded); len(errs) != 0 {
+		t.Fatalf("decoded kernel does not verify: %v", errs[0])
+	}
+	if errs := typecheck.New(decoded.Metapools).Check(decoded); len(errs) != 0 {
+		t.Fatalf("decoded kernel fails the metapool type check: %v", errs[0])
+	}
+	// Boot the DECODED kernel.
+	v := vm.New(hw.NewMachine(0, 64), vm.ConfigSafe)
+	svaos.Install(v)
+	if err := v.LoadModule(decoded, false); err != nil {
+		t.Fatal(err)
+	}
+	top, _ := v.AllocKernelStack(64 * 1024)
+	ex, err := v.NewExec(v.FuncByName("kernel_entry"), []uint64{top}, top, hw.PrivKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.SetExec(ex)
+	v.StepBudget = 50_000_000
+	if _, err := v.Run(); err != nil {
+		t.Fatalf("decoded kernel failed to boot: %v", err)
+	}
+	if out := v.Mach.Console.Output(); !strings.Contains(out, "SVA vkernel booted") {
+		t.Errorf("console = %q", out)
+	}
+}
+
+func TestDetachedFileSignature(t *testing.T) {
+	signer, err := NewSigner(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	image, _ := Encode(sampleModule())
+	blob := signer.SignFile(image)
+	if err := VerifyFile(image, blob); err != nil {
+		t.Fatalf("valid signature rejected: %v", err)
+	}
+	// Tampered image fails.
+	bad := append([]byte(nil), image...)
+	bad[10] ^= 1
+	if err := VerifyFile(bad, blob); err == nil {
+		t.Error("tampered image accepted")
+	}
+	// Tampered signature fails.
+	blob2 := append([]byte(nil), blob...)
+	blob2[len(blob2)-1] ^= 1
+	if err := VerifyFile(image, blob2); err == nil {
+		t.Error("tampered signature accepted")
+	}
+	// Malformed blob fails.
+	if err := VerifyFile(image, blob[:10]); err == nil {
+		t.Error("short blob accepted")
+	}
+}

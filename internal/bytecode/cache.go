@@ -1,0 +1,137 @@
+package bytecode
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"fmt"
+)
+
+// Hash returns the SHA-256 content hash of a bytecode image.
+func Hash(data []byte) [32]byte { return sha256.Sum256(data) }
+
+// CacheEntry pairs a bytecode image hash with its cached native
+// translation, signed together (paper §3.4: "the translated native code is
+// cached on disk together with the bytecode, and the pair is digitally
+// signed together to ensure integrity and safety of the native code").
+//
+// In this reproduction the "native code" blob is the serialized summary of
+// the translator's pre-lowered form; its exact contents matter less than
+// the integrity protocol around it.
+type CacheEntry struct {
+	ModuleHash  [32]byte
+	Config      string // which VM configuration produced the translation
+	Translation []byte
+	Sig         []byte
+}
+
+// Signer signs and verifies translation cache entries with an Ed25519 key
+// held by the SVM installation.
+type Signer struct {
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// NewSigner creates a signer with a freshly generated key pair (seeded
+// deterministically for reproducible tests when seed is non-nil).
+func NewSigner(seed []byte) (*Signer, error) {
+	if seed != nil {
+		if len(seed) != ed25519.SeedSize {
+			return nil, fmt.Errorf("bytecode: seed must be %d bytes", ed25519.SeedSize)
+		}
+		priv := ed25519.NewKeyFromSeed(seed)
+		return &Signer{pub: priv.Public().(ed25519.PublicKey), priv: priv}, nil
+	}
+	pub, priv, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Signer{pub: pub, priv: priv}, nil
+}
+
+func (s *Signer) message(e *CacheEntry) []byte {
+	msg := make([]byte, 0, 32+len(e.Config)+len(e.Translation))
+	msg = append(msg, e.ModuleHash[:]...)
+	msg = append(msg, e.Config...)
+	msg = append(msg, e.Translation...)
+	return msg
+}
+
+// Sign signs a cache entry in place.
+func (s *Signer) Sign(e *CacheEntry) {
+	e.Sig = ed25519.Sign(s.priv, s.message(e))
+}
+
+// Verify checks an entry's signature and that it matches the presented
+// bytecode image.
+func (s *Signer) Verify(e *CacheEntry, bytecodeImage []byte) error {
+	if Hash(bytecodeImage) != e.ModuleHash {
+		return fmt.Errorf("bytecode: cached translation is for different bytecode")
+	}
+	if !ed25519.Verify(s.pub, s.message(e), e.Sig) {
+		return fmt.Errorf("bytecode: translation cache signature invalid")
+	}
+	return nil
+}
+
+// SignFile produces a detached signature blob for a bytecode image:
+// the signer's public key followed by the Ed25519 signature (the on-disk
+// form of the §3.4 "digitally signed together" pairing).
+func (s *Signer) SignFile(image []byte) []byte {
+	sig := ed25519.Sign(s.priv, image)
+	out := make([]byte, 0, len(s.pub)+len(sig))
+	out = append(out, s.pub...)
+	out = append(out, sig...)
+	return out
+}
+
+// VerifyFile checks a detached signature blob against a bytecode image.
+func VerifyFile(image, blob []byte) error {
+	if len(blob) != ed25519.PublicKeySize+ed25519.SignatureSize {
+		return fmt.Errorf("bytecode: malformed signature blob (%d bytes)", len(blob))
+	}
+	pub := ed25519.PublicKey(blob[:ed25519.PublicKeySize])
+	if !ed25519.Verify(pub, image, blob[ed25519.PublicKeySize:]) {
+		return fmt.Errorf("bytecode: signature verification failed")
+	}
+	return nil
+}
+
+// Cache is an in-memory signed translation cache (the on-disk cache of a
+// real deployment; the examples persist it through these APIs).
+type Cache struct {
+	signer  *Signer
+	entries map[[32]byte]*CacheEntry
+	Hits    int
+	Misses  int
+}
+
+// NewCache creates a cache bound to a signer.
+func NewCache(s *Signer) *Cache {
+	return &Cache{signer: s, entries: map[[32]byte]*CacheEntry{}}
+}
+
+// Put stores and signs a translation for the given bytecode image.
+func (c *Cache) Put(bytecodeImage, translation []byte, config string) *CacheEntry {
+	e := &CacheEntry{ModuleHash: Hash(bytecodeImage), Config: config, Translation: translation}
+	c.signer.Sign(e)
+	c.entries[e.ModuleHash] = e
+	return e
+}
+
+// Get fetches and verifies the cached translation for a bytecode image;
+// a verification failure removes the corrupt entry.
+func (c *Cache) Get(bytecodeImage []byte) (*CacheEntry, error) {
+	h := Hash(bytecodeImage)
+	e, ok := c.entries[h]
+	if !ok {
+		c.Misses++
+		return nil, nil
+	}
+	if err := c.signer.Verify(e, bytecodeImage); err != nil {
+		delete(c.entries, h)
+		c.Misses++
+		return nil, err
+	}
+	c.Hits++
+	return e, nil
+}

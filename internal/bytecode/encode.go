@@ -1,0 +1,686 @@
+package bytecode
+
+import (
+	"fmt"
+	"math"
+
+	"sva/internal/ir"
+)
+
+// Encode serializes a module to its binary bytecode form.
+func Encode(m *ir.Module) ([]byte, error) {
+	w := &writer{}
+	w.buf.Write(Magic[:])
+	w.str(m.Name)
+
+	// Collect all types.
+	tt := newTypeTable()
+	collectConst := func(c ir.Constant) {}
+	_ = collectConst
+	var collectInit func(c ir.Constant)
+	collectInit = func(c ir.Constant) {
+		switch c := c.(type) {
+		case *ir.ConstInt:
+			tt.add(c.Typ)
+		case *ir.ConstNull:
+			tt.add(c.Typ)
+		case *ir.ConstUndef:
+			tt.add(c.Typ)
+		case *ir.ConstArray:
+			tt.add(c.Typ)
+			for _, e := range c.Elems {
+				collectInit(e)
+			}
+		case *ir.ConstStruct:
+			tt.add(c.Typ)
+			for _, f := range c.Fields {
+				collectInit(f)
+			}
+		}
+	}
+	for _, g := range m.Globals {
+		tt.add(g.ValueType)
+		if g.Init != nil {
+			collectInit(g.Init)
+		}
+	}
+	for _, f := range m.Funcs {
+		tt.add(f.Sig)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				tt.add(in.Typ)
+				if in.AllocTy != nil {
+					tt.add(in.AllocTy)
+				}
+				for _, a := range in.Args {
+					if c, ok := a.(ir.Constant); ok {
+						collectInit(c)
+					}
+					tt.add(a.Type())
+				}
+			}
+		}
+	}
+	for _, d := range m.Metapools {
+		if d.ElemType != nil {
+			tt.add(d.ElemType)
+		}
+	}
+	tt.encode(w)
+
+	enc := &encoder{w: w, tt: tt, globals: map[*ir.Global]int{}, funcs: map[*ir.Function]int{}}
+	for i, g := range m.Globals {
+		enc.globals[g] = i
+	}
+	for i, f := range m.Funcs {
+		enc.funcs[f] = i
+	}
+
+	// Globals.
+	w.u64(uint64(len(m.Globals)))
+	for _, g := range m.Globals {
+		w.str(g.Nm)
+		w.u64(uint64(tt.index[g.ValueType]))
+		w.bool(g.Const)
+		w.str(g.Pool)
+		w.str(g.Subsystem)
+		if g.Init == nil {
+			w.bool(false)
+		} else {
+			w.bool(true)
+			if err := encodeInit(enc, g.Init); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Functions.
+	w.u64(uint64(len(m.Funcs)))
+	for _, f := range m.Funcs {
+		f.Renumber()
+		w.str(f.Nm)
+		w.u64(uint64(tt.index[f.Sig]))
+		w.bool(f.Intrinsic)
+		w.bool(f.External)
+		w.bool(f.SafetyCompiled)
+		w.str(f.Subsystem)
+		w.str(f.RetPool)
+		for _, p := range f.Params {
+			w.str(p.Nm)
+			w.str(p.Pool)
+		}
+		w.u64(uint64(len(f.Blocks)))
+		blockIdx := map[*ir.BasicBlock]int{}
+		for i, b := range f.Blocks {
+			blockIdx[b] = i
+		}
+		for _, b := range f.Blocks {
+			w.str(b.Nm)
+			w.u64(uint64(len(b.Instrs)))
+			for _, in := range b.Instrs {
+				if err := encodeInstr(enc, f, blockIdx, in); err != nil {
+					return nil, fmt.Errorf("@%s: %w", f.Nm, err)
+				}
+			}
+		}
+	}
+
+	// Metapool descriptors.
+	w.u64(uint64(len(m.Metapools)))
+	for _, d := range m.Metapools {
+		w.str(d.Name)
+		w.bool(d.TypeHomogeneous)
+		w.bool(d.Complete)
+		w.bool(d.UserSpace)
+		w.str(d.Pointee)
+		if d.ElemType != nil {
+			w.bool(true)
+			w.u64(uint64(tt.index[d.ElemType]))
+		} else {
+			w.bool(false)
+		}
+	}
+
+	// Indirect-call sets.
+	w.u64(uint64(len(m.CallSets)))
+	for _, set := range m.CallSets {
+		w.u64(uint64(len(set)))
+		for _, name := range set {
+			w.str(name)
+		}
+	}
+	return w.buf.Bytes(), nil
+}
+
+func encodeInit(e *encoder, c ir.Constant) error {
+	switch c := c.(type) {
+	case *ir.ConstArray:
+		e.w.u64(100)
+		e.w.u64(uint64(e.tt.index[c.Typ]))
+		e.w.u64(uint64(len(c.Elems)))
+		for _, el := range c.Elems {
+			if err := encodeInit(e, el); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ir.ConstStruct:
+		e.w.u64(101)
+		e.w.u64(uint64(e.tt.index[c.Typ]))
+		e.w.u64(uint64(len(c.Fields)))
+		for _, fl := range c.Fields {
+			if err := encodeInit(e, fl); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ir.ConstString:
+		e.w.u64(opdConstString)
+		e.w.str(c.S)
+		return nil
+	default:
+		return e.operand(nil, c)
+	}
+}
+
+func encodeInstr(e *encoder, f *ir.Function, blockIdx map[*ir.BasicBlock]int, in *ir.Instr) error {
+	e.w.u64(uint64(in.Op))
+	e.w.u64(uint64(e.tt.index[in.Typ]))
+	e.w.str(in.Nm)
+	e.w.str(in.Pool)
+	e.w.u64(uint64(in.Pred))
+	e.w.u64(uint64(in.RMW))
+	if in.AllocTy != nil {
+		e.w.bool(true)
+		e.w.u64(uint64(e.tt.index[in.AllocTy]))
+	} else {
+		e.w.bool(false)
+	}
+	if in.Callee != nil {
+		e.w.bool(true)
+		if err := e.operand(f, in.Callee); err != nil {
+			return err
+		}
+	} else {
+		e.w.bool(false)
+	}
+	e.w.u64(uint64(len(in.Args)))
+	for _, a := range in.Args {
+		if err := e.operand(f, a); err != nil {
+			return err
+		}
+	}
+	e.w.u64(uint64(len(in.Blocks)))
+	for _, b := range in.Blocks {
+		e.w.u64(uint64(blockIdx[b]))
+	}
+	return nil
+}
+
+// typeAt reads a type index and bounds-checks it.
+func typeAt(types []*ir.Type, r *reader) (*ir.Type, error) {
+	i := r.u64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if i >= uint64(len(types)) {
+		return nil, fmt.Errorf("bytecode: type index %d out of range", i)
+	}
+	return types[i], nil
+}
+
+// Decode deserializes a module from bytecode.
+func Decode(data []byte) (*ir.Module, error) {
+	r := &reader{b: data}
+	if len(data) < 4 || data[0] != Magic[0] || data[1] != Magic[1] || data[2] != Magic[2] || data[3] != Magic[3] {
+		return nil, fmt.Errorf("bytecode: bad magic")
+	}
+	r.off = 4
+	name := r.str()
+	types, err := decodeTypes(r)
+	if err != nil {
+		return nil, err
+	}
+	ty := func() *ir.Type {
+		i := int(r.u64())
+		if r.err == nil && (i < 0 || i >= len(types)) {
+			r.err = fmt.Errorf("bytecode: type index %d out of range", i)
+			return ir.Void
+		}
+		if r.err != nil {
+			return ir.Void
+		}
+		return types[i]
+	}
+
+	m := ir.NewModule(name)
+
+	// Globals (headers first; initializers reference globals/functions).
+	ng := r.count()
+	if r.err != nil {
+		return nil, r.err
+	}
+	type ginit struct {
+		g    *ir.Global
+		init bool
+	}
+	// We must decode inline, but initializers may reference later globals
+	// and functions.  Two-phase: remember byte offsets?  Simpler: globals'
+	// initializers can only reference globals/functions by index; decode
+	// them after the function headers exist.  To keep a single pass, we
+	// decode initializers into a deferred list of raw references.
+	var globals []*ir.Global
+	var deferredInits []func() error
+	for i := 0; i < ng; i++ {
+		g := &ir.Global{Nm: r.str()}
+		if r.err != nil {
+			return nil, r.err
+		}
+		if m.Global(g.Nm) != nil {
+			return nil, fmt.Errorf("bytecode: duplicate global %q", g.Nm)
+		}
+		g.ValueType = ty()
+		g.Const = r.bool()
+		g.Pool = r.str()
+		g.Subsystem = r.str()
+		hasInit := r.bool()
+		if hasInit {
+			// Decode now: initializer operands reference globals/funcs by
+			// index into tables we haven't fully built.  Capture via a
+			// placeholder decode that records indices.
+			init, err := decodeInitDeferred(r, types, &globals, m)
+			if err != nil {
+				return nil, err
+			}
+			gg := g
+			deferredInits = append(deferredInits, func() error {
+				c, err := init()
+				if err != nil {
+					return err
+				}
+				gg.Init = c
+				return nil
+			})
+		}
+		m.AddGlobal(g)
+		globals = append(globals, g)
+		if r.err != nil {
+			return nil, r.err
+		}
+	}
+
+	// Function headers.
+	nf := r.count()
+	if r.err != nil {
+		return nil, r.err
+	}
+	type fnBody struct {
+		f      *ir.Function
+		blocks []blockData
+	}
+	var bodies []fnBody
+	var funcs []*ir.Function
+	for i := 0; i < nf; i++ {
+		fname := r.str()
+		sig := ty()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if !sig.IsFunc() {
+			return nil, fmt.Errorf("bytecode: function %q has non-function type %s", fname, sig)
+		}
+		if m.Func(fname) != nil {
+			return nil, fmt.Errorf("bytecode: duplicate function %q", fname)
+		}
+		f := m.NewFunc(fname, sig)
+		f.Intrinsic = r.bool()
+		f.External = r.bool()
+		f.SafetyCompiled = r.bool()
+		f.Subsystem = r.str()
+		f.RetPool = r.str()
+		for _, p := range f.Params {
+			p.Nm = r.str()
+			p.Pool = r.str()
+		}
+		nb := r.count()
+		body := fnBody{f: f}
+		for j := 0; j < nb; j++ {
+			bd := blockData{name: r.str()}
+			ni := r.count()
+			for k := 0; k < ni; k++ {
+				id, err := decodeInstrData(r, types)
+				if err != nil {
+					return nil, err
+				}
+				bd.instrs = append(bd.instrs, id)
+			}
+			body.blocks = append(body.blocks, bd)
+		}
+		bodies = append(bodies, body)
+		funcs = append(funcs, f)
+		if r.err != nil {
+			return nil, r.err
+		}
+	}
+
+	// Materialize bodies.
+	for _, body := range bodies {
+		if err := materialize(body.f, body.blocks, types, globals, funcs); err != nil {
+			return nil, fmt.Errorf("@%s: %w", body.f.Nm, err)
+		}
+	}
+	for _, fn := range deferredInits {
+		if err := fn(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Metapools.
+	nmp := r.count()
+	for i := 0; i < nmp; i++ {
+		d := &ir.MetapoolDesc{Name: r.str()}
+		d.TypeHomogeneous = r.bool()
+		d.Complete = r.bool()
+		d.UserSpace = r.bool()
+		d.Pointee = r.str()
+		if r.bool() {
+			d.ElemType = ty()
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		m.Metapools = append(m.Metapools, d)
+	}
+	// Call sets.
+	ncs := r.count()
+	for i := 0; i < ncs; i++ {
+		nn := r.count()
+		set := make([]string, nn)
+		for j := 0; j < nn; j++ {
+			set[j] = r.str()
+		}
+		m.CallSets = append(m.CallSets, set)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return m, nil
+}
+
+// decodeInitDeferred parses an initializer, deferring global/function
+// resolution until all symbols exist.
+func decodeInitDeferred(r *reader, types []*ir.Type, globals *[]*ir.Global, m *ir.Module) (func() (ir.Constant, error), error) {
+	tag := r.u64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	switch tag {
+	case 100, 101:
+		t, terr := typeAt(types, r)
+		if terr != nil {
+			return nil, terr
+		}
+		n := r.count()
+		var subs []func() (ir.Constant, error)
+		for i := 0; i < n; i++ {
+			s, err := decodeInitDeferred(r, types, globals, m)
+			if err != nil {
+				return nil, err
+			}
+			subs = append(subs, s)
+		}
+		isArray := tag == 100
+		return func() (ir.Constant, error) {
+			elems := make([]ir.Constant, len(subs))
+			for i, s := range subs {
+				var err error
+				if elems[i], err = s(); err != nil {
+					return nil, err
+				}
+			}
+			if isArray {
+				return &ir.ConstArray{Typ: t, Elems: elems}, nil
+			}
+			return &ir.ConstStruct{Typ: t, Fields: elems}, nil
+		}, nil
+	case opdConstString:
+		s := r.str()
+		return func() (ir.Constant, error) { return &ir.ConstString{S: s}, nil }, nil
+	case opdConstInt:
+		t, terr := typeAt(types, r)
+		if terr != nil {
+			return nil, terr
+		}
+		v := r.u64()
+		return func() (ir.Constant, error) { return &ir.ConstInt{Typ: t, V: v}, nil }, nil
+	case opdConstFloat:
+		v := r.u64()
+		return func() (ir.Constant, error) { return &ir.ConstFloat{F: math.Float64frombits(v)}, nil }, nil
+	case opdConstNull:
+		t, terr := typeAt(types, r)
+		if terr != nil || !t.IsPointer() {
+			return nil, fmt.Errorf("bytecode: bad null type")
+		}
+		return func() (ir.Constant, error) { return ir.Null(t), nil }, nil
+	case opdConstUndef:
+		t, terr := typeAt(types, r)
+		if terr != nil {
+			return nil, terr
+		}
+		return func() (ir.Constant, error) { return &ir.ConstUndef{Typ: t}, nil }, nil
+	case opdGlobalAddrG:
+		i := int(r.u64())
+		return func() (ir.Constant, error) {
+			if i >= len(*globals) {
+				return nil, fmt.Errorf("bytecode: global index %d out of range", i)
+			}
+			return &ir.GlobalAddr{G: (*globals)[i]}, nil
+		}, nil
+	case opdGlobalAddrF:
+		i := int(r.u64())
+		return func() (ir.Constant, error) {
+			if i >= len(m.Funcs) {
+				return nil, fmt.Errorf("bytecode: function index %d out of range", i)
+			}
+			return &ir.GlobalAddr{G: m.Funcs[i]}, nil
+		}, nil
+	}
+	return nil, fmt.Errorf("bytecode: bad initializer tag %d", tag)
+}
+
+// blockData / instrData are the raw decoded forms before materialization.
+type blockData struct {
+	name   string
+	instrs []instrData
+}
+
+type operandData struct {
+	tag uint64
+	a   uint64
+	b   uint64
+}
+
+type instrData struct {
+	op      ir.Op
+	typ     *ir.Type
+	name    string
+	pool    string
+	pred    ir.Pred
+	rmw     ir.RMWOp
+	allocTy *ir.Type
+	callee  *operandData
+	args    []operandData
+	blocks  []int
+}
+
+func decodeInstrData(r *reader, types []*ir.Type) (instrData, error) {
+	var id instrData
+	id.op = ir.Op(r.u64())
+	ti := int(r.u64())
+	if r.err == nil && ti < len(types) {
+		id.typ = types[ti]
+	}
+	id.name = r.str()
+	id.pool = r.str()
+	id.pred = ir.Pred(r.u64())
+	id.rmw = ir.RMWOp(r.u64())
+	if r.bool() {
+		ati := int(r.u64())
+		if r.err == nil && (ati < 0 || ati >= len(types)) {
+			return id, fmt.Errorf("bytecode: alloc type index out of range")
+		}
+		if r.err == nil {
+			id.allocTy = types[ati]
+		}
+	}
+	if r.bool() {
+		od, err := decodeOperand(r, types)
+		if err != nil {
+			return id, err
+		}
+		id.callee = &od
+	}
+	na := r.count()
+	for i := 0; i < na; i++ {
+		od, err := decodeOperand(r, types)
+		if err != nil {
+			return id, err
+		}
+		id.args = append(id.args, od)
+	}
+	nb := r.count()
+	for i := 0; i < nb; i++ {
+		id.blocks = append(id.blocks, int(r.u64()))
+	}
+	return id, r.err
+}
+
+func decodeOperand(r *reader, types []*ir.Type) (operandData, error) {
+	var od operandData
+	od.tag = r.u64()
+	switch od.tag {
+	case opdConstInt:
+		od.a = r.u64()
+		od.b = r.u64()
+	case opdConstFloat:
+		od.a = r.u64()
+	case opdConstNull, opdConstUndef:
+		od.a = r.u64()
+	case opdGlobal, opdFunc, opdParam, opdInstr, opdGlobalAddrG, opdGlobalAddrF:
+		od.a = r.u64()
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("bytecode: bad operand tag %d", od.tag)
+		}
+	}
+	return od, r.err
+}
+
+// materialize rebuilds a function body from decoded data.
+func materialize(f *ir.Function, blocks []blockData, types []*ir.Type, globals []*ir.Global, funcs []*ir.Function) error {
+	bbs := make([]*ir.BasicBlock, len(blocks))
+	for i, bd := range blocks {
+		bbs[i] = f.NewBlock(bd.name)
+	}
+	// First create all instructions (so instr references resolve), then
+	// wire operands.
+	var all []*ir.Instr
+	for bi, bd := range blocks {
+		for _, id := range bd.instrs {
+			in := &ir.Instr{
+				Op: id.op, Typ: id.typ, Nm: id.name, Pool: id.pool,
+				Pred: id.pred, RMW: id.rmw, AllocTy: id.allocTy,
+			}
+			for _, bidx := range id.blocks {
+				if bidx < 0 || bidx >= len(bbs) {
+					return fmt.Errorf("block index %d out of range", bidx)
+				}
+				in.Blocks = append(in.Blocks, bbs[bidx])
+			}
+			bbs[bi].Append(in)
+			all = append(all, in)
+		}
+	}
+	f.Renumber()
+	resolve := func(od operandData, types []*ir.Type) (ir.Value, error) {
+		tyAt := func(i uint64) (*ir.Type, error) {
+			if i >= uint64(len(types)) {
+				return nil, fmt.Errorf("type index %d out of range", i)
+			}
+			return types[i], nil
+		}
+		switch od.tag {
+		case opdConstInt:
+			t, err := tyAt(od.a)
+			if err != nil {
+				return nil, err
+			}
+			return &ir.ConstInt{Typ: t, V: od.b}, nil
+		case opdConstFloat:
+			return &ir.ConstFloat{F: math.Float64frombits(od.a)}, nil
+		case opdConstNull:
+			t, err := tyAt(od.a)
+			if err != nil || !t.IsPointer() {
+				return nil, fmt.Errorf("bad null type")
+			}
+			return ir.Null(t), nil
+		case opdConstUndef:
+			t, err := tyAt(od.a)
+			if err != nil {
+				return nil, err
+			}
+			return &ir.ConstUndef{Typ: t}, nil
+		case opdGlobal:
+			if int(od.a) >= len(globals) {
+				return nil, fmt.Errorf("global index %d out of range", od.a)
+			}
+			return globals[od.a], nil
+		case opdFunc, opdGlobalAddrF:
+			if int(od.a) >= len(funcs) {
+				return nil, fmt.Errorf("function index %d out of range", od.a)
+			}
+			if od.tag == opdGlobalAddrF {
+				return &ir.GlobalAddr{G: funcs[od.a]}, nil
+			}
+			return funcs[od.a], nil
+		case opdGlobalAddrG:
+			if int(od.a) >= len(globals) {
+				return nil, fmt.Errorf("global index %d out of range", od.a)
+			}
+			return &ir.GlobalAddr{G: globals[od.a]}, nil
+		case opdParam:
+			if int(od.a) >= len(f.Params) {
+				return nil, fmt.Errorf("param index %d out of range", od.a)
+			}
+			return f.Params[od.a], nil
+		case opdInstr:
+			if int(od.a) >= len(all) {
+				return nil, fmt.Errorf("instr index %d out of range", od.a)
+			}
+			return all[od.a], nil
+		}
+		return nil, fmt.Errorf("bad operand tag %d", od.tag)
+	}
+	idx := 0
+	for _, bd := range blocks {
+		for _, id := range bd.instrs {
+			in := all[idx]
+			idx++
+			if id.callee != nil {
+				v, err := resolve(*id.callee, types)
+				if err != nil {
+					return err
+				}
+				in.Callee = v
+			}
+			for _, od := range id.args {
+				v, err := resolve(od, types)
+				if err != nil {
+					return err
+				}
+				in.Args = append(in.Args, v)
+			}
+		}
+	}
+	return nil
+}

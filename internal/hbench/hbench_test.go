@@ -1,0 +1,44 @@
+package hbench
+
+import (
+	"testing"
+
+	"sva/internal/ir"
+	"sva/internal/vm"
+)
+
+func TestBenchModuleVerifies(t *testing.T) {
+	u := BuildBenchModule()
+	if errs := ir.VerifyModule(u.M); len(errs) != 0 {
+		t.Fatalf("%v", errs[0])
+	}
+}
+
+// TestAllProgramsRun exercises every microbenchmark once under the native
+// and safety-checked kernels with tiny iteration counts.
+func TestAllProgramsRun(t *testing.T) {
+	r, err := NewRunner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []vm.Config{vm.ConfigNative, vm.ConfigSafe} {
+		for _, op := range LatencyOps {
+			if _, err := r.Measure(cfg, op.Prog, 3); err != nil {
+				t.Errorf("%s under %v: %v", op.Prog, cfg, err)
+			}
+		}
+		for _, op := range BandwidthOps {
+			if err := r.PrepareBandwidth(cfg, op.Size); err != nil {
+				t.Fatalf("prepare %s under %v: %v", op.Name, cfg, err)
+			}
+			if _, err := r.Measure(cfg, op.Prog, 1); err != nil {
+				t.Errorf("%s under %v: %v", op.Name, cfg, err)
+			}
+		}
+		if cfg == vm.ConfigSafe {
+			if n := len(r.Systems[cfg].VM.Violations); n != 0 {
+				t.Errorf("benchmarks raised %d violations: %v", n, r.Systems[cfg].VM.Violations[0])
+			}
+		}
+	}
+}

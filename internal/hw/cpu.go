@@ -1,0 +1,110 @@
+package hw
+
+import "encoding/binary"
+
+// NumIntRegs is the number of general-purpose integer registers in the
+// simulated processor's *control state* (paper §3.3: control state =
+// control registers + general-purpose registers).
+const NumIntRegs = 16
+
+// NumFPRegs is the number of floating-point registers.
+const NumFPRegs = 8
+
+// Privilege levels.
+const (
+	PrivKernel = 0
+	PrivUser   = 3
+)
+
+// IntegerState is the processor's integer ("control") state: the part that
+// llva.save.integer / llva.load.integer move to and from memory.
+type IntegerState struct {
+	Regs  [NumIntRegs]uint64
+	PC    uint64
+	SP    uint64
+	Flags uint64
+	Priv  uint8
+}
+
+// IntegerStateSize is the size in bytes of a serialized IntegerState.
+const IntegerStateSize = (NumIntRegs + 3) * 8
+
+// Encode serializes the state into buf (little-endian).
+func (s *IntegerState) Encode(buf []byte) {
+	off := 0
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[off:], v)
+		off += 8
+	}
+	for _, r := range s.Regs {
+		put(r)
+	}
+	put(s.PC)
+	put(s.SP)
+	put(s.Flags<<8 | uint64(s.Priv))
+}
+
+// Decode deserializes the state from buf.
+func (s *IntegerState) Decode(buf []byte) {
+	off := 0
+	get := func() uint64 {
+		v := binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+		return v
+	}
+	for i := range s.Regs {
+		s.Regs[i] = get()
+	}
+	s.PC = get()
+	s.SP = get()
+	fp := get()
+	s.Flags = fp >> 8
+	s.Priv = uint8(fp & 0xFF)
+}
+
+// FPState is the floating-point state, saved lazily (paper §3.3: "it can
+// be saved lazily so that the critical paths need not be lengthened").
+type FPState struct {
+	Regs [NumFPRegs]uint64 // IEEE-754 bit patterns
+	// Dirty is set when FP registers change after the last load; an
+	// llva.save.fp with always=0 skips the save when clean.
+	Dirty bool
+}
+
+// FPStateSize is the size in bytes of a serialized FPState.
+const FPStateSize = NumFPRegs * 8
+
+// Encode serializes the FP registers into buf.
+func (s *FPState) Encode(buf []byte) {
+	for i, r := range s.Regs {
+		binary.LittleEndian.PutUint64(buf[i*8:], r)
+	}
+}
+
+// Decode deserializes the FP registers from buf.
+func (s *FPState) Decode(buf []byte) {
+	for i := range s.Regs {
+		s.Regs[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	}
+}
+
+// CPU is the simulated processor: live integer and FP state plus the
+// privilege level the guest currently runs at.
+type CPU struct {
+	Int IntegerState
+	FP  FPState
+
+	// Cycles approximates elapsed processor time; the VM charges one unit
+	// per interpreted instruction and extra units for traps.
+	Cycles uint64
+}
+
+// NewCPU returns a CPU in kernel mode with zeroed state.
+func NewCPU() *CPU {
+	c := &CPU{}
+	c.Int.Priv = PrivKernel
+	return c
+}
+
+// InKernelMode reports whether the CPU runs at the kernel privilege level.
+func (c *CPU) InKernelMode() bool { return c.Int.Priv == PrivKernel }

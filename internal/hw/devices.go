@@ -1,0 +1,243 @@
+package hw
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Well-known interrupt vectors of the simulated platform.
+const (
+	VecTimer   = 32
+	VecConsole = 33
+	VecDisk    = 34
+	VecNIC     = 35
+	VecSyscall = 0x80
+)
+
+// NumVectors is the size of the interrupt vector space.
+const NumVectors = 256
+
+// InterruptController queues raised vectors and delivers them when
+// interrupts are enabled.  Handlers themselves live in the SVM/kernel; the
+// controller only tracks pending state.
+type InterruptController struct {
+	pending []int
+	enabled bool
+
+	Raised, Delivered uint64
+}
+
+// NewInterruptController returns a controller with interrupts disabled
+// (as at boot).
+func NewInterruptController() *InterruptController { return &InterruptController{} }
+
+// Enable turns interrupt delivery on or off, returning the previous state
+// (the primitive beneath sti/cli).
+func (ic *InterruptController) Enable(on bool) bool {
+	prev := ic.enabled
+	ic.enabled = on
+	return prev
+}
+
+// Enabled reports whether interrupts are deliverable.
+func (ic *InterruptController) Enabled() bool { return ic.enabled }
+
+// Raise queues vector for delivery.
+func (ic *InterruptController) Raise(vector int) {
+	if vector < 0 || vector >= NumVectors {
+		panic(fmt.Sprintf("hw: bad interrupt vector %d", vector))
+	}
+	ic.pending = append(ic.pending, vector)
+	ic.Raised++
+}
+
+// Next dequeues the next deliverable vector, or -1 if none (or disabled).
+func (ic *InterruptController) Next() int {
+	if !ic.enabled || len(ic.pending) == 0 {
+		return -1
+	}
+	v := ic.pending[0]
+	ic.pending = ic.pending[1:]
+	ic.Delivered++
+	return v
+}
+
+// Pending returns the queued vector count.
+func (ic *InterruptController) Pending() int { return len(ic.pending) }
+
+// Timer raises VecTimer every Interval cycles when armed.
+type Timer struct {
+	Interval uint64
+	next     uint64
+	armed    bool
+	Ticks    uint64
+}
+
+// Arm programs the timer to fire every interval cycles, starting from now.
+func (t *Timer) Arm(now, interval uint64) {
+	t.Interval = interval
+	t.next = now + interval
+	t.armed = interval > 0
+}
+
+// Advance is called with the current cycle count; it raises timer
+// interrupts for every elapsed interval.
+func (t *Timer) Advance(now uint64, ic *InterruptController) {
+	if !t.armed {
+		return
+	}
+	for now >= t.next {
+		ic.Raise(VecTimer)
+		t.Ticks++
+		t.next += t.Interval
+	}
+}
+
+// Console is a character device: output accumulates in a buffer, input is
+// an injected queue (tests and examples feed it).
+type Console struct {
+	out bytes.Buffer
+	in  []byte
+}
+
+// WriteByte emits one byte to the console output.
+func (c *Console) WriteByte(b byte) error { return c.out.WriteByte(b) }
+
+// Output returns everything written so far.
+func (c *Console) Output() string { return c.out.String() }
+
+// ResetOutput clears the output buffer.
+func (c *Console) ResetOutput() { c.out.Reset() }
+
+// InjectInput appends bytes to the input queue.
+func (c *Console) InjectInput(p []byte) { c.in = append(c.in, p...) }
+
+// ReadInput pops one input byte; ok is false when the queue is empty.
+func (c *Console) ReadInput() (byte, bool) {
+	if len(c.in) == 0 {
+		return 0, false
+	}
+	b := c.in[0]
+	c.in = c.in[1:]
+	return b, true
+}
+
+// SectorSize is the block device's transfer unit.
+const SectorSize = 512
+
+// BlockDevice is an in-memory disk addressed in 512-byte sectors.
+type BlockDevice struct {
+	data   []byte
+	Reads  uint64
+	Writes uint64
+	// SeekCost simulates per-operation latency in cycles, charged by the VM.
+	SeekCost uint64
+}
+
+// NewBlockDevice creates a disk with the given sector count.
+func NewBlockDevice(sectors int) *BlockDevice {
+	return &BlockDevice{data: make([]byte, sectors*SectorSize), SeekCost: 50}
+}
+
+// NumSectors returns the disk capacity in sectors.
+func (d *BlockDevice) NumSectors() int { return len(d.data) / SectorSize }
+
+// ReadSector copies sector n into buf (must be SectorSize bytes).
+func (d *BlockDevice) ReadSector(n int, buf []byte) error {
+	if n < 0 || (n+1)*SectorSize > len(d.data) {
+		return fmt.Errorf("blockdev: sector %d out of range", n)
+	}
+	if len(buf) != SectorSize {
+		return fmt.Errorf("blockdev: buffer must be one sector")
+	}
+	copy(buf, d.data[n*SectorSize:])
+	d.Reads++
+	return nil
+}
+
+// WriteSector copies buf (one sector) into sector n.
+func (d *BlockDevice) WriteSector(n int, buf []byte) error {
+	if n < 0 || (n+1)*SectorSize > len(d.data) {
+		return fmt.Errorf("blockdev: sector %d out of range", n)
+	}
+	if len(buf) != SectorSize {
+		return fmt.Errorf("blockdev: buffer must be one sector")
+	}
+	copy(d.data[n*SectorSize:], buf)
+	d.Writes++
+	return nil
+}
+
+// LoopbackNIC is a network interface whose transmit queue feeds its own
+// receive queue (the isolated-network stand-in for the paper's 100Mb
+// Ethernet test network).
+type LoopbackNIC struct {
+	rx       [][]byte
+	TxFrames uint64
+	RxFrames uint64
+	TxBytes  uint64
+	RxBytes  uint64
+	// MTU bounds frame size.
+	MTU int
+	// PerFrameCost simulates wire+DMA latency in cycles per frame.
+	PerFrameCost uint64
+}
+
+// NewLoopbackNIC returns a NIC with a 1500-byte MTU.
+func NewLoopbackNIC() *LoopbackNIC {
+	return &LoopbackNIC{MTU: 1500, PerFrameCost: 20}
+}
+
+// Send transmits one frame; it appears on the receive queue.
+func (n *LoopbackNIC) Send(frame []byte) error {
+	if len(frame) == 0 || len(frame) > n.MTU {
+		return fmt.Errorf("nic: bad frame size %d", len(frame))
+	}
+	cp := append([]byte(nil), frame...)
+	n.rx = append(n.rx, cp)
+	n.TxFrames++
+	n.TxBytes += uint64(len(frame))
+	return nil
+}
+
+// Recv pops the next received frame (nil when the queue is empty).
+func (n *LoopbackNIC) Recv() []byte {
+	if len(n.rx) == 0 {
+		return nil
+	}
+	f := n.rx[0]
+	n.rx = n.rx[1:]
+	n.RxFrames++
+	n.RxBytes += uint64(len(f))
+	return f
+}
+
+// PendingFrames returns the receive-queue depth.
+func (n *LoopbackNIC) PendingFrames() int { return len(n.rx) }
+
+// Machine bundles the full simulated platform.
+type Machine struct {
+	Phys    *PhysMemory
+	CPU     *CPU
+	MMU     *MMU
+	Intr    *InterruptController
+	Timer   *Timer
+	Console *Console
+	Disk    *BlockDevice
+	NIC     *LoopbackNIC
+}
+
+// NewMachine assembles a platform with the given physical memory limit and
+// disk size.
+func NewMachine(memLimit uint64, diskSectors int) *Machine {
+	return &Machine{
+		Phys:    NewPhysMemory(memLimit),
+		CPU:     NewCPU(),
+		MMU:     NewMMU(),
+		Intr:    NewInterruptController(),
+		Timer:   &Timer{},
+		Console: &Console{},
+		Disk:    NewBlockDevice(diskSectors),
+		NIC:     NewLoopbackNIC(),
+	}
+}

@@ -1,0 +1,150 @@
+// Package hw simulates the hardware substrate beneath the Secure Virtual
+// Machine: physical memory, processor state (integer + floating point),
+// a page-table MMU, an interrupt controller, a timer, and simple devices
+// (console, block device, loopback NIC).
+//
+// The SVA paper runs on a real Pentium III; this package is the synthetic
+// equivalent (see DESIGN.md §2).  All privileged state is reachable only
+// through these APIs, which internal/svaos wraps as the SVA-OS operations —
+// so the guest kernel manipulates hardware exactly the way the paper
+// prescribes: through the virtual instruction set, never directly.
+package hw
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the physical/virtual page size in bytes.
+const PageSize = 4096
+
+// PhysMemory is a sparse, paged physical memory.  Pages materialize
+// (zeroed) on first touch, so a 64-bit address space costs only what the
+// guest actually uses.
+type PhysMemory struct {
+	pages map[uint64]*[PageSize]byte
+	// Limit, if non-zero, bounds the highest addressable byte.
+	Limit uint64
+}
+
+// NewPhysMemory returns a memory with the given size limit (0 = unlimited).
+func NewPhysMemory(limit uint64) *PhysMemory {
+	return &PhysMemory{pages: make(map[uint64]*[PageSize]byte), Limit: limit}
+}
+
+// MemFault reports an out-of-range physical access.
+type MemFault struct {
+	Addr uint64
+	Size int
+}
+
+func (f *MemFault) Error() string {
+	return fmt.Sprintf("physical memory fault at %#x (size %d)", f.Addr, f.Size)
+}
+
+func (m *PhysMemory) page(addr uint64) *[PageSize]byte {
+	idx := addr / PageSize
+	p := m.pages[idx]
+	if p == nil {
+		p = new([PageSize]byte)
+		m.pages[idx] = p
+	}
+	return p
+}
+
+func (m *PhysMemory) check(addr uint64, n int) error {
+	if n < 0 {
+		return &MemFault{Addr: addr, Size: n}
+	}
+	end := addr + uint64(n)
+	if end < addr {
+		return &MemFault{Addr: addr, Size: n}
+	}
+	if m.Limit != 0 && end > m.Limit {
+		return &MemFault{Addr: addr, Size: n}
+	}
+	return nil
+}
+
+// ReadAt copies len(buf) bytes starting at addr into buf.
+func (m *PhysMemory) ReadAt(addr uint64, buf []byte) error {
+	if err := m.check(addr, len(buf)); err != nil {
+		return err
+	}
+	for len(buf) > 0 {
+		p := m.page(addr)
+		off := addr % PageSize
+		n := copy(buf, p[off:])
+		buf = buf[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// WriteAt copies buf into memory starting at addr.
+func (m *PhysMemory) WriteAt(addr uint64, buf []byte) error {
+	if err := m.check(addr, len(buf)); err != nil {
+		return err
+	}
+	for len(buf) > 0 {
+		p := m.page(addr)
+		off := addr % PageSize
+		n := copy(p[off:], buf)
+		buf = buf[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// Load reads a little-endian unsigned integer of the given byte size.
+func (m *PhysMemory) Load(addr uint64, size int) (uint64, error) {
+	var buf [8]byte
+	if size != 1 && size != 2 && size != 4 && size != 8 {
+		return 0, &MemFault{Addr: addr, Size: size}
+	}
+	if err := m.ReadAt(addr, buf[:size]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]) & sizeMask(size), nil
+}
+
+// Store writes a little-endian unsigned integer of the given byte size.
+func (m *PhysMemory) Store(addr uint64, v uint64, size int) error {
+	var buf [8]byte
+	if size != 1 && size != 2 && size != 4 && size != 8 {
+		return &MemFault{Addr: addr, Size: size}
+	}
+	binary.LittleEndian.PutUint64(buf[:], v)
+	return m.WriteAt(addr, buf[:size])
+}
+
+func sizeMask(size int) uint64 {
+	if size >= 8 {
+		return ^uint64(0)
+	}
+	return 1<<(uint(size)*8) - 1
+}
+
+// Zero clears n bytes starting at addr.
+func (m *PhysMemory) Zero(addr uint64, n uint64) error {
+	if err := m.check(addr, int(n)); err != nil {
+		return err
+	}
+	for n > 0 {
+		p := m.page(addr)
+		off := addr % PageSize
+		c := PageSize - off
+		if c > n {
+			c = n
+		}
+		for i := uint64(0); i < c; i++ {
+			p[off+i] = 0
+		}
+		addr += c
+		n -= c
+	}
+	return nil
+}
+
+// PagesTouched returns how many physical pages have materialized.
+func (m *PhysMemory) PagesTouched() int { return len(m.pages) }

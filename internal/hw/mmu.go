@@ -1,0 +1,140 @@
+package hw
+
+import "fmt"
+
+// Page-table entry permission bits.
+const (
+	PermRead  = 1 << 0
+	PermWrite = 1 << 1
+	PermExec  = 1 << 2
+	PermUser  = 1 << 3 // accessible from user mode
+)
+
+// PTE is one page-table entry.
+type PTE struct {
+	Phys  uint64 // physical page base (page-aligned)
+	Perms int
+}
+
+// PageFault reports a failed translation.
+type PageFault struct {
+	Vaddr  uint64
+	Access int  // the PermRead/Write/Exec that was attempted
+	User   bool // attempted from user mode
+	Reason string
+}
+
+func (f *PageFault) Error() string {
+	return fmt.Sprintf("page fault at %#x (access=%#x user=%v): %s", f.Vaddr, f.Access, f.User, f.Reason)
+}
+
+// MMU is a single-level (flat) page-table MMU with a translation cache.
+// The SVM mediates all updates (paper §3.3: "the OS needs mechanisms to
+// manipulate privileged hardware resources such as the page table...";
+// §3.4: "Since the SVM mediates all memory mappings, it can ensure that
+// the memory pages given to it by the OS kernel are not accessible from
+// the kernel").
+type MMU struct {
+	table map[uint64]PTE // keyed by virtual page number
+	tlb   map[uint64]PTE
+	// Reserved pages may not be remapped by the guest: the SVM's own
+	// bootstrap memory (§3.4).
+	reserved map[uint64]bool
+
+	Maps, Unmaps, Faults, TLBHits, TLBMisses uint64
+}
+
+// NewMMU returns an empty MMU.
+func NewMMU() *MMU {
+	return &MMU{table: map[uint64]PTE{}, tlb: map[uint64]PTE{}, reserved: map[uint64]bool{}}
+}
+
+func vpn(addr uint64) uint64 { return addr / PageSize }
+
+// Map installs a translation for the page containing vaddr.
+func (m *MMU) Map(vaddr, paddr uint64, perms int) error {
+	v := vpn(vaddr)
+	if m.reserved[v] {
+		return fmt.Errorf("mmu: page %#x is reserved by the SVM", vaddr&^(PageSize-1))
+	}
+	m.table[v] = PTE{Phys: paddr &^ (PageSize - 1), Perms: perms}
+	delete(m.tlb, v)
+	m.Maps++
+	return nil
+}
+
+// Unmap removes the translation for the page containing vaddr.
+func (m *MMU) Unmap(vaddr uint64) error {
+	v := vpn(vaddr)
+	if m.reserved[v] {
+		return fmt.Errorf("mmu: page %#x is reserved by the SVM", vaddr&^(PageSize-1))
+	}
+	delete(m.table, v)
+	delete(m.tlb, v)
+	m.Unmaps++
+	return nil
+}
+
+// Protect changes the permissions of an existing mapping.
+func (m *MMU) Protect(vaddr uint64, perms int) error {
+	v := vpn(vaddr)
+	pte, ok := m.table[v]
+	if !ok {
+		return fmt.Errorf("mmu: protect of unmapped page %#x", vaddr)
+	}
+	if m.reserved[v] {
+		return fmt.Errorf("mmu: page %#x is reserved by the SVM", vaddr&^(PageSize-1))
+	}
+	pte.Perms = perms
+	m.table[v] = pte
+	delete(m.tlb, v)
+	return nil
+}
+
+// Reserve marks the page containing vaddr as SVM-private: mapped with the
+// given physical page, inaccessible to further guest remapping.
+func (m *MMU) Reserve(vaddr, paddr uint64, perms int) {
+	v := vpn(vaddr)
+	m.table[v] = PTE{Phys: paddr &^ (PageSize - 1), Perms: perms}
+	m.reserved[v] = true
+	delete(m.tlb, v)
+}
+
+// Translate maps a virtual address to a physical address, checking the
+// access kind and privilege.
+func (m *MMU) Translate(vaddr uint64, access int, user bool) (uint64, error) {
+	v := vpn(vaddr)
+	pte, ok := m.tlb[v]
+	if ok {
+		m.TLBHits++
+	} else {
+		m.TLBMisses++
+		pte, ok = m.table[v]
+		if !ok {
+			m.Faults++
+			return 0, &PageFault{Vaddr: vaddr, Access: access, User: user, Reason: "not mapped"}
+		}
+		m.tlb[v] = pte
+	}
+	if user && pte.Perms&PermUser == 0 {
+		m.Faults++
+		return 0, &PageFault{Vaddr: vaddr, Access: access, User: user, Reason: "supervisor page"}
+	}
+	if pte.Perms&access != access {
+		m.Faults++
+		return 0, &PageFault{Vaddr: vaddr, Access: access, User: user, Reason: "permission denied"}
+	}
+	return pte.Phys | (vaddr & (PageSize - 1)), nil
+}
+
+// Mapped reports whether the page containing vaddr has a translation.
+func (m *MMU) Mapped(vaddr uint64) bool {
+	_, ok := m.table[vpn(vaddr)]
+	return ok
+}
+
+// FlushTLB clears the translation cache.
+func (m *MMU) FlushTLB() { m.tlb = map[uint64]PTE{} }
+
+// NumMappings returns the installed translation count.
+func (m *MMU) NumMappings() int { return len(m.table) }

@@ -1,0 +1,463 @@
+package ir
+
+import "fmt"
+
+// Builder constructs SVA IR with structured control-flow helpers, so guest
+// code (the kernel, user programs, tests) reads like the C it stands in
+// for.  A Builder maintains an insertion point (current block) within one
+// function at a time.
+type Builder struct {
+	Mod  *Module
+	Fn   *Function
+	Cur  *BasicBlock
+	lbl  int
+	loop []*loopCtx // innermost last
+}
+
+type loopCtx struct {
+	cont *BasicBlock // target of Continue
+	brk  *BasicBlock // target of Break
+}
+
+// NewBuilder returns a builder for module m.
+func NewBuilder(m *Module) *Builder { return &Builder{Mod: m} }
+
+// NewFunc creates a function in the module and positions the builder at its
+// fresh entry block.  Parameter names are applied in order.
+func (b *Builder) NewFunc(name string, sig *Type, paramNames ...string) *Function {
+	f := b.Mod.NewFunc(name, sig)
+	for i, pn := range paramNames {
+		if i < len(f.Params) {
+			f.Params[i].Nm = pn
+		}
+	}
+	b.SetFunc(f)
+	return f
+}
+
+// SetFunc positions the builder at f, creating an entry block if needed.
+func (b *Builder) SetFunc(f *Function) {
+	b.Fn = f
+	b.loop = nil
+	if len(f.Blocks) == 0 {
+		f.NewBlock("entry")
+	}
+	b.Cur = f.Blocks[len(f.Blocks)-1]
+}
+
+// SetBlock moves the insertion point to block bb.
+func (b *Builder) SetBlock(bb *BasicBlock) { b.Cur = bb }
+
+// Block creates a new (detached from control flow) block in the current
+// function.
+func (b *Builder) Block(hint string) *BasicBlock {
+	b.lbl++
+	return b.Fn.NewBlock(fmt.Sprintf("%s.%d", hint, b.lbl))
+}
+
+// Param returns the i'th parameter of the current function.
+func (b *Builder) Param(i int) *Param { return b.Fn.Params[i] }
+
+func (b *Builder) emit(in *Instr) *Instr {
+	if b.Cur == nil {
+		panic("ir: builder has no insertion block")
+	}
+	if b.Cur.Terminated() {
+		panic(fmt.Sprintf("ir: emitting %s after terminator in %s/%s", in.Op, b.Fn.Nm, b.Cur.Nm))
+	}
+	return b.Cur.Append(in)
+}
+
+// --- Arithmetic / logic -------------------------------------------------
+
+func (b *Builder) binop(op Op, x, y Value) *Instr {
+	if x.Type() != y.Type() {
+		panic(fmt.Sprintf("ir: %s operand types differ: %s vs %s (in @%s)", op, x.Type(), y.Type(), b.Fn.Nm))
+	}
+	return b.emit(&Instr{Op: op, Typ: x.Type(), Args: []Value{x, y}})
+}
+
+func (b *Builder) Add(x, y Value) *Instr  { return b.binop(OpAdd, x, y) }
+func (b *Builder) Sub(x, y Value) *Instr  { return b.binop(OpSub, x, y) }
+func (b *Builder) Mul(x, y Value) *Instr  { return b.binop(OpMul, x, y) }
+func (b *Builder) UDiv(x, y Value) *Instr { return b.binop(OpUDiv, x, y) }
+func (b *Builder) SDiv(x, y Value) *Instr { return b.binop(OpSDiv, x, y) }
+func (b *Builder) URem(x, y Value) *Instr { return b.binop(OpURem, x, y) }
+func (b *Builder) SRem(x, y Value) *Instr { return b.binop(OpSRem, x, y) }
+func (b *Builder) And(x, y Value) *Instr  { return b.binop(OpAnd, x, y) }
+func (b *Builder) Or(x, y Value) *Instr   { return b.binop(OpOr, x, y) }
+func (b *Builder) Xor(x, y Value) *Instr  { return b.binop(OpXor, x, y) }
+func (b *Builder) Shl(x, y Value) *Instr  { return b.binop(OpShl, x, y) }
+func (b *Builder) LShr(x, y Value) *Instr { return b.binop(OpLShr, x, y) }
+func (b *Builder) AShr(x, y Value) *Instr { return b.binop(OpAShr, x, y) }
+func (b *Builder) FAdd(x, y Value) *Instr { return b.binop(OpFAdd, x, y) }
+func (b *Builder) FSub(x, y Value) *Instr { return b.binop(OpFSub, x, y) }
+func (b *Builder) FMul(x, y Value) *Instr { return b.binop(OpFMul, x, y) }
+func (b *Builder) FDiv(x, y Value) *Instr { return b.binop(OpFDiv, x, y) }
+
+// ICmp emits an integer/pointer comparison yielding i1.
+func (b *Builder) ICmp(p Pred, x, y Value) *Instr {
+	if x.Type() != y.Type() {
+		panic(fmt.Sprintf("ir: icmp operand types differ: %s vs %s (in @%s)", x.Type(), y.Type(), b.Fn.Nm))
+	}
+	return b.emit(&Instr{Op: OpICmp, Typ: I1, Pred: p, Args: []Value{x, y}})
+}
+
+// FCmp emits a float comparison yielding i1 (ordered predicates only).
+func (b *Builder) FCmp(p Pred, x, y Value) *Instr {
+	return b.emit(&Instr{Op: OpFCmp, Typ: I1, Pred: p, Args: []Value{x, y}})
+}
+
+// --- Control flow -------------------------------------------------------
+
+// Br emits an unconditional branch.
+func (b *Builder) Br(dst *BasicBlock) *Instr {
+	return b.emit(&Instr{Op: OpBr, Typ: Void, Blocks: []*BasicBlock{dst}})
+}
+
+// CondBr emits a conditional branch.
+func (b *Builder) CondBr(cond Value, then, els *BasicBlock) *Instr {
+	return b.emit(&Instr{Op: OpCondBr, Typ: Void, Args: []Value{cond}, Blocks: []*BasicBlock{then, els}})
+}
+
+// Switch emits a multiway branch: v is compared against each case constant.
+func (b *Builder) Switch(v Value, def *BasicBlock, cases []*ConstInt, dests []*BasicBlock) *Instr {
+	if len(cases) != len(dests) {
+		panic("ir: switch case/dest count mismatch")
+	}
+	args := []Value{v}
+	for _, c := range cases {
+		args = append(args, c)
+	}
+	blocks := append([]*BasicBlock{def}, dests...)
+	return b.emit(&Instr{Op: OpSwitch, Typ: Void, Args: args, Blocks: blocks})
+}
+
+// Ret emits a return; v may be nil for void functions.
+func (b *Builder) Ret(v Value) *Instr {
+	in := &Instr{Op: OpRet, Typ: Void}
+	if v != nil {
+		in.Args = []Value{v}
+	}
+	return b.emit(in)
+}
+
+// Unreachable emits an unreachable marker.
+func (b *Builder) Unreachable() *Instr {
+	return b.emit(&Instr{Op: OpUnreachable, Typ: Void})
+}
+
+// Phi emits an SSA merge of the given (value, predecessor) pairs.
+func (b *Builder) Phi(t *Type, vals []Value, preds []*BasicBlock) *Instr {
+	if len(vals) != len(preds) {
+		panic("ir: phi value/pred count mismatch")
+	}
+	return b.emit(&Instr{Op: OpPhi, Typ: t, Args: vals, Blocks: preds})
+}
+
+// --- Memory -------------------------------------------------------------
+
+// Alloca emits a stack allocation of one element of type t, yielding t*.
+func (b *Builder) Alloca(t *Type, name string) *Instr {
+	return b.emit(&Instr{Op: OpAlloca, Typ: PointerTo(t), Nm: name, AllocTy: t})
+}
+
+// AllocaN emits a stack allocation of n elements of type t.
+func (b *Builder) AllocaN(t *Type, n Value, name string) *Instr {
+	return b.emit(&Instr{Op: OpAlloca, Typ: PointerTo(t), Nm: name, AllocTy: t, Args: []Value{n}})
+}
+
+// Load emits a load through ptr, yielding the pointee.
+func (b *Builder) Load(ptr Value) *Instr {
+	pt := ptr.Type()
+	if !pt.IsPointer() {
+		panic("ir: load through non-pointer " + pt.String())
+	}
+	if !pt.Elem().IsFirstClass() {
+		panic("ir: load of non-first-class type " + pt.Elem().String())
+	}
+	return b.emit(&Instr{Op: OpLoad, Typ: pt.Elem(), Args: []Value{ptr}})
+}
+
+// Store emits a store of v through ptr.
+func (b *Builder) Store(v, ptr Value) *Instr {
+	pt := ptr.Type()
+	if !pt.IsPointer() {
+		panic("ir: store through non-pointer " + pt.String())
+	}
+	if pt.Elem() != v.Type() {
+		panic(fmt.Sprintf("ir: store type mismatch: %s into %s (in @%s)", v.Type(), pt, b.Fn.Nm))
+	}
+	return b.emit(&Instr{Op: OpStore, Typ: Void, Args: []Value{v, ptr}})
+}
+
+// GEP emits a typed indexing computation (getelementptr).  The first index
+// steps over the base pointer (array arithmetic); subsequent indices step
+// into aggregate fields/elements.  Result type follows the index chain.
+func (b *Builder) GEP(base Value, indices ...Value) *Instr {
+	rt, err := GEPResultType(base.Type(), indices)
+	if err != nil {
+		panic(fmt.Sprintf("ir: %v (in @%s)", err, b.Fn.Nm))
+	}
+	return b.emit(&Instr{Op: OpGEP, Typ: rt, Args: append([]Value{base}, indices...)})
+}
+
+// FieldAddr is GEP(p, 0, field) — the address of a struct field.
+func (b *Builder) FieldAddr(p Value, field int) *Instr {
+	return b.GEP(p, NewInt(I32, 0), NewInt(I32, int64(field)))
+}
+
+// Index is GEP(p, 0, i) — the address of element i of an in-memory array.
+func (b *Builder) Index(p Value, i Value) *Instr {
+	return b.GEP(p, NewInt(I32, 0), i)
+}
+
+// PtrAdd is GEP(p, i): pointer arithmetic over the pointee type.
+func (b *Builder) PtrAdd(p Value, i Value) *Instr { return b.GEP(p, i) }
+
+// GEPResultType computes the result type of a GEP over baseTy with the
+// given index chain.
+func GEPResultType(baseTy *Type, indices []Value) (*Type, error) {
+	if !baseTy.IsPointer() {
+		return nil, fmt.Errorf("getelementptr base is not a pointer: %s", baseTy)
+	}
+	if len(indices) == 0 {
+		return nil, fmt.Errorf("getelementptr requires at least one index")
+	}
+	cur := baseTy.Elem()
+	for k, idx := range indices {
+		if k == 0 {
+			if !idx.Type().IsInt() {
+				return nil, fmt.Errorf("getelementptr index 0 must be an integer")
+			}
+			continue // first index does pointer arithmetic, type unchanged
+		}
+		switch cur.Kind() {
+		case ArrayKind:
+			if !idx.Type().IsInt() {
+				return nil, fmt.Errorf("array index must be an integer")
+			}
+			cur = cur.Elem()
+		case StructKind:
+			ci, ok := idx.(*ConstInt)
+			if !ok {
+				return nil, fmt.Errorf("struct index must be a constant")
+			}
+			fi := int(ci.SignedValue())
+			if fi < 0 || fi >= cur.NumFields() {
+				return nil, fmt.Errorf("struct index %d out of range for %s", fi, cur)
+			}
+			cur = cur.Field(fi)
+		default:
+			return nil, fmt.Errorf("cannot index into %s", cur)
+		}
+	}
+	return PointerTo(cur), nil
+}
+
+// --- Calls --------------------------------------------------------------
+
+// Call emits a call; callee is a *Function or a function-pointer value.
+func (b *Builder) Call(callee Value, args ...Value) *Instr {
+	sig := calleeSig(callee)
+	params := sig.Params()
+	if !sig.Variadic() && len(args) != len(params) {
+		panic(fmt.Sprintf("ir: call to %s with %d args, want %d (in @%s)", callee.Ident(), len(args), len(params), b.Fn.Nm))
+	}
+	for i := 0; i < len(params) && i < len(args); i++ {
+		if args[i].Type() != params[i] {
+			panic(fmt.Sprintf("ir: call to %s arg %d type %s, want %s (in @%s)", callee.Ident(), i, args[i].Type(), params[i], b.Fn.Nm))
+		}
+	}
+	return b.emit(&Instr{Op: OpCall, Typ: sig.Ret(), Callee: callee, Args: args})
+}
+
+func calleeSig(callee Value) *Type {
+	if f, ok := callee.(*Function); ok {
+		return f.Sig
+	}
+	t := callee.Type()
+	if t.IsPointer() && t.Elem().IsFunc() {
+		return t.Elem()
+	}
+	panic("ir: call of non-function value of type " + t.String())
+}
+
+// --- Casts --------------------------------------------------------------
+
+func (b *Builder) cast(op Op, v Value, to *Type) *Instr {
+	return b.emit(&Instr{Op: op, Typ: to, Args: []Value{v}})
+}
+
+func (b *Builder) Trunc(v Value, to *Type) *Instr    { return b.cast(OpTrunc, v, to) }
+func (b *Builder) ZExt(v Value, to *Type) *Instr     { return b.cast(OpZExt, v, to) }
+func (b *Builder) SExt(v Value, to *Type) *Instr     { return b.cast(OpSExt, v, to) }
+func (b *Builder) PtrToInt(v Value, to *Type) *Instr { return b.cast(OpPtrToInt, v, to) }
+func (b *Builder) IntToPtr(v Value, to *Type) *Instr { return b.cast(OpIntToPtr, v, to) }
+func (b *Builder) Bitcast(v Value, to *Type) *Instr  { return b.cast(OpBitcast, v, to) }
+func (b *Builder) SIToFP(v Value) *Instr             { return b.cast(OpSIToFP, v, F64) }
+func (b *Builder) FPToSI(v Value, to *Type) *Instr   { return b.cast(OpFPToSI, v, to) }
+
+// ZExtOrTrunc widens or narrows an integer to the target width.
+func (b *Builder) ZExtOrTrunc(v Value, to *Type) Value {
+	if v.Type() == to {
+		return v
+	}
+	if v.Type().Bits() < to.Bits() {
+		return b.ZExt(v, to)
+	}
+	return b.Trunc(v, to)
+}
+
+// Select emits cond ? x : y.
+func (b *Builder) Select(cond, x, y Value) *Instr {
+	if x.Type() != y.Type() {
+		panic("ir: select arm types differ")
+	}
+	return b.emit(&Instr{Op: OpSelect, Typ: x.Type(), Args: []Value{cond, x, y}})
+}
+
+// --- Atomics ------------------------------------------------------------
+
+// CmpXchg emits an atomic compare-and-swap, yielding the old value.
+func (b *Builder) CmpXchg(ptr, expected, repl Value) *Instr {
+	return b.emit(&Instr{Op: OpCmpXchg, Typ: expected.Type(), Args: []Value{ptr, expected, repl}})
+}
+
+// AtomicRMW emits an atomic read-modify-write, yielding the old value.
+func (b *Builder) AtomicRMW(op RMWOp, ptr, v Value) *Instr {
+	return b.emit(&Instr{Op: OpAtomicRMW, Typ: v.Type(), RMW: op, Args: []Value{ptr, v}})
+}
+
+// Fence emits a memory write barrier.
+func (b *Builder) Fence() *Instr { return b.emit(&Instr{Op: OpFence, Typ: Void}) }
+
+// --- Structured control flow --------------------------------------------
+//
+// These helpers generate explicit CFGs from closures, giving guest code a
+// C-like surface.  Bodies that terminate (return) on all paths simply leave
+// their join blocks unreachable-by-that-path.
+
+// If generates: if cond { then() }.
+func (b *Builder) If(cond Value, then func()) {
+	t := b.Block("if.then")
+	j := b.Block("if.end")
+	b.CondBr(cond, t, j)
+	b.SetBlock(t)
+	then()
+	if !b.Cur.Terminated() {
+		b.Br(j)
+	}
+	b.SetBlock(j)
+}
+
+// IfElse generates: if cond { then() } else { els() }.
+func (b *Builder) IfElse(cond Value, then, els func()) {
+	t := b.Block("if.then")
+	e := b.Block("if.else")
+	j := b.Block("if.end")
+	b.CondBr(cond, t, e)
+	b.SetBlock(t)
+	then()
+	if !b.Cur.Terminated() {
+		b.Br(j)
+	}
+	b.SetBlock(e)
+	els()
+	if !b.Cur.Terminated() {
+		b.Br(j)
+	}
+	b.SetBlock(j)
+}
+
+// While generates: while cond() { body() }.  The condition closure runs in
+// the loop header and must return an i1 value.
+func (b *Builder) While(cond func() Value, body func()) {
+	hdr := b.Block("while.cond")
+	bod := b.Block("while.body")
+	end := b.Block("while.end")
+	b.Br(hdr)
+	b.SetBlock(hdr)
+	c := cond()
+	b.CondBr(c, bod, end)
+	b.SetBlock(bod)
+	b.loop = append(b.loop, &loopCtx{cont: hdr, brk: end})
+	body()
+	b.loop = b.loop[:len(b.loop)-1]
+	if !b.Cur.Terminated() {
+		b.Br(hdr)
+	}
+	b.SetBlock(end)
+}
+
+// Loop generates an infinite loop; exit via Break (or return).
+func (b *Builder) Loop(body func()) {
+	hdr := b.Block("loop.body")
+	end := b.Block("loop.end")
+	b.Br(hdr)
+	b.SetBlock(hdr)
+	b.loop = append(b.loop, &loopCtx{cont: hdr, brk: end})
+	body()
+	b.loop = b.loop[:len(b.loop)-1]
+	if !b.Cur.Terminated() {
+		b.Br(hdr)
+	}
+	b.SetBlock(end)
+}
+
+// For generates a C-style counted loop: for i = init; i < limit; i += step.
+// The body receives the current induction value loaded from a cell.
+func (b *Builder) For(name string, init, limit, step Value, body func(i Value)) {
+	cell := b.Alloca(init.Type(), name)
+	b.Store(init, cell)
+	b.While(func() Value {
+		return b.ICmp(PredSLT, b.Load(cell), limit)
+	}, func() {
+		i := b.Load(cell)
+		body(i)
+		if !b.Cur.Terminated() {
+			b.Store(b.Add(b.Load(cell), step), cell)
+		}
+	})
+}
+
+// Break branches to the innermost loop's exit block.
+func (b *Builder) Break() {
+	if len(b.loop) == 0 {
+		panic("ir: Break outside loop")
+	}
+	b.Br(b.loop[len(b.loop)-1].brk)
+	// Any further code in this closure is dead: park it in an unreferenced
+	// block so emission stays legal.
+	b.SetBlock(b.Block("post.break"))
+}
+
+// Continue branches to the innermost loop's continuation point.
+func (b *Builder) Continue() {
+	if len(b.loop) == 0 {
+		panic("ir: Continue outside loop")
+	}
+	b.Br(b.loop[len(b.loop)-1].cont)
+	b.SetBlock(b.Block("post.continue"))
+}
+
+// Seal terminates every unterminated block of the current function with an
+// unreachable marker.  Structured-control-flow helpers can leave dead
+// blocks behind (e.g. a join block after both branches return, or the
+// landing block after Break); Seal makes the function verifier-clean.
+func (b *Builder) Seal() {
+	for _, blk := range b.Fn.Blocks {
+		if !blk.Terminated() {
+			blk.Append(&Instr{Op: OpUnreachable, Typ: Void})
+		}
+	}
+}
+
+// --- Constant conveniences ------------------------------------------------
+
+// I64c, I32c, I16c, I8c, I1c build integer constants tersely.
+func I64c(v int64) *ConstInt { return NewInt(I64, v) }
+func I32c(v int64) *ConstInt { return NewInt(I32, v) }
+func I16c(v int64) *ConstInt { return NewInt(I16, v) }
+func I8c(v int64) *ConstInt  { return NewInt(I8, v) }
+func I1c(v int64) *ConstInt  { return NewInt(I1, v) }

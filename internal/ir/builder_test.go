@@ -1,0 +1,239 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildFactorial builds an iterative factorial using the structured helpers
+// and returns its module and function.
+func buildFactorial(t *testing.T) (*Module, *Function) {
+	t.Helper()
+	m := NewModule("fact")
+	b := NewBuilder(m)
+	f := b.NewFunc("fact", FuncOf(I64, []*Type{I64}, false), "n")
+	acc := b.Alloca(I64, "acc")
+	b.Store(I64c(1), acc)
+	i := b.Alloca(I64, "i")
+	b.Store(I64c(1), i)
+	b.While(func() Value {
+		return b.ICmp(PredSLE, b.Load(i), b.Param(0))
+	}, func() {
+		b.Store(b.Mul(b.Load(acc), b.Load(i)), acc)
+		b.Store(b.Add(b.Load(i), I64c(1)), i)
+	})
+	b.Ret(b.Load(acc))
+	return m, f
+}
+
+func TestBuilderFactorialVerifies(t *testing.T) {
+	m, f := buildFactorial(t)
+	if errs := VerifyModule(m); len(errs) != 0 {
+		t.Fatalf("verification failed: %v", errs)
+	}
+	if len(f.Blocks) < 4 {
+		t.Errorf("expected structured loop blocks, got %d", len(f.Blocks))
+	}
+}
+
+func TestBuilderIfElse(t *testing.T) {
+	m := NewModule("abs")
+	b := NewBuilder(m)
+	f := b.NewFunc("abs", FuncOf(I64, []*Type{I64}, false), "x")
+	out := b.Alloca(I64, "out")
+	neg := b.ICmp(PredSLT, b.Param(0), I64c(0))
+	b.IfElse(neg, func() {
+		b.Store(b.Sub(I64c(0), b.Param(0)), out)
+	}, func() {
+		b.Store(b.Param(0), out)
+	})
+	b.Ret(b.Load(out))
+	if errs := VerifyFunc(f); len(errs) != 0 {
+		t.Fatalf("verification failed: %v", errs)
+	}
+}
+
+func TestBuilderBreakContinue(t *testing.T) {
+	m := NewModule("bc")
+	b := NewBuilder(m)
+	f := b.NewFunc("first_even_after", FuncOf(I64, []*Type{I64}, false), "start")
+	cur := b.Alloca(I64, "cur")
+	b.Store(b.Param(0), cur)
+	b.Loop(func() {
+		v := b.Load(cur)
+		b.Store(b.Add(v, I64c(1)), cur)
+		odd := b.ICmp(PredNE, b.URem(b.Load(cur), I64c(2)), I64c(0))
+		b.If(odd, func() { b.Continue() })
+		b.Break()
+	})
+	b.Ret(b.Load(cur))
+	if errs := VerifyFunc(f); len(errs) != 0 {
+		t.Fatalf("verification failed: %v", errs)
+	}
+}
+
+func TestBuilderForLoop(t *testing.T) {
+	m := NewModule("sum")
+	b := NewBuilder(m)
+	f := b.NewFunc("sum", FuncOf(I64, []*Type{I64}, false), "n")
+	acc := b.Alloca(I64, "acc")
+	b.Store(I64c(0), acc)
+	b.For("i", I64c(0), b.Param(0), I64c(1), func(i Value) {
+		b.Store(b.Add(b.Load(acc), i), acc)
+	})
+	b.Ret(b.Load(acc))
+	if errs := VerifyFunc(f); len(errs) != 0 {
+		t.Fatalf("verification failed: %v", errs)
+	}
+}
+
+func TestBuilderGEPTypes(t *testing.T) {
+	m := NewModule("gep")
+	b := NewBuilder(m)
+	task := NamedStruct("task_t")
+	task.SetBody(I32, ArrayOf(16, I8), PointerTo(task))
+	b.NewFunc("touch", FuncOf(Void, []*Type{PointerTo(task)}, false), "t")
+	pid := b.FieldAddr(b.Param(0), 0)
+	if pid.Type() != PointerTo(I32) {
+		t.Errorf("field 0 addr type = %s", pid.Type())
+	}
+	nameAddr := b.FieldAddr(b.Param(0), 1)
+	if nameAddr.Type() != PointerTo(ArrayOf(16, I8)) {
+		t.Errorf("field 1 addr type = %s", nameAddr.Type())
+	}
+	ch := b.Index(nameAddr, I32c(3))
+	if ch.Type() != PointerTo(I8) {
+		t.Errorf("array elem addr type = %s", ch.Type())
+	}
+	next := b.FieldAddr(b.Param(0), 2)
+	if next.Type() != PointerTo(PointerTo(task)) {
+		t.Errorf("field 2 addr type = %s", next.Type())
+	}
+	b.Ret(nil)
+	if errs := VerifyModule(m); len(errs) != 0 {
+		t.Fatalf("verification failed: %v", errs)
+	}
+}
+
+func TestBuilderTypeMismatchPanics(t *testing.T) {
+	m := NewModule("bad")
+	b := NewBuilder(m)
+	b.NewFunc("bad", FuncOf(Void, nil, false))
+	defer func() {
+		if recover() == nil {
+			t.Error("Add with mismatched widths did not panic")
+		}
+	}()
+	b.Add(I64c(1), I32c(1))
+}
+
+func TestBuilderCallChecksSignature(t *testing.T) {
+	m := NewModule("call")
+	b := NewBuilder(m)
+	callee := m.NewFunc("callee", FuncOf(I64, []*Type{I64}, false))
+	callee.External = true
+	b.NewFunc("caller", FuncOf(I64, nil, false))
+	v := b.Call(callee, I64c(7))
+	b.Ret(v)
+	if errs := VerifyModule(m); len(errs) != 0 {
+		t.Fatalf("verification failed: %v", errs)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("call with wrong arity did not panic")
+		}
+	}()
+	b2 := NewBuilder(m)
+	b2.NewFunc("caller2", FuncOf(I64, nil, false))
+	b2.Call(callee)
+}
+
+func TestPrinterOutput(t *testing.T) {
+	m, _ := buildFactorial(t)
+	s := m.String()
+	for _, want := range []string{"define i64 @fact(i64 %n)", "while.cond", "mul", "icmp sle", "ret i64"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("printed module missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestModuleLookups(t *testing.T) {
+	m := NewModule("m")
+	g := m.NewGlobal("counter", I64, NewInt(I64, 5))
+	if m.Global("counter") != g {
+		t.Error("global lookup failed")
+	}
+	if g.Type() != PointerTo(I64) {
+		t.Errorf("global value has type %s, want i64*", g.Type())
+	}
+	f := m.NewFunc("f", FuncOf(Void, nil, false))
+	if m.Func("f") != f {
+		t.Error("function lookup failed")
+	}
+	if !m.RemoveFunc("f") || m.Func("f") != nil {
+		t.Error("RemoveFunc did not detach")
+	}
+	if m.RemoveFunc("f") {
+		t.Error("RemoveFunc on absent function returned true")
+	}
+}
+
+func TestNamedTypesCollection(t *testing.T) {
+	m := NewModule("m")
+	a := NamedStruct("aaa_t")
+	a.SetBody(I32)
+	z := NamedStruct("zzz_t")
+	z.SetBody(PointerTo(a))
+	m.NewGlobal("g", z, nil)
+	types := m.NamedTypes()
+	if len(types) != 2 || types[0] != a || types[1] != z {
+		t.Errorf("NamedTypes = %v", types)
+	}
+}
+
+// TestPrinterCoversAllForms renders every instruction family and checks
+// the textual forms the disassembler produces.
+func TestPrinterCoversAllForms(t *testing.T) {
+	m := NewModule("print")
+	b := NewBuilder(m)
+	g := m.NewGlobal("g", I64, I64c(1))
+	cg := m.NewGlobal("cg", I64, I64c(2))
+	cg.Const = true
+	f := b.NewFunc("all", FuncOf(I64, []*Type{I64, I1}, false), "x", "c")
+	one := b.Block("one")
+	two := b.Block("two")
+	done := b.Block("done")
+	b.Switch(b.Param(0), done, []*ConstInt{I64c(1), I64c(2)}, []*BasicBlock{one, two})
+	b.SetBlock(one)
+	v1 := b.Add(b.Param(0), I64c(1))
+	b.Br(done)
+	b.SetBlock(two)
+	v2 := b.Mul(b.Param(0), I64c(2))
+	b.Br(done)
+	b.SetBlock(done)
+	ph := b.Phi(I64, []Value{b.Param(0), v1, v2}, []*BasicBlock{f.Entry(), one, two})
+	old := b.AtomicRMW(RMWXchg, g, ph)
+	cas := b.CmpXchg(g, old, I64c(5))
+	b.Fence()
+	sel := b.Select(b.Param(1), cas, old)
+	fv := b.SIToFP(sel)
+	fc := b.FCmp(PredSGT, fv, &ConstFloat{F: 2})
+	un := &ConstUndef{Typ: I64}
+	s2 := b.Select(fc, un, sel)
+	b.Ret(s2)
+	b.Seal()
+	if errs := VerifyModule(m); len(errs) != 0 {
+		t.Fatalf("%v", errs[0])
+	}
+	text := m.String()
+	for _, want := range []string{
+		"switch i64", "phi i64", "atomicrmw xchg", "cmpxchg", "fence",
+		"select i1", "sitofp", "fcmp sgt", "undef", "= constant i64",
+		"= global i64", "default",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("printed module missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package ir
+
+// CFG holds derived control-flow information for one function:
+// predecessor/successor maps, reverse-postorder, and reachability from the
+// entry block.  It is recomputed on demand by analyses.
+type CFG struct {
+	Fn    *Function
+	Preds map[*BasicBlock][]*BasicBlock
+	Succs map[*BasicBlock][]*BasicBlock
+	// RPO is a reverse-postorder visit of the reachable blocks.
+	RPO []*BasicBlock
+	// RPONum maps a reachable block to its reverse-postorder index.
+	RPONum map[*BasicBlock]int
+}
+
+// BuildCFG computes the CFG of f.
+func BuildCFG(f *Function) *CFG {
+	c := &CFG{
+		Fn:     f,
+		Preds:  map[*BasicBlock][]*BasicBlock{},
+		Succs:  map[*BasicBlock][]*BasicBlock{},
+		RPONum: map[*BasicBlock]int{},
+	}
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil {
+			continue
+		}
+		for _, s := range t.Succs() {
+			c.Succs[b] = append(c.Succs[b], s)
+			c.Preds[s] = append(c.Preds[s], b)
+		}
+	}
+	// Postorder DFS from entry.
+	seen := map[*BasicBlock]bool{}
+	var post []*BasicBlock
+	var dfs func(b *BasicBlock)
+	dfs = func(b *BasicBlock) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range c.Succs[b] {
+			dfs(s)
+		}
+		post = append(post, b)
+	}
+	if len(f.Blocks) > 0 {
+		dfs(f.Blocks[0])
+	}
+	for i := len(post) - 1; i >= 0; i-- {
+		c.RPONum[post[i]] = len(c.RPO)
+		c.RPO = append(c.RPO, post[i])
+	}
+	return c
+}
+
+// Reachable reports whether b is reachable from the entry block.
+func (c *CFG) Reachable(b *BasicBlock) bool {
+	_, ok := c.RPONum[b]
+	return ok
+}
+
+// DomTree is a dominator tree computed with the Cooper–Harvey–Kennedy
+// iterative algorithm over reverse postorder.
+type DomTree struct {
+	cfg  *CFG
+	idom map[*BasicBlock]*BasicBlock
+}
+
+// BuildDomTree computes the dominator tree for f's reachable blocks.
+func BuildDomTree(c *CFG) *DomTree {
+	d := &DomTree{cfg: c, idom: map[*BasicBlock]*BasicBlock{}}
+	if len(c.RPO) == 0 {
+		return d
+	}
+	entry := c.RPO[0]
+	d.idom[entry] = entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range c.RPO[1:] {
+			var newIdom *BasicBlock
+			for _, p := range c.Preds[b] {
+				if !c.Reachable(p) || d.idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = d.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && d.idom[b] != newIdom {
+				d.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+func (d *DomTree) intersect(a, b *BasicBlock) *BasicBlock {
+	for a != b {
+		for d.cfg.RPONum[a] > d.cfg.RPONum[b] {
+			a = d.idom[a]
+		}
+		for d.cfg.RPONum[b] > d.cfg.RPONum[a] {
+			b = d.idom[b]
+		}
+	}
+	return a
+}
+
+// IDom returns the immediate dominator of b (nil for the entry block or
+// unreachable blocks).
+func (d *DomTree) IDom(b *BasicBlock) *BasicBlock {
+	id := d.idom[b]
+	if id == b {
+		return nil
+	}
+	return id
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (d *DomTree) Dominates(a, b *BasicBlock) bool {
+	if !d.cfg.Reachable(a) || !d.cfg.Reachable(b) {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		next := d.idom[b]
+		if next == nil || next == b {
+			return a == b
+		}
+		b = next
+	}
+}

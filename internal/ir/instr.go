@@ -1,0 +1,214 @@
+package ir
+
+import "fmt"
+
+// Op enumerates the SVA-Core instruction opcodes (§3.2 of the paper:
+// arithmetic/logic, comparisons, explicit branches, typed indexing, loads
+// and stores, calls, allocation, casts, and the atomic extensions added for
+// kernel support).
+type Op int
+
+const (
+	OpInvalid Op = iota
+
+	// Integer arithmetic and logic.
+	OpAdd
+	OpSub
+	OpMul
+	OpUDiv
+	OpSDiv
+	OpURem
+	OpSRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpLShr
+	OpAShr
+
+	// Floating point.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+
+	// Comparison (Pred field selects the predicate).
+	OpICmp
+	OpFCmp
+
+	// Control flow.
+	OpBr     // unconditional: Blocks[0]
+	OpCondBr // Args[0] i1; Blocks[0] then, Blocks[1] else
+	OpSwitch // Args[0] value; Args[1..] case constants; Blocks[0] default, Blocks[1..] cases
+	OpRet    // Args optional result
+	OpUnreachable
+
+	// SSA merge.
+	OpPhi // Args[i] incoming value from Blocks[i]
+
+	// Memory.
+	OpAlloca // stack allocation; AllocTy element type, Args[0] optional count
+	OpLoad   // Args[0] pointer
+	OpStore  // Args[0] value, Args[1] pointer
+	OpGEP    // typed indexing: Args[0] base pointer, Args[1..] indices
+
+	// Calls.  Callee is either a *Function (direct) or a first-class
+	// function-pointer value (indirect).
+	OpCall
+
+	// Casts.
+	OpTrunc
+	OpZExt
+	OpSExt
+	OpPtrToInt
+	OpIntToPtr
+	OpBitcast
+	OpSIToFP
+	OpFPToSI
+
+	// Misc.
+	OpSelect // Args[0] i1, Args[1] true value, Args[2] false value
+
+	// Atomics (SVA-Core extensions for kernels, §3.2).
+	OpCmpXchg   // Args[0] ptr, Args[1] expected, Args[2] new; yields old value
+	OpAtomicRMW // Args[0] ptr, Args[1] operand; RMW field selects op; yields old value
+	OpFence     // memory write barrier
+)
+
+var opNames = map[Op]string{
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpUDiv: "udiv", OpSDiv: "sdiv",
+	OpURem: "urem", OpSRem: "srem", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpShl: "shl", OpLShr: "lshr", OpAShr: "ashr",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpICmp: "icmp", OpFCmp: "fcmp",
+	OpBr: "br", OpCondBr: "condbr", OpSwitch: "switch", OpRet: "ret",
+	OpUnreachable: "unreachable", OpPhi: "phi",
+	OpAlloca: "alloca", OpLoad: "load", OpStore: "store", OpGEP: "getelementptr",
+	OpCall:  "call",
+	OpTrunc: "trunc", OpZExt: "zext", OpSExt: "sext", OpPtrToInt: "ptrtoint",
+	OpIntToPtr: "inttoptr", OpBitcast: "bitcast", OpSIToFP: "sitofp", OpFPToSI: "fptosi",
+	OpSelect: "select", OpCmpXchg: "cmpxchg", OpAtomicRMW: "atomicrmw", OpFence: "fence",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// IsTerminator reports whether the opcode terminates a basic block.
+func (o Op) IsTerminator() bool {
+	switch o {
+	case OpBr, OpCondBr, OpSwitch, OpRet, OpUnreachable:
+		return true
+	}
+	return false
+}
+
+// Pred is an integer comparison predicate.
+type Pred int
+
+const (
+	PredEQ Pred = iota
+	PredNE
+	PredULT
+	PredULE
+	PredUGT
+	PredUGE
+	PredSLT
+	PredSLE
+	PredSGT
+	PredSGE
+)
+
+var predNames = [...]string{"eq", "ne", "ult", "ule", "ugt", "uge", "slt", "sle", "sgt", "sge"}
+
+func (p Pred) String() string {
+	if int(p) < len(predNames) {
+		return predNames[p]
+	}
+	return fmt.Sprintf("pred(%d)", int(p))
+}
+
+// RMWOp selects the operation of an OpAtomicRMW instruction.
+type RMWOp int
+
+const (
+	RMWAdd RMWOp = iota // atomic load-add-store, yields old value
+	RMWSub
+	RMWXchg
+	RMWAnd
+	RMWOr
+)
+
+var rmwNames = [...]string{"add", "sub", "xchg", "and", "or"}
+
+func (r RMWOp) String() string {
+	if int(r) < len(rmwNames) {
+		return rmwNames[r]
+	}
+	return fmt.Sprintf("rmw(%d)", int(r))
+}
+
+// Instr is a single SVA-Core instruction.  Instructions producing a value
+// are themselves Values (virtual registers in SSA form).
+type Instr struct {
+	Op      Op
+	Typ     *Type  // result type (Void for non-producing instructions)
+	Nm      string // register name (optional; printer numbers unnamed ones)
+	Args    []Value
+	Blocks  []*BasicBlock // successor blocks / phi incoming blocks
+	Pred    Pred          // OpICmp / OpFCmp
+	RMW     RMWOp         // OpAtomicRMW
+	AllocTy *Type         // OpAlloca element type
+	Callee  Value         // OpCall: *Function or function-pointer value
+
+	// Pool is the metapool annotation the safety-checking compiler attaches
+	// to pointer-typed results; the bytecode verifier type-checks these
+	// (paper §5).
+	Pool string
+
+	parent *BasicBlock
+	num    int // stable numbering within the function, set by Function.Renumber
+}
+
+func (i *Instr) Type() *Type { return i.Typ }
+
+func (i *Instr) Ident() string {
+	if i.Nm != "" {
+		return "%" + i.Nm
+	}
+	return fmt.Sprintf("%%t%d", i.num)
+}
+
+// Parent returns the containing basic block (nil if detached).
+func (i *Instr) Parent() *BasicBlock { return i.parent }
+
+// Num returns the instruction's stable per-function number.
+func (i *Instr) Num() int { return i.num }
+
+// Operand returns the j'th operand.
+func (i *Instr) Operand(j int) Value { return i.Args[j] }
+
+// Succs returns the successor blocks of a terminator instruction.
+func (i *Instr) Succs() []*BasicBlock {
+	switch i.Op {
+	case OpBr, OpCondBr, OpSwitch:
+		return i.Blocks
+	}
+	return nil
+}
+
+// IsIntrinsicCall reports whether the instruction is a direct call to a
+// body-less intrinsic function (llva.*, pchk.*, sva.*) and returns its name.
+func (i *Instr) IsIntrinsicCall() (string, bool) {
+	if i.Op != OpCall {
+		return "", false
+	}
+	f, ok := i.Callee.(*Function)
+	if !ok || !f.Intrinsic {
+		return "", false
+	}
+	return f.Nm, true
+}

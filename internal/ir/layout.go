@@ -1,0 +1,109 @@
+package ir
+
+import "fmt"
+
+// Layout computes sizes, alignments and field offsets of SVA types for the
+// virtual machine's memory model.  The layout is fixed (little-endian,
+// 64-bit pointers) — it is part of the virtual architecture definition, so
+// bytecode has a single well-defined memory layout on every host.
+//
+// Rules mirror a conventional C ABI: primitives are naturally aligned,
+// structs are aligned to their most-aligned field and padded so that arrays
+// of the struct keep every element aligned.
+type Layout struct{}
+
+// PointerSize is the size in bytes of every pointer in the virtual ISA.
+const PointerSize = 8
+
+// Size returns the size of t in bytes.
+func (Layout) Size(t *Type) int64 {
+	switch t.kind {
+	case VoidKind:
+		return 0
+	case IntKind:
+		if t.bits == 1 {
+			return 1
+		}
+		return int64(t.bits / 8)
+	case FloatKind:
+		return 8
+	case PointerKind, FuncKind:
+		return PointerSize
+	case ArrayKind:
+		return int64(t.n) * Layout{}.Size(t.elem)
+	case StructKind:
+		if t.opaque {
+			panic("ir: size of opaque struct %" + t.name)
+		}
+		var off int64
+		var maxAlign int64 = 1
+		for _, f := range t.fields {
+			a := Layout{}.Align(f)
+			if a > maxAlign {
+				maxAlign = a
+			}
+			off = alignUp(off, a)
+			off += Layout{}.Size(f)
+		}
+		return alignUp(off, maxAlign)
+	}
+	panic(fmt.Sprintf("ir: size of unsupported type %s", t))
+}
+
+// Align returns the required alignment of t in bytes.
+func (Layout) Align(t *Type) int64 {
+	switch t.kind {
+	case VoidKind:
+		return 1
+	case IntKind:
+		if t.bits == 1 {
+			return 1
+		}
+		return int64(t.bits / 8)
+	case FloatKind:
+		return 8
+	case PointerKind, FuncKind:
+		return PointerSize
+	case ArrayKind:
+		return Layout{}.Align(t.elem)
+	case StructKind:
+		var maxAlign int64 = 1
+		for _, f := range t.fields {
+			if a := (Layout{}).Align(f); a > maxAlign {
+				maxAlign = a
+			}
+		}
+		return maxAlign
+	}
+	panic(fmt.Sprintf("ir: align of unsupported type %s", t))
+}
+
+// FieldOffset returns the byte offset of field i within struct type t.
+func (Layout) FieldOffset(t *Type, i int) int64 {
+	if t.kind != StructKind {
+		panic("ir: FieldOffset on non-struct " + t.String())
+	}
+	if i < 0 || i >= len(t.fields) {
+		panic(fmt.Sprintf("ir: field index %d out of range for %s", i, t))
+	}
+	var off int64
+	for j := 0; j <= i; j++ {
+		f := t.fields[j]
+		off = alignUp(off, Layout{}.Align(f))
+		if j == i {
+			return off
+		}
+		off += Layout{}.Size(f)
+	}
+	panic("unreachable")
+}
+
+func alignUp(v, a int64) int64 {
+	if a <= 1 {
+		return v
+	}
+	return (v + a - 1) &^ (a - 1)
+}
+
+// AlignUp rounds v up to the next multiple of a (a must be a power of two).
+func AlignUp(v, a int64) int64 { return alignUp(v, a) }

@@ -1,0 +1,118 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimitiveSizes(t *testing.T) {
+	var l Layout
+	cases := []struct {
+		t     *Type
+		size  int64
+		align int64
+	}{
+		{I1, 1, 1},
+		{I8, 1, 1},
+		{I16, 2, 2},
+		{I32, 4, 4},
+		{I64, 8, 8},
+		{F64, 8, 8},
+		{PointerTo(I8), 8, 8},
+		{ArrayOf(10, I32), 40, 4},
+		{ArrayOf(0, I64), 0, 8},
+	}
+	for _, c := range cases {
+		if got := l.Size(c.t); got != c.size {
+			t.Errorf("Size(%s) = %d, want %d", c.t, got, c.size)
+		}
+		if got := l.Align(c.t); got != c.align {
+			t.Errorf("Align(%s) = %d, want %d", c.t, got, c.align)
+		}
+	}
+}
+
+func TestStructLayoutPadding(t *testing.T) {
+	var l Layout
+	// {i8, i64} pads to offset 8 and size 16 like the C ABI.
+	s := StructOf(I8, I64)
+	if got := l.Size(s); got != 16 {
+		t.Errorf("Size({i8,i64}) = %d, want 16", got)
+	}
+	if got := l.FieldOffset(s, 0); got != 0 {
+		t.Errorf("offset 0 = %d", got)
+	}
+	if got := l.FieldOffset(s, 1); got != 8 {
+		t.Errorf("offset 1 = %d, want 8", got)
+	}
+	// {i8, i16, i8, i32}: offsets 0, 2, 4, 8; size 12, align 4.
+	s2 := StructOf(I8, I16, I8, I32)
+	wantOff := []int64{0, 2, 4, 8}
+	for i, w := range wantOff {
+		if got := l.FieldOffset(s2, i); got != w {
+			t.Errorf("field %d offset = %d, want %d", i, got, w)
+		}
+	}
+	if got := l.Size(s2); got != 12 {
+		t.Errorf("Size = %d, want 12", got)
+	}
+	if got := l.Align(s2); got != 4 {
+		t.Errorf("Align = %d, want 4", got)
+	}
+}
+
+func TestArrayOfStructElementsAligned(t *testing.T) {
+	var l Layout
+	s := StructOf(I64, I8) // size must round to 16 so array elements stay aligned
+	if got := l.Size(s); got != 16 {
+		t.Fatalf("Size({i64,i8}) = %d, want 16", got)
+	}
+	a := ArrayOf(3, s)
+	if got := l.Size(a); got != 48 {
+		t.Errorf("Size([3 x {i64,i8}]) = %d, want 48", got)
+	}
+}
+
+func TestLayoutProperties(t *testing.T) {
+	var l Layout
+	scalars := []*Type{I8, I16, I32, I64, F64, PointerTo(I8), PointerTo(I64)}
+	// Property: struct size >= sum of field sizes; size is a multiple of
+	// alignment; every field offset is aligned.
+	err := quick.Check(func(idx []uint8) bool {
+		if len(idx) == 0 || len(idx) > 12 {
+			return true
+		}
+		var fields []*Type
+		var sum int64
+		for _, i := range idx {
+			f := scalars[int(i)%len(scalars)]
+			fields = append(fields, f)
+			sum += l.Size(f)
+		}
+		s := StructOf(fields...)
+		size, align := l.Size(s), l.Align(s)
+		if size < sum || size%align != 0 {
+			return false
+		}
+		for i, f := range fields {
+			if l.FieldOffset(s, i)%l.Align(f) != 0 {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignUp(t *testing.T) {
+	cases := []struct{ v, a, want int64 }{
+		{0, 8, 0}, {1, 8, 8}, {8, 8, 8}, {9, 8, 16}, {5, 1, 5}, {7, 4, 8},
+	}
+	for _, c := range cases {
+		if got := AlignUp(c.v, c.a); got != c.want {
+			t.Errorf("AlignUp(%d,%d) = %d, want %d", c.v, c.a, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the module in a human-readable LLVM-like textual form.
+// The textual form is for debugging and golden tests; the canonical
+// interchange format is the binary bytecode (internal/bytecode).
+func (m *Module) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; module %s\n", m.Name)
+	for _, t := range m.NamedTypes() {
+		sb.WriteString(t.DefString())
+		sb.WriteByte('\n')
+	}
+	if len(m.Metapools) > 0 {
+		for _, mp := range m.Metapools {
+			fmt.Fprintf(&sb, "; metapool %s th=%v complete=%v", mp.Name, mp.TypeHomogeneous, mp.Complete)
+			if mp.ElemType != nil {
+				fmt.Fprintf(&sb, " elem=%s", mp.ElemType)
+			}
+			if mp.UserSpace {
+				sb.WriteString(" userspace")
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	for _, g := range m.Globals {
+		kw := "global"
+		if g.Const {
+			kw = "constant"
+		}
+		fmt.Fprintf(&sb, "@%s = %s %s", g.Nm, kw, g.ValueType)
+		if g.Init != nil {
+			fmt.Fprintf(&sb, " %s", g.Init.Ident())
+		}
+		if g.Pool != "" {
+			fmt.Fprintf(&sb, " ;mp=%s", g.Pool)
+		}
+		sb.WriteByte('\n')
+	}
+	for _, f := range m.Funcs {
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+// String renders a single function.
+func (f *Function) String() string {
+	var sb strings.Builder
+	f.Renumber()
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = fmt.Sprintf("%s %s", p.Typ, p.Ident())
+		if p.Pool != "" {
+			params[i] += fmt.Sprintf(" ;mp=%s", p.Pool)
+		}
+	}
+	kind := "define"
+	if f.IsDecl() {
+		if f.Intrinsic {
+			kind = "intrinsic"
+		} else {
+			kind = "declare"
+		}
+	}
+	fmt.Fprintf(&sb, "\n%s %s @%s(%s)", kind, f.Sig.Ret(), f.Nm, strings.Join(params, ", "))
+	if f.Subsystem != "" {
+		fmt.Fprintf(&sb, " ;subsystem=%s", f.Subsystem)
+	}
+	if f.IsDecl() {
+		sb.WriteByte('\n')
+		return sb.String()
+	}
+	sb.WriteString(" {\n")
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Nm)
+		for _, in := range b.Instrs {
+			sb.WriteString("  ")
+			sb.WriteString(in.String())
+			sb.WriteByte('\n')
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// String renders a single instruction.
+func (in *Instr) String() string {
+	var sb strings.Builder
+	if !in.Typ.IsVoid() {
+		fmt.Fprintf(&sb, "%s = ", in.Ident())
+	}
+	switch in.Op {
+	case OpICmp, OpFCmp:
+		fmt.Fprintf(&sb, "%s %s %s %s, %s", in.Op, in.Pred, in.Args[0].Type(), in.Args[0].Ident(), in.Args[1].Ident())
+	case OpBr:
+		fmt.Fprintf(&sb, "br label %s", in.Blocks[0].Ident())
+	case OpCondBr:
+		fmt.Fprintf(&sb, "condbr i1 %s, label %s, label %s", in.Args[0].Ident(), in.Blocks[0].Ident(), in.Blocks[1].Ident())
+	case OpSwitch:
+		fmt.Fprintf(&sb, "switch %s %s, default %s [", in.Args[0].Type(), in.Args[0].Ident(), in.Blocks[0].Ident())
+		for i := 1; i < len(in.Args); i++ {
+			fmt.Fprintf(&sb, " %s->%s", in.Args[i].Ident(), in.Blocks[i].Ident())
+		}
+		sb.WriteString(" ]")
+	case OpRet:
+		if len(in.Args) == 0 {
+			sb.WriteString("ret void")
+		} else {
+			fmt.Fprintf(&sb, "ret %s %s", in.Args[0].Type(), in.Args[0].Ident())
+		}
+	case OpPhi:
+		fmt.Fprintf(&sb, "phi %s ", in.Typ)
+		for i, a := range in.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "[%s, %s]", a.Ident(), in.Blocks[i].Ident())
+		}
+	case OpAlloca:
+		fmt.Fprintf(&sb, "alloca %s", in.AllocTy)
+		if len(in.Args) > 0 {
+			fmt.Fprintf(&sb, ", %s %s", in.Args[0].Type(), in.Args[0].Ident())
+		}
+	case OpLoad:
+		fmt.Fprintf(&sb, "load %s, %s %s", in.Typ, in.Args[0].Type(), in.Args[0].Ident())
+	case OpStore:
+		fmt.Fprintf(&sb, "store %s %s, %s %s", in.Args[0].Type(), in.Args[0].Ident(), in.Args[1].Type(), in.Args[1].Ident())
+	case OpGEP:
+		fmt.Fprintf(&sb, "getelementptr %s %s", in.Args[0].Type(), in.Args[0].Ident())
+		for _, a := range in.Args[1:] {
+			fmt.Fprintf(&sb, ", %s %s", a.Type(), a.Ident())
+		}
+	case OpCall:
+		fmt.Fprintf(&sb, "call %s %s(", in.Typ, in.Callee.Ident())
+		for i, a := range in.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%s %s", a.Type(), a.Ident())
+		}
+		sb.WriteString(")")
+	case OpTrunc, OpZExt, OpSExt, OpPtrToInt, OpIntToPtr, OpBitcast, OpSIToFP, OpFPToSI:
+		fmt.Fprintf(&sb, "%s %s %s to %s", in.Op, in.Args[0].Type(), in.Args[0].Ident(), in.Typ)
+	case OpSelect:
+		fmt.Fprintf(&sb, "select i1 %s, %s %s, %s %s", in.Args[0].Ident(), in.Args[1].Type(), in.Args[1].Ident(), in.Args[2].Type(), in.Args[2].Ident())
+	case OpCmpXchg:
+		fmt.Fprintf(&sb, "cmpxchg %s %s, %s, %s", in.Args[0].Type(), in.Args[0].Ident(), in.Args[1].Ident(), in.Args[2].Ident())
+	case OpAtomicRMW:
+		fmt.Fprintf(&sb, "atomicrmw %s %s %s, %s", in.RMW, in.Args[0].Type(), in.Args[0].Ident(), in.Args[1].Ident())
+	case OpFence:
+		sb.WriteString("fence")
+	case OpUnreachable:
+		sb.WriteString("unreachable")
+	default:
+		fmt.Fprintf(&sb, "%s", in.Op)
+		for i, a := range in.Args {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, " %s %s", a.Type(), a.Ident())
+		}
+	}
+	if in.Pool != "" {
+		fmt.Fprintf(&sb, " ;mp=%s", in.Pool)
+	}
+	return sb.String()
+}

@@ -1,0 +1,326 @@
+// Package ir defines the SVA-Core virtual instruction set: a typed,
+// SSA-form, RISC-like intermediate representation modeled on the LLVM
+// virtual ISA described in the SVA paper (SOSP 2007, §3).  All guest code —
+// the kernel, its modules, and user programs — is expressed in this IR,
+// analyzed by the safety-checking compiler, verified by the bytecode type
+// checker, and executed by the secure virtual machine.
+package ir
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Kind discriminates the type variants of the SVA type system.
+type Kind int
+
+const (
+	VoidKind Kind = iota
+	IntKind
+	FloatKind // 64-bit IEEE-754 only
+	PointerKind
+	ArrayKind
+	StructKind
+	FuncKind
+	LabelKind // basic-block references
+)
+
+func (k Kind) String() string {
+	switch k {
+	case VoidKind:
+		return "void"
+	case IntKind:
+		return "int"
+	case FloatKind:
+		return "float"
+	case PointerKind:
+		return "pointer"
+	case ArrayKind:
+		return "array"
+	case StructKind:
+		return "struct"
+	case FuncKind:
+		return "func"
+	case LabelKind:
+		return "label"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Type is an SVA type.  Types are interned: structurally identical anonymous
+// types are represented by the same *Type, so pointer equality is type
+// equality.  Named struct types are nominal (interned by name) and may be
+// recursive via SetBody.
+type Type struct {
+	kind     Kind
+	bits     int     // IntKind: 1, 8, 16, 32 or 64
+	elem     *Type   // PointerKind, ArrayKind element
+	n        int     // ArrayKind length
+	name     string  // StructKind: non-empty for named (nominal) structs
+	fields   []*Type // StructKind fields; FuncKind parameters
+	ret      *Type   // FuncKind return type
+	variadic bool    // FuncKind
+	opaque   bool    // named struct whose body is not yet set
+}
+
+// Predefined primitive types.
+var (
+	Void = &Type{kind: VoidKind}
+	I1   = &Type{kind: IntKind, bits: 1}
+	I8   = &Type{kind: IntKind, bits: 8}
+	I16  = &Type{kind: IntKind, bits: 16}
+	I32  = &Type{kind: IntKind, bits: 32}
+	I64  = &Type{kind: IntKind, bits: 64}
+	F64  = &Type{kind: FloatKind, bits: 64}
+	// Label is the type of basic-block references.
+	Label = &Type{kind: LabelKind}
+)
+
+var (
+	internMu  sync.Mutex
+	ptrTab    = map[*Type]*Type{}
+	arrTab    = map[[2]interface{}]*Type{}
+	fnTab     = map[string]*Type{}
+	structTab = map[string]*Type{}
+	anonTab   = map[string]*Type{}
+)
+
+// IntType returns the integer type of the given bit width.
+func IntType(bits int) *Type {
+	switch bits {
+	case 1:
+		return I1
+	case 8:
+		return I8
+	case 16:
+		return I16
+	case 32:
+		return I32
+	case 64:
+		return I64
+	}
+	panic(fmt.Sprintf("ir: unsupported integer width %d", bits))
+}
+
+// PointerTo returns the (interned) pointer type to elem.
+func PointerTo(elem *Type) *Type {
+	internMu.Lock()
+	defer internMu.Unlock()
+	if t, ok := ptrTab[elem]; ok {
+		return t
+	}
+	t := &Type{kind: PointerKind, elem: elem}
+	ptrTab[elem] = t
+	return t
+}
+
+// ArrayOf returns the (interned) array type of n elements of elem.
+func ArrayOf(n int, elem *Type) *Type {
+	if n < 0 {
+		panic("ir: negative array length")
+	}
+	internMu.Lock()
+	defer internMu.Unlock()
+	key := [2]interface{}{n, elem}
+	if t, ok := arrTab[key]; ok {
+		return t
+	}
+	t := &Type{kind: ArrayKind, elem: elem, n: n}
+	arrTab[key] = t
+	return t
+}
+
+// FuncOf returns the (interned) function type with the given return type and
+// parameters.
+func FuncOf(ret *Type, params []*Type, variadic bool) *Type {
+	internMu.Lock()
+	defer internMu.Unlock()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%p(", ret)
+	for _, p := range params {
+		fmt.Fprintf(&sb, "%p,", p)
+	}
+	if variadic {
+		sb.WriteString("...")
+	}
+	sb.WriteString(")")
+	key := sb.String()
+	if t, ok := fnTab[key]; ok {
+		return t
+	}
+	t := &Type{kind: FuncKind, ret: ret, fields: append([]*Type(nil), params...), variadic: variadic}
+	fnTab[key] = t
+	return t
+}
+
+// StructOf returns an anonymous (structural) struct type with the given
+// field types.
+func StructOf(fields ...*Type) *Type {
+	internMu.Lock()
+	defer internMu.Unlock()
+	var sb strings.Builder
+	for _, f := range fields {
+		fmt.Fprintf(&sb, "%p,", f)
+	}
+	key := sb.String()
+	if t, ok := anonTab[key]; ok {
+		return t
+	}
+	t := &Type{kind: StructKind, fields: append([]*Type(nil), fields...)}
+	anonTab[key] = t
+	return t
+}
+
+// NamedStruct returns the nominal struct type with the given name, creating
+// it as an opaque type if it does not exist yet.  Call SetBody to define (or
+// redefine) its fields; recursive types are created by naming the struct
+// before setting a body that mentions a pointer to it.
+func NamedStruct(name string) *Type {
+	if name == "" {
+		panic("ir: named struct requires a name")
+	}
+	internMu.Lock()
+	defer internMu.Unlock()
+	if t, ok := structTab[name]; ok {
+		return t
+	}
+	t := &Type{kind: StructKind, name: name, opaque: true}
+	structTab[name] = t
+	return t
+}
+
+// SetBody defines the fields of a named struct type.
+func (t *Type) SetBody(fields ...*Type) *Type {
+	if t.kind != StructKind || t.name == "" {
+		panic("ir: SetBody requires a named struct type")
+	}
+	t.fields = append([]*Type(nil), fields...)
+	t.opaque = false
+	return t
+}
+
+// Accessors.
+
+func (t *Type) Kind() Kind { return t.kind }
+
+// Bits returns the width of an integer or float type.
+func (t *Type) Bits() int { return t.bits }
+
+// Elem returns the element type of a pointer or array type.
+func (t *Type) Elem() *Type {
+	if t.kind != PointerKind && t.kind != ArrayKind {
+		panic("ir: Elem on non-pointer, non-array type " + t.String())
+	}
+	return t.elem
+}
+
+// Len returns the length of an array type.
+func (t *Type) Len() int {
+	if t.kind != ArrayKind {
+		panic("ir: Len on non-array type")
+	}
+	return t.n
+}
+
+// NumFields returns the field count of a struct type.
+func (t *Type) NumFields() int { return len(t.fields) }
+
+// Field returns the i'th field type of a struct type.
+func (t *Type) Field(i int) *Type { return t.fields[i] }
+
+// Fields returns the field types of a struct (or parameter types of a
+// function type).  The returned slice must not be modified.
+func (t *Type) Fields() []*Type { return t.fields }
+
+// StructName returns the name of a nominal struct ("" if anonymous).
+func (t *Type) StructName() string { return t.name }
+
+// Opaque reports whether a named struct's body has not been set.
+func (t *Type) Opaque() bool { return t.opaque }
+
+// Ret returns the return type of a function type.
+func (t *Type) Ret() *Type {
+	if t.kind != FuncKind {
+		panic("ir: Ret on non-function type")
+	}
+	return t.ret
+}
+
+// Params returns the parameter types of a function type.
+func (t *Type) Params() []*Type { return t.fields }
+
+// Variadic reports whether a function type is variadic.
+func (t *Type) Variadic() bool { return t.variadic }
+
+// Convenience predicates.
+
+func (t *Type) IsVoid() bool    { return t.kind == VoidKind }
+func (t *Type) IsInt() bool     { return t.kind == IntKind }
+func (t *Type) IsFloat() bool   { return t.kind == FloatKind }
+func (t *Type) IsPointer() bool { return t.kind == PointerKind }
+func (t *Type) IsArray() bool   { return t.kind == ArrayKind }
+func (t *Type) IsStruct() bool  { return t.kind == StructKind }
+func (t *Type) IsFunc() bool    { return t.kind == FuncKind }
+
+// IsFirstClass reports whether values of this type can be held in a virtual
+// register (SSA value).  Aggregates live in memory only.
+func (t *Type) IsFirstClass() bool {
+	switch t.kind {
+	case IntKind, FloatKind, PointerKind:
+		return true
+	}
+	return false
+}
+
+// String renders the type in the textual IR syntax.
+func (t *Type) String() string {
+	switch t.kind {
+	case VoidKind:
+		return "void"
+	case IntKind:
+		return fmt.Sprintf("i%d", t.bits)
+	case FloatKind:
+		return "f64"
+	case PointerKind:
+		return t.elem.String() + "*"
+	case ArrayKind:
+		return fmt.Sprintf("[%d x %s]", t.n, t.elem)
+	case StructKind:
+		if t.name != "" {
+			return "%" + t.name
+		}
+		parts := make([]string, len(t.fields))
+		for i, f := range t.fields {
+			parts[i] = f.String()
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case FuncKind:
+		parts := make([]string, len(t.fields))
+		for i, f := range t.fields {
+			parts[i] = f.String()
+		}
+		if t.variadic {
+			parts = append(parts, "...")
+		}
+		return fmt.Sprintf("%s(%s)", t.ret, strings.Join(parts, ", "))
+	case LabelKind:
+		return "label"
+	}
+	return "?"
+}
+
+// DefString renders a named struct's definition ("%name = { ... }").
+func (t *Type) DefString() string {
+	if t.kind != StructKind || t.name == "" {
+		return t.String()
+	}
+	if t.opaque {
+		return "%" + t.name + " = opaque"
+	}
+	parts := make([]string, len(t.fields))
+	for i, f := range t.fields {
+		parts[i] = f.String()
+	}
+	return "%" + t.name + " = {" + strings.Join(parts, ", ") + "}"
+}

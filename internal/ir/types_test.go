@@ -1,0 +1,126 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeInterning(t *testing.T) {
+	if PointerTo(I32) != PointerTo(I32) {
+		t.Error("pointer types not interned")
+	}
+	if ArrayOf(4, I8) != ArrayOf(4, I8) {
+		t.Error("array types not interned")
+	}
+	if ArrayOf(4, I8) == ArrayOf(5, I8) {
+		t.Error("distinct array lengths interned together")
+	}
+	if StructOf(I32, I64) != StructOf(I32, I64) {
+		t.Error("anonymous structs not interned")
+	}
+	if StructOf(I32) == StructOf(I64) {
+		t.Error("distinct anonymous structs interned together")
+	}
+	f1 := FuncOf(I32, []*Type{I64, PointerTo(I8)}, false)
+	f2 := FuncOf(I32, []*Type{I64, PointerTo(I8)}, false)
+	if f1 != f2 {
+		t.Error("function types not interned")
+	}
+	if FuncOf(I32, nil, true) == FuncOf(I32, nil, false) {
+		t.Error("variadic flag ignored in interning")
+	}
+}
+
+func TestIntType(t *testing.T) {
+	cases := map[int]*Type{1: I1, 8: I8, 16: I16, 32: I32, 64: I64}
+	for bits, want := range cases {
+		if got := IntType(bits); got != want {
+			t.Errorf("IntType(%d) = %v, want %v", bits, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("IntType(7) did not panic")
+		}
+	}()
+	IntType(7)
+}
+
+func TestNamedStructRecursive(t *testing.T) {
+	node := NamedStruct("list_node_t")
+	if !node.Opaque() {
+		t.Fatal("fresh named struct should be opaque")
+	}
+	node.SetBody(I64, PointerTo(node))
+	if node.Opaque() {
+		t.Fatal("struct still opaque after SetBody")
+	}
+	if NamedStruct("list_node_t") != node {
+		t.Error("named structs not interned by name")
+	}
+	if node.Field(1).Elem() != node {
+		t.Error("recursive field does not close the loop")
+	}
+	if got := node.String(); got != "%list_node_t" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := node.DefString(); got != "%list_node_t = {i64, %list_node_t*}" {
+		t.Errorf("DefString() = %q", got)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		want string
+	}{
+		{I1, "i1"},
+		{I64, "i64"},
+		{F64, "f64"},
+		{Void, "void"},
+		{PointerTo(I8), "i8*"},
+		{ArrayOf(10, I32), "[10 x i32]"},
+		{StructOf(I8, PointerTo(I64)), "{i8, i64*}"},
+		{FuncOf(Void, []*Type{I32}, false), "void(i32)"},
+		{FuncOf(I64, []*Type{I32}, true), "i64(i32, ...)"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestFirstClass(t *testing.T) {
+	if !I32.IsFirstClass() || !F64.IsFirstClass() || !PointerTo(I8).IsFirstClass() {
+		t.Error("scalar types must be first-class")
+	}
+	if ArrayOf(2, I8).IsFirstClass() || StructOf(I8).IsFirstClass() || Void.IsFirstClass() {
+		t.Error("aggregates and void must not be first-class")
+	}
+}
+
+func TestSignExtendTruncate(t *testing.T) {
+	if SignExtend(0xFF, 8) != -1 {
+		t.Errorf("SignExtend(0xFF, 8) = %d", SignExtend(0xFF, 8))
+	}
+	if SignExtend(0x7F, 8) != 127 {
+		t.Errorf("SignExtend(0x7F, 8) = %d", SignExtend(0x7F, 8))
+	}
+	if Truncate(0x1FF, 8) != 0xFF {
+		t.Errorf("Truncate(0x1FF, 8) = %d", Truncate(0x1FF, 8))
+	}
+	// Property: truncating then sign-extending then truncating is stable.
+	err := quick.Check(func(v uint64) bool {
+		for _, bits := range []int{1, 8, 16, 32, 64} {
+			tr := Truncate(v, bits)
+			if Truncate(uint64(SignExtend(tr, bits)), bits) != tr {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,193 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+)
+
+// Value is anything that can appear as an instruction operand: instruction
+// results (virtual registers), function parameters, globals, functions and
+// constants.
+type Value interface {
+	// Type returns the value's SVA type.
+	Type() *Type
+	// Ident returns the value's textual identifier, e.g. "%x", "@g", "42".
+	Ident() string
+}
+
+// Param is a formal parameter of a Function.
+type Param struct {
+	Nm   string
+	Typ  *Type
+	Idx  int    // position within the parameter list
+	Pool string // metapool annotation assigned by the safety compiler ("" = none)
+}
+
+func (p *Param) Type() *Type   { return p.Typ }
+func (p *Param) Ident() string { return "%" + p.Nm }
+
+// Global is a module-level variable.  Its value is the *address* of the
+// underlying storage, so its type is a pointer to the declared value type.
+type Global struct {
+	Nm        string
+	ValueType *Type    // type of the storage, not of the address
+	Init      Constant // optional initializer (nil = zero-initialized)
+	Const     bool     // read-only after initialization
+	Pool      string   // metapool annotation
+	// Subsystem tags the kernel component this global belongs to
+	// (used for the Table 4/9 static accounting).
+	Subsystem string
+}
+
+func (g *Global) Type() *Type   { return PointerTo(g.ValueType) }
+func (g *Global) Ident() string { return "@" + g.Nm }
+
+// Constant is a compile-time constant value.
+type Constant interface {
+	Value
+	constant()
+}
+
+// ConstInt is an integer constant.  The bits are stored zero-extended in V;
+// use SignedValue for a sign-extended interpretation.
+type ConstInt struct {
+	Typ *Type
+	V   uint64
+}
+
+func (c *ConstInt) Type() *Type { return c.Typ }
+func (c *ConstInt) Ident() string {
+	return fmt.Sprintf("%d", c.SignedValue())
+}
+func (c *ConstInt) constant() {}
+
+// SignedValue returns the constant sign-extended to 64 bits.
+func (c *ConstInt) SignedValue() int64 {
+	return SignExtend(c.V, c.Typ.Bits())
+}
+
+// SignExtend sign-extends the low `bits` bits of v to 64 bits.
+func SignExtend(v uint64, bits int) int64 {
+	if bits >= 64 {
+		return int64(v)
+	}
+	shift := 64 - uint(bits)
+	return int64(v<<shift) >> shift
+}
+
+// Truncate masks v down to `bits` bits.
+func Truncate(v uint64, bits int) uint64 {
+	if bits >= 64 {
+		return v
+	}
+	return v & (1<<uint(bits) - 1)
+}
+
+// NewInt returns an integer constant of type t holding value v (truncated to
+// the type's width).
+func NewInt(t *Type, v int64) *ConstInt {
+	if !t.IsInt() {
+		panic("ir: NewInt with non-integer type " + t.String())
+	}
+	return &ConstInt{Typ: t, V: Truncate(uint64(v), t.Bits())}
+}
+
+// Bool returns an i1 constant.
+func Bool(b bool) *ConstInt {
+	if b {
+		return NewInt(I1, 1)
+	}
+	return NewInt(I1, 0)
+}
+
+// ConstFloat is a 64-bit floating-point constant.
+type ConstFloat struct {
+	F float64
+}
+
+func (c *ConstFloat) Type() *Type   { return F64 }
+func (c *ConstFloat) Ident() string { return fmt.Sprintf("%g", c.F) }
+func (c *ConstFloat) constant()     {}
+
+// Bits returns the IEEE-754 bit pattern of the constant.
+func (c *ConstFloat) Bits() uint64 { return math.Float64bits(c.F) }
+
+// ConstNull is the null pointer constant of a given pointer type.
+type ConstNull struct {
+	Typ *Type
+}
+
+func (c *ConstNull) Type() *Type   { return c.Typ }
+func (c *ConstNull) Ident() string { return "null" }
+func (c *ConstNull) constant()     {}
+
+// Null returns the null constant for pointer type t.
+func Null(t *Type) *ConstNull {
+	if !t.IsPointer() {
+		panic("ir: Null with non-pointer type " + t.String())
+	}
+	return &ConstNull{Typ: t}
+}
+
+// ConstUndef is an undefined value of any first-class type (reading it
+// yields an unspecified bit pattern; the VM uses a poison pattern).
+type ConstUndef struct {
+	Typ *Type
+}
+
+func (c *ConstUndef) Type() *Type   { return c.Typ }
+func (c *ConstUndef) Ident() string { return "undef" }
+func (c *ConstUndef) constant()     {}
+
+// ConstArray is an array initializer for globals.
+type ConstArray struct {
+	Typ   *Type // array type
+	Elems []Constant
+}
+
+func (c *ConstArray) Type() *Type   { return c.Typ }
+func (c *ConstArray) Ident() string { return "[...]" }
+func (c *ConstArray) constant()     {}
+
+// ConstStruct is a struct initializer for globals.
+type ConstStruct struct {
+	Typ    *Type // struct type
+	Fields []Constant
+}
+
+func (c *ConstStruct) Type() *Type   { return c.Typ }
+func (c *ConstStruct) Ident() string { return "{...}" }
+func (c *ConstStruct) constant()     {}
+
+// ConstString is a NUL-terminated byte-array initializer convenience.
+type ConstString struct {
+	S string // without the implicit trailing NUL
+}
+
+func (c *ConstString) Type() *Type   { return ArrayOf(len(c.S)+1, I8) }
+func (c *ConstString) Ident() string { return fmt.Sprintf("c%q", c.S) }
+func (c *ConstString) constant()     {}
+
+// GlobalAddr is a constant referring to the address of a global or
+// function, usable inside global initializers (e.g. a syscall table holding
+// function pointers).
+type GlobalAddr struct {
+	G Value // *Global or *Function
+}
+
+func (c *GlobalAddr) Type() *Type   { return c.G.Type() }
+func (c *GlobalAddr) Ident() string { return c.G.Ident() }
+func (c *GlobalAddr) constant()     {}
+
+// ZeroOf returns a zero constant for any first-class type.
+func ZeroOf(t *Type) Constant {
+	switch t.Kind() {
+	case IntKind:
+		return NewInt(t, 0)
+	case FloatKind:
+		return &ConstFloat{F: 0}
+	case PointerKind:
+		return Null(t)
+	}
+	panic("ir: ZeroOf non-first-class type " + t.String())
+}

@@ -1,0 +1,389 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VerifyError describes one structural verification failure.
+type VerifyError struct {
+	Fn    string
+	Block string
+	Msg   string
+}
+
+func (e VerifyError) Error() string {
+	if e.Fn == "" {
+		return e.Msg
+	}
+	return fmt.Sprintf("@%s/%s: %s", e.Fn, e.Block, e.Msg)
+}
+
+// VerifyModule performs the structural half of bytecode verification
+// (paper §3.1/§5): every function has a well-formed explicit CFG, all
+// instructions type-check, SSA definitions dominate their uses, and phi
+// nodes agree with predecessors.  Metapool typing rules are checked by
+// internal/typecheck on top of this.
+func VerifyModule(m *Module) []error {
+	var errs []error
+	for _, f := range m.Funcs {
+		errs = append(errs, VerifyFunc(f)...)
+	}
+	return errs
+}
+
+// VerifyFunc verifies a single function.
+func VerifyFunc(f *Function) []error {
+	var errs []error
+	fail := func(b *BasicBlock, format string, args ...interface{}) {
+		bn := ""
+		if b != nil {
+			bn = b.Nm
+		}
+		errs = append(errs, VerifyError{Fn: f.Nm, Block: bn, Msg: fmt.Sprintf(format, args...)})
+	}
+	if f.IsDecl() {
+		return nil
+	}
+	// Unique block labels.
+	labels := map[string]bool{}
+	for _, b := range f.Blocks {
+		if labels[b.Nm] {
+			fail(b, "duplicate block label")
+		}
+		labels[b.Nm] = true
+	}
+	// Every block terminated, terminators only at the end.
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			fail(b, "empty basic block")
+			continue
+		}
+		for i, in := range b.Instrs {
+			if in.Op.IsTerminator() != (i == len(b.Instrs)-1) {
+				if in.Op.IsTerminator() {
+					fail(b, "terminator %s in mid-block position %d", in.Op, i)
+				} else if i == len(b.Instrs)-1 {
+					fail(b, "block does not end in a terminator (ends with %s)", in.Op)
+				}
+			}
+		}
+	}
+	if len(errs) > 0 {
+		return errs // CFG construction needs terminators
+	}
+
+	cfg := BuildCFG(f)
+	dom := BuildDomTree(cfg)
+	f.Renumber()
+
+	// Instruction index within block for same-block dominance.
+	pos := map[*Instr]int{}
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			pos[in] = i
+		}
+	}
+
+	defBlock := map[Value]*BasicBlock{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if !in.Typ.IsVoid() {
+				defBlock[in] = b
+			}
+		}
+	}
+
+	checkUse := func(b *BasicBlock, user *Instr, v Value) {
+		switch v := v.(type) {
+		case *Instr:
+			db, ok := defBlock[v]
+			if !ok {
+				fail(b, "%s uses instruction result from another function or void instruction", user.Op)
+				return
+			}
+			if !cfg.Reachable(b) {
+				return // dead code: dominance is vacuous
+			}
+			if user.Op == OpPhi {
+				return // phi uses are checked against incoming edges below
+			}
+			if db == b {
+				if pos[v] >= pos[user] {
+					fail(b, "use of %s before its definition", v.Ident())
+				}
+				return
+			}
+			if !dom.Dominates(db, b) {
+				fail(b, "definition of %s in %s does not dominate use in %s", v.Ident(), db.Nm, b.Nm)
+			}
+		case *Param:
+			found := false
+			for _, p := range f.Params {
+				if p == v {
+					found = true
+				}
+			}
+			if !found {
+				fail(b, "use of foreign parameter %s", v.Ident())
+			}
+		}
+	}
+
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				checkUse(b, in, a)
+			}
+			if in.Op == OpCall && in.Callee != nil {
+				checkUse(b, in, in.Callee)
+			}
+			errs = append(errs, typeCheckInstr(f, b, in)...)
+		}
+	}
+
+	// Phi incoming edges must exactly match predecessors.
+	for _, b := range f.Blocks {
+		if !cfg.Reachable(b) {
+			continue
+		}
+		preds := append([]*BasicBlock(nil), cfg.Preds[b]...)
+		sort.Slice(preds, func(i, j int) bool { return preds[i].Nm < preds[j].Nm })
+		for _, in := range b.Instrs {
+			if in.Op != OpPhi {
+				continue
+			}
+			if len(in.Args) != len(preds) {
+				fail(b, "phi has %d incoming edges, block has %d predecessors", len(in.Args), len(preds))
+				continue
+			}
+			have := map[*BasicBlock]Value{}
+			for i, pb := range in.Blocks {
+				have[pb] = in.Args[i]
+			}
+			for _, p := range preds {
+				v, ok := have[p]
+				if !ok {
+					fail(b, "phi missing incoming edge from %s", p.Nm)
+					continue
+				}
+				if v.Type() != in.Typ {
+					fail(b, "phi incoming value from %s has type %s, want %s", p.Nm, v.Type(), in.Typ)
+				}
+				// The incoming def must dominate the predecessor.
+				if vi, ok := v.(*Instr); ok {
+					if db := defBlock[vi]; db != nil && cfg.Reachable(p) && !dom.Dominates(db, p) {
+						fail(b, "phi incoming %s does not dominate predecessor %s", v.Ident(), p.Nm)
+					}
+				}
+			}
+		}
+	}
+	return errs
+}
+
+func typeCheckInstr(f *Function, b *BasicBlock, in *Instr) []error {
+	var errs []error
+	fail := func(format string, args ...interface{}) {
+		errs = append(errs, VerifyError{Fn: f.Nm, Block: b.Nm, Msg: fmt.Sprintf(format, args...)})
+	}
+	argn := func(n int) bool {
+		if len(in.Args) != n {
+			fail("%s expects %d operands, has %d", in.Op, n, len(in.Args))
+			return false
+		}
+		return true
+	}
+	switch in.Op {
+	case OpAdd, OpSub, OpMul, OpUDiv, OpSDiv, OpURem, OpSRem,
+		OpAnd, OpOr, OpXor, OpShl, OpLShr, OpAShr:
+		if !argn(2) {
+			break
+		}
+		if !in.Typ.IsInt() || in.Args[0].Type() != in.Typ || in.Args[1].Type() != in.Typ {
+			fail("%s operands must be %s", in.Op, in.Typ)
+		}
+	case OpFAdd, OpFSub, OpFMul, OpFDiv:
+		if !argn(2) {
+			break
+		}
+		if !in.Typ.IsFloat() || in.Args[0].Type() != F64 || in.Args[1].Type() != F64 {
+			fail("%s operands must be f64", in.Op)
+		}
+	case OpICmp:
+		if !argn(2) {
+			break
+		}
+		t := in.Args[0].Type()
+		if (!t.IsInt() && !t.IsPointer()) || in.Args[1].Type() != t || in.Typ != I1 {
+			fail("icmp requires matching int/pointer operands and i1 result")
+		}
+	case OpFCmp:
+		if !argn(2) {
+			break
+		}
+		if in.Args[0].Type() != F64 || in.Args[1].Type() != F64 || in.Typ != I1 {
+			fail("fcmp requires f64 operands and i1 result")
+		}
+	case OpBr:
+		if len(in.Blocks) != 1 {
+			fail("br requires one target")
+		}
+	case OpCondBr:
+		if !argn(1) || len(in.Blocks) != 2 {
+			fail("condbr requires one i1 operand and two targets")
+			break
+		}
+		if in.Args[0].Type() != I1 {
+			fail("condbr condition must be i1, got %s", in.Args[0].Type())
+		}
+	case OpSwitch:
+		if len(in.Args) < 1 || len(in.Blocks) != len(in.Args) {
+			fail("switch requires a value, a default and matching case targets")
+			break
+		}
+		t := in.Args[0].Type()
+		if !t.IsInt() {
+			fail("switch value must be an integer")
+		}
+		for _, c := range in.Args[1:] {
+			ci, ok := c.(*ConstInt)
+			if !ok || ci.Typ != t {
+				fail("switch case must be a %s constant", t)
+			}
+		}
+	case OpRet:
+		want := f.Sig.Ret()
+		if want.IsVoid() {
+			if len(in.Args) != 0 {
+				fail("ret with value in void function")
+			}
+		} else {
+			if len(in.Args) != 1 {
+				fail("ret without value in %s function", want)
+			} else if in.Args[0].Type() != want {
+				fail("ret type %s, want %s", in.Args[0].Type(), want)
+			}
+		}
+	case OpPhi:
+		if len(in.Args) == 0 || len(in.Args) != len(in.Blocks) {
+			fail("phi requires matching value/block lists")
+		}
+	case OpAlloca:
+		if in.AllocTy == nil || !in.Typ.IsPointer() || in.Typ.Elem() != in.AllocTy {
+			fail("alloca result must be pointer to its element type")
+		}
+		if len(in.Args) == 1 && !in.Args[0].Type().IsInt() {
+			fail("alloca count must be an integer")
+		}
+	case OpLoad:
+		if !argn(1) {
+			break
+		}
+		pt := in.Args[0].Type()
+		if !pt.IsPointer() || pt.Elem() != in.Typ {
+			fail("load result %s does not match pointer %s", in.Typ, pt)
+		}
+	case OpStore:
+		if !argn(2) {
+			break
+		}
+		pt := in.Args[1].Type()
+		if !pt.IsPointer() || pt.Elem() != in.Args[0].Type() {
+			fail("store of %s through %s", in.Args[0].Type(), pt)
+		}
+	case OpGEP:
+		if len(in.Args) < 2 {
+			fail("getelementptr requires a base and at least one index")
+			break
+		}
+		rt, err := GEPResultType(in.Args[0].Type(), in.Args[1:])
+		if err != nil {
+			fail("%v", err)
+		} else if rt != in.Typ {
+			fail("getelementptr result %s, want %s", in.Typ, rt)
+		}
+	case OpCall:
+		if in.Callee == nil {
+			fail("call without callee")
+			break
+		}
+		var sig *Type
+		if fn, ok := in.Callee.(*Function); ok {
+			sig = fn.Sig
+		} else if ct := in.Callee.Type(); ct.IsPointer() && ct.Elem().IsFunc() {
+			sig = ct.Elem()
+		} else {
+			fail("call of non-function %s", in.Callee.Type())
+			break
+		}
+		params := sig.Params()
+		if !sig.Variadic() && len(in.Args) != len(params) {
+			fail("call with %d args, want %d", len(in.Args), len(params))
+		}
+		for i := 0; i < len(params) && i < len(in.Args); i++ {
+			if in.Args[i].Type() != params[i] {
+				fail("call arg %d has type %s, want %s", i, in.Args[i].Type(), params[i])
+			}
+		}
+		if sig.Ret() != in.Typ {
+			fail("call result %s, want %s", in.Typ, sig.Ret())
+		}
+	case OpTrunc:
+		if argn(1) && (!in.Args[0].Type().IsInt() || !in.Typ.IsInt() || in.Args[0].Type().Bits() <= in.Typ.Bits()) {
+			fail("trunc must narrow an integer")
+		}
+	case OpZExt, OpSExt:
+		if argn(1) && (!in.Args[0].Type().IsInt() || !in.Typ.IsInt() || in.Args[0].Type().Bits() >= in.Typ.Bits()) {
+			fail("%s must widen an integer", in.Op)
+		}
+	case OpPtrToInt:
+		if argn(1) && (!in.Args[0].Type().IsPointer() || !in.Typ.IsInt()) {
+			fail("ptrtoint requires pointer operand and integer result")
+		}
+	case OpIntToPtr:
+		if argn(1) && (!in.Args[0].Type().IsInt() || !in.Typ.IsPointer()) {
+			fail("inttoptr requires integer operand and pointer result")
+		}
+	case OpBitcast:
+		if argn(1) && (!in.Args[0].Type().IsPointer() || !in.Typ.IsPointer()) {
+			fail("bitcast requires pointer-to-pointer conversion")
+		}
+	case OpSIToFP:
+		if argn(1) && (!in.Args[0].Type().IsInt() || !in.Typ.IsFloat()) {
+			fail("sitofp requires integer operand and float result")
+		}
+	case OpFPToSI:
+		if argn(1) && (!in.Args[0].Type().IsFloat() || !in.Typ.IsInt()) {
+			fail("fptosi requires float operand and integer result")
+		}
+	case OpSelect:
+		if !argn(3) {
+			break
+		}
+		if in.Args[0].Type() != I1 || in.Args[1].Type() != in.Typ || in.Args[2].Type() != in.Typ {
+			fail("select requires i1 condition and matching arms")
+		}
+	case OpCmpXchg:
+		if !argn(3) {
+			break
+		}
+		pt := in.Args[0].Type()
+		if !pt.IsPointer() || pt.Elem() != in.Args[1].Type() || pt.Elem() != in.Args[2].Type() || in.Typ != pt.Elem() {
+			fail("cmpxchg operand/result types inconsistent")
+		}
+	case OpAtomicRMW:
+		if !argn(2) {
+			break
+		}
+		pt := in.Args[0].Type()
+		if !pt.IsPointer() || pt.Elem() != in.Args[1].Type() || in.Typ != pt.Elem() {
+			fail("atomicrmw operand/result types inconsistent")
+		}
+	case OpFence, OpUnreachable:
+		// no operands
+	default:
+		fail("unknown opcode %d", int(in.Op))
+	}
+	return errs
+}

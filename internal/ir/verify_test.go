@@ -1,0 +1,206 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	m := NewModule("m")
+	f := m.NewFunc("f", FuncOf(Void, nil, false))
+	bb := f.NewBlock("entry")
+	bb.Append(&Instr{Op: OpAdd, Typ: I64, Args: []Value{I64c(1), I64c(2)}})
+	errs := VerifyFunc(f)
+	if len(errs) == 0 {
+		t.Fatal("missing terminator not detected")
+	}
+	if !strings.Contains(errs[0].Error(), "terminator") {
+		t.Errorf("unexpected error: %v", errs[0])
+	}
+}
+
+func TestVerifyCatchesEmptyBlock(t *testing.T) {
+	m := NewModule("m")
+	f := m.NewFunc("f", FuncOf(Void, nil, false))
+	f.NewBlock("entry")
+	if errs := VerifyFunc(f); len(errs) == 0 {
+		t.Fatal("empty block not detected")
+	}
+}
+
+func TestVerifyCatchesUseBeforeDef(t *testing.T) {
+	m := NewModule("m")
+	f := m.NewFunc("f", FuncOf(I64, nil, false))
+	bb := f.NewBlock("entry")
+	add := &Instr{Op: OpAdd, Typ: I64}
+	add2 := &Instr{Op: OpAdd, Typ: I64, Args: []Value{I64c(1), I64c(1)}}
+	add.Args = []Value{add2, I64c(1)} // add uses add2, which comes later
+	bb.Append(add)
+	bb.Append(add2)
+	bb.Append(&Instr{Op: OpRet, Typ: Void, Args: []Value{add}})
+	errs := VerifyFunc(f)
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "before its definition") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("use-before-def not detected: %v", errs)
+	}
+}
+
+func TestVerifyCatchesNonDominatingDef(t *testing.T) {
+	// if (c) { x = 1+2 } ; use x  -- x does not dominate the join.
+	m := NewModule("m")
+	b := NewBuilder(m)
+	f := b.NewFunc("f", FuncOf(I64, []*Type{I1}, false), "c")
+	then := b.Block("then")
+	join := b.Block("join")
+	b.CondBr(b.Param(0), then, join)
+	b.SetBlock(then)
+	x := b.Add(I64c(1), I64c(2))
+	b.Br(join)
+	b.SetBlock(join)
+	b.Ret(x)
+	errs := VerifyFunc(f)
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "does not dominate") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("non-dominating def not detected: %v", errs)
+	}
+}
+
+func TestVerifyCatchesTypeErrors(t *testing.T) {
+	m := NewModule("m")
+	f := m.NewFunc("f", FuncOf(I64, nil, false))
+	bb := f.NewBlock("entry")
+	// store i64 through i32*
+	p := &Instr{Op: OpAlloca, Typ: PointerTo(I32), AllocTy: I32}
+	bb.Append(p)
+	bad := &Instr{Op: OpStore, Typ: Void, Args: []Value{I64c(1), p}}
+	bb.Append(bad)
+	bb.Append(&Instr{Op: OpRet, Typ: Void, Args: []Value{I64c(0)}})
+	errs := VerifyFunc(f)
+	if len(errs) == 0 {
+		t.Fatal("store type mismatch not detected")
+	}
+}
+
+func TestVerifyCatchesBadRet(t *testing.T) {
+	m := NewModule("m")
+	f := m.NewFunc("f", FuncOf(I64, nil, false))
+	bb := f.NewBlock("entry")
+	bb.Append(&Instr{Op: OpRet, Typ: Void}) // missing value
+	if errs := VerifyFunc(f); len(errs) == 0 {
+		t.Fatal("void ret in i64 function not detected")
+	}
+}
+
+func TestVerifyPhiAgainstPreds(t *testing.T) {
+	m := NewModule("m")
+	b := NewBuilder(m)
+	f := b.NewFunc("f", FuncOf(I64, []*Type{I1}, false), "c")
+	then := b.Block("then")
+	els := b.Block("else")
+	join := b.Block("join")
+	b.CondBr(b.Param(0), then, els)
+	b.SetBlock(then)
+	b.Br(join)
+	b.SetBlock(els)
+	b.Br(join)
+	b.SetBlock(join)
+	// Correct phi verifies.
+	ph := b.Phi(I64, []Value{I64c(1), I64c(2)}, []*BasicBlock{then, els})
+	b.Ret(ph)
+	if errs := VerifyFunc(f); len(errs) != 0 {
+		t.Fatalf("valid phi rejected: %v", errs)
+	}
+	// Phi with a missing edge is rejected.
+	ph.Args = ph.Args[:1]
+	ph.Blocks = ph.Blocks[:1]
+	if errs := VerifyFunc(f); len(errs) == 0 {
+		t.Fatal("phi with missing incoming edge not detected")
+	}
+}
+
+func TestVerifyCondBrRequiresI1(t *testing.T) {
+	m := NewModule("m")
+	f := m.NewFunc("f", FuncOf(Void, nil, false))
+	bb := f.NewBlock("entry")
+	dst := f.NewBlock("dst")
+	dst.Append(&Instr{Op: OpRet, Typ: Void})
+	bb.Append(&Instr{Op: OpCondBr, Typ: Void, Args: []Value{I64c(1)}, Blocks: []*BasicBlock{dst, dst}})
+	if errs := VerifyFunc(f); len(errs) == 0 {
+		t.Fatal("condbr on i64 not detected")
+	}
+}
+
+func TestDominatorTree(t *testing.T) {
+	// Diamond: entry -> a, b -> join.
+	m := NewModule("m")
+	b := NewBuilder(m)
+	f := b.NewFunc("f", FuncOf(Void, []*Type{I1}, false), "c")
+	a := b.Block("a")
+	bb := b.Block("b")
+	j := b.Block("j")
+	entry := f.Blocks[0]
+	b.CondBr(b.Param(0), a, bb)
+	b.SetBlock(a)
+	b.Br(j)
+	b.SetBlock(bb)
+	b.Br(j)
+	b.SetBlock(j)
+	b.Ret(nil)
+	cfg := BuildCFG(f)
+	dom := BuildDomTree(cfg)
+	if dom.IDom(j) != entry {
+		t.Errorf("idom(join) = %v, want entry", dom.IDom(j))
+	}
+	if dom.IDom(a) != entry || dom.IDom(bb) != entry {
+		t.Error("idom of branches should be entry")
+	}
+	if !dom.Dominates(entry, j) || dom.Dominates(a, j) || dom.Dominates(j, a) {
+		t.Error("dominance relation wrong on diamond")
+	}
+	if !dom.Dominates(a, a) {
+		t.Error("dominance must be reflexive")
+	}
+}
+
+func TestCFGUnreachableBlock(t *testing.T) {
+	m := NewModule("m")
+	b := NewBuilder(m)
+	f := b.NewFunc("f", FuncOf(Void, nil, false))
+	b.Ret(nil)
+	dead := b.Block("dead")
+	b.SetBlock(dead)
+	b.Ret(nil)
+	cfg := BuildCFG(f)
+	if cfg.Reachable(dead) {
+		t.Error("dead block reported reachable")
+	}
+	if !cfg.Reachable(f.Entry()) {
+		t.Error("entry reported unreachable")
+	}
+	if errs := VerifyFunc(f); len(errs) != 0 {
+		t.Errorf("function with dead block should verify: %v", errs)
+	}
+}
+
+func TestVerifyCastRules(t *testing.T) {
+	m := NewModule("m")
+	f := m.NewFunc("f", FuncOf(Void, nil, false))
+	bb := f.NewBlock("entry")
+	// zext that narrows is invalid.
+	bad := &Instr{Op: OpZExt, Typ: I8, Args: []Value{I64c(300)}}
+	bb.Append(bad)
+	bb.Append(&Instr{Op: OpRet, Typ: Void})
+	if errs := VerifyFunc(f); len(errs) == 0 {
+		t.Fatal("narrowing zext not detected")
+	}
+}

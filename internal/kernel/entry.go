@@ -1,0 +1,102 @@
+package kernel
+
+import (
+	"sva/internal/ir"
+	"sva/internal/svaops"
+)
+
+// buildSyscalls emits syscalls_init, which registers every handler with
+// the SVM through sva.register.syscall — the registration the pointer
+// analysis uses to resolve internal system calls (§4.8).
+func (k *K) buildSyscalls() {
+	b := k.B
+	k.fn("syscalls_init", SubArchDep, ir.Void, nil)
+	regs := []struct {
+		num  int64
+		name string
+	}{
+		{SysExit, "sys_exit"},
+		{SysFork, "sys_fork"},
+		{SysRead, "sys_read"},
+		{SysWrite, "sys_write"},
+		{SysOpen, "sys_open"},
+		{SysClose, "sys_close"},
+		{SysWaitpid, "sys_waitpid"},
+		{SysUnlink, "sys_unlink"},
+		{SysExecve, "sys_execve"},
+		{SysLseek, "sys_lseek"},
+		{SysGetpid, "sys_getpid"},
+		{SysKill, "sys_kill"},
+		{SysDup, "sys_dup"},
+		{SysPipe, "sys_pipe"},
+		{SysBrk, "sys_brk"},
+		{SysSigaction, "sys_sigaction"},
+		{SysGetrusage, "sys_getrusage"},
+		{SysGettimeofday, "sys_gettimeofday"},
+		{SysNetSend, "sys_netsend"},
+		{SysNetRecv, "sys_netrecv"},
+		{SysYield, "sys_yield"},
+		{SysSetsockoptMSFilter, "sys_setsockopt_msfilter"},
+		{SysIGMPInput, "sys_igmp_input"},
+		{SysBTIoctl, "sys_bt_ioctl"},
+		{SysPollEvents, "sys_poll_events"},
+		{SysCoreDump, "sys_coredump"},
+	}
+	for _, r := range regs {
+		f := k.M.Func(r.name)
+		if f == nil {
+			panic("kernel: unregistered syscall implementation " + r.name)
+		}
+		k.op(svaops.RegisterSyscall, c64(r.num), b.Bitcast(f, k.BP))
+	}
+	b.Ret(nil)
+}
+
+// buildEntry emits the timer interrupt handler and kernel_entry(kstackTop):
+// the boot sequence.  The host "boot loader" creates an execution state for
+// this function and runs it; afterwards the system is live and user
+// programs can trap in.
+func (k *K) buildEntry() {
+	b := k.B
+	banner := k.global("boot_banner", ir.ArrayOf(20, ir.I8), &ir.ConstString{S: "SVA vkernel booted\n"}, SubCore)
+	jiffies := k.global("jiffies", ir.I64, c64(0), SubCore)
+
+	// timer_isr(vec, icp): the clock tick, delivered asynchronously by the
+	// SVM whenever the interrupt controller is enabled.
+	k.fn("timer_isr", SubArchDep, ir.Void, []*ir.Type{ir.I64, ir.I64}, "vec", "icp")
+	b.AtomicRMW(ir.RMWAdd, jiffies, c64(1))
+	b.Ret(nil)
+
+	k.fn("kernel_entry", SubCore, ir.I64, []*ir.Type{ir.I64}, "kstack")
+	// Arch port: establish the kernel's identity mappings through the
+	// SVA-OS MMU interface (the SVM mediates every mapping, §3.4).  The
+	// miniature machine runs identity-mapped; a page per region suffices
+	// to exercise the mediation path.
+	for _, base := range []int64{0x0010_0000, 0x8000_0000, 0x8010_0000, 0xC000_0000} {
+		k.op(svaops.MMUMap, c64(base), c64(base), c64(7 /* r|w|x */))
+	}
+	b.Call(k.M.Func("mm_init"))
+	b.Call(k.M.Func("pipe_init"))
+	b.Call(k.M.Func("fs_init"))
+	b.Call(k.M.Func("net_init"))
+	b.Call(k.M.Func("proc_init"), b.Param(0))
+	b.Call(k.M.Func("syscalls_init"))
+	// Clock: register the tick handler, program the interval timer, and
+	// enable interrupt delivery.
+	k.op(svaops.RegisterInterrupt, c64(32), b.Bitcast(k.M.Func("timer_isr"), k.BP))
+	k.op(svaops.TimerArm, c64(20000))
+	k.op(svaops.IntrEnable, c64(1))
+	// Manufactured BIOS range, registered before first use (§4.7).
+	k.op(svaops.PseudoAlloc, c64(0xE0000), c64(0xFFFFF))
+	k.Ledger.Analysis[SubCore]++
+	bios := b.IntToPtr(c64(0xE0000), k.BP)
+	// Scan for an ACPI-style signature (exercises the registered region).
+	sum := b.Alloca(ir.I64, "sum")
+	b.Store(c64(0), sum)
+	b.For("i", c64(0), c64(64), c64(1), func(i ir.Value) {
+		ch := b.Load(b.GEP(bios, b.Mul(i, c64(512))))
+		b.Store(b.Add(b.Load(sum), b.ZExt(ch, ir.I64)), sum)
+	})
+	b.Call(k.M.Func("kputs"), b.Bitcast(banner, k.BP))
+	b.Ret(b.Load(sum))
+}

@@ -1,0 +1,492 @@
+package kernel
+
+import (
+	"testing"
+
+	"sva/internal/abi"
+	"sva/internal/hw"
+	"sva/internal/ir"
+	"sva/internal/svaops"
+	"sva/internal/userland"
+	"sva/internal/vm"
+)
+
+// edgeModule builds programs probing error paths and corner cases.
+func edgeModule() *userland.U {
+	u := userland.New("edge")
+	b := u.B
+	missing := u.StrGlobal("s_missing", "/no/such/file")
+	fname := u.StrGlobal("s_edge", "/tmp/edge")
+
+	// open_enoent: opening a missing file without O_CREAT.
+	u.Prog("open_enoent")
+	b.Ret(u.Open(missing(), 0))
+
+	// bad_fd: reading from an fd that was never opened.
+	u.Prog("bad_fd")
+	buf := b.Alloca(ir.ArrayOf(8, ir.I8), "b")
+	b.Ret(u.Read(ir.I64c(11), u.Addr(buf), ir.I64c(1)))
+
+	// fd_exhaust: open until the per-task table fills; returns the error
+	// (closing everything again — the boot task's table is shared across
+	// the battery).
+	u.Prog("fd_exhaust")
+	last := b.Alloca(ir.I64, "last")
+	b.Store(ir.I64c(0), last)
+	b.For("i", ir.I64c(0), ir.I64c(NumFiles+2), ir.I64c(1), func(i ir.Value) {
+		fd := u.Open(fname(), 64)
+		bad := b.ICmp(ir.PredSLT, fd, ir.I64c(0))
+		b.If(bad, func() {
+			b.Store(fd, last)
+			b.Break()
+		})
+	})
+	b.For("fd", ir.I64c(0), ir.I64c(NumFiles), ir.I64c(1), func(fd ir.Value) {
+		u.Close(fd)
+	})
+	b.Ret(b.Load(last))
+
+	// wait_echild: waitpid with no children.
+	u.Prog("wait_echild")
+	b.Ret(u.Waitpid(ir.I64c(-1)))
+
+	// kill_esrch: signal a nonexistent pid.
+	u.Prog("kill_esrch")
+	b.Ret(u.Kill(ir.I64c(55), ir.I64c(10)))
+
+	// lseek_einval: negative resulting offset.
+	u.Prog("lseek_einval")
+	fd := u.Open(fname(), 64)
+	b.Ret(u.Lseek(fd, ir.I64c(-5), ir.I64c(0)))
+
+	// pipe_eof: close the write end; a read must return 0.
+	u.Prog("pipe_eof")
+	fds := b.Alloca(ir.ArrayOf(2, ir.I64), "fds")
+	u.Pipe(u.Addr(fds))
+	rfd := b.Load(b.Index(fds, ir.I32c(0)))
+	wfd := b.Load(b.Index(fds, ir.I32c(1)))
+	u.Close(wfd)
+	rb := b.Alloca(ir.ArrayOf(8, ir.I8), "rb")
+	b.Ret(u.Read(rfd, u.Addr(rb), ir.I64c(8)))
+
+	// pipe_epipe: close the read end; a write must fail.
+	u.Prog("pipe_epipe")
+	fds2 := b.Alloca(ir.ArrayOf(2, ir.I64), "fds")
+	u.Pipe(u.Addr(fds2))
+	rfd2 := b.Load(b.Index(fds2, ir.I32c(0)))
+	wfd2 := b.Load(b.Index(fds2, ir.I32c(1)))
+	u.Close(rfd2)
+	wb := b.Alloca(ir.ArrayOf(8, ir.I8), "wb")
+	b.Ret(u.Write(wfd2, u.Addr(wb), ir.I64c(8)))
+
+	// sbrk_enomem: growing past the arena.
+	u.Prog("sbrk_enomem")
+	u.Sbrk(ir.I64c(0)) // force arena creation
+	b.Ret(u.Sbrk(ir.I64c(UserBrkArena + 4096)))
+
+	// console_echo: read injected console input back through the VFS.
+	console := u.StrGlobal("s_cons2", "/dev/console")
+	u.Prog("console_echo")
+	cfd := u.Open(console(), 0)
+	cb := b.Alloca(ir.ArrayOf(16, ir.I8), "cb")
+	n := u.Read(cfd, u.Addr(cb), ir.I64c(16))
+	u.Close(cfd)
+	first := b.Load(b.Index(cb, ir.I32c(0)))
+	b.Ret(b.Add(b.Mul(n, ir.I64c(1000)), b.ZExt(first, ir.I64)))
+
+	// dup_shares_offset: dup'd fds share the file position.
+	u.Prog("dup_shares_offset")
+	dfd := u.Open(fname(), 64|512)
+	area := u.Sbrk(ir.I64c(4096))
+	u.Write(dfd, area, ir.I64c(100))
+	d2 := u.Trap(abi.SysDup, dfd)
+	pos := u.Lseek(d2, ir.I64c(0), ir.I64c(1)) // SEEK_CUR through the dup
+	u.Close(dfd)
+	u.Close(d2)
+	b.Ret(pos)
+
+	u.SealAll()
+	return u
+}
+
+func TestErrorPaths(t *testing.T) {
+	for _, cfg := range []vm.Config{vm.ConfigNative, vm.ConfigSafe} {
+		t.Run(cfg.String(), func(t *testing.T) {
+			u := edgeModule()
+			sys, err := NewSystem(cfg, true, u.M)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cases := []struct {
+				prog string
+				arg  uint64
+				want int64
+			}{
+				{"open_enoent", 0, -int64(ENOENT)},
+				{"bad_fd", 0, -int64(EBADF)},
+				{"fd_exhaust", 0, -int64(EMFILE)},
+				{"wait_echild", 0, -int64(ECHILD)},
+				{"kill_esrch", 0, -int64(ESRCH)},
+				{"lseek_einval", 0, -int64(EINVAL)},
+				{"pipe_eof", 0, 0},
+				{"pipe_epipe", 0, -int64(EINVAL)},
+				{"sbrk_enomem", 0, -int64(ENOMEM)},
+				{"dup_shares_offset", 0, 100},
+			}
+			for _, c := range cases {
+				got, err := sys.RunUser(u.M.Func(c.prog), c.arg, 0)
+				if err != nil {
+					t.Fatalf("%s: %v", c.prog, err)
+				}
+				if int64(got) != c.want {
+					t.Errorf("%s = %d, want %d", c.prog, int64(got), c.want)
+				}
+			}
+			if cfg == vm.ConfigSafe && len(sys.VM.Violations) != 0 {
+				t.Errorf("error paths raised violations: %v", sys.VM.Violations[0])
+			}
+		})
+	}
+}
+
+func TestConsoleInputThroughVFS(t *testing.T) {
+	u := edgeModule()
+	sys, err := NewSystem(vm.ConfigSafe, true, u.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.VM.Mach.Console.InjectInput([]byte("Zx"))
+	got, err := sys.RunUser(u.M.Func("console_echo"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 bytes read, first is 'Z'.
+	if got != 2000+'Z' {
+		t.Errorf("console_echo = %d, want %d", got, 2000+'Z')
+	}
+}
+
+// TestDynamicModuleLoad loads a device-driver module into a *booted*
+// system (paper §2: "kernel modules and device drivers can be dynamically
+// loaded and unloaded"), runs its init to register a new syscall, and
+// calls it from user space.  The module is "unknown" code — never seen by
+// the safety compiler — which the design explicitly permits.
+func TestDynamicModuleLoad(t *testing.T) {
+	u := edgeModule()
+	sys, err := NewSystem(vm.ConfigSafe, true, u.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The module, built (or shipped) after boot.
+	drv := ir.NewModule("extradrv")
+	db := ir.NewBuilder(drv)
+	hsig := ir.FuncOf(ir.I64, []*ir.Type{ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64}, false)
+	db.NewFunc("sys_triple", hsig, "icp", "a0", "a1", "a2", "a3", "a4", "a5")
+	db.Ret(db.Mul(db.Param(1), ir.I64c(3)))
+	db.NewFunc("mod_init", ir.FuncOf(ir.I64, nil, false))
+	db.Call(svaops.Get(drv, svaops.RegisterSyscall), ir.I64c(230),
+		db.Bitcast(drv.Func("sys_triple"), svaops.BytePtr))
+	db.Ret(ir.I64c(0))
+	db.Seal()
+	if errs := ir.VerifyModule(drv); len(errs) != 0 {
+		t.Fatalf("driver module: %v", errs[0])
+	}
+
+	// Load and initialize in kernel context (modprobe).
+	if err := sys.VM.LoadModule(drv, false); err != nil {
+		t.Fatal(err)
+	}
+	top, _ := sys.VM.AllocKernelStack(KStackSize)
+	ex, err := sys.VM.NewExec(drv.Func("mod_init"), nil, top, hw.PrivKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.VM.SetExec(ex)
+	if _, err := sys.VM.Run(); err != nil {
+		t.Fatalf("mod_init: %v", err)
+	}
+
+	// A user program shipped later uses the new syscall.
+	up := userland.New("moduser")
+	up.Prog("use_triple")
+	r := up.Trap(230, up.B.Param(0))
+	up.B.Ret(r)
+	up.SealAll()
+	if err := sys.VM.LoadModule(up.M, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sys.RunUser(up.M.Func("use_triple"), 14, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Errorf("use_triple(14) = %d, want 42", got)
+	}
+
+	// "Unload": a replacement module takes over the number (the kernel
+	// re-registers, as on driver reload).
+	drv2 := ir.NewModule("extradrv2")
+	db2 := ir.NewBuilder(drv2)
+	db2.NewFunc("sys_quad", hsig, "icp", "a0", "a1", "a2", "a3", "a4", "a5")
+	db2.Ret(db2.Mul(db2.Param(1), ir.I64c(4)))
+	db2.NewFunc("mod2_init", ir.FuncOf(ir.I64, nil, false))
+	db2.Call(svaops.Get(drv2, svaops.RegisterSyscall), ir.I64c(230),
+		db2.Bitcast(drv2.Func("sys_quad"), svaops.BytePtr))
+	db2.Ret(ir.I64c(0))
+	db2.Seal()
+	if err := sys.VM.LoadModule(drv2, false); err != nil {
+		t.Fatal(err)
+	}
+	ex2, _ := sys.VM.NewExec(drv2.Func("mod2_init"), nil, top, hw.PrivKernel)
+	sys.VM.SetExec(ex2)
+	if _, err := sys.VM.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got, err = sys.RunUser(up.M.Func("use_triple"), 14, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 56 {
+		t.Errorf("after reload, syscall 230 (14) = %d, want 56", got)
+	}
+}
+
+// TestDeterministicCycles: the same workload on the same configuration
+// costs exactly the same number of virtual cycles, run to run — the basis
+// of the evaluation's reproducibility.
+func TestDeterministicCycles(t *testing.T) {
+	measure := func() uint64 {
+		u := userland.BuildTestPrograms()
+		sys, err := NewSystem(vm.ConfigSafe, true, u.M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c0 := sys.VM.Mach.CPU.Cycles
+		if _, err := sys.RunUser(u.M.Func("pipeecho"), 30000, 0); err != nil {
+			t.Fatal(err)
+		}
+		return sys.VM.Mach.CPU.Cycles - c0
+	}
+	a, b := measure(), measure()
+	if a != b {
+		t.Errorf("cycle counts differ across runs: %d vs %d", a, b)
+	}
+	if a == 0 {
+		t.Error("no cycles charged")
+	}
+}
+
+// TestClockTicksDuringUserWork: the timer interrupt is delivered
+// asynchronously while user code runs, and the kernel's tick handler
+// advances jiffies — interrupt contexts work outside syscalls too.
+func TestClockTicksDuringUserWork(t *testing.T) {
+	u := userland.New("spinner")
+	b := u.B
+	u.Prog("spin")
+	acc := b.Alloca(ir.I64, "acc")
+	b.Store(ir.I64c(1), acc)
+	b.For("i", ir.I64c(0), b.Param(0), ir.I64c(1), func(i ir.Value) {
+		b.Store(b.Add(b.Load(acc), i), acc)
+	})
+	b.Ret(b.Load(acc))
+	u.SealAll()
+	sys, err := NewSystem(vm.ConfigSafe, true, u.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunUser(u.M.Func("spin"), 100_000, 0); err != nil {
+		t.Fatal(err)
+	}
+	j, err := sys.PeekGlobal("jiffies", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j < 5 {
+		t.Errorf("jiffies = %d; timer interrupts not delivered during user work", j)
+	}
+	if sys.VM.Mach.Timer.Ticks < 5 {
+		t.Errorf("hardware ticks = %d", sys.VM.Mach.Timer.Ticks)
+	}
+}
+
+// TestBlockDeviceFile: /dev/rawdisk round-trips data through the simulated
+// disk, and the bytes are visible on the raw device.
+func TestBlockDeviceFile(t *testing.T) {
+	u := userland.New("blk")
+	b := u.B
+	disk := u.StrGlobal("s_disk", "/dev/rawdisk")
+	u.Prog("disk_rw")
+	fd := u.Open(disk(), 0)
+	bad := b.ICmp(ir.PredSLT, fd, ir.I64c(0))
+	b.If(bad, func() { b.Ret(fd) })
+	area := u.Sbrk(ir.I64c(8192))
+	// Pattern 1300 bytes (crosses sector boundaries), write at offset 700.
+	b.For("i", ir.I64c(0), ir.I64c(1300), ir.I64c(1), func(i ir.Value) {
+		p := b.IntToPtr(b.Add(area, i), ir.PointerTo(ir.I8))
+		b.Store(b.Trunc(b.And(b.Add(i, ir.I64c(7)), ir.I64c(0xFF)), ir.I8), p)
+	})
+	u.Lseek(fd, ir.I64c(700), ir.I64c(0))
+	w := u.Write(fd, area, ir.I64c(1300))
+	short := b.ICmp(ir.PredNE, w, ir.I64c(1300))
+	b.If(short, func() { b.Ret(ir.I64c(-100)) })
+	// Read back and compare.
+	u.Lseek(fd, ir.I64c(700), ir.I64c(0))
+	rarea := b.Add(area, ir.I64c(4096))
+	r := u.Read(fd, rarea, ir.I64c(1300))
+	short2 := b.ICmp(ir.PredNE, r, ir.I64c(1300))
+	b.If(short2, func() { b.Ret(ir.I64c(-101)) })
+	b.For("i", ir.I64c(0), ir.I64c(1300), ir.I64c(1), func(i ir.Value) {
+		a := b.Load(b.IntToPtr(b.Add(area, i), ir.PointerTo(ir.I8)))
+		c := b.Load(b.IntToPtr(b.Add(rarea, i), ir.PointerTo(ir.I8)))
+		diff := b.ICmp(ir.PredNE, a, c)
+		b.If(diff, func() { b.Ret(ir.I64c(-102)) })
+	})
+	u.Close(fd)
+	b.Ret(ir.I64c(1300))
+	u.SealAll()
+
+	for _, cfg := range []vm.Config{vm.ConfigNative, vm.ConfigSafe} {
+		sys, err := NewSystem(cfg, true, u.M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sys.RunUser(u.M.Func("disk_rw"), 0, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg, err)
+		}
+		if int64(got) != 1300 {
+			t.Fatalf("%v: disk_rw = %d", cfg, int64(got))
+		}
+		// The bytes landed on the simulated hardware.
+		sect := make([]byte, hw.SectorSize)
+		if err := sys.VM.Mach.Disk.ReadSector(1, sect); err != nil {
+			t.Fatal(err)
+		}
+		// Offset 700 = sector 1, offset 188; pattern value (i+7)&0xFF at i=0.
+		if sect[188] != 7 {
+			t.Errorf("%v: disk sector byte = %d, want 7", cfg, sect[188])
+		}
+		if sys.VM.Mach.Disk.Writes == 0 {
+			t.Errorf("%v: no physical disk writes recorded", cfg)
+		}
+	}
+}
+
+// TestManyChildren stresses the scheduler and pid recycling: rounds of
+// multiple concurrent children, each exiting with a distinct code, all
+// reaped in order.
+func TestManyChildren(t *testing.T) {
+	u := userland.New("many")
+	b := u.B
+	u.Prog("spawn_many")
+	// Each round: fork 5 children; child i exits immediately; parent reaps
+	// all and accumulates reaped-pid count.
+	count := b.Alloca(ir.I64, "count")
+	b.Store(ir.I64c(0), count)
+	b.For("round", ir.I64c(0), b.Param(0), ir.I64c(1), func(round ir.Value) {
+		pids := b.Alloca(ir.ArrayOf(5, ir.I64), "pids")
+		b.For("i", ir.I64c(0), ir.I64c(5), ir.I64c(1), func(i ir.Value) {
+			pid := u.Fork()
+			isC := b.ICmp(ir.PredEQ, pid, ir.I64c(0))
+			b.If(isC, func() { u.Exit(i) })
+			errF := b.ICmp(ir.PredSLT, pid, ir.I64c(0))
+			b.If(errF, func() { b.Ret(pid) })
+			b.Store(pid, b.Index(pids, i))
+		})
+		b.For("i", ir.I64c(0), ir.I64c(5), ir.I64c(1), func(i ir.Value) {
+			want := b.Load(b.Index(pids, i))
+			got := u.Waitpid(want)
+			match := b.ICmp(ir.PredEQ, got, want)
+			b.If(match, func() {
+				b.Store(b.Add(b.Load(count), ir.I64c(1)), count)
+			})
+		})
+	})
+	b.Ret(b.Load(count))
+	u.SealAll()
+
+	for _, cfg := range []vm.Config{vm.ConfigNative, vm.ConfigSafe} {
+		sys, err := NewSystem(cfg, true, u.M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const rounds = 30 // 150 forks: pids and stacks must recycle
+		got, err := sys.RunUser(u.M.Func("spawn_many"), rounds, 2_000_000_000)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg, err)
+		}
+		if got != 5*rounds {
+			t.Errorf("%v: reaped %d of %d children", cfg, got, 5*rounds)
+		}
+		if cfg == vm.ConfigSafe && len(sys.VM.Violations) != 0 {
+			t.Errorf("violations: %v", sys.VM.Violations[0])
+		}
+	}
+}
+
+// TestFilePersistenceAndAppend: ramfs contents persist across open/close,
+// and O_APPEND positions at end-of-file.
+func TestFilePersistenceAndAppend(t *testing.T) {
+	u := userland.New("persist")
+	b := u.B
+	fname := u.StrGlobal("s_p", "/tmp/persist")
+	u.Prog("persist")
+	area := u.Sbrk(ir.I64c(4096))
+	b.Store(ir.I8c('A'), b.IntToPtr(area, ir.PointerTo(ir.I8)))
+	fd1 := u.Open(fname(), 64|512)
+	u.Write(fd1, area, ir.I64c(10))
+	u.Close(fd1)
+	// Reopen with O_APPEND and add ten more bytes.
+	b.Store(ir.I8c('B'), b.IntToPtr(area, ir.PointerTo(ir.I8)))
+	fd2 := u.Open(fname(), 1024)
+	u.Write(fd2, area, ir.I64c(10))
+	u.Close(fd2)
+	// Read everything back.
+	fd3 := u.Open(fname(), 0)
+	rb := b.Add(area, ir.I64c(1024))
+	n := u.Read(fd3, rb, ir.I64c(64))
+	u.Close(fd3)
+	first := b.Load(b.IntToPtr(rb, ir.PointerTo(ir.I8)))
+	eleventh := b.Load(b.IntToPtr(b.Add(rb, ir.I64c(10)), ir.PointerTo(ir.I8)))
+	// n*10000 + first*100 + eleventh
+	b.Ret(b.Add(b.Mul(n, ir.I64c(10000)),
+		b.Add(b.Mul(b.ZExt(first, ir.I64), ir.I64c(100)), b.ZExt(eleventh, ir.I64))))
+	u.SealAll()
+
+	sys, err := NewSystem(vm.ConfigSafe, true, u.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sys.RunUser(u.M.Func("persist"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(20*10000 + 'A'*100 + 'B')
+	if got != want {
+		t.Errorf("persist = %d, want %d (20 bytes, 'A' then 'B' at offset 10)", got, want)
+	}
+}
+
+// TestUserKernelIsolation: a user program dereferencing kernel memory is
+// stopped by the hardware privilege check, not by the safety checks — the
+// baseline isolation every configuration provides.
+func TestUserKernelIsolation(t *testing.T) {
+	u := userland.New("evil")
+	b := u.B
+	u.Prog("read_kernel")
+	// 0x0010_0000 is the kernel globals base.
+	p := b.IntToPtr(ir.I64c(0x0010_0000), ir.PointerTo(ir.I64))
+	b.Ret(b.Load(p))
+	u.SealAll()
+	for _, cfg := range []vm.Config{vm.ConfigNative, vm.ConfigSafe} {
+		sys, err := NewSystem(cfg, true, u.M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = sys.RunUser(u.M.Func("read_kernel"), 0, 0)
+		if err == nil {
+			t.Fatalf("%v: user read of kernel memory succeeded", cfg)
+		}
+	}
+}

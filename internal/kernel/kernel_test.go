@@ -1,0 +1,195 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"sva/internal/ir"
+	"sva/internal/typecheck"
+	"sva/internal/userland"
+	"sva/internal/vm"
+)
+
+func TestKernelModuleVerifies(t *testing.T) {
+	img := Build()
+	if errs := ir.VerifyModule(img.Kernel); len(errs) != 0 {
+		for i, e := range errs {
+			if i > 5 {
+				break
+			}
+			t.Error(e)
+		}
+		t.Fatalf("%d verification errors", len(errs))
+	}
+	n := 0
+	for _, f := range img.Kernel.Funcs {
+		if !f.IsDecl() {
+			n++
+		}
+	}
+	if n < 50 {
+		t.Errorf("kernel has only %d functions", n)
+	}
+}
+
+func TestBootAllConfigs(t *testing.T) {
+	for _, cfg := range []vm.Config{vm.ConfigNative, vm.ConfigSVAGCC, vm.ConfigSVALLVM, vm.ConfigSafe} {
+		t.Run(cfg.String(), func(t *testing.T) {
+			sys, err := NewSystem(cfg, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(sys.ConsoleOutput(), "SVA vkernel booted") {
+				t.Errorf("no boot banner; console = %q", sys.ConsoleOutput())
+			}
+			if len(sys.VM.Violations) != 0 {
+				t.Errorf("boot raised violations: %v", sys.VM.Violations[0])
+			}
+		})
+	}
+}
+
+func TestSafetyCompiledKernelTypechecks(t *testing.T) {
+	img := Build()
+	prog, err := Compile(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := typecheck.New(prog.Descs)
+	errs := c.Check(img.Kernel)
+	if len(errs) != 0 {
+		for i, e := range errs {
+			if i > 10 {
+				break
+			}
+			t.Error(e)
+		}
+		t.Fatalf("%d type-check errors", len(errs))
+	}
+}
+
+func newUserSystem(t *testing.T, cfg vm.Config) (*System, *userland.U) {
+	t.Helper()
+	u := userland.BuildTestPrograms()
+	if errs := ir.VerifyModule(u.M); len(errs) != 0 {
+		t.Fatalf("user module does not verify: %v", errs[0])
+	}
+	sys, err := NewSystem(cfg, true, u.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, u
+}
+
+func run(t *testing.T, sys *System, u *userland.U, prog string, arg uint64) uint64 {
+	t.Helper()
+	f := u.M.Func(prog)
+	if f == nil {
+		t.Fatalf("no program %s", prog)
+	}
+	got, err := sys.RunUser(f, arg, 0)
+	if err != nil {
+		t.Fatalf("%s(%d): %v (violations: %v, faults: %v)", prog, arg, err, sys.VM.Violations, sys.VM.FaultLog)
+	}
+	return got
+}
+
+func TestSyscallBattery(t *testing.T) {
+	for _, cfg := range []vm.Config{vm.ConfigNative, vm.ConfigSVAGCC, vm.ConfigSVALLVM, vm.ConfigSafe} {
+		t.Run(cfg.String(), func(t *testing.T) {
+			sys, u := newUserSystem(t, cfg)
+			if err := sys.RegisterProgram("execchild", u.M.Func("execchild.start")); err != nil {
+				t.Fatal(err)
+			}
+
+			if got := run(t, sys, u, "hello", 0); got != 16 {
+				t.Errorf("hello = %d, want 16", got)
+			}
+			if !strings.Contains(sys.ConsoleOutput(), "hello from user") {
+				t.Errorf("console = %q", sys.ConsoleOutput())
+			}
+
+			if got := run(t, sys, u, "fileio", 3000); int64(got) != 3000 {
+				t.Errorf("fileio = %d", int64(got))
+			}
+
+			if got := run(t, sys, u, "forkwait", 7); int64(got) <= 1 {
+				t.Errorf("forkwait = %d (want child pid > 1)", int64(got))
+			}
+
+			if got := run(t, sys, u, "pipeecho", 40000); got != 40000 {
+				t.Errorf("pipeecho = %d, want 40000", got)
+			}
+
+			if got := run(t, sys, u, "sigping", 10); got != 10 {
+				t.Errorf("sigping = %d, want 10", got)
+			}
+
+			if got := run(t, sys, u, "execer", 5); int64(got) <= 1 {
+				t.Errorf("execer = %d (want exec'd child pid)", int64(got))
+			}
+
+			if got := run(t, sys, u, "brkprobe", 65536); int64(got) < int64(vm.UserBase) {
+				t.Errorf("brkprobe = %#x", got)
+			}
+
+			if got := run(t, sys, u, "timeprobe", 0); got != 1 {
+				t.Errorf("timeprobe = %d (time went backwards?)", got)
+			}
+
+			if cfg == vm.ConfigSafe && len(sys.VM.Violations) != 0 {
+				t.Errorf("battery raised violations: %v", sys.VM.Violations)
+			}
+		})
+	}
+}
+
+func TestGetpidFastPath(t *testing.T) {
+	sys, u := newUserSystem(t, vm.ConfigNative)
+	up := userland.New("pidloop")
+	b := up.B
+	up.Prog("pidloop")
+	acc := b.Alloca(ir.I64, "acc")
+	b.Store(ir.I64c(0), acc)
+	b.For("i", ir.I64c(0), b.Param(0), ir.I64c(1), func(i ir.Value) {
+		p := up.GetPID()
+		b.Store(b.Add(b.Load(acc), p), acc)
+	})
+	b.Ret(b.Load(acc))
+	up.SealAll()
+	if errs := ir.VerifyModule(up.M); len(errs) != 0 {
+		t.Fatalf("%v", errs[0])
+	}
+	if err := sys.VM.LoadModule(up.M, true); err != nil {
+		t.Fatal(err)
+	}
+	_ = u
+	got, err := sys.RunUser(up.M.Func("pidloop"), 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 100 { // pid 1 × 100 iterations
+		t.Errorf("pidloop = %d, want 100", got)
+	}
+	if sys.VM.Counters.Traps < 100 {
+		t.Errorf("traps = %d", sys.VM.Counters.Traps)
+	}
+}
+
+func TestTable4LedgerPopulated(t *testing.T) {
+	img := Build()
+	img.CountLOC()
+	l := img.Ledger
+	if l.SVAOS[SubArchDep] == 0 {
+		t.Error("no SVA-OS calls recorded in the arch layer")
+	}
+	if l.Alloc[SubMM] == 0 {
+		t.Error("no allocator-porting lines recorded")
+	}
+	if l.Analysis[SubCore] == 0 {
+		t.Error("no analysis-improvement lines recorded")
+	}
+	if l.LOC[SubCore] == 0 || l.LOC[SubFS] == 0 || l.LOC[SubNet] == 0 {
+		t.Errorf("LOC ledger incomplete: %+v", l.LOC)
+	}
+}

@@ -1,0 +1,126 @@
+package kernel
+
+import (
+	"sva/internal/ir"
+	"sva/internal/svaops"
+)
+
+// buildLib emits the kernel utility library ("lib" in Table 4): the
+// user-space copy routines and string helpers.  In the paper's as-tested
+// kernel this library was NOT processed by the safety-checking compiler —
+// which is exactly why the ELF core-dump exploit (BID 13589) slipped
+// through: its unchecked negative length flowed into __copy_from_user,
+// whose body carried no checks.  Compiling the library (the "entire
+// kernel" configuration) catches it.
+func (k *K) buildLib() {
+	b := k.B
+	bp := k.BP
+
+	// user_addr_ok(addr): is this a mapped user address?  The miniature
+	// address space maps [UserBase, UserTop) except the guard page below
+	// each stack; a high-water-mark global stands in for the page tables.
+	userTop := k.global("user_mapped_top", ir.I64, c64(UserStackTop), SubLib)
+	k.fn("user_addr_ok", SubLib, ir.I64, []*ir.Type{ir.I64}, "addr")
+	lo := b.ICmp(ir.PredUGE, b.Param(0), c64(0x1000_0000))
+	hi := b.ICmp(ir.PredULT, b.Param(0), b.Load(userTop))
+	b.Ret(b.ZExt(b.And(lo, hi), ir.I64))
+
+	// __copy_from_user(dst, src_addr, n) -> bytes NOT copied.
+	// Copies chunkwise; a fault (unmapped source page) stops the copy
+	// mid-way with the destination already partially written — faithfully
+	// reproducing the kernel behaviour the ELF exploit depends on.
+	k.fn("__copy_from_user", SubLib, ir.I64, []*ir.Type{bp, ir.I64, ir.I64}, "dst", "src", "n")
+	off := b.Alloca(ir.I64, "off")
+	b.Store(c64(0), off)
+	b.While(func() ir.Value {
+		return b.ICmp(ir.PredULT, b.Load(off), b.Param(2))
+	}, func() {
+		srcA := b.Add(b.Param(1), b.Load(off))
+		ok := b.Call(k.M.Func("user_addr_ok"), srcA)
+		bad := b.ICmp(ir.PredEQ, ok, c64(0))
+		b.If(bad, func() {
+			b.Ret(b.Sub(b.Param(2), b.Load(off))) // EFAULT: bytes left
+		})
+		// Chunk = min(256, n-off, bytes to end of source page).
+		left := b.Sub(b.Param(2), b.Load(off))
+		chunk := b.Select(b.ICmp(ir.PredULT, left, c64(256)), left, c64(256))
+		dstP := b.GEP(b.Param(0), b.Load(off))
+		b.Call(svaops.Get(k.M, svaops.Memcpy), dstP, b.IntToPtr(srcA, bp), chunk)
+		b.Store(b.Add(b.Load(off), chunk), off)
+	})
+	b.Ret(c64(0))
+
+	// __copy_to_user(dst_addr, src, n) -> bytes NOT copied.
+	k.fn("__copy_to_user", SubLib, ir.I64, []*ir.Type{ir.I64, bp, ir.I64}, "dst", "src", "n")
+	off2 := b.Alloca(ir.I64, "off")
+	b.Store(c64(0), off2)
+	b.While(func() ir.Value {
+		return b.ICmp(ir.PredULT, b.Load(off2), b.Param(2))
+	}, func() {
+		dstA := b.Add(b.Param(0), b.Load(off2))
+		ok := b.Call(k.M.Func("user_addr_ok"), dstA)
+		bad := b.ICmp(ir.PredEQ, ok, c64(0))
+		b.If(bad, func() {
+			b.Ret(b.Sub(b.Param(2), b.Load(off2)))
+		})
+		left := b.Sub(b.Param(2), b.Load(off2))
+		chunk := b.Select(b.ICmp(ir.PredULT, left, c64(256)), left, c64(256))
+		srcP := b.GEP(b.Param(1), b.Load(off2))
+		b.Call(svaops.Get(k.M, svaops.Memcpy), b.IntToPtr(dstA, bp), srcP, chunk)
+		b.Store(b.Add(b.Load(off2), chunk), off2)
+	})
+	b.Ret(c64(0))
+
+	// strncpy_from_user(dst, src_addr, max) -> length or -EFAULT.
+	k.fn("strncpy_from_user", SubLib, ir.I64, []*ir.Type{bp, ir.I64, ir.I64}, "dst", "src", "max")
+	i := b.Alloca(ir.I64, "i")
+	b.Store(c64(0), i)
+	b.While(func() ir.Value {
+		return b.ICmp(ir.PredULT, b.Load(i), b.Param(2))
+	}, func() {
+		srcA := b.Add(b.Param(1), b.Load(i))
+		ok := b.Call(k.M.Func("user_addr_ok"), srcA)
+		bad := b.ICmp(ir.PredEQ, ok, c64(0))
+		b.If(bad, func() { b.Ret(errno(EFAULT)) })
+		ch := b.Load(b.IntToPtr(srcA, ir.PointerTo(ir.I8)))
+		b.Store(ch, b.GEP(b.Param(0), b.Load(i)))
+		done := b.ICmp(ir.PredEQ, ch, ir.I8c(0))
+		b.If(done, func() { b.Ret(b.Load(i)) })
+		b.Store(b.Add(b.Load(i), c64(1)), i)
+	})
+	// Unterminated: force NUL in the last byte.
+	last := b.Sub(b.Param(2), c64(1))
+	b.Store(ir.I8c(0), b.GEP(b.Param(0), last))
+	b.Ret(last)
+
+	// strlen_k(p) and streq_k(a, b): kernel-internal string helpers.
+	k.fn("strlen_k", SubLib, ir.I64, []*ir.Type{bp}, "p")
+	n := b.Alloca(ir.I64, "n")
+	b.Store(c64(0), n)
+	b.While(func() ir.Value {
+		ch := b.Load(b.GEP(b.Param(0), b.Load(n)))
+		return b.ICmp(ir.PredNE, ch, ir.I8c(0))
+	}, func() {
+		b.Store(b.Add(b.Load(n), c64(1)), n)
+	})
+	b.Ret(b.Load(n))
+
+	k.fn("streq_k", SubLib, ir.I64, []*ir.Type{bp, bp}, "a", "b")
+	j := b.Alloca(ir.I64, "j")
+	b.Store(c64(0), j)
+	b.Loop(func() {
+		ca := b.Load(b.GEP(b.Param(0), b.Load(j)))
+		cb := b.Load(b.GEP(b.Param(1), b.Load(j)))
+		diff := b.ICmp(ir.PredNE, ca, cb)
+		b.If(diff, func() { b.Ret(c64(0)) })
+		end := b.ICmp(ir.PredEQ, ca, ir.I8c(0))
+		b.If(end, func() { b.Ret(c64(1)) })
+		b.Store(b.Add(b.Load(j), c64(1)), j)
+	})
+	b.Seal()
+
+	// memzero_k(p, n): zero kernel memory.
+	k.fn("memzero_k", SubLib, ir.Void, []*ir.Type{bp, ir.I64}, "p", "n")
+	b.Call(svaops.Get(k.M, svaops.Memset), b.Param(0), c64(0), b.Param(1))
+	b.Ret(nil)
+}

@@ -1,0 +1,207 @@
+package kernel
+
+import (
+	"sva/internal/ir"
+	"sva/internal/svaops"
+)
+
+// buildMM emits the memory subsystem: the early boot allocator, the page
+// allocator, the kmem_cache slab allocator (with the SLAB_NO_REAP
+// discipline §6.2 requires), kmalloc over size-class caches, and vmalloc.
+// All of it is ordinary guest code operating on guest memory — the safety
+// compiler excludes this subsystem in the as-tested configuration, exactly
+// like the paper's kernel.
+func (k *K) buildMM() {
+	b := k.B
+	bp := k.BP
+
+	bootCursor := k.global("bootmem_cursor", ir.I64, c64(BootmemBase), SubMM)
+	pageFree := k.global("page_free_head", ir.I64, c64(0), SubMM)
+	pageCursor := k.global("page_cursor", ir.I64, c64(PageBase), SubMM)
+	vmCursor := k.global("vmalloc_cursor", ir.I64, c64(0xB000_0000), SubMM)
+
+	// Static cache table (created caches live here; no dynamic count of
+	// caches is needed for a miniature kernel).
+	caches := k.global("kmem_caches", ir.ArrayOf(32, k.CacheT), nil, SubMM)
+	cacheCount := k.global("kmem_cache_count", ir.I64, c64(0), SubMM)
+	kmallocCaches := k.global("kmalloc_caches", ir.ArrayOf(8, ir.PointerTo(k.CacheT)), nil, SubMM)
+
+	// _alloc_bootmem(size): early bump allocation (never freed).
+	k.fn("_alloc_bootmem", SubMM, bp, []*ir.Type{ir.I64}, "size")
+	cur := b.Load(bootCursor)
+	sz := b.And(b.Add(b.Param(0), c64(15)), c64(^int64(15)))
+	b.Store(b.Add(cur, sz), bootCursor)
+	b.Ret(b.IntToPtr(cur, bp))
+
+	// alloc_page() -> page address (0 on exhaustion).
+	k.fn("alloc_page", SubMM, ir.I64, nil)
+	head := b.Load(pageFree)
+	hasFree := b.ICmp(ir.PredNE, head, c64(0))
+	b.IfElse(hasFree, func() {
+		next := b.Load(b.IntToPtr(head, ir.PointerTo(ir.I64)))
+		b.Store(next, pageFree)
+		b.Ret(head)
+	}, func() {
+		pc := b.Load(pageCursor)
+		full := b.ICmp(ir.PredUGE, pc, c64(PageTop))
+		b.If(full, func() { b.Ret(c64(0)) })
+		b.Store(b.Add(pc, c64(PageSize)), pageCursor)
+		b.Ret(pc)
+	})
+	b.Seal()
+
+	// free_page(addr): push on the free list.  Pages are reused only
+	// through this list — never handed to a different allocator — which is
+	// the no-cross-pool-release rule of §4.4 at page granularity.
+	k.fn("free_page", SubMM, ir.Void, []*ir.Type{ir.I64}, "addr")
+	b.Store(b.Load(pageFree), b.IntToPtr(b.Param(0), ir.PointerTo(ir.I64)))
+	b.Store(b.Param(0), pageFree)
+	b.Ret(nil)
+
+	// kmem_cache_create(objsize) -> cache*.
+	// Porting note (§6.2): every cache is marked SLAB_NO_REAP so the buddy
+	// allocator never reclaims pool pages while the metapool lives.
+	k.fn("kmem_cache_create", SubMM, ir.PointerTo(k.CacheT), []*ir.Type{ir.I64}, "objsize")
+	k.Ledger.Alloc[SubMM] += 2 // NO_REAP flag + alignment discipline
+	idx := b.Load(cacheCount)
+	b.Store(b.Add(idx, c64(1)), cacheCount)
+	cp := b.Index(caches, idx)
+	aligned := b.And(b.Add(b.Param(0), c64(15)), c64(^int64(15)))
+	b.Store(aligned, b.FieldAddr(cp, 0))
+	b.Store(c64(0), b.FieldAddr(cp, 1))
+	b.Store(c64(1), b.FieldAddr(cp, 2)) // SLAB_NO_REAP
+	b.Store(b.UDiv(c64(PageSize), aligned), b.FieldAddr(cp, 3))
+	b.Store(c64(0), b.FieldAddr(cp, 4))
+	b.Ret(cp)
+
+	// kmem_cache_grow(cache): carve one fresh page into objects.
+	k.fn("kmem_cache_grow", SubMM, ir.I64, []*ir.Type{ir.PointerTo(k.CacheT)}, "cache")
+	page := b.Call(k.M.Func("alloc_page"))
+	fail := b.ICmp(ir.PredEQ, page, c64(0))
+	b.If(fail, func() { b.Ret(c64(0)) })
+	objsize := b.Load(b.FieldAddr(b.Param(0), 0))
+	// Objects are laid at objsize multiples: the §4.4 alignment rule, so a
+	// dangling pointer can never straddle two objects of the pool.  Carving
+	// from the top down makes the LIFO free list hand out ascending
+	// addresses, like a fresh Linux slab.
+	off := b.Alloca(ir.I64, "off")
+	b.Store(b.Mul(b.UDiv(c64(PageSize), objsize), objsize), off)
+	b.While(func() ir.Value {
+		return b.ICmp(ir.PredUGE, b.Load(off), objsize)
+	}, func() {
+		b.Store(b.Sub(b.Load(off), objsize), off)
+		obj := b.Add(page, b.Load(off))
+		b.Store(b.Load(b.FieldAddr(b.Param(0), 1)), b.IntToPtr(obj, ir.PointerTo(ir.I64)))
+		b.Store(obj, b.FieldAddr(b.Param(0), 1))
+	})
+	b.Ret(c64(1))
+
+	// kmem_cache_alloc(cache) -> i8*.
+	k.fn("kmem_cache_alloc", SubMM, bp, []*ir.Type{ir.PointerTo(k.CacheT)}, "cache")
+	fh := b.Load(b.FieldAddr(b.Param(0), 1))
+	empty := b.ICmp(ir.PredEQ, fh, c64(0))
+	b.If(empty, func() {
+		grown := b.Call(k.M.Func("kmem_cache_grow"), b.Param(0))
+		bad := b.ICmp(ir.PredEQ, grown, c64(0))
+		b.If(bad, func() { b.Ret(ir.Null(bp)) })
+	})
+	fh2 := b.Load(b.FieldAddr(b.Param(0), 1))
+	next := b.Load(b.IntToPtr(fh2, ir.PointerTo(ir.I64)))
+	b.Store(next, b.FieldAddr(b.Param(0), 1))
+	b.Store(b.Add(b.Load(b.FieldAddr(b.Param(0), 4)), c64(1)), b.FieldAddr(b.Param(0), 4))
+	b.Ret(b.IntToPtr(fh2, bp))
+
+	// kmem_cache_free(cache, p): objects return only to their own cache —
+	// memory never leaves the pool (§4.4).
+	k.fn("kmem_cache_free", SubMM, ir.Void, []*ir.Type{ir.PointerTo(k.CacheT), bp}, "cache", "p")
+	addr := b.PtrToInt(b.Param(1), ir.I64)
+	b.Store(b.Load(b.FieldAddr(b.Param(0), 1)), b.IntToPtr(addr, ir.PointerTo(ir.I64)))
+	b.Store(addr, b.FieldAddr(b.Param(0), 1))
+	b.Ret(nil)
+
+	// kmem_cache_size(cache): the §4.4 size function the safety compiler
+	// calls to register pool allocations.
+	k.fn("kmem_cache_size", SubMM, ir.I64, []*ir.Type{ir.PointerTo(k.CacheT)}, "cache")
+	k.Ledger.Alloc[SubMM]++
+	b.Ret(b.Load(b.FieldAddr(b.Param(0), 0)))
+
+	// kmalloc_cache_index(size): size class selection (32..4096).
+	k.fn("kmalloc_cache_index", SubMM, ir.I64, []*ir.Type{ir.I64}, "size")
+	i := b.Alloca(ir.I64, "i")
+	cls := b.Alloca(ir.I64, "cls")
+	b.Store(c64(0), i)
+	b.Store(c64(32), cls)
+	b.While(func() ir.Value {
+		return b.ICmp(ir.PredULT, b.Load(cls), b.Param(0))
+	}, func() {
+		b.Store(b.Mul(b.Load(cls), c64(2)), cls)
+		b.Store(b.Add(b.Load(i), c64(1)), i)
+	})
+	b.Ret(b.Load(i))
+
+	// vmalloc(size): page-granular allocation from a separate region.
+	k.fn("vmalloc", SubMM, bp, []*ir.Type{ir.I64}, "size")
+	pages := b.UDiv(b.Add(b.Param(0), c64(PageSize-1)), c64(PageSize))
+	base := b.Load(vmCursor)
+	b.Store(b.Add(base, b.Mul(pages, c64(PageSize))), vmCursor)
+	b.Ret(b.IntToPtr(base, bp))
+
+	k.fn("vfree", SubMM, ir.Void, []*ir.Type{bp}, "p")
+	// Reclaim for vmalloc is future work in the port, as in §6.2 ("We are
+	// still working on providing similar functionality for memory
+	// allocated by vmalloc").
+	b.Ret(nil)
+
+	// vmalloc_size(size).
+	k.fn("vmalloc_size", SubMM, ir.I64, []*ir.Type{ir.I64}, "size")
+	b.Ret(b.Param(0))
+
+	// kmalloc(size): implemented over the size-class caches.  The §6.2
+	// exposure of this relationship is what lets the compiler merge only
+	// per-size-class metapools instead of everything kmalloc touches.
+	k.fn("kmalloc", SubMM, bp, []*ir.Type{ir.I64}, "size")
+	k.Ledger.Alloc[SubMM]++
+	tooBig := b.ICmp(ir.PredUGT, b.Param(0), c64(4096-16))
+	b.If(tooBig, func() {
+		b.Ret(b.Call(k.M.Func("vmalloc"), b.Param(0)))
+	})
+	ci := b.Call(k.M.Func("kmalloc_cache_index"), b.Add(b.Param(0), c64(16)))
+	cpp := b.Index(kmallocCaches, ci)
+	cache := b.Load(cpp)
+	raw := b.Call(k.M.Func("kmem_cache_alloc"), cache)
+	isNull := b.ICmp(ir.PredEQ, b.PtrToInt(raw, ir.I64), c64(0))
+	b.If(isNull, func() { b.Ret(ir.Null(bp)) })
+	// A 16-byte header stores the owning cache so kfree can find it.
+	b.Store(b.PtrToInt(cache, ir.I64), b.Bitcast(raw, ir.PointerTo(ir.I64)))
+	b.Ret(b.GEP(raw, c64(16)))
+
+	// kfree(p).
+	k.fn("kfree", SubMM, ir.Void, []*ir.Type{bp}, "p")
+	isNull2 := b.ICmp(ir.PredEQ, b.PtrToInt(b.Param(0), ir.I64), c64(0))
+	b.If(isNull2, func() { b.Ret(nil) })
+	fromVmalloc := b.ICmp(ir.PredUGE, b.PtrToInt(b.Param(0), ir.I64), c64(0xB000_0000))
+	b.If(fromVmalloc, func() {
+		b.Call(k.M.Func("vfree"), b.Param(0))
+		b.Ret(nil)
+	})
+	rawp := b.GEP(b.Param(0), c64(-16))
+	cacheAddr := b.Load(b.Bitcast(rawp, ir.PointerTo(ir.I64)))
+	b.Call(k.M.Func("kmem_cache_free"), b.IntToPtr(cacheAddr, ir.PointerTo(k.CacheT)), rawp)
+	b.Ret(nil)
+
+	// kmalloc_size(size): the ordinary allocator's size function (§4.4) —
+	// the registered object is exactly the caller-requested span.
+	k.fn("kmalloc_size", SubMM, ir.I64, []*ir.Type{ir.I64}, "size")
+	k.Ledger.Alloc[SubMM]++
+	b.Ret(b.Param(0))
+
+	// mm_init(): create the kmalloc size-class caches.
+	k.fn("mm_init", SubMM, ir.Void, nil)
+	b.For("i", c64(0), c64(8), c64(1), func(i ir.Value) {
+		sizev := b.Shl(c64(32), i)
+		cachep := b.Call(k.M.Func("kmem_cache_create"), sizev)
+		b.Store(cachep, b.Index(kmallocCaches, i))
+	})
+	b.Ret(nil)
+	_ = svaops.BytePtr
+}

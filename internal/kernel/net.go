@@ -1,0 +1,366 @@
+package kernel
+
+import (
+	"sva/internal/ir"
+	"sva/internal/svaops"
+)
+
+// buildNet emits the network layer: send/receive over the NIC plus the
+// historically vulnerable protocol handlers (§7.2).  Each vulnerable path
+// reproduces the memory-error *mechanism* of its CVE and plants a victim
+// object whose corruption the exploit harness can observe when no checks
+// run:
+//
+//   - SysSetsockoptMSFilter — BID 10179: a 32-bit size computation
+//     (numsrc*8+16) overflows, kmalloc under-allocates, and the copy loop
+//     overruns the heap object.
+//   - SysIGMPInput — BID 11917: a length byte is decremented; 0 wraps to
+//     255 and is used as an unsigned loop bound over a fixed kernel
+//     buffer.
+//   - SysBTIoctl — BID 12911: a signed byte from the request indexes a
+//     global session table; 0x80 becomes -128.
+//   - SysPollEvents — BID 11956 (device driver): nfds*12 overflows in
+//     32-bit math, under-allocating the event table.
+//   - SysCoreDump — BID 13589: a negative 32-bit length becomes a huge
+//     unsigned count passed *unchecked* into __copy_from_user; since the
+//     copy library is outside the safety-compiled set in the as-tested
+//     kernel, this is the exploit SVA misses until the library is
+//     compiled too.
+func (k *K) buildNet() {
+	b := k.B
+	bp := k.BP
+
+	// Victim bookkeeping: each vulnerable path records where its victim
+	// object lives and what magic value it should still hold.
+	victimAddr := k.global("victim_addr", ir.ArrayOf(8, ir.I64), nil, SubNet)
+	k.global("igmp_scratch", ir.ArrayOf(32, ir.I8), nil, SubNet)
+	k.global("net_authorized", ir.I64, c64(0x5AFE), SubNet) // adjacent to scratch
+	k.global("bt_guard_lo", ir.ArrayOf(16, ir.I64), nil, SubNet)
+	k.global("bt_sessions", ir.ArrayOf(16, ir.I64), nil, SubNet)
+
+	const victimMagic = 0x1337_C0DE
+
+	// plant_victim(slot, size) -> i8*: allocate a "credential" of the given
+	// size class right after the under-allocated buffer, so a heap overrun
+	// clobbers it (the privilege-escalation analogue).
+	k.fn("plant_victim", SubNet, bp, []*ir.Type{ir.I64, ir.I64}, "slot", "size")
+	cred := b.Call(k.M.Func("kmalloc"), b.Param(1))
+	b.Store(c64(victimMagic), b.Bitcast(cred, ir.PointerTo(ir.I64)))
+	b.Store(b.PtrToInt(cred, ir.I64), b.Index(victimAddr, b.Param(0)))
+	b.Ret(cred)
+
+	// --- sys_netsend / sys_netrecv -------------------------------------------
+
+	k.syscall("sys_netsend", SubNet)
+	tooBig := b.ICmp(ir.PredUGT, b.Param(2), c64(1500))
+	b.If(tooBig, func() { b.Ret(errno(EINVAL)) })
+	kb := b.Call(k.M.Func("kmalloc"), c64(1500))
+	left := b.Call(k.M.Func("__copy_from_user"), kb, b.Param(1), b.Param(2))
+	fault := b.ICmp(ir.PredNE, left, c64(0))
+	b.If(fault, func() {
+		b.Call(k.M.Func("kfree"), kb)
+		b.Ret(errno(EFAULT))
+	})
+	rc := b.Call(k.M.Func("netdev_xmit"), kb, b.Param(2))
+	b.Call(k.M.Func("kfree"), kb)
+	b.Ret(rc)
+
+	k.syscall("sys_netrecv", SubNet)
+	kb2 := b.Call(k.M.Func("kmalloc"), c64(1500))
+	n := b.Call(k.M.Func("netdev_poll"), kb2, c64(1500))
+	none := b.ICmp(ir.PredSLT, n, c64(0))
+	b.If(none, func() {
+		b.Call(k.M.Func("kfree"), kb2)
+		b.Ret(errno(EAGAIN))
+	})
+	take := b.Select(b.ICmp(ir.PredULT, n, b.Param(2)), n, b.Param(2))
+	left2 := b.Call(k.M.Func("__copy_to_user"), b.Param(1), kb2, take)
+	b.Call(k.M.Func("kfree"), kb2)
+	fault2 := b.ICmp(ir.PredNE, left2, c64(0))
+	b.If(fault2, func() { b.Ret(errno(EFAULT)) })
+	b.Ret(take)
+
+	// --- BID 10179: MCAST_MSFILTER integer overflow ---------------------------
+
+	// sys_setsockopt_msfilter(icp, numsrc, usrc).
+	k.syscall("sys_setsockopt_msfilter", SubNet)
+	numsrc32 := b.Trunc(b.Param(1), ir.I32)
+	// VULNERABLE: 32-bit size computation wraps for numsrc >= 0x1FFFFFFE.
+	size32 := b.Add(b.Mul(numsrc32, c32(8)), c32(16))
+	size := b.ZExt(size32, ir.I64)
+	buf := b.Call(k.M.Func("kmalloc"), size)
+	isNull := b.ICmp(ir.PredEQ, b.PtrToInt(buf, ir.I64), c64(0))
+	b.If(isNull, func() { b.Ret(errno(ENOMEM)) })
+	b.Call(k.M.Func("plant_victim"), c64(0), b.ZExt(size32, ir.I64))
+	// Copy numsrc 8-byte sources from user space, one at a time (the
+	// unchecked loop bound is the attack surface).
+	nsrc := b.ZExt(numsrc32, ir.I64)
+	i := b.Alloca(ir.I64, "i")
+	b.Store(c64(0), i)
+	b.While(func() ir.Value {
+		return b.ICmp(ir.PredULT, b.Load(i), nsrc)
+	}, func() {
+		off := b.Add(c64(16), b.Mul(b.Load(i), c64(8)))
+		dst := b.GEP(buf, off) // <- undersized object: indexing escapes it
+		usrc := b.Add(b.Param(2), b.Mul(b.Load(i), c64(8)))
+		cleft := b.Call(k.M.Func("__copy_from_user"), dst, usrc, c64(8))
+		cf := b.ICmp(ir.PredNE, cleft, c64(0))
+		b.If(cf, func() {
+			b.Call(k.M.Func("kfree"), buf)
+			b.Ret(errno(EFAULT))
+		})
+		b.Store(b.Add(b.Load(i), c64(1)), i)
+	})
+	b.Call(k.M.Func("kfree"), buf)
+	b.Ret(c64(0))
+
+	// --- BID 11917: IGMP length-byte underflow ---------------------------------
+
+	// sys_igmp_input(icp, upkt, plen): parse a report whose per-record
+	// length byte is decremented before use; 0 wraps to 255.
+	k.syscall("sys_igmp_input", SubNet)
+	pkt := b.Call(k.M.Func("kmalloc"), c64(64))
+	plen := b.Select(b.ICmp(ir.PredULT, b.Param(2), c64(64)), b.Param(2), c64(64))
+	left3 := b.Call(k.M.Func("__copy_from_user"), pkt, b.Param(1), plen)
+	fault3 := b.ICmp(ir.PredNE, left3, c64(0))
+	b.If(fault3, func() {
+		b.Call(k.M.Func("kfree"), pkt)
+		b.Ret(errno(EFAULT))
+	})
+	lenByte := b.Load(b.GEP(pkt, c64(1)))
+	// VULNERABLE: decrement a byte then use it as an unsigned length.
+	recLen := b.Sub(lenByte, ir.I8c(1))
+	count := b.ZExt(recLen, ir.I64)
+	scratch := k.M.Global("igmp_scratch")
+	j := b.Alloca(ir.I64, "j")
+	b.Store(c64(0), j)
+	b.While(func() ir.Value {
+		return b.ICmp(ir.PredULT, b.Load(j), count)
+	}, func() {
+		srcIdx := b.URem(b.Load(j), c64(62))
+		v := b.Load(b.GEP(pkt, b.Add(srcIdx, c64(2))))
+		slot := b.Index(scratch, b.Load(j)) // <- overruns the 32-byte table
+		b.Store(v, slot)
+		b.Store(b.Add(b.Load(j), c64(1)), j)
+	})
+	b.Call(k.M.Func("kfree"), pkt)
+	b.Ret(c64(0))
+
+	// --- BID 12911: Bluetooth signed buffer index -------------------------------
+
+	// sys_bt_ioctl(icp, req): the request's low byte selects a session
+	// slot; it is treated as SIGNED, so 0x80.. indexes before the table.
+	k.syscall("sys_bt_ioctl", SubNet)
+	reqByte := b.Trunc(b.Param(1), ir.I8)
+	// VULNERABLE: sign-extended index.
+	idx := b.SExt(reqByte, ir.I64)
+	sessions := k.M.Global("bt_sessions")
+	slot2 := b.Index(sessions, idx) // <- negative index escapes the object
+	b.Store(b.Param(2), slot2)
+	b.Ret(c64(0))
+
+	// sys_poll_events(icp, nfds, uevents) — BID 11956 analogue, in a
+	// *compiled* device driver: 32-bit table sizing overflows.
+	k.syscall("sys_poll_events", SubNetDrv)
+	nfds32 := b.Trunc(b.Param(1), ir.I32)
+	// VULNERABLE: nfds*12 wraps in 32-bit arithmetic.
+	psize32 := b.Mul(nfds32, c32(12))
+	tbl := b.Call(k.M.Func("kmalloc"), b.ZExt(psize32, ir.I64))
+	pisNull := b.ICmp(ir.PredEQ, b.PtrToInt(tbl, ir.I64), c64(0))
+	b.If(pisNull, func() { b.Ret(errno(ENOMEM)) })
+	b.Call(k.M.Func("plant_victim"), c64(2), b.ZExt(psize32, ir.I64))
+	nfds := b.ZExt(nfds32, ir.I64)
+	pi := b.Alloca(ir.I64, "i")
+	b.Store(c64(0), pi)
+	b.While(func() ir.Value {
+		return b.ICmp(ir.PredULT, b.Load(pi), nfds)
+	}, func() {
+		off := b.Mul(b.Load(pi), c64(12))
+		dst := b.GEP(tbl, off) // <- undersized table
+		usrc := b.Add(b.Param(2), off)
+		cleft := b.Call(k.M.Func("__copy_from_user"), dst, usrc, c64(12))
+		cf := b.ICmp(ir.PredNE, cleft, c64(0))
+		b.If(cf, func() {
+			b.Call(k.M.Func("kfree"), tbl)
+			b.Ret(errno(EFAULT))
+		})
+		b.Store(b.Add(b.Load(pi), c64(1)), pi)
+	})
+	b.Call(k.M.Func("kfree"), tbl)
+	b.Ret(c64(0))
+
+	// net_init(): stamp the guard object preceding bt_sessions so a
+	// negative-index write is observable without checks.
+	k.fn("net_init", SubNet, ir.Void, nil)
+	guard := k.M.Global("bt_guard_lo")
+	b.For("g", c64(0), c64(16), c64(1), func(g ir.Value) {
+		b.Store(c64(0x5AFE), b.Index(guard, g))
+	})
+	b.Ret(nil)
+}
+
+// buildCoreDump emits the binfmt-elf-style core-dump path (fs subsystem,
+// like the paper's ELF loader exploit) whose unchecked negative length
+// flows into the excluded copy library.
+func (k *K) buildCoreDump() {
+	b := k.B
+
+	// sys_coredump(icp, uaddr, len): write a "note segment" of
+	// user-supplied length into a fixed kernel buffer.
+	k.syscall("sys_coredump", SubFS)
+	buf := b.Call(k.M.Func("kmalloc"), c64(256))
+	isNull := b.ICmp(ir.PredEQ, b.PtrToInt(buf, ir.I64), c64(0))
+	b.If(isNull, func() { b.Ret(errno(ENOMEM)) })
+	b.Call(k.M.Func("plant_victim"), c64(1), c64(256))
+	len32 := b.Trunc(b.Param(2), ir.I32)
+	// VULNERABLE: a negative 32-bit length zero-extends to a huge unsigned
+	// count; no bound against the 256-byte buffer.  All the overrunning
+	// writes happen inside __copy_from_user (the "lib" subsystem).
+	ulen := b.ZExt(len32, ir.I64)
+	left := b.Call(k.M.Func("__copy_from_user"), buf, b.Param(1), ulen)
+	b.Call(k.M.Func("kfree"), buf)
+	fault := b.ICmp(ir.PredNE, left, c64(0))
+	b.If(fault, func() { b.Ret(errno(EFAULT)) })
+	b.Ret(c64(0))
+}
+
+// buildDrivers emits the device-driver layer: the network driver (compiled
+// with safety checks, like the paper's included drivers — one exploit
+// lived in such a driver and was caught) and the character drivers, which
+// the as-tested configuration excludes.
+func (k *K) buildDrivers() {
+	b := k.B
+	bp := k.BP
+	fileP := ir.PointerTo(k.FileT)
+
+	// netdev_xmit(buf, n): push a frame out of the loopback NIC.
+	k.fn("netdev_xmit", SubNetDrv, ir.I64, []*ir.Type{bp, ir.I64}, "buf", "n")
+	rc := k.op(svaops.NetSend, b.Param(0), b.Param(1))
+	b.Ret(rc)
+
+	// netdev_poll(buf, max) -> frame length or -1.
+	k.fn("netdev_poll", SubNetDrv, ir.I64, []*ir.Type{bp, ir.I64}, "buf", "max")
+	n := k.op(svaops.NetRecv, b.Param(0), b.Param(1))
+	b.Ret(n)
+
+	// --- block driver (compiled; backs /dev/rawdisk) -----------------------
+
+	// blkdev_read(file, ubuf, n): sector-granular reads through the SVA-OS
+	// disk interface, staged in a kernel bounce buffer.
+	k.fn("blkdev_read", SubBlkDrv, ir.I64, []*ir.Type{fileP, ir.I64, ir.I64}, "file", "ubuf", "n")
+	sect := b.Alloca(ir.ArrayOf(512, ir.I8), "sect")
+	sb := b.Bitcast(sect, bp)
+	got := b.Alloca(ir.I64, "got")
+	b.Store(c64(0), got)
+	b.While(func() ir.Value {
+		return b.ICmp(ir.PredULT, b.Load(got), b.Param(2))
+	}, func() {
+		pos := b.Load(b.FieldAddr(b.Param(0), 1))
+		sector := b.UDiv(pos, c64(512))
+		off := b.URem(pos, c64(512))
+		rc := k.op(svaops.DiskRead, sector, sb)
+		bad := b.ICmp(ir.PredSLT, rc, c64(0))
+		b.If(bad, func() { b.Ret(b.Load(got)) })
+		avail := b.Sub(c64(512), off)
+		want := b.Sub(b.Param(2), b.Load(got))
+		chunk := b.Select(b.ICmp(ir.PredULT, want, avail), want, avail)
+		left := b.Call(k.M.Func("__copy_to_user"), b.Add(b.Param(1), b.Load(got)), b.GEP(sb, off), chunk)
+		copied := b.Sub(chunk, left)
+		b.Store(b.Add(pos, copied), b.FieldAddr(b.Param(0), 1))
+		b.Store(b.Add(b.Load(got), copied), got)
+		fault := b.ICmp(ir.PredNE, left, c64(0))
+		b.If(fault, func() { b.Ret(b.Load(got)) })
+	})
+	b.Ret(b.Load(got))
+
+	// blkdev_write(file, ubuf, n): read-modify-write per sector.
+	k.fn("blkdev_write", SubBlkDrv, ir.I64, []*ir.Type{fileP, ir.I64, ir.I64}, "file", "ubuf", "n")
+	sect2 := b.Alloca(ir.ArrayOf(512, ir.I8), "sect")
+	sb2 := b.Bitcast(sect2, bp)
+	put := b.Alloca(ir.I64, "put")
+	b.Store(c64(0), put)
+	b.While(func() ir.Value {
+		return b.ICmp(ir.PredULT, b.Load(put), b.Param(2))
+	}, func() {
+		pos := b.Load(b.FieldAddr(b.Param(0), 1))
+		sector := b.UDiv(pos, c64(512))
+		off := b.URem(pos, c64(512))
+		rc := k.op(svaops.DiskRead, sector, sb2)
+		bad := b.ICmp(ir.PredSLT, rc, c64(0))
+		b.If(bad, func() { b.Ret(b.Load(put)) })
+		avail := b.Sub(c64(512), off)
+		want := b.Sub(b.Param(2), b.Load(put))
+		chunk := b.Select(b.ICmp(ir.PredULT, want, avail), want, avail)
+		left := b.Call(k.M.Func("__copy_from_user"), b.GEP(sb2, off), b.Add(b.Param(1), b.Load(put)), chunk)
+		copied := b.Sub(chunk, left)
+		wrc := k.op(svaops.DiskWrite, sector, sb2)
+		badw := b.ICmp(ir.PredSLT, wrc, c64(0))
+		b.If(badw, func() { b.Ret(b.Load(put)) })
+		b.Store(b.Add(pos, copied), b.FieldAddr(b.Param(0), 1))
+		b.Store(b.Add(b.Load(put), copied), put)
+		fault := b.ICmp(ir.PredNE, left, c64(0))
+		b.If(fault, func() { b.Ret(b.Load(put)) })
+	})
+	b.Ret(b.Load(put))
+
+	// --- character drivers (excluded from safety compilation, §7.1) -------
+
+	// console_write(file, ubuf, n): byte-at-a-time to the console port.
+	k.fn("console_write", SubCharDrv, ir.I64, []*ir.Type{fileP, ir.I64, ir.I64}, "file", "ubuf", "n")
+	chunk := b.Alloca(ir.ArrayOf(64, ir.I8), "chunk")
+	cb := b.Bitcast(chunk, bp)
+	done := b.Alloca(ir.I64, "done")
+	b.Store(c64(0), done)
+	b.While(func() ir.Value {
+		return b.ICmp(ir.PredULT, b.Load(done), b.Param(2))
+	}, func() {
+		leftN := b.Sub(b.Param(2), b.Load(done))
+		take := b.Select(b.ICmp(ir.PredULT, leftN, c64(64)), leftN, c64(64))
+		cleft := b.Call(k.M.Func("__copy_from_user"), cb, b.Add(b.Param(1), b.Load(done)), take)
+		cf := b.ICmp(ir.PredNE, cleft, c64(0))
+		b.If(cf, func() { b.Ret(b.Load(done)) })
+		b.For("i", c64(0), take, c64(1), func(i ir.Value) {
+			ch := b.Load(b.Index(chunk, i))
+			k.op(svaops.IOPutc, b.ZExt(ch, ir.I64))
+		})
+		b.Store(b.Add(b.Load(done), take), done)
+	})
+	b.Ret(b.Load(done))
+
+	// console_read(file, ubuf, n): drain queued input.
+	k.fn("console_read", SubCharDrv, ir.I64, []*ir.Type{fileP, ir.I64, ir.I64}, "file", "ubuf", "n")
+	chunk2 := b.Alloca(ir.ArrayOf(64, ir.I8), "chunk")
+	cgot := b.Alloca(ir.I64, "cgot")
+	b.Store(c64(0), cgot)
+	b.While(func() ir.Value {
+		inBounds := b.ICmp(ir.PredULT, b.Load(cgot), b.Param(2))
+		small := b.ICmp(ir.PredULT, b.Load(cgot), c64(64))
+		return b.ICmp(ir.PredEQ, b.Add(b.ZExt(inBounds, ir.I64), b.ZExt(small, ir.I64)), c64(2))
+	}, func() {
+		chv := k.op(svaops.IOGetc)
+		eof := b.ICmp(ir.PredSLT, chv, c64(0))
+		b.If(eof, func() { b.Break() })
+		b.Store(b.Trunc(chv, ir.I8), b.Index(chunk2, b.Load(cgot)))
+		b.Store(b.Add(b.Load(cgot), c64(1)), cgot)
+	})
+	n2 := b.Load(cgot)
+	some := b.ICmp(ir.PredUGT, n2, c64(0))
+	b.If(some, func() {
+		b.Call(k.M.Func("__copy_to_user"), b.Param(1), b.Bitcast(chunk2, bp), n2)
+	})
+	b.Ret(n2)
+
+	// kputs(p): kernel console print (boot banner).
+	k.fn("kputs", SubCharDrv, ir.Void, []*ir.Type{bp}, "p")
+	i2 := b.Alloca(ir.I64, "i")
+	b.Store(c64(0), i2)
+	b.While(func() ir.Value {
+		ch := b.Load(b.GEP(b.Param(0), b.Load(i2)))
+		return b.ICmp(ir.PredNE, ch, ir.I8c(0))
+	}, func() {
+		ch := b.Load(b.GEP(b.Param(0), b.Load(i2)))
+		k.op(svaops.IOPutc, b.ZExt(ch, ir.I64))
+		b.Store(b.Add(b.Load(i2), c64(1)), i2)
+	})
+	b.Ret(nil)
+}

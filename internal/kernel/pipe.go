@@ -1,0 +1,166 @@
+package kernel
+
+import (
+	"sva/internal/ir"
+	"sva/internal/svaops"
+)
+
+// PipeBufSize is the pipe ring-buffer capacity (Linux uses one page; a
+// larger ring keeps the bandwidth benchmark from degenerating into pure
+// scheduling).
+const PipeBufSize = 16 * 1024
+
+// buildPipe emits pipefs: ring-buffered pipes with blocking reads/writes
+// that drive the scheduler, read/write fops, and sys_pipe.
+func (k *K) buildPipe() {
+	b := k.B
+	bp := k.BP
+	fileP := ir.PointerTo(k.FileT)
+	pipeP := ir.PointerTo(k.PipeT)
+	var layout ir.Layout
+
+	pipeCache := k.global("pipe_cache", ir.PointerTo(k.CacheT), nil, SubFS)
+
+	// pipe_alloc() -> pipe* with a vmalloc'd ring.
+	k.fn("pipe_alloc", SubFS, pipeP, nil)
+	raw := b.Call(k.M.Func("kmem_cache_alloc"), b.Load(pipeCache))
+	isNull := b.ICmp(ir.PredEQ, b.PtrToInt(raw, ir.I64), c64(0))
+	b.If(isNull, func() { b.Ret(ir.Null(pipeP)) })
+	pp := b.Bitcast(raw, pipeP)
+	ring := b.Call(k.M.Func("vmalloc"), c64(PipeBufSize))
+	b.Store(ring, b.FieldAddr(pp, 0))
+	b.Store(c64(PipeBufSize), b.FieldAddr(pp, 1))
+	b.Store(c64(0), b.FieldAddr(pp, 2))
+	b.Store(c64(0), b.FieldAddr(pp, 3))
+	b.Store(c64(1), b.FieldAddr(pp, 4))
+	b.Store(c64(1), b.FieldAddr(pp, 5))
+	b.Ret(pp)
+
+	// pipe_read(file, ubuf, n): drain available bytes; block (schedule)
+	// while the pipe is empty and writers remain.
+	k.fn("pipe_read", SubFS, ir.I64, []*ir.Type{fileP, ir.I64, ir.I64}, "file", "ubuf", "n")
+	ino := b.Load(b.FieldAddr(b.Param(0), 0))
+	pipe := b.Load(b.FieldAddr(ino, 4))
+	got := b.Alloca(ir.I64, "got")
+	b.Store(c64(0), got)
+	b.Loop(func() {
+		rp := b.Load(b.FieldAddr(pipe, 2))
+		wp := b.Load(b.FieldAddr(pipe, 3))
+		avail := b.Sub(wp, rp)
+		hasData := b.ICmp(ir.PredUGT, avail, c64(0))
+		b.IfElse(hasData, func() {
+			want := b.Sub(b.Param(2), b.Load(got))
+			take := b.Select(b.ICmp(ir.PredULT, want, avail), want, avail)
+			// Contiguous copy up to the ring edge.
+			cap0 := b.Load(b.FieldAddr(pipe, 1))
+			rIdx := b.URem(rp, cap0)
+			edge := b.Sub(cap0, rIdx)
+			chunk := b.Select(b.ICmp(ir.PredULT, take, edge), take, edge)
+			ring := b.Load(b.FieldAddr(pipe, 0))
+			src := b.GEP(ring, rIdx)
+			uDst := b.Add(b.Param(1), b.Load(got))
+			left := b.Call(k.M.Func("__copy_to_user"), uDst, src, chunk)
+			copied := b.Sub(chunk, left)
+			b.Store(b.Add(rp, copied), b.FieldAddr(pipe, 2))
+			b.Store(b.Add(b.Load(got), copied), got)
+			done := b.ICmp(ir.PredUGE, b.Load(got), b.Param(2))
+			b.If(done, func() { b.Ret(b.Load(got)) })
+			fault := b.ICmp(ir.PredNE, left, c64(0))
+			b.If(fault, func() { b.Ret(b.Load(got)) })
+		}, func() {
+			// Empty: return what we have if anything or no writers.
+			some := b.ICmp(ir.PredUGT, b.Load(got), c64(0))
+			b.If(some, func() { b.Ret(b.Load(got)) })
+			writers := b.Load(b.FieldAddr(pipe, 5))
+			eof := b.ICmp(ir.PredSLE, writers, c64(0))
+			b.If(eof, func() { b.Ret(c64(0)) })
+			// Block: let the writer run.
+			b.Call(k.M.Func("schedule"))
+		})
+	})
+	b.Seal()
+
+	// pipe_write(file, ubuf, n): fill the ring; block while full and a
+	// reader remains.
+	k.fn("pipe_write", SubFS, ir.I64, []*ir.Type{fileP, ir.I64, ir.I64}, "file", "ubuf", "n")
+	ino2 := b.Load(b.FieldAddr(b.Param(0), 0))
+	pipe2 := b.Load(b.FieldAddr(ino2, 4))
+	put := b.Alloca(ir.I64, "put")
+	b.Store(c64(0), put)
+	b.Loop(func() {
+		readers := b.Load(b.FieldAddr(pipe2, 4))
+		gone := b.ICmp(ir.PredSLE, readers, c64(0))
+		b.If(gone, func() { b.Ret(errno(EINVAL)) }) // EPIPE stand-in
+		rp := b.Load(b.FieldAddr(pipe2, 2))
+		wp := b.Load(b.FieldAddr(pipe2, 3))
+		cap0 := b.Load(b.FieldAddr(pipe2, 1))
+		space := b.Sub(cap0, b.Sub(wp, rp))
+		hasSpace := b.ICmp(ir.PredUGT, space, c64(0))
+		b.IfElse(hasSpace, func() {
+			want := b.Sub(b.Param(2), b.Load(put))
+			take := b.Select(b.ICmp(ir.PredULT, want, space), want, space)
+			wIdx := b.URem(wp, cap0)
+			edge := b.Sub(cap0, wIdx)
+			chunk := b.Select(b.ICmp(ir.PredULT, take, edge), take, edge)
+			ring := b.Load(b.FieldAddr(pipe2, 0))
+			dst := b.GEP(ring, wIdx)
+			uSrc := b.Add(b.Param(1), b.Load(put))
+			left := b.Call(k.M.Func("__copy_from_user"), dst, uSrc, chunk)
+			copied := b.Sub(chunk, left)
+			b.Store(b.Add(wp, copied), b.FieldAddr(pipe2, 3))
+			b.Store(b.Add(b.Load(put), copied), put)
+			done := b.ICmp(ir.PredUGE, b.Load(put), b.Param(2))
+			b.If(done, func() { b.Ret(b.Load(put)) })
+			fault := b.ICmp(ir.PredNE, left, c64(0))
+			b.If(fault, func() { b.Ret(b.Load(put)) })
+		}, func() {
+			b.Call(k.M.Func("schedule"))
+		})
+	})
+	b.Seal()
+
+	// Wrong-direction operations.
+	k.fn("pipe_bad_read", SubFS, ir.I64, []*ir.Type{fileP, ir.I64, ir.I64}, "file", "ubuf", "n")
+	b.Ret(errno(EBADF))
+	k.fn("pipe_bad_write", SubFS, ir.I64, []*ir.Type{fileP, ir.I64, ir.I64}, "file", "ubuf", "n")
+	b.Ret(errno(EBADF))
+
+	// pipe_release_read / pipe_release_write: drop endpoint counts.
+	k.fn("pipe_release_read", SubFS, ir.I64, []*ir.Type{fileP}, "file")
+	inoR := b.Load(b.FieldAddr(b.Param(0), 0))
+	pR := b.Load(b.FieldAddr(inoR, 4))
+	b.Store(b.Sub(b.Load(b.FieldAddr(pR, 4)), c64(1)), b.FieldAddr(pR, 4))
+	b.Ret(c64(0))
+
+	k.fn("pipe_release_write", SubFS, ir.I64, []*ir.Type{fileP}, "file")
+	inoW := b.Load(b.FieldAddr(b.Param(0), 0))
+	pW := b.Load(b.FieldAddr(inoW, 4))
+	b.Store(b.Sub(b.Load(b.FieldAddr(pW, 5)), c64(1)), b.FieldAddr(pW, 5))
+	b.Ret(c64(0))
+
+	// sys_pipe(icp, fds_uaddr): create both endpoints, write the two fds
+	// to user space.
+	k.syscall("sys_pipe", SubFS)
+	pipeNew := b.Call(k.M.Func("pipe_alloc"))
+	bad := b.ICmp(ir.PredEQ, b.PtrToInt(pipeNew, ir.I64), c64(0))
+	b.If(bad, func() { b.Ret(errno(ENOMEM)) })
+	inoN := b.Call(k.M.Func("inode_alloc"), c64(InodePipe))
+	b.Store(pipeNew, b.FieldAddr(inoN, 4))
+	rfile := b.Call(k.M.Func("file_alloc"), inoN, b.Bitcast(k.PipeRFops, ir.PointerTo(k.FopsT)))
+	wfile := b.Call(k.M.Func("file_alloc"), inoN, b.Bitcast(k.PipeWFops, ir.PointerTo(k.FopsT)))
+	rfd := b.Call(k.M.Func("fd_install"), rfile)
+	wfd := b.Call(k.M.Func("fd_install"), wfile)
+	fdbuf := b.Alloca(ir.ArrayOf(2, ir.I64), "fds")
+	b.Store(rfd, b.Index(fdbuf, c32(0)))
+	b.Store(wfd, b.Index(fdbuf, c32(1)))
+	left3 := b.Call(k.M.Func("__copy_to_user"), b.Param(1), b.Bitcast(fdbuf, bp), c64(16))
+	fault3 := b.ICmp(ir.PredNE, left3, c64(0))
+	b.If(fault3, func() { b.Ret(errno(EFAULT)) })
+	b.Ret(c64(0))
+
+	// pipe_init(): the pipe object cache.
+	k.fn("pipe_init", SubFS, ir.Void, nil)
+	b.Store(b.Call(k.M.Func("kmem_cache_create"), c64(layout.Size(k.PipeT))), pipeCache)
+	b.Ret(nil)
+	_ = svaops.BytePtr
+}

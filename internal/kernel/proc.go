@@ -1,0 +1,426 @@
+package kernel
+
+import (
+	"sva/internal/ir"
+	"sva/internal/svaops"
+)
+
+// buildProc emits process management: the task cache, pid table, the
+// save/load-integer scheduler (the paper's context-switch protocol), and
+// the fork/exec/exit/wait/getpid/brk/rusage/time syscalls.
+//
+// fork keeps the single flat user address space (no per-process page
+// tables) but gives the child a fresh user stack region for its new
+// frames, so parent and child run concurrently — the honest substitution
+// for copy-on-write address spaces (see DESIGN.md §8).  Writes through
+// pointers created before the fork remain shared, as under no-MMU uClinux.
+func (k *K) buildProc() {
+	b := k.B
+	bp := k.BP
+	taskP := ir.PointerTo(k.TaskT)
+	var layout ir.Layout
+
+	taskCache := k.global("task_cache", ir.PointerTo(k.CacheT), nil, SubCore)
+	userStackCur := k.global("user_stack_cursor", ir.I64, c64(UserStackTop-UserStackSize), SubCore)
+	userStackFree := k.global("user_stack_free", ir.I64, c64(0), SubCore)
+	kstackFree := k.global("kstack_free", ir.I64, c64(0), SubCore)
+	userDynCur := k.global("user_dyn_cursor", ir.I64, c64(UserDynBase), SubCore)
+
+	// user_stack_alloc() -> new stack top (stacks grow down, one guard gap;
+	// reaped processes' stacks are recycled through a free list).
+	k.fn("user_stack_alloc", SubCore, ir.I64, nil)
+	head := b.Load(userStackFree)
+	reuse := b.ICmp(ir.PredNE, head, c64(0))
+	b.If(reuse, func() {
+		next := b.Load(b.IntToPtr(b.Sub(head, c64(UserStackSize)), ir.PointerTo(ir.I64)))
+		b.Store(next, userStackFree)
+		b.Ret(head)
+	})
+	cur := b.Load(userStackCur)
+	b.Store(b.Sub(cur, c64(UserStackSize+PageSize)), userStackCur)
+	b.Ret(cur)
+
+	// user_stack_free(top): recycle a stack region.
+	k.fn("user_stack_free", SubCore, ir.Void, []*ir.Type{ir.I64}, "top")
+	none0 := b.ICmp(ir.PredEQ, b.Param(0), c64(0))
+	b.If(none0, func() { b.Ret(nil) })
+	b.Store(b.Load(userStackFree), b.IntToPtr(b.Sub(b.Param(0), c64(UserStackSize)), ir.PointerTo(ir.I64)))
+	b.Store(b.Param(0), userStackFree)
+	b.Ret(nil)
+
+	// kstack_alloc() -> kernel-stack top (recycled through a free list).
+	k.fn("kstack_alloc", SubCore, ir.I64, nil)
+	kh := b.Load(kstackFree)
+	kreuse := b.ICmp(ir.PredNE, kh, c64(0))
+	b.If(kreuse, func() {
+		next := b.Load(b.IntToPtr(b.Sub(kh, c64(KStackSize)), ir.PointerTo(ir.I64)))
+		b.Store(next, kstackFree)
+		b.Ret(kh)
+	})
+	kstk0 := b.Call(k.M.Func("vmalloc"), c64(KStackSize))
+	b.Ret(b.Add(b.PtrToInt(kstk0, ir.I64), c64(KStackSize)))
+
+	// kstack_free(top).
+	k.fn("kstack_free", SubCore, ir.Void, []*ir.Type{ir.I64}, "top")
+	knone := b.ICmp(ir.PredEQ, b.Param(0), c64(0))
+	b.If(knone, func() { b.Ret(nil) })
+	b.Store(b.Load(kstackFree), b.IntToPtr(b.Sub(b.Param(0), c64(KStackSize)), ir.PointerTo(ir.I64)))
+	b.Store(b.Param(0), kstackFree)
+	b.Ret(nil)
+
+	userArenaFree := k.global("user_arena_free_head", ir.I64, c64(0), SubCore)
+
+	// user_arena_alloc(size) -> base of a user heap arena (fixed
+	// UserBrkArena granularity, recycled through a free list).
+	k.fn("user_arena_alloc", SubCore, ir.I64, []*ir.Type{ir.I64}, "size")
+	ah := b.Load(userArenaFree)
+	areuse := b.ICmp(ir.PredNE, ah, c64(0))
+	b.If(areuse, func() {
+		next := b.Load(b.IntToPtr(ah, ir.PointerTo(ir.I64)))
+		b.Store(next, userArenaFree)
+		b.Ret(ah)
+	})
+	cur2 := b.Load(userDynCur)
+	b.Store(b.Add(cur2, c64(UserBrkArena)), userDynCur)
+	b.Ret(cur2)
+
+	// user_arena_free(base): recycle a heap arena.
+	k.fn("user_arena_free", SubCore, ir.Void, []*ir.Type{ir.I64}, "base")
+	anone := b.ICmp(ir.PredEQ, b.Param(0), c64(0))
+	b.If(anone, func() { b.Ret(nil) })
+	b.Store(b.Load(userArenaFree), b.IntToPtr(b.Param(0), ir.PointerTo(ir.I64)))
+	b.Store(b.Param(0), userArenaFree)
+	b.Ret(nil)
+
+	// task_alloc() -> zeroed task with a recycled pid and kernel stack.
+	k.fn("task_alloc", SubCore, taskP, nil)
+	pidCell := b.Alloca(ir.I64, "pid")
+	b.Store(c64(0), pidCell)
+	start := b.Load(k.NextPid)
+	b.For("i", c64(0), c64(NumPids-2), c64(1), func(i ir.Value) {
+		cand := b.Add(c64(2), b.SRem(b.Add(b.Sub(start, c64(2)), i), c64(NumPids-2)))
+		slot := b.Load(b.Index(k.PidTable, cand))
+		free := b.ICmp(ir.PredEQ, b.PtrToInt(slot, ir.I64), c64(0))
+		b.If(free, func() {
+			b.Store(cand, pidCell)
+			b.Store(b.Add(cand, c64(1)), k.NextPid)
+			b.Break()
+		})
+	})
+	noPid := b.ICmp(ir.PredEQ, b.Load(pidCell), c64(0))
+	b.If(noPid, func() { b.Ret(ir.Null(taskP)) })
+	raw := b.Call(k.M.Func("kmem_cache_alloc"), b.Load(taskCache))
+	isNull := b.ICmp(ir.PredEQ, b.PtrToInt(raw, ir.I64), c64(0))
+	b.If(isNull, func() { b.Ret(ir.Null(taskP)) })
+	b.Call(k.M.Func("memzero_k"), raw, c64(layout.Size(k.TaskT)))
+	t := b.Bitcast(raw, taskP)
+	pid := b.Load(pidCell)
+	b.Store(pid, b.FieldAddr(t, 0))
+	b.Store(b.Call(k.M.Func("kstack_alloc")), b.FieldAddr(t, 3))
+	b.Store(t, b.Index(k.PidTable, pid))
+	b.Ret(t)
+
+	// find_task(pid) -> task* or null.
+	k.fn("find_task", SubCore, taskP, []*ir.Type{ir.I64}, "pid")
+	bad := b.Or(b.ZExt(b.ICmp(ir.PredSLT, b.Param(0), c64(0)), ir.I64),
+		b.ZExt(b.ICmp(ir.PredSGE, b.Param(0), c64(NumPids)), ir.I64))
+	isBad := b.ICmp(ir.PredNE, bad, c64(0))
+	b.If(isBad, func() { b.Ret(ir.Null(taskP)) })
+	b.Ret(b.Load(b.Index(k.PidTable, b.Param(0))))
+
+	// wake_task(t): make a task runnable.
+	k.fn("wake_task", SubCore, ir.Void, []*ir.Type{taskP}, "t")
+	isNull2 := b.ICmp(ir.PredEQ, b.PtrToInt(b.Param(0), ir.I64), c64(0))
+	b.If(isNull2, func() { b.Ret(nil) })
+	b.Store(c64(TaskRunnable), b.FieldAddr(b.Param(0), 1))
+	b.Ret(nil)
+
+	// pick_next() -> next runnable task (round robin from current pid),
+	// or null when nothing is runnable.
+	k.fn("pick_next", SubCore, taskP, nil)
+	curT := b.Load(k.Current)
+	curPid := b.Load(b.FieldAddr(curT, 0))
+	b.For("i", c64(1), c64(NumPids+1), c64(1), func(i ir.Value) {
+		pid2 := b.Add(curPid, i)
+		wrapped := b.SRem(pid2, c64(NumPids))
+		cand := b.Load(b.Index(k.PidTable, wrapped))
+		some := b.ICmp(ir.PredNE, b.PtrToInt(cand, ir.I64), c64(0))
+		b.If(some, func() {
+			run := b.ICmp(ir.PredEQ, b.Load(b.FieldAddr(cand, 1)), c64(TaskRunnable))
+			b.If(run, func() { b.Ret(cand) })
+		})
+	})
+	b.Ret(ir.Null(taskP))
+
+	// schedule(): the §3.3 context-switch protocol over save/load.integer.
+	// The sched_target handshake distinguishes snapshot-time fall-through
+	// from resume-time return (both continue at the instruction after the
+	// save).  This is the arch-dependent layer of the port.
+	sched := k.M.Func("schedule")
+	b.SetFunc(sched)
+	sched.Subsystem = SubArchDep
+	next := b.Call(k.M.Func("pick_next"))
+	none := b.ICmp(ir.PredEQ, b.PtrToInt(next, ir.I64), c64(0))
+	b.If(none, func() {
+		// Nothing runnable.  If the caller itself is runnable, keep going;
+		// a fully blocked system is a guest deadlock.
+		curOK := b.ICmp(ir.PredEQ, b.Load(b.FieldAddr(b.Load(k.Current), 1)), c64(TaskRunnable))
+		b.If(curOK, func() { b.Ret(nil) })
+		k.op(svaops.Halt, c64(111)) // deadlock marker
+		b.Ret(nil)
+	})
+	same := b.ICmp(ir.PredEQ, b.PtrToInt(next, ir.I64), b.PtrToInt(b.Load(k.Current), ir.I64))
+	b.If(same, func() { b.Ret(nil) })
+	b.Store(next, k.SchedTgt)
+	me := b.Load(k.Current)
+	stbuf := b.Bitcast(b.FieldAddr(me, 4), bp)
+	// Lazy FP save (§3.3): only written if the FP unit was touched since
+	// the last load, so integer-only switches stay cheap.
+	k.op(svaops.SaveFP, stbuf, c64(0))
+	k.op(svaops.SaveInteger, stbuf)
+	// Snapshot path: sched_target != current.  Resume path: whoever loaded
+	// us stored us into both current and sched_target.
+	resumed := b.ICmp(ir.PredEQ,
+		b.PtrToInt(b.Load(k.SchedTgt), ir.I64),
+		b.PtrToInt(b.Load(k.Current), ir.I64))
+	b.If(resumed, func() { b.Ret(nil) })
+	tgt := b.Load(k.SchedTgt)
+	b.Store(tgt, k.Current)
+	b.Store(tgt, k.SchedTgt)
+	k.op(svaops.SetKStack, b.Load(b.FieldAddr(tgt, 3)))
+	k.op(svaops.LoadFP, b.Bitcast(b.FieldAddr(tgt, 4), bp))
+	k.op(svaops.LoadInteger, b.Bitcast(b.FieldAddr(tgt, 4), bp))
+	b.Ret(nil) // unreachable: load.integer switches away
+
+	// do_exit(code): terminate the current task.
+	k.fn("do_exit", SubCore, ir.Void, []*ir.Type{ir.I64}, "code")
+	me2 := b.Load(k.Current)
+	b.Store(b.Param(0), b.FieldAddr(me2, 6))
+	b.Store(c64(TaskZombie), b.FieldAddr(me2, 1))
+	// Close every open file.
+	b.For("fd", c64(0), c64(NumFiles), c64(1), func(fd ir.Value) {
+		slot := b.Index(b.FieldAddr(me2, 5), fd)
+		f := b.Load(slot)
+		has := b.ICmp(ir.PredNE, b.PtrToInt(f, ir.I64), c64(0))
+		b.If(has, func() {
+			b.Call(k.M.Func("file_close"), f)
+			b.Store(ir.Null(ir.PointerTo(k.FileT)), slot)
+		})
+	})
+	// Wake a vforked or waiting parent.
+	parent := b.Call(k.M.Func("find_task"), b.Load(b.FieldAddr(me2, 2)))
+	hasP := b.ICmp(ir.PredNE, b.PtrToInt(parent, ir.I64), c64(0))
+	b.If(hasP, func() {
+		st := b.Load(b.FieldAddr(parent, 1))
+		waiting := b.Or(b.ZExt(b.ICmp(ir.PredEQ, st, c64(TaskVfork)), ir.I64),
+			b.ZExt(b.ICmp(ir.PredEQ, st, c64(TaskWaiting)), ir.I64))
+		w := b.ICmp(ir.PredNE, waiting, c64(0))
+		b.If(w, func() { b.Call(k.M.Func("wake_task"), parent) })
+	})
+	// If this was the last live task, the machine halts with its code.
+	nextT := b.Call(k.M.Func("pick_next"))
+	lone := b.ICmp(ir.PredEQ, b.PtrToInt(nextT, ir.I64), c64(0))
+	b.If(lone, func() {
+		k.op(svaops.Halt, b.Param(0))
+		b.Ret(nil)
+	})
+	b.Call(k.M.Func("schedule"))
+	b.Ret(nil) // never reached: zombies are not rescheduled
+
+	// prog_lookup(name) -> entry address of a registered program.
+	k.fn("prog_lookup", SubCore, ir.I64, []*ir.Type{bp}, "name")
+	b.For("i", c64(0), c64(16), c64(1), func(i ir.Value) {
+		ent := b.Index(k.ProgTable, i)
+		addr := b.Load(b.FieldAddr(ent, 1))
+		has := b.ICmp(ir.PredNE, addr, c64(0))
+		b.If(has, func() {
+			nm := b.Bitcast(b.FieldAddr(ent, 0), bp)
+			eq := b.Call(k.M.Func("streq_k"), nm, b.Param(0))
+			hit := b.ICmp(ir.PredNE, eq, c64(0))
+			b.If(hit, func() { b.Ret(addr) })
+		})
+	})
+	b.Ret(c64(0))
+
+	// --- syscalls ---------------------------------------------------------
+
+	k.syscall("sys_getpid", SubCore)
+	b.Ret(b.Load(b.FieldAddr(b.Load(k.Current), 0)))
+
+	k.syscall("sys_yield", SubCore)
+	b.Call(k.M.Func("schedule"))
+	b.Ret(c64(0))
+
+	k.syscall("sys_exit", SubCore)
+	b.Call(k.M.Func("do_exit"), b.Param(1))
+	b.Ret(c64(0))
+
+	// sys_fork(icp): clone the interrupted user context (vfork semantics).
+	k.syscall("sys_fork", SubCore)
+	child := b.Call(k.M.Func("task_alloc"))
+	nomem := b.ICmp(ir.PredEQ, b.PtrToInt(child, ir.I64), c64(0))
+	b.If(nomem, func() { b.Ret(errno(ENOMEM)) })
+	me3 := b.Load(k.Current)
+	b.Store(b.Load(b.FieldAddr(me3, 0)), b.FieldAddr(child, 2)) // parent pid
+	// Share open files (bump refcounts).
+	b.For("fd", c64(0), c64(NumFiles), c64(1), func(fd ir.Value) {
+		f := b.Load(b.Index(b.FieldAddr(me3, 5), fd))
+		has := b.ICmp(ir.PredNE, b.PtrToInt(f, ir.I64), c64(0))
+		b.If(has, func() {
+			b.Store(b.Add(b.Load(b.FieldAddr(f, 2)), c64(1)), b.FieldAddr(f, 2))
+			b.Store(f, b.Index(b.FieldAddr(child, 5), fd))
+		})
+	})
+	// Inherit signal handlers and memory layout (shared address space).
+	b.For("s", c64(0), c64(NumSigs), c64(1), func(s ir.Value) {
+		b.Store(b.Load(b.Index(b.FieldAddr(me3, 7), s)), b.Index(b.FieldAddr(child, 7), s))
+	})
+	b.Store(b.Load(b.FieldAddr(me3, 9)), b.FieldAddr(child, 9))
+	b.Store(b.Load(b.FieldAddr(me3, 10)), b.FieldAddr(child, 10))
+	b.Store(b.Load(b.FieldAddr(me3, 11)), b.FieldAddr(child, 11))
+	// The child's state is a copy of the interrupted context with a 0
+	// return value, its own kernel stack (copy_thread) and a fresh user
+	// stack region for new frames — the shared-address-space substitute
+	// for copy-on-write (DESIGN.md §8).
+	cb := b.Bitcast(b.FieldAddr(child, 4), bp)
+	k.op(svaops.IContextSave, b.Param(0), cb)
+	k.op(svaops.IContextSetRetval, cb, c64(0))
+	k.op(svaops.StateSetKStack, cb, b.Load(b.FieldAddr(child, 3)))
+	custk := b.Call(k.M.Func("user_stack_alloc"))
+	k.op(svaops.StateSetUStack, cb, custk)
+	b.Store(custk, b.FieldAddr(child, 11))
+	k.op(svaops.IContextCommit, b.Param(0))
+	b.Store(c64(TaskRunnable), b.FieldAddr(child, 1))
+	b.Ret(b.Load(b.FieldAddr(child, 0)))
+
+	// sys_execve(icp, name_uaddr, arg): replace this process's image.
+	k.syscall("sys_execve", SubCore)
+	nameBuf := b.Alloca(ir.ArrayOf(24, ir.I8), "name")
+	nb := b.Bitcast(nameBuf, bp)
+	r := b.Call(k.M.Func("strncpy_from_user"), nb, b.Param(1), c64(24))
+	fault := b.ICmp(ir.PredSLT, r, c64(0))
+	b.If(fault, func() { b.Ret(errno(EFAULT)) })
+	fnaddr := b.Call(k.M.Func("prog_lookup"), nb)
+	noent := b.ICmp(ir.PredEQ, fnaddr, c64(0))
+	b.If(noent, func() { b.Ret(errno(ENOENT)) })
+	me4 := b.Load(k.Current)
+	// The old image's stack and heap arena are dead once the new image
+	// replaces the interrupted context; recycle them.
+	b.Call(k.M.Func("user_stack_free"), b.Load(b.FieldAddr(me4, 11)))
+	b.Call(k.M.Func("user_arena_free"), b.Load(b.FieldAddr(me4, 9)))
+	ustk := b.Call(k.M.Func("user_stack_alloc"))
+	arena := b.Call(k.M.Func("user_arena_alloc"), c64(UserBrkArena))
+	b.Store(ustk, b.FieldAddr(me4, 11))
+	b.Store(arena, b.FieldAddr(me4, 9))
+	b.Store(arena, b.FieldAddr(me4, 10))
+	k.op(svaops.ExecState, b.Param(0), b.IntToPtr(fnaddr, bp), b.Param(2), ustk)
+	// vfork release: wake a suspended parent.
+	parent2 := b.Call(k.M.Func("find_task"), b.Load(b.FieldAddr(me4, 2)))
+	hasP2 := b.ICmp(ir.PredNE, b.PtrToInt(parent2, ir.I64), c64(0))
+	b.If(hasP2, func() {
+		vf := b.ICmp(ir.PredEQ, b.Load(b.FieldAddr(parent2, 1)), c64(TaskVfork))
+		b.If(vf, func() { b.Call(k.M.Func("wake_task"), parent2) })
+	})
+	b.Ret(c64(0))
+
+	// sys_waitpid(icp, pid): reap a zombie child (pid<=0: any child).
+	k.syscall("sys_waitpid", SubCore)
+	b.Loop(func() {
+		me5 := b.Load(k.Current)
+		myPid := b.Load(b.FieldAddr(me5, 0))
+		foundChild := b.Alloca(ir.I64, "haschild")
+		b.Store(c64(0), foundChild)
+		b.For("i", c64(0), c64(NumPids), c64(1), func(i ir.Value) {
+			t := b.Load(b.Index(k.PidTable, i))
+			has := b.ICmp(ir.PredNE, b.PtrToInt(t, ir.I64), c64(0))
+			b.If(has, func() {
+				isChild := b.ICmp(ir.PredEQ, b.Load(b.FieldAddr(t, 2)), myPid)
+				b.If(isChild, func() {
+					wantThis := b.ICmp(ir.PredSLE, b.Param(1), c64(0))
+					thisPid := b.ICmp(ir.PredEQ, b.Load(b.FieldAddr(t, 0)), b.Param(1))
+					match := b.Or(b.ZExt(wantThis, ir.I64), b.ZExt(thisPid, ir.I64))
+					m := b.ICmp(ir.PredNE, match, c64(0))
+					b.If(m, func() {
+						b.Store(c64(1), foundChild)
+						z := b.ICmp(ir.PredEQ, b.Load(b.FieldAddr(t, 1)), c64(TaskZombie))
+						b.If(z, func() {
+							// Reap: recycle stacks, free the slot and task.
+							rp := b.Load(b.FieldAddr(t, 0))
+							b.Call(k.M.Func("kstack_free"), b.Load(b.FieldAddr(t, 3)))
+							b.Call(k.M.Func("user_stack_free"), b.Load(b.FieldAddr(t, 11)))
+							b.Call(k.M.Func("user_arena_free"), b.Load(b.FieldAddr(t, 9)))
+							b.Store(ir.Null(ir.PointerTo(k.TaskT)), b.Index(k.PidTable, rp))
+							b.Call(k.M.Func("kmem_cache_free"), b.Load(taskCache), b.Bitcast(t, bp))
+							b.Ret(rp)
+						})
+					})
+				})
+			})
+		})
+		none2 := b.ICmp(ir.PredEQ, b.Load(foundChild), c64(0))
+		b.If(none2, func() { b.Ret(errno(ECHILD)) })
+		b.Store(c64(TaskWaiting), b.FieldAddr(b.Load(k.Current), 1))
+		b.Call(k.M.Func("schedule"))
+	})
+	b.Seal()
+
+	// sys_brk(icp, incr): classic sbrk.  Returns the old break.
+	k.syscall("sys_brk", SubCore)
+	me6 := b.Load(k.Current)
+	base := b.Load(b.FieldAddr(me6, 9))
+	lazy := b.ICmp(ir.PredEQ, base, c64(0))
+	b.If(lazy, func() {
+		a := b.Call(k.M.Func("user_arena_alloc"), c64(UserBrkArena))
+		b.Store(a, b.FieldAddr(me6, 9))
+		b.Store(a, b.FieldAddr(me6, 10))
+	})
+	old := b.Load(b.FieldAddr(me6, 10))
+	nw := b.Add(old, b.Param(1))
+	low := b.Load(b.FieldAddr(me6, 9))
+	under := b.ICmp(ir.PredULT, nw, low)
+	over := b.ICmp(ir.PredUGT, nw, b.Add(low, c64(UserBrkArena)))
+	bad2 := b.Or(b.ZExt(under, ir.I64), b.ZExt(over, ir.I64))
+	isBad2 := b.ICmp(ir.PredNE, bad2, c64(0))
+	b.If(isBad2, func() { b.Ret(errno(ENOMEM)) })
+	b.Store(nw, b.FieldAddr(me6, 10))
+	b.Ret(old)
+
+	// sys_getrusage(icp, ubuf): utime/stime in cycles + allocation stats.
+	k.syscall("sys_getrusage", SubCore)
+	ru := b.Alloca(ir.ArrayOf(4, ir.I64), "ru")
+	cyc := k.op(svaops.Cycles)
+	b.Store(cyc, b.Index(ru, c32(0)))
+	me7 := b.Load(k.Current)
+	b.Store(b.Load(b.FieldAddr(me7, 13)), b.Index(ru, c32(1)))
+	b.Store(b.Load(b.FieldAddr(me7, 0)), b.Index(ru, c32(2)))
+	b.Store(c64(0), b.Index(ru, c32(3)))
+	left := b.Call(k.M.Func("__copy_to_user"), b.Param(1), b.Bitcast(ru, bp), c64(32))
+	f2 := b.ICmp(ir.PredNE, left, c64(0))
+	b.If(f2, func() { b.Ret(errno(EFAULT)) })
+	b.Ret(c64(0))
+
+	// sys_gettimeofday(icp, ubuf): derive a timeval from the cycle counter.
+	k.syscall("sys_gettimeofday", SubCore)
+	tv := b.Alloca(ir.ArrayOf(2, ir.I64), "tv")
+	cyc2 := k.op(svaops.Cycles)
+	b.Store(b.UDiv(cyc2, c64(1_000_000)), b.Index(tv, c32(0)))
+	b.Store(b.URem(cyc2, c64(1_000_000)), b.Index(tv, c32(1)))
+	left2 := b.Call(k.M.Func("__copy_to_user"), b.Param(1), b.Bitcast(tv, bp), c64(16))
+	f3 := b.ICmp(ir.PredNE, left2, c64(0))
+	b.If(f3, func() { b.Ret(errno(EFAULT)) })
+	b.Ret(c64(0))
+
+	// proc_init(kstackTop): the task cache plus task 1 (the boot task).
+	k.fn("proc_init", SubCore, ir.Void, []*ir.Type{ir.I64}, "kstack")
+	b.Store(b.Call(k.M.Func("kmem_cache_create"), c64(layout.Size(k.TaskT))), taskCache)
+	raw2 := b.Call(k.M.Func("kmem_cache_alloc"), b.Load(taskCache))
+	t0 := b.Bitcast(raw2, taskP)
+	b.Call(k.M.Func("memzero_k"), raw2, c64(layout.Size(k.TaskT)))
+	b.Store(c64(1), b.FieldAddr(t0, 0))
+	b.Store(c64(TaskRunnable), b.FieldAddr(t0, 1))
+	b.Store(b.Param(0), b.FieldAddr(t0, 3))
+	b.Store(t0, b.Index(k.PidTable, c64(1)))
+	b.Store(t0, k.Current)
+	b.Store(t0, k.SchedTgt)
+	b.Ret(nil)
+}

@@ -1,0 +1,68 @@
+package kernel
+
+import (
+	"sva/internal/ir"
+	"sva/internal/svaops"
+)
+
+// buildSignal emits signal handling.  Dispatch follows the paper's ported
+// design: the kernel saves dispatch state on the kernel side and arranges
+// the user handler call through llva.ipush.function on the interrupt
+// context (§6.1: the signal-dispatch code was changed to keep state off
+// the user stack, because SVA-OS provides no way to let the kernel trust
+// user-modifiable saved state).
+func (k *K) buildSignal() {
+	b := k.B
+
+	// deliver_signals(icp): push a handler call for every pending signal
+	// of the current task onto the interrupted context.
+	k.fn("deliver_signals", SubCore, ir.Void, []*ir.Type{ir.I64}, "icp")
+	me := b.Load(k.Current)
+	pend := b.FieldAddr(me, 8)
+	b.For("sig", c64(0), c64(NumSigs), c64(1), func(sig ir.Value) {
+		mask := b.Shl(c64(1), sig)
+		setv := b.And(b.Load(pend), mask)
+		isSet := b.ICmp(ir.PredNE, setv, c64(0))
+		b.If(isSet, func() {
+			b.Store(b.Xor(b.Load(pend), mask), pend)
+			h := b.Load(b.Index(b.FieldAddr(me, 7), sig))
+			hasH := b.ICmp(ir.PredNE, h, c64(0))
+			b.If(hasH, func() {
+				k.op(svaops.IPushFunction, b.Param(0), b.IntToPtr(h, k.BP), sig, c64(0))
+			})
+		})
+	})
+	b.Ret(nil)
+
+	// sys_sigaction(icp, sig, handler): install a handler, return the old
+	// one.
+	k.syscall("sys_sigaction", SubCore)
+	badSig := b.Or(b.ZExt(b.ICmp(ir.PredSLT, b.Param(1), c64(1)), ir.I64),
+		b.ZExt(b.ICmp(ir.PredSGE, b.Param(1), c64(NumSigs)), ir.I64))
+	isBad := b.ICmp(ir.PredNE, badSig, c64(0))
+	b.If(isBad, func() { b.Ret(errno(EINVAL)) })
+	me2 := b.Load(k.Current)
+	slot := b.Index(b.FieldAddr(me2, 7), b.Param(1))
+	old := b.Load(slot)
+	b.Store(b.Param(2), slot)
+	b.Ret(old)
+
+	// sys_kill(icp, pid, sig): post a signal.  Signals to the current
+	// task deliver on this trap's return; signals to others deliver at
+	// their next trap boundary.
+	k.syscall("sys_kill", SubCore)
+	badSig2 := b.Or(b.ZExt(b.ICmp(ir.PredSLT, b.Param(2), c64(1)), ir.I64),
+		b.ZExt(b.ICmp(ir.PredSGE, b.Param(2), c64(NumSigs)), ir.I64))
+	isBad2 := b.ICmp(ir.PredNE, badSig2, c64(0))
+	b.If(isBad2, func() { b.Ret(errno(EINVAL)) })
+	t := b.Call(k.M.Func("find_task"), b.Param(1))
+	noT := b.ICmp(ir.PredEQ, b.PtrToInt(t, ir.I64), c64(0))
+	b.If(noT, func() { b.Ret(errno(ESRCH)) })
+	pend2 := b.FieldAddr(t, 8)
+	b.Store(b.Or(b.Load(pend2), b.Shl(c64(1), b.Param(2))), pend2)
+	isSelf := b.ICmp(ir.PredEQ, b.PtrToInt(t, ir.I64), b.PtrToInt(b.Load(k.Current), ir.I64))
+	b.If(isSelf, func() {
+		b.Call(k.M.Func("deliver_signals"), b.Param(0))
+	})
+	b.Ret(c64(0))
+}

@@ -1,0 +1,386 @@
+package kernel
+
+import (
+	"sva/internal/ir"
+	"sva/internal/svaops"
+)
+
+// rwSig is the file-operation signature: op(file, user_buf, n) -> i64.
+func (k *K) rwSig() *ir.Type {
+	return ir.FuncOf(ir.I64, []*ir.Type{ir.PointerTo(k.FileT), ir.I64, ir.I64}, false)
+}
+
+func (k *K) relSig() *ir.Type {
+	return ir.FuncOf(ir.I64, []*ir.Type{ir.PointerTo(k.FileT)}, false)
+}
+
+// buildVFS emits the filesystem core: inode/file caches (distinct
+// kmem_cache pools, like Linux's inode_cache and filp cache), a flat
+// dentry table, ramfs file operations, and the fd-table syscalls.  File
+// operations dispatch through function-pointer tables — the indirect-call
+// pattern §4.8 discusses.
+func (k *K) buildVFS() {
+	b := k.B
+	bp := k.BP
+	inodeP := ir.PointerTo(k.InodeT)
+	fileP := ir.PointerTo(k.FileT)
+
+	inodeCache := k.global("inode_cache", ir.PointerTo(k.CacheT), nil, SubFS)
+	fileCache := k.global("file_cache", ir.PointerTo(k.CacheT), nil, SubFS)
+	consInode := k.global("console_inode", inodeP, nil, SubFS)
+	_ = consInode // wired by buildFSInit
+
+	var layout ir.Layout
+
+	// --- ramfs file operations ---------------------------------------------
+
+	// ramfs_read(file, ubuf, n): copy out of the in-memory file.
+	k.fn("ramfs_read", SubFS, ir.I64, []*ir.Type{fileP, ir.I64, ir.I64}, "file", "ubuf", "n")
+	ino := b.Load(b.FieldAddr(b.Param(0), 0))
+	pos := b.Load(b.FieldAddr(b.Param(0), 1))
+	size := b.Load(b.FieldAddr(ino, 1))
+	atEOF := b.ICmp(ir.PredSGE, pos, size)
+	b.If(atEOF, func() { b.Ret(c64(0)) })
+	avail := b.Sub(size, pos)
+	n := b.Select(b.ICmp(ir.PredULT, b.Param(2), avail), b.Param(2), avail)
+	data := b.Load(b.FieldAddr(ino, 2))
+	src := b.GEP(data, pos)
+	left := b.Call(k.M.Func("__copy_to_user"), b.Param(1), src, n)
+	copied := b.Sub(n, left)
+	b.Store(b.Add(pos, copied), b.FieldAddr(b.Param(0), 1))
+	b.Ret(copied)
+
+	// ramfs_write(file, ubuf, n): grow (vmalloc) and copy in.
+	k.fn("ramfs_write", SubFS, ir.I64, []*ir.Type{fileP, ir.I64, ir.I64}, "file", "ubuf", "n")
+	ino2 := b.Load(b.FieldAddr(b.Param(0), 0))
+	pos2 := b.Load(b.FieldAddr(b.Param(0), 1))
+	need := b.Add(pos2, b.Param(2))
+	cap2 := b.Load(b.FieldAddr(ino2, 3))
+	tooSmall := b.ICmp(ir.PredUGT, need, cap2)
+	b.If(tooSmall, func() {
+		newCap := b.Mul(b.Add(need, c64(PageSize)), c64(2))
+		nd := b.Call(k.M.Func("vmalloc"), newCap)
+		old := b.Load(b.FieldAddr(ino2, 2))
+		oldSize := b.Load(b.FieldAddr(ino2, 1))
+		hasOld := b.ICmp(ir.PredNE, b.PtrToInt(old, ir.I64), c64(0))
+		b.If(hasOld, func() {
+			b.Call(svaops.Get(k.M, svaops.Memcpy), nd, old, oldSize)
+		})
+		b.Store(nd, b.FieldAddr(ino2, 2))
+		b.Store(newCap, b.FieldAddr(ino2, 3))
+	})
+	data2 := b.Load(b.FieldAddr(ino2, 2))
+	dst := b.GEP(data2, pos2)
+	left2 := b.Call(k.M.Func("__copy_from_user"), dst, b.Param(1), b.Param(2))
+	copied2 := b.Sub(b.Param(2), left2)
+	newPos := b.Add(pos2, copied2)
+	b.Store(newPos, b.FieldAddr(b.Param(0), 1))
+	growFile := b.ICmp(ir.PredSGT, newPos, b.Load(b.FieldAddr(ino2, 1)))
+	b.If(growFile, func() {
+		b.Store(newPos, b.FieldAddr(ino2, 1))
+	})
+	b.Ret(copied2)
+
+	// generic_release(file): default no-op release.
+	k.fn("generic_release", SubFS, ir.I64, []*ir.Type{fileP}, "file")
+	b.Ret(c64(0))
+
+	// --- object allocation ----------------------------------------------------
+
+	// inode_alloc(kind) -> inode* from the inode cache (a TH pool).
+	k.fn("inode_alloc", SubFS, inodeP, []*ir.Type{ir.I64}, "kind")
+	raw := b.Call(k.M.Func("kmem_cache_alloc"), b.Load(inodeCache))
+	isNull := b.ICmp(ir.PredEQ, b.PtrToInt(raw, ir.I64), c64(0))
+	b.If(isNull, func() { b.Ret(ir.Null(inodeP)) })
+	b.Call(k.M.Func("memzero_k"), raw, c64(layout.Size(k.InodeT)))
+	ip := b.Bitcast(raw, inodeP)
+	b.Store(b.Param(0), b.FieldAddr(ip, 0))
+	b.Store(c64(1), b.FieldAddr(ip, 5))
+	b.Ret(ip)
+
+	// file_alloc(inode, fops) -> file* from the file cache.
+	k.fn("file_alloc", SubFS, fileP, []*ir.Type{inodeP, ir.PointerTo(k.FopsT)}, "inode", "fops")
+	raw2 := b.Call(k.M.Func("kmem_cache_alloc"), b.Load(fileCache))
+	isNull2 := b.ICmp(ir.PredEQ, b.PtrToInt(raw2, ir.I64), c64(0))
+	b.If(isNull2, func() { b.Ret(ir.Null(fileP)) })
+	b.Call(k.M.Func("memzero_k"), raw2, c64(layout.Size(k.FileT)))
+	fp := b.Bitcast(raw2, fileP)
+	b.Store(b.Param(0), b.FieldAddr(fp, 0))
+	b.Store(c64(1), b.FieldAddr(fp, 2))
+	b.Store(b.Param(1), b.FieldAddr(fp, 3))
+	b.Ret(fp)
+
+	// --- dentry table -----------------------------------------------------------
+
+	// dentry_lookup(name) -> inode* (null if absent).
+	k.fn("dentry_lookup", SubFS, inodeP, []*ir.Type{bp}, "name")
+	found := b.Alloca(inodeP, "found")
+	b.Store(ir.Null(inodeP), found)
+	b.For("i", c64(0), c64(NumDentries), c64(1), func(i ir.Value) {
+		dp := b.Index(k.Dentries, i)
+		used := b.Load(b.FieldAddr(dp, 2))
+		isUsed := b.ICmp(ir.PredNE, used, c64(0))
+		b.If(isUsed, func() {
+			nm := b.Bitcast(b.FieldAddr(dp, 0), bp)
+			eq := b.Call(k.M.Func("streq_k"), nm, b.Param(0))
+			hit := b.ICmp(ir.PredNE, eq, c64(0))
+			b.If(hit, func() {
+				b.Ret(b.Load(b.FieldAddr(dp, 1)))
+			})
+		})
+	})
+	b.Ret(b.Load(found))
+
+	// dentry_add(name, inode) -> 0 or -ENFILE.
+	k.fn("dentry_add", SubFS, ir.I64, []*ir.Type{bp, inodeP}, "name", "inode")
+	b.For("i", c64(0), c64(NumDentries), c64(1), func(i ir.Value) {
+		dp := b.Index(k.Dentries, i)
+		used := b.Load(b.FieldAddr(dp, 2))
+		free := b.ICmp(ir.PredEQ, used, c64(0))
+		b.If(free, func() {
+			nm := b.Bitcast(b.FieldAddr(dp, 0), bp)
+			nlen := b.Call(k.M.Func("strlen_k"), b.Param(0))
+			capped := b.Select(b.ICmp(ir.PredULT, nlen, c64(23)), nlen, c64(23))
+			b.Call(svaops.Get(k.M, svaops.Memcpy), nm, b.Param(0), capped)
+			b.Store(ir.I8c(0), b.GEP(nm, capped))
+			b.Store(b.Param(1), b.FieldAddr(dp, 1))
+			b.Store(c64(1), b.FieldAddr(dp, 2))
+			b.Ret(c64(0))
+		})
+	})
+	b.Ret(errno(ENFILE))
+
+	// dentry_remove(name) -> 0 or -ENOENT.
+	k.fn("dentry_remove", SubFS, ir.I64, []*ir.Type{bp}, "name")
+	b.For("i", c64(0), c64(NumDentries), c64(1), func(i ir.Value) {
+		dp := b.Index(k.Dentries, i)
+		used := b.Load(b.FieldAddr(dp, 2))
+		isUsed := b.ICmp(ir.PredNE, used, c64(0))
+		b.If(isUsed, func() {
+			nm := b.Bitcast(b.FieldAddr(dp, 0), bp)
+			eq := b.Call(k.M.Func("streq_k"), nm, b.Param(0))
+			hit := b.ICmp(ir.PredNE, eq, c64(0))
+			b.If(hit, func() {
+				b.Store(c64(0), b.FieldAddr(dp, 2))
+				b.Ret(c64(0))
+			})
+		})
+	})
+	b.Ret(errno(ENOENT))
+
+	// --- fd table ------------------------------------------------------------------
+
+	// fd_install(file) -> fd or -EMFILE.
+	k.fn("fd_install", SubFS, ir.I64, []*ir.Type{fileP}, "file")
+	cur := b.Load(k.Current)
+	b.For("fd", c64(0), c64(NumFiles), c64(1), func(fd ir.Value) {
+		slot := b.Index(b.FieldAddr(cur, 5), fd)
+		empty := b.ICmp(ir.PredEQ, b.PtrToInt(b.Load(slot), ir.I64), c64(0))
+		b.If(empty, func() {
+			b.Store(b.Param(0), slot)
+			b.Ret(fd)
+		})
+	})
+	b.Ret(errno(EMFILE))
+
+	// fd_get(fd) -> file* (null if bad).
+	k.fn("fd_get", SubFS, fileP, []*ir.Type{ir.I64}, "fd")
+	bad := b.Or(b.ZExt(b.ICmp(ir.PredSLT, b.Param(0), c64(0)), ir.I64),
+		b.ZExt(b.ICmp(ir.PredSGE, b.Param(0), c64(NumFiles)), ir.I64))
+	isBad := b.ICmp(ir.PredNE, bad, c64(0))
+	b.If(isBad, func() { b.Ret(ir.Null(fileP)) })
+	cur2 := b.Load(k.Current)
+	b.Ret(b.Load(b.Index(b.FieldAddr(cur2, 5), b.Param(0))))
+
+	// file_close(file): drop a reference; on last close call the release
+	// op (indirect call) and free the file.
+	k.fn("file_close", SubFS, ir.I64, []*ir.Type{fileP}, "file")
+	isNull3 := b.ICmp(ir.PredEQ, b.PtrToInt(b.Param(0), ir.I64), c64(0))
+	b.If(isNull3, func() { b.Ret(errno(EBADF)) })
+	ref := b.Sub(b.Load(b.FieldAddr(b.Param(0), 2)), c64(1))
+	b.Store(ref, b.FieldAddr(b.Param(0), 2))
+	lastRef := b.ICmp(ir.PredSLE, ref, c64(0))
+	b.If(lastRef, func() {
+		ops := b.Load(b.FieldAddr(b.Param(0), 3))
+		hasOps := b.ICmp(ir.PredNE, b.PtrToInt(ops, ir.I64), c64(0))
+		b.If(hasOps, func() {
+			rel := b.Load(b.FieldAddr(ops, 2))
+			hasRel := b.ICmp(ir.PredNE, b.PtrToInt(rel, ir.I64), c64(0))
+			b.If(hasRel, func() {
+				b.Call(rel, b.Param(0))
+			})
+		})
+		b.Call(k.M.Func("kmem_cache_free"), b.Load(fileCache), b.Bitcast(b.Param(0), bp))
+	})
+	b.Ret(c64(0))
+
+	// --- syscalls --------------------------------------------------------------
+
+	// sys_open(icp, name_uaddr, flags).
+	f := k.syscall("sys_open", SubFS)
+	nameBuf := b.Alloca(ir.ArrayOf(24, ir.I8), "name")
+	nb := b.Bitcast(nameBuf, bp)
+	r := b.Call(k.M.Func("strncpy_from_user"), nb, b.Param(1), c64(24))
+	fault := b.ICmp(ir.PredSLT, r, c64(0))
+	b.If(fault, func() { b.Ret(errno(EFAULT)) })
+	inop := b.Alloca(inodeP, "ino")
+	b.Store(b.Call(k.M.Func("dentry_lookup"), nb), inop)
+	noEnt := b.ICmp(ir.PredEQ, b.PtrToInt(b.Load(inop), ir.I64), c64(0))
+	b.If(noEnt, func() {
+		wantCreate := b.ICmp(ir.PredNE, b.And(b.Param(2), c64(64)), c64(0)) // O_CREAT
+		b.IfElse(wantCreate, func() {
+			ni := b.Call(k.M.Func("inode_alloc"), c64(InodeFile))
+			bad2 := b.ICmp(ir.PredEQ, b.PtrToInt(ni, ir.I64), c64(0))
+			b.If(bad2, func() { b.Ret(errno(ENOMEM)) })
+			b.Call(k.M.Func("dentry_add"), nb, ni)
+			b.Store(ni, inop)
+		}, func() {
+			b.Ret(errno(ENOENT))
+		})
+	})
+	kind := b.Load(b.FieldAddr(b.Load(inop), 0))
+	isCons := b.ICmp(ir.PredEQ, kind, c64(InodeCons))
+	isBlk := b.ICmp(ir.PredEQ, kind, c64(InodeBlk))
+	fops := b.Select(isCons,
+		b.Bitcast(k.ConsFops, ir.PointerTo(k.FopsT)),
+		b.Select(isBlk,
+			b.Bitcast(k.BlkFops, ir.PointerTo(k.FopsT)),
+			b.Bitcast(k.RamFops, ir.PointerTo(k.FopsT))))
+	nf := b.Call(k.M.Func("file_alloc"), b.Load(inop), fops)
+	badf := b.ICmp(ir.PredEQ, b.PtrToInt(nf, ir.I64), c64(0))
+	b.If(badf, func() { b.Ret(errno(ENOMEM)) })
+	// O_TRUNC (512): reset size.
+	trunc := b.ICmp(ir.PredNE, b.And(b.Param(2), c64(512)), c64(0))
+	b.If(trunc, func() {
+		b.Store(c64(0), b.FieldAddr(b.Load(inop), 1))
+	})
+	// O_APPEND (1024): position at end.
+	app := b.ICmp(ir.PredNE, b.And(b.Param(2), c64(1024)), c64(0))
+	b.If(app, func() {
+		b.Store(b.Load(b.FieldAddr(b.Load(inop), 1)), b.FieldAddr(nf, 1))
+	})
+	b.Ret(b.Call(k.M.Func("fd_install"), nf))
+	_ = f
+
+	// sys_close(icp, fd).
+	k.syscall("sys_close", SubFS)
+	file := b.Call(k.M.Func("fd_get"), b.Param(1))
+	badfd := b.ICmp(ir.PredEQ, b.PtrToInt(file, ir.I64), c64(0))
+	b.If(badfd, func() { b.Ret(errno(EBADF)) })
+	cur3 := b.Load(k.Current)
+	b.Store(ir.Null(fileP), b.Index(b.FieldAddr(cur3, 5), b.Param(1)))
+	b.Ret(b.Call(k.M.Func("file_close"), file))
+
+	// sys_read(icp, fd, ubuf, n): dispatch through the fops table.  The
+	// call site carries the §4.8 signature assertion, shrinking its callee
+	// set to the read/write implementations.
+	rf := k.syscall("sys_read", SubFS)
+	file2 := b.Call(k.M.Func("fd_get"), b.Param(1))
+	badfd2 := b.ICmp(ir.PredEQ, b.PtrToInt(file2, ir.I64), c64(0))
+	b.If(badfd2, func() { b.Ret(errno(EBADF)) })
+	ops2 := b.Load(b.FieldAddr(file2, 3))
+	readFn := b.Load(b.FieldAddr(ops2, 0))
+	call := b.Call(readFn, file2, b.Param(2), b.Param(3))
+	b.Ret(call)
+	rf.Renumber()
+	rf.SigAssert = map[int]bool{call.Num(): true}
+	k.Ledger.Analysis[SubFS]++
+
+	wf := k.syscall("sys_write", SubFS)
+	file3 := b.Call(k.M.Func("fd_get"), b.Param(1))
+	badfd3 := b.ICmp(ir.PredEQ, b.PtrToInt(file3, ir.I64), c64(0))
+	b.If(badfd3, func() { b.Ret(errno(EBADF)) })
+	ops3 := b.Load(b.FieldAddr(file3, 3))
+	writeFn := b.Load(b.FieldAddr(ops3, 1))
+	call2 := b.Call(writeFn, file3, b.Param(2), b.Param(3))
+	b.Ret(call2)
+	wf.Renumber()
+	wf.SigAssert = map[int]bool{call2.Num(): true}
+	k.Ledger.Analysis[SubFS]++
+
+	// sys_lseek(icp, fd, off, whence).
+	k.syscall("sys_lseek", SubFS)
+	file4 := b.Call(k.M.Func("fd_get"), b.Param(1))
+	badfd4 := b.ICmp(ir.PredEQ, b.PtrToInt(file4, ir.I64), c64(0))
+	b.If(badfd4, func() { b.Ret(errno(EBADF)) })
+	posp := b.FieldAddr(file4, 1)
+	inode4 := b.Load(b.FieldAddr(file4, 0))
+	newOff := b.Alloca(ir.I64, "newoff")
+	isSet := b.ICmp(ir.PredEQ, b.Param(3), c64(0))
+	isCur := b.ICmp(ir.PredEQ, b.Param(3), c64(1))
+	b.IfElse(isSet, func() {
+		b.Store(b.Param(2), newOff)
+	}, func() {
+		b.IfElse(isCur, func() {
+			b.Store(b.Add(b.Load(posp), b.Param(2)), newOff)
+		}, func() {
+			b.Store(b.Add(b.Load(b.FieldAddr(inode4, 1)), b.Param(2)), newOff)
+		})
+	})
+	neg := b.ICmp(ir.PredSLT, b.Load(newOff), c64(0))
+	b.If(neg, func() { b.Ret(errno(EINVAL)) })
+	b.Store(b.Load(newOff), posp)
+	b.Ret(b.Load(newOff))
+
+	// sys_dup(icp, fd).
+	k.syscall("sys_dup", SubFS)
+	file5 := b.Call(k.M.Func("fd_get"), b.Param(1))
+	badfd5 := b.ICmp(ir.PredEQ, b.PtrToInt(file5, ir.I64), c64(0))
+	b.If(badfd5, func() { b.Ret(errno(EBADF)) })
+	b.Store(b.Add(b.Load(b.FieldAddr(file5, 2)), c64(1)), b.FieldAddr(file5, 2))
+	b.Ret(b.Call(k.M.Func("fd_install"), file5))
+
+	// sys_unlink(icp, name_uaddr).
+	k.syscall("sys_unlink", SubFS)
+	nameBuf2 := b.Alloca(ir.ArrayOf(24, ir.I8), "name")
+	nb2 := b.Bitcast(nameBuf2, bp)
+	r2 := b.Call(k.M.Func("strncpy_from_user"), nb2, b.Param(1), c64(24))
+	fault2 := b.ICmp(ir.PredSLT, r2, c64(0))
+	b.If(fault2, func() { b.Ret(errno(EFAULT)) })
+	b.Ret(b.Call(k.M.Func("dentry_remove"), nb2))
+
+}
+
+// buildFSInit emits fs_init, which wires the fops tables to driver and
+// pipe implementations built after the VFS core.
+func (k *K) buildFSInit() {
+	b := k.B
+	bp := k.BP
+	var layout ir.Layout
+	inodeCache := k.M.Global("inode_cache")
+	fileCache := k.M.Global("file_cache")
+	consInode := k.M.Global("console_inode")
+
+	// fs_init(): create caches, wire fops tables, create /dev/console.
+	k.fn("fs_init", SubFS, ir.Void, nil)
+	b.Store(b.Call(k.M.Func("kmem_cache_create"), c64(layout.Size(k.InodeT))), inodeCache)
+	b.Store(b.Call(k.M.Func("kmem_cache_create"), c64(layout.Size(k.FileT))), fileCache)
+	rw := ir.PointerTo(k.rwSig())
+	rel := ir.PointerTo(k.relSig())
+	store := func(g *ir.Global, readN, writeN, relN string) {
+		b.Store(b.Bitcast(k.M.Func(readN), rw), b.FieldAddr(g, 0))
+		b.Store(b.Bitcast(k.M.Func(writeN), rw), b.FieldAddr(g, 1))
+		b.Store(b.Bitcast(k.M.Func(relN), rel), b.FieldAddr(g, 2))
+	}
+	store(k.RamFops, "ramfs_read", "ramfs_write", "generic_release")
+	store(k.ConsFops, "console_read", "console_write", "generic_release")
+	store(k.BlkFops, "blkdev_read", "blkdev_write", "generic_release")
+	store(k.PipeRFops, "pipe_read", "pipe_bad_write", "pipe_release_read")
+	store(k.PipeWFops, "pipe_bad_read", "pipe_write", "pipe_release_write")
+	ci := b.Call(k.M.Func("inode_alloc"), c64(InodeCons))
+	b.Store(ci, consInode)
+	cname := k.global("console_name", ir.ArrayOf(13, ir.I8), &ir.ConstString{S: "/dev/console"}, SubFS)
+	b.Call(k.M.Func("dentry_add"), b.Bitcast(cname, bp), ci)
+	bi := b.Call(k.M.Func("inode_alloc"), c64(InodeBlk))
+	bname := k.global("rawdisk_name", ir.ArrayOf(13, ir.I8), &ir.ConstString{S: "/dev/rawdisk"}, SubFS)
+	b.Call(k.M.Func("dentry_add"), b.Bitcast(bname, bp), bi)
+	b.Ret(nil)
+}
+
+// syscall starts a syscall-handler function: i64 handler(icp, a0..a5).
+func (k *K) syscall(name, subsystem string) *ir.Function {
+	sig := ir.FuncOf(ir.I64, []*ir.Type{ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64}, false)
+	f := k.B.NewFunc(name, sig, "icp", "a0", "a1", "a2", "a3", "a4", "a5")
+	f.Subsystem = subsystem
+	return f
+}

@@ -1,0 +1,324 @@
+// Package metapool implements the run-time side of SVA's safety checking
+// (paper §4.3–§4.5): a metapool is the run-time representation of one
+// points-to graph partition.  It records every registered object in a splay
+// tree and answers the three run-time checks — bounds checks on indexing,
+// load-store checks on non-type-homogeneous pools, and indirect call
+// checks — plus object registration/deregistration (pchk.reg.obj /
+// pchk.drop.obj).
+package metapool
+
+import (
+	"fmt"
+
+	"sva/internal/splay"
+)
+
+// ViolationKind classifies a detected safety violation.
+type ViolationKind int
+
+const (
+	// BoundsViolation: an indexing operation computed a pointer outside
+	// the bounds of the source object (buffer overrun).
+	BoundsViolation ViolationKind = iota
+	// LoadStoreViolation: a load/store through a pointer that does not
+	// target a registered object of its metapool.
+	LoadStoreViolation
+	// IndirectCallViolation: an indirect call to a function outside the
+	// compiler-computed callee set (control-flow integrity).
+	IndirectCallViolation
+	// IllegalFree: pchk.drop.obj on a pointer that is not the start of a
+	// live registered object (double free or bad free).
+	IllegalFree
+	// RegistrationConflict: pchk.reg.obj overlapping a live object.
+	RegistrationConflict
+	// UninitPointer: dereference of a poison/uninitialized pointer value.
+	UninitPointer
+)
+
+var kindNames = [...]string{
+	"bounds violation",
+	"load-store violation",
+	"indirect call violation",
+	"illegal free",
+	"registration conflict",
+	"uninitialized pointer dereference",
+}
+
+func (k ViolationKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("violation(%d)", int(k))
+}
+
+// Violation is the error raised when a run-time check fails.  The SVM
+// converts it into a safety trap.
+type Violation struct {
+	Kind ViolationKind
+	Pool string
+	Addr uint64
+	Msg  string
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("%s in metapool %s at %#x: %s", v.Kind, v.Pool, v.Addr, v.Msg)
+}
+
+// Stats counts run-time check activity per metapool.
+type Stats struct {
+	Registered   uint64
+	Dropped      uint64
+	BoundsChecks uint64
+	LSChecks     uint64
+	ICChecks     uint64
+	Violations   uint64
+}
+
+// Pool is one run-time metapool.
+type Pool struct {
+	Name string
+	// TypeHomogeneous pools hold objects of a single type; loads and
+	// stores through them need no lscheck and dangling pointers cannot
+	// break type safety (given allocator alignment/no-release rules).
+	TypeHomogeneous bool
+	// Complete is false for partitions exposed to unanalyzed code; checks
+	// are "reduced": a failed lookup is inconclusive rather than an error.
+	Complete bool
+	// ElemSize is the object element size for TH pools (0 otherwise).
+	ElemSize uint64
+
+	objects splay.Tree
+
+	// userLo/userHi: if set, all of userspace is treated as one registered
+	// object of this pool (paper §4.6).
+	userLo, userHi uint64
+	hasUser        bool
+
+	Stats Stats
+}
+
+// NewPool creates a metapool.
+func NewPool(name string, typeHomogeneous, complete bool, elemSize uint64) *Pool {
+	return &Pool{Name: name, TypeHomogeneous: typeHomogeneous, Complete: complete, ElemSize: elemSize}
+}
+
+// RegisterUserSpace marks [lo, hi) — the whole of user-space memory — as a
+// single valid object of the pool.
+func (p *Pool) RegisterUserSpace(lo, hi uint64) {
+	p.userLo, p.userHi, p.hasUser = lo, hi, true
+}
+
+func (p *Pool) userRange(addr uint64) (splay.Range, bool) {
+	if p.hasUser && addr >= p.userLo && addr < p.userHi {
+		return splay.Range{Start: p.userLo, Len: p.userHi - p.userLo}, true
+	}
+	return splay.Range{}, false
+}
+
+// Object tags.
+const (
+	TagHeap  = 0
+	TagStack = 1
+)
+
+// RegisterStack records a stack object.  A conflicting *stale stack*
+// registration — left behind when a task died without unwinding its kernel
+// frames — is evicted first: its frame is gone, so the registration cannot
+// correspond to a live object.  Conflicts with non-stack objects are real
+// violations.
+func (p *Pool) RegisterStack(addr, size uint64) error {
+	if size == 0 {
+		return nil
+	}
+	for {
+		if p.objects.Insert(splay.Range{Start: addr, Len: size, Tag: TagStack}) {
+			p.Stats.Registered++
+			return nil
+		}
+		old, ok := p.objects.FindOverlap(addr, size)
+		if !ok || old.Tag != TagStack {
+			p.Stats.Violations++
+			return &Violation{Kind: RegistrationConflict, Pool: p.Name, Addr: addr,
+				Msg: fmt.Sprintf("stack object [%#x,%#x) overlaps a live object", addr, addr+size)}
+		}
+		p.objects.Remove(old.Start)
+	}
+}
+
+// Register records a new object [addr, addr+size) (pchk.reg.obj).
+func (p *Pool) Register(addr, size uint64, tag uint32) error {
+	if size == 0 {
+		return nil // zero-sized allocations register nothing
+	}
+	if !p.objects.Insert(splay.Range{Start: addr, Len: size, Tag: tag}) {
+		p.Stats.Violations++
+		return &Violation{Kind: RegistrationConflict, Pool: p.Name, Addr: addr,
+			Msg: fmt.Sprintf("object [%#x,%#x) overlaps a live object", addr, addr+size)}
+	}
+	p.Stats.Registered++
+	return nil
+}
+
+// Drop removes the object starting at addr (pchk.drop.obj).  Dropping a
+// pointer that is not the start of a live object is an illegal free
+// (guarantee T5: no double or illegal frees).
+func (p *Pool) Drop(addr uint64) error {
+	if r, ok := p.objects.FindStart(addr); ok {
+		p.objects.Remove(r.Start)
+		p.Stats.Dropped++
+		return nil
+	}
+	p.Stats.Violations++
+	if r, ok := p.objects.Find(addr); ok {
+		return &Violation{Kind: IllegalFree, Pool: p.Name, Addr: addr,
+			Msg: fmt.Sprintf("free of interior pointer into %v", r)}
+	}
+	return &Violation{Kind: IllegalFree, Pool: p.Name, Addr: addr,
+		Msg: "free of address with no live object (double free?)"}
+}
+
+// GetBounds returns the bounds of the object containing addr.
+func (p *Pool) GetBounds(addr uint64) (start, end uint64, ok bool) {
+	if r, ok := p.userRange(addr); ok {
+		return r.Start, r.End(), true
+	}
+	if r, ok := p.objects.Find(addr); ok {
+		return r.Start, r.End(), true
+	}
+	return 0, 0, false
+}
+
+// BoundsCheck verifies that derived — a pointer computed by indexing from
+// src — still points into (or one past) the same registered object
+// (pchk.bounds / the boundscheck operation).
+//
+// For incomplete pools the check is "reduced" (§4.5): if neither pointer
+// hits a registered object, nothing can be concluded and the check passes;
+// if either one hits, both must be in the same object.
+func (p *Pool) BoundsCheck(src, derived uint64) error {
+	p.Stats.BoundsChecks++
+	r, ok := p.userRange(src)
+	if !ok {
+		r, ok = p.objects.Find(src)
+	}
+	if ok {
+		// One-past-the-end is legal for the derived pointer (C idiom).
+		if derived >= r.Start && derived <= r.End() {
+			return nil
+		}
+		p.Stats.Violations++
+		return &Violation{Kind: BoundsViolation, Pool: p.Name, Addr: derived,
+			Msg: fmt.Sprintf("indexing from %#x escapes object %v", src, r)}
+	}
+	// Source not registered.  Check whether the derived pointer lands in
+	// some object; then src and derived straddle an object boundary.
+	if r2, ok2 := p.objects.Find(derived); ok2 {
+		p.Stats.Violations++
+		return &Violation{Kind: BoundsViolation, Pool: p.Name, Addr: derived,
+			Msg: fmt.Sprintf("indexing from unregistered %#x into object %v", src, r2)}
+	}
+	if p.Complete {
+		p.Stats.Violations++
+		return &Violation{Kind: BoundsViolation, Pool: p.Name, Addr: src,
+			Msg: "indexing from pointer with no registered object in complete pool"}
+	}
+	return nil // reduced check on incomplete pool: inconclusive
+}
+
+// LoadStoreCheck verifies that a pointer used by a load or store targets a
+// registered object of this pool (pchk.lscheck).  It is only required for
+// non-TH pools; for incomplete pools it is disabled by the compiler (the
+// sole source of false negatives, §4.5).
+func (p *Pool) LoadStoreCheck(addr uint64) error {
+	p.Stats.LSChecks++
+	if _, ok := p.userRange(addr); ok {
+		return nil
+	}
+	if _, ok := p.objects.Find(addr); ok {
+		return nil
+	}
+	if !p.Complete {
+		return nil // reduced check
+	}
+	p.Stats.Violations++
+	return &Violation{Kind: LoadStoreViolation, Pool: p.Name, Addr: addr,
+		Msg: "access through pointer outside every registered object"}
+}
+
+// Contains reports whether addr falls in a registered object (no stats).
+func (p *Pool) Contains(addr uint64) bool {
+	if _, ok := p.userRange(addr); ok {
+		return true
+	}
+	_, ok := p.objects.Find(addr)
+	return ok
+}
+
+// NumObjects returns the live object count.
+func (p *Pool) NumObjects() int { return p.objects.Len() }
+
+// Reset drops all objects and statistics (pool destruction).
+func (p *Pool) Reset() {
+	p.objects.Clear()
+	p.Stats = Stats{}
+}
+
+// Registry is the VM's table of run-time metapools plus the indirect-call
+// target sets computed by the compiler's call-graph analysis.
+type Registry struct {
+	Pools []*Pool
+	// CallSets[i] is the set of legal function addresses for indirect
+	// call-check set i.
+	CallSets []map[uint64]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// AddPool appends a pool and returns its ID.
+func (r *Registry) AddPool(p *Pool) int {
+	r.Pools = append(r.Pools, p)
+	return len(r.Pools) - 1
+}
+
+// Pool returns the pool with the given ID.
+func (r *Registry) Pool(id int) *Pool {
+	if id < 0 || id >= len(r.Pools) {
+		panic(fmt.Sprintf("metapool: bad pool id %d", id))
+	}
+	return r.Pools[id]
+}
+
+// AddCallSet registers an indirect-call target set, returning its ID.
+func (r *Registry) AddCallSet(targets map[uint64]bool) int {
+	r.CallSets = append(r.CallSets, targets)
+	return len(r.CallSets) - 1
+}
+
+// IndirectCallCheck verifies that target is a legal callee for set id
+// (control-flow integrity, guarantee T1).
+func (r *Registry) IndirectCallCheck(id int, target uint64) error {
+	if id < 0 || id >= len(r.CallSets) {
+		return &Violation{Kind: IndirectCallViolation, Pool: fmt.Sprintf("callset%d", id),
+			Addr: target, Msg: "unknown call set"}
+	}
+	if r.CallSets[id][target] {
+		return nil
+	}
+	return &Violation{Kind: IndirectCallViolation, Pool: fmt.Sprintf("callset%d", id),
+		Addr: target, Msg: "indirect call target not in compiler-computed callee set"}
+}
+
+// TotalStats sums statistics across all pools.
+func (r *Registry) TotalStats() Stats {
+	var s Stats
+	for _, p := range r.Pools {
+		s.Registered += p.Stats.Registered
+		s.Dropped += p.Stats.Dropped
+		s.BoundsChecks += p.Stats.BoundsChecks
+		s.LSChecks += p.Stats.LSChecks
+		s.ICChecks += p.Stats.ICChecks
+		s.Violations += p.Stats.Violations
+	}
+	return s
+}

@@ -1,0 +1,505 @@
+// Package pointer implements the unification-based ("Steensgaard-style",
+// §4.3 of the paper) flow-insensitive points-to analysis that drives SVA's
+// safety-checking compiler.  Every pointer value maps to exactly one node
+// of the points-to graph; nodes carry memory-class flags (Heap, Stack,
+// Global, Function, Unknown), a type-homogeneity candidate type, an
+// Incomplete flag for partitions exposed to unanalyzed code, and the
+// call-graph information needed for indirect-call checks.
+//
+// Kernel-specific extensions from §4.8 are implemented: small integer
+// constants cast to pointers are treated as null; system calls issued
+// internally through the trap mechanism are resolved to their registered
+// handlers; user-copy operations merge only the outgoing edges of the
+// copied objects; and call sites can carry signature assertions that
+// restrict callee sets.
+package pointer
+
+import (
+	"fmt"
+
+	"sva/internal/ir"
+	"sva/internal/svaops"
+)
+
+// Class flags for points-to nodes.
+type Class uint8
+
+const (
+	Heap Class = 1 << iota
+	Stack
+	Global
+	Func
+	Unknown
+)
+
+func (c Class) String() string {
+	s := ""
+	if c&Heap != 0 {
+		s += "H"
+	}
+	if c&Stack != 0 {
+		s += "S"
+	}
+	if c&Global != 0 {
+		s += "G"
+	}
+	if c&Func != 0 {
+		s += "F"
+	}
+	if c&Unknown != 0 {
+		s += "U"
+	}
+	if s == "" {
+		s = "-"
+	}
+	return s
+}
+
+// Node is one partition of memory objects (a points-to graph node).
+type Node struct {
+	id int
+
+	// union-find
+	parent *Node
+	rank   int
+
+	Flags Class
+	// Ty is the type-homogeneity candidate: the single observed element
+	// type, nil if nothing observed yet.
+	Ty *ir.Type
+	// Collapsed marks nodes with conflicting type observations: the
+	// partition is not type-homogeneous.
+	Collapsed bool
+	// Incomplete marks partitions that may contain objects allocated in
+	// unanalyzed code; run-time checks on them are "reduced" (§4.5).
+	Incomplete bool
+	// UserReachable marks partitions reachable from system-call pointer
+	// arguments; all of userspace registers with them as one object (§4.6).
+	UserReachable bool
+
+	// Funcs are the functions whose addresses may flow into this node
+	// (indirect-call targets).
+	Funcs map[*ir.Function]bool
+
+	// AllocSites lists the instructions (heap/stack allocations) and
+	// globals assigned to this partition.
+	AllocSites  []*ir.Instr
+	GlobalSites []*ir.Global
+	// KernelPools lists distinct kernel pool identities (e.g. kmem_cache
+	// variables) whose objects land here — used for the §4.3 merge rules.
+	KernelPools map[string]bool
+
+	// pointee is the single outgoing points-to edge (unification style).
+	pointee *Node
+}
+
+func (n *Node) find() *Node {
+	for n.parent != n {
+		n.parent = n.parent.parent
+		n = n.parent
+	}
+	return n
+}
+
+// ID returns a stable identifier of the node's representative.
+func (n *Node) ID() int { return n.find().id }
+
+// TypeHomogeneous reports whether the partition is a TH candidate: a single
+// observed type and no collapse.
+func (n *Node) TypeHomogeneous() bool {
+	r := n.find()
+	return !r.Collapsed && r.Ty != nil && r.Flags&Unknown == 0
+}
+
+// Pointee returns the node this partition's pointers point to (nil if it
+// holds no pointers anyone dereferences).
+func (n *Node) Pointee() *Node {
+	r := n.find()
+	if r.pointee == nil {
+		return nil
+	}
+	return r.pointee.find()
+}
+
+func (n *Node) String() string {
+	r := n.find()
+	th := ""
+	if r.TypeHomogeneous() {
+		th = " TH:" + r.Ty.String()
+	} else if r.Collapsed {
+		th = " collapsed"
+	}
+	inc := ""
+	if r.Incomplete {
+		inc = " incomplete"
+	}
+	return fmt.Sprintf("n%d[%s%s%s]", r.id, r.Flags, th, inc)
+}
+
+// AllocatorKind distinguishes pool allocators from ordinary ones (§4.3).
+type AllocatorKind int
+
+const (
+	// OrdinaryAllocator (e.g. kmalloc): all memory it manages is one
+	// metapool, because it may reuse internally across callers.
+	OrdinaryAllocator AllocatorKind = iota
+	// PoolAllocator (e.g. kmem_cache_alloc): the pool argument identifies
+	// a kernel pool; objects of one kernel pool must land in one metapool.
+	PoolAllocator
+)
+
+// AllocatorInfo describes one kernel allocation routine, as declared by the
+// kernel developer during porting (§4.4).
+type AllocatorInfo struct {
+	Name     string
+	Kind     AllocatorKind
+	SizeArg  int // argument index holding the allocation size (-1: unknown)
+	PoolArg  int // PoolAllocator: argument index of the pool handle
+	FreeName string
+	// FreePtrArg is the freed-pointer argument index of FreeName.
+	FreePtrArg int
+	// SizeClassArg marks ordinary allocators internally implemented over
+	// size-class pools (kmalloc over kmem_cache, §6.2): objects only merge
+	// within a size class, keyed by the size argument when constant.
+	SizeClasses bool
+}
+
+// Config controls an analysis run.
+type Config struct {
+	// Allocators the kernel registered.
+	Allocators []AllocatorInfo
+	// ExcludeSubsystems lists kernel subsystems NOT processed by the
+	// safety-checking compiler (§7.1 excluded mm, lib and the character
+	// drivers); calls into them are unanalyzed external code.
+	ExcludeSubsystems []string
+	// UserCopyFuncs names the user-copy routines for the §4.8 merge
+	// heuristic (copy only outgoing edges).
+	UserCopyFuncs []string
+	// TrackIntToPtrNull enables the small-constant-to-pointer null
+	// heuristic (§4.8).  Default true via NewConfig.
+	TrackIntToPtrNull bool
+}
+
+// Analysis runs the points-to analysis over a set of modules.
+type Analysis struct {
+	cfg     Config
+	modules []*ir.Module
+
+	nextID  int
+	cells   map[ir.Value]*Node // pt(v): what value v points to
+	objOf   map[ir.Value]*Node // object node for globals/functions
+	funcRet map[*ir.Function]*Node
+	// indirect call sites discovered, re-processed until fixpoint.
+	indirect []*callsite
+	// syscall registry discovered from sva.register.syscall calls.
+	syscalls map[int64]*ir.Function
+	// userParams are the trap-argument parameters of registered syscall
+	// handlers (params 1..6): integers that become userspace pointers.
+	userParams map[*ir.Param]bool
+	// excluded subsystems as a set.
+	excluded map[string]bool
+	allocs   map[string]*AllocatorInfo
+	frees    map[string]*AllocatorInfo
+
+	// Callsites maps each call instruction to its resolved callees
+	// (for indirect-call checks and devirtualization).
+	Callsites map[*ir.Instr][]*ir.Function
+}
+
+type callsite struct {
+	fn   *ir.Function
+	in   *ir.Instr
+	done map[*ir.Function]bool
+}
+
+// New creates an analysis for the given modules.
+func New(cfg Config, modules ...*ir.Module) *Analysis {
+	a := &Analysis{
+		cfg:        cfg,
+		modules:    modules,
+		cells:      map[ir.Value]*Node{},
+		objOf:      map[ir.Value]*Node{},
+		funcRet:    map[*ir.Function]*Node{},
+		syscalls:   map[int64]*ir.Function{},
+		userParams: map[*ir.Param]bool{},
+		excluded:   map[string]bool{},
+		allocs:     map[string]*AllocatorInfo{},
+		frees:      map[string]*AllocatorInfo{},
+		Callsites:  map[*ir.Instr][]*ir.Function{},
+	}
+	for _, s := range cfg.ExcludeSubsystems {
+		a.excluded[s] = true
+	}
+	for i := range cfg.Allocators {
+		al := &cfg.Allocators[i]
+		a.allocs[al.Name] = al
+		if al.FreeName != "" {
+			a.frees[al.FreeName] = al
+		}
+	}
+	return a
+}
+
+func (a *Analysis) newNode() *Node {
+	n := &Node{id: a.nextID, Funcs: map[*ir.Function]bool{}, KernelPools: map[string]bool{}}
+	n.parent = n
+	a.nextID++
+	return n
+}
+
+// cell returns pt(v), creating it on demand.  Globals and functions
+// resolve to their object nodes so address-of semantics hold no matter
+// which constraint touches them first.
+func (a *Analysis) cell(v ir.Value) *Node {
+	if n, ok := a.cells[v]; ok {
+		return n.find()
+	}
+	switch v := v.(type) {
+	case *ir.Function:
+		return a.funcObject(v)
+	case *ir.Global:
+		return a.globalObject(v)
+	case *ir.GlobalAddr:
+		switch g := v.G.(type) {
+		case *ir.Function:
+			return a.funcObject(g)
+		case *ir.Global:
+			return a.globalObject(g)
+		}
+	}
+	n := a.newNode()
+	a.cells[v] = n
+	return n
+}
+
+// Union merges two nodes (and, recursively, their pointees).
+func (a *Analysis) union(x, y *Node) *Node {
+	x, y = x.find(), y.find()
+	if x == y {
+		return x
+	}
+	if x.rank < y.rank {
+		x, y = y, x
+	}
+	if x.rank == y.rank {
+		x.rank++
+	}
+	y.parent = x
+	// Merge attributes.
+	x.Flags |= y.Flags
+	x.Incomplete = x.Incomplete || y.Incomplete
+	x.UserReachable = x.UserReachable || y.UserReachable
+	if y.Collapsed {
+		x.Collapsed = true
+	}
+	if x.Ty == nil {
+		x.Ty = y.Ty
+	} else if y.Ty != nil && x.Ty != y.Ty {
+		x.Collapsed = true
+	}
+	for f := range y.Funcs {
+		x.Funcs[f] = true
+	}
+	for p := range y.KernelPools {
+		x.KernelPools[p] = true
+	}
+	x.AllocSites = append(x.AllocSites, y.AllocSites...)
+	x.GlobalSites = append(x.GlobalSites, y.GlobalSites...)
+	yp := y.pointee
+	y.pointee = nil
+	if yp != nil {
+		if x.pointee == nil {
+			x.pointee = yp
+		} else {
+			merged := a.union(x.pointee, yp)
+			x = x.find() // union may have moved the representative
+			x.pointee = merged
+		}
+	}
+	return x.find()
+}
+
+// pointee returns (creating on demand) the node n points to.
+func (a *Analysis) pointee(n *Node) *Node {
+	n = n.find()
+	if n.pointee == nil {
+		n.pointee = a.newNode()
+		// What an unknown/incomplete object contains is itself unknown.
+		if n.Flags&Unknown != 0 {
+			n.pointee.Flags |= Unknown
+		}
+	}
+	return n.pointee.find()
+}
+
+// observeType records that pointers into n are used at element type t.
+func (a *Analysis) observeType(n *Node, t *ir.Type) {
+	n = n.find()
+	if t == nil || t == ir.I8 || t.IsVoid() {
+		return // byte pointers carry no type evidence
+	}
+	// Arrays of T count as T for homogeneity purposes.
+	for t.IsArray() {
+		t = t.Elem()
+	}
+	if n.Ty == nil {
+		n.Ty = t
+		return
+	}
+	if n.Ty != t {
+		n.Collapsed = true
+	}
+}
+
+func isSmallIntConst(v ir.Value) bool {
+	c, ok := v.(*ir.ConstInt)
+	if !ok {
+		return false
+	}
+	sv := c.SignedValue()
+	return sv >= -16 && sv <= 4096
+}
+
+// Run executes the analysis to fixpoint and returns the result view.
+func (a *Analysis) Run() *Result {
+	// Pass 0: discover registered syscalls (sva.register.syscall with
+	// constant arguments), so internal trap calls analyze as direct calls.
+	a.discoverSyscalls()
+
+	// Pass 1: generate constraints for every analyzed function.
+	for _, m := range a.modules {
+		for _, g := range m.Globals {
+			a.globalObject(g)
+		}
+	}
+	for _, m := range a.modules {
+		for _, f := range m.Funcs {
+			if a.analyzed(f) {
+				a.constrainFunc(f)
+			}
+		}
+	}
+
+	// Pass 2: iterate indirect-call resolution to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, cs := range a.indirect {
+			if a.resolveIndirect(cs) {
+				changed = true
+			}
+		}
+	}
+
+	// Pass 3: propagate incompleteness through points-to edges.
+	a.propagateIncomplete()
+
+	return a.result()
+}
+
+// analyzed reports whether a function body is visible to the analysis.
+func (a *Analysis) analyzed(f *ir.Function) bool {
+	if f.IsDecl() {
+		return false
+	}
+	if f.Subsystem != "" && a.excluded[f.Subsystem] {
+		return false
+	}
+	return true
+}
+
+func (a *Analysis) discoverSyscalls() {
+	for _, m := range a.modules {
+		for _, f := range m.Funcs {
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					name, ok := in.IsIntrinsicCall()
+					if !ok || name != svaops.RegisterSyscall {
+						continue
+					}
+					num, ok1 := in.Args[0].(*ir.ConstInt)
+					h := stripCasts(in.Args[1])
+					hf, ok2 := h.(*ir.Function)
+					if ok1 && ok2 {
+						a.syscalls[num.SignedValue()] = hf
+						for i, p := range hf.Params {
+							if i >= 1 {
+								a.userParams[p] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// stripCasts looks through bitcast instructions to the underlying value.
+func stripCasts(v ir.Value) ir.Value {
+	for {
+		in, ok := v.(*ir.Instr)
+		if !ok || (in.Op != ir.OpBitcast && in.Op != ir.OpGEP) {
+			return v
+		}
+		v = in.Args[0]
+	}
+}
+
+// globalObject creates (once) the object node of a global.
+func (a *Analysis) globalObject(g *ir.Global) *Node {
+	if n, ok := a.objOf[g]; ok {
+		return n.find()
+	}
+	n := a.newNode()
+	n.Flags |= Global
+	n.GlobalSites = append(n.GlobalSites, g)
+	a.observeType(n, g.ValueType)
+	a.objOf[g] = n
+	// pt(g) — the global's *address value* points to its object.
+	a.cells[g] = n
+	a.constrainInit(n, g.ValueType, g.Init)
+	return n
+}
+
+// constrainInit wires pointer values inside a global initializer.
+func (a *Analysis) constrainInit(obj *Node, t *ir.Type, c ir.Constant) {
+	switch c := c.(type) {
+	case *ir.GlobalAddr:
+		switch tgt := c.G.(type) {
+		case *ir.Global:
+			a.union(a.pointee(obj), a.globalObject(tgt))
+		case *ir.Function:
+			fo := a.funcObject(tgt)
+			a.union(a.pointee(obj), fo)
+		}
+	case *ir.ConstArray:
+		for _, e := range c.Elems {
+			a.constrainInit(obj, t.Elem(), e)
+		}
+	case *ir.ConstStruct:
+		for i, e := range c.Fields {
+			a.constrainInit(obj, t.Field(i), e)
+		}
+	}
+}
+
+func (a *Analysis) funcObject(f *ir.Function) *Node {
+	if n, ok := a.objOf[f]; ok {
+		return n.find()
+	}
+	n := a.newNode()
+	n.Flags |= Func
+	n.Funcs[f] = true
+	a.objOf[f] = n
+	a.cells[f] = n
+	return n
+}
+
+// retCell returns the cell of f's return value.
+func (a *Analysis) retCell(f *ir.Function) *Node {
+	if n, ok := a.funcRet[f]; ok {
+		return n.find()
+	}
+	n := a.newNode()
+	a.funcRet[f] = n
+	return n
+}

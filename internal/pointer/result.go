@@ -1,0 +1,196 @@
+package pointer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sva/internal/ir"
+)
+
+// Result is the read-only view of a completed analysis, consumed by the
+// safety-checking compiler and the static-metric reports (Table 9).
+type Result struct {
+	a     *Analysis
+	nodes []*Node
+}
+
+func (a *Analysis) result() *Result {
+	return &Result{a: a, nodes: a.allReps()}
+}
+
+// PointsTo returns the partition v's pointees belong to (nil if v was never
+// constrained — e.g. a non-pointer).
+func (r *Result) PointsTo(v ir.Value) *Node {
+	if n, ok := r.a.cells[v]; ok {
+		return n.find()
+	}
+	return nil
+}
+
+// Object returns the object node of a global or function.
+func (r *Result) Object(v ir.Value) *Node {
+	if n, ok := r.a.objOf[v]; ok {
+		return n.find()
+	}
+	return nil
+}
+
+// Nodes returns all representative nodes.
+func (r *Result) Nodes() []*Node { return r.nodes }
+
+// Callees returns the resolved call targets of a call instruction (empty
+// for unresolvable calls).
+func (r *Result) Callees(in *ir.Instr) []*ir.Function {
+	out := append([]*ir.Function(nil), r.a.Callsites[in]...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Nm < out[j].Nm })
+	return out
+}
+
+// Syscalls returns the syscall-number → handler map discovered from
+// sva.register.syscall calls.
+func (r *Result) Syscalls() map[int64]*ir.Function {
+	out := make(map[int64]*ir.Function, len(r.a.syscalls))
+	for k, v := range r.a.syscalls {
+		out[k] = v
+	}
+	return out
+}
+
+// Analyzed reports whether a function's body was visible to the analysis.
+func (r *Result) Analyzed(f *ir.Function) bool { return r.a.analyzed(f) }
+
+// MergePools applies the §4.3 kernel-pool constraint: if a single kernel
+// pool spans multiple partitions, those partitions merge (making the
+// analysis coarser but sound).  Returns the number of merges performed.
+// Run() calls this implicitly via the safety compiler; it is exported for
+// tests and tooling.
+func (r *Result) MergePools() int {
+	byPool := map[string][]*Node{}
+	for _, n := range r.nodes {
+		for p := range n.KernelPools {
+			byPool[p] = append(byPool[p], n)
+		}
+	}
+	pools := make([]string, 0, len(byPool))
+	for p := range byPool {
+		pools = append(pools, p)
+	}
+	sort.Strings(pools)
+	merges := 0
+	for _, p := range pools {
+		ns := byPool[p]
+		for i := 1; i < len(ns); i++ {
+			if ns[0].find() != ns[i].find() {
+				r.a.union(ns[0], ns[i])
+				merges++
+			}
+		}
+	}
+	if merges > 0 {
+		r.nodes = r.a.allReps()
+	}
+	return merges
+}
+
+// MarkUserReachable flags every partition reachable from the pointer-borne
+// arguments of registered system calls (§4.6): userspace registers with
+// these as a single object.  Seeds are the partitions the constraint pass
+// marked (inttoptr of trap arguments) plus any pointer-typed handler
+// parameters; the flag then propagates through points-to edges.
+func (r *Result) MarkUserReachable() int {
+	seen := map[*Node]bool{}
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		n = n.find()
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		n.UserReachable = true
+		if n.pointee != nil {
+			rec(n.pointee)
+		}
+	}
+	for _, n := range r.nodes {
+		if n.find().UserReachable {
+			rec(n)
+		}
+	}
+	for _, h := range r.a.syscalls {
+		for i, p := range h.Params {
+			if i == 0 || !p.Typ.IsPointer() {
+				continue
+			}
+			if n, ok := r.a.cells[ir.Value(p)]; ok {
+				rec(n)
+			}
+		}
+	}
+	return len(seen)
+}
+
+// Stats summarizes the points-to graph (used by Table 9 and diagnostics).
+type Stats struct {
+	Nodes           int
+	TypeHomogeneous int
+	Collapsed       int
+	Incomplete      int
+	HeapNodes       int
+	GlobalNodes     int
+	FuncNodes       int
+	UnknownNodes    int
+}
+
+// Stats computes summary statistics.
+func (r *Result) Stats() Stats {
+	var s Stats
+	for _, n := range r.nodes {
+		n = n.find()
+		s.Nodes++
+		if n.TypeHomogeneous() {
+			s.TypeHomogeneous++
+		}
+		if n.Collapsed {
+			s.Collapsed++
+		}
+		if n.Incomplete {
+			s.Incomplete++
+		}
+		if n.Flags&Heap != 0 {
+			s.HeapNodes++
+		}
+		if n.Flags&Global != 0 {
+			s.GlobalNodes++
+		}
+		if n.Flags&Func != 0 {
+			s.FuncNodes++
+		}
+		if n.Flags&Unknown != 0 {
+			s.UnknownNodes++
+		}
+	}
+	return s
+}
+
+// Dump renders the graph for debugging and golden tests.
+func (r *Result) Dump() string {
+	var sb strings.Builder
+	for _, n := range r.nodes {
+		n = n.find()
+		fmt.Fprintf(&sb, "%s", n)
+		if p := n.Pointee(); p != nil {
+			fmt.Fprintf(&sb, " -> n%d", p.ID())
+		}
+		if len(n.Funcs) > 0 {
+			fs := make([]string, 0, len(n.Funcs))
+			for f := range n.Funcs {
+				fs = append(fs, f.Nm)
+			}
+			sort.Strings(fs)
+			fmt.Fprintf(&sb, " funcs={%s}", strings.Join(fs, ","))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

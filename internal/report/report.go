@@ -1,0 +1,457 @@
+// Package report regenerates every table of the paper's evaluation (§7)
+// from the reproduction: porting effort (Table 4), application latency
+// (Table 5), thttpd bandwidth (Table 6), kernel-operation latency
+// (Table 7), kernel bandwidth (Table 8), static safety metrics (Table 9),
+// the §7.2 exploit-detection table and the §5 verifier bug-injection
+// experiment.  The same code backs cmd/sva-bench and the root-level Go
+// benchmarks.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"sva/internal/apps"
+	"sva/internal/exploits"
+	"sva/internal/hbench"
+	"sva/internal/ir"
+	"sva/internal/kernel"
+	"sva/internal/safety"
+	"sva/internal/svaops"
+	"sva/internal/typecheck"
+	"sva/internal/vm"
+)
+
+// Scale divides iteration counts for quick runs (1 = paper-shaped full run).
+type Scale uint64
+
+func (s Scale) apply(n uint64) uint64 {
+	if s <= 1 {
+		return n
+	}
+	n /= uint64(s)
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// pct renders an overhead percentage versus a baseline duration.
+func pct(base, other time.Duration) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return 100 * (float64(other) - float64(base)) / float64(base)
+}
+
+// --- Table 4 ----------------------------------------------------------------
+
+// Table4 reports the porting-effort ledger: per kernel section, the count
+// of SVA-OS call sites, allocator-porting changes and analysis-improvement
+// changes, against total emitted instructions (the LOC stand-in).
+func Table4() string {
+	img := kernel.Build()
+	img.CountLOC()
+	l := img.Ledger
+	var sb strings.Builder
+	sb.WriteString("Table 4: porting effort by kernel section\n")
+	fmt.Fprintf(&sb, "%-18s %10s %8s %11s %10s %8s\n",
+		"Section", "LOC", "SVA-OS", "Allocators", "Analysis", "%Total")
+	subs := make([]string, 0, len(l.LOC))
+	for s := range l.LOC {
+		subs = append(subs, s)
+	}
+	sort.Strings(subs)
+	var totLOC, totOS, totAl, totAn int
+	for _, s := range subs {
+		loc, os, al, an := l.LOC[s], l.SVAOS[s], l.Alloc[s], l.Analysis[s]
+		totLOC, totOS, totAl, totAn = totLOC+loc, totOS+os, totAl+al, totAn+an
+		fmt.Fprintf(&sb, "%-18s %10d %8d %11d %10d %7.2f%%\n",
+			s, loc, os, al, an, 100*float64(os+al+an)/float64(max(loc, 1)))
+	}
+	fmt.Fprintf(&sb, "%-18s %10d %8d %11d %10d %7.2f%%\n",
+		"Total", totLOC, totOS, totAl, totAn, 100*float64(totOS+totAl+totAn)/float64(max(totLOC, 1)))
+	return sb.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// --- Tables 5 and 6 -----------------------------------------------------------
+
+// AppRow is one measured Table 5 row.
+type AppRow struct {
+	Name     string
+	SysShare float64 // measured kernel-instruction share under native
+	Native   time.Duration
+	OverGCC  float64
+	OverLLVM float64
+	OverSafe float64
+	// Bytes moved (thttpd rows, for Table 6).
+	Bytes uint64
+}
+
+// RunApps measures every Table 5 workload across the four configurations.
+func RunApps(scale Scale) ([]AppRow, error) {
+	r, err := apps.NewRunner()
+	if err != nil {
+		return nil, err
+	}
+	var rows []AppRow
+	for _, w := range apps.Local() {
+		w.Units = scale.apply(w.Units)
+		row := AppRow{Name: w.Name}
+		var times [4]time.Duration
+		for i, cfg := range hbench.Configs {
+			m, err := r.Run(cfg, w)
+			if err != nil {
+				return nil, err
+			}
+			times[i] = m.Elapsed
+			if cfg == vm.ConfigNative {
+				row.SysShare = m.SysShare
+				if w.Mode >= 0 {
+					row.Bytes = uint64(m.Ret)
+				}
+			}
+		}
+		row.Native = times[0]
+		row.OverGCC = pct(times[0], times[1])
+		row.OverLLVM = pct(times[0], times[2])
+		row.OverSafe = pct(times[0], times[3])
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table5 renders application latency overheads.
+func Table5(rows []AppRow) string {
+	var sb strings.Builder
+	sb.WriteString("Table 5: application latency overhead vs native\n")
+	fmt.Fprintf(&sb, "%-16s %8s %12s %10s %10s %10s\n",
+		"Test", "%Sys", "Native", "SVA-gcc", "SVA-llvm", "SVA-safe")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-16s %7.1f%% %12s %9.1f%% %9.1f%% %9.1f%%\n",
+			r.Name, 100*r.SysShare, r.Native.Round(time.Microsecond),
+			r.OverGCC, r.OverLLVM, r.OverSafe)
+	}
+	return sb.String()
+}
+
+// Table6 renders thttpd bandwidth reduction (the thttpd rows of RunApps).
+func Table6(rows []AppRow) string {
+	var sb strings.Builder
+	sb.WriteString("Table 6: thttpd bandwidth reduction vs native\n")
+	fmt.Fprintf(&sb, "%-16s %12s %10s %10s %10s\n",
+		"Request", "Native KB/s", "SVA-gcc", "SVA-llvm", "SVA-safe")
+	for _, r := range rows {
+		if !strings.HasPrefix(r.Name, "thttpd") || r.Bytes == 0 {
+			continue
+		}
+		kbs := float64(r.Bytes) / 1024 / r.Native.Seconds()
+		// Bandwidth reduction mirrors the latency overhead: same bytes,
+		// longer time.
+		red := func(over float64) float64 { return 100 * over / (100 + over) }
+		fmt.Fprintf(&sb, "%-16s %12.0f %9.1f%% %9.1f%% %9.1f%%\n",
+			r.Name, kbs, red(r.OverGCC), red(r.OverLLVM), red(r.OverSafe))
+	}
+	return sb.String()
+}
+
+// --- Tables 7 and 8 ---------------------------------------------------------
+
+// BenchRow is one measured microbenchmark row.
+type BenchRow struct {
+	Name     string
+	Native   time.Duration // per-op for latency; per-iteration for bandwidth
+	Bytes    uint64        // bandwidth rows: bytes per iteration
+	OverGCC  float64
+	OverLLVM float64
+	OverSafe float64
+}
+
+// RunLatencies measures Table 7.
+func RunLatencies(r *hbench.Runner, scale Scale) ([]BenchRow, error) {
+	var rows []BenchRow
+	for _, op := range hbench.LatencyOps {
+		iters := scale.apply(op.Iters)
+		var times [4]time.Duration
+		for i, cfg := range hbench.Configs {
+			d, err := r.Measure(cfg, op.Prog, iters)
+			if err != nil {
+				return nil, err
+			}
+			times[i] = d
+		}
+		rows = append(rows, BenchRow{
+			Name: op.Name, Native: times[0],
+			OverGCC: pct(times[0], times[1]), OverLLVM: pct(times[0], times[2]),
+			OverSafe: pct(times[0], times[3]),
+		})
+	}
+	return rows, nil
+}
+
+// RunBandwidths measures Table 8.
+func RunBandwidths(r *hbench.Runner, scale Scale) ([]BenchRow, error) {
+	var rows []BenchRow
+	for _, op := range hbench.BandwidthOps {
+		iters := scale.apply(op.Iters)
+		var times [4]time.Duration
+		for i, cfg := range hbench.Configs {
+			if err := r.PrepareBandwidth(cfg, op.Size); err != nil {
+				return nil, err
+			}
+			d, err := r.Measure(cfg, op.Prog, iters)
+			if err != nil {
+				return nil, err
+			}
+			times[i] = d
+		}
+		rows = append(rows, BenchRow{
+			Name: op.Name, Native: times[0], Bytes: op.Size,
+			OverGCC: pct(times[0], times[1]), OverLLVM: pct(times[0], times[2]),
+			OverSafe: pct(times[0], times[3]),
+		})
+	}
+	return rows, nil
+}
+
+// Table7 renders kernel-operation latency overheads.
+func Table7(rows []BenchRow) string {
+	var sb strings.Builder
+	sb.WriteString("Table 7: kernel operation latency overhead vs native\n")
+	fmt.Fprintf(&sb, "%-14s %12s %10s %10s %10s\n", "Test", "Native", "SVA-gcc", "SVA-llvm", "SVA-safe")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-14s %12s %9.1f%% %9.1f%% %9.1f%%\n",
+			r.Name, r.Native, r.OverGCC, r.OverLLVM, r.OverSafe)
+	}
+	return sb.String()
+}
+
+// Table8 renders kernel bandwidth reductions.
+func Table8(rows []BenchRow) string {
+	var sb strings.Builder
+	sb.WriteString("Table 8: kernel bandwidth reduction vs native\n")
+	fmt.Fprintf(&sb, "%-16s %12s %10s %10s %10s\n", "Test", "Native MB/s", "SVA-gcc", "SVA-llvm", "SVA-safe")
+	red := func(over float64) float64 { return 100 * over / (100 + over) }
+	for _, r := range rows {
+		mbs := float64(r.Bytes) / (1 << 20) / r.Native.Seconds()
+		fmt.Fprintf(&sb, "%-16s %12.1f %9.1f%% %9.1f%% %9.1f%%\n",
+			r.Name, mbs, red(r.OverGCC), red(r.OverLLVM), red(r.OverSafe))
+	}
+	return sb.String()
+}
+
+// --- Table 9 ----------------------------------------------------------------
+
+// Table9 reports the static safety metrics for the as-tested kernel and
+// the entire kernel.
+func Table9() (string, error) {
+	var sb strings.Builder
+	sb.WriteString("Table 9: static metrics of the safety-checking compiler\n")
+	for _, mode := range []struct {
+		label    string
+		asTested bool
+		none     bool
+	}{
+		{"Kernel as tested (mm/lib/char-drivers excluded)", true, false},
+		{"Entire kernel", false, true},
+	} {
+		img := kernel.Build()
+		cfg := kernel.SafetyConfig(mode.asTested)
+		if mode.none {
+			cfg.Pointer.ExcludeSubsystems = nil
+		}
+		prog, err := safety.Compile(cfg, img.Kernel)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&sb, "\n%s\n%s", mode.label, prog.Metrics.String())
+	}
+	return sb.String(), nil
+}
+
+// --- exploits and TCB -------------------------------------------------------
+
+// ExploitTable runs the §7.2 matrix and renders it.
+func ExploitTable() (string, error) {
+	results, err := exploits.Matrix()
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("Exploit detection (§7.2)\n")
+	fmt.Fprintf(&sb, "%-44s %-6s %-12s %-22s %s\n", "Exploit", "BID", "native", "sva-safe (as tested)", "sva-safe (+lib)")
+	byExploit := map[string][]exploits.Result{}
+	var order []string
+	for _, r := range results {
+		if _, ok := byExploit[r.Exploit.BID]; !ok {
+			order = append(order, r.Exploit.BID)
+		}
+		byExploit[r.Exploit.BID] = append(byExploit[r.Exploit.BID], r)
+	}
+	caught := 0
+	for _, bid := range order {
+		rs := byExploit[bid]
+		fmt.Fprintf(&sb, "%-44s %-6s %-12s %-22s %s\n",
+			rs[0].Exploit.Name, bid, rs[0].Verdict(), rs[1].Verdict(), rs[2].Verdict())
+		if rs[1].Detected {
+			caught++
+		}
+	}
+	fmt.Fprintf(&sb, "as-tested kernel: %d/%d exploits caught (paper: 4/5)\n", caught, len(order))
+	return sb.String(), nil
+}
+
+// TCBTable runs the §5 verifier bug-injection experiment.
+func TCBTable() (string, error) {
+	kinds := []typecheck.BugKind{typecheck.BugAliasing, typecheck.BugEdge, typecheck.BugTHClaim, typecheck.BugSplit}
+	var sb strings.Builder
+	sb.WriteString("Verifier bug-injection (§5): 5 instances x 4 kinds\n")
+	total, detected := 0, 0
+	for _, kind := range kinds {
+		d := 0
+		for seed := 0; seed < 5; seed++ {
+			img := kernel.Build()
+			prog, err := safety.Compile(kernel.SafetyConfig(true), img.Kernel)
+			if err != nil {
+				return "", err
+			}
+			if _, ok := typecheck.InjectBug(kind, seed, prog.Descs, img.Kernel); !ok {
+				continue
+			}
+			total++
+			c := typecheck.New(img.Kernel.Metapools)
+			if errs := c.Check(img.Kernel); len(errs) > 0 {
+				d++
+				detected++
+			}
+		}
+		fmt.Fprintf(&sb, "  %-12s detected %d/5\n", kind, d)
+	}
+	fmt.Fprintf(&sb, "total: %d/%d detected (paper: 20/20)\n", detected, total)
+	return sb.String(), nil
+}
+
+// Figure2 rebuilds the paper's Figure 2 fragment (fib_create_info) and
+// returns its safety-instrumented IR plus the relevant slice of the
+// points-to graph.
+func Figure2() (string, error) {
+	img := kernel.Build()
+	m := img.Kernel
+	b := ir.NewBuilder(m)
+	propT := ir.StructOf(ir.I32, ir.I32)
+	tbl := m.NewGlobal("fig2_fib_props", ir.ArrayOf(12, propT), nil)
+	fi := ir.NamedStruct("fig2_fib_info_t")
+	fi.SetBody(ir.I32, ir.I32, ir.ArrayOf(22, ir.I32))
+	b.NewFunc("fig2_fib_create_info", ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false), "rtm_type")
+	slot := b.Index(tbl, b.Param(0))
+	scope := b.Load(b.GEP(slot, ir.I64c(0), ir.I32c(0)))
+	raw := b.Call(m.Func("kmalloc"), ir.I64c(96))
+	fip := b.Bitcast(raw, ir.PointerTo(fi))
+	b.Call(svaops.Get(m, svaops.Memset), raw, ir.I64c(0), ir.I64c(96))
+	b.Store(scope, b.FieldAddr(fip, 0))
+	b.Ret(b.ZExt(b.Load(b.FieldAddr(fip, 0)), ir.I64))
+	b.Seal()
+	prog, err := safety.Compile(kernel.SafetyConfig(true), m)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 2: instrumented kernel fragment (fib_create_info)\n")
+	sb.WriteString(m.Func("fig2_fib_create_info").String())
+	sb.WriteString("\npoints-to partitions of the fragment's pointers:\n")
+	for _, v := range []struct {
+		label string
+		val   ir.Value
+	}{{"fib_props", tbl}, {"fi", fip}} {
+		n := prog.Res.PointsTo(v.val)
+		id := prog.PoolOfNode(n)
+		if id >= 0 {
+			d := prog.Descs[id]
+			fmt.Fprintf(&sb, "  %-10s -> %s (th=%v complete=%v)\n",
+				v.label, d.Name, d.TypeHomogeneous, d.Complete)
+		}
+	}
+	return sb.String(), nil
+}
+
+// APITable prints the implemented SVA-OS / check operation inventory (the
+// reproduction's rendering of the paper's Tables 1–3).
+func APITable() string {
+	names := make([]string, 0, len(svaops.Signatures))
+	for n := range svaops.Signatures {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	sb.WriteString("SVA operation inventory (Tables 1-3)\n")
+	group := func(title, prefix string, check bool) {
+		fmt.Fprintf(&sb, "\n%s\n", title)
+		for _, n := range names {
+			if check != svaops.IsCheckOp(n) {
+				continue
+			}
+			if !check && !strings.HasPrefix(n, prefix) {
+				continue
+			}
+			fmt.Fprintf(&sb, "  %-28s %s\n", n, svaops.Signatures[n])
+		}
+	}
+	group("Processor state & interrupt contexts (Tables 1-2)", "llva.", false)
+	group("Privileged operation wrappers (§3.3)", "sva.", false)
+	group("Run-time checks (Table 3, §4.5)", "pchk.", true)
+	return sb.String()
+}
+
+// --- ablations (§4.8 design choices) ------------------------------------------
+
+// Ablation compiles the kernel with the §4.8 precision transformations
+// toggled and reports their effect on the type-safety metrics and check
+// counts — the design-choice study DESIGN.md calls for.
+func Ablation() (string, error) {
+	var sb strings.Builder
+	variants := []struct {
+		label            string
+		noClone, noDevir bool
+	}{
+		{"full (cloning+devirt)", false, false},
+		{"no cloning", true, false},
+		{"no devirtualization", false, true},
+		{"neither", true, true},
+	}
+	for _, scope := range []struct {
+		label    string
+		asTested bool
+	}{
+		{"as-tested kernel", true},
+		{"kernel + copy library", false},
+	} {
+		fmt.Fprintf(&sb, "Ablation: §4.8 precision transformations (%s)\n", scope.label)
+		fmt.Fprintf(&sb, "%-28s %8s %8s %12s %10s %9s\n",
+			"Variant", "clones", "devirt", "ld typesafe", "ic checks", "bounds")
+		for _, v := range variants {
+			img := kernel.Build()
+			cfg := kernel.SafetyConfig(scope.asTested)
+			cfg.DisableCloning = v.noClone
+			cfg.DisableDevirt = v.noDevir
+			prog, err := safety.Compile(cfg, img.Kernel)
+			if err != nil {
+				return "", err
+			}
+			m := prog.Metrics
+			fmt.Fprintf(&sb, "%-28s %8d %8d %11.1f%% %10d %9d\n",
+				v.label, m.ClonesCreated, m.Devirtualized,
+				m.Loads.PctTypeSafe(), m.ICChecksInserted, m.BoundsChecksInserted)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,185 @@
+package safety
+
+import (
+	"fmt"
+	"strings"
+
+	"sva/internal/ir"
+)
+
+// AccessMetrics classifies one access category (loads, stores, struct
+// indexing, array indexing) the way Table 9 of the paper does: the fraction
+// of static accesses touching incomplete partitions and the fraction
+// touching type-safe (type-homogeneous) partitions.
+type AccessMetrics struct {
+	Total      int
+	Incomplete int
+	TypeSafe   int
+}
+
+// PctIncomplete returns the incomplete fraction in percent.
+func (a AccessMetrics) PctIncomplete() float64 { return pct(a.Incomplete, a.Total) }
+
+// PctTypeSafe returns the type-safe fraction in percent.
+func (a AccessMetrics) PctTypeSafe() float64 { return pct(a.TypeSafe, a.Total) }
+
+func pct(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(d)
+}
+
+// Metrics are the static measurements of Table 9 plus check-insertion
+// counts.
+type Metrics struct {
+	// AllocSitesTotal counts allocation sites in the whole kernel;
+	// AllocSitesSeen counts those in safety-compiled code.
+	AllocSitesTotal int
+	AllocSitesSeen  int
+
+	Loads     AccessMetrics
+	Stores    AccessMetrics
+	StructIdx AccessMetrics
+	ArrayIdx  AccessMetrics
+
+	// Check-insertion accounting.
+	BoundsChecksInserted int
+	GEPsProvenSafe       int
+	LSChecksInserted     int
+	ICChecksInserted     int
+	ObjRegistrations     int
+	StackRegistrations   int
+	PromotedAllocas      int
+	// §4.8 precision transformations.
+	ClonesCreated int
+	Devirtualized int
+}
+
+// PctAllocSitesSeen returns the allocation-site coverage in percent.
+func (m Metrics) PctAllocSitesSeen() float64 { return pct(m.AllocSitesSeen, m.AllocSitesTotal) }
+
+// collectMetrics computes the Table 9 static metrics over all modules.
+func (p *Program) collectMetrics() {
+	var m Metrics
+	isAllocName := map[string]bool{}
+	for _, al := range p.cfg.Pointer.Allocators {
+		isAllocName[al.Name] = true
+	}
+	for _, mod := range p.Modules {
+		for _, f := range mod.Funcs {
+			if f.IsDecl() {
+				continue
+			}
+			analyzed := p.Res.Analyzed(f)
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					// Allocation-site coverage counts every module.
+					if isAllocSite(in, isAllocName) {
+						m.AllocSitesTotal++
+						if analyzed {
+							m.AllocSitesSeen++
+						}
+					}
+					if !analyzed {
+						continue
+					}
+					switch in.Op {
+					case ir.OpLoad:
+						p.classify(&m.Loads, in.Args[0])
+					case ir.OpStore:
+						p.classify(&m.Stores, in.Args[1])
+					case ir.OpGEP:
+						if isStructIndexing(in) {
+							p.classify(&m.StructIdx, in.Args[0])
+						} else {
+							p.classify(&m.ArrayIdx, in.Args[0])
+						}
+						if gepProvablySafe(in) {
+							m.GEPsProvenSafe++
+						}
+					case ir.OpCall:
+						name, ok := in.IsIntrinsicCall()
+						if !ok {
+							break
+						}
+						switch name {
+						case "pchk.bounds":
+							m.BoundsChecksInserted++
+						case "pchk.lscheck":
+							m.LSChecksInserted++
+						case "pchk.iccheck":
+							m.ICChecksInserted++
+						case "pchk.reg.obj":
+							m.ObjRegistrations++
+						case "pchk.reg.stack":
+							m.StackRegistrations++
+						}
+					}
+				}
+			}
+		}
+	}
+	p.Metrics = m
+}
+
+// classify buckets one access by its pointer's partition.
+func (p *Program) classify(am *AccessMetrics, ptr ir.Value) {
+	am.Total++
+	id := p.Pool(ptr)
+	if id < 0 {
+		am.Incomplete++ // unanalyzed pointer: worst case
+		return
+	}
+	d := p.Descs[id]
+	if !d.Complete {
+		am.Incomplete++
+	}
+	if d.TypeHomogeneous {
+		am.TypeSafe++
+	}
+}
+
+// isStructIndexing reports whether a GEP performs struct-field selection
+// (as opposed to array/pointer indexing).
+func isStructIndexing(in *ir.Instr) bool {
+	cur := in.Args[0].Type().Elem()
+	for k := 2; k < len(in.Args); k++ {
+		if cur.Kind() == ir.StructKind {
+			return true
+		}
+		if cur.Kind() == ir.ArrayKind {
+			cur = cur.Elem()
+			continue
+		}
+		break
+	}
+	return cur.Kind() == ir.StructKind && len(in.Args) >= 3
+}
+
+func isAllocSite(in *ir.Instr, allocNames map[string]bool) bool {
+	if in.Op == ir.OpAlloca {
+		return false // Table 9 counts dynamic allocation sites
+	}
+	if in.Op != ir.OpCall {
+		return false
+	}
+	f, ok := in.Callee.(*ir.Function)
+	return ok && allocNames[f.Nm]
+}
+
+// String renders the metrics in the shape of Table 9.
+func (m Metrics) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Allocation sites seen: %.1f%% (%d/%d)\n",
+		m.PctAllocSitesSeen(), m.AllocSitesSeen, m.AllocSitesTotal)
+	row := func(name string, a AccessMetrics) {
+		fmt.Fprintf(&sb, "%-18s total=%-6d incomplete=%5.1f%%  type-safe=%5.1f%%\n",
+			name, a.Total, a.PctIncomplete(), a.PctTypeSafe())
+	}
+	row("Loads", m.Loads)
+	row("Stores", m.Stores)
+	row("Structure Indexing", m.StructIdx)
+	row("Array Indexing", m.ArrayIdx)
+	return sb.String()
+}

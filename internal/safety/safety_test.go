@@ -1,0 +1,580 @@
+package safety
+
+import (
+	"strings"
+	"testing"
+
+	"sva/internal/hw"
+	"sva/internal/ir"
+	"sva/internal/metapool"
+	"sva/internal/pointer"
+	"sva/internal/svaops"
+	"sva/internal/svaos"
+	"sva/internal/vm"
+)
+
+// addTestAllocator builds a minimal guest kmalloc/kfree (bump allocation
+// over a static arena) in subsystem "mm", which the safety configuration
+// excludes — exactly like the paper's as-tested kernel.
+func addTestAllocator(m *ir.Module) {
+	bp := svaops.BytePtr
+	arena := m.NewGlobal("kheap_arena", ir.ArrayOf(1<<16, ir.I8), nil)
+	arena.Subsystem = "mm"
+	cursor := m.NewGlobal("kheap_cursor", ir.I64, ir.I64c(0))
+	cursor.Subsystem = "mm"
+	b := ir.NewBuilder(m)
+	km := b.NewFunc("kmalloc", ir.FuncOf(bp, []*ir.Type{ir.I64}, false), "size")
+	km.Subsystem = "mm"
+	cur := b.Load(cursor)
+	p := b.GEP(b.Bitcast(arena, bp), cur)
+	sz16 := b.And(b.Add(b.Param(0), ir.I64c(15)), ir.I64c(^int64(15)))
+	b.Store(b.Add(cur, sz16), cursor)
+	b.Ret(p)
+	kf := b.NewFunc("kfree", ir.FuncOf(ir.Void, []*ir.Type{bp}, false), "p")
+	kf.Subsystem = "mm"
+	b.Ret(nil)
+}
+
+func testCfg() Config {
+	return Config{
+		Pointer: pointer.Config{
+			TrackIntToPtrNull: true,
+			Allocators: []pointer.AllocatorInfo{
+				{Name: "kmalloc", Kind: pointer.OrdinaryAllocator, SizeArg: 0,
+					FreeName: "kfree", FreePtrArg: 0, SizeClasses: true},
+			},
+			ExcludeSubsystems: []string{"mm"},
+		},
+		PromoteAlloc: "kmalloc",
+		PromoteFree:  "kfree",
+	}
+}
+
+// buildAndRun safety-compiles module m and runs fname(args) on a Safe VM.
+func buildAndRun(t *testing.T, m *ir.Module, fname string, args ...uint64) (uint64, *vm.VM, error) {
+	t.Helper()
+	if _, err := Compile(testCfg(), m); err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if errs := ir.VerifyModule(m); len(errs) != 0 {
+		t.Fatalf("instrumented module does not verify: %v", errs[0])
+	}
+	v := vm.New(hw.NewMachine(0, 16), vm.ConfigSafe)
+	svaos.Install(v)
+	if err := v.LoadModule(m, false); err != nil {
+		t.Fatal(err)
+	}
+	f := v.FuncByName(fname)
+	if f == nil {
+		t.Fatalf("no function %s", fname)
+	}
+	top, _ := v.AllocKernelStack(64 * 1024)
+	ex, err := v.NewExec(f, args, top, hw.PrivKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.SetExec(ex)
+	v.StepBudget = 10_000_000
+	got, err := v.Run()
+	return got, v, err
+}
+
+func countOps(f *ir.Function, name string) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if nm, ok := in.IsIntrinsicCall(); ok && nm == name {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// vulnModule: write_at(i) writes buf[i] for a 16-byte kmalloc'd buffer.
+func vulnModule() *ir.Module {
+	m := ir.NewModule("vuln")
+	addTestAllocator(m)
+	b := ir.NewBuilder(m)
+	b.NewFunc("write_at", ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false), "i")
+	p := b.Call(m.Func("kmalloc"), ir.I64c(16))
+	q := b.GEP(p, b.Param(0))
+	b.Store(ir.I8c(65), q)
+	b.Ret(b.ZExt(b.Load(q), ir.I64))
+	return m
+}
+
+func TestBoundsCheckEndToEnd(t *testing.T) {
+	// In bounds: runs clean.
+	got, v, err := buildAndRun(t, vulnModule(), "write_at", 8)
+	if err != nil {
+		t.Fatalf("in-bounds run: %v", err)
+	}
+	if got != 65 {
+		t.Errorf("write_at(8) = %d", got)
+	}
+	if len(v.Violations) != 0 {
+		t.Errorf("unexpected violations: %v", v.Violations)
+	}
+	// Out of bounds: the inserted boundscheck fires.
+	_, v2, err := buildAndRun(t, vulnModule(), "write_at", 64)
+	if err == nil && len(v2.Violations) == 0 {
+		t.Fatal("overflow not detected")
+	}
+	if err != nil {
+		viol, ok := err.(*metapool.Violation)
+		if !ok || viol.Kind != metapool.BoundsViolation {
+			t.Fatalf("got %v, want bounds violation", err)
+		}
+	}
+}
+
+func TestBoundsCheckInsertedOnce(t *testing.T) {
+	m := vulnModule()
+	p, err := Compile(testCfg(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Func("write_at")
+	if n := countOps(f, svaops.BoundsCheck); n != 1 {
+		t.Errorf("bounds checks = %d, want 1\n%s", n, f.String())
+	}
+	if n := countOps(f, svaops.ObjRegister); n != 1 {
+		t.Errorf("object registrations = %d, want 1", n)
+	}
+	if p.Metrics.BoundsChecksInserted != 1 {
+		t.Errorf("metrics bounds = %d", p.Metrics.BoundsChecksInserted)
+	}
+}
+
+func TestProvablySafeGEPElided(t *testing.T) {
+	m := ir.NewModule("safegep")
+	addTestAllocator(m)
+	st := ir.NamedStruct("sf_pair_t")
+	st.SetBody(ir.I64, ir.ArrayOf(4, ir.I32))
+	g := m.NewGlobal("gp", st, nil)
+	b := ir.NewBuilder(m)
+	b.NewFunc("touch", ir.FuncOf(ir.I64, nil, false))
+	// Constant, in-bounds accesses: no checks needed.
+	b.Store(ir.I64c(1), b.FieldAddr(g, 0))
+	arr := b.FieldAddr(g, 1)
+	b.Store(ir.I32c(2), b.Index(arr, ir.I32c(3)))
+	b.Ret(b.Load(b.FieldAddr(g, 0)))
+	_, err := Compile(testCfg(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := countOps(m.Func("touch"), svaops.BoundsCheck); n != 0 {
+		t.Errorf("provably-safe GEPs got %d checks\n%s", n, m.Func("touch").String())
+	}
+}
+
+func TestTHPoolSkipsLSCheck(t *testing.T) {
+	m := ir.NewModule("th")
+	addTestAllocator(m)
+	node := ir.NamedStruct("sf_node_t")
+	node.SetBody(ir.I64, ir.PointerTo(node))
+	b := ir.NewBuilder(m)
+	b.NewFunc("use", ir.FuncOf(ir.I64, nil, false))
+	raw := b.Call(m.Func("kmalloc"), ir.I64c(16))
+	np := b.Bitcast(raw, ir.PointerTo(node))
+	b.Store(ir.I64c(7), b.FieldAddr(np, 0))
+	v := b.Load(b.FieldAddr(np, 0))
+	b.Ret(v)
+	p, err := Compile(testCfg(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := p.Pool(np)
+	if id < 0 || !p.Descs[id].TypeHomogeneous {
+		t.Fatalf("node partition not TH: %v", p.Descs[id])
+	}
+	if n := countOps(m.Func("use"), svaops.LSCheck); n != 0 {
+		t.Errorf("TH pool got %d lschecks", n)
+	}
+}
+
+func TestNonTHCompletePoolGetsLSCheck(t *testing.T) {
+	m := ir.NewModule("nth")
+	addTestAllocator(m)
+	ta := ir.NamedStruct("sf_x_t")
+	ta.SetBody(ir.I64)
+	tb := ir.NamedStruct("sf_y_t")
+	tb.SetBody(ir.I32, ir.I32)
+	b := ir.NewBuilder(m)
+	b.NewFunc("use", ir.FuncOf(ir.I64, nil, false))
+	raw := b.Call(m.Func("kmalloc"), ir.I64c(8))
+	pa := b.Bitcast(raw, ir.PointerTo(ta))
+	pb := b.Bitcast(raw, ir.PointerTo(tb)) // conflicting view: collapses
+	b.Store(ir.I64c(1), b.FieldAddr(pa, 0))
+	b.Store(ir.I32c(2), b.FieldAddr(pb, 1))
+	b.Ret(b.Load(b.FieldAddr(pa, 0)))
+	p, err := Compile(testCfg(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := p.Pool(pa)
+	if p.Descs[id].TypeHomogeneous {
+		t.Fatal("conflicting-type partition claimed TH")
+	}
+	if !p.Descs[id].Complete {
+		t.Fatal("partition unexpectedly incomplete")
+	}
+	if n := countOps(m.Func("use"), svaops.LSCheck); n == 0 {
+		t.Error("non-TH complete pool got no lschecks")
+	}
+}
+
+func TestStackRegistrationAndAutoDrop(t *testing.T) {
+	m := ir.NewModule("stack")
+	addTestAllocator(m)
+	b := ir.NewBuilder(m)
+	b.NewFunc("local", ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false), "i")
+	buf := b.Alloca(ir.ArrayOf(8, ir.I64), "buf")
+	slot := b.Index(buf, b.Param(0))
+	b.Store(ir.I64c(9), slot)
+	b.Ret(b.Load(slot))
+	if n := func() int {
+		p, err := Compile(testCfg(), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Metrics.StackRegistrations
+	}(); n != 1 {
+		t.Fatalf("stack registrations = %d", n)
+	}
+	// Runs clean in bounds; the registration is dropped when the frame
+	// pops, so a second call re-registers at the same address without a
+	// conflict.
+	v := vm.New(hw.NewMachine(0, 16), vm.ConfigSafe)
+	svaos.Install(v)
+	if err := v.LoadModule(m, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		f := v.FuncByName("local")
+		top, _ := v.AllocKernelStack(16 * 1024)
+		ex, _ := v.NewExec(f, []uint64{3}, top, hw.PrivKernel)
+		v.SetExec(ex)
+		if _, err := v.Run(); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	if len(v.Violations) != 0 {
+		t.Errorf("violations: %v", v.Violations)
+	}
+	// Out-of-bounds stack index trips the check.
+	f := v.FuncByName("local")
+	top, _ := v.AllocKernelStack(16 * 1024)
+	ex, _ := v.NewExec(f, []uint64{1000}, top, hw.PrivKernel)
+	v.SetExec(ex)
+	if _, err := v.Run(); err == nil {
+		t.Error("stack overflow index not detected")
+	}
+}
+
+func TestEscapingAllocaPromoted(t *testing.T) {
+	m := ir.NewModule("promote")
+	addTestAllocator(m)
+	bp := svaops.BytePtr
+	sink := m.NewGlobal("sink", bp, nil)
+	b := ir.NewBuilder(m)
+	b.NewFunc("leak", ir.FuncOf(ir.Void, nil, false))
+	buf := b.Alloca(ir.ArrayOf(4, ir.I8), "buf")
+	b.Store(b.Bitcast(buf, bp), sink) // address escapes
+	b.Ret(nil)
+	p, err := Compile(testCfg(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Metrics.PromotedAllocas == 0 {
+		// Count via the rewritten body: the alloca must be gone, replaced
+		// by a kmalloc call.
+		f := m.Func("leak")
+		hasAlloca := false
+		kmallocCalls := 0
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				if in.Op == ir.OpAlloca {
+					hasAlloca = true
+				}
+				if in.Op == ir.OpCall {
+					if cf, ok := in.Callee.(*ir.Function); ok && cf.Nm == "kmalloc" {
+						kmallocCalls++
+					}
+				}
+			}
+		}
+		if hasAlloca || kmallocCalls == 0 {
+			t.Errorf("escaping alloca not promoted:\n%s", f.String())
+		}
+	}
+	if errs := ir.VerifyModule(m); len(errs) != 0 {
+		t.Fatalf("promoted module does not verify: %v", errs[0])
+	}
+}
+
+func TestGlobalRegistrationAtEntry(t *testing.T) {
+	m := ir.NewModule("globals")
+	addTestAllocator(m)
+	m.NewGlobal("table", ir.ArrayOf(16, ir.I64), nil)
+	b := ir.NewBuilder(m)
+	b.NewFunc("kernel_entry", ir.FuncOf(ir.Void, nil, false))
+	b.Store(ir.I64c(1), b.Index(m.Global("table"), ir.I32c(0)))
+	b.Ret(nil)
+	cfg := testCfg()
+	cfg.EntryFunc = "kernel_entry"
+	if _, err := Compile(cfg, m); err != nil {
+		t.Fatal(err)
+	}
+	if n := countOps(m.Func("kernel_entry"), svaops.ObjRegister); n == 0 {
+		t.Errorf("no global registrations in entry:\n%s", m.Func("kernel_entry").String())
+	}
+	if errs := ir.VerifyModule(m); len(errs) != 0 {
+		t.Fatalf("module does not verify: %v", errs[0])
+	}
+}
+
+func TestDoubleFreeCaught(t *testing.T) {
+	m := ir.NewModule("dfree")
+	addTestAllocator(m)
+	b := ir.NewBuilder(m)
+	b.NewFunc("twice", ir.FuncOf(ir.I64, nil, false))
+	p := b.Call(m.Func("kmalloc"), ir.I64c(32))
+	b.Call(m.Func("kfree"), p)
+	b.Call(m.Func("kfree"), p)
+	b.Ret(ir.I64c(0))
+	_, v, err := buildAndRun(t, m, "twice")
+	if err == nil {
+		t.Fatal("double free not detected")
+	}
+	viol, ok := err.(*metapool.Violation)
+	if !ok || viol.Kind != metapool.IllegalFree {
+		t.Fatalf("got %v", err)
+	}
+	_ = v
+}
+
+func TestMemcpyOverflowCaught(t *testing.T) {
+	cpyModule := func() *ir.Module {
+		m := ir.NewModule("cpy")
+		addTestAllocator(m)
+		b := ir.NewBuilder(m)
+		b.NewFunc("copy_n", ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false), "n")
+		dst := b.Call(m.Func("kmalloc"), ir.I64c(16))
+		src := b.Call(m.Func("kmalloc"), ir.I64c(64))
+		b.Call(svaops.Get(m, svaops.Memcpy), dst, src, b.Param(0))
+		b.Ret(ir.I64c(0))
+		return m
+	}
+	if _, _, err := buildAndRun(t, cpyModule(), "copy_n", 16); err != nil {
+		t.Fatalf("legal copy: %v", err)
+	}
+	_, _, err := buildAndRun(t, cpyModule(), "copy_n", 48)
+	if err == nil {
+		t.Fatal("memcpy overflow of 16-byte object not detected")
+	}
+	viol, ok := err.(*metapool.Violation)
+	if !ok || viol.Kind != metapool.BoundsViolation {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestIndirectCallCheckEndToEnd(t *testing.T) {
+	m := ir.NewModule("icc")
+	addTestAllocator(m)
+	sig := ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false)
+	fpt := ir.PointerTo(sig)
+	b := ir.NewBuilder(m)
+	b.NewFunc("good", sig, "x")
+	b.Ret(b.Add(b.Param(0), ir.I64c(1)))
+	fp := m.NewGlobal("fp", fpt, &ir.GlobalAddr{G: m.Func("good")})
+	b.NewFunc("callit", ir.FuncOf(ir.I64, nil, false))
+	loaded := b.Load(fp)
+	b.Ret(b.Call(loaded, ir.I64c(41)))
+	p, err := Compile(testCfg(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Metrics.ICChecksInserted != 1 {
+		t.Fatalf("ic checks = %d\n%s", p.Metrics.ICChecksInserted, m.Func("callit").String())
+	}
+	v := vm.New(hw.NewMachine(0, 16), vm.ConfigSafe)
+	svaos.Install(v)
+	if err := v.LoadModule(m, false); err != nil {
+		t.Fatal(err)
+	}
+	f := v.FuncByName("callit")
+	top, _ := v.AllocKernelStack(16 * 1024)
+	ex, _ := v.NewExec(f, nil, top, hw.PrivKernel)
+	v.SetExec(ex)
+	got, err := v.Run()
+	if err != nil || got != 42 {
+		t.Fatalf("legal indirect call = %d, %v", got, err)
+	}
+	// Corrupt the function pointer to another function not in the set.
+	evil := v.FuncByName("kfree")
+	addr, _ := v.GlobalAddrByName("fp")
+	v.Mach.Phys.Store(addr, v.FuncAddr(evil), 8)
+	ex2, _ := v.NewExec(f, nil, top, hw.PrivKernel)
+	v.SetExec(ex2)
+	_, err = v.Run()
+	viol, ok := err.(*metapool.Violation)
+	if !ok || viol.Kind != metapool.IndirectCallViolation {
+		t.Fatalf("corrupted indirect call = %v, want CFI violation", err)
+	}
+}
+
+func TestPseudoAllocRegistersManufacturedObject(t *testing.T) {
+	m := ir.NewModule("pseudo")
+	addTestAllocator(m)
+	b := ir.NewBuilder(m)
+	b.NewFunc("scan_bios", ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false), "i")
+	b.Call(svaops.Get(m, svaops.PseudoAlloc), ir.I64c(0xE0000), ir.I64c(0xFFFFF))
+	p := b.IntToPtr(ir.I64c(0xE0000), svaops.BytePtr)
+	q := b.GEP(p, b.Param(0))
+	b.Ret(b.ZExt(b.Load(q), ir.I64))
+	prog, err := Compile(testCfg(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := countOps(m.Func("scan_bios"), svaops.ObjRegister); n != 1 {
+		t.Fatalf("pseudo_alloc not rewritten to registration:\n%s", m.Func("scan_bios").String())
+	}
+	_ = prog
+	// In bounds: ok.  Out of bounds: caught even though the partition is
+	// incomplete, because the object is registered ("incomplete partitions
+	// only have bounds checks on registered objects").
+	v := vm.New(hw.NewMachine(0, 16), vm.ConfigSafe)
+	svaos.Install(v)
+	if err := v.LoadModule(m, false); err != nil {
+		t.Fatal(err)
+	}
+	run := func(i uint64) error {
+		f := v.FuncByName("scan_bios")
+		top, _ := v.AllocKernelStack(16 * 1024)
+		ex, _ := v.NewExec(f, []uint64{i}, top, hw.PrivKernel)
+		v.SetExec(ex)
+		_, err := v.Run()
+		return err
+	}
+	if err := run(0x100); err != nil {
+		t.Fatalf("in-range bios scan: %v", err)
+	}
+	if err := run(0x30000); err == nil {
+		t.Error("bios overrun into registered region not detected")
+	}
+}
+
+func TestMetricsShape(t *testing.T) {
+	m := vulnModule()
+	p, err := Compile(testCfg(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := p.Metrics
+	if mt.AllocSitesTotal == 0 || mt.AllocSitesSeen == 0 {
+		t.Errorf("alloc sites = %d/%d", mt.AllocSitesSeen, mt.AllocSitesTotal)
+	}
+	if mt.Loads.Total == 0 || mt.Stores.Total == 0 {
+		t.Errorf("access counts = %+v", mt)
+	}
+	if !strings.Contains(mt.String(), "Array Indexing") {
+		t.Error("metrics rendering missing rows")
+	}
+}
+
+// TestFigure2Shape reproduces the instrumentation pattern of Figure 2: a
+// kernel fragment with a global table lookup, a kmalloc'd object, a memset
+// with known bounds, and loads through a user-provided structure.
+func TestFigure2Shape(t *testing.T) {
+	m := ir.NewModule("fig2")
+	addTestAllocator(m)
+	bp := svaops.BytePtr
+	// fib_props-style global table of {scope i32, pad i32}.
+	propT := ir.StructOf(ir.I32, ir.I32)
+	tbl := m.NewGlobal("fib_props", ir.ArrayOf(12, propT), nil)
+	fi := ir.NamedStruct("fib_info_t")
+	fi.SetBody(ir.I32, ir.I32, ir.ArrayOf(22, ir.I32))
+	b := ir.NewBuilder(m)
+	b.NewFunc("fib_create_info", ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false), "rtm_type")
+	// fib_props[r->rtm_type].scope — variable index: needs a bounds check.
+	slot := b.Index(tbl, b.Param(0))
+	scope := b.Load(b.GEP(slot, ir.I64c(0), ir.I32c(0)))
+	// fi = kmalloc(96); memset(fi, 0, 96) — known bounds.
+	raw := b.Call(m.Func("kmalloc"), ir.I64c(96))
+	fip := b.Bitcast(raw, ir.PointerTo(fi))
+	b.Call(svaops.Get(m, svaops.Memset), raw, ir.I64c(0), ir.I64c(96))
+	b.Store(scope, b.FieldAddr(fip, 0))
+	b.Ret(b.ZExt(b.Load(b.FieldAddr(fip, 0)), ir.I64))
+	_ = bp
+	p, err := Compile(testCfg(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Func("fib_create_info")
+	text := f.String()
+	if countOps(f, svaops.BoundsCheck) < 2 {
+		t.Errorf("Figure 2 shape wants table + memset bounds checks:\n%s", text)
+	}
+	if countOps(f, svaops.ObjRegister) != 1 {
+		t.Errorf("Figure 2 shape wants the kmalloc registration:\n%s", text)
+	}
+	t.Logf("Figure 2 instrumented fragment:\n%s", text)
+	t.Logf("points-to: %s", p.Res.Dump())
+}
+
+// All four execution configs must run the instrumented kernel module; only
+// ConfigSafe executes checks (others never load metapools... they do load,
+// but uninstrumented modules have no pchk calls).
+func TestInstrumentedModuleRunsEverywhere(t *testing.T) {
+	got, _, err := buildAndRun(t, vulnModule(), "write_at", 2)
+	if err != nil || got != 65 {
+		t.Fatalf("safe config: %d, %v", got, err)
+	}
+}
+
+// TestMaskedIndexElision: the §7.1.3 static-bounds optimization — indices
+// provably bounded by a mask, an unsigned remainder or a narrow width need
+// no run-time bounds check.
+func TestMaskedIndexElision(t *testing.T) {
+	m := ir.NewModule("masked")
+	addTestAllocator(m)
+	tbl := m.NewGlobal("tbl", ir.ArrayOf(64, ir.I64), nil)
+	b := ir.NewBuilder(m)
+	b.NewFunc("probe", ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false), "x")
+	masked := b.And(b.Param(0), ir.I64c(63))
+	v1 := b.Load(b.Index(tbl, masked)) // elidable: x & 63 < 64
+	remmed := b.URem(b.Param(0), ir.I64c(64))
+	v2 := b.Load(b.Index(tbl, remmed)) // elidable: x % 64 < 64
+	narrow := b.ZExt(b.Trunc(b.Param(0), ir.I8), ir.I64)
+	// NOT elidable: i8 range is 256 > 64.
+	v3 := b.Load(b.Index(tbl, narrow))
+	raw := b.Load(b.Index(tbl, b.Param(0))) // NOT elidable
+	b.Ret(b.Add(b.Add(v1, v2), b.Add(v3, raw)))
+	p, err := Compile(testCfg(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := countOps(m.Func("probe"), svaops.BoundsCheck); n != 2 {
+		t.Errorf("bounds checks = %d, want 2 (two elided, two kept)\n%s",
+			n, m.Func("probe").String())
+	}
+	if p.Metrics.GEPsProvenSafe < 2 {
+		t.Errorf("proven-safe GEPs = %d", p.Metrics.GEPsProvenSafe)
+	}
+	// The verifier must agree that the elided sites need no check.
+	if errs := ir.VerifyModule(m); len(errs) != 0 {
+		t.Fatal(errs[0])
+	}
+}
+
+func TestDoubleCompileRejected(t *testing.T) {
+	m := vulnModule()
+	if _, err := Compile(testCfg(), m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(testCfg(), m); err == nil {
+		t.Fatal("re-compiling an instrumented module must fail, not double-instrument")
+	}
+}

@@ -1,0 +1,162 @@
+package safety
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sva/internal/ir"
+)
+
+// This file implements the two analysis-precision transformations of §4.8:
+//
+//   - function cloning: "different objects passed into the same function
+//     parameter from different call sites appear aliased ... Cloning the
+//     function so that different copies are called for the different call
+//     sites eliminates this merging";
+//   - devirtualization: "with a small enough target set, it is profitable
+//     to 'devirtualize' the call ... The current system only performs
+//     devirtualization at the indirect call sites where the function
+//     signature assertion was added."
+
+// Cloning heuristics (chosen "intuitively", as the paper admits of its own).
+const (
+	cloneMaxInstrs = 80 // only small functions are worth copying
+	cloneMaxCopies = 4  // bound code growth (paper saw < 10% bytecode growth)
+)
+
+// cloneForPrecision runs before the pointer analysis: call sites of small
+// pointer-taking functions are grouped by the object types of their
+// pointer arguments; each extra group gets its own clone.  Returns the
+// number of clones created.
+func cloneForPrecision(cfg Config, mods []*ir.Module) int {
+	excluded := map[string]bool{}
+	for _, s := range cfg.Pointer.ExcludeSubsystems {
+		excluded[s] = true
+	}
+	analyzed := func(f *ir.Function) bool {
+		return !f.IsDecl() && !(f.Subsystem != "" && excluded[f.Subsystem])
+	}
+
+	// Collect direct call sites per callee.
+	type site struct {
+		in  *ir.Instr
+		key string
+	}
+	sites := map[*ir.Function][]site{}
+	for _, m := range mods {
+		for _, caller := range m.Funcs {
+			if !analyzed(caller) {
+				continue
+			}
+			for _, b := range caller.Blocks {
+				for _, in := range b.Instrs {
+					if in.Op != ir.OpCall {
+						continue
+					}
+					callee, ok := in.Callee.(*ir.Function)
+					if !ok || callee.Intrinsic || !analyzed(callee) || callee == caller {
+						continue
+					}
+					if callee.NumInstrs() == 0 {
+						callee.Renumber()
+					}
+					if callee.NumInstrs() > cloneMaxInstrs {
+						continue
+					}
+					k := argTypeKey(in)
+					if k == "" {
+						continue // no pointer arguments: nothing to split
+					}
+					sites[callee] = append(sites[callee], site{in: in, key: k})
+				}
+			}
+		}
+	}
+
+	callees := make([]*ir.Function, 0, len(sites))
+	for f := range sites {
+		callees = append(callees, f)
+	}
+	sort.Slice(callees, func(i, j int) bool { return callees[i].Nm < callees[j].Nm })
+
+	clones := 0
+	for _, f := range callees {
+		ss := sites[f]
+		groups := map[string][]*ir.Instr{}
+		var order []string
+		for _, s := range ss {
+			if _, ok := groups[s.key]; !ok {
+				order = append(order, s.key)
+			}
+			groups[s.key] = append(groups[s.key], s.in)
+		}
+		if len(order) < 2 {
+			continue
+		}
+		sort.Strings(order)
+		// The first group keeps the original; each further group (up to the
+		// cap) gets a clone.
+		for gi, key := range order[1:] {
+			if gi >= cloneMaxCopies {
+				break
+			}
+			name := fmt.Sprintf("%s.clone%d", f.Nm, gi+1)
+			if f.Mod.Func(name) != nil {
+				continue
+			}
+			nf := ir.CloneFunction(f.Mod, f, name)
+			f.NumClones++
+			clones++
+			for _, in := range groups[key] {
+				in.Callee = nf
+			}
+		}
+	}
+	return clones
+}
+
+// argTypeKey summarizes the object types behind a call's pointer arguments
+// ("" if it passes no typed pointers).
+func argTypeKey(in *ir.Instr) string {
+	var parts []string
+	typed := false
+	for _, a := range in.Args {
+		t := a.Type()
+		if !t.IsPointer() {
+			continue
+		}
+		ot := objectType(a)
+		parts = append(parts, ot.String())
+		if ot != ir.I8 && !ot.IsVoid() {
+			typed = true
+		}
+	}
+	if !typed {
+		return ""
+	}
+	return strings.Join(parts, "|")
+}
+
+// objectType looks through casts to the best-known element type of a
+// pointer argument.
+func objectType(v ir.Value) *ir.Type {
+	for {
+		in, ok := v.(*ir.Instr)
+		if !ok {
+			break
+		}
+		if in.Op == ir.OpBitcast && in.Args[0].Type().IsPointer() {
+			src := in.Args[0].Type().Elem()
+			if src != ir.I8 {
+				v = in.Args[0]
+				continue
+			}
+		}
+		break
+	}
+	if v.Type().IsPointer() {
+		return v.Type().Elem()
+	}
+	return ir.Void
+}

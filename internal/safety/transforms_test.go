@@ -1,0 +1,227 @@
+package safety
+
+import (
+	"fmt"
+	"testing"
+
+	"sva/internal/ir"
+	"sva/internal/svaops"
+)
+
+// cloneModule: zero_init is called with two distinct object types; without
+// cloning, both objects merge into one collapsed partition.
+func cloneModule() *ir.Module {
+	m := ir.NewModule("clone")
+	addTestAllocator(m)
+	bp := svaops.BytePtr
+	ta := ir.NamedStruct("cl_task_t")
+	ta.SetBody(ir.I64, ir.I64)
+	tb := ir.NamedStruct("cl_inode_t")
+	tb.SetBody(ir.I32, ir.I32, ir.I32, ir.I32)
+
+	b := ir.NewBuilder(m)
+	// zero_init(p): writes the first 16 bytes (the merge-inducing helper).
+	b.NewFunc("zero_init", ir.FuncOf(ir.Void, []*ir.Type{bp}, false), "p")
+	b.For("i", ir.I64c(0), ir.I64c(16), ir.I64c(1), func(i ir.Value) {
+		b.Store(ir.I8c(0), b.GEP(b.Param(0), i))
+	})
+	b.Ret(nil)
+
+	b.NewFunc("make_task", ir.FuncOf(ir.PointerTo(ta), nil, false))
+	raw := b.Call(m.Func("kmalloc"), ir.I64c(16))
+	tp := b.Bitcast(raw, ir.PointerTo(ta))
+	b.Call(m.Func("zero_init"), b.Bitcast(tp, svaops.BytePtr))
+	b.Store(ir.I64c(1), b.FieldAddr(tp, 0))
+	b.Ret(tp)
+
+	b.NewFunc("make_inode", ir.FuncOf(ir.PointerTo(tb), nil, false))
+	raw2 := b.Call(m.Func("kmalloc"), ir.I64c(16))
+	ip0 := b.Bitcast(raw2, ir.PointerTo(tb))
+	b.Call(m.Func("zero_init"), b.Bitcast(ip0, svaops.BytePtr))
+	b.Store(ir.I32c(2), b.FieldAddr(ip0, 0))
+	b.Ret(ip0)
+	return m
+}
+
+func TestCloningSplitsMergedPartitions(t *testing.T) {
+	// With cloning disabled, zero_init merges tasks and inodes: since
+	// kmalloc(16) puts both in the same size-class kernel pool anyway,
+	// check the partition's type homogeneity instead of identity.
+	mOff := cloneModule()
+	cfgOff := testCfg()
+	cfgOff.DisableCloning = true
+	pOff, err := Compile(cfgOff, mOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pOff.Metrics.ClonesCreated != 0 {
+		t.Fatalf("cloning ran while disabled")
+	}
+
+	mOn := cloneModule()
+	pOn, err := Compile(testCfg(), mOn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pOn.Metrics.ClonesCreated == 0 {
+		t.Fatal("cloning heuristic found no candidates")
+	}
+	if mOn.Func("zero_init.clone1") == nil {
+		t.Fatal("clone not materialized")
+	}
+	if errs := ir.VerifyModule(mOn); len(errs) != 0 {
+		t.Fatalf("cloned module does not verify: %v", errs[0])
+	}
+}
+
+func TestCloneFunctionSemantics(t *testing.T) {
+	m := ir.NewModule("clonesem")
+	b := ir.NewBuilder(m)
+	f := b.NewFunc("tri", ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false), "n")
+	acc := b.Alloca(ir.I64, "acc")
+	b.Store(ir.I64c(0), acc)
+	b.For("i", ir.I64c(1), b.Add(b.Param(0), ir.I64c(1)), ir.I64c(1), func(i ir.Value) {
+		b.Store(b.Add(b.Load(acc), i), acc)
+	})
+	b.Ret(b.Load(acc))
+	nf := ir.CloneFunction(m, f, "tri.copy")
+	if errs := ir.VerifyModule(m); len(errs) != 0 {
+		t.Fatalf("clone does not verify: %v", errs[0])
+	}
+	if nf.NumInstrs() != f.NumInstrs() || len(nf.Blocks) != len(f.Blocks) {
+		t.Errorf("clone shape differs: %d/%d instrs, %d/%d blocks",
+			nf.NumInstrs(), f.NumInstrs(), len(nf.Blocks), len(f.Blocks))
+	}
+	// No instruction of the clone may reference the original's values.
+	orig := map[ir.Value]bool{}
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			orig[in] = true
+		}
+	}
+	for _, p := range f.Params {
+		orig[p] = true
+	}
+	for _, blk := range nf.Blocks {
+		for _, in := range blk.Instrs {
+			for _, a := range in.Args {
+				if orig[a] {
+					t.Fatalf("clone references original value %s", a.Ident())
+				}
+			}
+		}
+	}
+}
+
+func TestDevirtualization(t *testing.T) {
+	build := func() (*ir.Module, *ir.Instr) {
+		m := ir.NewModule("devirt")
+		addTestAllocator(m)
+		sig := ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false)
+		b := ir.NewBuilder(m)
+		b.NewFunc("only_target", sig, "x")
+		b.Ret(b.Add(b.Param(0), ir.I64c(1)))
+		fp := m.NewGlobal("fp", ir.PointerTo(sig), &ir.GlobalAddr{G: m.Func("only_target")})
+		df := b.NewFunc("dispatch", ir.FuncOf(ir.I64, nil, false))
+		loaded := b.Load(fp)
+		call := b.Call(loaded, ir.I64c(41))
+		b.Ret(call)
+		df.Renumber()
+		df.SigAssert = map[int]bool{call.Num(): true}
+		return m, call
+	}
+
+	m, call := build()
+	p, err := Compile(testCfg(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Metrics.Devirtualized != 1 {
+		t.Fatalf("devirtualized = %d, want 1", p.Metrics.Devirtualized)
+	}
+	if f, ok := call.Callee.(*ir.Function); !ok || f.Nm != "only_target" {
+		t.Fatalf("call not rewritten to direct: callee = %v", call.Callee)
+	}
+	if p.Metrics.ICChecksInserted != 0 {
+		t.Errorf("devirtualized site still got an indirect-call check")
+	}
+	if errs := ir.VerifyModule(m); len(errs) != 0 {
+		t.Fatalf("devirtualized module does not verify: %v", errs[0])
+	}
+
+	// Ablation: with devirtualization off, the same site keeps its check.
+	m2, call2 := build()
+	cfg := testCfg()
+	cfg.DisableDevirt = true
+	p2, err := Compile(cfg, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Metrics.Devirtualized != 0 {
+		t.Error("devirtualization ran while disabled")
+	}
+	if _, ok := call2.Callee.(*ir.Function); ok {
+		t.Error("call rewritten despite DisableDevirt")
+	}
+	if p2.Metrics.ICChecksInserted != 1 {
+		t.Errorf("ic checks = %d, want 1", p2.Metrics.ICChecksInserted)
+	}
+}
+
+// TestSigAssertShrinksCalleeSets mirrors the paper's §4.8 observation that
+// call-site signature assertions cut callee sets dramatically: a dispatch
+// table mixing many signatures resolves to only the matching ones at an
+// asserted site.
+func TestSigAssertShrinksCalleeSets(t *testing.T) {
+	build := func(assert bool) (int, error) {
+		m := ir.NewModule("sigshrink")
+		addTestAllocator(m)
+		b := ir.NewBuilder(m)
+		sigA := ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false)
+		// Ten functions; only three match sigA.
+		var fns []ir.Constant
+		for i := 0; i < 3; i++ {
+			f := b.NewFunc(fmt.Sprintf("match%d", i), sigA, "x")
+			b.Ret(b.Param(0))
+			fns = append(fns, &ir.GlobalAddr{G: f})
+		}
+		sigB := ir.FuncOf(ir.I64, []*ir.Type{ir.I64, ir.I64}, false)
+		for i := 0; i < 7; i++ {
+			f := b.NewFunc(fmt.Sprintf("other%d", i), sigB, "x", "y")
+			b.Ret(b.Param(0))
+			fns = append(fns, &ir.GlobalAddr{G: f})
+		}
+		bp := svaops.BytePtr
+		tbl := m.NewGlobal("mixed_tbl", ir.ArrayOf(10, bp), &ir.ConstArray{
+			Typ: ir.ArrayOf(10, bp), Elems: fns,
+		})
+		df := b.NewFunc("dispatch", ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false), "i")
+		fp0 := b.Load(b.Index(tbl, b.Param(0)))
+		fp := b.Bitcast(fp0, ir.PointerTo(sigA))
+		call := b.Call(fp, ir.I64c(7))
+		b.Ret(call)
+		df.Renumber()
+		if assert {
+			df.SigAssert = map[int]bool{call.Num(): true}
+		}
+		p, err := Compile(testCfg(), m)
+		if err != nil {
+			return 0, err
+		}
+		return len(p.Res.Callees(call)), nil
+	}
+	without, err := build(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := build(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without != 10 {
+		t.Errorf("unasserted callee set = %d, want 10", without)
+	}
+	if with != 3 {
+		t.Errorf("asserted callee set = %d, want 3 (signature-matching only)", with)
+	}
+}

@@ -1,0 +1,177 @@
+// Package svaops defines the names and signatures of every SVA-OS and
+// run-time-check operation in the virtual instruction set: the llva.*
+// state-manipulation instructions of Tables 1 and 2, the pchk.* check
+// operations of Table 3 and §4.5, and the sva.* privileged-operation
+// wrappers ("I/O functions, MMU configuration functions, and the
+// registration of interrupt and system call handlers", §3.3).
+//
+// Guest modules declare these as body-less intrinsic functions; the SVM
+// implements them (internal/vm for checks, internal/svaos for OS support).
+package svaops
+
+import "sva/internal/ir"
+
+// Operation names.
+const (
+	// Processor state (Table 1).
+	SaveInteger = "llva.save.integer"
+	LoadInteger = "llva.load.integer"
+	SaveFP      = "llva.save.fp"
+	LoadFP      = "llva.load.fp"
+
+	// Interrupt contexts (Table 2).
+	IContextSave   = "llva.icontext.save"
+	IContextLoad   = "llva.icontext.load"
+	IContextCommit = "llva.icontext.commit"
+	IPushFunction  = "llva.ipush.function"
+	WasPrivileged  = "llva.was.privileged"
+	// IContextSetRetval sets the trap return value inside a saved integer
+	// state (the port of Linux's regs->eax assignment in copy_thread).
+	IContextSetRetval = "llva.icontext.set.retval"
+	// StateSetKStack sets the kernel-stack top inside a saved integer
+	// state (the copy_thread ESP0 assignment for forked children).
+	StateSetKStack = "llva.state.set.kstack"
+	// StateSetUStack redirects a saved user context's stack pointer to a
+	// fresh region, so a forked child's new stack frames do not collide
+	// with the parent's in the shared flat address space.
+	StateSetUStack = "llva.state.set.stack"
+
+	// Trap entry (the virtual "int" instruction user code executes).
+	Trap = "sva.trap"
+
+	// Kernel thread fabrication and exec.
+	InitState = "sva.init.state"
+	ExecState = "sva.exec.state"
+	SetKStack = "sva.kstack.set"
+
+	// Handler registration (§4.8 relies on RegisterSyscall for analysis).
+	RegisterSyscall   = "sva.register.syscall"
+	RegisterInterrupt = "sva.register.interrupt"
+
+	// MMU configuration.
+	MMUMap     = "sva.mmu.map"
+	MMUUnmap   = "sva.mmu.unmap"
+	MMUProtect = "sva.mmu.protect"
+
+	// I/O.
+	IOPutc    = "sva.io.putc"
+	IOGetc    = "sva.io.getc"
+	DiskRead  = "sva.io.disk.read"
+	DiskWrite = "sva.io.disk.write"
+	NetSend   = "sva.io.net.send"
+	NetRecv   = "sva.io.net.recv"
+
+	// Interrupt control and time.
+	IntrEnable = "sva.intr.enable"
+	TimerArm   = "sva.timer.arm"
+	Cycles     = "sva.cycles"
+
+	// System control.
+	Halt = "sva.halt"
+
+	// Manufactured addresses (§4.7): replaced by ObjRegister during safety
+	// compilation; a no-op otherwise.
+	PseudoAlloc = "sva.pseudo.alloc"
+
+	// Optimized memory primitives (the kernel "lib" routines lower to
+	// these; they model hand-tuned assembly memcpy/memset).
+	Memcpy  = "sva.memcpy"
+	Memmove = "sva.memmove"
+	Memset  = "sva.memset"
+	Memcmp  = "sva.memcmp"
+
+	// Run-time checks (Table 3 and §4.5), inserted by the safety-checking
+	// compiler / verifier.
+	ObjRegister = "pchk.reg.obj"
+	// ObjRegisterStack registers a stack object; the SVM drops it
+	// automatically when the owning frame pops (SAFECode's "stack objects
+	// are deregistered when returning from the parent function").
+	ObjRegisterStack = "pchk.reg.stack"
+	ObjDrop          = "pchk.drop.obj"
+	BoundsCheck      = "pchk.bounds"
+	LSCheck          = "pchk.lscheck"
+	ICCheck          = "pchk.iccheck"
+	GetBoundsLo      = "pchk.getbounds.lo"
+	GetBoundsHi      = "pchk.getbounds.hi"
+)
+
+// BytePtr is the generic pointer type used in operation signatures.
+var BytePtr = ir.PointerTo(ir.I8)
+
+// sig builds a function type.
+func sig(ret *ir.Type, params ...*ir.Type) *ir.Type {
+	return ir.FuncOf(ret, params, false)
+}
+
+// Signatures maps every operation name to its function type.
+var Signatures = map[string]*ir.Type{
+	SaveInteger:       sig(ir.Void, BytePtr),
+	LoadInteger:       sig(ir.Void, BytePtr),
+	SaveFP:            sig(ir.Void, BytePtr, ir.I64),
+	LoadFP:            sig(ir.Void, BytePtr),
+	IContextSave:      sig(ir.Void, ir.I64, BytePtr),
+	IContextLoad:      sig(ir.Void, ir.I64, BytePtr),
+	IContextCommit:    sig(ir.Void, ir.I64),
+	IPushFunction:     sig(ir.Void, ir.I64, BytePtr, ir.I64, ir.I64),
+	WasPrivileged:     sig(ir.I64, ir.I64),
+	IContextSetRetval: sig(ir.Void, BytePtr, ir.I64),
+	StateSetKStack:    sig(ir.Void, BytePtr, ir.I64),
+	StateSetUStack:    sig(ir.Void, BytePtr, ir.I64),
+	Trap:              sig(ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64),
+	InitState:         sig(ir.Void, BytePtr, BytePtr, ir.I64, ir.I64),
+	ExecState:         sig(ir.Void, ir.I64, BytePtr, ir.I64, ir.I64),
+	SetKStack:         sig(ir.Void, ir.I64),
+	RegisterSyscall:   sig(ir.Void, ir.I64, BytePtr),
+	RegisterInterrupt: sig(ir.Void, ir.I64, BytePtr),
+	MMUMap:            sig(ir.I64, ir.I64, ir.I64, ir.I64),
+	MMUUnmap:          sig(ir.I64, ir.I64),
+	MMUProtect:        sig(ir.I64, ir.I64, ir.I64),
+	IOPutc:            sig(ir.Void, ir.I64),
+	IOGetc:            sig(ir.I64),
+	DiskRead:          sig(ir.I64, ir.I64, BytePtr),
+	DiskWrite:         sig(ir.I64, ir.I64, BytePtr),
+	NetSend:           sig(ir.I64, BytePtr, ir.I64),
+	NetRecv:           sig(ir.I64, BytePtr, ir.I64),
+	IntrEnable:        sig(ir.I64, ir.I64),
+	TimerArm:          sig(ir.Void, ir.I64),
+	Cycles:            sig(ir.I64),
+	Halt:              sig(ir.Void, ir.I64),
+	PseudoAlloc:       sig(ir.Void, ir.I64, ir.I64),
+	Memcpy:            sig(BytePtr, BytePtr, BytePtr, ir.I64),
+	Memmove:           sig(BytePtr, BytePtr, BytePtr, ir.I64),
+	Memset:            sig(BytePtr, BytePtr, ir.I64, ir.I64),
+	Memcmp:            sig(ir.I64, BytePtr, BytePtr, ir.I64),
+	ObjRegister:       sig(ir.Void, ir.I32, BytePtr, ir.I64),
+	ObjRegisterStack:  sig(ir.Void, ir.I32, BytePtr, ir.I64),
+	ObjDrop:           sig(ir.Void, ir.I32, BytePtr),
+	BoundsCheck:       sig(ir.Void, ir.I32, BytePtr, BytePtr),
+	LSCheck:           sig(ir.Void, ir.I32, BytePtr),
+	ICCheck:           sig(ir.Void, ir.I32, BytePtr),
+	GetBoundsLo:       sig(ir.I64, ir.I32, BytePtr),
+	GetBoundsHi:       sig(ir.I64, ir.I32, BytePtr),
+}
+
+// Get returns the intrinsic declaration for name in module m, declaring it
+// on first use.  It panics on unknown names (misspelled operations should
+// fail loudly at build time, not at run time).
+func Get(m *ir.Module, name string) *ir.Function {
+	if f := m.Func(name); f != nil {
+		return f
+	}
+	s, ok := Signatures[name]
+	if !ok {
+		panic("svaops: unknown operation " + name)
+	}
+	f := m.NewFunc(name, s)
+	f.Intrinsic = true
+	return f
+}
+
+// IsCheckOp reports whether name is a run-time check operation (pchk.*).
+func IsCheckOp(name string) bool {
+	switch name {
+	case ObjRegister, ObjRegisterStack, ObjDrop, BoundsCheck, LSCheck, ICCheck, GetBoundsLo, GetBoundsHi:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,66 @@
+package svaops
+
+import (
+	"testing"
+
+	"sva/internal/ir"
+)
+
+func TestGetDeclaresOnce(t *testing.T) {
+	m := ir.NewModule("m")
+	f1 := Get(m, Trap)
+	f2 := Get(m, Trap)
+	if f1 != f2 {
+		t.Error("Get re-declared an operation")
+	}
+	if !f1.Intrinsic || !f1.IsDecl() {
+		t.Error("operation not declared as a body-less intrinsic")
+	}
+	if f1.Sig != Signatures[Trap] {
+		t.Error("signature mismatch")
+	}
+}
+
+func TestGetPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown operation did not panic")
+		}
+	}()
+	Get(ir.NewModule("m"), "llva.not.a.thing")
+}
+
+func TestEveryOperationHasSignature(t *testing.T) {
+	names := []string{
+		SaveInteger, LoadInteger, SaveFP, LoadFP,
+		IContextSave, IContextLoad, IContextCommit, IPushFunction,
+		WasPrivileged, IContextSetRetval, StateSetKStack, StateSetUStack,
+		Trap, InitState, ExecState, SetKStack,
+		RegisterSyscall, RegisterInterrupt,
+		MMUMap, MMUUnmap, MMUProtect,
+		IOPutc, IOGetc, DiskRead, DiskWrite, NetSend, NetRecv,
+		IntrEnable, TimerArm, Cycles, Halt, PseudoAlloc,
+		Memcpy, Memmove, Memset, Memcmp,
+		ObjRegister, ObjRegisterStack, ObjDrop, BoundsCheck, LSCheck,
+		ICCheck, GetBoundsLo, GetBoundsHi,
+	}
+	for _, n := range names {
+		if Signatures[n] == nil {
+			t.Errorf("operation %s has no signature", n)
+		}
+	}
+	if len(names) != len(Signatures) {
+		t.Errorf("signature table has %d entries, test lists %d", len(Signatures), len(names))
+	}
+}
+
+func TestIsCheckOp(t *testing.T) {
+	for _, n := range []string{ObjRegister, ObjRegisterStack, ObjDrop, BoundsCheck, LSCheck, ICCheck} {
+		if !IsCheckOp(n) {
+			t.Errorf("%s not classified as a check op", n)
+		}
+	}
+	if IsCheckOp(Trap) || IsCheckOp(Memcpy) {
+		t.Error("non-check op classified as check")
+	}
+}

@@ -1,0 +1,300 @@
+// Package svaos implements the SVA-OS operations (paper §3.3, Tables 1–2):
+// saving/restoring native processor state, interrupt-context manipulation,
+// trap entry, MMU configuration, I/O, and handler registration.  Install
+// binds them to a VM as intrinsic handlers.
+//
+// SVA-OS provides only mechanisms, never policy: scheduling, signal
+// semantics, memory-management policy all live in the guest kernel.
+package svaos
+
+import (
+	"fmt"
+
+	"sva/internal/hw"
+	"sva/internal/svaops"
+	"sva/internal/vm"
+)
+
+type none = vm.IntrinsicResult
+
+func requireKernel(m *vm.VM, op string) error {
+	if ex := m.Exec(); ex != nil && ex.Priv() != hw.PrivKernel {
+		return &vm.GuestFault{Kind: "privileged operation " + op + " in user mode"}
+	}
+	return nil
+}
+
+// Install registers every SVA-OS operation on the VM.
+func Install(m *vm.VM) {
+	reg := m.RegisterIntrinsic
+
+	// --- Native processor state (Table 1) --------------------------------
+
+	reg(svaops.SaveInteger, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.SaveInteger); err != nil {
+			return none{}, err
+		}
+		m.SaveIntegerState(a[0], -1)
+		return none{}, nil
+	})
+	reg(svaops.LoadInteger, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.LoadInteger); err != nil {
+			return none{}, err
+		}
+		if err := m.LoadIntegerState(a[0]); err != nil {
+			return none{}, err
+		}
+		return none{Switched: true}, nil
+	})
+	reg(svaops.SaveFP, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.SaveFP); err != nil {
+			return none{}, err
+		}
+		m.SaveFPState(a[0], a[1] != 0)
+		return none{}, nil
+	})
+	reg(svaops.LoadFP, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.LoadFP); err != nil {
+			return none{}, err
+		}
+		m.LoadFPState(a[0])
+		return none{}, nil
+	})
+
+	// --- Interrupt contexts (Table 2) ------------------------------------
+
+	reg(svaops.IContextSave, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.IContextSave); err != nil {
+			return none{}, err
+		}
+		return none{}, m.IContextSaveState(a[0], a[1])
+	})
+	reg(svaops.IContextLoad, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.IContextLoad); err != nil {
+			return none{}, err
+		}
+		return none{}, m.IContextLoadState(a[0], a[1])
+	})
+	reg(svaops.IContextCommit, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.IContextCommit); err != nil {
+			return none{}, err
+		}
+		return none{}, m.IContextCommit(a[0])
+	})
+	reg(svaops.IPushFunction, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.IPushFunction); err != nil {
+			return none{}, err
+		}
+		return none{}, m.IContextPushFunction(a[0], a[1], a[2:])
+	})
+	reg(svaops.WasPrivileged, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.WasPrivileged); err != nil {
+			return none{}, err
+		}
+		priv, err := m.IContextWasPrivileged(a[0])
+		if err != nil {
+			return none{}, err
+		}
+		return none{Value: priv}, nil
+	})
+	reg(svaops.IContextSetRetval, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.IContextSetRetval); err != nil {
+			return none{}, err
+		}
+		return none{}, m.SetSavedRetval(a[0], a[1])
+	})
+
+	reg(svaops.StateSetKStack, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.StateSetKStack); err != nil {
+			return none{}, err
+		}
+		return none{}, m.SetSavedKStack(a[0], a[1])
+	})
+	reg(svaops.StateSetUStack, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.StateSetUStack); err != nil {
+			return none{}, err
+		}
+		return none{}, m.SetSavedUStack(a[0], a[1])
+	})
+
+	// --- Trap entry --------------------------------------------------------
+
+	reg(svaops.Trap, func(m *vm.VM, a []uint64) (none, error) {
+		return m.TrapEnter(int64(a[0]), a[1:])
+	})
+
+	// --- State fabrication (kernel threads, exec) -------------------------
+
+	reg(svaops.InitState, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.InitState); err != nil {
+			return none{}, err
+		}
+		return none{}, m.InitState(a[0], a[1], a[2], a[3])
+	})
+	reg(svaops.ExecState, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.ExecState); err != nil {
+			return none{}, err
+		}
+		return none{}, m.ExecState(a[0], a[1], a[2], a[3])
+	})
+	reg(svaops.SetKStack, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.SetKStack); err != nil {
+			return none{}, err
+		}
+		m.Exec().SetKStackTop(a[0])
+		return none{}, nil
+	})
+
+	// --- Handler registration ---------------------------------------------
+
+	reg(svaops.RegisterSyscall, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.RegisterSyscall); err != nil {
+			return none{}, err
+		}
+		return none{}, m.RegisterSyscallHandler(int64(a[0]), a[1])
+	})
+	reg(svaops.RegisterInterrupt, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.RegisterInterrupt); err != nil {
+			return none{}, err
+		}
+		return none{}, m.RegisterInterruptHandler(int64(a[0]), a[1])
+	})
+
+	// --- MMU ----------------------------------------------------------------
+
+	reg(svaops.MMUMap, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.MMUMap); err != nil {
+			return none{}, err
+		}
+		if err := m.Mach.MMU.Map(a[0], a[1], int(a[2])); err != nil {
+			return none{Value: ^uint64(0)}, nil
+		}
+		return none{Value: 0}, nil
+	})
+	reg(svaops.MMUUnmap, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.MMUUnmap); err != nil {
+			return none{}, err
+		}
+		if err := m.Mach.MMU.Unmap(a[0]); err != nil {
+			return none{Value: ^uint64(0)}, nil
+		}
+		return none{Value: 0}, nil
+	})
+	reg(svaops.MMUProtect, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.MMUProtect); err != nil {
+			return none{}, err
+		}
+		if err := m.Mach.MMU.Protect(a[0], int(a[1])); err != nil {
+			return none{Value: ^uint64(0)}, nil
+		}
+		return none{Value: 0}, nil
+	})
+
+	// --- I/O -----------------------------------------------------------------
+
+	reg(svaops.IOPutc, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.IOPutc); err != nil {
+			return none{}, err
+		}
+		return none{}, m.Mach.Console.WriteByte(byte(a[0]))
+	})
+	reg(svaops.IOGetc, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.IOGetc); err != nil {
+			return none{}, err
+		}
+		b, ok := m.Mach.Console.ReadInput()
+		if !ok {
+			return none{Value: ^uint64(0)}, nil
+		}
+		return none{Value: uint64(b)}, nil
+	})
+	reg(svaops.DiskRead, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.DiskRead); err != nil {
+			return none{}, err
+		}
+		buf := make([]byte, hw.SectorSize)
+		if err := m.Mach.Disk.ReadSector(int(a[0]), buf); err != nil {
+			return none{Value: ^uint64(0)}, nil
+		}
+		if err := m.MemWriteBytes(a[1], buf); err != nil {
+			return none{}, err
+		}
+		m.Mach.CPU.Cycles += m.Mach.Disk.SeekCost
+		return none{Value: 0}, nil
+	})
+	reg(svaops.DiskWrite, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.DiskWrite); err != nil {
+			return none{}, err
+		}
+		buf, err := m.MemReadBytes(a[1], hw.SectorSize)
+		if err != nil {
+			return none{}, err
+		}
+		if err := m.Mach.Disk.WriteSector(int(a[0]), buf); err != nil {
+			return none{Value: ^uint64(0)}, nil
+		}
+		m.Mach.CPU.Cycles += m.Mach.Disk.SeekCost
+		return none{Value: 0}, nil
+	})
+	reg(svaops.NetSend, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.NetSend); err != nil {
+			return none{}, err
+		}
+		buf, err := m.MemReadBytes(a[0], int(a[1]))
+		if err != nil {
+			return none{}, err
+		}
+		if err := m.Mach.NIC.Send(buf); err != nil {
+			return none{Value: ^uint64(0)}, nil
+		}
+		m.Mach.CPU.Cycles += m.Mach.NIC.PerFrameCost
+		return none{Value: 0}, nil
+	})
+	reg(svaops.NetRecv, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.NetRecv); err != nil {
+			return none{}, err
+		}
+		f := m.Mach.NIC.Recv()
+		if f == nil {
+			return none{Value: ^uint64(0)}, nil
+		}
+		if uint64(len(f)) > a[1] {
+			f = f[:a[1]]
+		}
+		if err := m.MemWriteBytes(a[0], f); err != nil {
+			return none{}, err
+		}
+		return none{Value: uint64(len(f))}, nil
+	})
+
+	// --- Interrupt control and time ----------------------------------------
+
+	reg(svaops.IntrEnable, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.IntrEnable); err != nil {
+			return none{}, err
+		}
+		prev := m.Mach.Intr.Enable(a[0] != 0)
+		if prev {
+			return none{Value: 1}, nil
+		}
+		return none{Value: 0}, nil
+	})
+	reg(svaops.TimerArm, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.TimerArm); err != nil {
+			return none{}, err
+		}
+		m.Mach.Timer.Arm(m.Counters.Steps, a[0])
+		return none{}, nil
+	})
+}
+
+// Verify checks that every operation in svaops.Signatures has a handler
+// registered — a build-time self-check used by tests.
+func Verify(m *vm.VM) error {
+	for name := range svaops.Signatures {
+		if !m.HasIntrinsic(name) {
+			return fmt.Errorf("svaos: operation %s has no handler", name)
+		}
+	}
+	return nil
+}

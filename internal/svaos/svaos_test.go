@@ -1,0 +1,682 @@
+package svaos
+
+import (
+	"strings"
+	"testing"
+
+	"sva/internal/hw"
+	"sva/internal/ir"
+	"sva/internal/svaops"
+	"sva/internal/vm"
+)
+
+const (
+	testUserStackTop = vm.UserTop - 0x1000
+)
+
+func buildVM(t *testing.T, cfg vm.Config, m *ir.Module) *vm.VM {
+	t.Helper()
+	if errs := ir.VerifyModule(m); len(errs) != 0 {
+		t.Fatalf("module does not verify: %v", errs)
+	}
+	v := vm.New(hw.NewMachine(0, 64), cfg)
+	Install(v)
+	// Test modules mix kernel handlers with user-mode code that writes
+	// module globals, so the globals live in the user segment.
+	if err := v.LoadModule(m, true); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func run(t *testing.T, v *vm.VM, name string, priv uint8, stackTop uint64, args ...uint64) (uint64, error) {
+	t.Helper()
+	f := v.FuncByName(name)
+	if f == nil {
+		t.Fatalf("no function %s", name)
+	}
+	if stackTop == 0 {
+		var err error
+		stackTop, err = v.AllocKernelStack(64 * 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ex, err := v.NewExec(f, args, stackTop, priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.SetExec(ex)
+	v.StepBudget = v.Counters.Steps + 5_000_000
+	return v.Run()
+}
+
+func TestAllOperationsInstalled(t *testing.T) {
+	v := vm.New(hw.NewMachine(0, 16), vm.ConfigSVAGCC)
+	Install(v)
+	if err := Verify(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// trapModule builds: a kernel boot function that registers sys_double for
+// syscall 7, and a user function that invokes it through sva.trap.
+func trapModule() *ir.Module {
+	m := ir.NewModule("trap")
+	b := ir.NewBuilder(m)
+
+	hsig := ir.FuncOf(ir.I64, []*ir.Type{ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64}, false)
+	b.NewFunc("sys_double", hsig, "icp", "a0", "a1", "a2", "a3", "a4", "a5")
+	b.Ret(b.Mul(b.Param(1), ir.I64c(2)))
+
+	b.NewFunc("boot", ir.FuncOf(ir.I64, nil, false))
+	h := b.Bitcast(m.Func("sys_double"), svaops.BytePtr)
+	b.Call(svaops.Get(m, svaops.RegisterSyscall), ir.I64c(7), h)
+	b.Ret(ir.I64c(0))
+
+	b.NewFunc("user_main", ir.FuncOf(ir.I64, nil, false))
+	r := b.Call(svaops.Get(m, svaops.Trap), ir.I64c(7), ir.I64c(21),
+		ir.I64c(0), ir.I64c(0), ir.I64c(0), ir.I64c(0), ir.I64c(0))
+	b.Ret(r)
+	return m
+}
+
+func TestTrapSyscall(t *testing.T) {
+	for _, cfg := range []vm.Config{vm.ConfigNative, vm.ConfigSVAGCC, vm.ConfigSafe} {
+		v := buildVM(t, cfg, trapModule())
+		if _, err := run(t, v, "boot", hw.PrivKernel, 0); err != nil {
+			t.Fatalf("%v boot: %v", cfg, err)
+		}
+		kstack, _ := v.AllocKernelStack(64 * 1024)
+		f := v.FuncByName("user_main")
+		ex, err := v.NewExec(f, nil, testUserStackTop, hw.PrivUser)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex.SetKStackTop(kstack)
+		v.SetExec(ex)
+		got, err := v.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", cfg, err)
+		}
+		if got != 42 {
+			t.Errorf("%v: trap result = %d, want 42", cfg, got)
+		}
+		if v.Counters.Traps == 0 {
+			t.Errorf("%v: no trap counted", cfg)
+		}
+		// Privilege must be restored to user after the trap returns.
+		if ex.Priv() != hw.PrivUser {
+			t.Errorf("%v: priv = %d after trap", cfg, ex.Priv())
+		}
+	}
+}
+
+func TestTrapUnknownSyscallReturnsENOSYS(t *testing.T) {
+	m := trapModule()
+	b := ir.NewBuilder(m)
+	b.NewFunc("user_bad", ir.FuncOf(ir.I64, nil, false))
+	r := b.Call(svaops.Get(m, svaops.Trap), ir.I64c(999), ir.I64c(0),
+		ir.I64c(0), ir.I64c(0), ir.I64c(0), ir.I64c(0), ir.I64c(0))
+	b.Ret(r)
+	v := buildVM(t, vm.ConfigSVAGCC, m)
+	got, err := run(t, v, "user_bad", hw.PrivKernel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(got) != -38 {
+		t.Errorf("unknown syscall = %d, want -38", int64(got))
+	}
+}
+
+// TestContextSwitch ping-pongs between two kernel threads using
+// llva.save.integer / llva.load.integer (the paper's context-switch
+// protocol).
+func TestContextSwitch(t *testing.T) {
+	m := ir.NewModule("switch")
+	b := ir.NewBuilder(m)
+	flag := m.NewGlobal("flag", ir.I64, ir.I64c(0))
+	bufA := m.NewGlobal("bufA", ir.ArrayOf(256, ir.I8), nil)
+	bufB := m.NewGlobal("bufB", ir.ArrayOf(256, ir.I8), nil)
+
+	// thread_b: set flag, switch back to A.
+	b.NewFunc("thread_b", ir.FuncOf(ir.Void, []*ir.Type{ir.I64}, false), "arg")
+	b.Store(b.Param(0), flag)
+	b.Call(svaops.Get(m, svaops.LoadInteger), b.Bitcast(bufA, svaops.BytePtr))
+	b.Ret(nil)
+
+	// main: create B's state, save self, switch to B; after resume, the
+	// flag must hold B's argument.
+	b.NewFunc("main", ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false), "kstack2")
+	b.Call(svaops.Get(m, svaops.InitState),
+		b.Bitcast(bufB, svaops.BytePtr),
+		b.Bitcast(m.Func("thread_b"), svaops.BytePtr),
+		ir.I64c(99), b.Param(0))
+	b.Call(svaops.Get(m, svaops.SaveInteger), b.Bitcast(bufA, svaops.BytePtr))
+	seen := b.Load(flag)
+	done := b.ICmp(ir.PredEQ, seen, ir.I64c(99))
+	b.If(done, func() { b.Ret(ir.I64c(77)) })
+	b.Call(svaops.Get(m, svaops.LoadInteger), b.Bitcast(bufB, svaops.BytePtr))
+	b.Ret(ir.I64c(0)) // unreachable in practice
+
+	v := buildVM(t, vm.ConfigSVAGCC, m)
+	k2, _ := v.AllocKernelStack(64 * 1024)
+	got, err := run(t, v, "main", hw.PrivKernel, 0, k2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 77 {
+		t.Errorf("context switch result = %d, want 77", got)
+	}
+	if v.Counters.Switches < 2 {
+		t.Errorf("switches = %d, want >= 2", v.Counters.Switches)
+	}
+}
+
+// TestForkPattern exercises llva.icontext.save + set.retval + load.integer:
+// the syscall handler snapshots the interrupted user context as a child
+// state with return value 0, the parent returns the child handle.
+func TestForkPattern(t *testing.T) {
+	m := ir.NewModule("fork")
+	b := ir.NewBuilder(m)
+	childBuf := m.NewGlobal("childbuf", ir.ArrayOf(256, ir.I8), nil)
+	result := m.NewGlobal("result", ir.ArrayOf(2, ir.I64), nil)
+
+	hsig := ir.FuncOf(ir.I64, []*ir.Type{ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64}, false)
+	b.NewFunc("sys_fork", hsig, "icp", "a0", "a1", "a2", "a3", "a4", "a5")
+	cb := b.Bitcast(childBuf, svaops.BytePtr)
+	b.Call(svaops.Get(m, svaops.IContextSave), b.Param(0), cb)
+	b.Call(svaops.Get(m, svaops.IContextSetRetval), cb, ir.I64c(0))
+	b.Ret(ir.I64c(123)) // child pid for the parent
+
+	b.NewFunc("boot", ir.FuncOf(ir.I64, nil, false))
+	b.Call(svaops.Get(m, svaops.RegisterSyscall), ir.I64c(2),
+		b.Bitcast(m.Func("sys_fork"), svaops.BytePtr))
+	b.Ret(ir.I64c(0))
+
+	// user: r = fork(); result[r == 0 ? 0 : 1] = r + 1.
+	b.NewFunc("user_main", ir.FuncOf(ir.I64, nil, false))
+	r := b.Call(svaops.Get(m, svaops.Trap), ir.I64c(2), ir.I64c(0),
+		ir.I64c(0), ir.I64c(0), ir.I64c(0), ir.I64c(0), ir.I64c(0))
+	isChild := b.ICmp(ir.PredEQ, r, ir.I64c(0))
+	slot := b.Select(isChild, ir.I32c(0), ir.I32c(1))
+	b.Store(b.Add(r, ir.I64c(1)), b.Index(result, slot))
+	b.Ret(r)
+
+	v := buildVM(t, vm.ConfigSVAGCC, m)
+	if _, err := run(t, v, "boot", hw.PrivKernel, 0); err != nil {
+		t.Fatal(err)
+	}
+	kstack, _ := v.AllocKernelStack(64 * 1024)
+	f := v.FuncByName("user_main")
+	ex, _ := v.NewExec(f, nil, testUserStackTop, hw.PrivUser)
+	ex.SetKStackTop(kstack)
+	v.SetExec(ex)
+	got, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 123 {
+		t.Fatalf("parent fork result = %d", got)
+	}
+	// Now resume the child state: it must re-return from the trap with 0.
+	cbAddr, _ := v.GlobalAddrByName("childbuf")
+	if err := v.LoadIntegerState(cbAddr); err != nil {
+		t.Fatal(err)
+	}
+	got, err = v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("child fork result = %d", got)
+	}
+	resAddr, _ := v.GlobalAddrByName("result")
+	child, _ := v.Mach.Phys.Load(resAddr, 8)
+	parent, _ := v.Mach.Phys.Load(resAddr+8, 8)
+	if child != 1 || parent != 124 {
+		t.Errorf("result = [%d, %d], want [1, 124]", child, parent)
+	}
+}
+
+// TestSignalDispatch exercises llva.ipush.function: the handler pushed onto
+// the interrupt context runs in the interrupted (user) context before the
+// trap returns.
+func TestSignalDispatch(t *testing.T) {
+	m := ir.NewModule("signal")
+	b := ir.NewBuilder(m)
+	sigSeen := m.NewGlobal("sig_seen", ir.I64, ir.I64c(0))
+
+	b.NewFunc("sig_handler", ir.FuncOf(ir.Void, []*ir.Type{ir.I64}, false), "signo")
+	b.Store(b.Param(0), sigSeen)
+	b.Ret(nil)
+
+	hsig := ir.FuncOf(ir.I64, []*ir.Type{ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64}, false)
+	b.NewFunc("sys_kill_self", hsig, "icp", "a0", "a1", "a2", "a3", "a4", "a5")
+	priv := b.Call(svaops.Get(m, svaops.WasPrivileged), b.Param(0))
+	b.Call(svaops.Get(m, svaops.IPushFunction), b.Param(0),
+		b.Bitcast(m.Func("sig_handler"), svaops.BytePtr), ir.I64c(9), ir.I64c(0))
+	b.Ret(priv)
+
+	b.NewFunc("boot", ir.FuncOf(ir.I64, nil, false))
+	b.Call(svaops.Get(m, svaops.RegisterSyscall), ir.I64c(3),
+		b.Bitcast(m.Func("sys_kill_self"), svaops.BytePtr))
+	b.Ret(ir.I64c(0))
+
+	b.NewFunc("user_main", ir.FuncOf(ir.I64, nil, false))
+	wasPriv := b.Call(svaops.Get(m, svaops.Trap), ir.I64c(3), ir.I64c(0),
+		ir.I64c(0), ir.I64c(0), ir.I64c(0), ir.I64c(0), ir.I64c(0))
+	// By the time the trap returns, the signal handler has run.
+	seen := b.Load(sigSeen)
+	b.Ret(b.Add(b.Mul(seen, ir.I64c(10)), wasPriv))
+
+	v := buildVM(t, vm.ConfigSVAGCC, m)
+	if _, err := run(t, v, "boot", hw.PrivKernel, 0); err != nil {
+		t.Fatal(err)
+	}
+	kstack, _ := v.AllocKernelStack(64 * 1024)
+	f := v.FuncByName("user_main")
+	ex, _ := v.NewExec(f, nil, testUserStackTop, hw.PrivUser)
+	ex.SetKStackTop(kstack)
+	v.SetExec(ex)
+	got, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sig_seen=9 → 90, was.privileged(user trap)=0 → 90.
+	if got != 90 {
+		t.Errorf("signal result = %d, want 90", got)
+	}
+}
+
+// The signal handler runs with user privilege, not kernel privilege: a
+// pushed function that attempts a privileged operation must fault.
+func TestPushedFunctionRunsUnprivileged(t *testing.T) {
+	m := ir.NewModule("sigpriv")
+	b := ir.NewBuilder(m)
+	sigSeen := m.NewGlobal("sig_seen", ir.I64, ir.I64c(0))
+
+	b.NewFunc("evil_handler", ir.FuncOf(ir.Void, []*ir.Type{ir.I64}, false), "x")
+	b.Call(svaops.Get(m, svaops.MMUUnmap), ir.I64c(0x4000))
+	b.Store(ir.I64c(1), sigSeen)
+	b.Ret(nil)
+
+	hsig := ir.FuncOf(ir.I64, []*ir.Type{ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64}, false)
+	b.NewFunc("sys_sig", hsig, "icp", "a0", "a1", "a2", "a3", "a4", "a5")
+	b.Call(svaops.Get(m, svaops.IPushFunction), b.Param(0),
+		b.Bitcast(m.Func("evil_handler"), svaops.BytePtr), ir.I64c(0), ir.I64c(0))
+	b.Ret(ir.I64c(0))
+
+	b.NewFunc("boot", ir.FuncOf(ir.I64, nil, false))
+	b.Call(svaops.Get(m, svaops.RegisterSyscall), ir.I64c(3),
+		b.Bitcast(m.Func("sys_sig"), svaops.BytePtr))
+	b.Ret(ir.I64c(0))
+
+	b.NewFunc("user_main", ir.FuncOf(ir.I64, nil, false))
+	b.Call(svaops.Get(m, svaops.Trap), ir.I64c(3), ir.I64c(0),
+		ir.I64c(0), ir.I64c(0), ir.I64c(0), ir.I64c(0), ir.I64c(0))
+	b.Ret(b.Load(sigSeen))
+
+	v := buildVM(t, vm.ConfigSVAGCC, m)
+	if _, err := run(t, v, "boot", hw.PrivKernel, 0); err != nil {
+		t.Fatal(err)
+	}
+	kstack, _ := v.AllocKernelStack(64 * 1024)
+	f := v.FuncByName("user_main")
+	ex, _ := v.NewExec(f, nil, testUserStackTop, hw.PrivUser)
+	ex.SetKStackTop(kstack)
+	v.SetExec(ex)
+	_, err := v.Run()
+	if err == nil || !strings.Contains(err.Error(), "privileged operation") {
+		t.Fatalf("expected privilege fault, got %v", err)
+	}
+}
+
+func TestInternalSyscallIsPrivileged(t *testing.T) {
+	m := ir.NewModule("internal")
+	b := ir.NewBuilder(m)
+	hsig := ir.FuncOf(ir.I64, []*ir.Type{ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64}, false)
+	b.NewFunc("sys_whoami", hsig, "icp", "a0", "a1", "a2", "a3", "a4", "a5")
+	priv := b.Call(svaops.Get(m, svaops.WasPrivileged), b.Param(0))
+	b.Ret(priv)
+
+	b.NewFunc("kmain", ir.FuncOf(ir.I64, nil, false))
+	b.Call(svaops.Get(m, svaops.RegisterSyscall), ir.I64c(5),
+		b.Bitcast(m.Func("sys_whoami"), svaops.BytePtr))
+	// The kernel issues the syscall internally via the same trap mechanism.
+	r := b.Call(svaops.Get(m, svaops.Trap), ir.I64c(5), ir.I64c(0),
+		ir.I64c(0), ir.I64c(0), ir.I64c(0), ir.I64c(0), ir.I64c(0))
+	b.Ret(r)
+
+	v := buildVM(t, vm.ConfigSVAGCC, m)
+	got, err := run(t, v, "kmain", hw.PrivKernel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("was.privileged(internal syscall) = %d, want 1", got)
+	}
+}
+
+func TestExecState(t *testing.T) {
+	m := ir.NewModule("exec")
+	b := ir.NewBuilder(m)
+	mark := m.NewGlobal("mark", ir.I64, ir.I64c(0))
+
+	b.NewFunc("new_image", ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false), "arg")
+	b.Store(b.Param(0), mark)
+	b.Ret(b.Add(b.Param(0), ir.I64c(1)))
+
+	hsig := ir.FuncOf(ir.I64, []*ir.Type{ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64}, false)
+	b.NewFunc("sys_exec", hsig, "icp", "a0", "a1", "a2", "a3", "a4", "a5")
+	b.Call(svaops.Get(m, svaops.ExecState), b.Param(0),
+		b.Bitcast(m.Func("new_image"), svaops.BytePtr), ir.I64c(41), ir.I64c(testUserStackTop))
+	b.Ret(ir.I64c(0))
+
+	b.NewFunc("boot", ir.FuncOf(ir.I64, nil, false))
+	b.Call(svaops.Get(m, svaops.RegisterSyscall), ir.I64c(11),
+		b.Bitcast(m.Func("sys_exec"), svaops.BytePtr))
+	b.Ret(ir.I64c(0))
+
+	b.NewFunc("user_main", ir.FuncOf(ir.I64, nil, false))
+	b.Call(svaops.Get(m, svaops.Trap), ir.I64c(11), ir.I64c(0),
+		ir.I64c(0), ir.I64c(0), ir.I64c(0), ir.I64c(0), ir.I64c(0))
+	b.Ret(ir.I64c(555)) // must never run: the image is replaced
+
+	v := buildVM(t, vm.ConfigSVAGCC, m)
+	if _, err := run(t, v, "boot", hw.PrivKernel, 0); err != nil {
+		t.Fatal(err)
+	}
+	kstack, _ := v.AllocKernelStack(64 * 1024)
+	f := v.FuncByName("user_main")
+	ex, _ := v.NewExec(f, nil, testUserStackTop, hw.PrivUser)
+	ex.SetKStackTop(kstack)
+	v.SetExec(ex)
+	got, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Errorf("exec result = %d, want 42 (new image ran)", got)
+	}
+	markAddr, _ := v.GlobalAddrByName("mark")
+	if mv, _ := v.Mach.Phys.Load(markAddr, 8); mv != 41 {
+		t.Errorf("mark = %d, want 41", mv)
+	}
+}
+
+func TestFPStateSaveLazy(t *testing.T) {
+	m := ir.NewModule("fp")
+	b := ir.NewBuilder(m)
+	buf := m.NewGlobal("fpbuf", ir.ArrayOf(64, ir.I8), nil)
+	b.NewFunc("kmain", ir.FuncOf(ir.I64, nil, false))
+	p := b.Bitcast(buf, svaops.BytePtr)
+	// Lazy save with clean FP state: nothing saved.
+	b.Call(svaops.Get(m, svaops.SaveFP), p, ir.I64c(0))
+	// Touch FP, then lazy save: saved.
+	b.FAdd(&ir.ConstFloat{F: 1}, &ir.ConstFloat{F: 2})
+	b.Call(svaops.Get(m, svaops.SaveFP), p, ir.I64c(0))
+	b.Call(svaops.Get(m, svaops.LoadFP), p)
+	b.Ret(ir.I64c(0))
+	v := buildVM(t, vm.ConfigSVAGCC, m)
+	if _, err := run(t, v, "kmain", hw.PrivKernel, 0); err != nil {
+		t.Fatal(err)
+	}
+	if v.Mach.CPU.FP.Dirty {
+		t.Error("FP dirty after save+load")
+	}
+}
+
+func TestMMUAndIOOps(t *testing.T) {
+	m := ir.NewModule("mmuio")
+	b := ir.NewBuilder(m)
+	b.NewFunc("kmain", ir.FuncOf(ir.I64, nil, false))
+	r1 := b.Call(svaops.Get(m, svaops.MMUMap), ir.I64c(0x7000_0000), ir.I64c(0x7000_0000),
+		ir.I64c(hw.PermRead|hw.PermWrite))
+	r2 := b.Call(svaops.Get(m, svaops.MMUProtect), ir.I64c(0x7000_0000), ir.I64c(hw.PermRead))
+	r3 := b.Call(svaops.Get(m, svaops.MMUUnmap), ir.I64c(0x7000_0000))
+	b.Call(svaops.Get(m, svaops.IOPutc), ir.I64c('S'))
+	b.Call(svaops.Get(m, svaops.IOPutc), ir.I64c('V'))
+	b.Call(svaops.Get(m, svaops.IOPutc), ir.I64c('A'))
+	b.Ret(b.Add(r1, b.Add(r2, r3)))
+	v := buildVM(t, vm.ConfigSVAGCC, m)
+	got, err := run(t, v, "kmain", hw.PrivKernel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("mmu ops = %d, want 0", got)
+	}
+	if out := v.Mach.Console.Output(); out != "SVA" {
+		t.Errorf("console = %q", out)
+	}
+	if v.Mach.MMU.Maps != 1 || v.Mach.MMU.Unmaps != 1 {
+		t.Errorf("mmu stats = %d/%d", v.Mach.MMU.Maps, v.Mach.MMU.Unmaps)
+	}
+}
+
+func TestDiskAndNetOps(t *testing.T) {
+	m := ir.NewModule("disknet")
+	b := ir.NewBuilder(m)
+	sect := m.NewGlobal("sect", ir.ArrayOf(hw.SectorSize, ir.I8), nil)
+	b.NewFunc("kmain", ir.FuncOf(ir.I64, nil, false))
+	p := b.Bitcast(sect, svaops.BytePtr)
+	b.Store(ir.I8c('D'), b.Index(sect, ir.I32c(0)))
+	w := b.Call(svaops.Get(m, svaops.DiskWrite), ir.I64c(3), p)
+	b.Call(svaops.Get(m, svaops.Memset), p, ir.I64c(0), ir.I64c(hw.SectorSize))
+	r := b.Call(svaops.Get(m, svaops.DiskRead), ir.I64c(3), p)
+	back := b.ZExt(b.Load(b.Index(sect, ir.I32c(0))), ir.I64)
+	// Network round trip of 5 bytes.
+	s := b.Call(svaops.Get(m, svaops.NetSend), p, ir.I64c(5))
+	rcv := b.Call(svaops.Get(m, svaops.NetRecv), p, ir.I64c(hw.SectorSize))
+	sum := b.Add(w, b.Add(r, b.Add(back, b.Add(s, rcv))))
+	b.Ret(sum)
+	v := buildVM(t, vm.ConfigSVAGCC, m)
+	got, err := run(t, v, "kmain", hw.PrivKernel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// w=0, r=0, back='D'(68), s=0, rcv=5 → 73.
+	if got != 73 {
+		t.Errorf("disk/net = %d, want 73", got)
+	}
+}
+
+func TestUserCannotUsePrivilegedOps(t *testing.T) {
+	m := ir.NewModule("priv")
+	b := ir.NewBuilder(m)
+	b.NewFunc("user_evil", ir.FuncOf(ir.I64, nil, false))
+	b.Call(svaops.Get(m, svaops.MMUMap), ir.I64c(0), ir.I64c(0), ir.I64c(7))
+	b.Ret(ir.I64c(0))
+	v := buildVM(t, vm.ConfigSVAGCC, m)
+	f := v.FuncByName("user_evil")
+	ex, _ := v.NewExec(f, nil, testUserStackTop, hw.PrivUser)
+	v.SetExec(ex)
+	_, err := v.Run()
+	if err == nil || !strings.Contains(err.Error(), "privileged operation") {
+		t.Fatalf("user MMU op = %v", err)
+	}
+}
+
+func TestTimerInterruptDelivery(t *testing.T) {
+	m := ir.NewModule("timer")
+	b := ir.NewBuilder(m)
+	ticks := m.NewGlobal("ticks", ir.I64, ir.I64c(0))
+
+	b.NewFunc("timer_isr", ir.FuncOf(ir.Void, []*ir.Type{ir.I64, ir.I64}, false), "vec", "icp")
+	b.AtomicRMW(ir.RMWAdd, ticks, ir.I64c(1))
+	b.Ret(nil)
+
+	b.NewFunc("kmain", ir.FuncOf(ir.I64, nil, false))
+	b.Call(svaops.Get(m, svaops.RegisterInterrupt), ir.I64c(hw.VecTimer),
+		b.Bitcast(m.Func("timer_isr"), svaops.BytePtr))
+	b.Call(svaops.Get(m, svaops.TimerArm), ir.I64c(500))
+	b.Call(svaops.Get(m, svaops.IntrEnable), ir.I64c(1))
+	// Busy-wait until a few ticks land.
+	b.While(func() ir.Value {
+		return b.ICmp(ir.PredSLT, b.Load(ticks), ir.I64c(3))
+	}, func() {})
+	b.Ret(b.Load(ticks))
+
+	v := buildVM(t, vm.ConfigSVAGCC, m)
+	got, err := run(t, v, "kmain", hw.PrivKernel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 3 {
+		t.Errorf("ticks = %d, want >= 3", got)
+	}
+	if v.Mach.Timer.Ticks < 3 {
+		t.Errorf("timer ticks = %d", v.Mach.Timer.Ticks)
+	}
+}
+
+// A safety violation raised inside a syscall aborts the syscall with
+// EFAULT instead of killing the machine (the kernel-oops path).
+func TestViolationAbortsSyscall(t *testing.T) {
+	m := ir.NewModule("abort")
+	m.Metapools = append(m.Metapools, &ir.MetapoolDesc{Name: "MP0", Complete: true})
+	b := ir.NewBuilder(m)
+	buf := m.NewGlobal("kbuf", ir.ArrayOf(16, ir.I8), nil)
+
+	hsig := ir.FuncOf(ir.I64, []*ir.Type{ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64}, false)
+	b.NewFunc("sys_vuln", hsig, "icp", "a0", "a1", "a2", "a3", "a4", "a5")
+	p := b.Bitcast(buf, svaops.BytePtr)
+	b.Call(svaops.Get(m, svaops.ObjRegister), ir.I32c(0), p, ir.I64c(16))
+	// Index by the user-controlled argument: a0 = 100 escapes the object.
+	q := b.PtrAdd(p, b.Param(1))
+	b.Call(svaops.Get(m, svaops.BoundsCheck), ir.I32c(0), p, q)
+	b.Store(ir.I8c(65), q)
+	b.Ret(ir.I64c(0))
+
+	b.NewFunc("boot", ir.FuncOf(ir.I64, nil, false))
+	b.Call(svaops.Get(m, svaops.RegisterSyscall), ir.I64c(8),
+		b.Bitcast(m.Func("sys_vuln"), svaops.BytePtr))
+	b.Ret(ir.I64c(0))
+
+	b.NewFunc("user_main", ir.FuncOf(ir.I64, nil, false))
+	r := b.Call(svaops.Get(m, svaops.Trap), ir.I64c(8), ir.I64c(100),
+		ir.I64c(0), ir.I64c(0), ir.I64c(0), ir.I64c(0), ir.I64c(0))
+	b.Ret(r)
+
+	v := buildVM(t, vm.ConfigSafe, m)
+	if _, err := run(t, v, "boot", hw.PrivKernel, 0); err != nil {
+		t.Fatal(err)
+	}
+	kstack, _ := v.AllocKernelStack(64 * 1024)
+	f := v.FuncByName("user_main")
+	ex, _ := v.NewExec(f, nil, testUserStackTop, hw.PrivUser)
+	ex.SetKStackTop(kstack)
+	v.SetExec(ex)
+	got, err := v.Run()
+	if err != nil {
+		t.Fatalf("violation should abort the syscall, not the VM: %v", err)
+	}
+	if int64(got) != -14 {
+		t.Errorf("aborted syscall = %d, want -14 (EFAULT)", int64(got))
+	}
+	if len(v.Violations) != 1 {
+		t.Errorf("violations recorded = %d", len(v.Violations))
+	}
+	if ex.Priv() != hw.PrivUser {
+		t.Errorf("priv = %d after aborted syscall", ex.Priv())
+	}
+}
+
+// TestTrapSpillsControlState: in SVA configurations the SVM spills the
+// processor control state onto the kernel stack at trap entry (§3.3); the
+// native configuration's hand-written entry does not.
+func TestTrapSpillsControlState(t *testing.T) {
+	for _, cfg := range []vm.Config{vm.ConfigNative, vm.ConfigSVAGCC} {
+		v := buildVM(t, cfg, trapModule())
+		if _, err := run(t, v, "boot", hw.PrivKernel, 0); err != nil {
+			t.Fatal(err)
+		}
+		kstack, _ := v.AllocKernelStack(64 * 1024)
+		f := v.FuncByName("user_main")
+		ex, _ := v.NewExec(f, nil, testUserStackTop, hw.PrivUser)
+		ex.SetKStackTop(kstack)
+		// Make the spill detectable: nonzero PC and registers.
+		v.Mach.CPU.Int.PC = 0xABCD
+		v.Mach.CPU.Int.Regs[0] = 0x1234
+		v.SetExec(ex)
+		if _, err := v.Run(); err != nil {
+			t.Fatal(err)
+		}
+		spillArea, err := v.MemReadBytes(kstack-hw.IntegerStateSize, hw.IntegerStateSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nonzero := false
+		for _, b := range spillArea {
+			if b != 0 {
+				nonzero = true
+			}
+		}
+		if cfg == vm.ConfigNative && nonzero {
+			t.Error("native config spilled control state")
+		}
+		if cfg == vm.ConfigSVAGCC && !nonzero {
+			t.Error("SVA config did not spill control state at trap entry")
+		}
+	}
+}
+
+// TestSigreturnPattern exercises llva.icontext.load: a saved user context
+// is restored into a later trap's interrupt context, rewinding the user
+// program to the save point (the mechanism beneath sigreturn/longjmp).
+func TestSigreturnPattern(t *testing.T) {
+	m := ir.NewModule("sigret")
+	b := ir.NewBuilder(m)
+	stateBuf := m.NewGlobal("sr_state", ir.ArrayOf(256, ir.I8), nil)
+	counter := m.NewGlobal("sr_counter", ir.I64, ir.I64c(0))
+
+	hsig := ir.FuncOf(ir.I64, []*ir.Type{ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64}, false)
+	b.NewFunc("sys_save", hsig, "icp", "a0", "a1", "a2", "a3", "a4", "a5")
+	b.Call(svaops.Get(m, svaops.IContextSave), b.Param(0), b.Bitcast(stateBuf, svaops.BytePtr))
+	b.Ret(ir.I64c(1))
+
+	b.NewFunc("sys_restore", hsig, "icp", "a0", "a1", "a2", "a3", "a4", "a5")
+	b.Call(svaops.Get(m, svaops.IContextLoad), b.Param(0), b.Bitcast(stateBuf, svaops.BytePtr))
+	// The return value lands in the RESTORED context's pending trap slot:
+	// the user resumes after sys_save with this value.
+	b.Ret(ir.I64c(9))
+
+	b.NewFunc("boot", ir.FuncOf(ir.I64, nil, false))
+	b.Call(svaops.Get(m, svaops.RegisterSyscall), ir.I64c(20),
+		b.Bitcast(m.Func("sys_save"), svaops.BytePtr))
+	b.Call(svaops.Get(m, svaops.RegisterSyscall), ir.I64c(21),
+		b.Bitcast(m.Func("sys_restore"), svaops.BytePtr))
+	b.Ret(ir.I64c(0))
+
+	b.NewFunc("user_main", ir.FuncOf(ir.I64, nil, false))
+	r1 := b.Call(svaops.Get(m, svaops.Trap), ir.I64c(20), ir.I64c(0),
+		ir.I64c(0), ir.I64c(0), ir.I64c(0), ir.I64c(0), ir.I64c(0))
+	// Each resumption re-executes from here with memory preserved.
+	b.Store(b.Add(b.Load(counter), ir.I64c(1)), counter)
+	again := b.ICmp(ir.PredSLT, b.Load(counter), ir.I64c(3))
+	b.If(again, func() {
+		b.Call(svaops.Get(m, svaops.Trap), ir.I64c(21), ir.I64c(0),
+			ir.I64c(0), ir.I64c(0), ir.I64c(0), ir.I64c(0), ir.I64c(0))
+		b.Unreachable() // the restore never returns here
+	})
+	b.Ret(b.Add(b.Mul(b.Load(counter), ir.I64c(10)), r1))
+
+	v := buildVM(t, vm.ConfigSVAGCC, m)
+	if _, err := run(t, v, "boot", hw.PrivKernel, 0); err != nil {
+		t.Fatal(err)
+	}
+	kstack, _ := v.AllocKernelStack(64 * 1024)
+	f := v.FuncByName("user_main")
+	ex, _ := v.NewExec(f, nil, testUserStackTop, hw.PrivUser)
+	ex.SetKStackTop(kstack)
+	v.SetExec(ex)
+	got, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// counter reaches 3; the final pass sees r1 = 9 from the last restore.
+	if got != 39 {
+		t.Errorf("sigreturn pattern = %d, want 39", got)
+	}
+}

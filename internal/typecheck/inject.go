@@ -1,0 +1,201 @@
+package typecheck
+
+import (
+	"fmt"
+
+	"sva/internal/ir"
+)
+
+// BugKind enumerates the four classes of pointer-analysis bugs injected in
+// the paper's §5 experiment ("incorrect variable aliasing, incorrect
+// inter-node edges, incorrect claims of type homogeneity, and insufficient
+// merging of points-to graph nodes").  InjectBug plants one instance; the
+// checker must catch all of them.
+type BugKind int
+
+const (
+	// BugAliasing: a derived pointer is annotated with the wrong metapool.
+	BugAliasing BugKind = iota
+	// BugEdge: a metapool's declared pointee edge is corrupted.
+	BugEdge
+	// BugTHClaim: a type-homogeneity claim names the wrong element type.
+	BugTHClaim
+	// BugSplit: one partition is split in two without re-running the
+	// analysis (insufficient merging).
+	BugSplit
+)
+
+var bugNames = [...]string{"aliasing", "edge", "th-claim", "split"}
+
+func (k BugKind) String() string {
+	if int(k) < len(bugNames) {
+		return bugNames[k]
+	}
+	return fmt.Sprintf("bug(%d)", int(k))
+}
+
+// InjectBug plants the seed-th instance of the given bug kind into a
+// safety-compiled program, returning a description of what was corrupted.
+// ok is false when the program has no seed-th injection site of that kind.
+func InjectBug(kind BugKind, seed int, descs []*ir.MetapoolDesc, mods ...*ir.Module) (string, bool) {
+	switch kind {
+	case BugAliasing:
+		return injectAliasing(seed, descs, mods)
+	case BugEdge:
+		return injectEdge(seed, descs, mods)
+	case BugTHClaim:
+		return injectTHClaim(seed, descs, mods)
+	case BugSplit:
+		return injectSplit(seed, descs, mods)
+	}
+	return "", false
+}
+
+// compiledInstrs yields every instruction of safety-compiled functions.
+func compiledInstrs(mods []*ir.Module, visit func(f *ir.Function, in *ir.Instr) bool) {
+	for _, m := range mods {
+		for _, f := range m.Funcs {
+			if !f.SafetyCompiled {
+				continue
+			}
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if !visit(f, in) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+func otherPool(descs []*ir.MetapoolDesc, not string) string {
+	for _, d := range descs {
+		if d.Name != not {
+			return d.Name
+		}
+	}
+	return ""
+}
+
+func injectAliasing(seed int, descs []*ir.MetapoolDesc, mods []*ir.Module) (string, bool) {
+	var sites []*ir.Instr
+	compiledInstrs(mods, func(f *ir.Function, in *ir.Instr) bool {
+		if (in.Op == ir.OpBitcast || in.Op == ir.OpGEP) && in.Pool != "" && poolOf(in.Args[0]) == in.Pool {
+			sites = append(sites, in)
+		}
+		return true
+	})
+	if len(sites) == 0 {
+		return "", false
+	}
+	in := sites[seed%len(sites)]
+	wrong := otherPool(descs, in.Pool)
+	if wrong == "" {
+		return "", false
+	}
+	desc := fmt.Sprintf("reannotated %s result from %s to %s", in.Op, in.Pool, wrong)
+	in.Pool = wrong
+	return desc, true
+}
+
+func injectEdge(seed int, descs []*ir.MetapoolDesc, mods []*ir.Module) (string, bool) {
+	// Corrupt the pointee edge of a pool that a pointer load actually
+	// traverses, so the bug is semantically meaningful.
+	var pools []string
+	seen := map[string]bool{}
+	compiledInstrs(mods, func(f *ir.Function, in *ir.Instr) bool {
+		if in.Op == ir.OpLoad && in.Typ.IsPointer() && in.Pool != "" {
+			if sp := poolOf(in.Args[0]); sp != "" && !seen[sp] {
+				seen[sp] = true
+				pools = append(pools, sp)
+			}
+		}
+		return true
+	})
+	if len(pools) == 0 {
+		return "", false
+	}
+	name := pools[seed%len(pools)]
+	for _, d := range descs {
+		if d.Name == name {
+			wrong := otherPool(descs, d.Pointee)
+			old := d.Pointee
+			d.Pointee = wrong
+			return fmt.Sprintf("pool %s pointee edge %s -> %s", name, old, wrong), true
+		}
+	}
+	return "", false
+}
+
+func injectTHClaim(seed int, descs []*ir.MetapoolDesc, mods []*ir.Module) (string, bool) {
+	// Find TH pools with a typed registration (so the claim is checkable),
+	// then lie about the element type.
+	typed := map[string]bool{}
+	compiledInstrs(mods, func(f *ir.Function, in *ir.Instr) bool {
+		name, ok := in.IsIntrinsicCall()
+		if !ok || (name != "pchk.reg.obj" && name != "pchk.reg.stack") {
+			return true
+		}
+		src := in.Args[1]
+		if ci, okc := src.(*ir.Instr); okc && ci.Op == ir.OpBitcast {
+			src = ci.Args[0]
+		}
+		if t := src.Type(); t.IsPointer() && t.Elem() != ir.I8 {
+			if p := poolOf(src); p != "" {
+				typed[p] = true
+			}
+		}
+		return true
+	})
+	var candidates []*ir.MetapoolDesc
+	for _, d := range descs {
+		if d.TypeHomogeneous && d.ElemType != nil && typed[d.Name] {
+			candidates = append(candidates, d)
+		}
+	}
+	if len(candidates) == 0 {
+		return "", false
+	}
+	d := candidates[seed%len(candidates)]
+	old := d.ElemType
+	wrong := ir.StructOf(ir.I8, ir.I64, ir.I8) // a type no kernel object has
+	if old == wrong {
+		wrong = ir.StructOf(ir.I16, ir.I16)
+	}
+	d.ElemType = wrong
+	return fmt.Sprintf("pool %s TH element type %s -> %s", d.Name, old, wrong), true
+}
+
+func injectSplit(seed int, descs []*ir.MetapoolDesc, mods []*ir.Module) (string, bool) {
+	// Split: relabel one pointer load's result into a fresh clone of its
+	// pool, as if the analysis had failed to merge the two partitions.
+	var sites []*ir.Instr
+	compiledInstrs(mods, func(f *ir.Function, in *ir.Instr) bool {
+		if in.Op == ir.OpLoad && in.Typ.IsPointer() && in.Pool != "" && poolOf(in.Args[0]) != "" {
+			sites = append(sites, in)
+		}
+		return true
+	})
+	if len(sites) == 0 {
+		return "", false
+	}
+	in := sites[seed%len(sites)]
+	clone := *descsByName(descs, in.Pool)
+	clone.Name = in.Pool + ".split"
+	// The caller owns descs; the split pool is described but the edge
+	// structure no longer matches the annotations.
+	mods[0].Metapools = append(mods[0].Metapools, &clone)
+	old := in.Pool
+	in.Pool = clone.Name
+	return fmt.Sprintf("split pool %s: load result moved to %s", old, clone.Name), true
+}
+
+func descsByName(descs []*ir.MetapoolDesc, name string) *ir.MetapoolDesc {
+	for _, d := range descs {
+		if d.Name == name {
+			return d
+		}
+	}
+	return &ir.MetapoolDesc{Name: name}
+}

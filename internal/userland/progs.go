@@ -1,0 +1,177 @@
+package userland
+
+import (
+	"sva/internal/ir"
+)
+
+// BuildTestPrograms emits the syscall-battery programs used by the kernel
+// integration tests and the examples.  All programs share one module so
+// they can exec() each other.
+func BuildTestPrograms() *U {
+	u := New("usertest")
+	b := u.B
+
+	// hello(arg): open the console, print, return fd count sanity.
+	console := u.StrGlobal("s_console", "/dev/console")
+	hello := u.StrGlobal("s_hello", "hello from user\n")
+	u.Prog("hello")
+	fd := u.Open(console(), 0)
+	bad := b.ICmp(ir.PredSLT, fd, ir.I64c(0))
+	b.If(bad, func() { b.Ret(fd) })
+	n := u.Write(fd, hello(), ir.I64c(16))
+	u.Close(fd)
+	b.Ret(n)
+
+	// fileio(n): create a file, write n bytes, read them back, verify.
+	fname := u.StrGlobal("s_tmp", "/tmp/data")
+	u.Prog("fileio")
+	sz := b.Param(0)
+	base := u.Sbrk(ir.I64c(0x20000))
+	wbuf := base
+	rbuf := b.Add(base, ir.I64c(0x10000))
+	// Fill the write buffer with a pattern.
+	b.For("i", ir.I64c(0), sz, ir.I64c(1), func(i ir.Value) {
+		p := b.IntToPtr(b.Add(wbuf, i), ir.PointerTo(ir.I8))
+		b.Store(b.Trunc(b.And(i, ir.I64c(0xFF)), ir.I8), p)
+	})
+	fd2 := u.Open(fname(), 64|512) // O_CREAT|O_TRUNC
+	badf := b.ICmp(ir.PredSLT, fd2, ir.I64c(0))
+	b.If(badf, func() { b.Ret(ir.I64c(-100)) })
+	wr := u.Write(fd2, wbuf, sz)
+	short := b.ICmp(ir.PredNE, wr, sz)
+	b.If(short, func() { b.Ret(ir.I64c(-101)) })
+	u.Lseek(fd2, ir.I64c(0), ir.I64c(0))
+	rd := u.Read(fd2, rbuf, sz)
+	short2 := b.ICmp(ir.PredNE, rd, sz)
+	b.If(short2, func() { b.Ret(ir.I64c(-102)) })
+	u.Close(fd2)
+	// Verify.
+	b.For("i", ir.I64c(0), sz, ir.I64c(1), func(i ir.Value) {
+		a := b.Load(b.IntToPtr(b.Add(wbuf, i), ir.PointerTo(ir.I8)))
+		c := b.Load(b.IntToPtr(b.Add(rbuf, i), ir.PointerTo(ir.I8)))
+		diff := b.ICmp(ir.PredNE, a, c)
+		b.If(diff, func() { b.Ret(ir.I64c(-103)) })
+	})
+	u.Trap(10, fname()) // unlink
+	b.Ret(sz)
+
+	// forkwait(code): child exits with code; parent reaps it.
+	u.Prog("forkwait")
+	pid := u.Fork()
+	isChild := b.ICmp(ir.PredEQ, pid, ir.I64c(0))
+	b.If(isChild, func() {
+		u.Exit(b.Param(0))
+		b.Ret(ir.I64c(0)) // unreachable
+	})
+	errFork := b.ICmp(ir.PredSLT, pid, ir.I64c(0))
+	b.If(errFork, func() { b.Ret(pid) })
+	reaped := u.Waitpid(pid)
+	match := b.ICmp(ir.PredEQ, reaped, pid)
+	b.Ret(b.Select(match, pid, ir.I64c(-200)))
+
+	// pipeecho(n): fork; the child writes n patterned bytes into a pipe,
+	// the parent reads and checksums them.
+	u.Prog("pipeecho")
+	fdsBuf := b.Alloca(ir.ArrayOf(2, ir.I64), "fds")
+	rc := u.Pipe(u.Addr(fdsBuf))
+	badp := b.ICmp(ir.PredSLT, rc, ir.I64c(0))
+	b.If(badp, func() { b.Ret(rc) })
+	rfd := b.Load(b.Index(fdsBuf, ir.I32c(0)))
+	wfd := b.Load(b.Index(fdsBuf, ir.I32c(1)))
+	total := b.Param(0)
+	pid2 := u.Fork()
+	isChild2 := b.ICmp(ir.PredEQ, pid2, ir.I64c(0))
+	b.If(isChild2, func() {
+		// Child: stream the pattern through the pipe in 1KB chunks.
+		area := u.Sbrk(ir.I64c(4096))
+		b.For("i", ir.I64c(0), ir.I64c(1024), ir.I64c(1), func(i ir.Value) {
+			p := b.IntToPtr(b.Add(area, i), ir.PointerTo(ir.I8))
+			b.Store(b.Trunc(b.And(i, ir.I64c(0xFF)), ir.I8), p)
+		})
+		sent := b.Alloca(ir.I64, "sent")
+		b.Store(ir.I64c(0), sent)
+		b.While(func() ir.Value {
+			return b.ICmp(ir.PredULT, b.Load(sent), total)
+		}, func() {
+			left := b.Sub(total, b.Load(sent))
+			chunk := b.Select(b.ICmp(ir.PredULT, left, ir.I64c(1024)), left, ir.I64c(1024))
+			w := u.Write(wfd, area, chunk)
+			werr := b.ICmp(ir.PredSLE, w, ir.I64c(0))
+			b.If(werr, func() { u.Exit(ir.I64c(1)) })
+			b.Store(b.Add(b.Load(sent), w), sent)
+		})
+		u.Close(wfd)
+		u.Exit(ir.I64c(0))
+	})
+	// Parent: close the write end, drain the pipe.
+	u.Close(wfd)
+	area2 := u.Sbrk(ir.I64c(4096))
+	got := b.Alloca(ir.I64, "got")
+	sum := b.Alloca(ir.I64, "sum")
+	b.Store(ir.I64c(0), got)
+	b.Store(ir.I64c(0), sum)
+	b.Loop(func() {
+		r := u.Read(rfd, area2, ir.I64c(1024))
+		done := b.ICmp(ir.PredSLE, r, ir.I64c(0))
+		b.If(done, func() { b.Break() })
+		b.For("i", ir.I64c(0), r, ir.I64c(1), func(i ir.Value) {
+			v := b.Load(b.IntToPtr(b.Add(area2, i), ir.PointerTo(ir.I8)))
+			b.Store(b.Add(b.Load(sum), b.ZExt(v, ir.I64)), sum)
+		})
+		b.Store(b.Add(b.Load(got), r), got)
+	})
+	u.Close(rfd)
+	u.Waitpid(pid2)
+	// Return the byte count (the checksum is validated against it).
+	b.Ret(b.Load(got))
+
+	// sigping(sig): install a handler, signal self, observe the handler
+	// ran before the kill syscall returned.
+	sigSeen := u.M.NewGlobal("sig_seen", ir.I64, ir.I64c(0))
+	u.Fn("on_signal", ir.Void, []*ir.Type{ir.I64}, "sig")
+	b.Store(b.Param(0), sigSeen)
+	b.Ret(nil)
+	u.Prog("sigping")
+	h := b.PtrToInt(u.M.Func("on_signal"), ir.I64)
+	u.Sigaction(b.Param(0), h)
+	me := u.GetPID()
+	u.Kill(me, b.Param(0))
+	b.Ret(b.Load(sigSeen))
+
+	// execchild(arg) / execer(arg): exec replaces the image.
+	u.Prog("execchild")
+	b.Ret(b.Add(b.Param(0), ir.I64c(1000)))
+	childName := u.StrGlobal("s_execchild", "execchild")
+	u.Prog("execer")
+	pid3 := u.Fork()
+	isChild3 := b.ICmp(ir.PredEQ, pid3, ir.I64c(0))
+	b.If(isChild3, func() {
+		u.Exec(childName(), b.Param(0))
+		u.Exit(ir.I64c(-1)) // exec failed
+	})
+	r2 := u.Waitpid(pid3)
+	b.Ret(r2)
+
+	// brkprobe(n): grow the heap and touch it.
+	u.Prog("brkprobe")
+	old := u.Sbrk(b.Param(0))
+	bado := b.ICmp(ir.PredSLT, old, ir.I64c(0))
+	b.If(bado, func() { b.Ret(old) })
+	b.For("i", ir.I64c(0), b.Param(0), ir.I64c(64), func(i ir.Value) {
+		p := b.IntToPtr(b.Add(old, i), ir.PointerTo(ir.I64))
+		b.Store(i, p)
+	})
+	b.Ret(old)
+
+	// timeprobe: gettimeofday twice, return the (non-negative) delta.
+	u.Prog("timeprobe")
+	tv := b.Alloca(ir.ArrayOf(2, ir.I64), "tv")
+	u.GetTimeofday(u.Addr(tv))
+	first := b.Load(b.Index(tv, ir.I32c(1)))
+	u.GetTimeofday(u.Addr(tv))
+	second := b.Load(b.Index(tv, ir.I32c(1)))
+	b.Ret(b.ZExt(b.ICmp(ir.PredUGE, second, first), ir.I64))
+
+	u.SealAll()
+	return u
+}

@@ -1,0 +1,129 @@
+// Package userland builds user-space modules for the guest kernel: the C
+// library analogue (syscall stubs over sva.trap, the only legal way into
+// the kernel) and the programs used by tests, examples, the HBench-OS
+// harness and the exploit suite.  User modules load into the user segment
+// of the address space and run at user privilege.
+package userland
+
+import (
+	"sva/internal/abi"
+	"sva/internal/ir"
+	"sva/internal/svaops"
+)
+
+// U is a user-module build context.
+type U struct {
+	M *ir.Module
+	B *ir.Builder
+}
+
+// New creates a user module.
+func New(name string) *U {
+	m := ir.NewModule(name)
+	return &U{M: m, B: ir.NewBuilder(m)}
+}
+
+// EntrySig is the signature of user program entry points: i64 main(i64 arg).
+func EntrySig() *ir.Type { return ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false) }
+
+// Prog starts a program entry function and also emits "<name>.start", a
+// crt0-style wrapper that calls it and issues the exit syscall with its
+// return value — the entry point the kernel's exec() uses.
+func (u *U) Prog(name string) *ir.Function {
+	f := u.B.NewFunc(name, EntrySig(), "arg")
+	f.Subsystem = "user"
+	w := u.M.NewFunc(name+".start", EntrySig())
+	w.Subsystem = "user"
+	u.B.SetFunc(w)
+	r := u.B.Call(f, u.B.Param(0))
+	u.Trap(abi.SysExit, r)
+	u.B.Unreachable()
+	u.B.SetFunc(f)
+	return f
+}
+
+// SealAll seals every function in the module (terminating dead blocks).
+func (u *U) SealAll() {
+	cur := u.B.Fn
+	for _, f := range u.M.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		u.B.Fn = f
+		u.B.Seal()
+	}
+	u.B.Fn = cur
+}
+
+// Fn starts an arbitrary user function.
+func (u *U) Fn(name string, ret *ir.Type, params []*ir.Type, names ...string) *ir.Function {
+	f := u.B.NewFunc(name, ir.FuncOf(ret, params, false), names...)
+	f.Subsystem = "user"
+	return f
+}
+
+// Trap emits a system call; missing arguments are zero-filled.
+func (u *U) Trap(num int64, args ...ir.Value) *ir.Instr {
+	full := make([]ir.Value, 7)
+	full[0] = ir.I64c(num)
+	for i := 0; i < 6; i++ {
+		if i < len(args) {
+			full[i+1] = args[i]
+		} else {
+			full[i+1] = ir.I64c(0)
+		}
+	}
+	return u.B.Call(svaops.Get(u.M, svaops.Trap), full...)
+}
+
+// Common syscall wrappers (emitted inline at each use, like static-inline
+// stubs in a C library).
+
+func (u *U) Exit(code ir.Value) { u.Trap(abi.SysExit, code) }
+
+func (u *U) GetPID() *ir.Instr { return u.Trap(abi.SysGetpid) }
+
+func (u *U) Fork() *ir.Instr { return u.Trap(abi.SysFork) }
+
+func (u *U) Waitpid(pid ir.Value) *ir.Instr { return u.Trap(abi.SysWaitpid, pid) }
+
+func (u *U) Open(name ir.Value, flags int64) *ir.Instr {
+	return u.Trap(abi.SysOpen, name, ir.I64c(flags))
+}
+
+func (u *U) Close(fd ir.Value) *ir.Instr { return u.Trap(abi.SysClose, fd) }
+
+func (u *U) Read(fd, buf, n ir.Value) *ir.Instr { return u.Trap(abi.SysRead, fd, buf, n) }
+
+func (u *U) Write(fd, buf, n ir.Value) *ir.Instr { return u.Trap(abi.SysWrite, fd, buf, n) }
+
+func (u *U) Lseek(fd, off, whence ir.Value) *ir.Instr {
+	return u.Trap(abi.SysLseek, fd, off, whence)
+}
+
+func (u *U) Pipe(fdsAddr ir.Value) *ir.Instr { return u.Trap(abi.SysPipe, fdsAddr) }
+
+func (u *U) Sbrk(incr ir.Value) *ir.Instr { return u.Trap(abi.SysBrk, incr) }
+
+func (u *U) Sigaction(sig, handler ir.Value) *ir.Instr {
+	return u.Trap(abi.SysSigaction, sig, handler)
+}
+
+func (u *U) Kill(pid, sig ir.Value) *ir.Instr { return u.Trap(abi.SysKill, pid, sig) }
+
+func (u *U) Exec(name, arg ir.Value) *ir.Instr { return u.Trap(abi.SysExecve, name, arg) }
+
+func (u *U) GetTimeofday(buf ir.Value) *ir.Instr { return u.Trap(abi.SysGettimeofday, buf) }
+
+func (u *U) GetRusage(buf ir.Value) *ir.Instr { return u.Trap(abi.SysGetrusage, buf) }
+
+// Addr yields the integer address of a pointer value (user buffers cross
+// the trap boundary as integers).
+func (u *U) Addr(p ir.Value) ir.Value { return u.B.PtrToInt(p, ir.I64) }
+
+// StrGlobal creates a user global holding a NUL-terminated string and
+// returns its address as an i64 value.
+func (u *U) StrGlobal(name, s string) func() ir.Value {
+	g := u.M.NewGlobal(name, ir.ArrayOf(len(s)+1, ir.I8), &ir.ConstString{S: s})
+	return func() ir.Value { return u.B.PtrToInt(g, ir.I64) }
+}

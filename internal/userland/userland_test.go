@@ -1,0 +1,43 @@
+package userland
+
+import (
+	"testing"
+
+	"sva/internal/ir"
+)
+
+func TestTestProgramsVerify(t *testing.T) {
+	u := BuildTestPrograms()
+	if errs := ir.VerifyModule(u.M); len(errs) != 0 {
+		t.Fatalf("%v", errs[0])
+	}
+	// Every program must have a crt0 wrapper for exec().
+	for _, name := range []string{"hello", "fileio", "forkwait", "pipeecho", "sigping", "execer", "brkprobe", "timeprobe"} {
+		if u.M.Func(name) == nil {
+			t.Errorf("program %s missing", name)
+		}
+		if u.M.Func(name+".start") == nil {
+			t.Errorf("crt0 wrapper for %s missing", name)
+		}
+	}
+}
+
+func TestTrapPadsArguments(t *testing.T) {
+	u := New("t")
+	u.Prog("p")
+	call := u.Trap(42, ir.I64c(1))
+	u.B.Ret(call)
+	u.SealAll()
+	if len(call.Args) != 7 {
+		t.Fatalf("trap args = %d, want 7 (num + 6 zero-padded)", len(call.Args))
+	}
+	if c, ok := call.Args[0].(*ir.ConstInt); !ok || c.SignedValue() != 42 {
+		t.Error("syscall number not first")
+	}
+	if c, ok := call.Args[6].(*ir.ConstInt); !ok || c.SignedValue() != 0 {
+		t.Error("missing args not zero-padded")
+	}
+	if errs := ir.VerifyModule(u.M); len(errs) != 0 {
+		t.Fatal(errs[0])
+	}
+}

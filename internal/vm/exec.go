@@ -1,0 +1,1073 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sva/internal/hw"
+	"sva/internal/ir"
+	"sva/internal/metapool"
+)
+
+// Frame is one activation record on the virtual CPU's explicit call stack.
+type Frame struct {
+	fn     *ir.Function
+	cf     *compiledFunc // pre-lowered form (translated configs)
+	regs   []uint64      // virtual registers indexed by instruction number
+	params []uint64
+	block  int // index of the current basic block
+	idx    int // index of the next instruction within the block
+	prev   int // previously executed block (for phi resolution)
+	spBase uint64
+	retTo  int  // register slot in the caller for the return value (-1: none)
+	icTop  bool // popping this frame also pops an interrupt context
+	// cleanups are stack-object registrations dropped when the frame pops.
+	cleanups []stackObj
+}
+
+// stackObj is one frame-scoped object registration (pchk.reg.stack).
+type stackObj struct {
+	pool int
+	addr uint64
+}
+
+// dropCleanups deregisters a frame's stack objects.
+func (vm *VM) dropCleanups(fr *Frame) {
+	for _, c := range fr.cleanups {
+		_ = vm.Pools.Pool(c.pool).Drop(c.addr)
+	}
+	fr.cleanups = nil
+}
+
+// IContext is an interrupt context (paper §3.3, Table 2): the interrupted
+// control state the SVM saves on kernel entry, manipulated by the guest
+// through an opaque handle.
+type IContext struct {
+	frameIdx  int // frames[:frameIdx] is the interrupted continuation
+	savedSP   uint64
+	savedPriv uint8
+	retSlot   int // register slot in frames[frameIdx-1] for the trap result
+	// pending holds functions pushed by llva.ipush.function, run in the
+	// interrupted context's privilege when the icontext resumes (signal
+	// handler dispatch).
+	pending []pendingCall
+}
+
+type pendingCall struct {
+	fn   *ir.Function
+	args []uint64
+}
+
+// Exec is the full execution state of the virtual CPU: an explicit frame
+// stack plus privilege, stack pointer and the interrupt-context stack.
+// llva.save.integer snapshots an Exec; llva.load.integer installs one.
+type Exec struct {
+	frames    []*Frame
+	sp        uint64
+	priv      uint8
+	kstackTop uint64
+	ics       []*IContext
+	done      bool
+	retVal    uint64
+}
+
+// Continuation is a saved copy of an Exec.  retSlot tracks which register
+// of its top frame receives a pending trap result (-1: none), so the guest
+// can overwrite a forked child's syscall return value.
+type Continuation struct {
+	ex      Exec
+	retSlot int
+}
+
+// clone deep-copies the execution state.
+func (e *Exec) clone() *Exec {
+	cp := &Exec{
+		sp:        e.sp,
+		priv:      e.priv,
+		kstackTop: e.kstackTop,
+		done:      e.done,
+		retVal:    e.retVal,
+	}
+	cp.frames = make([]*Frame, len(e.frames))
+	for i, f := range e.frames {
+		nf := *f
+		nf.regs = append([]uint64(nil), f.regs...)
+		nf.params = append([]uint64(nil), f.params...)
+		nf.cleanups = append([]stackObj(nil), f.cleanups...)
+		cp.frames[i] = &nf
+	}
+	cp.ics = make([]*IContext, len(e.ics))
+	for i, ic := range e.ics {
+		nic := *ic
+		nic.pending = append([]pendingCall(nil), ic.pending...)
+		cp.ics[i] = &nic
+	}
+	return cp
+}
+
+// GuestFault is a hardware-level fault raised by guest execution (null
+// dereference, privilege violation, division by zero, bad function
+// pointer).
+type GuestFault struct {
+	Kind string
+	Addr uint64
+	PC   string
+}
+
+func (f *GuestFault) Error() string {
+	return fmt.Sprintf("guest fault: %s at %#x (%s)", f.Kind, f.Addr, f.PC)
+}
+
+// ErrStepBudget is returned when execution exceeds the VM's step budget.
+var ErrStepBudget = errors.New("vm: step budget exhausted")
+
+// NewExec creates an execution state that calls fn(args) with the given
+// stack top and privilege.  It does not install it; see SetExec.
+func (vm *VM) NewExec(fn *ir.Function, args []uint64, stackTop uint64, priv uint8) (*Exec, error) {
+	if fn.IsDecl() {
+		return nil, fmt.Errorf("vm: cannot execute body-less @%s", fn.Nm)
+	}
+	if len(args) != len(fn.Params) {
+		return nil, fmt.Errorf("vm: @%s expects %d args, got %d", fn.Nm, len(fn.Params), len(args))
+	}
+	ex := &Exec{sp: stackTop, priv: priv, kstackTop: stackTop}
+	fr := &Frame{
+		fn:     fn,
+		regs:   make([]uint64, fn.NumInstrs()),
+		params: append([]uint64(nil), args...),
+		spBase: stackTop,
+		retTo:  -1,
+	}
+	if vm.Cfg.Translated() {
+		cf, err := vm.translate(fn)
+		if err != nil {
+			return nil, err
+		}
+		fr.cf = cf
+	}
+	ex.frames = append(ex.frames, fr)
+	return ex, nil
+}
+
+// SetExec installs an execution state as the virtual CPU's current state.
+func (vm *VM) SetExec(e *Exec) {
+	vm.cur = e
+	if e != nil {
+		vm.Mach.CPU.Int.Priv = e.priv
+		vm.Mach.CPU.Int.SP = e.sp
+	}
+}
+
+// Exec returns the current execution state.
+func (vm *VM) Exec() *Exec { return vm.cur }
+
+// fnMeta caches derived per-function data.
+type fnMeta struct {
+	blockIdx map[*ir.BasicBlock]int
+}
+
+var fnMetaCache = map[*ir.Function]*fnMeta{}
+
+func meta(f *ir.Function) *fnMeta {
+	if m, ok := fnMetaCache[f]; ok {
+		return m
+	}
+	m := &fnMeta{blockIdx: make(map[*ir.BasicBlock]int, len(f.Blocks))}
+	for i, b := range f.Blocks {
+		m.blockIdx[b] = i
+	}
+	fnMetaCache[f] = m
+	return m
+}
+
+// eval resolves an operand value within a frame.
+func (vm *VM) eval(fr *Frame, v ir.Value) (uint64, error) {
+	switch v := v.(type) {
+	case *ir.Instr:
+		return fr.regs[v.Num()], nil
+	case *ir.ConstInt:
+		return v.V, nil
+	case *ir.Param:
+		return fr.params[v.Idx], nil
+	case *ir.ConstNull:
+		return 0, nil
+	case *ir.ConstFloat:
+		return v.Bits(), nil
+	case *ir.ConstUndef:
+		return 0, nil
+	case *ir.Global:
+		a, ok := vm.globalAddr[v]
+		if !ok {
+			return 0, fmt.Errorf("vm: unresolved global @%s", v.Nm)
+		}
+		return a, nil
+	case *ir.Function:
+		a, ok := vm.funcAddr[v]
+		if !ok {
+			return 0, fmt.Errorf("vm: unresolved function @%s", v.Nm)
+		}
+		return a, nil
+	case *ir.GlobalAddr:
+		return vm.constAddr(v)
+	}
+	return 0, fmt.Errorf("vm: unsupported operand %T", v)
+}
+
+// checkAccess enforces the hardware-level access rules: the null guard
+// page, the SVM's protected reserve, and user/kernel separation.
+func (vm *VM) checkAccess(addr uint64, size int, write bool) error {
+	end := addr + uint64(size)
+	if addr < NullGuardTop {
+		return &GuestFault{Kind: "null dereference", Addr: addr}
+	}
+	if addr < SVMTop && end > SVMBase {
+		return &GuestFault{Kind: "access to SVM-protected memory", Addr: addr}
+	}
+	if vm.cur != nil && vm.cur.priv == hw.PrivUser {
+		if addr < UserBase || end > UserTop {
+			return &GuestFault{Kind: "user access to supervisor memory", Addr: addr}
+		}
+	}
+	return nil
+}
+
+func (vm *VM) memLoad(addr uint64, size int) (uint64, error) {
+	if err := vm.checkAccess(addr, size, false); err != nil {
+		return 0, err
+	}
+	vm.Counters.MemOps++
+	return vm.Mach.Phys.Load(addr, size)
+}
+
+func (vm *VM) memStore(addr uint64, v uint64, size int) error {
+	if err := vm.checkAccess(addr, size, true); err != nil {
+		return err
+	}
+	vm.Counters.MemOps++
+	return vm.Mach.Phys.Store(addr, v, size)
+}
+
+// MemReadBytes copies guest memory for host-side inspection (no privilege
+// checks; used by intrinsics and tests).
+func (vm *VM) MemReadBytes(addr uint64, n int) ([]byte, error) {
+	buf := make([]byte, n)
+	if err := vm.Mach.Phys.ReadAt(addr, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// MemWriteBytes writes guest memory directly (host-side).
+func (vm *VM) MemWriteBytes(addr uint64, p []byte) error {
+	return vm.Mach.Phys.WriteAt(addr, p)
+}
+
+// ReadCString reads a NUL-terminated string from guest memory (bounded).
+func (vm *VM) ReadCString(addr uint64, max int) (string, error) {
+	var out []byte
+	for i := 0; i < max; i++ {
+		b, err := vm.Mach.Phys.Load(addr+uint64(i), 1)
+		if err != nil {
+			return "", err
+		}
+		if b == 0 {
+			break
+		}
+		out = append(out, byte(b))
+	}
+	return string(out), nil
+}
+
+// Run interprets the current execution state until it completes, the VM
+// halts, the step budget is exhausted, or an unrecoverable error occurs.
+func (vm *VM) Run() (uint64, error) {
+	for {
+		if vm.Halted {
+			return vm.ExitCode, nil
+		}
+		if vm.cur == nil {
+			return 0, fmt.Errorf("vm: no execution state installed")
+		}
+		if vm.cur.done {
+			return vm.cur.retVal, nil
+		}
+		if vm.StepBudget != 0 && vm.Counters.Steps >= vm.StepBudget {
+			return 0, ErrStepBudget
+		}
+		if err := vm.step(); err != nil {
+			if !vm.handleGuestError(err) {
+				return 0, err
+			}
+		}
+		if vm.Counters.Steps&0x3F == 0 {
+			vm.pollInterrupts()
+		}
+	}
+}
+
+// pollInterrupts advances the timer and delivers one pending interrupt if
+// the controller is enabled and a handler is registered.
+func (vm *VM) pollInterrupts() {
+	vm.Mach.Timer.Advance(vm.Counters.Steps, vm.Mach.Intr)
+	if vm.cur == nil || vm.cur.done {
+		return
+	}
+	vec := vm.Mach.Intr.Next()
+	if vec < 0 {
+		return
+	}
+	h := vm.interrupts[int64(vec)]
+	if h == nil {
+		return // spurious interrupt: dropped
+	}
+	vm.Counters.Traps++
+	icp := vm.pushIContext(-1)
+	vm.pushCall(h, []uint64{uint64(vec), icp}, -1, true)
+}
+
+// step executes one instruction of the current frame.
+func (vm *VM) step() error {
+	ex := vm.cur
+	fr := ex.frames[len(ex.frames)-1]
+	blocks := fr.fn.Blocks
+	if fr.block >= len(blocks) || fr.idx >= len(blocks[fr.block].Instrs) {
+		return fmt.Errorf("vm: pc fell off block in @%s", fr.fn.Nm)
+	}
+	in := blocks[fr.block].Instrs[fr.idx]
+	var ops []coperand
+	if fr.cf != nil {
+		ops = fr.cf.ops[fr.block][fr.idx]
+	}
+	fr.idx++
+	vm.Counters.Steps++
+	if ex.priv == hw.PrivKernel {
+		vm.Counters.KSteps++
+	}
+	vm.Mach.CPU.Cycles++
+	if fr.cf == nil && vm.Counters.Steps&(1<<CycDirectPenaltyShift-1) == 0 {
+		// Untranslated code: the §3.4 translator's output is slightly
+		// better than the direct path (the gcc/llvm delta of Table 5).
+		vm.Mach.CPU.Cycles++
+	}
+	return vm.exec(ex, fr, in, ops)
+}
+
+// arg resolves the i'th operand, via the pre-lowered form when available.
+func (vm *VM) arg(fr *Frame, in *ir.Instr, ops []coperand, i int) (uint64, error) {
+	if ops != nil {
+		return fr.fastEval(ops[i]), nil
+	}
+	return vm.eval(fr, in.Args[i])
+}
+
+func (vm *VM) exec(ex *Exec, fr *Frame, in *ir.Instr, ops []coperand) error {
+	var layout ir.Layout
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpUDiv, ir.OpSDiv, ir.OpURem,
+		ir.OpSRem, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpLShr, ir.OpAShr:
+		x, err := vm.arg(fr, in, ops, 0)
+		if err != nil {
+			return err
+		}
+		y, err := vm.arg(fr, in, ops, 1)
+		if err != nil {
+			return err
+		}
+		v, err := evalIntBinop(in.Op, x, y, in.Typ.Bits())
+		if err != nil {
+			return err
+		}
+		fr.regs[in.Num()] = v
+
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv:
+		x, err := vm.arg(fr, in, ops, 0)
+		if err != nil {
+			return err
+		}
+		y, err := vm.arg(fr, in, ops, 1)
+		if err != nil {
+			return err
+		}
+		fx, fy := math.Float64frombits(x), math.Float64frombits(y)
+		var r float64
+		switch in.Op {
+		case ir.OpFAdd:
+			r = fx + fy
+		case ir.OpFSub:
+			r = fx - fy
+		case ir.OpFMul:
+			r = fx * fy
+		case ir.OpFDiv:
+			r = fx / fy
+		}
+		fr.regs[in.Num()] = math.Float64bits(r)
+		vm.Mach.CPU.FP.Dirty = true
+
+	case ir.OpICmp:
+		x, err := vm.arg(fr, in, ops, 0)
+		if err != nil {
+			return err
+		}
+		y, err := vm.arg(fr, in, ops, 1)
+		if err != nil {
+			return err
+		}
+		bits := 64
+		if in.Args[0].Type().IsInt() {
+			bits = in.Args[0].Type().Bits()
+		}
+		fr.regs[in.Num()] = boolVal(evalICmp(in.Pred, x, y, bits))
+
+	case ir.OpFCmp:
+		x, err := vm.arg(fr, in, ops, 0)
+		if err != nil {
+			return err
+		}
+		y, err := vm.arg(fr, in, ops, 1)
+		if err != nil {
+			return err
+		}
+		fr.regs[in.Num()] = boolVal(evalFCmp(in.Pred, math.Float64frombits(x), math.Float64frombits(y)))
+
+	case ir.OpBr:
+		return vm.enterBlock(fr, in.Blocks[0])
+
+	case ir.OpCondBr:
+		c, err := vm.arg(fr, in, ops, 0)
+		if err != nil {
+			return err
+		}
+		if c&1 != 0 {
+			return vm.enterBlock(fr, in.Blocks[0])
+		}
+		return vm.enterBlock(fr, in.Blocks[1])
+
+	case ir.OpSwitch:
+		v, err := vm.arg(fr, in, ops, 0)
+		if err != nil {
+			return err
+		}
+		target := in.Blocks[0]
+		for i := 1; i < len(in.Args); i++ {
+			if in.Args[i].(*ir.ConstInt).V == v {
+				target = in.Blocks[i]
+				break
+			}
+		}
+		return vm.enterBlock(fr, target)
+
+	case ir.OpRet:
+		var v uint64
+		if len(in.Args) == 1 {
+			var err error
+			v, err = vm.arg(fr, in, ops, 0)
+			if err != nil {
+				return err
+			}
+		}
+		return vm.popFrame(v)
+
+	case ir.OpUnreachable:
+		return &GuestFault{Kind: "unreachable executed", PC: fr.fn.Nm}
+
+	case ir.OpPhi:
+		// Phis are evaluated by enterBlock; reaching one directly means
+		// the entry block starts with a phi, which the verifier rejects.
+		return fmt.Errorf("vm: phi executed directly in @%s", fr.fn.Nm)
+
+	case ir.OpAlloca:
+		count := uint64(1)
+		if len(in.Args) == 1 {
+			c, err := vm.arg(fr, in, ops, 0)
+			if err != nil {
+				return err
+			}
+			count = c
+		}
+		size := uint64(layout.Size(in.AllocTy)) * count
+		size = uint64(ir.AlignUp(int64(size), 16))
+		ex.sp -= size
+		addr := ex.sp
+		if err := vm.Mach.Phys.Zero(addr, size); err != nil {
+			return err
+		}
+		fr.regs[in.Num()] = addr
+
+	case ir.OpLoad:
+		p, err := vm.arg(fr, in, ops, 0)
+		if err != nil {
+			return err
+		}
+		v, err := vm.memLoad(p, int(layout.Size(in.Typ)))
+		if err != nil {
+			return err
+		}
+		fr.regs[in.Num()] = v
+
+	case ir.OpStore:
+		v, err := vm.arg(fr, in, ops, 0)
+		if err != nil {
+			return err
+		}
+		p, err := vm.arg(fr, in, ops, 1)
+		if err != nil {
+			return err
+		}
+		return vm.memStore(p, v, int(layout.Size(in.Args[0].Type())))
+
+	case ir.OpGEP:
+		base, err := vm.arg(fr, in, ops, 0)
+		if err != nil {
+			return err
+		}
+		off, err := vm.gepOffset(fr, in)
+		if err != nil {
+			return err
+		}
+		fr.regs[in.Num()] = base + uint64(off)
+
+	case ir.OpCall:
+		return vm.execCall(ex, fr, in, ops)
+
+	case ir.OpTrunc:
+		v, err := vm.arg(fr, in, ops, 0)
+		if err != nil {
+			return err
+		}
+		fr.regs[in.Num()] = ir.Truncate(v, in.Typ.Bits())
+	case ir.OpZExt:
+		v, err := vm.arg(fr, in, ops, 0)
+		if err != nil {
+			return err
+		}
+		fr.regs[in.Num()] = v // invariant: already truncated to source width
+	case ir.OpSExt:
+		v, err := vm.arg(fr, in, ops, 0)
+		if err != nil {
+			return err
+		}
+		fr.regs[in.Num()] = ir.Truncate(uint64(ir.SignExtend(v, in.Args[0].Type().Bits())), in.Typ.Bits())
+	case ir.OpPtrToInt:
+		v, err := vm.arg(fr, in, ops, 0)
+		if err != nil {
+			return err
+		}
+		fr.regs[in.Num()] = ir.Truncate(v, in.Typ.Bits())
+	case ir.OpIntToPtr:
+		v, err := vm.arg(fr, in, ops, 0)
+		if err != nil {
+			return err
+		}
+		fr.regs[in.Num()] = v
+	case ir.OpBitcast:
+		v, err := vm.arg(fr, in, ops, 0)
+		if err != nil {
+			return err
+		}
+		fr.regs[in.Num()] = v
+	case ir.OpSIToFP:
+		v, err := vm.arg(fr, in, ops, 0)
+		if err != nil {
+			return err
+		}
+		fr.regs[in.Num()] = math.Float64bits(float64(ir.SignExtend(v, in.Args[0].Type().Bits())))
+	case ir.OpFPToSI:
+		v, err := vm.arg(fr, in, ops, 0)
+		if err != nil {
+			return err
+		}
+		fr.regs[in.Num()] = ir.Truncate(uint64(int64(math.Float64frombits(v))), in.Typ.Bits())
+
+	case ir.OpSelect:
+		c, err := vm.arg(fr, in, ops, 0)
+		if err != nil {
+			return err
+		}
+		var v uint64
+		if c&1 != 0 {
+			v, err = vm.arg(fr, in, ops, 1)
+		} else {
+			v, err = vm.arg(fr, in, ops, 2)
+		}
+		if err != nil {
+			return err
+		}
+		fr.regs[in.Num()] = v
+
+	case ir.OpCmpXchg:
+		p, err := vm.arg(fr, in, ops, 0)
+		if err != nil {
+			return err
+		}
+		expected, err := vm.arg(fr, in, ops, 1)
+		if err != nil {
+			return err
+		}
+		repl, err := vm.arg(fr, in, ops, 2)
+		if err != nil {
+			return err
+		}
+		size := int(layout.Size(in.Typ))
+		old, err := vm.memLoad(p, size)
+		if err != nil {
+			return err
+		}
+		if old == expected {
+			if err := vm.memStore(p, repl, size); err != nil {
+				return err
+			}
+		}
+		fr.regs[in.Num()] = old
+
+	case ir.OpAtomicRMW:
+		p, err := vm.arg(fr, in, ops, 0)
+		if err != nil {
+			return err
+		}
+		v, err := vm.arg(fr, in, ops, 1)
+		if err != nil {
+			return err
+		}
+		size := int(layout.Size(in.Typ))
+		old, err := vm.memLoad(p, size)
+		if err != nil {
+			return err
+		}
+		var nv uint64
+		switch in.RMW {
+		case ir.RMWAdd:
+			nv = old + v
+		case ir.RMWSub:
+			nv = old - v
+		case ir.RMWXchg:
+			nv = v
+		case ir.RMWAnd:
+			nv = old & v
+		case ir.RMWOr:
+			nv = old | v
+		}
+		if err := vm.memStore(p, ir.Truncate(nv, in.Typ.Bits()), size); err != nil {
+			return err
+		}
+		fr.regs[in.Num()] = old
+
+	case ir.OpFence:
+		// Single virtual CPU: a fence is ordering-only.
+
+	default:
+		return fmt.Errorf("vm: unimplemented opcode %s", in.Op)
+	}
+	return nil
+}
+
+func boolVal(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func evalIntBinop(op ir.Op, x, y uint64, bits int) (uint64, error) {
+	var r uint64
+	switch op {
+	case ir.OpAdd:
+		r = x + y
+	case ir.OpSub:
+		r = x - y
+	case ir.OpMul:
+		r = x * y
+	case ir.OpUDiv:
+		if y == 0 {
+			return 0, &GuestFault{Kind: "division by zero"}
+		}
+		r = x / y
+	case ir.OpSDiv:
+		if y == 0 {
+			return 0, &GuestFault{Kind: "division by zero"}
+		}
+		r = uint64(ir.SignExtend(x, bits) / ir.SignExtend(y, bits))
+	case ir.OpURem:
+		if y == 0 {
+			return 0, &GuestFault{Kind: "division by zero"}
+		}
+		r = x % y
+	case ir.OpSRem:
+		if y == 0 {
+			return 0, &GuestFault{Kind: "division by zero"}
+		}
+		r = uint64(ir.SignExtend(x, bits) % ir.SignExtend(y, bits))
+	case ir.OpAnd:
+		r = x & y
+	case ir.OpOr:
+		r = x | y
+	case ir.OpXor:
+		r = x ^ y
+	case ir.OpShl:
+		r = x << (y & 63)
+	case ir.OpLShr:
+		r = x >> (y & 63)
+	case ir.OpAShr:
+		r = uint64(ir.SignExtend(x, bits) >> (y & 63))
+	}
+	return ir.Truncate(r, bits), nil
+}
+
+func evalICmp(p ir.Pred, x, y uint64, bits int) bool {
+	sx, sy := ir.SignExtend(x, bits), ir.SignExtend(y, bits)
+	switch p {
+	case ir.PredEQ:
+		return x == y
+	case ir.PredNE:
+		return x != y
+	case ir.PredULT:
+		return x < y
+	case ir.PredULE:
+		return x <= y
+	case ir.PredUGT:
+		return x > y
+	case ir.PredUGE:
+		return x >= y
+	case ir.PredSLT:
+		return sx < sy
+	case ir.PredSLE:
+		return sx <= sy
+	case ir.PredSGT:
+		return sx > sy
+	case ir.PredSGE:
+		return sx >= sy
+	}
+	return false
+}
+
+func evalFCmp(p ir.Pred, x, y float64) bool {
+	switch p {
+	case ir.PredEQ:
+		return x == y
+	case ir.PredNE:
+		return x != y
+	case ir.PredULT, ir.PredSLT:
+		return x < y
+	case ir.PredULE, ir.PredSLE:
+		return x <= y
+	case ir.PredUGT, ir.PredSGT:
+		return x > y
+	case ir.PredUGE, ir.PredSGE:
+		return x >= y
+	}
+	return false
+}
+
+// enterBlock transfers control to target, resolving its phi nodes.
+func (vm *VM) enterBlock(fr *Frame, target *ir.BasicBlock) error {
+	m := meta(fr.fn)
+	ti, ok := m.blockIdx[target]
+	if !ok {
+		return fmt.Errorf("vm: branch to foreign block in @%s", fr.fn.Nm)
+	}
+	cur := fr.fn.Blocks[fr.block]
+	// Two-phase phi evaluation.
+	var phiVals []uint64
+	var phis []*ir.Instr
+	for _, in := range target.Instrs {
+		if in.Op != ir.OpPhi {
+			break
+		}
+		found := false
+		for i, pb := range in.Blocks {
+			if pb == cur {
+				v, err := vm.eval(fr, in.Args[i])
+				if err != nil {
+					return err
+				}
+				phiVals = append(phiVals, v)
+				phis = append(phis, in)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("vm: phi in %s missing edge from %s", target.Nm, cur.Nm)
+		}
+	}
+	for i, p := range phis {
+		fr.regs[p.Num()] = phiVals[i]
+	}
+	fr.prev = fr.block
+	fr.block = ti
+	fr.idx = len(phis)
+	return nil
+}
+
+// execCall handles direct, indirect and intrinsic calls.
+func (vm *VM) execCall(ex *Exec, fr *Frame, in *ir.Instr, ops []coperand) error {
+	vm.Counters.Calls++
+	callee, err := vm.resolveCallee(fr, in.Callee)
+	if err != nil {
+		return err
+	}
+	args := make([]uint64, len(in.Args))
+	for i := range in.Args {
+		args[i], err = vm.arg(fr, in, ops, i)
+		if err != nil {
+			return err
+		}
+	}
+	if callee.Intrinsic {
+		vm.Counters.Intrinsics++
+		h := vm.intrinsics[callee.Nm]
+		if h == nil {
+			return fmt.Errorf("vm: unknown intrinsic @%s", callee.Nm)
+		}
+		res, err := h(vm, args)
+		if err != nil {
+			return err
+		}
+		if res.Switched {
+			vm.Counters.Switches++
+			return nil
+		}
+		retTo := -1
+		if !in.Typ.IsVoid() {
+			retTo = in.Num()
+		}
+		if res.Push != nil {
+			if res.PushIC {
+				vm.Counters.Traps++
+				vm.pushIContext(retTo)
+			}
+			vm.pushCall(res.Push, res.PushArgs, retTo, res.PushIC)
+			return nil
+		}
+		if retTo >= 0 {
+			fr.regs[retTo] = res.Value
+		}
+		return nil
+	}
+	if callee.IsDecl() {
+		return fmt.Errorf("vm: call to external @%s with no body", callee.Nm)
+	}
+	retTo := -1
+	if !in.Typ.IsVoid() {
+		retTo = in.Num()
+	}
+	vm.pushCall(callee, args, retTo, false)
+	return nil
+}
+
+func (vm *VM) resolveCallee(fr *Frame, callee ir.Value) (*ir.Function, error) {
+	if f, ok := callee.(*ir.Function); ok {
+		return f, nil
+	}
+	addr, err := vm.eval(fr, callee)
+	if err != nil {
+		return nil, err
+	}
+	f := vm.addrFunc[addr]
+	if f == nil {
+		return nil, &GuestFault{Kind: "indirect call to non-function address", Addr: addr, PC: fr.fn.Nm}
+	}
+	return f, nil
+}
+
+// pushCall pushes a new frame calling fn(args).
+func (vm *VM) pushCall(fn *ir.Function, args []uint64, retTo int, icTop bool) {
+	ex := vm.cur
+	fr := &Frame{
+		fn:     fn,
+		regs:   make([]uint64, fn.NumInstrs()),
+		params: args,
+		spBase: ex.sp,
+		retTo:  retTo,
+		icTop:  icTop,
+	}
+	if vm.Cfg.Translated() {
+		if cf, err := vm.translate(fn); err == nil {
+			fr.cf = cf
+		}
+	}
+	ex.frames = append(ex.frames, fr)
+}
+
+// popFrame returns from the top frame with the given value.
+func (vm *VM) popFrame(val uint64) error {
+	ex := vm.cur
+	fr := ex.frames[len(ex.frames)-1]
+	ex.frames = ex.frames[:len(ex.frames)-1]
+	vm.dropCleanups(fr)
+	ex.sp = fr.spBase
+	if len(ex.frames) == 0 {
+		ex.done = true
+		ex.retVal = val
+		return nil
+	}
+	parent := ex.frames[len(ex.frames)-1]
+	if fr.retTo >= 0 {
+		parent.regs[fr.retTo] = val
+	}
+	if fr.icTop {
+		vm.popIContext()
+	}
+	return nil
+}
+
+// pushIContext enters a trap: saves sp/priv, switches to the kernel stack
+// and kernel privilege, and returns the opaque icontext handle.
+func (vm *VM) pushIContext(retSlot int) uint64 {
+	ex := vm.cur
+	ic := &IContext{
+		frameIdx:  len(ex.frames),
+		savedSP:   ex.sp,
+		savedPriv: ex.priv,
+		retSlot:   retSlot,
+	}
+	ex.ics = append(ex.ics, ic)
+	// Switch to the kernel stack only on a user→kernel transition; nested
+	// (internal) traps keep the current kernel stack pointer.
+	if ex.priv == hw.PrivUser && ex.kstackTop != 0 {
+		ex.sp = ex.kstackTop
+	}
+	ex.priv = hw.PrivKernel
+	vm.Mach.CPU.Int.Priv = hw.PrivKernel
+	return uint64(len(ex.ics))
+}
+
+// popIContext resumes the interrupted context, dispatching any functions
+// pushed by llva.ipush.function first.
+func (vm *VM) popIContext() {
+	ex := vm.cur
+	if len(ex.ics) == 0 {
+		return
+	}
+	ic := ex.ics[len(ex.ics)-1]
+	ex.ics = ex.ics[:len(ex.ics)-1]
+	ex.sp = ic.savedSP
+	ex.priv = ic.savedPriv
+	vm.Mach.CPU.Int.Priv = ic.savedPriv
+	// Signal-handler dispatch: pushed functions run in the interrupted
+	// context before it resumes.
+	for i := len(ic.pending) - 1; i >= 0; i-- {
+		p := ic.pending[i]
+		vm.pushCall(p.fn, p.args, -1, false)
+	}
+}
+
+// icontext returns the interrupt context for a guest handle.
+func (vm *VM) icontext(handle uint64) (*IContext, error) {
+	ex := vm.cur
+	if handle == 0 || handle > uint64(len(ex.ics)) {
+		return nil, fmt.Errorf("vm: bad interrupt context handle %d", handle)
+	}
+	return vm.ics()[handle-1], nil
+}
+
+func (vm *VM) ics() []*IContext { return vm.cur.ics }
+
+// handleGuestError converts safety violations and guest faults occurring
+// inside a trap handler into an aborted system call (the kernel "oops"
+// path): the kernel frames unwind to the interrupt context boundary and the
+// interrupted context resumes with an EFAULT result.  Errors with no
+// enclosing interrupt context are fatal to the execution.
+func (vm *VM) handleGuestError(err error) bool {
+	var viol *metapool.Violation
+	var fault *GuestFault
+	switch {
+	case errors.As(err, &viol):
+		vm.Violations = append(vm.Violations, viol)
+	case errors.As(err, &fault):
+		vm.FaultLog = append(vm.FaultLog, fault.Error())
+	default:
+		return false
+	}
+	ex := vm.cur
+	if ex == nil || len(ex.ics) == 0 {
+		return false
+	}
+	ic := ex.ics[len(ex.ics)-1]
+	ex.ics = ex.ics[:len(ex.ics)-1]
+	for _, fr := range ex.frames[ic.frameIdx:] {
+		vm.dropCleanups(fr)
+	}
+	ex.frames = ex.frames[:ic.frameIdx]
+	ex.sp = ic.savedSP
+	ex.priv = ic.savedPriv
+	vm.Mach.CPU.Int.Priv = ic.savedPriv
+	if len(ex.frames) == 0 {
+		ex.done = true
+		ex.retVal = ^uint64(13) // -14: EFAULT
+		return true
+	}
+	if ic.retSlot >= 0 {
+		fr := ex.frames[len(ex.frames)-1]
+		fr.regs[ic.retSlot] = ^uint64(13) // -14: EFAULT
+	}
+	return true
+}
+
+// gepPlan caches the offset computation of one getelementptr instruction.
+type gepPlan struct {
+	constOff int64
+	// scaled steps: offset += scale * signext(argvalue)
+	steps []gepStep
+}
+
+type gepStep struct {
+	argIdx int
+	scale  int64
+	bits   int
+}
+
+func (vm *VM) gepOffset(fr *Frame, in *ir.Instr) (int64, error) {
+	plan := vm.gepPlans[in]
+	if plan == nil {
+		var err error
+		plan, err = buildGEPPlan(in)
+		if err != nil {
+			return 0, err
+		}
+		vm.gepPlans[in] = plan
+	}
+	off := plan.constOff
+	for _, s := range plan.steps {
+		v, err := vm.eval(fr, in.Args[s.argIdx])
+		if err != nil {
+			return 0, err
+		}
+		off += s.scale * ir.SignExtend(v, s.bits)
+	}
+	return off, nil
+}
+
+func buildGEPPlan(in *ir.Instr) (*gepPlan, error) {
+	var layout ir.Layout
+	plan := &gepPlan{}
+	cur := in.Args[0].Type() // pointer
+	for k := 1; k < len(in.Args); k++ {
+		idx := in.Args[k]
+		var elem *ir.Type
+		if k == 1 {
+			elem = cur.Elem()
+		} else {
+			switch cur.Kind() {
+			case ir.ArrayKind:
+				elem = cur.Elem()
+			case ir.StructKind:
+				ci := idx.(*ir.ConstInt)
+				fi := int(ci.SignedValue())
+				plan.constOff += layout.FieldOffset(cur, fi)
+				cur = cur.Field(fi)
+				continue
+			default:
+				return nil, fmt.Errorf("vm: bad getelementptr step into %s", cur)
+			}
+		}
+		scale := layout.Size(elem)
+		if ci, ok := idx.(*ir.ConstInt); ok {
+			plan.constOff += scale * ci.SignedValue()
+		} else {
+			plan.steps = append(plan.steps, gepStep{argIdx: k, scale: scale, bits: idx.Type().Bits()})
+		}
+		cur = elem
+	}
+	return plan, nil
+}

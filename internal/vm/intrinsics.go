@@ -1,0 +1,187 @@
+package vm
+
+import (
+	"fmt"
+
+	"sva/internal/svaops"
+)
+
+// installCoreIntrinsics installs the operations the SVM itself implements:
+// the run-time checks (pchk.*), the optimized memory primitives, and basic
+// system control.  SVA-OS state/trap/MMU/IO operations are installed by
+// internal/svaos.
+func (vm *VM) installCoreIntrinsics() {
+	reg := vm.RegisterIntrinsic
+
+	// --- Run-time checks (§4.5, Table 3) ---------------------------------
+
+	reg(svaops.ObjRegister, func(vm *VM, a []uint64) (IntrinsicResult, error) {
+		vm.Mach.CPU.Cycles += CycRegObj
+		pool := vm.Pools.Pool(int(a[0]))
+		return IntrinsicResult{}, pool.Register(a[1], a[2], 0)
+	})
+	reg(svaops.ObjRegisterStack, func(vm *VM, a []uint64) (IntrinsicResult, error) {
+		vm.Mach.CPU.Cycles += CycRegObj
+		pool := vm.Pools.Pool(int(a[0]))
+		if err := pool.RegisterStack(a[1], a[2]); err != nil {
+			return IntrinsicResult{}, err
+		}
+		// The registration dies with the owning frame.
+		ex := vm.cur
+		fr := ex.frames[len(ex.frames)-1]
+		fr.cleanups = append(fr.cleanups, stackObj{pool: int(a[0]), addr: a[1]})
+		return IntrinsicResult{}, nil
+	})
+	reg(svaops.ObjDrop, func(vm *VM, a []uint64) (IntrinsicResult, error) {
+		vm.Mach.CPU.Cycles += CycDropObj
+		pool := vm.Pools.Pool(int(a[0]))
+		return IntrinsicResult{}, pool.Drop(a[1])
+	})
+	reg(svaops.BoundsCheck, func(vm *VM, a []uint64) (IntrinsicResult, error) {
+		vm.Counters.ChecksBounds++
+		vm.Mach.CPU.Cycles += CycBoundsCheck
+		pool := vm.Pools.Pool(int(a[0]))
+		return IntrinsicResult{}, pool.BoundsCheck(a[1], a[2])
+	})
+	reg(svaops.LSCheck, func(vm *VM, a []uint64) (IntrinsicResult, error) {
+		vm.Counters.ChecksLS++
+		vm.Mach.CPU.Cycles += CycLSCheck
+		pool := vm.Pools.Pool(int(a[0]))
+		return IntrinsicResult{}, pool.LoadStoreCheck(a[1])
+	})
+	reg(svaops.ICCheck, func(vm *VM, a []uint64) (IntrinsicResult, error) {
+		vm.Counters.ChecksIC++
+		vm.Mach.CPU.Cycles += CycICCheck
+		return IntrinsicResult{}, vm.Pools.IndirectCallCheck(int(a[0]), a[1])
+	})
+	reg(svaops.GetBoundsLo, func(vm *VM, a []uint64) (IntrinsicResult, error) {
+		pool := vm.Pools.Pool(int(a[0]))
+		lo, _, ok := pool.GetBounds(a[1])
+		if !ok {
+			return IntrinsicResult{Value: 0}, nil
+		}
+		return IntrinsicResult{Value: lo}, nil
+	})
+	reg(svaops.GetBoundsHi, func(vm *VM, a []uint64) (IntrinsicResult, error) {
+		pool := vm.Pools.Pool(int(a[0]))
+		_, hi, ok := pool.GetBounds(a[1])
+		if !ok {
+			return IntrinsicResult{Value: ^uint64(0)}, nil
+		}
+		return IntrinsicResult{Value: hi}, nil
+	})
+
+	// PseudoAlloc (§4.7) is rewritten to ObjRegister by the safety
+	// compiler; in unchecked configurations it is a no-op.
+	reg(svaops.PseudoAlloc, func(vm *VM, a []uint64) (IntrinsicResult, error) {
+		return IntrinsicResult{}, nil
+	})
+
+	// --- Memory primitives ------------------------------------------------
+	//
+	// These model the hand-optimized memcpy/memset assembly of a real
+	// kernel's lib/ directory.  They respect the current privilege level.
+
+	reg(svaops.Memcpy, vm.memcpyIntrinsic)
+	reg(svaops.Memmove, vm.memcpyIntrinsic) // flat copy handles overlap via buffer
+	reg(svaops.Memset, func(vm *VM, a []uint64) (IntrinsicResult, error) {
+		dst, c, n := a[0], byte(a[1]), a[2]
+		if err := vm.checkAccess(dst, int(n), true); err != nil {
+			return IntrinsicResult{}, err
+		}
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = c
+		}
+		if err := vm.Mach.Phys.WriteAt(dst, buf); err != nil {
+			return IntrinsicResult{}, err
+		}
+		vm.Counters.MemOps += n
+		return IntrinsicResult{Value: dst}, nil
+	})
+	reg(svaops.Memcmp, func(vm *VM, a []uint64) (IntrinsicResult, error) {
+		p, q, n := a[0], a[1], a[2]
+		if err := vm.checkAccess(p, int(n), false); err != nil {
+			return IntrinsicResult{}, err
+		}
+		if err := vm.checkAccess(q, int(n), false); err != nil {
+			return IntrinsicResult{}, err
+		}
+		bp, err := vm.MemReadBytes(p, int(n))
+		if err != nil {
+			return IntrinsicResult{}, err
+		}
+		bq, err := vm.MemReadBytes(q, int(n))
+		if err != nil {
+			return IntrinsicResult{}, err
+		}
+		for i := range bp {
+			if bp[i] != bq[i] {
+				if bp[i] < bq[i] {
+					return IntrinsicResult{Value: ^uint64(0)}, nil
+				}
+				return IntrinsicResult{Value: 1}, nil
+			}
+		}
+		return IntrinsicResult{Value: 0}, nil
+	})
+
+	// --- System control ---------------------------------------------------
+
+	reg(svaops.Halt, func(vm *VM, a []uint64) (IntrinsicResult, error) {
+		vm.Halted = true
+		vm.ExitCode = a[0]
+		return IntrinsicResult{}, nil
+	})
+	reg(svaops.Cycles, func(vm *VM, a []uint64) (IntrinsicResult, error) {
+		return IntrinsicResult{Value: vm.Mach.CPU.Cycles}, nil
+	})
+}
+
+func (vm *VM) memcpyIntrinsic(_ *VM, a []uint64) (IntrinsicResult, error) {
+	dst, src, n := a[0], a[1], a[2]
+	if n == 0 {
+		return IntrinsicResult{Value: dst}, nil
+	}
+	if int64(n) < 0 {
+		// A negative length interpreted as unsigned: fail like hardware
+		// would on the gigantic copy, after the access check.
+		return IntrinsicResult{}, &GuestFault{Kind: "memcpy length overflow", Addr: dst}
+	}
+	if err := vm.checkAccess(src, int(n), false); err != nil {
+		return IntrinsicResult{}, err
+	}
+	if err := vm.checkAccess(dst, int(n), true); err != nil {
+		return IntrinsicResult{}, err
+	}
+	buf, err := vm.MemReadBytes(src, int(n))
+	if err != nil {
+		return IntrinsicResult{}, err
+	}
+	if err := vm.Mach.Phys.WriteAt(dst, buf); err != nil {
+		return IntrinsicResult{}, err
+	}
+	vm.Counters.MemOps += n
+	return IntrinsicResult{Value: dst}, nil
+}
+
+// RegisterSyscallHandler records a guest syscall handler (invoked by the
+// svaos RegisterSyscall operation, and directly by tests).
+func (vm *VM) RegisterSyscallHandler(num int64, fnAddr uint64) error {
+	f := vm.addrFunc[fnAddr]
+	if f == nil {
+		return fmt.Errorf("vm: register syscall %d: bad handler address %#x", num, fnAddr)
+	}
+	vm.syscalls[num] = f
+	return nil
+}
+
+// RegisterInterruptHandler records a guest interrupt handler.
+func (vm *VM) RegisterInterruptHandler(vec int64, fnAddr uint64) error {
+	f := vm.addrFunc[fnAddr]
+	if f == nil {
+		return fmt.Errorf("vm: register interrupt %d: bad handler address %#x", vec, fnAddr)
+	}
+	vm.interrupts[vec] = f
+	return nil
+}

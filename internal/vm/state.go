@@ -1,0 +1,335 @@
+package vm
+
+import (
+	"fmt"
+
+	"sva/internal/hw"
+)
+
+// This file implements the state-manipulation semantics behind the SVA-OS
+// operations (paper §3.3): saved Integer State is an opaque continuation
+// keyed by the guest buffer address, and interrupt contexts expose the
+// interrupted computation to the kernel without revealing its
+// representation.
+
+// HasIntrinsic reports whether a handler is registered for name.
+func (vm *VM) HasIntrinsic(name string) bool { return vm.intrinsics[name] != nil }
+
+// SetKStackTop updates the kernel stack pointer used at the next
+// user→kernel transition.
+func (e *Exec) SetKStackTop(top uint64) { e.kstackTop = top }
+
+// KStackTop returns the execution state's kernel stack top.
+func (e *Exec) KStackTop() uint64 { return e.kstackTop }
+
+// Done reports whether the execution state has completed.
+func (e *Exec) Done() bool { return e.done }
+
+// RetVal returns the completed execution state's value.
+func (e *Exec) RetVal() uint64 { return e.retVal }
+
+// Priv returns the execution state's privilege level.
+func (e *Exec) Priv() uint8 { return e.priv }
+
+// Depth returns the frame-stack depth (diagnostics).
+func (e *Exec) Depth() int { return len(e.frames) }
+
+// SaveIntegerState snapshots the current continuation under the guest
+// buffer address (llva.save.integer).  Execution later resumes at the
+// instruction after the save (the pc has already advanced past the call).
+func (vm *VM) SaveIntegerState(buf uint64, retSlot int) {
+	vm.savedStates[buf] = &Continuation{ex: *vm.cur.clone(), retSlot: -1}
+	_ = retSlot
+	// Mirror the live CPU control registers into the machine model.
+	vm.Mach.CPU.Int.SP = vm.cur.sp
+	vm.Mach.CPU.Int.Priv = vm.cur.priv
+}
+
+// LoadIntegerState installs the continuation saved under buf
+// (llva.load.integer).  The saved state remains loadable again.
+func (vm *VM) LoadIntegerState(buf uint64) error {
+	c := vm.savedStates[buf]
+	if c == nil {
+		return &GuestFault{Kind: "load.integer of buffer with no saved state", Addr: buf}
+	}
+	vm.cur = c.ex.clone()
+	vm.Mach.CPU.Int.SP = vm.cur.sp
+	vm.Mach.CPU.Int.Priv = vm.cur.priv
+	return nil
+}
+
+// SaveFPState implements llva.save.fp's lazy protocol: with always==false
+// the state is only saved if it changed since the last load.
+func (vm *VM) SaveFPState(buf uint64, always bool) {
+	if !always && !vm.Mach.CPU.FP.Dirty {
+		return
+	}
+	vm.savedFP[buf] = vm.Mach.CPU.FP
+	vm.Mach.CPU.FP.Dirty = false
+}
+
+// LoadFPState implements llva.load.fp.
+func (vm *VM) LoadFPState(buf uint64) {
+	if s, ok := vm.savedFP[buf]; ok {
+		vm.Mach.CPU.FP = s
+		vm.Mach.CPU.FP.Dirty = false
+	}
+}
+
+// IContextSaveState copies an interrupt context's interrupted computation
+// into a saved Integer State buffer (llva.icontext.save).  This is how the
+// kernel forks: the child's state is a copy of the parent's user context.
+func (vm *VM) IContextSaveState(icp, isp uint64) error {
+	ic, err := vm.icontext(icp)
+	if err != nil {
+		return err
+	}
+	ex := vm.cur
+	c := &Exec{
+		sp:        ic.savedSP,
+		priv:      ic.savedPriv,
+		kstackTop: ex.kstackTop,
+	}
+	for _, f := range ex.frames[:ic.frameIdx] {
+		nf := *f
+		nf.regs = append([]uint64(nil), f.regs...)
+		nf.params = append([]uint64(nil), f.params...)
+		c.frames = append(c.frames, &nf)
+	}
+	// Interrupt contexts nested beneath this one belong to the interrupted
+	// computation.
+	for _, nic := range ex.ics[:icp-1] {
+		cp := *nic
+		cp.pending = append([]pendingCall(nil), nic.pending...)
+		c.ics = append(c.ics, &cp)
+	}
+	vm.savedStates[isp] = &Continuation{ex: *c, retSlot: ic.retSlot}
+	return nil
+}
+
+// IContextLoadState replaces an interrupt context's interrupted computation
+// with a previously saved Integer State (llva.icontext.load) — the
+// mechanism beneath sigreturn.
+func (vm *VM) IContextLoadState(icp, isp uint64) error {
+	ic, err := vm.icontext(icp)
+	if err != nil {
+		return err
+	}
+	c := vm.savedStates[isp]
+	if c == nil {
+		return &GuestFault{Kind: "icontext.load of buffer with no saved state", Addr: isp}
+	}
+	ex := vm.cur
+	restored := c.ex.clone()
+	newFrames := append([]*Frame{}, restored.frames...)
+	newFrames = append(newFrames, ex.frames[ic.frameIdx:]...)
+	// Adjust the boundary and saved registers of this icontext.
+	delta := len(restored.frames) - ic.frameIdx
+	ic.frameIdx = len(restored.frames)
+	ic.savedSP = restored.sp
+	ic.savedPriv = restored.priv
+	ic.retSlot = c.retSlot
+	ex.frames = newFrames
+	// Re-point the in-flight trap's result at the restored context's
+	// pending slot.
+	if len(newFrames) > ic.frameIdx {
+		ex.frames[ic.frameIdx].retTo = c.retSlot
+	}
+	// Fix frame boundaries of any icontexts above this one.
+	for i := int(icp); i < len(ex.ics); i++ {
+		ex.ics[i].frameIdx += delta
+	}
+	return nil
+}
+
+// IContextCommit commits the entire interrupt context to memory
+// (llva.icontext.commit).  In this VM saved state already lives in SVM
+// memory, so commit only validates the handle; the operation exists so the
+// ported kernel has the same structure as the paper's.
+func (vm *VM) IContextCommit(icp uint64) error {
+	_, err := vm.icontext(icp)
+	return err
+}
+
+// IContextPushFunction arranges for fn(args...) to run in the interrupted
+// context when it resumes (llva.ipush.function) — signal-handler dispatch.
+func (vm *VM) IContextPushFunction(icp, fnAddr uint64, args []uint64) error {
+	ic, err := vm.icontext(icp)
+	if err != nil {
+		return err
+	}
+	f := vm.addrFunc[fnAddr]
+	if f == nil {
+		return &GuestFault{Kind: "ipush.function of non-function address", Addr: fnAddr}
+	}
+	want := len(f.Params)
+	if want > len(args) {
+		return fmt.Errorf("vm: ipush.function @%s wants %d args, got %d", f.Nm, want, len(args))
+	}
+	ic.pending = append(ic.pending, pendingCall{fn: f, args: append([]uint64(nil), args[:want]...)})
+	return nil
+}
+
+// IContextWasPrivileged reports whether the interrupted context ran in
+// kernel mode (llva.was.privileged).
+func (vm *VM) IContextWasPrivileged(icp uint64) (uint64, error) {
+	ic, err := vm.icontext(icp)
+	if err != nil {
+		return 0, err
+	}
+	if ic.savedPriv == hw.PrivKernel {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// SetSavedRetval overwrites the trap return value inside a saved Integer
+// State (the fork child's "return 0").
+func (vm *VM) SetSavedRetval(isp, val uint64) error {
+	c := vm.savedStates[isp]
+	if c == nil {
+		return &GuestFault{Kind: "set.retval of buffer with no saved state", Addr: isp}
+	}
+	if c.retSlot < 0 || len(c.ex.frames) == 0 {
+		return &GuestFault{Kind: "set.retval of state with no pending trap result", Addr: isp}
+	}
+	top := c.ex.frames[len(c.ex.frames)-1]
+	top.regs[c.retSlot] = val
+	return nil
+}
+
+// SetSavedKStack overwrites the kernel-stack top inside a saved Integer
+// State (llva.state.set.kstack), so a forked child traps onto its own
+// kernel stack.
+func (vm *VM) SetSavedKStack(isp, top uint64) error {
+	c := vm.savedStates[isp]
+	if c == nil {
+		return &GuestFault{Kind: "state.set.kstack of buffer with no saved state", Addr: isp}
+	}
+	c.ex.kstackTop = top
+	return nil
+}
+
+// SetSavedUStack redirects the saved continuation's stack pointer
+// (llva.state.set.stack): future stack allocations of the resumed context
+// come from the new region.
+func (vm *VM) SetSavedUStack(isp, sp uint64) error {
+	c := vm.savedStates[isp]
+	if c == nil {
+		return &GuestFault{Kind: "state.set.stack of buffer with no saved state", Addr: isp}
+	}
+	c.ex.sp = sp
+	return nil
+}
+
+// TrapEnter implements the user/kernel trap (sva.trap): it locates the
+// registered syscall handler and instructs the stepper to invoke it inside
+// a fresh interrupt context.
+func (vm *VM) TrapEnter(num int64, args []uint64) (IntrinsicResult, error) {
+	vm.Mach.CPU.Cycles += CycTrapBase
+	h := vm.syscalls[num]
+	if h == nil {
+		return IntrinsicResult{Value: ^uint64(37)}, nil // -38: ENOSYS
+	}
+	// On kernel entry the SVM spills the control state that the kernel
+	// will overwrite onto the kernel stack (§3.3).  The native-port
+	// configuration models hand-written assembly that avoids the generic
+	// spill.
+	if vm.Cfg != ConfigNative {
+		var buf [hw.IntegerStateSize]byte
+		vm.Mach.CPU.Int.Encode(buf[:])
+		spill := vm.cur.kstackTop
+		if spill == 0 {
+			spill = vm.cur.sp
+		}
+		_ = vm.Mach.Phys.WriteAt(spill-hw.IntegerStateSize, buf[:])
+		vm.Mach.CPU.Cycles += CycTrapSpill
+	}
+	// The handler receives the icontext handle it will have after entry,
+	// followed by the six trap arguments.
+	icp := uint64(len(vm.cur.ics) + 1)
+	hargs := make([]uint64, 0, 7)
+	hargs = append(hargs, icp)
+	hargs = append(hargs, args...)
+	for len(hargs) < len(h.Params) {
+		hargs = append(hargs, 0)
+	}
+	return IntrinsicResult{Push: h, PushArgs: hargs[:len(h.Params)], PushIC: true}, nil
+}
+
+// InitState fabricates a fresh saved Integer State that, when loaded, runs
+// fn(arg) on the given kernel stack (sva.init.state) — the mechanism
+// beneath kernel-thread creation / copy_thread.
+func (vm *VM) InitState(buf, fnAddr, arg, kstackTop uint64) error {
+	f := vm.addrFunc[fnAddr]
+	if f == nil {
+		return &GuestFault{Kind: "init.state of non-function address", Addr: fnAddr}
+	}
+	if f.IsDecl() {
+		return &GuestFault{Kind: "init.state of body-less function", Addr: fnAddr}
+	}
+	params := make([]uint64, len(f.Params))
+	if len(params) > 0 {
+		params[0] = arg
+	}
+	ex := &Exec{sp: kstackTop, priv: hw.PrivKernel, kstackTop: kstackTop}
+	ex.frames = append(ex.frames, &Frame{
+		fn:     f,
+		regs:   make([]uint64, f.NumInstrs()),
+		params: params,
+		spBase: kstackTop,
+		retTo:  -1,
+	})
+	vm.savedStates[buf] = &Continuation{ex: *ex, retSlot: -1}
+	return nil
+}
+
+// ExecState replaces the computation interrupted by icontext icp with a
+// fresh user-mode call to fn(arg) on a new user stack (sva.exec.state) —
+// the mechanism beneath execve.
+func (vm *VM) ExecState(icp, fnAddr, arg, ustackTop uint64) error {
+	ic, err := vm.icontext(icp)
+	if err != nil {
+		return err
+	}
+	if int(icp) != len(vm.cur.ics) {
+		return &GuestFault{Kind: "exec.state on non-innermost interrupt context"}
+	}
+	f := vm.addrFunc[fnAddr]
+	if f == nil || f.IsDecl() {
+		return &GuestFault{Kind: "exec.state of bad entry address", Addr: fnAddr}
+	}
+	params := make([]uint64, len(f.Params))
+	if len(params) > 0 {
+		params[0] = arg
+	}
+	ex := vm.cur
+	entry := &Frame{
+		fn:     f,
+		regs:   make([]uint64, f.NumInstrs()),
+		params: params,
+		spBase: ustackTop,
+		retTo:  -1,
+	}
+	kept := append([]*Frame{entry}, ex.frames[ic.frameIdx:]...)
+	delta := 1 - ic.frameIdx
+	ex.frames = kept
+	// The in-flight trap no longer has a result slot in the (replaced)
+	// interrupted frame.
+	if len(kept) > 1 {
+		kept[1].retTo = -1
+	}
+	ic.frameIdx = 1
+	ic.savedSP = ustackTop
+	ic.savedPriv = hw.PrivUser
+	ic.retSlot = -1
+	ic.pending = nil
+	for i := int(icp); i < len(ex.ics); i++ {
+		ex.ics[i].frameIdx += delta
+	}
+	return nil
+}
+
+// Continuation retSlot tracks which register of the interrupted frame
+// receives the pending trap result (for SetSavedRetval).
+func (c *Continuation) RetSlot() int { return c.retSlot }

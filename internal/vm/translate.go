@@ -1,0 +1,101 @@
+package vm
+
+import (
+	"sva/internal/ir"
+)
+
+// The translator converts bytecode functions into a pre-lowered form the
+// interpreter executes with pre-resolved operands (the stand-in for the
+// paper's bytecode→native translation, §3.4).  Translation is lazy — each
+// function translates once, on first call — and the translated form is
+// cached for the life of the VM; internal/bytecode adds the on-disk cache
+// with cryptographic signing.
+//
+// In ConfigSVALLVM / ConfigSafe the stepper consults the cache; the
+// translation cost appears once per function, exactly like a load-time
+// translator with a warm cache afterwards.
+
+// operandKind discriminates pre-resolved operands.
+type operandKind uint8
+
+const (
+	opkConst operandKind = iota // immediate value
+	opkReg                      // frame register slot
+	opkParam                    // function parameter
+)
+
+type coperand struct {
+	kind operandKind
+	val  uint64 // immediate, slot index, or param index
+}
+
+// compiledFunc is the pre-lowered form of one function.
+type compiledFunc struct {
+	fn *ir.Function
+	// ops[blockIdx][instrIdx] holds pre-resolved operands per instruction.
+	ops [][][]coperand
+}
+
+// translate builds (or fetches) the pre-lowered form of f.
+func (vm *VM) translate(f *ir.Function) (*compiledFunc, error) {
+	if cf, ok := vm.translated[f]; ok {
+		return cf, nil
+	}
+	vm.Counters.Translations++
+	cf := &compiledFunc{fn: f}
+	cf.ops = make([][][]coperand, len(f.Blocks))
+	for bi, b := range f.Blocks {
+		cf.ops[bi] = make([][]coperand, len(b.Instrs))
+		for ii, in := range b.Instrs {
+			ops := make([]coperand, len(in.Args))
+			for ai, a := range in.Args {
+				op, err := vm.lowerOperand(a)
+				if err != nil {
+					return nil, err
+				}
+				ops[ai] = op
+			}
+			cf.ops[bi][ii] = ops
+			// Pre-build the GEP plan during translation so the first
+			// execution does not pay for it.
+			if in.Op == ir.OpGEP {
+				if _, ok := vm.gepPlans[in]; !ok {
+					plan, err := buildGEPPlan(in)
+					if err != nil {
+						return nil, err
+					}
+					vm.gepPlans[in] = plan
+				}
+			}
+		}
+	}
+	vm.translated[f] = cf
+	return cf, nil
+}
+
+func (vm *VM) lowerOperand(v ir.Value) (coperand, error) {
+	switch v := v.(type) {
+	case *ir.Instr:
+		return coperand{kind: opkReg, val: uint64(v.Num())}, nil
+	case *ir.Param:
+		return coperand{kind: opkParam, val: uint64(v.Idx)}, nil
+	default:
+		c, err := vm.eval(nil, v) // constants don't touch the frame
+		if err != nil {
+			return coperand{}, err
+		}
+		return coperand{kind: opkConst, val: c}, nil
+	}
+}
+
+// fastEval resolves a pre-lowered operand.
+func (fr *Frame) fastEval(op coperand) uint64 {
+	switch op.kind {
+	case opkConst:
+		return op.val
+	case opkReg:
+		return fr.regs[op.val]
+	default:
+		return fr.params[op.val]
+	}
+}

@@ -1,0 +1,409 @@
+// Package vm implements the Secure Virtual Machine (SVM): the run-time
+// system that loads SVA bytecode, translates/interprets it, implements the
+// SVA-OS operations together with internal/svaos, and enforces the run-time
+// safety checks (paper §3.4, §4.5).
+//
+// Execution uses an explicit, heap-allocated frame stack rather than the
+// host call stack, because SVA-OS requires the processor's control state to
+// be saved, restored and manipulated as opaque data (llva.save.integer and
+// friends, Table 1 of the paper): a continuation here *is* the saved
+// Integer State.
+package vm
+
+import (
+	"fmt"
+
+	"sva/internal/hw"
+	"sva/internal/ir"
+	"sva/internal/metapool"
+)
+
+// Config selects one of the four kernel/VM configurations evaluated in the
+// paper (§7.1).
+type Config int
+
+const (
+	// ConfigNative models Linux-native: the kernel port that keeps
+	// hand-written fast paths (direct trap dispatch, single-operation
+	// context switch) and runs without safety checks.
+	ConfigNative Config = iota
+	// ConfigSVAGCC models Linux-SVA-GCC: the SVA-ported kernel (all
+	// privileged operations through SVA-OS) without safety checks.
+	ConfigSVAGCC
+	// ConfigSVALLVM models Linux-SVA-LLVM: the SVA-ported kernel executed
+	// through the bytecode translator (per-function translation to the
+	// pre-lowered form, cached and signed).
+	ConfigSVALLVM
+	// ConfigSafe models Linux-SVA-Safe: translator plus the run-time
+	// safety checks inserted by the safety-checking compiler.
+	ConfigSafe
+)
+
+var configNames = [...]string{"native", "sva-gcc", "sva-llvm", "sva-safe"}
+
+func (c Config) String() string {
+	if int(c) < len(configNames) {
+		return configNames[c]
+	}
+	return fmt.Sprintf("config(%d)", int(c))
+}
+
+// Translated reports whether this configuration runs through the bytecode
+// translator (pre-lowered functions) rather than the direct interpreter.
+func (c Config) Translated() bool { return c == ConfigSVALLVM || c == ConfigSafe }
+
+// Virtual address space layout (part of the virtual architecture).
+const (
+	// NullGuard: [0, NullGuardTop) never maps; dereferencing a null or
+	// near-null pointer faults (supports guarantee T4).
+	NullGuardTop = 0x1000
+	// SVMBase..SVMTop is the SVM's bootstrap reserve (~20KB, §3.4): the
+	// guest kernel may never read or write it.
+	SVMBase = 0x4000
+	SVMTop  = SVMBase + 20*1024
+	// Globals segment for kernel/supervisor modules.
+	KGlobalBase = 0x0010_0000
+	KGlobalTop  = 0x0100_0000
+	// Code segment: every function gets a unique, non-writable address.
+	CodeBase = 0x0100_0000
+	CodeTop  = 0x0200_0000
+	// User space: user-module globals, user heaps and user stacks.
+	UserBase = 0x1000_0000
+	UserTop  = 0x5000_0000
+	// Kernel dynamic memory: the guest kernel's allocators manage this.
+	KHeapBase = 0x8000_0000
+	KHeapTop  = 0xC000_0000
+	// Kernel stacks.
+	KStackBase = 0xC000_0000
+	KStackTop  = 0xE000_0000
+)
+
+// FuncStride spaces function addresses in the code segment.
+const FuncStride = 16
+
+// Virtual cycle charges.  Each interpreted instruction costs one cycle;
+// the SVM's own work is charged on top so the cycle counter reflects what
+// a native implementation would pay: the trap-entry control-state spill
+// (§3.3), the splay-tree work behind each run-time check (§4.5), and the
+// small code-quality difference between the two code generators.  These
+// constants were set from the relative costs of the corresponding host
+// operations; the evaluation reports *ratios* of cycle counts, so only
+// their proportions matter.
+const (
+	CycTrapBase    = 150 // any config: hardware trap entry + return
+	CycTrapSpill   = 60  // SVA configs: llva-mediated kernel entry/exit
+	CycBoundsCheck = 25  // splay lookup + range compare
+	CycLSCheck     = 20  // splay lookup
+	CycRegObj      = 15  // splay insert
+	CycDropObj     = 15  // splay delete
+	CycICCheck     = 10  // set membership
+	// CycDirectPenalty models gcc-vs-llvm code quality: the untranslated
+	// engine pays one extra cycle every 32 instructions (~3%, within the
+	// ±13% band the paper measured between the two code generators).
+	CycDirectPenaltyShift = 5
+)
+
+// Counters aggregates execution statistics.
+type Counters struct {
+	Steps        uint64 // instructions interpreted
+	KSteps       uint64 // instructions interpreted at kernel privilege
+	Calls        uint64
+	Traps        uint64 // syscalls + interrupts delivered
+	Intrinsics   uint64
+	MemOps       uint64
+	ChecksBounds uint64
+	ChecksLS     uint64
+	ChecksIC     uint64
+	Translations uint64 // functions translated (lazily, once each)
+	Switches     uint64 // continuation switches (context switches)
+}
+
+// IntrinsicResult is what an intrinsic handler returns to the stepper.
+type IntrinsicResult struct {
+	// Value is the intrinsic's result (ignored for void intrinsics).
+	Value uint64
+	// Push, if non-nil, makes the stepper call this guest function; its
+	// return value becomes the intrinsic's result.
+	Push     *ir.Function
+	PushArgs []uint64
+	// PushIC wraps the pushed call in a new interrupt context (trap entry).
+	PushIC bool
+	// Switched indicates the handler replaced the current continuation
+	// (llva.load.integer); the stepper must not touch the old frame.
+	Switched bool
+}
+
+// IntrinsicFn implements one intrinsic operation (llva.*, sva.*, pchk.*).
+type IntrinsicFn func(vm *VM, args []uint64) (IntrinsicResult, error)
+
+// VM is a Secure Virtual Machine instance bound to one simulated machine.
+type VM struct {
+	Mach *hw.Machine
+	Cfg  Config
+	// Pools is the run-time metapool registry (populated when a
+	// safety-compiled module is loaded).
+	Pools *metapool.Registry
+
+	mods       []*ir.Module
+	funcAddr   map[*ir.Function]uint64
+	addrFunc   map[uint64]*ir.Function
+	globalAddr map[*ir.Global]uint64
+	symFunc    map[string]*ir.Function
+
+	intrinsics map[string]IntrinsicFn
+
+	// cur is the single virtual CPU's current execution state.
+	cur *Exec
+	// savedStates holds continuations stored by llva.save.integer, keyed
+	// by the (opaque) buffer address the guest passed.
+	savedStates map[uint64]*Continuation
+	savedFP     map[uint64]hw.FPState
+
+	// syscalls and interrupts registered through SVA-OS.
+	syscalls   map[int64]*ir.Function
+	interrupts map[int64]*ir.Function
+
+	// translation cache (ConfigSVALLVM / ConfigSafe).
+	translated map[*ir.Function]*compiledFunc
+
+	gepPlans map[*ir.Instr]*gepPlan
+
+	// Violations records every safety violation detected at run time.
+	Violations []*metapool.Violation
+	// FaultLog records hardware faults (null derefs, privilege faults).
+	FaultLog []string
+
+	Counters Counters
+
+	Halted   bool
+	ExitCode uint64
+
+	nextKGlobal uint64
+	nextUGlobal uint64
+	nextFunc    uint64
+	nextKStack  uint64
+
+	// StepBudget bounds total interpreted steps (0 = unlimited); exceeding
+	// it stops execution with an error (runaway-guest protection).
+	StepBudget uint64
+
+	pendingCallSets [][]string
+}
+
+// New creates a VM on the given machine.
+func New(mach *hw.Machine, cfg Config) *VM {
+	vm := &VM{
+		Mach:        mach,
+		Cfg:         cfg,
+		Pools:       metapool.NewRegistry(),
+		funcAddr:    map[*ir.Function]uint64{},
+		addrFunc:    map[uint64]*ir.Function{},
+		globalAddr:  map[*ir.Global]uint64{},
+		symFunc:     map[string]*ir.Function{},
+		intrinsics:  map[string]IntrinsicFn{},
+		savedStates: map[uint64]*Continuation{},
+		savedFP:     map[uint64]hw.FPState{},
+		syscalls:    map[int64]*ir.Function{},
+		interrupts:  map[int64]*ir.Function{},
+		translated:  map[*ir.Function]*compiledFunc{},
+		gepPlans:    map[*ir.Instr]*gepPlan{},
+		nextKGlobal: KGlobalBase,
+		nextUGlobal: UserBase,
+		nextFunc:    CodeBase,
+		nextKStack:  KStackBase,
+	}
+	// SVM bootstrap reserve: mapped for the SVM only (paper §3.4).
+	mach.MMU.Reserve(SVMBase, SVMBase, hw.PermRead|hw.PermWrite)
+	vm.installCoreIntrinsics()
+	return vm
+}
+
+// RegisterIntrinsic installs (or replaces) a handler for a named intrinsic.
+func (vm *VM) RegisterIntrinsic(name string, fn IntrinsicFn) {
+	vm.intrinsics[name] = fn
+}
+
+// LoadModule links a module into the VM: assigns code addresses to
+// functions, allocates and initializes globals, and registers metapool
+// descriptors.  user selects the user-space globals segment.
+func (vm *VM) LoadModule(m *ir.Module, user bool) error {
+	vm.mods = append(vm.mods, m)
+	for _, f := range m.Funcs {
+		if _, dup := vm.symFunc[f.Nm]; dup {
+			// Cross-module references resolve to the first definition.
+			continue
+		}
+		addr := vm.nextFunc
+		vm.nextFunc += FuncStride
+		if vm.nextFunc > CodeTop {
+			return fmt.Errorf("vm: code segment exhausted")
+		}
+		vm.funcAddr[f] = addr
+		vm.addrFunc[addr] = f
+		vm.symFunc[f.Nm] = f
+		f.Renumber()
+	}
+	var layout ir.Layout
+	for _, g := range m.Globals {
+		size := layout.Size(g.ValueType)
+		align := layout.Align(g.ValueType)
+		var base *uint64
+		if user {
+			base = &vm.nextUGlobal
+		} else {
+			base = &vm.nextKGlobal
+		}
+		addr := uint64(ir.AlignUp(int64(*base), align))
+		*base = addr + uint64(size)
+		if !user && *base > KGlobalTop {
+			return fmt.Errorf("vm: kernel globals segment exhausted")
+		}
+		vm.globalAddr[g] = addr
+		if g.Init != nil {
+			if err := vm.initGlobal(addr, g.ValueType, g.Init); err != nil {
+				return fmt.Errorf("vm: init @%s: %w", g.Nm, err)
+			}
+		}
+	}
+	for _, mp := range m.Metapools {
+		pool := metapool.NewPool(mp.Name, mp.TypeHomogeneous, mp.Complete, elemSizeOf(mp))
+		if mp.UserSpace {
+			pool.RegisterUserSpace(UserBase, UserTop)
+		}
+		vm.Pools.AddPool(pool)
+	}
+	for _, set := range m.CallSets {
+		// Callee names may live in modules loaded later; remember the set
+		// and (re)resolve in FinalizeProgram.
+		vm.pendingCallSets = append(vm.pendingCallSets, set)
+		vm.Pools.AddCallSet(map[uint64]bool{})
+	}
+	vm.FinalizeProgram()
+	return nil
+}
+
+// FinalizeProgram re-resolves indirect-call target sets against all loaded
+// modules.  LoadModule calls it automatically; it is idempotent.
+func (vm *VM) FinalizeProgram() {
+	for i, set := range vm.pendingCallSets {
+		targets := vm.Pools.CallSets[i]
+		for _, name := range set {
+			if f := vm.symFunc[name]; f != nil {
+				targets[vm.funcAddr[f]] = true
+			}
+		}
+	}
+}
+
+func elemSizeOf(mp *ir.MetapoolDesc) uint64 {
+	if mp.ElemType == nil {
+		return 0
+	}
+	var layout ir.Layout
+	return uint64(layout.Size(mp.ElemType))
+}
+
+// initGlobal writes a constant initializer into guest memory.
+func (vm *VM) initGlobal(addr uint64, t *ir.Type, c ir.Constant) error {
+	var layout ir.Layout
+	switch c := c.(type) {
+	case *ir.ConstInt:
+		return vm.Mach.Phys.Store(addr, c.V, int(layout.Size(c.Typ)))
+	case *ir.ConstFloat:
+		return vm.Mach.Phys.Store(addr, c.Bits(), 8)
+	case *ir.ConstNull:
+		return vm.Mach.Phys.Store(addr, 0, 8)
+	case *ir.ConstUndef:
+		return nil
+	case *ir.ConstString:
+		data := append([]byte(c.S), 0)
+		return vm.Mach.Phys.WriteAt(addr, data)
+	case *ir.ConstArray:
+		if !t.IsArray() {
+			return fmt.Errorf("array initializer for %s", t)
+		}
+		esz := layout.Size(t.Elem())
+		for i, e := range c.Elems {
+			if err := vm.initGlobal(addr+uint64(int64(i)*esz), t.Elem(), e); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ir.ConstStruct:
+		if !t.IsStruct() {
+			return fmt.Errorf("struct initializer for %s", t)
+		}
+		for i, e := range c.Fields {
+			off := layout.FieldOffset(t, i)
+			if err := vm.initGlobal(addr+uint64(off), t.Field(i), e); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ir.GlobalAddr:
+		v, err := vm.constAddr(c)
+		if err != nil {
+			return err
+		}
+		return vm.Mach.Phys.Store(addr, v, 8)
+	}
+	return fmt.Errorf("unsupported initializer %T", c)
+}
+
+func (vm *VM) constAddr(c *ir.GlobalAddr) (uint64, error) {
+	switch g := c.G.(type) {
+	case *ir.Global:
+		a, ok := vm.globalAddr[g]
+		if !ok {
+			return 0, fmt.Errorf("unresolved global @%s", g.Nm)
+		}
+		return a, nil
+	case *ir.Function:
+		a, ok := vm.funcAddr[g]
+		if !ok {
+			return 0, fmt.Errorf("unresolved function @%s", g.Nm)
+		}
+		return a, nil
+	}
+	return 0, fmt.Errorf("bad global address %T", c.G)
+}
+
+// FuncByName resolves a loaded function by symbol name.
+func (vm *VM) FuncByName(name string) *ir.Function { return vm.symFunc[name] }
+
+// FuncAddr returns the code address of a loaded function.
+func (vm *VM) FuncAddr(f *ir.Function) uint64 { return vm.funcAddr[f] }
+
+// FuncAt returns the function at a code address (nil if none).
+func (vm *VM) FuncAt(addr uint64) *ir.Function { return vm.addrFunc[addr] }
+
+// GlobalAddr returns the address of a loaded global.
+func (vm *VM) GlobalAddr(g *ir.Global) uint64 { return vm.globalAddr[g] }
+
+// GlobalAddrByName resolves a global address by name across all modules.
+func (vm *VM) GlobalAddrByName(name string) (uint64, bool) {
+	for _, m := range vm.mods {
+		if g := m.Global(name); g != nil {
+			a, ok := vm.globalAddr[g]
+			return a, ok
+		}
+	}
+	return 0, false
+}
+
+// AllocKernelStack reserves a kernel stack region and returns its top.
+func (vm *VM) AllocKernelStack(size uint64) (uint64, error) {
+	size = uint64(ir.AlignUp(int64(size), hw.PageSize))
+	base := vm.nextKStack
+	vm.nextKStack += size + hw.PageSize // guard page between stacks
+	if vm.nextKStack > KStackTop {
+		return 0, fmt.Errorf("vm: kernel stack space exhausted")
+	}
+	return base + size, nil
+}
+
+// Syscall returns the handler registered for a syscall number.
+func (vm *VM) Syscall(num int64) *ir.Function { return vm.syscalls[num] }
+
+// NumSyscalls returns how many syscalls are registered.
+func (vm *VM) NumSyscalls() int { return len(vm.syscalls) }

@@ -1,0 +1,470 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"sva/internal/hw"
+	"sva/internal/ir"
+	"sva/internal/metapool"
+	"sva/internal/svaops"
+)
+
+func newTestVM(t *testing.T, cfg Config, m *ir.Module) *VM {
+	t.Helper()
+	if errs := ir.VerifyModule(m); len(errs) != 0 {
+		t.Fatalf("module does not verify: %v", errs)
+	}
+	v := New(hw.NewMachine(0, 64), cfg)
+	if err := v.LoadModule(m, false); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func runFunc(t *testing.T, v *VM, name string, args ...uint64) uint64 {
+	t.Helper()
+	f := v.FuncByName(name)
+	if f == nil {
+		t.Fatalf("function %s not loaded", name)
+	}
+	top, err := v.AllocKernelStack(64 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := v.NewExec(f, args, top, hw.PrivKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.SetExec(ex)
+	got, err := v.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return got
+}
+
+func factorialModule() *ir.Module {
+	m := ir.NewModule("fact")
+	b := ir.NewBuilder(m)
+	b.NewFunc("fact", ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false), "n")
+	acc := b.Alloca(ir.I64, "acc")
+	b.Store(ir.I64c(1), acc)
+	b.For("i", ir.I64c(2), b.Add(b.Param(0), ir.I64c(1)), ir.I64c(1), func(i ir.Value) {
+		b.Store(b.Mul(b.Load(acc), i), acc)
+	})
+	b.Ret(b.Load(acc))
+	return m
+}
+
+func TestRunFactorial(t *testing.T) {
+	for _, cfg := range []Config{ConfigNative, ConfigSVAGCC, ConfigSVALLVM, ConfigSafe} {
+		v := newTestVM(t, cfg, factorialModule())
+		if got := runFunc(t, v, "fact", 10); got != 3628800 {
+			t.Errorf("%v: fact(10) = %d", cfg, got)
+		}
+	}
+}
+
+func TestTranslationCache(t *testing.T) {
+	v := newTestVM(t, ConfigSVALLVM, factorialModule())
+	runFunc(t, v, "fact", 5)
+	if v.Counters.Translations != 1 {
+		t.Errorf("translations = %d, want 1", v.Counters.Translations)
+	}
+	runFunc(t, v, "fact", 6)
+	if v.Counters.Translations != 1 {
+		t.Errorf("translation not cached: %d", v.Counters.Translations)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	m := ir.NewModule("fib")
+	b := ir.NewBuilder(m)
+	f := b.NewFunc("fib", ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false), "n")
+	small := b.ICmp(ir.PredSLE, b.Param(0), ir.I64c(1))
+	b.If(small, func() { b.Ret(b.Param(0)) })
+	a := b.Call(f, b.Sub(b.Param(0), ir.I64c(1)))
+	c := b.Call(f, b.Sub(b.Param(0), ir.I64c(2)))
+	b.Ret(b.Add(a, c))
+	v := newTestVM(t, ConfigNative, m)
+	if got := runFunc(t, v, "fib", 15); got != 610 {
+		t.Errorf("fib(15) = %d", got)
+	}
+}
+
+func TestStructGlobalMemory(t *testing.T) {
+	m := ir.NewModule("mem")
+	pair := ir.NamedStruct("pair_t")
+	pair.SetBody(ir.I32, ir.I64)
+	g := m.NewGlobal("gp", pair, &ir.ConstStruct{Typ: pair, Fields: []ir.Constant{
+		ir.NewInt(ir.I32, 7), ir.NewInt(ir.I64, 9),
+	}})
+	b := ir.NewBuilder(m)
+	b.NewFunc("sum", ir.FuncOf(ir.I64, nil, false))
+	x := b.Load(b.FieldAddr(g, 0))
+	y := b.Load(b.FieldAddr(g, 1))
+	b.Store(b.Add(y, ir.I64c(1)), b.FieldAddr(g, 1))
+	b.Ret(b.Add(b.ZExt(x, ir.I64), b.Load(b.FieldAddr(g, 1))))
+	v := newTestVM(t, ConfigNative, m)
+	if got := runFunc(t, v, "sum"); got != 17 {
+		t.Errorf("sum = %d, want 17", got)
+	}
+}
+
+func TestGlobalArrayInit(t *testing.T) {
+	m := ir.NewModule("arr")
+	at := ir.ArrayOf(4, ir.I64)
+	m.NewGlobal("tbl", at, &ir.ConstArray{Typ: at, Elems: []ir.Constant{
+		ir.I64c(10), ir.I64c(20), ir.I64c(30), ir.I64c(40),
+	}})
+	b := ir.NewBuilder(m)
+	b.NewFunc("at", ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false), "i")
+	p := b.Index(m.Global("tbl"), b.Param(0))
+	b.Ret(b.Load(p))
+	v := newTestVM(t, ConfigNative, m)
+	if got := runFunc(t, v, "at", 2); got != 30 {
+		t.Errorf("tbl[2] = %d", got)
+	}
+}
+
+func TestIndirectCallThroughTable(t *testing.T) {
+	m := ir.NewModule("ind")
+	b := ir.NewBuilder(m)
+	addSig := ir.FuncOf(ir.I64, []*ir.Type{ir.I64, ir.I64}, false)
+	b.NewFunc("plus", addSig, "x", "y")
+	b.Ret(b.Add(b.Param(0), b.Param(1)))
+	fpt := ir.PointerTo(addSig)
+	g := m.NewGlobal("fp", fpt, &ir.GlobalAddr{G: m.Func("plus")})
+	b.NewFunc("callit", ir.FuncOf(ir.I64, nil, false))
+	fp := b.Load(g)
+	b.Ret(b.Call(fp, ir.I64c(30), ir.I64c(12)))
+	v := newTestVM(t, ConfigNative, m)
+	if got := runFunc(t, v, "callit"); got != 42 {
+		t.Errorf("indirect call = %d", got)
+	}
+}
+
+func TestIndirectCallToBadAddressFaults(t *testing.T) {
+	m := ir.NewModule("bad")
+	b := ir.NewBuilder(m)
+	sig := ir.FuncOf(ir.I64, nil, false)
+	b.NewFunc("boom", sig)
+	fp := b.IntToPtr(ir.I64c(0xDEAD000), ir.PointerTo(sig))
+	b.Ret(b.Call(fp))
+	v := newTestVM(t, ConfigNative, m)
+	f := v.FuncByName("boom")
+	top, _ := v.AllocKernelStack(4096)
+	ex, _ := v.NewExec(f, nil, top, hw.PrivKernel)
+	v.SetExec(ex)
+	_, err := v.Run()
+	if err == nil || !strings.Contains(err.Error(), "indirect call") {
+		t.Fatalf("bad indirect call = %v", err)
+	}
+}
+
+func TestNullDereferenceFaults(t *testing.T) {
+	m := ir.NewModule("null")
+	b := ir.NewBuilder(m)
+	b.NewFunc("deref", ir.FuncOf(ir.I64, nil, false))
+	p := b.IntToPtr(ir.I64c(0), ir.PointerTo(ir.I64))
+	b.Ret(b.Load(p))
+	v := newTestVM(t, ConfigNative, m)
+	f := v.FuncByName("deref")
+	top, _ := v.AllocKernelStack(4096)
+	ex, _ := v.NewExec(f, nil, top, hw.PrivKernel)
+	v.SetExec(ex)
+	_, err := v.Run()
+	if err == nil || !strings.Contains(err.Error(), "null dereference") {
+		t.Fatalf("null deref = %v", err)
+	}
+}
+
+func TestDivisionByZeroFaults(t *testing.T) {
+	m := ir.NewModule("div")
+	b := ir.NewBuilder(m)
+	b.NewFunc("div", ir.FuncOf(ir.I64, []*ir.Type{ir.I64, ir.I64}, false), "x", "y")
+	b.Ret(b.SDiv(b.Param(0), b.Param(1)))
+	v := newTestVM(t, ConfigNative, m)
+	if got := runFunc(t, v, "div", 42, 6); got != 7 {
+		t.Errorf("div = %d", got)
+	}
+	f := v.FuncByName("div")
+	top, _ := v.AllocKernelStack(4096)
+	ex, _ := v.NewExec(f, []uint64{1, 0}, top, hw.PrivKernel)
+	v.SetExec(ex)
+	if _, err := v.Run(); err == nil {
+		t.Fatal("division by zero did not fault")
+	}
+}
+
+func TestNarrowIntegerArithmetic(t *testing.T) {
+	m := ir.NewModule("narrow")
+	b := ir.NewBuilder(m)
+	// i8 arithmetic: 200 + 100 wraps to 44.
+	b.NewFunc("wrap8", ir.FuncOf(ir.I64, nil, false))
+	s := b.Add(ir.I8c(200), ir.I8c(100))
+	b.Ret(b.ZExt(s, ir.I64))
+	// Signed compare on i8: -1 < 1.
+	b.NewFunc("cmp8", ir.FuncOf(ir.I64, nil, false))
+	c := b.ICmp(ir.PredSLT, ir.I8c(-1), ir.I8c(1))
+	b.Ret(b.ZExt(c, ir.I64))
+	// AShr on i16.
+	b.NewFunc("ashr16", ir.FuncOf(ir.I64, nil, false))
+	sh := b.AShr(ir.I16c(-16), ir.I16c(2))
+	b.Ret(b.ZExt(b.Trunc(b.SExt(sh, ir.I64), ir.I16), ir.I64))
+	v := newTestVM(t, ConfigNative, m)
+	if got := runFunc(t, v, "wrap8"); got != 44 {
+		t.Errorf("wrap8 = %d", got)
+	}
+	if got := runFunc(t, v, "cmp8"); got != 1 {
+		t.Errorf("cmp8 = %d", got)
+	}
+	if got := runFunc(t, v, "ashr16"); got != 0xFFFC {
+		t.Errorf("ashr16 = %#x", got)
+	}
+}
+
+func TestFloatArithmetic(t *testing.T) {
+	m := ir.NewModule("fp")
+	b := ir.NewBuilder(m)
+	b.NewFunc("area", ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false), "r")
+	r := b.SIToFP(b.Param(0))
+	pi := &ir.ConstFloat{F: 3.14159265358979}
+	area := b.FMul(pi, b.FMul(r, r))
+	b.Ret(b.FPToSI(area, ir.I64))
+	v := newTestVM(t, ConfigNative, m)
+	if got := runFunc(t, v, "area", 10); got != 314 {
+		t.Errorf("area(10) = %d", got)
+	}
+	if !v.Mach.CPU.FP.Dirty {
+		t.Error("FP state not marked dirty after float ops")
+	}
+}
+
+func TestAtomicsAndSelect(t *testing.T) {
+	m := ir.NewModule("atomic")
+	b := ir.NewBuilder(m)
+	g := m.NewGlobal("ctr", ir.I64, ir.I64c(5))
+	b.NewFunc("bump", ir.FuncOf(ir.I64, nil, false))
+	old := b.AtomicRMW(ir.RMWAdd, g, ir.I64c(3))
+	cas := b.CmpXchg(g, ir.I64c(8), ir.I64c(100))
+	sel := b.Select(b.ICmp(ir.PredEQ, cas, ir.I64c(8)), ir.I64c(1), ir.I64c(0))
+	b.Fence()
+	b.Ret(b.Add(b.Mul(old, ir.I64c(1000)), b.Add(b.Mul(cas, ir.I64c(10)), sel)))
+	v := newTestVM(t, ConfigNative, m)
+	// old=5, cas returns 8 (succeeds), sel=1 → 5*1000 + 8*10 + 1.
+	if got := runFunc(t, v, "bump"); got != 5081 {
+		t.Errorf("bump = %d", got)
+	}
+	addr, _ := v.GlobalAddrByName("ctr")
+	if got, _ := v.Mach.Phys.Load(addr, 8); got != 100 {
+		t.Errorf("ctr = %d after cmpxchg", got)
+	}
+}
+
+func TestMemcpyMemsetIntrinsics(t *testing.T) {
+	m := ir.NewModule("memops")
+	b := ir.NewBuilder(m)
+	src := m.NewGlobal("src", ir.ArrayOf(8, ir.I8), &ir.ConstString{S: "hello!!"})
+	dst := m.NewGlobal("dst", ir.ArrayOf(8, ir.I8), nil)
+	b.NewFunc("copy", ir.FuncOf(ir.I64, nil, false))
+	d := b.Bitcast(dst, svaops.BytePtr)
+	s := b.Bitcast(src, svaops.BytePtr)
+	b.Call(svaops.Get(m, svaops.Memcpy), d, s, ir.I64c(8))
+	cmp := b.Call(svaops.Get(m, svaops.Memcmp), d, s, ir.I64c(8))
+	b.Call(svaops.Get(m, svaops.Memset), d, ir.I64c('x'), ir.I64c(3))
+	first := b.Load(b.Index(dst, ir.I32c(0)))
+	b.Ret(b.Add(cmp, b.ZExt(first, ir.I64)))
+	v := newTestVM(t, ConfigNative, m)
+	if got := runFunc(t, v, "copy"); got != 'x' {
+		t.Errorf("copy = %d, want %d", got, 'x')
+	}
+}
+
+func TestHaltIntrinsic(t *testing.T) {
+	m := ir.NewModule("halt")
+	b := ir.NewBuilder(m)
+	b.NewFunc("stop", ir.FuncOf(ir.I64, nil, false))
+	b.Call(svaops.Get(m, svaops.Halt), ir.I64c(42))
+	b.Ret(ir.I64c(0))
+	v := newTestVM(t, ConfigNative, m)
+	if got := runFunc(t, v, "stop"); got != 42 {
+		t.Errorf("halt exit code = %d", got)
+	}
+	if !v.Halted {
+		t.Error("VM not halted")
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	m := ir.NewModule("spin")
+	b := ir.NewBuilder(m)
+	b.NewFunc("spin", ir.FuncOf(ir.I64, nil, false))
+	b.Loop(func() {})
+	b.Ret(ir.I64c(0))
+	v := newTestVM(t, ConfigNative, m)
+	v.StepBudget = 10000
+	f := v.FuncByName("spin")
+	top, _ := v.AllocKernelStack(4096)
+	ex, _ := v.NewExec(f, nil, top, hw.PrivKernel)
+	v.SetExec(ex)
+	if _, err := v.Run(); err != ErrStepBudget {
+		t.Fatalf("expected step budget error, got %v", err)
+	}
+}
+
+// TestSafetyCheckIntrinsics exercises pchk.* end to end: registration,
+// passing checks, and a bounds violation that aborts cleanly.
+func TestSafetyCheckIntrinsics(t *testing.T) {
+	m := ir.NewModule("checks")
+	m.Metapools = append(m.Metapools, &ir.MetapoolDesc{Name: "MP0", Complete: true})
+	b := ir.NewBuilder(m)
+	buf := m.NewGlobal("buf", ir.ArrayOf(16, ir.I8), nil)
+
+	b.NewFunc("ok", ir.FuncOf(ir.I64, nil, false))
+	p := b.Bitcast(buf, svaops.BytePtr)
+	b.Call(svaops.Get(m, svaops.ObjRegister), ir.I32c(0), p, ir.I64c(16))
+	q := b.PtrAdd(p, ir.I64c(8))
+	b.Call(svaops.Get(m, svaops.BoundsCheck), ir.I32c(0), p, q)
+	b.Call(svaops.Get(m, svaops.LSCheck), ir.I32c(0), q)
+	b.Call(svaops.Get(m, svaops.ObjDrop), ir.I32c(0), p)
+	b.Ret(ir.I64c(1))
+
+	b.NewFunc("overrun", ir.FuncOf(ir.I64, nil, false))
+	p2 := b.Bitcast(buf, svaops.BytePtr)
+	b.Call(svaops.Get(m, svaops.ObjRegister), ir.I32c(0), p2, ir.I64c(16))
+	q2 := b.PtrAdd(p2, ir.I64c(32))
+	b.Call(svaops.Get(m, svaops.BoundsCheck), ir.I32c(0), p2, q2)
+	b.Ret(ir.I64c(1))
+
+	v := newTestVM(t, ConfigSafe, m)
+	if got := runFunc(t, v, "ok"); got != 1 {
+		t.Errorf("ok = %d", got)
+	}
+	if len(v.Violations) != 0 {
+		t.Fatalf("unexpected violations: %v", v.Violations)
+	}
+	f := v.FuncByName("overrun")
+	top, _ := v.AllocKernelStack(4096)
+	ex, _ := v.NewExec(f, nil, top, hw.PrivKernel)
+	v.SetExec(ex)
+	_, err := v.Run()
+	if err == nil {
+		t.Fatal("bounds violation not raised")
+	}
+	var viol *metapool.Violation
+	if !asViolation(err, &viol) || viol.Kind != metapool.BoundsViolation {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func asViolation(err error, out **metapool.Violation) bool {
+	v, ok := err.(*metapool.Violation)
+	if ok {
+		*out = v
+	}
+	return ok
+}
+
+func TestGetBoundsIntrinsics(t *testing.T) {
+	m := ir.NewModule("gb")
+	m.Metapools = append(m.Metapools, &ir.MetapoolDesc{Name: "MP0", Complete: true})
+	b := ir.NewBuilder(m)
+	buf := m.NewGlobal("buf", ir.ArrayOf(16, ir.I8), nil)
+	b.NewFunc("span", ir.FuncOf(ir.I64, nil, false))
+	p := b.Bitcast(buf, svaops.BytePtr)
+	b.Call(svaops.Get(m, svaops.ObjRegister), ir.I32c(0), p, ir.I64c(16))
+	lo := b.Call(svaops.Get(m, svaops.GetBoundsLo), ir.I32c(0), p)
+	hi := b.Call(svaops.Get(m, svaops.GetBoundsHi), ir.I32c(0), p)
+	b.Ret(b.Sub(hi, lo))
+	v := newTestVM(t, ConfigSafe, m)
+	if got := runFunc(t, v, "span"); got != 16 {
+		t.Errorf("span = %d", got)
+	}
+}
+
+// TestGCDOracle checks the interpreter against a host-computed oracle on a
+// classic algorithm with loops, remainder and swaps.
+func TestGCDOracle(t *testing.T) {
+	m := ir.NewModule("gcd")
+	b := ir.NewBuilder(m)
+	b.NewFunc("gcd", ir.FuncOf(ir.I64, []*ir.Type{ir.I64, ir.I64}, false), "a", "b")
+	av := b.Alloca(ir.I64, "av")
+	bv := b.Alloca(ir.I64, "bv")
+	b.Store(b.Param(0), av)
+	b.Store(b.Param(1), bv)
+	b.While(func() ir.Value {
+		return b.ICmp(ir.PredNE, b.Load(bv), ir.I64c(0))
+	}, func() {
+		tmp := b.URem(b.Load(av), b.Load(bv))
+		b.Store(b.Load(bv), av)
+		b.Store(tmp, bv)
+	})
+	b.Ret(b.Load(av))
+	v := newTestVM(t, ConfigSVALLVM, m)
+	hostGCD := func(a, b uint64) uint64 {
+		for b != 0 {
+			a, b = b, a%b
+		}
+		return a
+	}
+	cases := [][2]uint64{{48, 18}, {17, 5}, {0, 9}, {12, 0}, {270, 192}, {1 << 40, 3 << 20}}
+	for _, c := range cases {
+		if got := runFunc(t, v, "gcd", c[0], c[1]); got != hostGCD(c[0], c[1]) {
+			t.Errorf("gcd(%d,%d) = %d, want %d", c[0], c[1], got, hostGCD(c[0], c[1]))
+		}
+	}
+}
+
+func TestFloatComparisons(t *testing.T) {
+	m := ir.NewModule("fcmp")
+	b := ir.NewBuilder(m)
+	b.NewFunc("cmp", ir.FuncOf(ir.I64, nil, false), "")
+	x := &ir.ConstFloat{F: 1.5}
+	y := &ir.ConstFloat{F: 2.5}
+	acc := b.Alloca(ir.I64, "acc")
+	b.Store(ir.I64c(0), acc)
+	add := func(c ir.Value, bit int64) {
+		v := b.Select(c, ir.I64c(1), ir.I64c(0))
+		b.Store(b.Or(b.Load(acc), b.Shl(v, ir.I64c(bit))), acc)
+	}
+	add(b.FCmp(ir.PredSLT, x, y), 0) // true
+	add(b.FCmp(ir.PredSGT, x, y), 1) // false
+	add(b.FCmp(ir.PredEQ, x, x), 2)  // true
+	add(b.FCmp(ir.PredNE, x, y), 3)  // true
+	add(b.FCmp(ir.PredSLE, y, y), 4) // true
+	add(b.FCmp(ir.PredSGE, x, y), 5) // false
+	b.Ret(b.Load(acc))
+	v := newTestVM(t, ConfigNative, m)
+	if got := runFunc(t, v, "cmp"); got != 0b011101 {
+		t.Errorf("fcmp bits = %#b, want 0b011101", got)
+	}
+}
+
+func TestReadCString(t *testing.T) {
+	v := New(hw.NewMachine(0, 16), ConfigNative)
+	addr := uint64(0x9000)
+	v.MemWriteBytes(addr, []byte("hello\x00world"))
+	s, err := v.ReadCString(addr, 64)
+	if err != nil || s != "hello" {
+		t.Errorf("ReadCString = %q, %v", s, err)
+	}
+	// Unterminated within the cap: returns the capped prefix.
+	v.MemWriteBytes(addr, []byte{'a', 'b', 'c', 'd'})
+	s, err = v.ReadCString(addr, 3)
+	if err != nil || s != "abc" {
+		t.Errorf("capped ReadCString = %q, %v", s, err)
+	}
+}
+
+func TestSpuriousInterruptDropped(t *testing.T) {
+	m := factorialModule()
+	v := newTestVM(t, ConfigSVAGCC, m)
+	// Raise a vector nobody registered: execution must proceed.
+	v.Mach.Intr.Enable(true)
+	v.Mach.Intr.Raise(77)
+	if got := runFunc(t, v, "fact", 6); got != 720 {
+		t.Errorf("fact with spurious interrupt = %d", got)
+	}
+}
