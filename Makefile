@@ -1,0 +1,28 @@
+# Tier-1 gate plus the race-sensitive packages this repo parallelizes.
+GO ?= go
+
+.PHONY: all build test vet race check bench tables
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The bench harness fans out goroutines per kernel config and per table
+# job; these packages carry the shared state that made that racy once.
+race:
+	$(GO) test -race ./internal/report ./internal/metapool ./internal/exploits
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench . -benchtime=1x -run '^$$' .
+
+tables:
+	$(GO) run ./cmd/sva-bench -table=all -scale=8

@@ -18,6 +18,7 @@ import (
 	"sva/internal/exploits"
 	"sva/internal/hbench"
 	"sva/internal/kernel"
+	"sva/internal/metapool"
 	"sva/internal/report"
 	"sva/internal/safety"
 	"sva/internal/typecheck"
@@ -211,3 +212,89 @@ func BenchmarkVerifier_BugInjection(b *testing.B) {
 	}
 	b.ReportMetric(float64(detected), "bugs-detected-of-4")
 }
+
+// --- check cache and parallel harness (this PR's optimizations) -------------
+
+// benchPoolCheck drives LoadStoreCheck over a 2-address hot set (the
+// common shape: one buffer plus one metadata object) with the last-hit
+// cache on or off.
+func benchPoolCheck(b *testing.B, noCache bool) {
+	p := metapool.NewPool("bench", false, true, 0)
+	p.NoCache = noCache
+	for i := uint64(0); i < 64; i++ {
+		if err := p.Register(0x1000+i*64, 64, metapool.TagHeap); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.LoadStoreCheck(0x1000 + uint64(i%2)*64 + 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(p.SplayLookups())/float64(b.N), "splay/op")
+}
+
+func BenchmarkCheck_Cached(b *testing.B)   { benchPoolCheck(b, false) }
+func BenchmarkCheck_Uncached(b *testing.B) { benchPoolCheck(b, true) }
+
+// BenchmarkChecksCache_Table7Safe runs the Table 7 latency battery on the
+// safe kernel twice — cache on and cache off — and reports how many splay
+// lookups the last-hit cache eliminates (the §7.1.3 optimization).
+func BenchmarkChecksCache_Table7Safe(b *testing.B) {
+	battery := func(noCache bool) (splay, hits, misses uint64) {
+		r, err := hbench.NewRunner()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Boot the safe system first so the toggle covers exactly the
+		// measured battery, not kernel initialization.
+		if _, err := r.Measure(vm.ConfigSafe, "lat_getpid", 1); err != nil {
+			b.Fatal(err)
+		}
+		sys := r.Systems[vm.ConfigSafe]
+		sys.VM.Pools.SetCacheDisabled(noCache)
+		lk := func() uint64 {
+			var n uint64
+			for _, p := range sys.VM.Pools.Snapshot().Pools {
+				n += p.SplayLookups
+			}
+			return n
+		}
+		base, baseStats := lk(), sys.VM.Pools.TotalStats()
+		for _, op := range hbench.LatencyOps {
+			if _, err := r.Measure(vm.ConfigSafe, op.Prog, op.Iters/8); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st := sys.VM.Pools.TotalStats()
+		return lk() - base, st.CacheHits - baseStats.CacheHits, st.CacheMisses - baseStats.CacheMisses
+	}
+	var ratio, hitPct float64
+	for i := 0; i < b.N; i++ {
+		cachedSplay, hits, misses := battery(false)
+		uncachedSplay, _, _ := battery(true)
+		ratio = float64(uncachedSplay) / float64(cachedSplay)
+		hitPct = 100 * float64(hits) / float64(hits+misses)
+	}
+	b.ReportMetric(ratio, "splay-lookup-ratio")
+	b.ReportMetric(hitPct, "cache-hit-%")
+}
+
+// benchTableHarness regenerates the Table 7 rows with the given worker
+// count; serial vs parallel compares harness wall-clock (the outputs are
+// bit-identical either way — see TestParallelLatenciesMatchSerial).
+func benchTableHarness(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		r, err := hbench.NewRunner()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := report.RunLatenciesN(r, report.Scale(10), workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableHarness_Serial(b *testing.B)   { benchTableHarness(b, 1) }
+func BenchmarkTableHarness_Parallel(b *testing.B) { benchTableHarness(b, 4) }

@@ -9,105 +9,123 @@
 //	sva-bench -table=7          kernel operation latency overheads
 //	sva-bench -table=8          kernel bandwidth reduction
 //	sva-bench -table=9          static safety metrics
+//	sva-bench -table=checks     run-time check / last-hit cache statistics
 //	sva-bench -table=exploits   §7.2 exploit detection matrix
 //	sva-bench -table=tcb        §5 verifier bug-injection experiment
 //	sva-bench -table=ablation   §4.8 cloning/devirtualization ablation
 //	sva-bench -table=all        everything
 //	sva-bench -scale=4          divide iteration counts by 4 (quick run)
+//	sva-bench -workers=1        serial generation (default: one worker per CPU)
+//
+// Every table is generated on its own deterministic virtual machines, so
+// table sections are independent jobs: with -workers > 1 they run
+// concurrently on a bounded worker pool, and the config×workload runs
+// inside Tables 5-8 fan out one goroutine per kernel configuration.  The
+// printed tables are bit-identical to a serial run (-workers=1).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"sva/internal/hbench"
 	"sva/internal/report"
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate (4..9, exploits, tcb, all)")
+	table := flag.String("table", "all", "which table to regenerate (4..9, checks, exploits, tcb, ablation, all)")
 	scale := flag.Uint64("scale", 1, "divide iteration counts (1 = full run)")
+	workers := flag.Int("workers", report.DefaultWorkers(), "max concurrent table jobs and per-table configurations (1 = serial)")
 	flag.Parse()
 
 	s := report.Scale(*scale)
+	w := *workers
 	want := func(name string) bool { return *table == "all" || *table == name }
-	fail := func(err error) {
+
+	// Each job renders one or more related sections; related tables that
+	// share booted systems stay inside a single job so their relative
+	// execution order (and thus every cycle count) matches a serial run.
+	var jobs []report.TableJob
+	add := func(name string, gen func() (string, error)) {
+		jobs = append(jobs, report.TableJob{Name: name, Gen: gen})
+	}
+	if want("api") {
+		add("api", func() (string, error) { return report.APITable(), nil })
+	}
+	if want("fig2") {
+		add("fig2", report.Figure2)
+	}
+	if want("4") {
+		add("table4", func() (string, error) { return report.Table4(), nil })
+	}
+	if want("5") || want("6") {
+		add("tables5-6", func() (string, error) {
+			rows, err := report.RunAppsN(s, w)
+			if err != nil {
+				return "", err
+			}
+			var parts []string
+			if want("5") {
+				parts = append(parts, report.Table5(rows))
+			}
+			if want("6") {
+				parts = append(parts, report.Table6(rows))
+			}
+			return strings.Join(parts, "\n"), nil
+		})
+	}
+	if want("7") || want("8") || want("checks") {
+		add("tables7-8", func() (string, error) {
+			r, err := hbench.NewRunner()
+			if err != nil {
+				return "", err
+			}
+			var parts []string
+			if want("7") {
+				rows, err := report.RunLatenciesN(r, s, w)
+				if err != nil {
+					return "", err
+				}
+				parts = append(parts, report.Table7(rows))
+			}
+			if want("8") {
+				rows, err := report.RunBandwidthsN(r, s, w)
+				if err != nil {
+					return "", err
+				}
+				parts = append(parts, report.Table8(rows))
+			}
+			if want("checks") {
+				t, err := report.ChecksTable(r, s)
+				if err != nil {
+					return "", err
+				}
+				parts = append(parts, t)
+			}
+			return strings.Join(parts, "\n"), nil
+		})
+	}
+	if want("9") {
+		add("table9", report.Table9)
+	}
+	if want("exploits") {
+		add("exploits", func() (string, error) { return report.ExploitTableN(w) })
+	}
+	if want("ablation") {
+		add("ablation", report.Ablation)
+	}
+	if want("tcb") {
+		add("tcb", report.TCBTable)
+	}
+
+	out, err := report.RunJobs(jobs, w)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sva-bench:", err)
 		os.Exit(1)
 	}
-
-	if want("api") {
-		fmt.Println(report.APITable())
-	}
-	if want("fig2") {
-		t, err := report.Figure2()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(t)
-	}
-	if want("4") {
-		fmt.Println(report.Table4())
-	}
-	if want("5") || want("6") {
-		rows, err := report.RunApps(s)
-		if err != nil {
-			fail(err)
-		}
-		if want("5") {
-			fmt.Println(report.Table5(rows))
-		}
-		if want("6") {
-			fmt.Println(report.Table6(rows))
-		}
-	}
-	if want("7") || want("8") {
-		r, err := hbench.NewRunner()
-		if err != nil {
-			fail(err)
-		}
-		if want("7") {
-			rows, err := report.RunLatencies(r, s)
-			if err != nil {
-				fail(err)
-			}
-			fmt.Println(report.Table7(rows))
-		}
-		if want("8") {
-			rows, err := report.RunBandwidths(r, s)
-			if err != nil {
-				fail(err)
-			}
-			fmt.Println(report.Table8(rows))
-		}
-	}
-	if want("9") {
-		t, err := report.Table9()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(t)
-	}
-	if want("exploits") {
-		t, err := report.ExploitTable()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(t)
-	}
-	if want("ablation") {
-		t, err := report.Ablation()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(t)
-	}
-	if want("tcb") {
-		t, err := report.TCBTable()
-		if err != nil {
-			fail(err)
-		}
+	for _, t := range out {
 		fmt.Println(t)
 	}
 }

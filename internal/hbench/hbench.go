@@ -240,11 +240,16 @@ func BuildBenchModule() *userland.U {
 	return u
 }
 
-// Runner holds one booted system per kernel configuration.
+// Runner holds one booted system per kernel configuration.  Different
+// configurations are fully independent machines, so distinct configs may
+// be driven from concurrent goroutines; runs within one config must stay
+// sequential.
 type Runner struct {
-	Systems  map[vm.Config]*kernel.System
-	U        *userland.U
-	prepared map[vm.Config]bool
+	Systems map[vm.Config]*kernel.System
+	U       *userland.U
+	// prepared is indexed by vm.Config (an array, not a map, so that
+	// per-config goroutines never write the same word).
+	prepared [4]bool
 }
 
 // Configs lists the four kernels in paper order.
@@ -252,7 +257,7 @@ var Configs = []vm.Config{vm.ConfigNative, vm.ConfigSVAGCC, vm.ConfigSVALLVM, vm
 
 // NewRunner boots all four configurations with the benchmark module.
 func NewRunner() (*Runner, error) {
-	r := &Runner{Systems: map[vm.Config]*kernel.System{}, prepared: map[vm.Config]bool{}}
+	r := &Runner{Systems: map[vm.Config]*kernel.System{}}
 	for _, cfg := range Configs {
 		u := BuildBenchModule()
 		sys, err := kernel.NewSystem(cfg, true, u.M)
@@ -351,11 +356,11 @@ var BandwidthOps = []struct {
 // PrepareBandwidth creates the 128 KB benchmark file once per system and
 // sets the per-row transfer size.
 func (r *Runner) PrepareBandwidth(cfg vm.Config, size uint64) error {
-	if !r.prepared[cfg] {
+	if !r.prepared[int(cfg)] {
 		if err := r.Setup(cfg, "bw_file_setup", 128*1024); err != nil {
 			return err
 		}
-		r.prepared[cfg] = true
+		r.prepared[int(cfg)] = true
 	}
 	return r.Setup(cfg, "bw_set_size", size)
 }

@@ -190,10 +190,26 @@ func NamedStruct(name string) *Type {
 	return t
 }
 
-// SetBody defines the fields of a named struct type.
+// SetBody defines the fields of a named struct type.  Redefining a struct
+// with its existing body is a no-op, which lets concurrent module builders
+// (parallel table generation) share the interned type without writes.
 func (t *Type) SetBody(fields ...*Type) *Type {
 	if t.kind != StructKind || t.name == "" {
 		panic("ir: SetBody requires a named struct type")
+	}
+	internMu.Lock()
+	defer internMu.Unlock()
+	if !t.opaque && len(t.fields) == len(fields) {
+		same := true
+		for i, f := range fields {
+			if t.fields[i] != f {
+				same = false
+				break
+			}
+		}
+		if same {
+			return t
+		}
 	}
 	t.fields = append([]*Type(nil), fields...)
 	t.opaque = false

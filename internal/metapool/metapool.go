@@ -45,7 +45,7 @@ var kindNames = [...]string{
 }
 
 func (k ViolationKind) String() string {
-	if int(k) < len(kindNames) {
+	if int(k) >= 0 && int(k) < len(kindNames) {
 		return kindNames[k]
 	}
 	return fmt.Sprintf("violation(%d)", int(k))
@@ -72,6 +72,10 @@ type Stats struct {
 	LSChecks     uint64
 	ICChecks     uint64
 	Violations   uint64
+	// CacheHits/CacheMisses count last-hit cache outcomes on the check
+	// hot path (a miss falls through to the splay tree).
+	CacheHits   uint64
+	CacheMisses uint64
 }
 
 // Pool is one run-time metapool.
@@ -88,6 +92,16 @@ type Pool struct {
 	ElemSize uint64
 
 	objects splay.Tree
+
+	// lastHit is the per-pool last-hit cache in front of the splay tree
+	// (the §7.1.3 per-check-site cache, hoisted to the pool): the most
+	// recently found objects, most recent first.  Entries are invalidated
+	// whenever the object set changes.  nCached is the live entry count.
+	lastHit [2]splay.Range
+	nCached int
+	// NoCache disables the last-hit cache, forcing every lookup through
+	// the splay tree (used to benchmark the uncached path).
+	NoCache bool
 
 	// userLo/userHi: if set, all of userspace is treated as one registered
 	// object of this pool (paper §4.6).
@@ -115,6 +129,41 @@ func (p *Pool) userRange(addr uint64) (splay.Range, bool) {
 	return splay.Range{}, false
 }
 
+// find looks up the object containing addr through the last-hit cache,
+// falling back to the splay tree on a miss.  Cached entries are live
+// objects, so a hit needs no tree access at all — this is what made the
+// extended Jones–Kelly checks practical in SAFECode and is the paper's
+// §7.1.3 planned check optimization.
+func (p *Pool) find(addr uint64) (splay.Range, bool) {
+	if !p.NoCache {
+		for i := 0; i < p.nCached; i++ {
+			if p.lastHit[i].Contains(addr) {
+				p.Stats.CacheHits++
+				if i != 0 {
+					p.lastHit[0], p.lastHit[i] = p.lastHit[i], p.lastHit[0]
+				}
+				return p.lastHit[0], true
+			}
+		}
+		p.Stats.CacheMisses++
+	}
+	r, ok := p.objects.Find(addr)
+	if ok && !p.NoCache {
+		// Move-to-front insert; the oldest entry falls off the end.
+		p.lastHit[1] = p.lastHit[0]
+		p.lastHit[0] = r
+		if p.nCached < len(p.lastHit) {
+			p.nCached++
+		}
+	}
+	return r, ok
+}
+
+// invalidate clears the last-hit cache.  Called on every mutation of the
+// object set (Register/RegisterStack/Drop/Reset): a cached range may have
+// just been removed, so serving it would be a stale answer.
+func (p *Pool) invalidate() { p.nCached = 0 }
+
 // Object tags.
 const (
 	TagHeap  = 0
@@ -130,6 +179,7 @@ func (p *Pool) RegisterStack(addr, size uint64) error {
 	if size == 0 {
 		return nil
 	}
+	p.invalidate()
 	for {
 		if p.objects.Insert(splay.Range{Start: addr, Len: size, Tag: TagStack}) {
 			p.Stats.Registered++
@@ -150,6 +200,7 @@ func (p *Pool) Register(addr, size uint64, tag uint32) error {
 	if size == 0 {
 		return nil // zero-sized allocations register nothing
 	}
+	p.invalidate()
 	if !p.objects.Insert(splay.Range{Start: addr, Len: size, Tag: tag}) {
 		p.Stats.Violations++
 		return &Violation{Kind: RegistrationConflict, Pool: p.Name, Addr: addr,
@@ -163,6 +214,7 @@ func (p *Pool) Register(addr, size uint64, tag uint32) error {
 // pointer that is not the start of a live object is an illegal free
 // (guarantee T5: no double or illegal frees).
 func (p *Pool) Drop(addr uint64) error {
+	p.invalidate()
 	if r, ok := p.objects.FindStart(addr); ok {
 		p.objects.Remove(r.Start)
 		p.Stats.Dropped++
@@ -182,7 +234,7 @@ func (p *Pool) GetBounds(addr uint64) (start, end uint64, ok bool) {
 	if r, ok := p.userRange(addr); ok {
 		return r.Start, r.End(), true
 	}
-	if r, ok := p.objects.Find(addr); ok {
+	if r, ok := p.find(addr); ok {
 		return r.Start, r.End(), true
 	}
 	return 0, 0, false
@@ -199,7 +251,7 @@ func (p *Pool) BoundsCheck(src, derived uint64) error {
 	p.Stats.BoundsChecks++
 	r, ok := p.userRange(src)
 	if !ok {
-		r, ok = p.objects.Find(src)
+		r, ok = p.find(src)
 	}
 	if ok {
 		// One-past-the-end is legal for the derived pointer (C idiom).
@@ -212,7 +264,7 @@ func (p *Pool) BoundsCheck(src, derived uint64) error {
 	}
 	// Source not registered.  Check whether the derived pointer lands in
 	// some object; then src and derived straddle an object boundary.
-	if r2, ok2 := p.objects.Find(derived); ok2 {
+	if r2, ok2 := p.find(derived); ok2 {
 		p.Stats.Violations++
 		return &Violation{Kind: BoundsViolation, Pool: p.Name, Addr: derived,
 			Msg: fmt.Sprintf("indexing from unregistered %#x into object %v", src, r2)}
@@ -234,7 +286,7 @@ func (p *Pool) LoadStoreCheck(addr uint64) error {
 	if _, ok := p.userRange(addr); ok {
 		return nil
 	}
-	if _, ok := p.objects.Find(addr); ok {
+	if _, ok := p.find(addr); ok {
 		return nil
 	}
 	if !p.Complete {
@@ -250,7 +302,7 @@ func (p *Pool) Contains(addr uint64) bool {
 	if _, ok := p.userRange(addr); ok {
 		return true
 	}
-	_, ok := p.objects.Find(addr)
+	_, ok := p.find(addr)
 	return ok
 }
 
@@ -259,9 +311,14 @@ func (p *Pool) NumObjects() int { return p.objects.Len() }
 
 // Reset drops all objects and statistics (pool destruction).
 func (p *Pool) Reset() {
+	p.invalidate()
 	p.objects.Clear()
 	p.Stats = Stats{}
 }
+
+// SplayLookups returns how many lookups reached the pool's splay tree
+// (cache hits never do).
+func (p *Pool) SplayLookups() uint64 { return p.objects.Lookups }
 
 // Registry is the VM's table of run-time metapools plus the indirect-call
 // target sets computed by the compiler's call-graph analysis.
@@ -270,6 +327,12 @@ type Registry struct {
 	// CallSets[i] is the set of legal function addresses for indirect
 	// call-check set i.
 	CallSets []map[uint64]bool
+	// ICChecks/ICViolations count indirect-call checks at the registry
+	// level (call sets are not owned by any single pool).
+	ICChecks     uint64
+	ICViolations uint64
+	// noCache is inherited by pools added after SetCacheDisabled(true).
+	noCache bool
 }
 
 // NewRegistry returns an empty registry.
@@ -277,6 +340,9 @@ func NewRegistry() *Registry { return &Registry{} }
 
 // AddPool appends a pool and returns its ID.
 func (r *Registry) AddPool(p *Pool) int {
+	if r.noCache {
+		p.NoCache = true
+	}
 	r.Pools = append(r.Pools, p)
 	return len(r.Pools) - 1
 }
@@ -298,18 +364,22 @@ func (r *Registry) AddCallSet(targets map[uint64]bool) int {
 // IndirectCallCheck verifies that target is a legal callee for set id
 // (control-flow integrity, guarantee T1).
 func (r *Registry) IndirectCallCheck(id int, target uint64) error {
+	r.ICChecks++
 	if id < 0 || id >= len(r.CallSets) {
+		r.ICViolations++
 		return &Violation{Kind: IndirectCallViolation, Pool: fmt.Sprintf("callset%d", id),
 			Addr: target, Msg: "unknown call set"}
 	}
 	if r.CallSets[id][target] {
 		return nil
 	}
+	r.ICViolations++
 	return &Violation{Kind: IndirectCallViolation, Pool: fmt.Sprintf("callset%d", id),
 		Addr: target, Msg: "indirect call target not in compiler-computed callee set"}
 }
 
-// TotalStats sums statistics across all pools.
+// TotalStats sums statistics across all pools plus the registry-level
+// indirect-call counters.
 func (r *Registry) TotalStats() Stats {
 	var s Stats
 	for _, p := range r.Pools {
@@ -319,6 +389,63 @@ func (r *Registry) TotalStats() Stats {
 		s.LSChecks += p.Stats.LSChecks
 		s.ICChecks += p.Stats.ICChecks
 		s.Violations += p.Stats.Violations
+		s.CacheHits += p.Stats.CacheHits
+		s.CacheMisses += p.Stats.CacheMisses
+	}
+	s.ICChecks += r.ICChecks
+	s.Violations += r.ICViolations
+	return s
+}
+
+// SetCacheDisabled toggles the last-hit cache on every current pool and
+// every pool registered later (benchmarking the uncached check path).
+func (r *Registry) SetCacheDisabled(disabled bool) {
+	r.noCache = disabled
+	for _, p := range r.Pools {
+		p.NoCache = disabled
+		if disabled {
+			p.invalidate()
+		}
+	}
+}
+
+// PoolSnapshot is one pool's row in a Registry snapshot.
+type PoolSnapshot struct {
+	Name            string
+	TypeHomogeneous bool
+	Complete        bool
+	Objects         int
+	// SplayLookups is how many lookups reached the splay tree.
+	SplayLookups uint64
+	Stats        Stats
+}
+
+// Snapshot captures per-pool check and cache statistics plus the
+// registry-level indirect-call counters at one instant.  internal/report
+// and `sva-bench -table=checks` render it.
+type Snapshot struct {
+	Pools        []PoolSnapshot
+	ICChecks     uint64
+	ICViolations uint64
+	Totals       Stats
+}
+
+// Snapshot returns the registry's current statistics.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		ICChecks:     r.ICChecks,
+		ICViolations: r.ICViolations,
+		Totals:       r.TotalStats(),
+	}
+	for _, p := range r.Pools {
+		s.Pools = append(s.Pools, PoolSnapshot{
+			Name:            p.Name,
+			TypeHomogeneous: p.TypeHomogeneous,
+			Complete:        p.Complete,
+			Objects:         p.NumObjects(),
+			SplayLookups:    p.SplayLookups(),
+			Stats:           p.Stats,
+		})
 	}
 	return s
 }

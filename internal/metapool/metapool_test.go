@@ -227,3 +227,121 @@ func TestRegisterStackEvictsMultiple(t *testing.T) {
 		t.Errorf("objects = %d, want 1", p.NumObjects())
 	}
 }
+
+func TestViolationKindStringNegative(t *testing.T) {
+	// Out-of-range kinds (either side) must render, not panic.
+	if got := ViolationKind(-1).String(); got != "violation(-1)" {
+		t.Errorf("ViolationKind(-1) = %q", got)
+	}
+	if got := ViolationKind(99).String(); got != "violation(99)" {
+		t.Errorf("ViolationKind(99) = %q", got)
+	}
+}
+
+func TestIndirectCallStatsInTotals(t *testing.T) {
+	r := NewRegistry()
+	id := r.AddCallSet(map[uint64]bool{0x100: true})
+	if err := r.IndirectCallCheck(id, 0x100); err != nil {
+		t.Fatalf("legal target: %v", err)
+	}
+	if err := r.IndirectCallCheck(id, 0x200); err == nil {
+		t.Fatal("illegal target not flagged")
+	}
+	if err := r.IndirectCallCheck(-1, 0x100); err == nil {
+		t.Fatal("unknown call set not flagged")
+	}
+	s := r.TotalStats()
+	if s.ICChecks != 3 {
+		t.Errorf("ICChecks = %d, want 3", s.ICChecks)
+	}
+	if s.Violations != 2 {
+		t.Errorf("Violations = %d, want 2 (CFI failures count)", s.Violations)
+	}
+}
+
+func TestLastHitCache(t *testing.T) {
+	p := NewPool("MP1", false, true, 0)
+	if err := p.Register(0x1000, 64, TagHeap); err != nil {
+		t.Fatal(err)
+	}
+	lk0 := p.SplayLookups()
+	for i := 0; i < 10; i++ {
+		if err := p.LoadStoreCheck(0x1008); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Stats.CacheMisses != 1 || p.Stats.CacheHits != 9 {
+		t.Errorf("hits/misses = %d/%d, want 9/1", p.Stats.CacheHits, p.Stats.CacheMisses)
+	}
+	if got := p.SplayLookups() - lk0; got != 1 {
+		t.Errorf("splay lookups = %d, want 1 (cache absorbs repeats)", got)
+	}
+
+	// Two hot objects fit the 2-entry cache.
+	if err := p.Register(0x2000, 64, TagHeap); err != nil {
+		t.Fatal(err)
+	}
+	h0, m0 := p.Stats.CacheHits, p.Stats.CacheMisses
+	for i := 0; i < 5; i++ {
+		if err := p.LoadStoreCheck(0x1000); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.LoadStoreCheck(0x2000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits := p.Stats.CacheHits - h0; hits != 8 {
+		t.Errorf("alternating hits = %d, want 8", hits)
+	}
+	if misses := p.Stats.CacheMisses - m0; misses != 2 {
+		t.Errorf("alternating misses = %d, want 2", misses)
+	}
+}
+
+func TestCacheInvalidatedOnMutation(t *testing.T) {
+	p := NewPool("MP1", false, true, 0)
+	if err := p.Register(0x1000, 64, TagHeap); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.LoadStoreCheck(0x1000); err != nil { // prime the cache
+		t.Fatal(err)
+	}
+	if err := p.Drop(0x1000); err != nil {
+		t.Fatal(err)
+	}
+	// A stale cache entry would wrongly pass this check.
+	if err := p.LoadStoreCheck(0x1000); err == nil {
+		t.Fatal("load/store of dropped object passed (stale cache entry)")
+	}
+
+	if err := p.Register(0x3000, 32, TagHeap); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.LoadStoreCheck(0x3000); err != nil {
+		t.Fatal(err)
+	}
+	p.Reset()
+	if err := p.LoadStoreCheck(0x3000); err == nil {
+		t.Fatal("check passed after Reset (stale cache entry)")
+	}
+}
+
+func TestNoCacheDisablesCaching(t *testing.T) {
+	p := NewPool("MP1", false, true, 0)
+	p.NoCache = true
+	if err := p.Register(0x1000, 64, TagHeap); err != nil {
+		t.Fatal(err)
+	}
+	lk0 := p.SplayLookups()
+	for i := 0; i < 10; i++ {
+		if err := p.LoadStoreCheck(0x1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Stats.CacheHits != 0 {
+		t.Errorf("CacheHits = %d with NoCache", p.Stats.CacheHits)
+	}
+	if got := p.SplayLookups() - lk0; got != 10 {
+		t.Errorf("splay lookups = %d, want 10 (uncached)", got)
+	}
+}

@@ -1,0 +1,82 @@
+package report
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"sva/internal/kernel"
+)
+
+// DefaultWorkers is the default fan-out for parallel table generation.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// forEach runs fn(0..n-1) on a bounded pool of worker goroutines and
+// returns the lowest-index error.  workers <= 1 runs inline, in order.
+func forEach(workers, n int, fn func(int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TableJob is one independently generatable section of the evaluation
+// report.  Every job builds its own kernels and machines, so jobs can run
+// concurrently; the rendered text is returned in job order regardless of
+// completion order, keeping multi-table output bit-identical to a serial
+// run.
+type TableJob struct {
+	Name string
+	Gen  func() (string, error)
+}
+
+// RunJobs executes table jobs across a bounded worker pool and returns
+// their outputs in job order.  workers <= 1 degenerates to the serial path.
+func RunJobs(jobs []TableJob, workers int) ([]string, error) {
+	if workers > 1 {
+		// Define the shared named-struct types once before fanning out:
+		// concurrent kernel builds then re-set identical bodies, which
+		// ir.SetBody turns into lock-protected read-only no-ops.
+		kernel.Build()
+	}
+	out := make([]string, len(jobs))
+	err := forEach(workers, len(jobs), func(i int) error {
+		t, err := jobs[i].Gen()
+		if err != nil {
+			return fmt.Errorf("%s: %w", jobs[i].Name, err)
+		}
+		out[i] = t
+		return nil
+	})
+	return out, err
+}

@@ -18,6 +18,7 @@ import (
 	"sva/internal/hbench"
 	"sva/internal/ir"
 	"sva/internal/kernel"
+	"sva/internal/metapool"
 	"sva/internal/safety"
 	"sva/internal/svaops"
 	"sva/internal/typecheck"
@@ -97,34 +98,52 @@ type AppRow struct {
 	Bytes uint64
 }
 
-// RunApps measures every Table 5 workload across the four configurations.
-func RunApps(scale Scale) ([]AppRow, error) {
+// RunApps measures every Table 5 workload across the four configurations
+// (serial shorthand for RunAppsN(scale, 1)).
+func RunApps(scale Scale) ([]AppRow, error) { return RunAppsN(scale, 1) }
+
+// RunAppsN fans the runs out across up to `workers` goroutines, one per
+// kernel configuration.  Each configuration is an independent deterministic
+// machine executing its workloads in table order, so the resulting rows are
+// bit-identical to a serial run.
+func RunAppsN(scale Scale, workers int) ([]AppRow, error) {
 	r, err := apps.NewRunner()
 	if err != nil {
 		return nil, err
 	}
-	var rows []AppRow
-	for _, w := range apps.Local() {
-		w.Units = scale.apply(w.Units)
-		row := AppRow{Name: w.Name}
-		var times [4]time.Duration
-		for i, cfg := range hbench.Configs {
+	ws := apps.Local()
+	for i := range ws {
+		ws[i].Units = scale.apply(ws[i].Units)
+	}
+	times := make([][4]time.Duration, len(ws))
+	native := make([]apps.Measurement, len(ws))
+	err = forEach(workers, len(hbench.Configs), func(ci int) error {
+		cfg := hbench.Configs[ci]
+		for wi, w := range ws {
 			m, err := r.Run(cfg, w)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			times[i] = m.Elapsed
+			times[wi][ci] = m.Elapsed
 			if cfg == vm.ConfigNative {
-				row.SysShare = m.SysShare
-				if w.Mode >= 0 {
-					row.Bytes = uint64(m.Ret)
-				}
+				native[wi] = m
 			}
 		}
-		row.Native = times[0]
-		row.OverGCC = pct(times[0], times[1])
-		row.OverLLVM = pct(times[0], times[2])
-		row.OverSafe = pct(times[0], times[3])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AppRow, 0, len(ws))
+	for wi, w := range ws {
+		row := AppRow{Name: w.Name, SysShare: native[wi].SysShare}
+		if w.Mode >= 0 {
+			row.Bytes = uint64(native[wi].Ret)
+		}
+		row.Native = times[wi][0]
+		row.OverGCC = pct(times[wi][0], times[wi][1])
+		row.OverLLVM = pct(times[wi][0], times[wi][2])
+		row.OverSafe = pct(times[wi][0], times[wi][3])
 		rows = append(rows, row)
 	}
 	return rows, nil
@@ -176,48 +195,72 @@ type BenchRow struct {
 	OverSafe float64
 }
 
-// RunLatencies measures Table 7.
+// RunLatencies measures Table 7 (serial shorthand for RunLatenciesN).
 func RunLatencies(r *hbench.Runner, scale Scale) ([]BenchRow, error) {
-	var rows []BenchRow
-	for _, op := range hbench.LatencyOps {
-		iters := scale.apply(op.Iters)
-		var times [4]time.Duration
-		for i, cfg := range hbench.Configs {
-			d, err := r.Measure(cfg, op.Prog, iters)
+	return RunLatenciesN(r, scale, 1)
+}
+
+// RunLatenciesN measures Table 7 with one worker goroutine per kernel
+// configuration (bounded by `workers`).  Rows within a configuration run in
+// table order on that configuration's own machine, so the cycle counts are
+// bit-identical to a serial run.
+func RunLatenciesN(r *hbench.Runner, scale Scale, workers int) ([]BenchRow, error) {
+	times := make([][4]time.Duration, len(hbench.LatencyOps))
+	err := forEach(workers, len(hbench.Configs), func(ci int) error {
+		for oi, op := range hbench.LatencyOps {
+			d, err := r.Measure(hbench.Configs[ci], op.Prog, scale.apply(op.Iters))
 			if err != nil {
-				return nil, err
+				return err
 			}
-			times[i] = d
+			times[oi][ci] = d
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]BenchRow, 0, len(hbench.LatencyOps))
+	for oi, op := range hbench.LatencyOps {
 		rows = append(rows, BenchRow{
-			Name: op.Name, Native: times[0],
-			OverGCC: pct(times[0], times[1]), OverLLVM: pct(times[0], times[2]),
-			OverSafe: pct(times[0], times[3]),
+			Name: op.Name, Native: times[oi][0],
+			OverGCC: pct(times[oi][0], times[oi][1]), OverLLVM: pct(times[oi][0], times[oi][2]),
+			OverSafe: pct(times[oi][0], times[oi][3]),
 		})
 	}
 	return rows, nil
 }
 
-// RunBandwidths measures Table 8.
+// RunBandwidths measures Table 8 (serial shorthand for RunBandwidthsN).
 func RunBandwidths(r *hbench.Runner, scale Scale) ([]BenchRow, error) {
-	var rows []BenchRow
-	for _, op := range hbench.BandwidthOps {
-		iters := scale.apply(op.Iters)
-		var times [4]time.Duration
-		for i, cfg := range hbench.Configs {
-			if err := r.PrepareBandwidth(cfg, op.Size); err != nil {
-				return nil, err
+	return RunBandwidthsN(r, scale, 1)
+}
+
+// RunBandwidthsN measures Table 8 with per-configuration fan-out, like
+// RunLatenciesN.
+func RunBandwidthsN(r *hbench.Runner, scale Scale, workers int) ([]BenchRow, error) {
+	times := make([][4]time.Duration, len(hbench.BandwidthOps))
+	err := forEach(workers, len(hbench.Configs), func(ci int) error {
+		for oi, op := range hbench.BandwidthOps {
+			if err := r.PrepareBandwidth(hbench.Configs[ci], op.Size); err != nil {
+				return err
 			}
-			d, err := r.Measure(cfg, op.Prog, iters)
+			d, err := r.Measure(hbench.Configs[ci], op.Prog, scale.apply(op.Iters))
 			if err != nil {
-				return nil, err
+				return err
 			}
-			times[i] = d
+			times[oi][ci] = d
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]BenchRow, 0, len(hbench.BandwidthOps))
+	for oi, op := range hbench.BandwidthOps {
 		rows = append(rows, BenchRow{
-			Name: op.Name, Native: times[0], Bytes: op.Size,
-			OverGCC: pct(times[0], times[1]), OverLLVM: pct(times[0], times[2]),
-			OverSafe: pct(times[0], times[3]),
+			Name: op.Name, Native: times[oi][0], Bytes: op.Size,
+			OverGCC: pct(times[oi][0], times[oi][1]), OverLLVM: pct(times[oi][0], times[oi][2]),
+			OverSafe: pct(times[oi][0], times[oi][3]),
 		})
 	}
 	return rows, nil
@@ -247,6 +290,64 @@ func Table8(rows []BenchRow) string {
 			r.Name, mbs, red(r.OverGCC), red(r.OverLLVM), red(r.OverSafe))
 	}
 	return sb.String()
+}
+
+// --- check statistics (-table=checks) ---------------------------------------
+
+// ChecksTable drives the Table 7 latency battery on the safety-checked
+// configuration and renders the run-time check and last-hit-cache
+// statistics from metapool.Registry.Snapshot().
+func ChecksTable(r *hbench.Runner, scale Scale) (string, error) {
+	for _, op := range hbench.LatencyOps {
+		if _, err := r.Measure(vm.ConfigSafe, op.Prog, scale.apply(op.Iters)); err != nil {
+			return "", err
+		}
+	}
+	sys := r.Systems[vm.ConfigSafe]
+	return FormatChecks(sys.VM.Pools.Snapshot(), sys.VM.Counters), nil
+}
+
+// FormatChecks renders a registry snapshot as the -table=checks report.
+func FormatChecks(snap metapool.Snapshot, c vm.Counters) string {
+	var sb strings.Builder
+	sb.WriteString("Check statistics (sva-safe, Table 7 battery)\n")
+	fmt.Fprintf(&sb, "%-16s %3s %3s %6s %9s %9s %10s %10s %7s %9s %5s\n",
+		"Pool", "TH", "C", "objs", "bounds", "lscheck", "cache-hit", "cache-miss", "hit%", "splay", "viol")
+	idle := 0
+	for _, p := range snap.Pools {
+		s := p.Stats
+		if s.BoundsChecks+s.LSChecks+s.Violations == 0 {
+			idle++
+			continue
+		}
+		hitPct := 0.0
+		if s.CacheHits+s.CacheMisses > 0 {
+			hitPct = 100 * float64(s.CacheHits) / float64(s.CacheHits+s.CacheMisses)
+		}
+		fmt.Fprintf(&sb, "%-16s %3s %3s %6d %9d %9d %10d %10d %6.1f%% %9d %5d\n",
+			p.Name, yn(p.TypeHomogeneous), yn(p.Complete), p.Objects,
+			s.BoundsChecks, s.LSChecks, s.CacheHits, s.CacheMisses, hitPct,
+			p.SplayLookups, s.Violations)
+	}
+	t := snap.Totals
+	totHit := 0.0
+	if t.CacheHits+t.CacheMisses > 0 {
+		totHit = 100 * float64(t.CacheHits) / float64(t.CacheHits+t.CacheMisses)
+	}
+	fmt.Fprintf(&sb, "%-16s %3s %3s %6s %9d %9d %10d %10d %6.1f%% %9s %5d\n",
+		"Total", "", "", "", t.BoundsChecks, t.LSChecks, t.CacheHits, t.CacheMisses, totHit, "", t.Violations)
+	fmt.Fprintf(&sb, "pools with no check activity: %d\n", idle)
+	fmt.Fprintf(&sb, "indirect-call checks: %d (violations: %d)\n", snap.ICChecks, snap.ICViolations)
+	fmt.Fprintf(&sb, "vm counters: bounds=%d lscheck=%d icheck=%d\n",
+		c.ChecksBounds, c.ChecksLS, c.ChecksIC)
+	return sb.String()
+}
+
+func yn(b bool) string {
+	if b {
+		return "y"
+	}
+	return "n"
 }
 
 // --- Table 9 ----------------------------------------------------------------
@@ -280,9 +381,15 @@ func Table9() (string, error) {
 
 // --- exploits and TCB -------------------------------------------------------
 
-// ExploitTable runs the §7.2 matrix and renders it.
-func ExploitTable() (string, error) {
-	results, err := exploits.Matrix()
+// ExploitTable runs the §7.2 matrix and renders it (serial shorthand for
+// ExploitTableN(1)).
+func ExploitTable() (string, error) { return ExploitTableN(1) }
+
+// ExploitTableN runs the matrix with up to `workers` concurrent exploit
+// runs; every run boots a fresh system, so the table is identical to a
+// serial run.
+func ExploitTableN(workers int) (string, error) {
+	results, err := exploits.MatrixParallel(workers)
 	if err != nil {
 		return "", err
 	}

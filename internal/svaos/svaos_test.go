@@ -680,3 +680,24 @@ func TestSigreturnPattern(t *testing.T) {
 		t.Errorf("sigreturn pattern = %d, want 39", got)
 	}
 }
+
+func TestMMUMapRejectsSVMBootstrapPages(t *testing.T) {
+	// Every page of the SVM bootstrap reserve must be unmappable from
+	// guest code, not just the first one (llva.mmu returns ^0 on refusal).
+	m := ir.NewModule("svmreserve")
+	b := ir.NewBuilder(m)
+	b.NewFunc("kmain", ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false), "page")
+	r := b.Call(svaops.Get(m, svaops.MMUMap), b.Param(0), b.Param(0),
+		ir.I64c(hw.PermRead|hw.PermWrite))
+	b.Ret(r)
+	v := buildVM(t, vm.ConfigSVAGCC, m)
+	for a := uint64(vm.SVMBase); a < vm.SVMTop; a += hw.PageSize {
+		got, err := run(t, v, "kmain", hw.PrivKernel, 0, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ^uint64(0) {
+			t.Errorf("llva.mmu mapped SVM bootstrap page %#x (got %#x, want ^0)", a, got)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"sva/internal/hw"
 	"sva/internal/ir"
@@ -167,18 +168,22 @@ type fnMeta struct {
 	blockIdx map[*ir.BasicBlock]int
 }
 
-var fnMetaCache = map[*ir.Function]*fnMeta{}
+// fnMetaCache is keyed by *ir.Function; modules are shared between the
+// VMs that per-config bench goroutines run concurrently, so the cache
+// must be safe for mixed read/build access (sync.Map keeps the
+// all-but-first lookups lock-free).
+var fnMetaCache sync.Map
 
 func meta(f *ir.Function) *fnMeta {
-	if m, ok := fnMetaCache[f]; ok {
-		return m
+	if m, ok := fnMetaCache.Load(f); ok {
+		return m.(*fnMeta)
 	}
 	m := &fnMeta{blockIdx: make(map[*ir.BasicBlock]int, len(f.Blocks))}
 	for i, b := range f.Blocks {
 		m.blockIdx[b] = i
 	}
-	fnMetaCache[f] = m
-	return m
+	got, _ := fnMetaCache.LoadOrStore(f, m)
+	return got.(*fnMeta)
 }
 
 // eval resolves an operand value within a frame.

@@ -213,7 +213,11 @@ func New(mach *hw.Machine, cfg Config) *VM {
 		nextKStack:  KStackBase,
 	}
 	// SVM bootstrap reserve: mapped for the SVM only (paper §3.4).
-	mach.MMU.Reserve(SVMBase, SVMBase, hw.PermRead|hw.PermWrite)
+	// Reserve is per-page, so cover every page of [SVMBase, SVMTop) —
+	// otherwise the guest could llva.mmu-remap the tail pages.
+	for a := uint64(SVMBase); a < SVMTop; a += hw.PageSize {
+		mach.MMU.Reserve(a, a, hw.PermRead|hw.PermWrite)
+	}
 	vm.installCoreIntrinsics()
 	return vm
 }
@@ -229,8 +233,13 @@ func (vm *VM) RegisterIntrinsic(name string, fn IntrinsicFn) {
 func (vm *VM) LoadModule(m *ir.Module, user bool) error {
 	vm.mods = append(vm.mods, m)
 	for _, f := range m.Funcs {
-		if _, dup := vm.symFunc[f.Nm]; dup {
+		if first, dup := vm.symFunc[f.Nm]; dup {
 			// Cross-module references resolve to the first definition.
+			// The shadowed definition still needs a code address (a
+			// GlobalAddr may name it directly) and numbered values so
+			// its module prints and verifies.
+			vm.funcAddr[f] = vm.funcAddr[first]
+			f.Renumber()
 			continue
 		}
 		addr := vm.nextFunc

@@ -468,3 +468,48 @@ func TestSpuriousInterruptDropped(t *testing.T) {
 		t.Errorf("fact with spurious interrupt = %d", got)
 	}
 }
+
+func TestSVMReserveCoversBootstrapRegion(t *testing.T) {
+	v := newTestVM(t, ConfigSafe, factorialModule())
+	pages := 0
+	for a := uint64(SVMBase); a < SVMTop; a += hw.PageSize {
+		pages++
+		if err := v.Mach.MMU.Map(a, a, hw.PermRead|hw.PermWrite); err == nil {
+			t.Errorf("guest remapped SVM bootstrap page %#x", a)
+		}
+	}
+	if pages != 5 {
+		t.Errorf("bootstrap region spans %d pages, want 5", pages)
+	}
+}
+
+func TestLoadModuleDuplicateFunctionAlias(t *testing.T) {
+	sig := ir.FuncOf(ir.I64, nil, false)
+
+	m1 := ir.NewModule("first")
+	b1 := ir.NewBuilder(m1)
+	b1.NewFunc("dupf", sig)
+	b1.Ret(ir.I64c(11))
+
+	// The second module shadows dupf and takes its address in a global
+	// initializer, so the shadowed definition must still resolve.
+	m2 := ir.NewModule("second")
+	b2 := ir.NewBuilder(m2)
+	f2 := b2.NewFunc("dupf", sig)
+	b2.Ret(ir.I64c(22))
+	ptr := m2.NewGlobal("dupf_ptr", ir.PointerTo(sig), &ir.GlobalAddr{G: f2})
+	b2.NewFunc("caller", sig)
+	b2.Ret(b2.Call(b2.Load(ptr)))
+
+	v := New(hw.NewMachine(0, 64), ConfigNative)
+	if err := v.LoadModule(m1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.LoadModule(m2, false); err != nil {
+		t.Fatalf("loading module with shadowed duplicate: %v", err)
+	}
+	// Cross-module references resolve to the first definition.
+	if got := runFunc(t, v, "caller"); got != 11 {
+		t.Errorf("call through shadowed dup = %d, want 11 (first definition)", got)
+	}
+}
