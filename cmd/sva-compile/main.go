@@ -30,6 +30,7 @@ func main() {
 	useKernel := flag.Bool("kernel", false, "compile the bundled guest kernel")
 	entire := flag.Bool("entire", false, "compile the entire kernel (no subsystem exclusions)")
 	metrics := flag.Bool("metrics", false, "print static safety metrics")
+	elide := flag.Bool("elide", true, "run redundant run-time check elimination (§7.1.3)")
 	sign := flag.Bool("sign", false, "write a detached Ed25519 signature next to -o")
 	flag.Parse()
 
@@ -40,6 +41,7 @@ func main() {
 
 	var mod *ir.Module
 	cfg := kernel.SafetyConfig(!*entire)
+	cfg.DisableElide = !*elide
 	switch {
 	case *useKernel:
 		mod = kernel.Build().Kernel
@@ -64,9 +66,10 @@ func main() {
 	if errs := ir.VerifyModule(mod); len(errs) != 0 {
 		fail(fmt.Errorf("instrumented module does not verify: %v", errs[0]))
 	}
-	fmt.Printf("safety-compiled %s: %d metapools, %d bounds checks, %d ls checks, %d indirect-call checks\n",
+	fmt.Printf("safety-compiled %s: %d metapools, %d bounds checks (%d elided), %d ls checks (%d elided), %d indirect-call checks\n",
 		mod.Name, len(prog.Descs), prog.Metrics.BoundsChecksInserted,
-		prog.Metrics.LSChecksInserted, prog.Metrics.ICChecksInserted)
+		prog.Metrics.BoundsChecksElided, prog.Metrics.LSChecksInserted,
+		prog.Metrics.LSChecksElided, prog.Metrics.ICChecksInserted)
 	if *metrics {
 		fmt.Print(prog.Metrics.String())
 	}

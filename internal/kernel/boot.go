@@ -68,11 +68,18 @@ type System struct {
 // library (the §7.2 "additional kernel library").  extra modules (user
 // programs) are loaded into user space before boot.
 func NewSystem(cfg vm.Config, asTested bool, extra ...*ir.Module) (*System, error) {
+	return NewSystemWith(cfg, SafetyConfig(asTested), extra...)
+}
+
+// NewSystemWith is NewSystem with an explicit safety-compilation config
+// (elision ablations, exploit equivalence runs).  scfg is ignored unless
+// cfg is ConfigSafe.
+func NewSystemWith(cfg vm.Config, scfg safety.Config, extra ...*ir.Module) (*System, error) {
 	img := Build()
 	var prog *safety.Program
 	if cfg == vm.ConfigSafe {
 		mods := append([]*ir.Module{img.Kernel}, extra...)
-		p, err := safety.Compile(SafetyConfig(asTested), mods...)
+		p, err := safety.Compile(scfg, mods...)
 		if err != nil {
 			return nil, fmt.Errorf("kernel: safety compile: %w", err)
 		}

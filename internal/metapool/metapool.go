@@ -71,6 +71,10 @@ type Stats struct {
 	BoundsChecks uint64
 	LSChecks     uint64
 	ICChecks     uint64
+	// ElidedBounds/ElidedLS count checks this pool would have run had the
+	// compiler's §7.1.3 redundancy pass not proven them unnecessary.
+	ElidedBounds uint64
+	ElidedLS     uint64
 	Violations   uint64
 	// CacheHits/CacheMisses count last-hit cache outcomes on the check
 	// hot path (a miss falls through to the splay tree).
@@ -297,6 +301,13 @@ func (p *Pool) LoadStoreCheck(addr uint64) error {
 		Msg: "access through pointer outside every registered object"}
 }
 
+// NoteElidedBounds records a bounds check the compiler proved redundant
+// at this site (the check itself does not run).
+func (p *Pool) NoteElidedBounds() { p.Stats.ElidedBounds++ }
+
+// NoteElidedLS records an elided load-store check.
+func (p *Pool) NoteElidedLS() { p.Stats.ElidedLS++ }
+
 // Contains reports whether addr falls in a registered object (no stats).
 func (p *Pool) Contains(addr uint64) bool {
 	if _, ok := p.userRange(addr); ok {
@@ -388,6 +399,8 @@ func (r *Registry) TotalStats() Stats {
 		s.BoundsChecks += p.Stats.BoundsChecks
 		s.LSChecks += p.Stats.LSChecks
 		s.ICChecks += p.Stats.ICChecks
+		s.ElidedBounds += p.Stats.ElidedBounds
+		s.ElidedLS += p.Stats.ElidedLS
 		s.Violations += p.Stats.Violations
 		s.CacheHits += p.Stats.CacheHits
 		s.CacheMisses += p.Stats.CacheMisses

@@ -304,19 +304,25 @@ func ChecksTable(r *hbench.Runner, scale Scale) (string, error) {
 		}
 	}
 	sys := r.Systems[vm.ConfigSafe]
-	return FormatChecks(sys.VM.Pools.Snapshot(), sys.VM.Counters), nil
+	var m *safety.Metrics
+	if sys.Prog != nil {
+		m = &sys.Prog.Metrics
+	}
+	return FormatChecks(sys.VM.Pools.Snapshot(), sys.VM.Counters, m), nil
 }
 
 // FormatChecks renders a registry snapshot as the -table=checks report.
-func FormatChecks(snap metapool.Snapshot, c vm.Counters) string {
+// m, when non-nil, supplies the compiler's static check accounting so the
+// §7.1.3 elision rates can be reported alongside the dynamic counts.
+func FormatChecks(snap metapool.Snapshot, c vm.Counters, m *safety.Metrics) string {
 	var sb strings.Builder
 	sb.WriteString("Check statistics (sva-safe, Table 7 battery)\n")
-	fmt.Fprintf(&sb, "%-16s %3s %3s %6s %9s %9s %10s %10s %7s %9s %5s\n",
-		"Pool", "TH", "C", "objs", "bounds", "lscheck", "cache-hit", "cache-miss", "hit%", "splay", "viol")
+	fmt.Fprintf(&sb, "%-16s %3s %3s %6s %9s %9s %9s %9s %10s %10s %7s %9s %5s\n",
+		"Pool", "TH", "C", "objs", "bounds", "b-elide", "lscheck", "ls-elide", "cache-hit", "cache-miss", "hit%", "splay", "viol")
 	idle := 0
 	for _, p := range snap.Pools {
 		s := p.Stats
-		if s.BoundsChecks+s.LSChecks+s.Violations == 0 {
+		if s.BoundsChecks+s.LSChecks+s.ElidedBounds+s.ElidedLS+s.Violations == 0 {
 			idle++
 			continue
 		}
@@ -324,9 +330,9 @@ func FormatChecks(snap metapool.Snapshot, c vm.Counters) string {
 		if s.CacheHits+s.CacheMisses > 0 {
 			hitPct = 100 * float64(s.CacheHits) / float64(s.CacheHits+s.CacheMisses)
 		}
-		fmt.Fprintf(&sb, "%-16s %3s %3s %6d %9d %9d %10d %10d %6.1f%% %9d %5d\n",
+		fmt.Fprintf(&sb, "%-16s %3s %3s %6d %9d %9d %9d %9d %10d %10d %6.1f%% %9d %5d\n",
 			p.Name, yn(p.TypeHomogeneous), yn(p.Complete), p.Objects,
-			s.BoundsChecks, s.LSChecks, s.CacheHits, s.CacheMisses, hitPct,
+			s.BoundsChecks, s.ElidedBounds, s.LSChecks, s.ElidedLS, s.CacheHits, s.CacheMisses, hitPct,
 			p.SplayLookups, s.Violations)
 	}
 	t := snap.Totals
@@ -334,13 +340,31 @@ func FormatChecks(snap metapool.Snapshot, c vm.Counters) string {
 	if t.CacheHits+t.CacheMisses > 0 {
 		totHit = 100 * float64(t.CacheHits) / float64(t.CacheHits+t.CacheMisses)
 	}
-	fmt.Fprintf(&sb, "%-16s %3s %3s %6s %9d %9d %10d %10d %6.1f%% %9s %5d\n",
-		"Total", "", "", "", t.BoundsChecks, t.LSChecks, t.CacheHits, t.CacheMisses, totHit, "", t.Violations)
+	fmt.Fprintf(&sb, "%-16s %3s %3s %6s %9d %9d %9d %9d %10d %10d %6.1f%% %9s %5d\n",
+		"Total", "", "", "", t.BoundsChecks, t.ElidedBounds, t.LSChecks, t.ElidedLS,
+		t.CacheHits, t.CacheMisses, totHit, "", t.Violations)
 	fmt.Fprintf(&sb, "pools with no check activity: %d\n", idle)
 	fmt.Fprintf(&sb, "indirect-call checks: %d (violations: %d)\n", snap.ICChecks, snap.ICViolations)
-	fmt.Fprintf(&sb, "vm counters: bounds=%d lscheck=%d icheck=%d\n",
-		c.ChecksBounds, c.ChecksLS, c.ChecksIC)
+	fmt.Fprintf(&sb, "vm counters: bounds=%d lscheck=%d icheck=%d elided-bounds=%d elided-ls=%d\n",
+		c.ChecksBounds, c.ChecksLS, c.ChecksIC, c.ElidedBounds, c.ElidedLS)
+	if m != nil {
+		fmt.Fprintf(&sb, "static elision: bounds %d/%d (%.1f%%), lscheck %d/%d (%.1f%%)\n",
+			m.BoundsChecksElided, m.BoundsChecksInserted,
+			ratioPct(m.BoundsChecksElided, m.BoundsChecksInserted),
+			m.LSChecksElided, m.LSChecksInserted,
+			ratioPct(m.LSChecksElided, m.LSChecksInserted))
+	}
+	fmt.Fprintf(&sb, "dynamic elision: bounds %.1f%% of would-be executions skipped, lscheck %.1f%%\n",
+		ratioPct(int(c.ElidedBounds), int(c.ElidedBounds+c.ChecksBounds)),
+		ratioPct(int(c.ElidedLS), int(c.ElidedLS+c.ChecksLS)))
 	return sb.String()
+}
+
+func ratioPct(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(d)
 }
 
 func yn(b bool) string {
@@ -419,9 +443,10 @@ func ExploitTableN(workers int) (string, error) {
 
 // TCBTable runs the §5 verifier bug-injection experiment.
 func TCBTable() (string, error) {
-	kinds := []typecheck.BugKind{typecheck.BugAliasing, typecheck.BugEdge, typecheck.BugTHClaim, typecheck.BugSplit}
+	kinds := []typecheck.BugKind{typecheck.BugAliasing, typecheck.BugEdge, typecheck.BugTHClaim,
+		typecheck.BugSplit, typecheck.BugBogusElision}
 	var sb strings.Builder
-	sb.WriteString("Verifier bug-injection (§5): 5 instances x 4 kinds\n")
+	sb.WriteString("Verifier bug-injection (§5): 5 instances x 5 kinds\n")
 	total, detected := 0, 0
 	for _, kind := range kinds {
 		d := 0
@@ -443,7 +468,8 @@ func TCBTable() (string, error) {
 		}
 		fmt.Fprintf(&sb, "  %-12s detected %d/5\n", kind, d)
 	}
-	fmt.Fprintf(&sb, "total: %d/%d detected (paper: 20/20)\n", detected, total)
+	fmt.Fprintf(&sb, "total: %d/%d detected (paper: 20/20 over 4 kinds; elision kind is this reproduction's addition)\n",
+		detected, total)
 	return sb.String(), nil
 }
 
@@ -526,13 +552,14 @@ func APITable() string {
 func Ablation() (string, error) {
 	var sb strings.Builder
 	variants := []struct {
-		label            string
-		noClone, noDevir bool
+		label                     string
+		noClone, noDevir, noElide bool
 	}{
-		{"full (cloning+devirt)", false, false},
-		{"no cloning", true, false},
-		{"no devirtualization", false, true},
-		{"neither", true, true},
+		{"full (cloning+devirt+elide)", false, false, false},
+		{"no cloning", true, false, false},
+		{"no devirtualization", false, true, false},
+		{"no check elision", false, false, true},
+		{"neither clone nor devirt", true, true, false},
 	}
 	for _, scope := range []struct {
 		label    string
@@ -542,21 +569,23 @@ func Ablation() (string, error) {
 		{"kernel + copy library", false},
 	} {
 		fmt.Fprintf(&sb, "Ablation: §4.8 precision transformations (%s)\n", scope.label)
-		fmt.Fprintf(&sb, "%-28s %8s %8s %12s %10s %9s\n",
-			"Variant", "clones", "devirt", "ld typesafe", "ic checks", "bounds")
+		fmt.Fprintf(&sb, "%-28s %8s %8s %12s %10s %9s %9s\n",
+			"Variant", "clones", "devirt", "ld typesafe", "ic checks", "bounds", "b-elided")
 		for _, v := range variants {
 			img := kernel.Build()
 			cfg := kernel.SafetyConfig(scope.asTested)
 			cfg.DisableCloning = v.noClone
 			cfg.DisableDevirt = v.noDevir
+			cfg.DisableElide = v.noElide
 			prog, err := safety.Compile(cfg, img.Kernel)
 			if err != nil {
 				return "", err
 			}
 			m := prog.Metrics
-			fmt.Fprintf(&sb, "%-28s %8d %8d %11.1f%% %10d %9d\n",
+			fmt.Fprintf(&sb, "%-28s %8d %8d %11.1f%% %10d %9d %9d\n",
 				v.label, m.ClonesCreated, m.Devirtualized,
-				m.Loads.PctTypeSafe(), m.ICChecksInserted, m.BoundsChecksInserted)
+				m.Loads.PctTypeSafe(), m.ICChecksInserted, m.BoundsChecksInserted,
+				m.BoundsChecksElided)
 		}
 		sb.WriteByte('\n')
 	}

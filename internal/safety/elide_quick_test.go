@@ -1,0 +1,106 @@
+package safety
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sva/internal/hw"
+	"sva/internal/ir"
+	"sva/internal/svaos"
+	"sva/internal/vm"
+)
+
+// buildQuickModule emits a parameterized program exercising both elision
+// rules and both kill conditions:
+//
+//	prog(x):
+//	  a = alloca [8 x i64]
+//	  for i in 0..limit: a[i] = i        // counted loop: R2 territory;
+//	                                     // traps when limit > 8
+//	  p = kmalloc(32); p64 = (i64*)p
+//	  p64[off] = 7                       // off in [0,3]: in bounds
+//	  if uaf: kfree(p)                   // pool mutation kills the fact
+//	  p64[off] = 9                       // R1 candidate; traps iff uaf
+//	  return a[x]                        // traps iff x >= 8
+func buildQuickModule(limit, off int64, uaf bool) *ir.Module {
+	m := ir.NewModule("quick")
+	addTestAllocator(m)
+	b := ir.NewBuilder(m)
+	b.NewFunc("prog", ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false), "x")
+	a := b.Alloca(ir.ArrayOf(8, ir.I64), "a")
+	b.For("i", ir.I64c(0), ir.I64c(limit), ir.I64c(1), func(i ir.Value) {
+		b.Store(i, b.GEP(a, ir.I64c(0), i))
+	})
+	p := b.Call(m.Func("kmalloc"), ir.I64c(32))
+	p64 := b.Bitcast(p, ir.PointerTo(ir.I64))
+	b.Store(ir.I64c(7), b.PtrAdd(p64, ir.I64c(off)))
+	if uaf {
+		b.Call(m.Func("kfree"), p)
+	}
+	b.Store(ir.I64c(9), b.PtrAdd(p64, ir.I64c(off)))
+	b.Ret(b.Load(b.GEP(a, ir.I64c(0), b.Param(0))))
+	return m
+}
+
+// runQuick compiles m with elision toggled and runs prog(x), returning
+// the result, whether a safety violation fired, and the run error.
+func runQuick(t *testing.T, m *ir.Module, disable bool, x uint64) (uint64, bool, error) {
+	t.Helper()
+	cfg := testCfg()
+	cfg.DisableElide = disable
+	if _, err := Compile(cfg, m); err != nil {
+		t.Fatalf("Compile(disable=%v): %v", disable, err)
+	}
+	if errs := ir.VerifyModule(m); len(errs) != 0 {
+		t.Fatalf("module does not verify: %v", errs[0])
+	}
+	v := vm.New(hw.NewMachine(0, 16), vm.ConfigSafe)
+	svaos.Install(v)
+	if err := v.LoadModule(m, false); err != nil {
+		t.Fatal(err)
+	}
+	top, _ := v.AllocKernelStack(64 * 1024)
+	ex, err := v.NewExec(v.FuncByName("prog"), []uint64{x}, top, hw.PrivKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.SetExec(ex)
+	v.StepBudget = 10_000_000
+	got, rerr := v.Run()
+	return got, len(v.Violations) > 0, rerr
+}
+
+// TestElideEquivalenceQuick is the elision soundness property, checked
+// over randomized programs: the elided program traps exactly when the
+// fully-checked program traps, and produces the same value when neither
+// does.  Loop limits straddle the array bound, the heap access is
+// optionally turned into a use-after-free, and the returned index is
+// sometimes wild — so the generator covers elided-and-safe,
+// not-elidable, and must-still-trap territory.
+func TestElideEquivalenceQuick(t *testing.T) {
+	prop := func(l, o uint8, uaf bool, xi uint16) bool {
+		limit := int64(l%12) + 1 // 1..12: beyond 8 the loop itself traps
+		off := int64(o % 4)      // always within the 32-byte allocation
+		x := uint64(xi % 12)     // beyond 7 the final load traps
+		gotE, vioE, errE := runQuick(t, buildQuickModule(limit, off, uaf), false, x)
+		gotF, vioF, errF := runQuick(t, buildQuickModule(limit, off, uaf), true, x)
+		if vioE != vioF || (errE == nil) != (errF == nil) {
+			t.Logf("limit=%d off=%d uaf=%v x=%d: elided (vio=%v err=%v) vs full (vio=%v err=%v)",
+				limit, off, uaf, x, vioE, errE, vioF, errF)
+			return false
+		}
+		if errE == nil && gotE != gotF {
+			t.Logf("limit=%d off=%d uaf=%v x=%d: value %d vs %d", limit, off, uaf, x, gotE, gotF)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 32,
+		Rand:     rand.New(rand.NewSource(20070823)), // deterministic battery
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -265,7 +265,14 @@ func gepProvablySafe(in *ir.Instr) bool {
 			if !ok {
 				return false
 			}
-			cur = cur.Field(int(c.SignedValue()))
+			fi := c.SignedValue()
+			if fi < 0 || fi >= int64(cur.NumFields()) {
+				// A negative or out-of-range constant field index is
+				// malformed IR; it is certainly not provably safe, and
+				// indexing the field list with it would panic.
+				return false
+			}
+			cur = cur.Field(int(fi))
 		default:
 			return false
 		}
@@ -303,6 +310,11 @@ func indexBoundedBy(idx ir.Value, n int64) bool {
 			if src.IsInt() && src.Bits() < 63 && int64(1)<<uint(src.Bits()) <= n {
 				return true
 			}
+			return indexBoundedBy(v.Args[0], n)
+		case ir.OpSExt:
+			// Every sub-rule above proves the narrow value lies in [0, n)
+			// with its top bit clear, so sign extension preserves it and
+			// the widened index is bounded whenever the source is.
 			return indexBoundedBy(v.Args[0], n)
 		}
 	}

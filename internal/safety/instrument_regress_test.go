@@ -1,0 +1,77 @@
+package safety
+
+import (
+	"testing"
+
+	"sva/internal/ir"
+)
+
+// TestGEPProvablySafeRejectsBadFieldIndex regresses the handling of
+// malformed constant struct-field indices.  The builder refuses to emit
+// such a GEP, but bytecode loaded from outside (or a buggy front end) can
+// present one; the analysis must answer "not provably safe" rather than
+// index the field list out of range.
+func TestGEPProvablySafeRejectsBadFieldIndex(t *testing.T) {
+	st := ir.StructOf(ir.I64, ir.I64)
+	m := ir.NewModule("regress")
+	b := ir.NewBuilder(m)
+	f := b.NewFunc("f", ir.FuncOf(ir.Void, []*ir.Type{ir.PointerTo(st)}, false), "p")
+	base := b.Param(0)
+	b.Ret(nil)
+	b.Seal()
+	_ = f
+
+	for _, tc := range []struct {
+		name string
+		fi   ir.Value
+	}{
+		{"negative field index", ir.NewInt(ir.I32, -1)},
+		{"field index past end", ir.NewInt(ir.I32, 2)},
+		{"wildly out of range", ir.NewInt(ir.I64, 1<<40)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			in := &ir.Instr{
+				Op:   ir.OpGEP,
+				Args: []ir.Value{base, ir.I32c(0), tc.fi},
+			}
+			if gepProvablySafe(in) {
+				t.Errorf("GEP with field index %s judged provably safe", tc.fi.Ident())
+			}
+		})
+	}
+
+	// Sanity: the well-formed sibling is provably safe.
+	ok := &ir.Instr{
+		Op:   ir.OpGEP,
+		Args: []ir.Value{base, ir.I32c(0), ir.I32c(1)},
+	}
+	if !gepProvablySafe(ok) {
+		t.Error("constant in-range field address not judged safe")
+	}
+}
+
+// TestIndexBoundedBySExt regresses mixed-width index handling: a masked
+// narrow index that is sign-extended (the common i32-arithmetic,
+// i64-index pattern) is just as bounded as its zero-extended twin,
+// because every bounding sub-rule proves a value with the top bit clear.
+func TestIndexBoundedBySExt(t *testing.T) {
+	m := ir.NewModule("regress")
+	b := ir.NewBuilder(m)
+	f := b.NewFunc("f", ir.FuncOf(ir.Void, []*ir.Type{ir.I32}, false), "x")
+	masked := b.And(b.Param(0), ir.I32c(3))
+	sx := b.SExt(masked, ir.I64)
+	unmasked := b.SExt(b.Param(0), ir.I64)
+	b.Ret(nil)
+	b.Seal()
+	_ = f
+
+	if !indexBoundedBy(sx, 4) {
+		t.Error("sext(x & 3) not bounded by 4")
+	}
+	if indexBoundedBy(sx, 3) {
+		t.Error("sext(x & 3) wrongly bounded by 3")
+	}
+	if indexBoundedBy(unmasked, 4) {
+		t.Error("bare sext(x) wrongly judged bounded")
+	}
+}

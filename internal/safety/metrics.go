@@ -43,10 +43,14 @@ type Metrics struct {
 	StructIdx AccessMetrics
 	ArrayIdx  AccessMetrics
 
-	// Check-insertion accounting.
+	// Check-insertion accounting.  Elided counts are included in the
+	// Inserted totals: an elided check is an inserted site the §7.1.3
+	// redundancy pass rewrote to a pchk.elide.* annotation.
 	BoundsChecksInserted int
+	BoundsChecksElided   int
 	GEPsProvenSafe       int
 	LSChecksInserted     int
+	LSChecksElided       int
 	ICChecksInserted     int
 	ObjRegistrations     int
 	StackRegistrations   int
@@ -106,8 +110,14 @@ func (p *Program) collectMetrics() {
 						switch name {
 						case "pchk.bounds":
 							m.BoundsChecksInserted++
+						case "pchk.elide.bounds":
+							m.BoundsChecksInserted++
+							m.BoundsChecksElided++
 						case "pchk.lscheck":
 							m.LSChecksInserted++
+						case "pchk.elide.ls":
+							m.LSChecksInserted++
+							m.LSChecksElided++
 						case "pchk.iccheck":
 							m.ICChecksInserted++
 						case "pchk.reg.obj":

@@ -37,6 +37,9 @@ type Config struct {
 	// DisableDevirt turns off §4.8 devirtualization at signature-asserted
 	// indirect call sites (ablation studies).
 	DisableDevirt bool
+	// DisableElide turns off redundant run-time check elimination
+	// (§7.1.3; ablation studies and the elision equivalence tests).
+	DisableElide bool
 }
 
 // Program is the result of safety compilation over a set of modules.
@@ -86,6 +89,11 @@ func Compile(cfg Config, mods ...*ir.Module) (*Program, error) {
 	for _, m := range mods {
 		if err := inst.module(m); err != nil {
 			return nil, err
+		}
+	}
+	if !cfg.DisableElide {
+		for _, m := range mods {
+			elideModule(m)
 		}
 	}
 	p.annotate()

@@ -93,6 +93,13 @@ const (
 	ICCheck          = "pchk.iccheck"
 	GetBoundsLo      = "pchk.getbounds.lo"
 	GetBoundsHi      = "pchk.getbounds.hi"
+	// ElideBounds / ElideLS mark a check the optimizer proved redundant
+	// (§7.1.3, "eliminating redundant run-time checks"). They keep the
+	// original check's signature so the bytecode verifier can re-derive
+	// the proof from the same operands; the SVM executes them as
+	// near-free counters.
+	ElideBounds = "pchk.elide.bounds"
+	ElideLS     = "pchk.elide.ls"
 )
 
 // BytePtr is the generic pointer type used in operation signatures.
@@ -147,6 +154,8 @@ var Signatures = map[string]*ir.Type{
 	BoundsCheck:       sig(ir.Void, ir.I32, BytePtr, BytePtr),
 	LSCheck:           sig(ir.Void, ir.I32, BytePtr),
 	ICCheck:           sig(ir.Void, ir.I32, BytePtr),
+	ElideBounds:       sig(ir.Void, ir.I32, BytePtr, BytePtr),
+	ElideLS:           sig(ir.Void, ir.I32, BytePtr),
 	GetBoundsLo:       sig(ir.I64, ir.I32, BytePtr),
 	GetBoundsHi:       sig(ir.I64, ir.I32, BytePtr),
 }
@@ -170,7 +179,8 @@ func Get(m *ir.Module, name string) *ir.Function {
 // IsCheckOp reports whether name is a run-time check operation (pchk.*).
 func IsCheckOp(name string) bool {
 	switch name {
-	case ObjRegister, ObjRegisterStack, ObjDrop, BoundsCheck, LSCheck, ICCheck, GetBoundsLo, GetBoundsHi:
+	case ObjRegister, ObjRegisterStack, ObjDrop, BoundsCheck, LSCheck, ICCheck, GetBoundsLo, GetBoundsHi,
+		ElideBounds, ElideLS:
 		return true
 	}
 	return false

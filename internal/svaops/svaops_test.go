@@ -42,7 +42,7 @@ func TestEveryOperationHasSignature(t *testing.T) {
 		IntrEnable, TimerArm, Cycles, Halt, PseudoAlloc,
 		Memcpy, Memmove, Memset, Memcmp,
 		ObjRegister, ObjRegisterStack, ObjDrop, BoundsCheck, LSCheck,
-		ICCheck, GetBoundsLo, GetBoundsHi,
+		ICCheck, GetBoundsLo, GetBoundsHi, ElideBounds, ElideLS,
 	}
 	for _, n := range names {
 		if Signatures[n] == nil {
@@ -55,7 +55,7 @@ func TestEveryOperationHasSignature(t *testing.T) {
 }
 
 func TestIsCheckOp(t *testing.T) {
-	for _, n := range []string{ObjRegister, ObjRegisterStack, ObjDrop, BoundsCheck, LSCheck, ICCheck} {
+	for _, n := range []string{ObjRegister, ObjRegisterStack, ObjDrop, BoundsCheck, LSCheck, ICCheck, ElideBounds, ElideLS} {
 		if !IsCheckOp(n) {
 			t.Errorf("%s not classified as a check op", n)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sva/internal/ir"
+	"sva/internal/svaops"
 )
 
 // BugKind enumerates the four classes of pointer-analysis bugs injected in
@@ -23,9 +24,14 @@ const (
 	// BugSplit: one partition is split in two without re-running the
 	// analysis (insufficient merging).
 	BugSplit
+	// BugBogusElision: a run-time check is annotated as elided even
+	// though no dominating identical check or loop guard justifies it —
+	// the checker must re-derive every elision and reject this one
+	// (§7.1.3 optimization under the §5 TCB discipline).
+	BugBogusElision
 )
 
-var bugNames = [...]string{"aliasing", "edge", "th-claim", "split"}
+var bugNames = [...]string{"aliasing", "edge", "th-claim", "split", "bogus-elision"}
 
 func (k BugKind) String() string {
 	if int(k) < len(bugNames) {
@@ -47,6 +53,8 @@ func InjectBug(kind BugKind, seed int, descs []*ir.MetapoolDesc, mods ...*ir.Mod
 		return injectTHClaim(seed, descs, mods)
 	case BugSplit:
 		return injectSplit(seed, descs, mods)
+	case BugBogusElision:
+		return injectBogusElision(seed, mods)
 	}
 	return "", false
 }
@@ -189,6 +197,46 @@ func injectSplit(seed int, descs []*ir.MetapoolDesc, mods []*ir.Module) (string,
 	old := in.Pool
 	in.Pool = clone.Name
 	return fmt.Sprintf("split pool %s: load result moved to %s", old, clone.Name), true
+}
+
+func injectBogusElision(seed int, mods []*ir.Module) (string, bool) {
+	// The checks still present after compilation are exactly those the
+	// optimizer could NOT prove redundant (it elides everything its rules
+	// cover, and the checker re-derives the same rules).  Rewriting one of
+	// them into a pchk.elide.* annotation therefore claims an elision with
+	// no dominating check and no guard proof — the checker must reject it.
+	type site struct {
+		m  *ir.Module
+		in *ir.Instr
+		f  *ir.Function
+	}
+	var sites []site
+	for _, m := range mods {
+		for _, f := range m.Funcs {
+			if !f.SafetyCompiled {
+				continue
+			}
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if name, ok := in.IsIntrinsicCall(); ok &&
+						(name == svaops.BoundsCheck || name == svaops.LSCheck) {
+						sites = append(sites, site{m, in, f})
+					}
+				}
+			}
+		}
+	}
+	if len(sites) == 0 {
+		return "", false
+	}
+	s := sites[seed%len(sites)]
+	name, _ := s.in.IsIntrinsicCall()
+	elide := svaops.ElideBounds
+	if name == svaops.LSCheck {
+		elide = svaops.ElideLS
+	}
+	s.in.Callee = svaops.Get(s.m, elide)
+	return fmt.Sprintf("rewrote unjustified %s in @%s to %s", name, s.f.Nm, elide), true
 }
 
 func descsByName(descs []*ir.MetapoolDesc, name string) *ir.MetapoolDesc {

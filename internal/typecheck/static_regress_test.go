@@ -1,0 +1,65 @@
+package typecheck
+
+import (
+	"testing"
+
+	"sva/internal/ir"
+)
+
+// TestGEPStaticallySafeRejectsBadFieldIndex: the verifier's twin of the
+// compiler's exemption rule must treat a malformed constant struct-field
+// index as unprovable instead of indexing the field list out of range.
+func TestGEPStaticallySafeRejectsBadFieldIndex(t *testing.T) {
+	st := ir.StructOf(ir.I64, ir.I64)
+	m := ir.NewModule("regress")
+	b := ir.NewBuilder(m)
+	b.NewFunc("f", ir.FuncOf(ir.Void, []*ir.Type{ir.PointerTo(st)}, false), "p")
+	base := b.Param(0)
+	b.Ret(nil)
+	b.Seal()
+
+	for _, fi := range []ir.Value{
+		ir.NewInt(ir.I32, -1),
+		ir.NewInt(ir.I32, 2),
+		ir.NewInt(ir.I64, 1<<40),
+	} {
+		in := &ir.Instr{
+			Op:   ir.OpGEP,
+			Args: []ir.Value{base, ir.I32c(0), fi},
+		}
+		if gepStaticallySafe(in) {
+			t.Errorf("GEP with field index %s judged statically safe", fi.Ident())
+		}
+	}
+	ok := &ir.Instr{
+		Op:   ir.OpGEP,
+		Args: []ir.Value{base, ir.I32c(0), ir.I32c(1)},
+	}
+	if !gepStaticallySafe(ok) {
+		t.Error("constant in-range field address not judged safe")
+	}
+}
+
+// TestIndexBoundedSExt: the verifier accepts the sign-extended masked
+// index exactly when the compiler's rule does — keeping the two sides in
+// lockstep so valid compiler output is never rejected.
+func TestIndexBoundedSExt(t *testing.T) {
+	m := ir.NewModule("regress")
+	b := ir.NewBuilder(m)
+	b.NewFunc("f", ir.FuncOf(ir.Void, []*ir.Type{ir.I32}, false), "x")
+	masked := b.And(b.Param(0), ir.I32c(3))
+	sx := b.SExt(masked, ir.I64)
+	unmasked := b.SExt(b.Param(0), ir.I64)
+	b.Ret(nil)
+	b.Seal()
+
+	if !indexBounded(sx, 4) {
+		t.Error("sext(x & 3) not bounded by 4")
+	}
+	if indexBounded(sx, 3) {
+		t.Error("sext(x & 3) wrongly bounded by 3")
+	}
+	if indexBounded(unmasked, 4) {
+		t.Error("bare sext(x) wrongly judged bounded")
+	}
+}

@@ -113,6 +113,10 @@ func (c *Checker) desc(f *ir.Function, name string) *ir.MetapoolDesc {
 
 func (c *Checker) checkFunc(f *ir.Function) {
 	f.Renumber()
+	// Re-derive every pchk.elide.* annotation before applying the
+	// coverage rules (which accept an elided check as coverage only
+	// because this pass independently proved it redundant).
+	c.checkElisions(f)
 	for _, b := range f.Blocks {
 		// lschecked tracks pointer values covered by a pchk.lscheck in
 		// this block so far; boundsChecked tracks GEPs awaiting coverage.
@@ -122,15 +126,17 @@ func (c *Checker) checkFunc(f *ir.Function) {
 		for _, in := range b.Instrs {
 			if name, ok := in.IsIntrinsicCall(); ok {
 				switch name {
-				case svaops.LSCheck:
+				case svaops.LSCheck, svaops.ElideLS:
 					// The check may operate on an inserted i8* view of the
-					// pointer; coverage extends to the cast's source.
+					// pointer; coverage extends to the cast's source.  An
+					// elided check still counts as coverage: checkElisions
+					// proved it would have passed.
 					lschecked[in.Args[1]] = true
 					if bc, okc := in.Args[1].(*ir.Instr); okc && bc.Op == ir.OpBitcast {
 						lschecked[bc.Args[0]] = true
 					}
 					c.checkMPConst(f, in, in.Args[1])
-				case svaops.BoundsCheck:
+				case svaops.BoundsCheck, svaops.ElideBounds:
 					boundsChecked[in.Args[2]] = true
 					if bc, okc := in.Args[2].(*ir.Instr); okc && bc.Op == ir.OpBitcast {
 						boundsChecked[bc.Args[0]] = true
@@ -377,7 +383,13 @@ func gepStaticallySafe(in *ir.Instr) bool {
 			if !ok {
 				return false
 			}
-			cur = cur.Field(int(c.SignedValue()))
+			fi := c.SignedValue()
+			if fi < 0 || fi >= int64(cur.NumFields()) {
+				// Malformed constant field index: not provable, and the
+				// verifier must not panic on compiler-supplied IR.
+				return false
+			}
+			cur = cur.Field(int(fi))
 		default:
 			return false
 		}
@@ -411,6 +423,10 @@ func indexBounded(idx ir.Value, n int64) bool {
 			if src.IsInt() && src.Bits() < 63 && int64(1)<<uint(src.Bits()) <= n {
 				return true
 			}
+			return indexBounded(v.Args[0], n)
+		case ir.OpSExt:
+			// The sub-rules only prove values in [0, n) with the top bit
+			// clear, which sign extension preserves.
 			return indexBounded(v.Args[0], n)
 		}
 	}

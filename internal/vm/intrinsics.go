@@ -54,6 +54,18 @@ func (vm *VM) installCoreIntrinsics() {
 		vm.Mach.CPU.Cycles += CycICCheck
 		return IntrinsicResult{}, vm.Pools.IndirectCallCheck(int(a[0]), a[1])
 	})
+	reg(svaops.ElideBounds, func(vm *VM, a []uint64) (IntrinsicResult, error) {
+		vm.Counters.ElidedBounds++
+		vm.Mach.CPU.Cycles += CycElideCheck
+		vm.Pools.Pool(int(a[0])).NoteElidedBounds()
+		return IntrinsicResult{}, nil
+	})
+	reg(svaops.ElideLS, func(vm *VM, a []uint64) (IntrinsicResult, error) {
+		vm.Counters.ElidedLS++
+		vm.Mach.CPU.Cycles += CycElideCheck
+		vm.Pools.Pool(int(a[0])).NoteElidedLS()
+		return IntrinsicResult{}, nil
+	})
 	reg(svaops.GetBoundsLo, func(vm *VM, a []uint64) (IntrinsicResult, error) {
 		pool := vm.Pools.Pool(int(a[0]))
 		lo, _, ok := pool.GetBounds(a[1])

@@ -97,6 +97,11 @@ const (
 	CycRegObj      = 15  // splay insert
 	CycDropObj     = 15  // splay delete
 	CycICCheck     = 10  // set membership
+	// CycElideCheck is the residual cost of a check the compiler proved
+	// redundant (§7.1.3): the annotation itself is free in native code;
+	// one cycle models accounting noise so elision never looks better
+	// than not inserting the check at all.
+	CycElideCheck = 1
 	// CycDirectPenalty models gcc-vs-llvm code quality: the untranslated
 	// engine pays one extra cycle every 32 instructions (~3%, within the
 	// ±13% band the paper measured between the two code generators).
@@ -114,6 +119,11 @@ type Counters struct {
 	ChecksBounds uint64
 	ChecksLS     uint64
 	ChecksIC     uint64
+	// ElidedBounds / ElidedLS count dynamic executions of pchk.elide.*
+	// annotations: checks that would have run had the §7.1.3 redundancy
+	// pass not removed them.
+	ElidedBounds uint64
+	ElidedLS     uint64
 	Translations uint64 // functions translated (lazily, once each)
 	Switches     uint64 // continuation switches (context switches)
 }
