@@ -298,3 +298,36 @@ func benchTableHarness(b *testing.B, workers int) {
 
 func BenchmarkTableHarness_Serial(b *testing.B)   { benchTableHarness(b, 1) }
 func BenchmarkTableHarness_Parallel(b *testing.B) { benchTableHarness(b, 4) }
+
+// --- telemetry overhead (this PR) --------------------------------------------
+
+// benchTelemetryOverhead runs the Table 7 latency battery on a fresh safe
+// system with telemetry off, profiling, or profiling+tracing, reporting
+// host wall-clock per battery.  Virtual cycles are identical in all three
+// modes (TestTelemetryInvariance); this measures the host-side cost, which
+// must stay near zero when telemetry is off.
+func benchTelemetryOverhead(b *testing.B, profile, trace bool) {
+	r, err := hbench.NewRunner()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := r.Systems[vm.ConfigSafe]
+	if profile {
+		sys.VM.EnableProfiling()
+	}
+	if trace {
+		sys.VM.EnableTrace(4096)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, op := range hbench.LatencyOps {
+			if _, err := r.Measure(vm.ConfigSafe, op.Prog, op.Iters/10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkTelemetry_Off(b *testing.B)          { benchTelemetryOverhead(b, false, false) }
+func BenchmarkTelemetry_Profile(b *testing.B)      { benchTelemetryOverhead(b, true, false) }
+func BenchmarkTelemetry_ProfileTrace(b *testing.B) { benchTelemetryOverhead(b, true, true) }

@@ -10,6 +10,7 @@
 //	sva-bench -table=8          kernel bandwidth reduction
 //	sva-bench -table=9          static safety metrics
 //	sva-bench -table=checks     run-time check / last-hit cache statistics
+//	sva-bench -table=profile    virtual-cycle profile of the Table 7 battery
 //	sva-bench -table=exploits   §7.2 exploit detection matrix
 //	sva-bench -table=tcb        §5 verifier bug-injection experiment
 //	sva-bench -table=ablation   §4.8 cloning/devirtualization ablation
@@ -35,7 +36,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate (4..9, checks, exploits, tcb, ablation, all)")
+	table := flag.String("table", "all", "which table to regenerate (4..9, checks, profile, exploits, tcb, ablation, all)")
 	scale := flag.Uint64("scale", 1, "divide iteration counts (1 = full run)")
 	workers := flag.Int("workers", report.DefaultWorkers(), "max concurrent table jobs and per-table configurations (1 = serial)")
 	flag.Parse()
@@ -76,7 +77,7 @@ func main() {
 			return strings.Join(parts, "\n"), nil
 		})
 	}
-	if want("7") || want("8") || want("checks") {
+	if want("7") || want("8") || want("checks") || want("profile") {
 		add("tables7-8", func() (string, error) {
 			r, err := hbench.NewRunner()
 			if err != nil {
@@ -99,6 +100,13 @@ func main() {
 			}
 			if want("checks") {
 				t, err := report.ChecksTable(r, s)
+				if err != nil {
+					return "", err
+				}
+				parts = append(parts, t)
+			}
+			if want("profile") {
+				t, err := report.ProfileTable(r, s)
 				if err != nil {
 					return "", err
 				}

@@ -7,7 +7,9 @@
 //	sva-run -config=sva-safe        boot the safety-checked kernel
 //	sva-run -prog=hello             run a bundled demo program
 //	sva-run -prog=pipeecho -arg=65536
-//	sva-run -stats                  print VM counters afterwards
+//	sva-run -stats                  print the telemetry snapshot afterwards
+//	sva-run -prog=hello -profile    attribute every virtual cycle of the run
+//	sva-run -prog=hello -trace=-    dump the event trace as JSONL to stdout
 //
 // Configurations: native, sva-gcc, sva-llvm, sva-safe (§7.1).
 package main
@@ -16,8 +18,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"sva/internal/kernel"
+	"sva/internal/telemetry"
 	"sva/internal/userland"
 	"sva/internal/vm"
 )
@@ -26,7 +30,9 @@ func main() {
 	cfgName := flag.String("config", "sva-safe", "kernel configuration (native|sva-gcc|sva-llvm|sva-safe)")
 	prog := flag.String("prog", "", "user program to run (hello|fileio|forkwait|pipeecho|sigping|execer|brkprobe)")
 	arg := flag.Uint64("arg", 4096, "argument passed to the program")
-	stats := flag.Bool("stats", false, "print VM counters")
+	stats := flag.Bool("stats", false, "print the unified telemetry snapshot")
+	profile := flag.Bool("profile", false, "attribute virtual cycles to guest functions and SVA ops")
+	trace := flag.String("trace", "", "dump the structured event trace as JSONL to this file (- for stdout)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -54,24 +60,98 @@ func main() {
 	fmt.Print(sys.ConsoleOutput())
 	sys.VM.Mach.Console.ResetOutput()
 
+	if *profile {
+		sys.VM.EnableProfiling()
+	}
+	if *trace != "" {
+		sys.VM.EnableTrace(4096)
+	}
+
+	var progCycles uint64
 	if *prog != "" {
 		f := u.M.Func(*prog)
 		if f == nil {
 			fail(fmt.Errorf("unknown program %q", *prog))
 		}
+		c0 := sys.VM.Mach.CPU.Cycles
 		got, err := sys.RunUser(f, *arg, 0)
 		if err != nil {
 			fail(err)
 		}
+		progCycles = sys.VM.Mach.CPU.Cycles - c0
 		fmt.Print(sys.ConsoleOutput())
 		fmt.Printf("%s(%d) = %d\n", *prog, *arg, int64(got))
 		if n := len(sys.VM.Violations); n > 0 {
 			fmt.Printf("safety violations: %d (first: %v)\n", n, sys.VM.Violations[0])
 		}
 	}
+
+	snap := sys.VM.Telemetry.Snapshot()
 	if *stats {
-		c := sys.VM.Counters
-		fmt.Printf("steps=%d kernel-steps=%d traps=%d switches=%d checks(bounds=%d ls=%d ic=%d) translations=%d\n",
-			c.Steps, c.KSteps, c.Traps, c.Switches, c.ChecksBounds, c.ChecksLS, c.ChecksIC, c.Translations)
+		printStats(snap)
 	}
+	if *profile && snap.Profile != nil {
+		fmt.Print(snap.Profile.Format(20, progCycles))
+	}
+	if *trace != "" {
+		if err := dumpTrace(*trace, sys.VM.Trace()); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// printStats renders the -stats view of a unified telemetry snapshot: the
+// VM counters, per-pool check activity, elision counts and syscall mix.
+func printStats(s telemetry.Snapshot) {
+	c := s.VM
+	fmt.Printf("steps=%d kernel-steps=%d traps=%d switches=%d checks(bounds=%d ls=%d ic=%d) translations=%d\n",
+		c.Steps, c.KSteps, c.Traps, c.Switches, c.ChecksBounds, c.ChecksLS, c.ChecksIC, c.Translations)
+	fmt.Printf("elided: bounds=%d ls=%d\n", c.ElidedBounds, c.ElidedLS)
+	active := 0
+	for _, p := range s.Checks.Pools {
+		st := p.Stats
+		if st.BoundsChecks+st.LSChecks+st.ElidedBounds+st.ElidedLS+st.Violations == 0 {
+			continue
+		}
+		active++
+		fmt.Printf("pool %-16s objs=%-5d bounds=%-7d b-elide=%-7d ls=%-5d cache-hit=%-7d cache-miss=%-5d splay-depth=%d\n",
+			p.Name, p.Objects, st.BoundsChecks, st.ElidedBounds, st.LSChecks,
+			st.CacheHits, st.CacheMisses, p.SplayDepth)
+	}
+	fmt.Printf("pools: %d total, %d with check activity; indirect-call checks=%d violations=%d\n",
+		len(s.Checks.Pools), active, s.Checks.ICChecks, s.Checks.ICViolations)
+	if len(s.Kernel.Syscalls) > 0 {
+		nums := make([]int64, 0, len(s.Kernel.Syscalls))
+		for n := range s.Kernel.Syscalls {
+			nums = append(nums, n)
+		}
+		sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+		fmt.Print("syscalls:")
+		for _, n := range nums {
+			fmt.Printf(" %d:%d", n, s.Kernel.Syscalls[n])
+		}
+		fmt.Println()
+	}
+	if s.Static != nil {
+		fmt.Printf("static: bounds inserted=%d elided=%d, ls inserted=%d elided=%d, ic=%d\n",
+			s.Static.BoundsChecksInserted, s.Static.BoundsChecksElided,
+			s.Static.LSChecksInserted, s.Static.LSChecksElided, s.Static.ICChecksInserted)
+	}
+}
+
+// dumpTrace writes the trace ring as JSONL to path ("-" for stdout).
+func dumpTrace(path string, t *telemetry.Trace) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if n := t.Dropped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "sva-run: trace ring overflowed, %d oldest events dropped\n", n)
+	}
+	return telemetry.WriteJSONL(w, t.Events())
 }

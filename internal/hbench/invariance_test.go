@@ -1,0 +1,79 @@
+package hbench
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sva/internal/kernel"
+	"sva/internal/vm"
+)
+
+// TestTelemetryInvariance is the telemetry-off invariance property:
+// profiling and tracing are observational only, so a system running with
+// telemetry enabled must produce bit-identical program results, trap
+// verdicts and cycle counts to an unobserved twin — and stay identical
+// after telemetry is disabled again.
+func TestTelemetryInvariance(t *testing.T) {
+	boot := func() *kernel.System {
+		u := BuildBenchModule()
+		sys, err := kernel.NewSystem(vm.ConfigSafe, true, u.M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.RegisterProgram("nullprog", u.M.Func("nullprog.start")); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	plain := boot()
+	observed := boot()
+	observed.VM.EnableProfiling()
+	observed.VM.EnableTrace(256)
+
+	// Both systems execute the same randomly chosen program sequence; after
+	// every run the full observable state must agree.  Midway through, the
+	// observed system drops its telemetry — results must stay identical.
+	runs := 0
+	prop := func(opIdx uint8, itersRaw uint16) bool {
+		runs++
+		if runs == 6 {
+			observed.VM.DisableProfiling()
+			observed.VM.DisableTrace()
+		}
+		op := LatencyOps[int(opIdx)%len(LatencyOps)]
+		iters := uint64(itersRaw%8) + 1
+		var rets [2]uint64
+		var errs [2]string
+		for i, sys := range []*kernel.System{plain, observed} {
+			f := sys.Extra[0].Func(op.Prog)
+			got, err := sys.RunUser(f, iters, 4_000_000_000)
+			rets[i] = got
+			if err != nil {
+				errs[i] = err.Error()
+			}
+		}
+		if rets[0] != rets[1] || errs[0] != errs[1] {
+			t.Logf("%s(%d): ret %d vs %d, err %q vs %q", op.Prog, iters, rets[0], rets[1], errs[0], errs[1])
+			return false
+		}
+		if a, b := plain.VM.Mach.CPU.Cycles, observed.VM.Mach.CPU.Cycles; a != b {
+			t.Logf("%s(%d): cycles %d vs %d", op.Prog, iters, a, b)
+			return false
+		}
+		if plain.VM.Counters != observed.VM.Counters {
+			t.Logf("%s(%d): counters diverged:\n%+v\n%+v", op.Prog, iters, plain.VM.Counters, observed.VM.Counters)
+			return false
+		}
+		if a, b := len(plain.VM.Violations), len(observed.VM.Violations); a != b {
+			t.Logf("%s(%d): violations %d vs %d", op.Prog, iters, a, b)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+	if runs < 6 {
+		t.Fatalf("property ran only %d times; disable path not exercised", runs)
+	}
+}

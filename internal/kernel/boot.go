@@ -91,6 +91,9 @@ func NewSystemWith(cfg vm.Config, scfg safety.Config, extra ...*ir.Module) (*Sys
 	mach := hw.NewMachine(0, 256)
 	v := vm.New(mach, cfg)
 	svaos.Install(v)
+	if prog != nil {
+		prog.Attach(v.Telemetry)
+	}
 	if err := v.LoadModule(img.Kernel, false); err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"sva/internal/splay"
+	"sva/internal/telemetry"
 )
 
 // ViolationKind classifies a detected safety violation.
@@ -64,23 +65,10 @@ func (v *Violation) Error() string {
 	return fmt.Sprintf("%s in metapool %s at %#x: %s", v.Kind, v.Pool, v.Addr, v.Msg)
 }
 
-// Stats counts run-time check activity per metapool.
-type Stats struct {
-	Registered   uint64
-	Dropped      uint64
-	BoundsChecks uint64
-	LSChecks     uint64
-	ICChecks     uint64
-	// ElidedBounds/ElidedLS count checks this pool would have run had the
-	// compiler's §7.1.3 redundancy pass not proven them unnecessary.
-	ElidedBounds uint64
-	ElidedLS     uint64
-	Violations   uint64
-	// CacheHits/CacheMisses count last-hit cache outcomes on the check
-	// hot path (a miss falls through to the splay tree).
-	CacheHits   uint64
-	CacheMisses uint64
-}
+// Stats counts run-time check activity per metapool.  The schema lives in
+// the telemetry package so the registry snapshot and every consumer share
+// one type.
+type Stats = telemetry.CheckStats
 
 // Pool is one run-time metapool.
 type Pool struct {
@@ -106,6 +94,10 @@ type Pool struct {
 	// NoCache disables the last-hit cache, forcing every lookup through
 	// the splay tree (used to benchmark the uncached path).
 	NoCache bool
+
+	// trace, when set, receives pool lifecycle events (cold paths only:
+	// registration and Reset — never the check hot path).
+	trace *telemetry.Trace
 
 	// userLo/userHi: if set, all of userspace is treated as one registered
 	// object of this pool (paper §4.6).
@@ -322,6 +314,9 @@ func (p *Pool) NumObjects() int { return p.objects.Len() }
 
 // Reset drops all objects and statistics (pool destruction).
 func (p *Pool) Reset() {
+	if p.trace != nil {
+		p.trace.Emit(telemetry.EvPoolReset, p.Name, []uint64{uint64(p.objects.Len())}, "")
+	}
 	p.invalidate()
 	p.objects.Clear()
 	p.Stats = Stats{}
@@ -344,6 +339,8 @@ type Registry struct {
 	ICViolations uint64
 	// noCache is inherited by pools added after SetCacheDisabled(true).
 	noCache bool
+	// trace is inherited by pools added after SetTrace.
+	trace *telemetry.Trace
 }
 
 // NewRegistry returns an empty registry.
@@ -354,7 +351,11 @@ func (r *Registry) AddPool(p *Pool) int {
 	if r.noCache {
 		p.NoCache = true
 	}
+	p.trace = r.trace
 	r.Pools = append(r.Pools, p)
+	if r.trace != nil {
+		r.trace.Emit(telemetry.EvPoolCreate, p.Name, []uint64{uint64(len(r.Pools) - 1)}, "")
+	}
 	return len(r.Pools) - 1
 }
 
@@ -423,25 +424,12 @@ func (r *Registry) SetCacheDisabled(disabled bool) {
 }
 
 // PoolSnapshot is one pool's row in a Registry snapshot.
-type PoolSnapshot struct {
-	Name            string
-	TypeHomogeneous bool
-	Complete        bool
-	Objects         int
-	// SplayLookups is how many lookups reached the splay tree.
-	SplayLookups uint64
-	Stats        Stats
-}
+type PoolSnapshot = telemetry.PoolStats
 
 // Snapshot captures per-pool check and cache statistics plus the
 // registry-level indirect-call counters at one instant.  internal/report
 // and `sva-bench -table=checks` render it.
-type Snapshot struct {
-	Pools        []PoolSnapshot
-	ICChecks     uint64
-	ICViolations uint64
-	Totals       Stats
-}
+type Snapshot = telemetry.CheckSnapshot
 
 // Snapshot returns the registry's current statistics.
 func (r *Registry) Snapshot() Snapshot {
@@ -457,8 +445,26 @@ func (r *Registry) Snapshot() Snapshot {
 			Complete:        p.Complete,
 			Objects:         p.NumObjects(),
 			SplayLookups:    p.SplayLookups(),
+			SplayDepth:      p.objects.Depth(),
 			Stats:           p.Stats,
 		})
 	}
 	return s
+}
+
+// Attach registers the metapool registry as a telemetry source: every
+// unified snapshot carries the full per-pool check statistics.
+func (r *Registry) Attach(reg *telemetry.Registry) {
+	reg.Register(func(s *telemetry.Snapshot) {
+		s.Checks = r.Snapshot()
+	})
+}
+
+// SetTrace routes pool lifecycle events (create/reset) into a telemetry
+// trace ring.  Pass nil to detach.  The check hot path is unaffected.
+func (r *Registry) SetTrace(t *telemetry.Trace) {
+	r.trace = t
+	for _, p := range r.Pools {
+		p.trace = t
+	}
 }

@@ -18,9 +18,9 @@ import (
 	"sva/internal/hbench"
 	"sva/internal/ir"
 	"sva/internal/kernel"
-	"sva/internal/metapool"
 	"sva/internal/safety"
 	"sva/internal/svaops"
+	"sva/internal/telemetry"
 	"sva/internal/typecheck"
 	"sva/internal/vm"
 )
@@ -296,7 +296,7 @@ func Table8(rows []BenchRow) string {
 
 // ChecksTable drives the Table 7 latency battery on the safety-checked
 // configuration and renders the run-time check and last-hit-cache
-// statistics from metapool.Registry.Snapshot().
+// statistics from the system's unified telemetry snapshot.
 func ChecksTable(r *hbench.Runner, scale Scale) (string, error) {
 	for _, op := range hbench.LatencyOps {
 		if _, err := r.Measure(vm.ConfigSafe, op.Prog, scale.apply(op.Iters)); err != nil {
@@ -304,17 +304,14 @@ func ChecksTable(r *hbench.Runner, scale Scale) (string, error) {
 		}
 	}
 	sys := r.Systems[vm.ConfigSafe]
-	var m *safety.Metrics
-	if sys.Prog != nil {
-		m = &sys.Prog.Metrics
-	}
-	return FormatChecks(sys.VM.Pools.Snapshot(), sys.VM.Counters, m), nil
+	return FormatChecks(sys.VM.Telemetry.Snapshot()), nil
 }
 
-// FormatChecks renders a registry snapshot as the -table=checks report.
-// m, when non-nil, supplies the compiler's static check accounting so the
-// §7.1.3 elision rates can be reported alongside the dynamic counts.
-func FormatChecks(snap metapool.Snapshot, c vm.Counters, m *safety.Metrics) string {
+// FormatChecks renders a unified telemetry snapshot as the -table=checks
+// report.  The Static block, when present, supplies the compiler's check
+// accounting so the §7.1.3 elision rates appear alongside dynamic counts.
+func FormatChecks(s telemetry.Snapshot) string {
+	snap, c, m := s.Checks, s.VM, s.Static
 	var sb strings.Builder
 	sb.WriteString("Check statistics (sva-safe, Table 7 battery)\n")
 	fmt.Fprintf(&sb, "%-16s %3s %3s %6s %9s %9s %9s %9s %10s %10s %7s %9s %5s\n",
@@ -517,31 +514,67 @@ func Figure2() (string, error) {
 }
 
 // APITable prints the implemented SVA-OS / check operation inventory (the
-// reproduction's rendering of the paper's Tables 1–3).
+// reproduction's rendering of the paper's Tables 1–3), grouped by the
+// operation classes of the svaops table.
 func APITable() string {
-	names := make([]string, 0, len(svaops.Signatures))
-	for n := range svaops.Signatures {
-		names = append(names, n)
-	}
-	sort.Strings(names)
 	var sb strings.Builder
 	sb.WriteString("SVA operation inventory (Tables 1-3)\n")
-	group := func(title, prefix string, check bool) {
+	group := func(title string, classes ...svaops.Class) {
 		fmt.Fprintf(&sb, "\n%s\n", title)
+		names := make([]string, 0, len(svaops.Ops))
+		for _, op := range svaops.Ops {
+			for _, cl := range classes {
+				if op.Class == cl {
+					names = append(names, op.Name)
+					break
+				}
+			}
+		}
+		sort.Strings(names)
 		for _, n := range names {
-			if check != svaops.IsCheckOp(n) {
-				continue
+			op := svaops.Lookup(n)
+			if op.Cost > 0 {
+				fmt.Fprintf(&sb, "  %-28s %s  [%s, %d cyc]\n", n, op.Sig, op.Class, op.Cost)
+			} else {
+				fmt.Fprintf(&sb, "  %-28s %s  [%s]\n", n, op.Sig, op.Class)
 			}
-			if !check && !strings.HasPrefix(n, prefix) {
-				continue
-			}
-			fmt.Fprintf(&sb, "  %-28s %s\n", n, svaops.Signatures[n])
 		}
 	}
-	group("Processor state & interrupt contexts (Tables 1-2)", "llva.", false)
-	group("Privileged operation wrappers (§3.3)", "sva.", false)
-	group("Run-time checks (Table 3, §4.5)", "pchk.", true)
+	group("Processor state & interrupt contexts (Tables 1-2)",
+		svaops.ClassState, svaops.ClassIContext)
+	group("Privileged operation wrappers (§3.3)",
+		svaops.ClassSys, svaops.ClassMMU, svaops.ClassIO, svaops.ClassMem)
+	group("Run-time checks (Table 3, §4.5)", svaops.ClassCheck)
 	return sb.String()
+}
+
+// --- profiling (-table=profile) -----------------------------------------------
+
+// RunProfile drives the Table 7 latency battery on the safety-checked
+// configuration with the virtual-cycle profiler attached and returns the
+// resulting profile plus the CPU's total cycle delta over the run.
+func RunProfile(r *hbench.Runner, scale Scale) (*telemetry.Profile, uint64, error) {
+	sys := r.Systems[vm.ConfigSafe]
+	sys.VM.EnableProfiling()
+	defer sys.VM.DisableProfiling()
+	c0 := sys.VM.Mach.CPU.Cycles
+	for _, op := range hbench.LatencyOps {
+		if _, err := r.Measure(vm.ConfigSafe, op.Prog, scale.apply(op.Iters)); err != nil {
+			return nil, 0, err
+		}
+	}
+	total := sys.VM.Mach.CPU.Cycles - c0
+	return sys.VM.Profiler().Snapshot(), total, nil
+}
+
+// ProfileTable renders the -table=profile report: the per-function and
+// per-operation virtual-cycle attribution of the Table 7 battery.
+func ProfileTable(r *hbench.Runner, scale Scale) (string, error) {
+	prof, total, err := RunProfile(r, scale)
+	if err != nil {
+		return "", err
+	}
+	return prof.Format(20, total), nil
 }
 
 // --- ablations (§4.8 design choices) ------------------------------------------

@@ -1,67 +1,29 @@
 package safety
 
 import (
-	"fmt"
-	"strings"
-
 	"sva/internal/ir"
+	"sva/internal/svaops"
+	"sva/internal/telemetry"
 )
 
 // AccessMetrics classifies one access category (loads, stores, struct
-// indexing, array indexing) the way Table 9 of the paper does: the fraction
-// of static accesses touching incomplete partitions and the fraction
-// touching type-safe (type-homogeneous) partitions.
-type AccessMetrics struct {
-	Total      int
-	Incomplete int
-	TypeSafe   int
-}
-
-// PctIncomplete returns the incomplete fraction in percent.
-func (a AccessMetrics) PctIncomplete() float64 { return pct(a.Incomplete, a.Total) }
-
-// PctTypeSafe returns the type-safe fraction in percent.
-func (a AccessMetrics) PctTypeSafe() float64 { return pct(a.TypeSafe, a.Total) }
-
-func pct(n, d int) float64 {
-	if d == 0 {
-		return 0
-	}
-	return 100 * float64(n) / float64(d)
-}
+// indexing, array indexing) the way Table 9 of the paper does.  The schema
+// (and its Table-9 rendering) lives in the telemetry package so the static
+// metrics publish into unified snapshots alongside the run-time counters.
+type AccessMetrics = telemetry.AccessStats
 
 // Metrics are the static measurements of Table 9 plus check-insertion
 // counts.
-type Metrics struct {
-	// AllocSitesTotal counts allocation sites in the whole kernel;
-	// AllocSitesSeen counts those in safety-compiled code.
-	AllocSitesTotal int
-	AllocSitesSeen  int
+type Metrics = telemetry.StaticStats
 
-	Loads     AccessMetrics
-	Stores    AccessMetrics
-	StructIdx AccessMetrics
-	ArrayIdx  AccessMetrics
-
-	// Check-insertion accounting.  Elided counts are included in the
-	// Inserted totals: an elided check is an inserted site the §7.1.3
-	// redundancy pass rewrote to a pchk.elide.* annotation.
-	BoundsChecksInserted int
-	BoundsChecksElided   int
-	GEPsProvenSafe       int
-	LSChecksInserted     int
-	LSChecksElided       int
-	ICChecksInserted     int
-	ObjRegistrations     int
-	StackRegistrations   int
-	PromotedAllocas      int
-	// §4.8 precision transformations.
-	ClonesCreated int
-	Devirtualized int
+// Attach registers the program's static metrics as a telemetry source:
+// unified snapshots of a safety-compiled system carry the Table-9 block.
+func (p *Program) Attach(reg *telemetry.Registry) {
+	reg.Register(func(s *telemetry.Snapshot) {
+		m := p.Metrics
+		s.Static = &m
+	})
 }
-
-// PctAllocSitesSeen returns the allocation-site coverage in percent.
-func (m Metrics) PctAllocSitesSeen() float64 { return pct(m.AllocSitesSeen, m.AllocSitesTotal) }
 
 // collectMetrics computes the Table 9 static metrics over all modules.
 func (p *Program) collectMetrics() {
@@ -108,21 +70,21 @@ func (p *Program) collectMetrics() {
 							break
 						}
 						switch name {
-						case "pchk.bounds":
+						case svaops.BoundsCheck:
 							m.BoundsChecksInserted++
-						case "pchk.elide.bounds":
+						case svaops.ElideBounds:
 							m.BoundsChecksInserted++
 							m.BoundsChecksElided++
-						case "pchk.lscheck":
+						case svaops.LSCheck:
 							m.LSChecksInserted++
-						case "pchk.elide.ls":
+						case svaops.ElideLS:
 							m.LSChecksInserted++
 							m.LSChecksElided++
-						case "pchk.iccheck":
+						case svaops.ICCheck:
 							m.ICChecksInserted++
-						case "pchk.reg.obj":
+						case svaops.ObjRegister:
 							m.ObjRegistrations++
-						case "pchk.reg.stack":
+						case svaops.ObjRegisterStack:
 							m.StackRegistrations++
 						}
 					}
@@ -176,20 +138,4 @@ func isAllocSite(in *ir.Instr, allocNames map[string]bool) bool {
 	}
 	f, ok := in.Callee.(*ir.Function)
 	return ok && allocNames[f.Nm]
-}
-
-// String renders the metrics in the shape of Table 9.
-func (m Metrics) String() string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "Allocation sites seen: %.1f%% (%d/%d)\n",
-		m.PctAllocSitesSeen(), m.AllocSitesSeen, m.AllocSitesTotal)
-	row := func(name string, a AccessMetrics) {
-		fmt.Fprintf(&sb, "%-18s total=%-6d incomplete=%5.1f%%  type-safe=%5.1f%%\n",
-			name, a.Total, a.PctIncomplete(), a.PctTypeSafe())
-	}
-	row("Loads", m.Loads)
-	row("Stores", m.Stores)
-	row("Structure Indexing", m.StructIdx)
-	row("Array Indexing", m.ArrayIdx)
-	return sb.String()
 }

@@ -244,3 +244,21 @@ func (t *Tree) Clear() {
 	t.root = nil
 	t.size = 0
 }
+
+// Depth returns the tree's current height (0 for an empty tree).  Splaying
+// reshapes the tree on every lookup, so this is a point-in-time gauge for
+// telemetry, not a stable property.
+func (t *Tree) Depth() int {
+	var rec func(n *node) int
+	rec = func(n *node) int {
+		if n == nil {
+			return 0
+		}
+		l, r := rec(n.left), rec(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return rec(t.root)
+}

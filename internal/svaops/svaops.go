@@ -1,12 +1,17 @@
-// Package svaops defines the names and signatures of every SVA-OS and
-// run-time-check operation in the virtual instruction set: the llva.*
-// state-manipulation instructions of Tables 1 and 2, the pchk.* check
-// operations of Table 3 and §4.5, and the sva.* privileged-operation
-// wrappers ("I/O functions, MMU configuration functions, and the
-// registration of interrupt and system call handlers", §3.3).
+// Package svaops defines the names, signatures, classes and virtual-cycle
+// costs of every SVA-OS and run-time-check operation in the virtual
+// instruction set: the llva.* state-manipulation instructions of Tables 1
+// and 2, the pchk.* check operations of Table 3 and §4.5, and the sva.*
+// privileged-operation wrappers ("I/O functions, MMU configuration
+// functions, and the registration of interrupt and system call handlers",
+// §3.3).
 //
 // Guest modules declare these as body-less intrinsic functions; the SVM
 // implements them (internal/vm for checks, internal/svaos for OS support).
+// The Ops table below is the single source of truth: the VM dispatches and
+// charges from it, internal/telemetry attributes cycles and classifies
+// trace events from it, and sva-bench renders the Tables 1–3 inventory
+// from it — one table instead of three parallel string switches.
 package svaops
 
 import "sva/internal/ir"
@@ -102,6 +107,55 @@ const (
 	ElideLS     = "pchk.elide.ls"
 )
 
+// Class partitions the operations the way the paper's tables do.
+type Class int
+
+const (
+	// ClassState: native processor state save/restore and saved-state
+	// surgery (Table 1).
+	ClassState Class = iota
+	// ClassIContext: interrupt-context manipulation (Table 2).
+	ClassIContext
+	// ClassSys: privileged system operations — trap entry, state
+	// fabrication, handler registration, interrupt control, system
+	// control (§3.3).
+	ClassSys
+	// ClassMMU: MMU configuration.
+	ClassMMU
+	// ClassIO: I/O operations (console, disk, network).
+	ClassIO
+	// ClassMem: optimized memory primitives.
+	ClassMem
+	// ClassCheck: run-time safety checks (Table 3, §4.5).
+	ClassCheck
+)
+
+var classNames = [...]string{"state", "icontext", "sys", "mmu", "io", "mem", "check"}
+
+func (c Class) String() string {
+	if int(c) >= 0 && int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "class(?)"
+}
+
+// Op describes one operation of the virtual instruction set.
+type Op struct {
+	Name  string
+	Class Class
+	// Cost is the virtual-cycle charge the SVM adds on top of the call
+	// instruction's own cycle when executing the operation.  The check
+	// costs model the splay-tree work behind each check (§4.5) and the
+	// trap cost models hardware trap entry + return; the constants were
+	// set from the relative costs of the corresponding host operations —
+	// the evaluation reports *ratios* of cycle counts, so only their
+	// proportions matter.  A zero cost means the operation's work is
+	// already charged elsewhere (per-instruction cycles, device costs).
+	Cost uint64
+	// Sig is the operation's function type.
+	Sig *ir.Type
+}
+
 // BytePtr is the generic pointer type used in operation signatures.
 var BytePtr = ir.PointerTo(ir.I8)
 
@@ -110,54 +164,106 @@ func sig(ret *ir.Type, params ...*ir.Type) *ir.Type {
 	return ir.FuncOf(ret, params, false)
 }
 
-// Signatures maps every operation name to its function type.
-var Signatures = map[string]*ir.Type{
-	SaveInteger:       sig(ir.Void, BytePtr),
-	LoadInteger:       sig(ir.Void, BytePtr),
-	SaveFP:            sig(ir.Void, BytePtr, ir.I64),
-	LoadFP:            sig(ir.Void, BytePtr),
-	IContextSave:      sig(ir.Void, ir.I64, BytePtr),
-	IContextLoad:      sig(ir.Void, ir.I64, BytePtr),
-	IContextCommit:    sig(ir.Void, ir.I64),
-	IPushFunction:     sig(ir.Void, ir.I64, BytePtr, ir.I64, ir.I64),
-	WasPrivileged:     sig(ir.I64, ir.I64),
-	IContextSetRetval: sig(ir.Void, BytePtr, ir.I64),
-	StateSetKStack:    sig(ir.Void, BytePtr, ir.I64),
-	StateSetUStack:    sig(ir.Void, BytePtr, ir.I64),
-	Trap:              sig(ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64),
-	InitState:         sig(ir.Void, BytePtr, BytePtr, ir.I64, ir.I64),
-	ExecState:         sig(ir.Void, ir.I64, BytePtr, ir.I64, ir.I64),
-	SetKStack:         sig(ir.Void, ir.I64),
-	RegisterSyscall:   sig(ir.Void, ir.I64, BytePtr),
-	RegisterInterrupt: sig(ir.Void, ir.I64, BytePtr),
-	MMUMap:            sig(ir.I64, ir.I64, ir.I64, ir.I64),
-	MMUUnmap:          sig(ir.I64, ir.I64),
-	MMUProtect:        sig(ir.I64, ir.I64, ir.I64),
-	IOPutc:            sig(ir.Void, ir.I64),
-	IOGetc:            sig(ir.I64),
-	DiskRead:          sig(ir.I64, ir.I64, BytePtr),
-	DiskWrite:         sig(ir.I64, ir.I64, BytePtr),
-	NetSend:           sig(ir.I64, BytePtr, ir.I64),
-	NetRecv:           sig(ir.I64, BytePtr, ir.I64),
-	IntrEnable:        sig(ir.I64, ir.I64),
-	TimerArm:          sig(ir.Void, ir.I64),
-	Cycles:            sig(ir.I64),
-	Halt:              sig(ir.Void, ir.I64),
-	PseudoAlloc:       sig(ir.Void, ir.I64, ir.I64),
-	Memcpy:            sig(BytePtr, BytePtr, BytePtr, ir.I64),
-	Memmove:           sig(BytePtr, BytePtr, BytePtr, ir.I64),
-	Memset:            sig(BytePtr, BytePtr, ir.I64, ir.I64),
-	Memcmp:            sig(ir.I64, BytePtr, BytePtr, ir.I64),
-	ObjRegister:       sig(ir.Void, ir.I32, BytePtr, ir.I64),
-	ObjRegisterStack:  sig(ir.Void, ir.I32, BytePtr, ir.I64),
-	ObjDrop:           sig(ir.Void, ir.I32, BytePtr),
-	BoundsCheck:       sig(ir.Void, ir.I32, BytePtr, BytePtr),
-	LSCheck:           sig(ir.Void, ir.I32, BytePtr),
-	ICCheck:           sig(ir.Void, ir.I32, BytePtr),
-	ElideBounds:       sig(ir.Void, ir.I32, BytePtr, BytePtr),
-	ElideLS:           sig(ir.Void, ir.I32, BytePtr),
-	GetBoundsLo:       sig(ir.I64, ir.I32, BytePtr),
-	GetBoundsHi:       sig(ir.I64, ir.I32, BytePtr),
+// Virtual-cycle charges (see Op.Cost).
+const (
+	costTrap      = 150 // hardware trap entry + return
+	costBounds    = 25  // splay lookup + range compare
+	costLS        = 20  // splay lookup
+	costReg       = 15  // splay insert
+	costDrop      = 15  // splay delete
+	costIC        = 10  // set membership
+	// costElide is the residual cost of a check the compiler proved
+	// redundant (§7.1.3): the annotation itself is free in native code;
+	// one cycle models accounting noise so elision never looks better
+	// than not inserting the check at all.
+	costElide = 1
+)
+
+// Ops is the single table of every operation in the virtual instruction
+// set.  All other views (Signatures, Lookup, Cost, IsCheckOp) derive
+// from it.
+var Ops = []*Op{
+	{SaveInteger, ClassState, 0, sig(ir.Void, BytePtr)},
+	{LoadInteger, ClassState, 0, sig(ir.Void, BytePtr)},
+	{SaveFP, ClassState, 0, sig(ir.Void, BytePtr, ir.I64)},
+	{LoadFP, ClassState, 0, sig(ir.Void, BytePtr)},
+	{StateSetKStack, ClassState, 0, sig(ir.Void, BytePtr, ir.I64)},
+	{StateSetUStack, ClassState, 0, sig(ir.Void, BytePtr, ir.I64)},
+
+	{IContextSave, ClassIContext, 0, sig(ir.Void, ir.I64, BytePtr)},
+	{IContextLoad, ClassIContext, 0, sig(ir.Void, ir.I64, BytePtr)},
+	{IContextCommit, ClassIContext, 0, sig(ir.Void, ir.I64)},
+	{IPushFunction, ClassIContext, 0, sig(ir.Void, ir.I64, BytePtr, ir.I64, ir.I64)},
+	{WasPrivileged, ClassIContext, 0, sig(ir.I64, ir.I64)},
+	{IContextSetRetval, ClassIContext, 0, sig(ir.Void, BytePtr, ir.I64)},
+
+	{Trap, ClassSys, costTrap, sig(ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64)},
+	{InitState, ClassSys, 0, sig(ir.Void, BytePtr, BytePtr, ir.I64, ir.I64)},
+	{ExecState, ClassSys, 0, sig(ir.Void, ir.I64, BytePtr, ir.I64, ir.I64)},
+	{SetKStack, ClassSys, 0, sig(ir.Void, ir.I64)},
+	{RegisterSyscall, ClassSys, 0, sig(ir.Void, ir.I64, BytePtr)},
+	{RegisterInterrupt, ClassSys, 0, sig(ir.Void, ir.I64, BytePtr)},
+	{IntrEnable, ClassSys, 0, sig(ir.I64, ir.I64)},
+	{TimerArm, ClassSys, 0, sig(ir.Void, ir.I64)},
+	{Cycles, ClassSys, 0, sig(ir.I64)},
+	{Halt, ClassSys, 0, sig(ir.Void, ir.I64)},
+	{PseudoAlloc, ClassSys, 0, sig(ir.Void, ir.I64, ir.I64)},
+
+	{MMUMap, ClassMMU, 0, sig(ir.I64, ir.I64, ir.I64, ir.I64)},
+	{MMUUnmap, ClassMMU, 0, sig(ir.I64, ir.I64)},
+	{MMUProtect, ClassMMU, 0, sig(ir.I64, ir.I64, ir.I64)},
+
+	{IOPutc, ClassIO, 0, sig(ir.Void, ir.I64)},
+	{IOGetc, ClassIO, 0, sig(ir.I64)},
+	{DiskRead, ClassIO, 0, sig(ir.I64, ir.I64, BytePtr)},
+	{DiskWrite, ClassIO, 0, sig(ir.I64, ir.I64, BytePtr)},
+	{NetSend, ClassIO, 0, sig(ir.I64, BytePtr, ir.I64)},
+	{NetRecv, ClassIO, 0, sig(ir.I64, BytePtr, ir.I64)},
+
+	{Memcpy, ClassMem, 0, sig(BytePtr, BytePtr, BytePtr, ir.I64)},
+	{Memmove, ClassMem, 0, sig(BytePtr, BytePtr, BytePtr, ir.I64)},
+	{Memset, ClassMem, 0, sig(BytePtr, BytePtr, ir.I64, ir.I64)},
+	{Memcmp, ClassMem, 0, sig(ir.I64, BytePtr, BytePtr, ir.I64)},
+
+	{ObjRegister, ClassCheck, costReg, sig(ir.Void, ir.I32, BytePtr, ir.I64)},
+	{ObjRegisterStack, ClassCheck, costReg, sig(ir.Void, ir.I32, BytePtr, ir.I64)},
+	{ObjDrop, ClassCheck, costDrop, sig(ir.Void, ir.I32, BytePtr)},
+	{BoundsCheck, ClassCheck, costBounds, sig(ir.Void, ir.I32, BytePtr, BytePtr)},
+	{LSCheck, ClassCheck, costLS, sig(ir.Void, ir.I32, BytePtr)},
+	{ICCheck, ClassCheck, costIC, sig(ir.Void, ir.I32, BytePtr)},
+	{ElideBounds, ClassCheck, costElide, sig(ir.Void, ir.I32, BytePtr, BytePtr)},
+	{ElideLS, ClassCheck, costElide, sig(ir.Void, ir.I32, BytePtr)},
+	{GetBoundsLo, ClassCheck, 0, sig(ir.I64, ir.I32, BytePtr)},
+	{GetBoundsHi, ClassCheck, 0, sig(ir.I64, ir.I32, BytePtr)},
+}
+
+// byName indexes Ops; Signatures is the derived name→type view that the
+// module builders and the svaos handler self-check iterate.
+var (
+	byName     = map[string]*Op{}
+	Signatures = map[string]*ir.Type{}
+)
+
+func init() {
+	for _, op := range Ops {
+		if byName[op.Name] != nil {
+			panic("svaops: duplicate operation " + op.Name)
+		}
+		byName[op.Name] = op
+		Signatures[op.Name] = op.Sig
+	}
+}
+
+// Lookup returns the operation named name (nil if unknown).
+func Lookup(name string) *Op { return byName[name] }
+
+// Cost returns the virtual-cycle charge for name (0 for unknown names:
+// guest intrinsics outside the SVA set carry no SVM charge).
+func Cost(name string) uint64 {
+	if op := byName[name]; op != nil {
+		return op.Cost
+	}
+	return 0
 }
 
 // Get returns the intrinsic declaration for name in module m, declaring it
@@ -167,21 +273,17 @@ func Get(m *ir.Module, name string) *ir.Function {
 	if f := m.Func(name); f != nil {
 		return f
 	}
-	s, ok := Signatures[name]
-	if !ok {
+	op := byName[name]
+	if op == nil {
 		panic("svaops: unknown operation " + name)
 	}
-	f := m.NewFunc(name, s)
+	f := m.NewFunc(name, op.Sig)
 	f.Intrinsic = true
 	return f
 }
 
 // IsCheckOp reports whether name is a run-time check operation (pchk.*).
 func IsCheckOp(name string) bool {
-	switch name {
-	case ObjRegister, ObjRegisterStack, ObjDrop, BoundsCheck, LSCheck, ICCheck, GetBoundsLo, GetBoundsHi,
-		ElideBounds, ElideLS:
-		return true
-	}
-	return false
+	op := byName[name]
+	return op != nil && op.Class == ClassCheck
 }

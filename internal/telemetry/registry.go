@@ -1,0 +1,32 @@
+package telemetry
+
+// Source is one component's publish hook: it fills its slice of a
+// Snapshot.  Sources hold closures over the component's live counters, so
+// components pay nothing on their hot paths — all collection cost is in
+// Registry.Snapshot (pull-based).
+type Source func(*Snapshot)
+
+// Registry collects the statistics sources of one SVM instance.  The VM,
+// the metapool registry and the safety compiler each register a Source at
+// construction/attach time; Snapshot pulls them all into one unified view.
+type Registry struct {
+	sources []Source
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a publish hook.  Hooks run in registration order, each
+// filling its own part of the Snapshot.
+func (r *Registry) Register(src Source) {
+	r.sources = append(r.sources, src)
+}
+
+// Snapshot pulls every registered source into a unified Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	for _, src := range r.sources {
+		src(&s)
+	}
+	return s
+}

@@ -1,0 +1,100 @@
+// Package telemetry is the SVM's single observability subsystem.  It owns
+// the canonical statistics schema every component publishes into (VM
+// execution counters, per-metapool check activity, the safety compiler's
+// static Table-9 metrics, kernel syscall counts), a virtual-cycle profiler
+// that attributes every charged cycle to the guest function and SVA
+// operation executing when the charge landed, and a bounded ring-buffer
+// trace of structured events dumpable as JSONL.
+//
+// The paper's entire evaluation (§7, Tables 4–9) attributes cost to
+// individual SVM mechanisms; this package is the one place that
+// attribution lives.  Components keep their own counters on the hot path
+// (zero cost while telemetry is passive) and register a publish hook in a
+// Registry; Registry.Snapshot pulls everything into one typed Snapshot.
+package telemetry
+
+// VMStats aggregates virtual-machine execution counters (the stats block
+// behind vm.Counters).
+type VMStats struct {
+	Steps        uint64 // instructions interpreted
+	KSteps       uint64 // instructions interpreted at kernel privilege
+	Calls        uint64
+	Traps        uint64 // syscalls + interrupts delivered
+	Intrinsics   uint64
+	MemOps       uint64
+	ChecksBounds uint64
+	ChecksLS     uint64
+	ChecksIC     uint64
+	// ElidedBounds / ElidedLS count dynamic executions of pchk.elide.*
+	// annotations: checks that would have run had the §7.1.3 redundancy
+	// pass not removed them.
+	ElidedBounds uint64
+	ElidedLS     uint64
+	Translations uint64 // functions translated (lazily, once each)
+	Switches     uint64 // continuation switches (context switches)
+}
+
+// CheckStats counts run-time check activity (the stats block behind
+// metapool.Stats; one per pool, plus a summed total).
+type CheckStats struct {
+	Registered   uint64
+	Dropped      uint64
+	BoundsChecks uint64
+	LSChecks     uint64
+	ICChecks     uint64
+	// ElidedBounds/ElidedLS count checks a pool would have run had the
+	// compiler's §7.1.3 redundancy pass not proven them unnecessary.
+	ElidedBounds uint64
+	ElidedLS     uint64
+	Violations   uint64
+	// CacheHits/CacheMisses count last-hit cache outcomes on the check
+	// hot path (a miss falls through to the splay tree).
+	CacheHits   uint64
+	CacheMisses uint64
+}
+
+// PoolStats is one metapool's row in a snapshot.
+type PoolStats struct {
+	Name            string
+	TypeHomogeneous bool
+	Complete        bool
+	Objects         int
+	// SplayLookups is how many lookups reached the splay tree.
+	SplayLookups uint64
+	// SplayDepth is the tree's current height (a gauge, computed at
+	// snapshot time; 0 for an empty tree).
+	SplayDepth int
+	Stats      CheckStats
+}
+
+// CheckSnapshot captures per-pool check and cache statistics plus the
+// registry-level indirect-call counters at one instant.
+type CheckSnapshot struct {
+	Pools        []PoolStats
+	ICChecks     uint64
+	ICViolations uint64
+	Totals       CheckStats
+}
+
+// KernelStats carries guest-kernel-level counters.
+type KernelStats struct {
+	// Syscalls counts trap dispatches per syscall number.
+	Syscalls map[int64]uint64
+}
+
+// Snapshot is the unified view of every registered statistics source at
+// one instant: the redesigned replacement for the old three-way
+// vm.Counters / metapool.Snapshot / safety.Metrics seam.
+type Snapshot struct {
+	VM     VMStats
+	Checks CheckSnapshot
+	Kernel KernelStats
+	// Static is the safety compiler's static accounting (nil when the
+	// running configuration was not safety-compiled).
+	Static *StaticStats
+	// Profile is the virtual-cycle profile (nil while profiling is off).
+	Profile *Profile
+	// Events is the trace ring-buffer content, oldest first (nil while
+	// tracing is off).
+	Events []Event
+}

@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRegistryMergesSources(t *testing.T) {
+	r := NewRegistry()
+	r.Register(func(s *Snapshot) { s.VM.Steps = 42 })
+	r.Register(func(s *Snapshot) {
+		s.Checks.Totals.BoundsChecks = 7
+		s.Checks.Pools = append(s.Checks.Pools, PoolStats{Name: "MP1"})
+	})
+	r.Register(func(s *Snapshot) { s.Kernel.Syscalls = map[int64]uint64{4: 2} })
+	s := r.Snapshot()
+	if s.VM.Steps != 42 || s.Checks.Totals.BoundsChecks != 7 {
+		t.Errorf("merge lost data: %+v", s)
+	}
+	if len(s.Checks.Pools) != 1 || s.Checks.Pools[0].Name != "MP1" {
+		t.Errorf("pool rows lost: %+v", s.Checks.Pools)
+	}
+	if s.Kernel.Syscalls[4] != 2 {
+		t.Errorf("kernel stats lost: %+v", s.Kernel)
+	}
+	if s.Static != nil || s.Profile != nil || s.Events != nil {
+		t.Errorf("unset sections must stay nil")
+	}
+}
+
+func TestProfilerSnapshotSorted(t *testing.T) {
+	p := NewProfiler()
+	p.ChargeFn("low", "main", 5)
+	p.ChargeFn("high", "main", 100)
+	p.ChargeFn("mid", "", 50)
+	p.ChargeFn("high", "other", 1)
+	p.ChargeOp("pchk.bounds", 25)
+	p.ChargeOp("sva.trap", 150)
+	prof := p.Snapshot()
+	if prof.Attributed != 156 {
+		t.Errorf("attributed = %d, want 156", prof.Attributed)
+	}
+	want := []string{"high", "mid", "low"}
+	for i, fn := range prof.Functions {
+		if fn.Name != want[i] {
+			t.Fatalf("function order %v", prof.Functions)
+		}
+	}
+	if prof.Functions[0].Steps != 2 || prof.Functions[0].Cycles != 101 {
+		t.Errorf("high = %+v", prof.Functions[0])
+	}
+	// Caller edges sorted by cycles: main (100) before other (1).
+	if prof.Functions[0].Callers[0].Name != "main" {
+		t.Errorf("callers = %+v", prof.Functions[0].Callers)
+	}
+	if prof.Ops[0].Name != "sva.trap" || prof.Ops[0].Class != "sys" {
+		t.Errorf("ops = %+v", prof.Ops)
+	}
+	out := prof.Format(10, 200)
+	for _, sub := range []string{"Top 10 functions", "sva.trap", "By class", "78.0%"} {
+		if !strings.Contains(out, sub) {
+			t.Errorf("Format missing %q:\n%s", sub, out)
+		}
+	}
+}
+
+func TestTraceRingWraparound(t *testing.T) {
+	tr := NewTrace(4)
+	cycle := uint64(0)
+	tr.CycleSource = func() uint64 { cycle += 10; return cycle }
+	for i := 0; i < 6; i++ {
+		tr.Emit(EvCheck, "pchk.bounds", []uint64{uint64(i)}, "")
+	}
+	if tr.Len() != 4 {
+		t.Errorf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", tr.Dropped())
+	}
+	evs := tr.Events()
+	for i, e := range evs {
+		if e.Seq != uint64(i+2) {
+			t.Fatalf("events not oldest-first: %+v", evs)
+		}
+		if e.Args[0] != uint64(i+2) {
+			t.Fatalf("args clobbered: %+v", evs)
+		}
+	}
+	if evs[0].Cycle != 30 {
+		t.Errorf("cycle stamp = %d, want 30", evs[0].Cycle)
+	}
+}
+
+func TestTraceArgsCopied(t *testing.T) {
+	tr := NewTrace(2)
+	args := []uint64{1, 2}
+	tr.Emit(EvMMU, "sva.mmu.map", args, "")
+	args[0] = 99
+	if tr.Events()[0].Args[0] != 1 {
+		t.Error("Emit must copy args")
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTrace(8)
+	tr.Emit(EvTrapEnter, "syscall", []uint64{4}, "")
+	tr.Emit(EvCheck, "pchk.bounds", []uint64{1, 2, 3}, "bounds violation")
+	tr.Emit(EvTrapExit, "", nil, "")
+	var sb strings.Builder
+	if err := WriteJSONL(&sb, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), sb.String())
+	}
+	for i, line := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+		if e.Seq != uint64(i) {
+			t.Errorf("line %d seq = %d", i, e.Seq)
+		}
+	}
+	var mid Event
+	_ = json.Unmarshal([]byte(lines[1]), &mid)
+	if mid.Kind != EvCheck || mid.Err != "bounds violation" || len(mid.Args) != 3 {
+		t.Errorf("event round-trip lost fields: %+v", mid)
+	}
+	// Empty fields are omitted from the JSON.
+	if strings.Contains(lines[2], "args") || strings.Contains(lines[2], "err") {
+		t.Errorf("empty fields serialized: %s", lines[2])
+	}
+}
+
+func TestStaticStatsString(t *testing.T) {
+	m := StaticStats{
+		AllocSitesTotal: 10, AllocSitesSeen: 8,
+		Loads: AccessStats{Total: 100, Incomplete: 25, TypeSafe: 50},
+	}
+	out := m.String()
+	for _, sub := range []string{"Allocation sites seen: 80.0% (8/10)", "Loads", "incomplete= 25.0%", "type-safe= 50.0%"} {
+		if !strings.Contains(out, sub) {
+			t.Errorf("String missing %q:\n%s", sub, out)
+		}
+	}
+}

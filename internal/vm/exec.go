@@ -9,6 +9,7 @@ import (
 	"sva/internal/hw"
 	"sva/internal/ir"
 	"sva/internal/metapool"
+	"sva/internal/telemetry"
 )
 
 // Frame is one activation record on the virtual CPU's explicit call stack.
@@ -327,14 +328,35 @@ func (vm *VM) pollInterrupts() {
 		return // spurious interrupt: dropped
 	}
 	vm.Counters.Traps++
+	if vm.trace != nil {
+		vm.trace.Emit(telemetry.EvTrapEnter, "interrupt", []uint64{uint64(vec)}, "")
+	}
 	icp := vm.pushIContext(-1)
 	vm.pushCall(h, []uint64{uint64(vec), icp}, -1, true)
 }
 
-// step executes one instruction of the current frame.
+// step executes one instruction of the current frame.  With a profiler
+// attached it additionally attributes the instruction's full cycle charge
+// (including any intrinsic work it triggered) to the executing guest
+// function; the charge itself is identical either way.
 func (vm *VM) step() error {
 	ex := vm.cur
 	fr := ex.frames[len(ex.frames)-1]
+	if vm.prof != nil {
+		c0 := vm.Mach.CPU.Cycles
+		fn := fr.fn.Nm
+		caller := ""
+		if n := len(ex.frames); n >= 2 {
+			caller = ex.frames[n-2].fn.Nm
+		}
+		err := vm.stepIn(ex, fr)
+		vm.prof.ChargeFn(fn, caller, vm.Mach.CPU.Cycles-c0)
+		return err
+	}
+	return vm.stepIn(ex, fr)
+}
+
+func (vm *VM) stepIn(ex *Exec, fr *Frame) error {
 	blocks := fr.fn.Blocks
 	if fr.block >= len(blocks) || fr.idx >= len(blocks[fr.block].Instrs) {
 		return fmt.Errorf("vm: pc fell off block in @%s", fr.fn.Nm)
@@ -824,7 +846,12 @@ func (vm *VM) execCall(ex *Exec, fr *Frame, in *ir.Instr, ops []coperand) error 
 		if h == nil {
 			return fmt.Errorf("vm: unknown intrinsic @%s", callee.Nm)
 		}
-		res, err := h(vm, args)
+		var res IntrinsicResult
+		if vm.prof != nil || vm.trace != nil {
+			res, err = vm.observedIntrinsic(callee.Nm, h, args)
+		} else {
+			res, err = h(vm, args)
+		}
 		if err != nil {
 			return err
 		}
@@ -949,6 +976,9 @@ func (vm *VM) popIContext() {
 	ex.sp = ic.savedSP
 	ex.priv = ic.savedPriv
 	vm.Mach.CPU.Int.Priv = ic.savedPriv
+	if vm.trace != nil {
+		vm.trace.Emit(telemetry.EvTrapExit, "", nil, "")
+	}
 	// Signal-handler dispatch: pushed functions run in the interrupted
 	// context before it resumes.
 	for i := len(ic.pending) - 1; i >= 0; i-- {

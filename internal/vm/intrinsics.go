@@ -6,6 +6,19 @@ import (
 	"sva/internal/svaops"
 )
 
+// Per-operation cycle charges come from the svaops cost table, so the
+// accounting model is stated once alongside each operation's class and
+// signature.
+var (
+	cycRegObj  = svaops.Cost(svaops.ObjRegister)
+	cycDropObj = svaops.Cost(svaops.ObjDrop)
+	cycBounds  = svaops.Cost(svaops.BoundsCheck)
+	cycLS      = svaops.Cost(svaops.LSCheck)
+	cycIC      = svaops.Cost(svaops.ICCheck)
+	cycElide   = svaops.Cost(svaops.ElideBounds)
+	cycTrap    = svaops.Cost(svaops.Trap)
+)
+
 // installCoreIntrinsics installs the operations the SVM itself implements:
 // the run-time checks (pchk.*), the optimized memory primitives, and basic
 // system control.  SVA-OS state/trap/MMU/IO operations are installed by
@@ -16,12 +29,12 @@ func (vm *VM) installCoreIntrinsics() {
 	// --- Run-time checks (§4.5, Table 3) ---------------------------------
 
 	reg(svaops.ObjRegister, func(vm *VM, a []uint64) (IntrinsicResult, error) {
-		vm.Mach.CPU.Cycles += CycRegObj
+		vm.Mach.CPU.Cycles += cycRegObj
 		pool := vm.Pools.Pool(int(a[0]))
 		return IntrinsicResult{}, pool.Register(a[1], a[2], 0)
 	})
 	reg(svaops.ObjRegisterStack, func(vm *VM, a []uint64) (IntrinsicResult, error) {
-		vm.Mach.CPU.Cycles += CycRegObj
+		vm.Mach.CPU.Cycles += cycRegObj
 		pool := vm.Pools.Pool(int(a[0]))
 		if err := pool.RegisterStack(a[1], a[2]); err != nil {
 			return IntrinsicResult{}, err
@@ -33,36 +46,36 @@ func (vm *VM) installCoreIntrinsics() {
 		return IntrinsicResult{}, nil
 	})
 	reg(svaops.ObjDrop, func(vm *VM, a []uint64) (IntrinsicResult, error) {
-		vm.Mach.CPU.Cycles += CycDropObj
+		vm.Mach.CPU.Cycles += cycDropObj
 		pool := vm.Pools.Pool(int(a[0]))
 		return IntrinsicResult{}, pool.Drop(a[1])
 	})
 	reg(svaops.BoundsCheck, func(vm *VM, a []uint64) (IntrinsicResult, error) {
 		vm.Counters.ChecksBounds++
-		vm.Mach.CPU.Cycles += CycBoundsCheck
+		vm.Mach.CPU.Cycles += cycBounds
 		pool := vm.Pools.Pool(int(a[0]))
 		return IntrinsicResult{}, pool.BoundsCheck(a[1], a[2])
 	})
 	reg(svaops.LSCheck, func(vm *VM, a []uint64) (IntrinsicResult, error) {
 		vm.Counters.ChecksLS++
-		vm.Mach.CPU.Cycles += CycLSCheck
+		vm.Mach.CPU.Cycles += cycLS
 		pool := vm.Pools.Pool(int(a[0]))
 		return IntrinsicResult{}, pool.LoadStoreCheck(a[1])
 	})
 	reg(svaops.ICCheck, func(vm *VM, a []uint64) (IntrinsicResult, error) {
 		vm.Counters.ChecksIC++
-		vm.Mach.CPU.Cycles += CycICCheck
+		vm.Mach.CPU.Cycles += cycIC
 		return IntrinsicResult{}, vm.Pools.IndirectCallCheck(int(a[0]), a[1])
 	})
 	reg(svaops.ElideBounds, func(vm *VM, a []uint64) (IntrinsicResult, error) {
 		vm.Counters.ElidedBounds++
-		vm.Mach.CPU.Cycles += CycElideCheck
+		vm.Mach.CPU.Cycles += cycElide
 		vm.Pools.Pool(int(a[0])).NoteElidedBounds()
 		return IntrinsicResult{}, nil
 	})
 	reg(svaops.ElideLS, func(vm *VM, a []uint64) (IntrinsicResult, error) {
 		vm.Counters.ElidedLS++
-		vm.Mach.CPU.Cycles += CycElideCheck
+		vm.Mach.CPU.Cycles += cycElide
 		vm.Pools.Pool(int(a[0])).NoteElidedLS()
 		return IntrinsicResult{}, nil
 	})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sva/internal/hw"
+	"sva/internal/telemetry"
 )
 
 // This file implements the state-manipulation semantics behind the SVA-OS
@@ -226,7 +227,11 @@ func (vm *VM) SetSavedUStack(isp, sp uint64) error {
 // registered syscall handler and instructs the stepper to invoke it inside
 // a fresh interrupt context.
 func (vm *VM) TrapEnter(num int64, args []uint64) (IntrinsicResult, error) {
-	vm.Mach.CPU.Cycles += CycTrapBase
+	vm.Mach.CPU.Cycles += cycTrap
+	vm.syscallCounts[num]++
+	if vm.trace != nil {
+		vm.trace.Emit(telemetry.EvTrapEnter, "syscall", []uint64{uint64(num)}, "")
+	}
 	h := vm.syscalls[num]
 	if h == nil {
 		return IntrinsicResult{Value: ^uint64(37)}, nil // -38: ENOSYS

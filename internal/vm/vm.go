@@ -16,6 +16,7 @@ import (
 	"sva/internal/hw"
 	"sva/internal/ir"
 	"sva/internal/metapool"
+	"sva/internal/telemetry"
 )
 
 // Config selects one of the four kernel/VM configurations evaluated in the
@@ -83,50 +84,21 @@ const FuncStride = 16
 
 // Virtual cycle charges.  Each interpreted instruction costs one cycle;
 // the SVM's own work is charged on top so the cycle counter reflects what
-// a native implementation would pay: the trap-entry control-state spill
-// (§3.3), the splay-tree work behind each run-time check (§4.5), and the
-// small code-quality difference between the two code generators.  These
-// constants were set from the relative costs of the corresponding host
-// operations; the evaluation reports *ratios* of cycle counts, so only
-// their proportions matter.
+// a native implementation would pay.  The per-operation charges (trap
+// entry, the splay-tree work behind each run-time check) live in the
+// svaops.Ops table — the single cost source the VM, svaos and telemetry
+// share; only the charges with no operation of their own remain here.
 const (
-	CycTrapBase    = 150 // any config: hardware trap entry + return
-	CycTrapSpill   = 60  // SVA configs: llva-mediated kernel entry/exit
-	CycBoundsCheck = 25  // splay lookup + range compare
-	CycLSCheck     = 20  // splay lookup
-	CycRegObj      = 15  // splay insert
-	CycDropObj     = 15  // splay delete
-	CycICCheck     = 10  // set membership
-	// CycElideCheck is the residual cost of a check the compiler proved
-	// redundant (§7.1.3): the annotation itself is free in native code;
-	// one cycle models accounting noise so elision never looks better
-	// than not inserting the check at all.
-	CycElideCheck = 1
+	CycTrapSpill = 60 // SVA configs: llva-mediated kernel entry/exit
 	// CycDirectPenalty models gcc-vs-llvm code quality: the untranslated
 	// engine pays one extra cycle every 32 instructions (~3%, within the
 	// ±13% band the paper measured between the two code generators).
 	CycDirectPenaltyShift = 5
 )
 
-// Counters aggregates execution statistics.
-type Counters struct {
-	Steps        uint64 // instructions interpreted
-	KSteps       uint64 // instructions interpreted at kernel privilege
-	Calls        uint64
-	Traps        uint64 // syscalls + interrupts delivered
-	Intrinsics   uint64
-	MemOps       uint64
-	ChecksBounds uint64
-	ChecksLS     uint64
-	ChecksIC     uint64
-	// ElidedBounds / ElidedLS count dynamic executions of pchk.elide.*
-	// annotations: checks that would have run had the §7.1.3 redundancy
-	// pass not removed them.
-	ElidedBounds uint64
-	ElidedLS     uint64
-	Translations uint64 // functions translated (lazily, once each)
-	Switches     uint64 // continuation switches (context switches)
-}
+// Counters aggregates execution statistics.  It is the telemetry schema's
+// VM block; the alias keeps the historical vm.Counters name working.
+type Counters = telemetry.VMStats
 
 // IntrinsicResult is what an intrinsic handler returns to the stepper.
 type IntrinsicResult struct {
@@ -185,6 +157,16 @@ type VM struct {
 
 	Counters Counters
 
+	// Telemetry is this VM's stats registry: the VM, its metapool
+	// registry and (when safety-compiled) the compiler publish into it.
+	Telemetry *telemetry.Registry
+	// prof/trace are nil unless enabled — the interpreter hot path pays
+	// one nil check per step and nothing else (see EnableProfiling).
+	prof  *telemetry.Profiler
+	trace *telemetry.Trace
+	// syscallCounts tallies trap dispatches per syscall number.
+	syscallCounts map[int64]uint64
+
 	Halted   bool
 	ExitCode uint64
 
@@ -221,7 +203,24 @@ func New(mach *hw.Machine, cfg Config) *VM {
 		nextUGlobal: UserBase,
 		nextFunc:    CodeBase,
 		nextKStack:  KStackBase,
+
+		Telemetry:     telemetry.NewRegistry(),
+		syscallCounts: map[int64]uint64{},
 	}
+	vm.Telemetry.Register(func(s *telemetry.Snapshot) {
+		s.VM = vm.Counters
+		s.Kernel.Syscalls = make(map[int64]uint64, len(vm.syscallCounts))
+		for num, n := range vm.syscallCounts {
+			s.Kernel.Syscalls[num] = n
+		}
+		if vm.prof != nil {
+			s.Profile = vm.prof.Snapshot()
+		}
+		if vm.trace != nil {
+			s.Events = vm.trace.Events()
+		}
+	})
+	vm.Pools.Attach(vm.Telemetry)
 	// SVM bootstrap reserve: mapped for the SVM only (paper §3.4).
 	// Reserve is per-page, so cover every page of [SVMBase, SVMTop) —
 	// otherwise the guest could llva.mmu-remap the tail pages.
