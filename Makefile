@@ -1,7 +1,7 @@
 # Tier-1 gate plus the race-sensitive packages this repo parallelizes.
 GO ?= go
 
-.PHONY: all build test vet race check bench tables
+.PHONY: all build test vet race check bench tables chaos
 
 all: check
 
@@ -14,12 +14,20 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The bench harness fans out goroutines per kernel config and per table
-# job; these packages carry the shared state that made that racy once.
+# The bench harness and the fault campaign fan out goroutines per kernel
+# config, per table job and per injection run; race the whole tree.
 race:
-	$(GO) test -race ./internal/report ./internal/metapool ./internal/exploits
+	$(GO) test -race ./...
 
 check: build vet test race
+
+# Fixed-seed fault-injection smoke: three classes through sva-run plus a
+# one-seed-per-class campaign table.  Any host escape fails the target.
+chaos:
+	$(GO) run ./cmd/sva-run -prog=pipeecho -arg=4096 -chaos=splay:7
+	$(GO) run ./cmd/sva-run -prog=hello -chaos=oom:3
+	$(GO) run ./cmd/sva-run -prog=pipeecho -arg=65536 -chaos=icrestore:1
+	$(GO) run ./cmd/sva-bench -table=faults -seeds=1
 
 bench:
 	$(GO) test -bench . -benchtime=1x -run '^$$' .

@@ -14,7 +14,9 @@
 //	sva-bench -table=exploits   §7.2 exploit detection matrix
 //	sva-bench -table=tcb        §5 verifier bug-injection experiment
 //	sva-bench -table=ablation   §4.8 cloning/devirtualization ablation
+//	sva-bench -table=faults     fault-injection campaign outcome matrix
 //	sva-bench -table=all        everything
+//	sva-bench -seeds=25         seeds per fault class for -table=faults
 //	sva-bench -scale=4          divide iteration counts by 4 (quick run)
 //	sva-bench -workers=1        serial generation (default: one worker per CPU)
 //
@@ -36,8 +38,9 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate (4..9, checks, profile, exploits, tcb, ablation, all)")
+	table := flag.String("table", "all", "which table to regenerate (4..9, checks, profile, exploits, tcb, ablation, faults, all)")
 	scale := flag.Uint64("scale", 1, "divide iteration counts (1 = full run)")
+	seeds := flag.Int("seeds", 25, "seeds per fault class for -table=faults")
 	workers := flag.Int("workers", report.DefaultWorkers(), "max concurrent table jobs and per-table configurations (1 = serial)")
 	flag.Parse()
 
@@ -126,6 +129,9 @@ func main() {
 	}
 	if want("tcb") {
 		add("tcb", report.TCBTable)
+	}
+	if want("faults") {
+		add("faults", func() (string, error) { return report.FaultTable(*seeds, w) })
 	}
 
 	out, err := report.RunJobs(jobs, w)

@@ -10,8 +10,14 @@
 //	sva-run -stats                  print the telemetry snapshot afterwards
 //	sva-run -prog=hello -profile    attribute every virtual cycle of the run
 //	sva-run -prog=hello -trace=-    dump the event trace as JSONL to stdout
+//	sva-run -prog=hello -chaos=splay:7   run under seeded fault injection
 //
 // Configurations: native, sva-gcc, sva-llvm, sva-safe (§7.1).
+//
+// -chaos arms the deterministic fault injector (DESIGN.md §12) with a
+// <class>:<seed> spec; classes are memflip, oom, diskio, netio, irq,
+// icrestore and splay.  The run then reports what fired and how the SVM
+// classified the outcome — a chaos run never exits through a Go panic.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"os"
 	"sort"
 
+	"sva/internal/faultinject"
 	"sva/internal/kernel"
 	"sva/internal/telemetry"
 	"sva/internal/userland"
@@ -33,6 +40,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print the unified telemetry snapshot")
 	profile := flag.Bool("profile", false, "attribute virtual cycles to guest functions and SVA ops")
 	trace := flag.String("trace", "", "dump the structured event trace as JSONL to this file (- for stdout)")
+	chaos := flag.String("chaos", "", "arm seeded fault injection: <class>:<seed> (memflip|oom|diskio|netio|irq|icrestore|splay)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -67,6 +75,19 @@ func main() {
 		sys.VM.EnableTrace(4096)
 	}
 
+	var inj *faultinject.Injector
+	if *chaos != "" {
+		class, seed, err := faultinject.ParseSpec(*chaos)
+		if err != nil {
+			fail(err)
+		}
+		inj = faultinject.New(class, seed)
+		sys.VM.InstallChaos(inj)
+		if sys.VM.WatchdogFuel == 0 {
+			sys.VM.WatchdogFuel = 5_000_000
+		}
+	}
+
 	var progCycles uint64
 	if *prog != "" {
 		f := u.M.Func(*prog)
@@ -75,14 +96,35 @@ func main() {
 		}
 		c0 := sys.VM.Mach.CPU.Cycles
 		got, err := sys.RunUser(f, *arg, 0)
-		if err != nil {
-			fail(err)
-		}
 		progCycles = sys.VM.Mach.CPU.Cycles - c0
 		fmt.Print(sys.ConsoleOutput())
-		fmt.Printf("%s(%d) = %d\n", *prog, *arg, int64(got))
+		switch {
+		case err != nil && inj != nil:
+			// Under chaos a terminated guest is a classified outcome, not a
+			// tool failure.
+			fmt.Printf("%s(%d) terminated: %v\n", *prog, *arg, err)
+		case err != nil:
+			fail(err)
+		default:
+			fmt.Printf("%s(%d) = %d\n", *prog, *arg, int64(got))
+		}
 		if n := len(sys.VM.Violations); n > 0 {
 			fmt.Printf("safety violations: %d (first: %v)\n", n, sys.VM.Violations[0])
+		}
+	}
+
+	if inj != nil {
+		c := sys.VM.Counters
+		fmt.Printf("chaos: class=%s seed=%d fired=%d oops=%d fail-stops=%d watchdog=%d quarantines=%d\n",
+			inj.Class, inj.Seed, inj.Fired, c.Oops, c.FailStops, c.WatchdogFaults, c.Quarantines)
+		for _, rec := range inj.Records() {
+			fmt.Printf("  inject %-16s %s\n", rec.Site, rec.Detail)
+		}
+		if n := inj.Dropped(); n > 0 {
+			fmt.Printf("  (%d older injection records dropped)\n", n)
+		}
+		if err := sys.VM.CheckHostInvariants(); err != nil {
+			fail(fmt.Errorf("HOST ESCAPE: invariants broken after chaos run: %w", err))
 		}
 	}
 

@@ -49,3 +49,9 @@ const (
 	EMFILE = 24
 	ENOSYS = 38
 )
+
+// Errno converts a positive errno constant into the negative
+// two's-complement register value the kernel ABI returns to user space:
+// Errno(EFAULT) is the uint64 encoding of -14.
+func Errno(e int) uint64 { return uint64(-int64(e)) }
+

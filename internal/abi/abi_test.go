@@ -1,0 +1,26 @@
+package abi
+
+import "testing"
+
+// TestErrnoEncoding pins the two's-complement encoding the VM hands back
+// to guests: Errno(E) is the uint64 form of -E.  The EFAULT and ENOSYS
+// cases are the values that used to appear as ^uint64(13) and ^uint64(37)
+// magic in the interpreter.
+func TestErrnoEncoding(t *testing.T) {
+	for _, c := range []struct {
+		e    int
+		want uint64
+	}{
+		{EFAULT, ^uint64(13)},
+		{ENOSYS, ^uint64(37)},
+		{EINVAL, uint64(0xFFFFFFFFFFFFFFEA)},
+		{0, 0},
+	} {
+		if got := Errno(c.e); got != c.want {
+			t.Errorf("Errno(%d) = %#x, want %#x", c.e, got, c.want)
+		}
+		if int64(Errno(c.e)) != -int64(c.e) {
+			t.Errorf("Errno(%d) is not -%d as int64", c.e, c.e)
+		}
+	}
+}

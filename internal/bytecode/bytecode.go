@@ -64,7 +64,7 @@ func (r *reader) str() string {
 	if r.err != nil {
 		return ""
 	}
-	if r.off+n > len(r.b) {
+	if n < 0 || r.off+n > len(r.b) {
 		r.err = fmt.Errorf("bytecode: truncated string at %d", r.off)
 		return ""
 	}
@@ -224,6 +224,10 @@ func decodeTypes(r *reader) ([]*ir.Type, error) {
 			types[i] = ir.NamedStruct(p.name)
 		}
 	}
+	// visiting guards against corrupted type graphs whose cycles do not
+	// pass through a named struct (the only legal recursion point): an
+	// anonymous cycle would otherwise recurse without bound.
+	visiting := make([]bool, n)
 	var resolve func(i int) (*ir.Type, error)
 	resolve = func(i int) (*ir.Type, error) {
 		if i < 0 || i >= n {
@@ -232,6 +236,11 @@ func decodeTypes(r *reader) ([]*ir.Type, error) {
 		if types[i] != nil {
 			return types[i], nil
 		}
+		if visiting[i] {
+			return nil, fmt.Errorf("bytecode: anonymous type cycle at index %d", i)
+		}
+		visiting[i] = true
+		defer func() { visiting[i] = false }()
 		p := pend[i]
 		var t *ir.Type
 		var err error
@@ -239,7 +248,14 @@ func decodeTypes(r *reader) ([]*ir.Type, error) {
 		case ir.VoidKind:
 			t = ir.Void
 		case ir.IntKind:
-			t = ir.IntType(p.bits)
+			// Validate before calling the constructor: ir.IntType panics on
+			// unsupported widths, and decode input is untrusted.
+			switch p.bits {
+			case 1, 8, 16, 32, 64:
+				t = ir.IntType(p.bits)
+			default:
+				err = fmt.Errorf("bytecode: unsupported integer width %d", p.bits)
+			}
 		case ir.FloatKind:
 			t = ir.F64
 		case ir.LabelKind:
@@ -250,6 +266,10 @@ func decodeTypes(r *reader) ([]*ir.Type, error) {
 				t = ir.PointerTo(e)
 			}
 		case ir.ArrayKind:
+			if p.n < 0 || p.n > 1<<31 {
+				err = fmt.Errorf("bytecode: array length %d out of range", p.n)
+				break
+			}
 			var e *ir.Type
 			if e, err = resolve(p.elem); err == nil {
 				t = ir.ArrayOf(p.n, e)

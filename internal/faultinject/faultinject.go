@@ -1,0 +1,259 @@
+// Package faultinject is the SVM's deterministic fault-injection subsystem.
+// It exists to give teeth to the paper's central robustness claim (§1, §5):
+// the SVM is a *safe execution environment*, so hardware-level faults and
+// arbitrary guest misbehavior must surface as detected violations, EFAULT
+// oops unwinds, or structured fail-stops — never as a crash of the host
+// virtual machine itself.
+//
+// The package is a leaf: it knows nothing about the VM, devices, or
+// metapools.  Each of those components holds an optional *Injector and
+// consults it at its hardware or allocator seam with a nil-guarded check:
+//
+//	if m.Chaos != nil && m.Chaos.Should(faultinject.ClassMemFlip) { ... }
+//
+// When no injector is installed the hook is a single pointer comparison,
+// mirroring the telemetry package's zero-cost-when-disabled contract (the
+// chaos invariance test in internal/faultinject/campaign proves results are
+// bit-identical with hooks present but disarmed).
+//
+// Determinism: an Injector is seeded and advances a splitmix64 stream; the
+// same (class, seed) pair always fires at the same operation indices with
+// the same random payloads, so every campaign outcome is reproducible from
+// its seed alone.
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Class identifies one fault class — a seam in the SVM where the campaign
+// can inject hardware-level misbehavior.
+type Class uint8
+
+const (
+	// ClassNone never fires; an Injector with ClassNone is inert.
+	ClassNone Class = iota
+	// ClassMemFlip flips a random bit in guest physical memory on a load
+	// (soft-error / rowhammer model, hooked in hw.PhysMemory).
+	ClassMemFlip
+	// ClassOOM makes a guest physical-frame allocation fail
+	// (hooked in the VM's frame allocator / sva.init paths).
+	ClassOOM
+	// ClassDiskIO makes a block-device sector transfer fail
+	// (hooked in hw.BlockDevice).
+	ClassDiskIO
+	// ClassNetIO drops or errors a NIC send/receive
+	// (hooked in hw.LoopbackNIC).
+	ClassNetIO
+	// ClassIRQ injects a spurious or duplicated interrupt vector
+	// (hooked in hw.InterruptController).
+	ClassIRQ
+	// ClassICRestore corrupts a saved interrupt context as it is being
+	// restored (hooked in the VM's continuation-restore path, the seam
+	// behind sva.icontext.load / sva.swap.integer).
+	ClassICRestore
+	// ClassSplay corrupts a metapool splay node's bounds metadata
+	// (hooked in metapool lookup).
+	ClassSplay
+
+	numClasses
+)
+
+var classNames = [numClasses]string{
+	ClassNone:      "none",
+	ClassMemFlip:   "memflip",
+	ClassOOM:       "oom",
+	ClassDiskIO:    "diskio",
+	ClassNetIO:     "netio",
+	ClassIRQ:       "irq",
+	ClassICRestore: "icrestore",
+	ClassSplay:     "splay",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Classes lists every injectable fault class, in campaign order.
+var Classes = []Class{
+	ClassMemFlip, ClassOOM, ClassDiskIO, ClassNetIO,
+	ClassIRQ, ClassICRestore, ClassSplay,
+}
+
+// ParseClass resolves a class name ("memflip", "irq", ...) as used by the
+// sva-run -chaos flag and the campaign driver.
+func ParseClass(name string) (Class, bool) {
+	for c, n := range classNames {
+		if n == name && Class(c) != ClassNone {
+			return Class(c), true
+		}
+	}
+	return ClassNone, false
+}
+
+// ParseSpec parses a "<class>:<seed>" chaos specification (seed defaults
+// to 1 when omitted).
+func ParseSpec(spec string) (Class, uint64, error) {
+	name, seedStr, hasSeed := strings.Cut(spec, ":")
+	c, ok := ParseClass(name)
+	if !ok {
+		return ClassNone, 0, fmt.Errorf("unknown fault class %q (want one of %v)", name, Classes)
+	}
+	seed := uint64(1)
+	if hasSeed {
+		s, err := strconv.ParseUint(seedStr, 0, 64)
+		if err != nil {
+			return ClassNone, 0, fmt.Errorf("bad chaos seed %q: %v", seedStr, err)
+		}
+		seed = s
+	}
+	return c, seed, nil
+}
+
+// Record logs one injection that actually fired, for campaign diagnostics.
+type Record struct {
+	Class  Class
+	Site   string // seam that fired ("physmem.load", "splay.find", ...)
+	Detail string // payload description ("flip bit 17 @0x8000", ...)
+}
+
+func (r Record) String() string {
+	return fmt.Sprintf("%s@%s: %s", r.Class, r.Site, r.Detail)
+}
+
+// maxRecords bounds the injection log so a pathological campaign cannot
+// grow host memory without bound.
+const maxRecords = 256
+
+// defaultInterval is the mean operation count between injections at each
+// class's seam.  Hot seams (per-load) use long intervals; cold seams
+// (per-I/O) fire quickly so every campaign run sees at least one injection.
+var defaultInterval = [numClasses]uint64{
+	ClassMemFlip:   2048, // fires a handful of times per syscall battery
+	ClassOOM:       24,
+	ClassDiskIO:    3,
+	ClassNetIO:     3,
+	ClassIRQ:       512,
+	ClassICRestore: 6,
+	ClassSplay:     48,
+}
+
+// Injector is one armed fault source.  All injection seams of a machine
+// share a single Injector, so the firing schedule is a global property of
+// the (class, seed) pair, not of any one component.
+//
+// An Injector is not safe for concurrent use; the SVM interpreter is
+// single-threaded per machine, and campaigns give each parallel run its
+// own machine and injector.
+type Injector struct {
+	Class Class
+	Seed  uint64
+	// Limit, when nonzero, caps how many times the injector fires; after
+	// that it goes inert.  Campaigns use it to bound blast radius.
+	Limit uint64
+	// Fired counts injections that actually happened.
+	Fired uint64
+
+	// Observer, when set, receives every injection record as it is logged.
+	// The VM wires this to its telemetry trace so fired injections appear
+	// as "inject" events alongside the oops/fail-stop events they cause.
+	Observer func(Record)
+
+	rng       uint64
+	interval  uint64
+	countdown uint64
+	log       []Record
+	dropped   uint64
+}
+
+// New returns an armed injector for one fault class.  Seed 0 is remapped
+// (splitmix64's zero stream is degenerate only in seed identity, but a
+// distinct nonzero base keeps classes with seed 0 from sharing streams).
+func New(class Class, seed uint64) *Injector {
+	inj := &Injector{Class: class, Seed: seed}
+	inj.rng = seed*0x9e3779b97f4a7c15 + uint64(class) + 1
+	inj.interval = defaultInterval[class%numClasses]
+	if inj.interval == 0 {
+		inj.interval = 1
+	}
+	inj.rearm()
+	return inj
+}
+
+// SetInterval overrides the mean operation interval between injections.
+func (i *Injector) SetInterval(n uint64) {
+	if n == 0 {
+		n = 1
+	}
+	i.interval = n
+	i.rearm()
+}
+
+// next advances the splitmix64 stream.
+func (i *Injector) next() uint64 {
+	i.rng += 0x9e3779b97f4a7c15
+	z := i.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (i *Injector) rearm() {
+	i.countdown = i.next()%i.interval + 1
+}
+
+// Should reports whether a fault of class c fires at this call.  It is the
+// single decision point every seam consults; a false return costs one
+// branch and one decrement.
+func (i *Injector) Should(c Class) bool {
+	if c != i.Class {
+		return false
+	}
+	if i.Limit != 0 && i.Fired >= i.Limit {
+		return false
+	}
+	if i.countdown > 1 {
+		i.countdown--
+		return false
+	}
+	i.rearm()
+	i.Fired++
+	return true
+}
+
+// Rand returns a deterministic value in [0, n) for choosing the injection
+// payload (which bit to flip, which vector to raise, ...).
+func (i *Injector) Rand(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return i.next() % n
+}
+
+// Note records one fired injection's site and payload.
+func (i *Injector) Note(site, format string, args ...interface{}) {
+	rec := Record{
+		Class:  i.Class,
+		Site:   site,
+		Detail: fmt.Sprintf(format, args...),
+	}
+	if i.Observer != nil {
+		i.Observer(rec)
+	}
+	if len(i.log) >= maxRecords {
+		i.dropped++
+		return
+	}
+	i.log = append(i.log, rec)
+}
+
+// Records returns the injection log, oldest first.
+func (i *Injector) Records() []Record { return i.log }
+
+// Dropped returns how many records were discarded once the log filled.
+func (i *Injector) Dropped() uint64 { return i.dropped }

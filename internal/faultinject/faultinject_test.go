@@ -1,0 +1,122 @@
+package faultinject
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Two injectors with the same (class, seed) must fire at identical call
+// indices with identical payloads — campaign reproducibility rests on this.
+func TestDeterministicSchedule(t *testing.T) {
+	prop := func(seed uint64, classRaw uint8) bool {
+		class := Classes[int(classRaw)%len(Classes)]
+		a, b := New(class, seed), New(class, seed)
+		for n := 0; n < 10_000; n++ {
+			fa, fb := a.Should(class), b.Should(class)
+			if fa != fb {
+				return false
+			}
+			if fa && a.Rand(64) != b.Rand(64) {
+				return false
+			}
+		}
+		return a.Fired == b.Fired && a.Fired > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShouldOnlyFiresForOwnClass(t *testing.T) {
+	inj := New(ClassDiskIO, 7)
+	for n := 0; n < 1_000; n++ {
+		if inj.Should(ClassMemFlip) || inj.Should(ClassIRQ) || inj.Should(ClassNone) {
+			t.Fatal("foreign class fired")
+		}
+	}
+	if inj.Fired != 0 {
+		t.Fatalf("Fired = %d, want 0", inj.Fired)
+	}
+}
+
+func TestLimitCapsFiring(t *testing.T) {
+	inj := New(ClassSplay, 3)
+	inj.Limit = 2
+	for n := 0; n < 100_000; n++ {
+		inj.Should(ClassSplay)
+	}
+	if inj.Fired != 2 {
+		t.Fatalf("Fired = %d, want 2", inj.Fired)
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	fires := func(seed uint64) []int {
+		inj := New(ClassMemFlip, seed)
+		var idx []int
+		for n := 0; n < 50_000; n++ {
+			if inj.Should(ClassMemFlip) {
+				idx = append(idx, n)
+			}
+		}
+		return idx
+	}
+	a, b := fires(1), fires(2)
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatal("no fires at all")
+	}
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical schedules")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		cls  Class
+		seed uint64
+		ok   bool
+	}{
+		{"memflip:42", ClassMemFlip, 42, true},
+		{"irq", ClassIRQ, 1, true},
+		{"splay:0x10", ClassSplay, 16, true},
+		{"bogus:1", ClassNone, 0, false},
+		{"none:1", ClassNone, 0, false},
+		{"memflip:notanumber", ClassNone, 0, false},
+	}
+	for _, c := range cases {
+		cls, seed, err := ParseSpec(c.spec)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseSpec(%q) err = %v, want ok=%v", c.spec, err, c.ok)
+			continue
+		}
+		if c.ok && (cls != c.cls || seed != c.seed) {
+			t.Errorf("ParseSpec(%q) = (%v, %d)", c.spec, cls, seed)
+		}
+	}
+}
+
+func TestRecordLogBounded(t *testing.T) {
+	inj := New(ClassOOM, 1)
+	for n := 0; n < maxRecords+10; n++ {
+		inj.Note("site", "n=%d", n)
+	}
+	if len(inj.Records()) != maxRecords {
+		t.Fatalf("log len = %d, want %d", len(inj.Records()), maxRecords)
+	}
+	if inj.Dropped() != 10 {
+		t.Fatalf("dropped = %d, want 10", inj.Dropped())
+	}
+	if inj.Records()[0].String() == "" {
+		t.Error("empty record string")
+	}
+}

@@ -3,6 +3,8 @@ package hw
 import (
 	"bytes"
 	"fmt"
+
+	"sva/internal/faultinject"
 )
 
 // Well-known interrupt vectors of the simulated platform.
@@ -25,6 +27,15 @@ type InterruptController struct {
 	enabled bool
 
 	Raised, Delivered uint64
+	// BadRaises counts Raise calls with an out-of-range vector; the raise
+	// is dropped rather than crashing the platform (a fault is the raiser's
+	// problem, never the controller's).
+	BadRaises uint64
+	// Spurious counts chaos-injected vectors delivered by Next.
+	Spurious uint64
+	// Chaos, when set, lets ClassIRQ inject spurious or duplicated vectors
+	// at delivery time.
+	Chaos *faultinject.Injector
 }
 
 // NewInterruptController returns a controller with interrupts disabled
@@ -42,10 +53,13 @@ func (ic *InterruptController) Enable(on bool) bool {
 // Enabled reports whether interrupts are deliverable.
 func (ic *InterruptController) Enabled() bool { return ic.enabled }
 
-// Raise queues vector for delivery.
+// Raise queues vector for delivery.  An out-of-range vector is dropped and
+// counted: raising is reachable from guest-influenced paths, so a bad
+// vector must degrade, not panic the host.
 func (ic *InterruptController) Raise(vector int) {
 	if vector < 0 || vector >= NumVectors {
-		panic(fmt.Sprintf("hw: bad interrupt vector %d", vector))
+		ic.BadRaises++
+		return
 	}
 	ic.pending = append(ic.pending, vector)
 	ic.Raised++
@@ -53,7 +67,25 @@ func (ic *InterruptController) Raise(vector int) {
 
 // Next dequeues the next deliverable vector, or -1 if none (or disabled).
 func (ic *InterruptController) Next() int {
-	if !ic.enabled || len(ic.pending) == 0 {
+	if !ic.enabled {
+		return -1
+	}
+	if ic.Chaos != nil && ic.Chaos.Should(faultinject.ClassIRQ) {
+		// Half the injections deliver the head vector again without
+		// dequeuing it (a double interrupt); the rest deliver a random
+		// spurious vector, possibly one no handler is installed for.
+		var v int
+		if len(ic.pending) > 0 && ic.Chaos.Rand(2) == 0 {
+			v = ic.pending[0]
+			ic.Chaos.Note("intr.next", "double delivery of vector %d", v)
+		} else {
+			v = int(ic.Chaos.Rand(NumVectors))
+			ic.Chaos.Note("intr.next", "spurious vector %d", v)
+		}
+		ic.Spurious++
+		return v
+	}
+	if len(ic.pending) == 0 {
 		return -1
 	}
 	v := ic.pending[0]
@@ -132,6 +164,10 @@ type BlockDevice struct {
 	Writes uint64
 	// SeekCost simulates per-operation latency in cycles, charged by the VM.
 	SeekCost uint64
+	// IOErrors counts chaos-injected transfer failures.
+	IOErrors uint64
+	// Chaos, when set, lets ClassDiskIO fail sector transfers.
+	Chaos *faultinject.Injector
 }
 
 // NewBlockDevice creates a disk with the given sector count.
@@ -144,6 +180,11 @@ func (d *BlockDevice) NumSectors() int { return len(d.data) / SectorSize }
 
 // ReadSector copies sector n into buf (must be SectorSize bytes).
 func (d *BlockDevice) ReadSector(n int, buf []byte) error {
+	if d.Chaos != nil && d.Chaos.Should(faultinject.ClassDiskIO) {
+		d.IOErrors++
+		d.Chaos.Note("disk.read", "I/O error reading sector %d", n)
+		return fmt.Errorf("blockdev: injected I/O error on sector %d read", n)
+	}
 	if n < 0 || (n+1)*SectorSize > len(d.data) {
 		return fmt.Errorf("blockdev: sector %d out of range", n)
 	}
@@ -157,6 +198,11 @@ func (d *BlockDevice) ReadSector(n int, buf []byte) error {
 
 // WriteSector copies buf (one sector) into sector n.
 func (d *BlockDevice) WriteSector(n int, buf []byte) error {
+	if d.Chaos != nil && d.Chaos.Should(faultinject.ClassDiskIO) {
+		d.IOErrors++
+		d.Chaos.Note("disk.write", "I/O error writing sector %d", n)
+		return fmt.Errorf("blockdev: injected I/O error on sector %d write", n)
+	}
 	if n < 0 || (n+1)*SectorSize > len(d.data) {
 		return fmt.Errorf("blockdev: sector %d out of range", n)
 	}
@@ -181,6 +227,10 @@ type LoopbackNIC struct {
 	MTU int
 	// PerFrameCost simulates wire+DMA latency in cycles per frame.
 	PerFrameCost uint64
+	// Dropped counts chaos-injected send failures and receive drops.
+	Dropped uint64
+	// Chaos, when set, lets ClassNetIO fail sends and drop received frames.
+	Chaos *faultinject.Injector
 }
 
 // NewLoopbackNIC returns a NIC with a 1500-byte MTU.
@@ -190,6 +240,11 @@ func NewLoopbackNIC() *LoopbackNIC {
 
 // Send transmits one frame; it appears on the receive queue.
 func (n *LoopbackNIC) Send(frame []byte) error {
+	if n.Chaos != nil && n.Chaos.Should(faultinject.ClassNetIO) {
+		n.Dropped++
+		n.Chaos.Note("nic.send", "transmit error on %d-byte frame", len(frame))
+		return fmt.Errorf("nic: injected transmit error")
+	}
 	if len(frame) == 0 || len(frame) > n.MTU {
 		return fmt.Errorf("nic: bad frame size %d", len(frame))
 	}
@@ -203,6 +258,13 @@ func (n *LoopbackNIC) Send(frame []byte) error {
 // Recv pops the next received frame (nil when the queue is empty).
 func (n *LoopbackNIC) Recv() []byte {
 	if len(n.rx) == 0 {
+		return nil
+	}
+	if n.Chaos != nil && n.Chaos.Should(faultinject.ClassNetIO) {
+		// The wire ate the frame: drop it and report an empty queue.
+		n.rx = n.rx[1:]
+		n.Dropped++
+		n.Chaos.Note("nic.recv", "dropped received frame")
 		return nil
 	}
 	f := n.rx[0]
@@ -240,4 +302,13 @@ func NewMachine(memLimit uint64, diskSectors int) *Machine {
 		Disk:    NewBlockDevice(diskSectors),
 		NIC:     NewLoopbackNIC(),
 	}
+}
+
+// SetChaos arms (or, with nil, disarms) fault injection on every hardware
+// seam of the platform at once.
+func (m *Machine) SetChaos(inj *faultinject.Injector) {
+	m.Phys.Chaos = inj
+	m.Intr.Chaos = inj
+	m.Disk.Chaos = inj
+	m.NIC.Chaos = inj
 }

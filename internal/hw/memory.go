@@ -13,6 +13,8 @@ package hw
 import (
 	"encoding/binary"
 	"fmt"
+
+	"sva/internal/faultinject"
 )
 
 // PageSize is the physical/virtual page size in bytes.
@@ -25,6 +27,11 @@ type PhysMemory struct {
 	pages map[uint64]*[PageSize]byte
 	// Limit, if non-zero, bounds the highest addressable byte.
 	Limit uint64
+	// Chaos, when set, is the fault injector consulted on the memory seams:
+	// ClassMemFlip flips a stored bit during Load (soft-error model),
+	// ClassOOM fails a write as if physical backing ran out.  nil in
+	// production; each hook costs one pointer compare.
+	Chaos *faultinject.Injector
 }
 
 // NewPhysMemory returns a memory with the given size limit (0 = unlimited).
@@ -83,6 +90,10 @@ func (m *PhysMemory) ReadAt(addr uint64, buf []byte) error {
 
 // WriteAt copies buf into memory starting at addr.
 func (m *PhysMemory) WriteAt(addr uint64, buf []byte) error {
+	if m.Chaos != nil && m.Chaos.Should(faultinject.ClassOOM) {
+		m.Chaos.Note("physmem.write", "synthetic OOM on %d-byte write at %#x", len(buf), addr)
+		return &MemFault{Addr: addr, Size: len(buf)}
+	}
 	if err := m.check(addr, len(buf)); err != nil {
 		return err
 	}
@@ -104,6 +115,14 @@ func (m *PhysMemory) Load(addr uint64, size int) (uint64, error) {
 	}
 	if err := m.ReadAt(addr, buf[:size]); err != nil {
 		return 0, err
+	}
+	if m.Chaos != nil && m.Chaos.Should(faultinject.ClassMemFlip) {
+		// Flip one bit of the loaded word in backing memory too, so the
+		// fault persists the way a real soft error in DRAM would.
+		bit := m.Chaos.Rand(uint64(size) * 8)
+		buf[bit/8] ^= 1 << (bit % 8)
+		_ = m.WriteAt(addr, buf[:size])
+		m.Chaos.Note("physmem.load", "flip bit %d of %d-byte load at %#x", bit, size, addr)
 	}
 	return binary.LittleEndian.Uint64(buf[:]) & sizeMask(size), nil
 }
@@ -127,6 +146,10 @@ func sizeMask(size int) uint64 {
 
 // Zero clears n bytes starting at addr.
 func (m *PhysMemory) Zero(addr uint64, n uint64) error {
+	if m.Chaos != nil && m.Chaos.Should(faultinject.ClassOOM) {
+		m.Chaos.Note("physmem.zero", "synthetic OOM zeroing %d bytes at %#x", n, addr)
+		return &MemFault{Addr: addr, Size: int(n)}
+	}
 	if err := m.check(addr, int(n)); err != nil {
 		return err
 	}

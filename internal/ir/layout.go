@@ -98,6 +98,66 @@ func (Layout) FieldOffset(t *Type, i int) int64 {
 	panic("unreachable")
 }
 
+// TrySize is the non-panicking Size for types that arrive from untrusted
+// bytecode: the VM must turn a malformed type into a classified guest
+// fault, never a host panic.
+func (l Layout) TrySize(t *Type) (int64, error) {
+	if err := layoutSupported(t); err != nil {
+		return 0, err
+	}
+	return l.Size(t), nil
+}
+
+// TryAlign is the non-panicking Align.
+func (l Layout) TryAlign(t *Type) (int64, error) {
+	if err := layoutSupported(t); err != nil {
+		return 0, err
+	}
+	return l.Align(t), nil
+}
+
+// TryFieldOffset is the non-panicking FieldOffset.
+func (l Layout) TryFieldOffset(t *Type, i int) (int64, error) {
+	if t == nil || t.kind != StructKind {
+		return 0, fmt.Errorf("ir: field offset on non-struct %s", t)
+	}
+	if t.opaque {
+		return 0, fmt.Errorf("ir: field offset into opaque struct %%%s", t.name)
+	}
+	if i < 0 || i >= len(t.fields) {
+		return 0, fmt.Errorf("ir: field index %d out of range for %s", i, t)
+	}
+	if err := layoutSupported(t); err != nil {
+		return 0, err
+	}
+	return l.FieldOffset(t, i), nil
+}
+
+// layoutSupported walks t and reports the first reason Size/Align would
+// panic on it (opaque struct, unknown kind).
+func layoutSupported(t *Type) error {
+	if t == nil {
+		return fmt.Errorf("ir: layout of nil type")
+	}
+	switch t.kind {
+	case VoidKind, IntKind, FloatKind, PointerKind, FuncKind:
+		return nil
+	case ArrayKind:
+		return layoutSupported(t.elem)
+	case StructKind:
+		if t.opaque {
+			return fmt.Errorf("ir: layout of opaque struct %%%s", t.name)
+		}
+		for _, f := range t.fields {
+			if err := layoutSupported(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("ir: layout of unsupported type %s", t)
+}
+
 func alignUp(v, a int64) int64 {
 	if a <= 1 {
 		return v

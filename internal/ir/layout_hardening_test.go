@@ -1,0 +1,59 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTryLayoutRejectsUntrustedTypes: the Try* layout entry points must
+// return errors for every shape that would make Size/Align/FieldOffset
+// panic, because decoded bytecode can hand the VM arbitrary types.
+func TestTryLayoutRejectsUntrustedTypes(t *testing.T) {
+	opaque := NamedStruct("never.defined")
+	arrOfOpaque := ArrayOf(4, opaque)
+	var l Layout
+
+	for _, c := range []struct {
+		name string
+		typ  *Type
+		want string
+	}{
+		{"nil type", nil, "nil type"},
+		{"opaque struct", opaque, "opaque struct"},
+		{"array of opaque", arrOfOpaque, "opaque struct"},
+	} {
+		if _, err := l.TrySize(c.typ); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: TrySize err = %v, want %q", c.name, err, c.want)
+		}
+		if _, err := l.TryAlign(c.typ); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: TryAlign err = %v, want %q", c.name, err, c.want)
+		}
+	}
+
+	if sz, err := l.TrySize(StructOf(I64, I8)); err != nil || sz != 16 {
+		t.Errorf("TrySize({i64,i8}) = %d, %v; want 16, nil", sz, err)
+	}
+}
+
+func TestTryFieldOffsetBounds(t *testing.T) {
+	var l Layout
+	st := StructOf(I8, I64)
+	if off, err := l.TryFieldOffset(st, 1); err != nil || off != 8 {
+		t.Fatalf("TryFieldOffset(st, 1) = %d, %v; want 8, nil", off, err)
+	}
+	for _, c := range []struct {
+		name string
+		typ  *Type
+		i    int
+	}{
+		{"nil type", nil, 0},
+		{"non-struct", I64, 0},
+		{"opaque struct", NamedStruct("never.defined.2"), 0},
+		{"negative index", st, -1},
+		{"index past end", st, 2},
+	} {
+		if _, err := l.TryFieldOffset(c.typ, c.i); err == nil {
+			t.Errorf("%s: TryFieldOffset accepted", c.name)
+		}
+	}
+}

@@ -10,6 +10,7 @@ package metapool
 import (
 	"fmt"
 
+	"sva/internal/faultinject"
 	"sva/internal/splay"
 	"sva/internal/telemetry"
 )
@@ -34,6 +35,10 @@ const (
 	RegistrationConflict
 	// UninitPointer: dereference of a poison/uninitialized pointer value.
 	UninitPointer
+	// MetadataCorruption: the pool's own check metadata (a splay node)
+	// failed validation — a hardware-level fault hit the checker itself.
+	// The pool is quarantined and every subsequent check fails closed.
+	MetadataCorruption
 )
 
 var kindNames = [...]string{
@@ -43,6 +48,7 @@ var kindNames = [...]string{
 	"illegal free",
 	"registration conflict",
 	"uninitialized pointer dereference",
+	"check metadata corruption",
 }
 
 func (k ViolationKind) String() string {
@@ -99,6 +105,17 @@ type Pool struct {
 	// registration and Reset — never the check hot path).
 	trace *telemetry.Trace
 
+	// chaos, when set, is the fault injector consulted on splay lookups
+	// (ClassSplay corrupts a node's metadata in place).  nil in production;
+	// the hook costs one pointer compare.
+	chaos *faultinject.Injector
+	// maxObj is the largest object length ever registered: the redundancy
+	// that lets find() recognize grow-corruptions of a splay node.
+	maxObj uint64
+	// Quarantined is set once check metadata fails validation; from then
+	// on every check fails closed with a MetadataCorruption violation.
+	Quarantined bool
+
 	// userLo/userHi: if set, all of userspace is treated as one registered
 	// object of this pool (paper §4.6).
 	userLo, userHi uint64
@@ -131,6 +148,12 @@ func (p *Pool) userRange(addr uint64) (splay.Range, bool) {
 // extended Jones–Kelly checks practical in SAFECode and is the paper's
 // §7.1.3 planned check optimization.
 func (p *Pool) find(addr uint64) (splay.Range, bool) {
+	if p.Quarantined {
+		return splay.Range{}, false // fail closed: metadata is untrusted
+	}
+	if p.chaos != nil && p.chaos.Should(faultinject.ClassSplay) {
+		p.corruptNode()
+	}
 	if !p.NoCache {
 		for i := 0; i < p.nCached; i++ {
 			if p.lastHit[i].Contains(addr) {
@@ -144,6 +167,12 @@ func (p *Pool) find(addr uint64) (splay.Range, bool) {
 		p.Stats.CacheMisses++
 	}
 	r, ok := p.objects.Find(addr)
+	if ok && !p.rangeValid(r) {
+		// The checker's own metadata is damaged.  Fail closed: quarantine
+		// the pool rather than answer checks from corrupt state.
+		p.quarantine(r)
+		return splay.Range{}, false
+	}
 	if ok && !p.NoCache {
 		// Move-to-front insert; the oldest entry falls off the end.
 		p.lastHit[1] = p.lastHit[0]
@@ -153,6 +182,63 @@ func (p *Pool) find(addr uint64) (splay.Range, bool) {
 		}
 	}
 	return r, ok
+}
+
+// rangeValid is the plausibility filter on ranges coming back from the
+// splay tree: a zero or wrapping length, or a length larger than any object
+// ever registered here, cannot be an intact registration.
+func (p *Pool) rangeValid(r splay.Range) bool {
+	return r.Len != 0 && r.Start+r.Len > r.Start && r.Len <= p.maxObj
+}
+
+// quarantine marks the pool's metadata as untrusted.  Idempotent.
+func (p *Pool) quarantine(r splay.Range) {
+	if p.Quarantined {
+		return
+	}
+	p.Quarantined = true
+	p.invalidate()
+	if p.trace != nil {
+		p.trace.Emit(telemetry.EvQuarantine, p.Name, []uint64{r.Start, r.Len},
+			"splay metadata failed validation")
+	}
+}
+
+// corruptionErr is the fail-closed answer every check gives once the pool
+// is quarantined.
+func (p *Pool) corruptionErr(addr uint64) error {
+	p.Stats.Violations++
+	return &Violation{Kind: MetadataCorruption, Pool: p.Name, Addr: addr,
+		Msg: "pool quarantined: check metadata corrupt, failing closed"}
+}
+
+// corruptNode is the ClassSplay injection payload: flip metadata in one
+// splay node in place, modeling a hardware fault striking the checker's own
+// state.  All three modes are fail-closed under rangeValid / lookup-miss
+// semantics — the point of the campaign is proving that.
+func (p *Pool) corruptNode() {
+	n := p.objects.Len()
+	if n == 0 {
+		return
+	}
+	k := int(p.chaos.Rand(uint64(n)))
+	mode := p.chaos.Rand(3)
+	old, ok := p.objects.MutateNth(k, func(r *splay.Range) {
+		switch mode {
+		case 0:
+			r.Len = 0 // shrink to nothing: lookups miss, checks fail closed
+		case 1:
+			r.Len |= 1 << (63 - p.chaos.Rand(8)) // grow: caught by rangeValid
+		case 2:
+			r.Start ^= 1 << (33 + p.chaos.Rand(20)) // teleport: lookups miss
+		}
+	})
+	if ok {
+		p.chaos.Note("splay.find", "pool %s node %d was %v, mode %d", p.Name, k, old, mode)
+		// Drop cached copies of the pre-corruption range: the fault model
+		// is a damaged node, not a damaged node plus a helpful cache.
+		p.invalidate()
+	}
 }
 
 // invalidate clears the last-hit cache.  Called on every mutation of the
@@ -176,6 +262,9 @@ func (p *Pool) RegisterStack(addr, size uint64) error {
 		return nil
 	}
 	p.invalidate()
+	if size > p.maxObj {
+		p.maxObj = size
+	}
 	for {
 		if p.objects.Insert(splay.Range{Start: addr, Len: size, Tag: TagStack}) {
 			p.Stats.Registered++
@@ -197,6 +286,9 @@ func (p *Pool) Register(addr, size uint64, tag uint32) error {
 		return nil // zero-sized allocations register nothing
 	}
 	p.invalidate()
+	if size > p.maxObj {
+		p.maxObj = size
+	}
 	if !p.objects.Insert(splay.Range{Start: addr, Len: size, Tag: tag}) {
 		p.Stats.Violations++
 		return &Violation{Kind: RegistrationConflict, Pool: p.Name, Addr: addr,
@@ -245,9 +337,15 @@ func (p *Pool) GetBounds(addr uint64) (start, end uint64, ok bool) {
 // if either one hits, both must be in the same object.
 func (p *Pool) BoundsCheck(src, derived uint64) error {
 	p.Stats.BoundsChecks++
+	if p.Quarantined {
+		return p.corruptionErr(src)
+	}
 	r, ok := p.userRange(src)
 	if !ok {
 		r, ok = p.find(src)
+		if p.Quarantined {
+			return p.corruptionErr(src)
+		}
 	}
 	if ok {
 		// One-past-the-end is legal for the derived pointer (C idiom).
@@ -265,6 +363,9 @@ func (p *Pool) BoundsCheck(src, derived uint64) error {
 		return &Violation{Kind: BoundsViolation, Pool: p.Name, Addr: derived,
 			Msg: fmt.Sprintf("indexing from unregistered %#x into object %v", src, r2)}
 	}
+	if p.Quarantined {
+		return p.corruptionErr(derived)
+	}
 	if p.Complete {
 		p.Stats.Violations++
 		return &Violation{Kind: BoundsViolation, Pool: p.Name, Addr: src,
@@ -279,11 +380,17 @@ func (p *Pool) BoundsCheck(src, derived uint64) error {
 // sole source of false negatives, §4.5).
 func (p *Pool) LoadStoreCheck(addr uint64) error {
 	p.Stats.LSChecks++
+	if p.Quarantined {
+		return p.corruptionErr(addr)
+	}
 	if _, ok := p.userRange(addr); ok {
 		return nil
 	}
 	if _, ok := p.find(addr); ok {
 		return nil
+	}
+	if p.Quarantined {
+		return p.corruptionErr(addr)
 	}
 	if !p.Complete {
 		return nil // reduced check
@@ -320,6 +427,8 @@ func (p *Pool) Reset() {
 	p.invalidate()
 	p.objects.Clear()
 	p.Stats = Stats{}
+	p.Quarantined = false
+	p.maxObj = 0
 }
 
 // SplayLookups returns how many lookups reached the pool's splay tree
@@ -341,6 +450,8 @@ type Registry struct {
 	noCache bool
 	// trace is inherited by pools added after SetTrace.
 	trace *telemetry.Trace
+	// chaos is inherited by pools added after SetChaos.
+	chaos *faultinject.Injector
 }
 
 // NewRegistry returns an empty registry.
@@ -352,6 +463,7 @@ func (r *Registry) AddPool(p *Pool) int {
 		p.NoCache = true
 	}
 	p.trace = r.trace
+	p.chaos = r.chaos
 	r.Pools = append(r.Pools, p)
 	if r.trace != nil {
 		r.trace.Emit(telemetry.EvPoolCreate, p.Name, []uint64{uint64(len(r.Pools) - 1)}, "")
@@ -359,12 +471,25 @@ func (r *Registry) AddPool(p *Pool) int {
 	return len(r.Pools) - 1
 }
 
-// Pool returns the pool with the given ID.
+// Pool returns the pool with the given ID.  The ID must come from a
+// trusted (host-side) source; use PoolChecked for guest-supplied IDs.
 func (r *Registry) Pool(id int) *Pool {
 	if id < 0 || id >= len(r.Pools) {
 		panic(fmt.Sprintf("metapool: bad pool id %d", id))
 	}
 	return r.Pools[id]
+}
+
+// PoolChecked returns the pool with the given ID, or a Violation when the
+// ID does not name a live pool.  This is the lookup for IDs that arrive
+// from guest state (pchk.* intrinsic arguments): a bad ID is the guest's
+// fault and must surface as a classified outcome, never a host panic.
+func (r *Registry) PoolChecked(id int) (*Pool, error) {
+	if id < 0 || id >= len(r.Pools) {
+		return nil, &Violation{Kind: MetadataCorruption, Pool: fmt.Sprintf("pool%d", id),
+			Addr: uint64(id), Msg: "check names a metapool that does not exist"}
+	}
+	return r.Pools[id], nil
 }
 
 // AddCallSet registers an indirect-call target set, returning its ID.
@@ -446,6 +571,7 @@ func (r *Registry) Snapshot() Snapshot {
 			Objects:         p.NumObjects(),
 			SplayLookups:    p.SplayLookups(),
 			SplayDepth:      p.objects.Depth(),
+			Quarantined:     p.Quarantined,
 			Stats:           p.Stats,
 		})
 	}
@@ -466,5 +592,15 @@ func (r *Registry) SetTrace(t *telemetry.Trace) {
 	r.trace = t
 	for _, p := range r.Pools {
 		p.trace = t
+	}
+}
+
+// SetChaos arms (or, with nil, disarms) the ClassSplay fault-injection seam
+// on every current and future pool.  With no injector the hot-path cost is
+// one nil compare per splay lookup.
+func (r *Registry) SetChaos(inj *faultinject.Injector) {
+	r.chaos = inj
+	for _, p := range r.Pools {
+		p.chaos = inj
 	}
 }

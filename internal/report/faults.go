@@ -1,0 +1,46 @@
+package report
+
+// Fault-injection campaign table (DESIGN.md §12): runs the chaos campaign
+// over every fault class and renders the per-class outcome matrix.  The
+// robustness claim the table certifies is the zero in the ESCAPE column.
+
+import (
+	"fmt"
+	"strings"
+
+	"sva/internal/faultinject"
+	"sva/internal/faultinject/campaign"
+)
+
+// FaultTable runs seedsPer seeds of every fault class (workers-wide) and
+// renders the outcome matrix.  It returns an error if any run escaped the
+// SVM: a fault table with escapes is a failing build, not a report.
+func FaultTable(seedsPer, workers int) (string, error) {
+	results, sum, err := campaign.Run(faultinject.Classes, seedsPer, workers)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fault-injection campaign: %d classes x %d seeds\n", len(sum.Classes), seedsPer)
+	fmt.Fprintf(&sb, "%-10s %9s %9s %9s %9s %9s %8s\n",
+		"class", campaign.Detected.String(), campaign.Oops.String(),
+		campaign.FailStop.String(), campaign.Tolerated.String(),
+		campaign.Escape.String(), "fired")
+	for i, class := range sum.Classes {
+		row := sum.Counts[i]
+		fmt.Fprintf(&sb, "%-10s %9d %9d %9d %9d %9d %8d\n",
+			class, row[campaign.Detected], row[campaign.Oops],
+			row[campaign.FailStop], row[campaign.Tolerated],
+			row[campaign.Escape], sum.Fired[i])
+	}
+	fmt.Fprintf(&sb, "total: %d runs, %d host escapes (must be 0)\n", sum.Total(), sum.Escapes())
+	if n := sum.Escapes(); n > 0 {
+		for _, r := range results {
+			if r.Outcome == campaign.Escape {
+				fmt.Fprintf(&sb, "ESCAPE %s seed %d (%s): %s\n", r.Class, r.Seed, r.Prog, r.Detail)
+			}
+		}
+		return sb.String(), fmt.Errorf("fault campaign: %d host escapes", n)
+	}
+	return sb.String(), nil
+}

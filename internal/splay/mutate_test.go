@@ -1,0 +1,35 @@
+package splay
+
+import "testing"
+
+// TestMutateNth: the fault-injection seam must hit exactly the k-th range
+// in start order, return the pre-mutation copy, and report false for
+// out-of-range indices without touching the tree.
+func TestMutateNth(t *testing.T) {
+	var tr Tree
+	for _, start := range []uint64{0x3000, 0x1000, 0x2000} {
+		if !tr.Insert(Range{Start: start, Len: 16}) {
+			t.Fatalf("insert %#x failed", start)
+		}
+	}
+
+	old, ok := tr.MutateNth(1, func(r *Range) { r.Len = 1 << 20 })
+	if !ok || old.Start != 0x2000 || old.Len != 16 {
+		t.Fatalf("MutateNth(1) = %v, %v; want pre-mutation [0x2000,+16)", old, ok)
+	}
+	if got, ok := tr.FindStart(0x2000); !ok || got.Len != 1<<20 {
+		t.Errorf("mutation not applied in place: %v, %v", got, ok)
+	}
+	if got, ok := tr.FindStart(0x1000); !ok || got.Len != 16 {
+		t.Errorf("neighbour damaged: %v, %v", got, ok)
+	}
+
+	for _, k := range []int{-1, 3, 100} {
+		if _, ok := tr.MutateNth(k, func(r *Range) { r.Len = 0 }); ok {
+			t.Errorf("MutateNth(%d) reported a hit on a 3-node tree", k)
+		}
+	}
+	if tr.Len() != 3 {
+		t.Errorf("tree size changed: %d", tr.Len())
+	}
+}

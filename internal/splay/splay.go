@@ -239,6 +239,39 @@ func (t *Tree) Walk(visit func(Range) bool) {
 	rec(t.root)
 }
 
+// MutateNth applies f to the k-th range in ascending start order,
+// mutating the node in place and returning the pre-mutation range.  It
+// deliberately bypasses every structural invariant Insert maintains: it is
+// the fault-injection seam metapools use to model corrupted check metadata
+// (a flipped bit in a splay node), and has no legitimate caller on the
+// check path.
+func (t *Tree) MutateNth(k int, f func(*Range)) (Range, bool) {
+	var hit *node
+	i := 0
+	var rec func(n *node) bool
+	rec = func(n *node) bool {
+		if n == nil {
+			return true
+		}
+		if !rec(n.left) {
+			return false
+		}
+		if i == k {
+			hit = n
+			return false
+		}
+		i++
+		return rec(n.right)
+	}
+	rec(t.root)
+	if hit == nil {
+		return Range{}, false
+	}
+	old := hit.r
+	f(&hit.r)
+	return old, true
+}
+
 // Clear removes all ranges.
 func (t *Tree) Clear() {
 	t.root = nil

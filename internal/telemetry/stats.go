@@ -32,6 +32,12 @@ type VMStats struct {
 	ElidedLS     uint64
 	Translations uint64 // functions translated (lazily, once each)
 	Switches     uint64 // continuation switches (context switches)
+	// Recovery-ladder counters (DESIGN.md §12): oops unwinds absorbed,
+	// fail-stops raised, watchdog fuel exhaustions, pools quarantined.
+	Oops           uint64
+	FailStops      uint64
+	WatchdogFaults uint64
+	Quarantines    uint64
 }
 
 // CheckStats counts run-time check activity (the stats block behind
@@ -64,7 +70,10 @@ type PoolStats struct {
 	// SplayDepth is the tree's current height (a gauge, computed at
 	// snapshot time; 0 for an empty tree).
 	SplayDepth int
-	Stats      CheckStats
+	// Quarantined is set once the pool's metadata was found corrupt; a
+	// quarantined pool fails every subsequent check closed.
+	Quarantined bool
+	Stats       CheckStats
 }
 
 // CheckSnapshot captures per-pool check and cache statistics plus the

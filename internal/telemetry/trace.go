@@ -25,6 +25,17 @@ const (
 	EvPoolCreate EventKind = "pool.create"
 	// EvPoolReset: a metapool was destroyed/reset.
 	EvPoolReset EventKind = "pool.reset"
+	// EvOops: a guest fault was absorbed by the EFAULT oops unwind
+	// (Args[0] = faulting PC when known; Err = fault description).
+	EvOops EventKind = "oops"
+	// EvFailStop: the recovery ladder gave up on the current execution
+	// and stopped it with a structured diagnostic (Err = reason).
+	EvFailStop EventKind = "failstop"
+	// EvQuarantine: a metapool's metadata was found corrupt and the pool
+	// was quarantined (Name = pool name).
+	EvQuarantine EventKind = "quarantine"
+	// EvInject: a fault injector fired (Name = seam site, Err = payload).
+	EvInject EventKind = "inject"
 )
 
 // Event is one structured trace record.  Cycle is the virtual-cycle clock

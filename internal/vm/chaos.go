@@ -1,0 +1,87 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+
+	"sva/internal/faultinject"
+	"sva/internal/telemetry"
+)
+
+// InstallChaos arms fault injection on every seam the VM owns: the
+// hardware platform (memory, interrupt controller, disk, NIC), the
+// metapool registry (splay-node corruption), and the VM's own
+// interrupt-context restore path.  Passing the injector here is the only
+// supported way to enable injection — each seam stays a nil-guarded
+// pointer compare when disarmed.
+func (vm *VM) InstallChaos(inj *faultinject.Injector) {
+	vm.chaos = inj
+	vm.Mach.SetChaos(inj)
+	vm.Pools.SetChaos(inj)
+	if inj != nil {
+		inj.Observer = func(rec faultinject.Record) {
+			if vm.trace != nil {
+				vm.trace.Emit(telemetry.EvInject, rec.Site, nil, rec.Detail)
+			}
+		}
+	}
+}
+
+// UninstallChaos disarms every seam armed by InstallChaos.
+func (vm *VM) UninstallChaos() {
+	vm.chaos = nil
+	vm.Mach.SetChaos(nil)
+	vm.Pools.SetChaos(nil)
+}
+
+// Chaos returns the armed injector, or nil when injection is disabled.
+func (vm *VM) Chaos() *faultinject.Injector { return vm.chaos }
+
+// CheckHostInvariants audits the host-side interpreter state after a run:
+// the current continuation (if any) must still be structurally sound, and
+// no saved state may have been corrupted into something the interpreter
+// would trust.  The fault campaign calls this after every injection; a
+// non-nil return is a host escape — the one outcome the SVM must never
+// produce.
+func (vm *VM) CheckHostInvariants() error {
+	if vm.cur != nil {
+		if err := validateExec(vm.cur); err != nil {
+			return fmt.Errorf("current continuation: %w", err)
+		}
+	}
+	for addr, c := range vm.savedStates {
+		if c == nil {
+			return fmt.Errorf("saved state %#x: nil continuation", addr)
+		}
+	}
+	return nil
+}
+
+// IntrinsicNames returns the installed intrinsic names in sorted order
+// (deterministic enumeration for fuzzing).
+func (vm *VM) IntrinsicNames() []string {
+	names := make([]string, 0, len(vm.intrinsics))
+	for n := range vm.intrinsics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CallIntrinsic invokes a registered intrinsic by name with raw guest
+// arguments.  It is the entry point for fuzz harnesses that storm the
+// intrinsic surface from outside the vm package; a panic escaping the
+// handler is absorbed into a fail-stop here, exactly as the Run boundary
+// would.
+func (vm *VM) CallIntrinsic(name string, args []uint64) (res IntrinsicResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = IntrinsicResult{}, vm.failStop(fmt.Sprintf("host panic absorbed in intrinsic %s: %v", name, r), nil)
+		}
+	}()
+	h := vm.intrinsics[name]
+	if h == nil {
+		return IntrinsicResult{}, &GuestFault{Kind: fmt.Sprintf("call of unknown intrinsic %s", name)}
+	}
+	return h(vm, args)
+}

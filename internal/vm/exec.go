@@ -6,6 +6,7 @@ import (
 	"math"
 	"sync"
 
+	"sva/internal/abi"
 	"sva/internal/hw"
 	"sva/internal/ir"
 	"sva/internal/metapool"
@@ -50,6 +51,9 @@ type IContext struct {
 	savedSP   uint64
 	savedPriv uint8
 	retSlot   int // register slot in frames[frameIdx-1] for the trap result
+	// entrySteps is the VM step count at trap entry, the reference point
+	// for the watchdog instruction-fuel limit.
+	entrySteps uint64
 	// pending holds functions pushed by llva.ipush.function, run in the
 	// interrupted context's privilege when the icontext resumes (signal
 	// handler dispatch).
@@ -123,6 +127,47 @@ func (f *GuestFault) Error() string {
 
 // ErrStepBudget is returned when execution exceeds the VM's step budget.
 var ErrStepBudget = errors.New("vm: step budget exhausted")
+
+// FailStop is the terminal rung of the recovery ladder (DESIGN.md §12):
+// the SVM stopped the current execution with a structured diagnostic
+// because recovery by oops unwind was impossible or unsafe.  The host VM
+// itself stays intact — a FailStop is a classified outcome, never a crash.
+type FailStop struct {
+	Reason string
+	Err    error // underlying cause, when one exists
+}
+
+func (f *FailStop) Error() string {
+	if f.Err != nil {
+		return fmt.Sprintf("vm fail-stop: %s: %v", f.Reason, f.Err)
+	}
+	return "vm fail-stop: " + f.Reason
+}
+
+func (f *FailStop) Unwrap() error { return f.Err }
+
+// failStop records and returns a FailStop diagnostic.
+func (vm *VM) failStop(reason string, cause error) error {
+	vm.Counters.FailStops++
+	if vm.trace != nil {
+		msg := reason
+		if cause != nil {
+			msg = reason + ": " + cause.Error()
+		}
+		vm.trace.Emit(telemetry.EvFailStop, "", nil, msg)
+	}
+	return &FailStop{Reason: reason, Err: cause}
+}
+
+// MaxFrames bounds guest call depth: unbounded recursion becomes a
+// recoverable guest fault instead of exhausting host memory.
+const MaxFrames = 1 << 15
+
+// oopsStormLimit bounds consecutive oops unwinds with no intervening
+// successful trap exit.  A guest that faults again immediately after every
+// recovery is livelocked in the oops path (the "double fault" of the
+// paper's fail-safe discussion); past the limit the execution fail-stops.
+const oopsStormLimit = 64
 
 // NewExec creates an execution state that calls fn(args) with the given
 // stack top and privilege.  It does not install it; see SetExec.
@@ -222,8 +267,20 @@ func (vm *VM) eval(fr *Frame, v ir.Value) (uint64, error) {
 
 // checkAccess enforces the hardware-level access rules: the null guard
 // page, the SVM's protected reserve, and user/kernel separation.
+// MaxAccess bounds any single memory transfer the VM performs on behalf
+// of the guest (the virtual architecture's largest legal burst).  Without
+// it a guest-supplied length near 2^63 would make the host allocate or
+// zero unbounded memory before any range check could fail.
+const MaxAccess = 1 << 26
+
 func (vm *VM) checkAccess(addr uint64, size int, write bool) error {
+	if size < 0 || size > MaxAccess {
+		return &GuestFault{Kind: "transfer length exceeds architecture limit", Addr: addr}
+	}
 	end := addr + uint64(size)
+	if end < addr {
+		return &GuestFault{Kind: "access range wraps the address space", Addr: addr}
+	}
 	if addr < NullGuardTop {
 		return &GuestFault{Kind: "null dereference", Addr: addr}
 	}
@@ -257,6 +314,9 @@ func (vm *VM) memStore(addr uint64, v uint64, size int) error {
 // MemReadBytes copies guest memory for host-side inspection (no privilege
 // checks; used by intrinsics and tests).
 func (vm *VM) MemReadBytes(addr uint64, n int) ([]byte, error) {
+	if n < 0 || n > MaxAccess {
+		return nil, &GuestFault{Kind: "transfer length exceeds architecture limit", Addr: addr}
+	}
 	buf := make([]byte, n)
 	if err := vm.Mach.Phys.ReadAt(addr, buf); err != nil {
 		return nil, err
@@ -287,7 +347,19 @@ func (vm *VM) ReadCString(addr uint64, max int) (string, error) {
 
 // Run interprets the current execution state until it completes, the VM
 // halts, the step budget is exhausted, or an unrecoverable error occurs.
-func (vm *VM) Run() (uint64, error) {
+//
+// Run is the host/guest robustness boundary: any panic escaping the
+// interpreter (the backstop for residual index faults under corrupted
+// state) is converted into a FailStop here, so no guest can crash the
+// host SVM.  This is the last rung of the recovery ladder; the defer costs
+// once per Run call, not per step, so guest-visible cycles and counters
+// are unaffected.
+func (vm *VM) Run() (ret uint64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ret, err = 0, vm.failStop(fmt.Sprintf("host panic absorbed at run boundary: %v", r), nil)
+		}
+	}()
 	for {
 		if vm.Halted {
 			return vm.ExitCode, nil
@@ -302,14 +374,37 @@ func (vm *VM) Run() (uint64, error) {
 			return 0, ErrStepBudget
 		}
 		if err := vm.step(); err != nil {
-			if !vm.handleGuestError(err) {
-				return 0, err
+			if herr := vm.handleGuestError(err); herr != nil {
+				return 0, herr
+			}
+		}
+		if vm.WatchdogFuel != 0 {
+			if err := vm.watchdogCheck(); err != nil {
+				if herr := vm.handleGuestError(err); herr != nil {
+					return 0, herr
+				}
 			}
 		}
 		if vm.Counters.Steps&0x3F == 0 {
 			vm.pollInterrupts()
 		}
 	}
+}
+
+// watchdogCheck enforces the per-trap instruction-fuel limit: a trap
+// handler that loops for more than WatchdogFuel steps is declared runaway
+// and raises a recoverable guest fault (the oops unwind aborts the trap).
+func (vm *VM) watchdogCheck() error {
+	ex := vm.cur
+	if ex == nil || len(ex.ics) == 0 {
+		return nil
+	}
+	ic := ex.ics[len(ex.ics)-1]
+	if vm.Counters.Steps-ic.entrySteps <= vm.WatchdogFuel {
+		return nil
+	}
+	vm.Counters.WatchdogFaults++
+	return &GuestFault{Kind: fmt.Sprintf("watchdog: trap handler exceeded %d-step fuel", vm.WatchdogFuel)}
 }
 
 // pollInterrupts advances the timer and delivers one pending interrupt if
@@ -477,7 +572,11 @@ func (vm *VM) exec(ex *Exec, fr *Frame, in *ir.Instr, ops []coperand) error {
 		}
 		target := in.Blocks[0]
 		for i := 1; i < len(in.Args); i++ {
-			if in.Args[i].(*ir.ConstInt).V == v {
+			ci, ok := in.Args[i].(*ir.ConstInt)
+			if !ok {
+				return &GuestFault{Kind: "switch case is not a constant", PC: fr.fn.Nm}
+			}
+			if ci.V == v {
 				target = in.Blocks[i]
 				break
 			}
@@ -512,7 +611,14 @@ func (vm *VM) exec(ex *Exec, fr *Frame, in *ir.Instr, ops []coperand) error {
 			}
 			count = c
 		}
-		size := uint64(layout.Size(in.AllocTy)) * count
+		elemSz, lerr := layout.TrySize(in.AllocTy)
+		if lerr != nil {
+			return &GuestFault{Kind: "alloca of malformed type: " + lerr.Error(), PC: fr.fn.Nm}
+		}
+		size := uint64(elemSz) * count
+		if elemSz != 0 && (size/uint64(elemSz) != count || size > MaxAccess) {
+			return &GuestFault{Kind: "alloca size exceeds architecture limit", PC: fr.fn.Nm}
+		}
 		size = uint64(ir.AlignUp(int64(size), 16))
 		ex.sp -= size
 		addr := ex.sp
@@ -526,7 +632,11 @@ func (vm *VM) exec(ex *Exec, fr *Frame, in *ir.Instr, ops []coperand) error {
 		if err != nil {
 			return err
 		}
-		v, err := vm.memLoad(p, int(layout.Size(in.Typ)))
+		sz, lerr := layout.TrySize(in.Typ)
+		if lerr != nil {
+			return &GuestFault{Kind: "load of malformed type: " + lerr.Error(), PC: fr.fn.Nm}
+		}
+		v, err := vm.memLoad(p, int(sz))
 		if err != nil {
 			return err
 		}
@@ -541,7 +651,11 @@ func (vm *VM) exec(ex *Exec, fr *Frame, in *ir.Instr, ops []coperand) error {
 		if err != nil {
 			return err
 		}
-		return vm.memStore(p, v, int(layout.Size(in.Args[0].Type())))
+		sz, lerr := layout.TrySize(in.Args[0].Type())
+		if lerr != nil {
+			return &GuestFault{Kind: "store of malformed type: " + lerr.Error(), PC: fr.fn.Nm}
+		}
+		return vm.memStore(p, v, int(sz))
 
 	case ir.OpGEP:
 		base, err := vm.arg(fr, in, ops, 0)
@@ -635,7 +749,11 @@ func (vm *VM) exec(ex *Exec, fr *Frame, in *ir.Instr, ops []coperand) error {
 		if err != nil {
 			return err
 		}
-		size := int(layout.Size(in.Typ))
+		sz, lerr := layout.TrySize(in.Typ)
+		if lerr != nil {
+			return &GuestFault{Kind: "cmpxchg of malformed type: " + lerr.Error(), PC: fr.fn.Nm}
+		}
+		size := int(sz)
 		old, err := vm.memLoad(p, size)
 		if err != nil {
 			return err
@@ -656,7 +774,11 @@ func (vm *VM) exec(ex *Exec, fr *Frame, in *ir.Instr, ops []coperand) error {
 		if err != nil {
 			return err
 		}
-		size := int(layout.Size(in.Typ))
+		sz, lerr := layout.TrySize(in.Typ)
+		if lerr != nil {
+			return &GuestFault{Kind: "atomicrmw of malformed type: " + lerr.Error(), PC: fr.fn.Nm}
+		}
+		size := int(sz)
 		old, err := vm.memLoad(p, size)
 		if err != nil {
 			return err
@@ -829,6 +951,9 @@ func (vm *VM) enterBlock(fr *Frame, target *ir.BasicBlock) error {
 // execCall handles direct, indirect and intrinsic calls.
 func (vm *VM) execCall(ex *Exec, fr *Frame, in *ir.Instr, ops []coperand) error {
 	vm.Counters.Calls++
+	if len(ex.frames) >= MaxFrames {
+		return &GuestFault{Kind: "call stack overflow (runaway recursion)", PC: fr.fn.Nm}
+	}
 	callee, err := vm.resolveCallee(fr, in.Callee)
 	if err != nil {
 		return err
@@ -935,6 +1060,9 @@ func (vm *VM) popFrame(val uint64) error {
 	}
 	parent := ex.frames[len(ex.frames)-1]
 	if fr.retTo >= 0 {
+		if fr.retTo >= len(parent.regs) {
+			return vm.failStop(fmt.Sprintf("corrupt continuation: return slot %d outside %d registers of @%s", fr.retTo, len(parent.regs), parent.fn.Nm), nil)
+		}
 		parent.regs[fr.retTo] = val
 	}
 	if fr.icTop {
@@ -948,10 +1076,11 @@ func (vm *VM) popFrame(val uint64) error {
 func (vm *VM) pushIContext(retSlot int) uint64 {
 	ex := vm.cur
 	ic := &IContext{
-		frameIdx:  len(ex.frames),
-		savedSP:   ex.sp,
-		savedPriv: ex.priv,
-		retSlot:   retSlot,
+		frameIdx:   len(ex.frames),
+		savedSP:    ex.sp,
+		savedPriv:  ex.priv,
+		retSlot:    retSlot,
+		entrySteps: vm.Counters.Steps,
 	}
 	ex.ics = append(ex.ics, ic)
 	// Switch to the kernel stack only on a user→kernel transition; nested
@@ -976,6 +1105,9 @@ func (vm *VM) popIContext() {
 	ex.sp = ic.savedSP
 	ex.priv = ic.savedPriv
 	vm.Mach.CPU.Int.Priv = ic.savedPriv
+	// A trap completed without faulting: the guest is making progress, so
+	// the oops-storm streak starts over.
+	vm.oopsStreak = 0
 	if vm.trace != nil {
 		vm.trace.Emit(telemetry.EvTrapExit, "", nil, "")
 	}
@@ -998,28 +1130,55 @@ func (vm *VM) icontext(handle uint64) (*IContext, error) {
 
 func (vm *VM) ics() []*IContext { return vm.cur.ics }
 
-// handleGuestError converts safety violations and guest faults occurring
-// inside a trap handler into an aborted system call (the kernel "oops"
-// path): the kernel frames unwind to the interrupt context boundary and the
-// interrupted context resumes with an EFAULT result.  Errors with no
-// enclosing interrupt context are fatal to the execution.
-func (vm *VM) handleGuestError(err error) bool {
+// handleGuestError is the recovery ladder (DESIGN.md §12).  Rung 1, the
+// oops unwind: safety violations, guest faults, and hardware-level memory
+// faults occurring inside a trap handler become an aborted system call —
+// the kernel frames unwind to the interrupt context boundary and the
+// interrupted context resumes with an EFAULT result.  Rung 2, fail-stop:
+// errors with no enclosing interrupt context, oops storms (livelock in the
+// recovery path itself), and structurally corrupt interrupt contexts stop
+// the execution with a structured diagnostic.  A nil return means the
+// fault was absorbed; non-nil is the error Run must surface.
+func (vm *VM) handleGuestError(err error) error {
 	var viol *metapool.Violation
 	var fault *GuestFault
+	var mfault *hw.MemFault
+	var pfault *hw.PageFault
 	switch {
 	case errors.As(err, &viol):
 		vm.Violations = append(vm.Violations, viol)
+		if viol.Kind == metapool.MetadataCorruption {
+			vm.Counters.Quarantines++
+		}
 	case errors.As(err, &fault):
 		vm.FaultLog = append(vm.FaultLog, fault.Error())
+	case errors.As(err, &mfault), errors.As(err, &pfault):
+		// Hardware-level faults (physical memory exhaustion, paging) are
+		// the guest's problem, not the host's: same oops treatment.
+		vm.FaultLog = append(vm.FaultLog, err.Error())
 	default:
-		return false
+		return err // host-side error: not recoverable by unwinding the guest
 	}
 	ex := vm.cur
 	if ex == nil || len(ex.ics) == 0 {
-		return false
+		if vm.trace != nil {
+			vm.trace.Emit(telemetry.EvOops, "fatal", nil, err.Error())
+		}
+		return err
+	}
+	vm.Counters.Oops++
+	vm.oopsStreak++
+	if vm.oopsStreak > oopsStormLimit {
+		return vm.failStop(fmt.Sprintf("oops storm: %d consecutive faults in the recovery path", vm.oopsStreak), err)
 	}
 	ic := ex.ics[len(ex.ics)-1]
 	ex.ics = ex.ics[:len(ex.ics)-1]
+	if ic.frameIdx < 0 || ic.frameIdx > len(ex.frames) {
+		// The interrupt context itself is corrupt (e.g. a chaos-mutated
+		// restore): unwinding through it would index outside the frame
+		// stack.  A double fault in the oops path fail-stops cleanly.
+		return vm.failStop(fmt.Sprintf("corrupt interrupt context: frame index %d outside stack of %d", ic.frameIdx, len(ex.frames)), err)
+	}
 	for _, fr := range ex.frames[ic.frameIdx:] {
 		vm.dropCleanups(fr)
 	}
@@ -1027,16 +1186,22 @@ func (vm *VM) handleGuestError(err error) bool {
 	ex.sp = ic.savedSP
 	ex.priv = ic.savedPriv
 	vm.Mach.CPU.Int.Priv = ic.savedPriv
+	if vm.trace != nil {
+		vm.trace.Emit(telemetry.EvOops, "", []uint64{uint64(len(ex.ics))}, err.Error())
+	}
 	if len(ex.frames) == 0 {
 		ex.done = true
-		ex.retVal = ^uint64(13) // -14: EFAULT
-		return true
+		ex.retVal = abi.Errno(abi.EFAULT)
+		return nil
 	}
 	if ic.retSlot >= 0 {
 		fr := ex.frames[len(ex.frames)-1]
-		fr.regs[ic.retSlot] = ^uint64(13) // -14: EFAULT
+		if ic.retSlot >= len(fr.regs) {
+			return vm.failStop(fmt.Sprintf("corrupt interrupt context: return slot %d outside %d registers of @%s", ic.retSlot, len(fr.regs), fr.fn.Nm), err)
+		}
+		fr.regs[ic.retSlot] = abi.Errno(abi.EFAULT)
 	}
-	return true
+	return nil
 }
 
 // gepPlan caches the offset computation of one getelementptr instruction.
@@ -1074,6 +1239,9 @@ func (vm *VM) gepOffset(fr *Frame, in *ir.Instr) (int64, error) {
 }
 
 func buildGEPPlan(in *ir.Instr) (*gepPlan, error) {
+	// Every malformed-shape exit below is a GuestFault, not a plain error:
+	// GEP types arrive from untrusted bytecode, so a bad plan must be a
+	// classified guest outcome (verified modules never hit these).
 	var layout ir.Layout
 	plan := &gepPlan{}
 	cur := in.Args[0].Type() // pointer
@@ -1081,25 +1249,41 @@ func buildGEPPlan(in *ir.Instr) (*gepPlan, error) {
 		idx := in.Args[k]
 		var elem *ir.Type
 		if k == 1 {
+			if cur.Kind() != ir.PointerKind && cur.Kind() != ir.ArrayKind {
+				return nil, &GuestFault{Kind: "getelementptr base is not a pointer"}
+			}
 			elem = cur.Elem()
 		} else {
 			switch cur.Kind() {
 			case ir.ArrayKind:
 				elem = cur.Elem()
 			case ir.StructKind:
-				ci := idx.(*ir.ConstInt)
+				ci, ok := idx.(*ir.ConstInt)
+				if !ok {
+					return nil, &GuestFault{Kind: "getelementptr struct index is not a constant"}
+				}
 				fi := int(ci.SignedValue())
-				plan.constOff += layout.FieldOffset(cur, fi)
+				off, err := layout.TryFieldOffset(cur, fi)
+				if err != nil {
+					return nil, &GuestFault{Kind: "getelementptr: " + err.Error()}
+				}
+				plan.constOff += off
 				cur = cur.Field(fi)
 				continue
 			default:
-				return nil, fmt.Errorf("vm: bad getelementptr step into %s", cur)
+				return nil, &GuestFault{Kind: fmt.Sprintf("bad getelementptr step into %s", cur)}
 			}
 		}
-		scale := layout.Size(elem)
+		scale, err := layout.TrySize(elem)
+		if err != nil {
+			return nil, &GuestFault{Kind: "getelementptr: " + err.Error()}
+		}
 		if ci, ok := idx.(*ir.ConstInt); ok {
 			plan.constOff += scale * ci.SignedValue()
 		} else {
+			if !idx.Type().IsInt() {
+				return nil, &GuestFault{Kind: "getelementptr index is not an integer"}
+			}
 			plan.steps = append(plan.steps, gepStep{argIdx: k, scale: scale, bits: idx.Type().Bits()})
 		}
 		cur = elem

@@ -1,0 +1,153 @@
+package vm_test
+
+// Recover-and-fail fuzz harnesses for the no-guest-can-panic-the-host
+// claim: a random storm over the full intrinsic surface and randomly
+// mutated (but decodable) bytecode modules must always come back as
+// errors, violations or fail-stops — a panic escaping the VM fails the
+// test.  CI runs this package under -race as well.
+
+import (
+	"math/rand"
+	"testing"
+
+	"sva/internal/bytecode"
+	"sva/internal/hw"
+	"sva/internal/kernel"
+	"sva/internal/svaos"
+	"sva/internal/userland"
+	"sva/internal/vm"
+)
+
+// argPalette biases fuzzed intrinsic arguments toward the values that
+// reach interesting code: small ids/sizes, kernel and user addresses,
+// sign-boundary and all-ones patterns.
+func argPalette(rng *rand.Rand) uint64 {
+	switch rng.Intn(8) {
+	case 0:
+		return uint64(rng.Intn(8)) // plausible pool/vector/fd ids
+	case 1:
+		return uint64(rng.Intn(4096)) // small sizes and offsets
+	case 2:
+		return 0x8000_0000 + uint64(rng.Intn(1<<20)) // kernel-ish address
+	case 3:
+		return 0x1000_0000 + uint64(rng.Intn(1<<20)) // user-ish address
+	case 4:
+		return ^uint64(0) // -1
+	case 5:
+		return 1 << 63 // sign boundary
+	case 6:
+		return rng.Uint64()
+	default:
+		return 0
+	}
+}
+
+// TestIntrinsicStormNoPanic calls every installed intrinsic with random
+// arguments against a fully booted safe-config kernel.  Errors of any kind
+// are expected; a panic escaping CallIntrinsic, or a broken host invariant
+// afterwards, is a host escape.
+func TestIntrinsicStormNoPanic(t *testing.T) {
+	u := userland.BuildTestPrograms()
+	sys, err := kernel.NewSystem(vm.ConfigSafe, true, u.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := sys.VM
+	names := v.IntrinsicNames()
+	if len(names) == 0 {
+		t.Fatal("no intrinsics installed")
+	}
+	rng := rand.New(rand.NewSource(1))
+	var errCount int
+	for i := 0; i < 4000; i++ {
+		name := names[rng.Intn(len(names))]
+		args := make([]uint64, rng.Intn(7))
+		for j := range args {
+			args[j] = argPalette(rng)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("iteration %d: panic escaped intrinsic %s(%v): %v", i, name, args, r)
+				}
+			}()
+			if _, err := v.CallIntrinsic(name, args); err != nil {
+				errCount++
+			}
+		}()
+		// Halt and privilege changes are legitimate effects; reset them so
+		// the storm keeps running with kernel rights.
+		v.Halted = false
+		v.Mach.CPU.Int.Priv = hw.PrivKernel
+	}
+	if errCount == 0 {
+		t.Error("storm produced zero errors; arguments are not reaching validation paths")
+	}
+	if err := v.CheckHostInvariants(); err != nil {
+		t.Errorf("host invariants broken after storm: %v", err)
+	}
+}
+
+// TestMutatedBytecodeNoPanic flips random bytes in a valid bytecode image;
+// every mutant that still decodes is loaded and executed (without the
+// verifier, deliberately — the VM alone must hold the line).  Decode and
+// load errors are fine; panics are not.
+func TestMutatedBytecodeNoPanic(t *testing.T) {
+	base, err := bytecode.Encode(userland.BuildTestPrograms().M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	var decoded, ran int
+	for i := 0; i < 250; i++ {
+		img := append([]byte(nil), base...)
+		for n := 1 + rng.Intn(8); n > 0; n-- {
+			img[rng.Intn(len(img))] ^= 1 << uint(rng.Intn(8))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("iteration %d: panic escaped mutated-module run: %v", i, r)
+				}
+			}()
+			m, err := bytecode.Decode(img)
+			if err != nil {
+				return
+			}
+			decoded++
+			mach := hw.NewMachine(0, 16)
+			v := vm.New(mach, vm.ConfigSafe)
+			svaos.Install(v)
+			if err := v.LoadModule(m, false); err != nil {
+				return
+			}
+			var fns = m.Funcs
+			if len(fns) == 0 {
+				return
+			}
+			f := fns[rng.Intn(len(fns))]
+			if f.IsDecl() {
+				return
+			}
+			top, err := v.AllocKernelStack(64 << 10)
+			if err != nil {
+				return
+			}
+			ex, err := v.NewExec(f, make([]uint64, len(f.Params)), top, hw.PrivKernel)
+			if err != nil {
+				return
+			}
+			v.SetExec(ex)
+			v.StepBudget = v.Counters.Steps + 100_000
+			_, _ = v.Run()
+			ran++
+			if err := v.CheckHostInvariants(); err != nil {
+				t.Errorf("iteration %d: host invariants broken: %v", i, err)
+			}
+		}()
+	}
+	t.Logf("decoded %d/250 mutants, ran %d", decoded, ran)
+	if decoded == 0 {
+		t.Error("no mutant decoded; mutation rate too destructive to test the VM")
+	}
+}

@@ -1,0 +1,201 @@
+package vm
+
+// Regression tests for the panic-site conversions and recovery-ladder
+// rungs added by the fault-injection hardening pass: every failure mode a
+// guest can provoke must come back as a structured GuestFault or FailStop,
+// never as a host panic or unbounded host allocation.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"sva/internal/abi"
+	"sva/internal/hw"
+	"sva/internal/ir"
+)
+
+// runaway builds a module whose only function calls itself forever.
+func runawayModule() *ir.Module {
+	m := ir.NewModule("runaway")
+	b := ir.NewBuilder(m)
+	f := b.NewFunc("rec", ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false), "n")
+	b.Ret(b.Call(f, b.Param(0)))
+	return m
+}
+
+// TestRunawayRecursionGuestFaults: unbounded guest recursion must hit the
+// MaxFrames bound and surface as a recoverable guest fault, not exhaust
+// host memory.
+func TestRunawayRecursionGuestFaults(t *testing.T) {
+	v := newTestVM(t, ConfigNative, runawayModule())
+	f := v.FuncByName("rec")
+	top, err := v.AllocKernelStack(64 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := v.NewExec(f, []uint64{0}, top, hw.PrivKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.SetExec(ex)
+	_, err = v.Run()
+	var gf *GuestFault
+	if !errors.As(err, &gf) || !strings.Contains(gf.Kind, "call stack overflow") {
+		t.Fatalf("runaway recursion returned %v, want call-stack-overflow guest fault", err)
+	}
+}
+
+// TestCheckAccessBounds: oversized, negative and wrapping transfer ranges
+// are guest faults before any host memory is touched.
+func TestCheckAccessBounds(t *testing.T) {
+	v := newTestVM(t, ConfigNative, factorialModule())
+	cases := []struct {
+		name string
+		addr uint64
+		size int
+		want string
+	}{
+		{"negative size", 0x8000_0000, -1, "transfer length"},
+		{"above MaxAccess", 0x8000_0000, MaxAccess + 1, "transfer length"},
+		{"wrapping range", ^uint64(0) - 8, 64, "wraps the address space"},
+		{"null page", 0x10, 8, "null dereference"},
+	}
+	for _, c := range cases {
+		err := v.checkAccess(c.addr, c.size, false)
+		var gf *GuestFault
+		if !errors.As(err, &gf) || !strings.Contains(gf.Kind, c.want) {
+			t.Errorf("%s: checkAccess(%#x, %d) = %v, want %q guest fault", c.name, c.addr, c.size, err, c.want)
+		}
+	}
+	if err := v.checkAccess(0x8000_0000, MaxAccess, false); err != nil {
+		t.Errorf("MaxAccess-sized transfer rejected: %v", err)
+	}
+}
+
+// TestMemReadBytesBounds: the host-side byte reader applies the same
+// architecture limit, so a guest-controlled length cannot size a host
+// allocation.
+func TestMemReadBytesBounds(t *testing.T) {
+	v := newTestVM(t, ConfigNative, factorialModule())
+	for _, n := range []int{-1, MaxAccess + 1, 1 << 40} {
+		_, err := v.MemReadBytes(0x8000_0000, n)
+		var gf *GuestFault
+		if !errors.As(err, &gf) {
+			t.Errorf("MemReadBytes(n=%d) = %v, want guest fault", n, err)
+		}
+	}
+}
+
+// TestValidateExecRejectsCorruption: the structural validator that gates
+// llva.load.integer refuses every corruption shape the chaos injector
+// produces.
+func TestValidateExecRejectsCorruption(t *testing.T) {
+	mkFrame := func(nregs int) *Frame {
+		return &Frame{fn: &ir.Function{Nm: "f"}, regs: make([]uint64, nregs), retTo: -1}
+	}
+	valid := func() *Exec {
+		e := &Exec{priv: hw.PrivKernel}
+		e.frames = []*Frame{mkFrame(4), mkFrame(4)}
+		e.frames[1].retTo = 2
+		return e
+	}
+	if err := validateExec(valid()); err != nil {
+		t.Fatalf("valid exec rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(e *Exec)
+	}{
+		{"empty frame stack", func(e *Exec) { e.frames = nil }},
+		{"undefined privilege", func(e *Exec) { e.priv = 7 }},
+		{"nil function", func(e *Exec) { e.frames[0].fn = nil }},
+		{"negative block", func(e *Exec) { e.frames[0].block = -1 }},
+		{"return slot out of range", func(e *Exec) { e.frames[1].retTo = 99 }},
+		{"ic frame index out of range", func(e *Exec) {
+			e.ics = []*IContext{{frameIdx: 5, retSlot: -1}}
+		}},
+		{"ic return slot out of range", func(e *Exec) {
+			e.ics = []*IContext{{frameIdx: 1, retSlot: 99}}
+		}},
+	}
+	for _, c := range cases {
+		e := valid()
+		c.mut(e)
+		err := validateExec(e)
+		var gf *GuestFault
+		if !errors.As(err, &gf) || !strings.Contains(gf.Kind, "corrupted integer state") {
+			t.Errorf("%s: validateExec = %v, want corrupted-integer-state fault", c.name, err)
+		}
+	}
+}
+
+// TestWatchdogAbortsRunawayTrap: with instruction fuel armed, a trap
+// handler that spins past the limit is unwound through its interrupt
+// context and the interrupted computation sees EFAULT.
+func TestWatchdogAbortsRunawayTrap(t *testing.T) {
+	m := ir.NewModule("spin")
+	b := ir.NewBuilder(m)
+	b.NewFunc("spin", ir.FuncOf(ir.I64, nil, false))
+	acc := b.Alloca(ir.I64, "acc")
+	b.Store(ir.I64c(0), acc)
+	b.For("i", ir.I64c(0), ir.I64c(1<<40), ir.I64c(1), func(i ir.Value) {
+		b.Store(b.Add(b.Load(acc), i), acc)
+	})
+	b.Ret(b.Load(acc))
+
+	v := newTestVM(t, ConfigNative, m)
+	f := v.FuncByName("spin")
+	top, err := v.AllocKernelStack(64 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := v.NewExec(f, nil, top, hw.PrivKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Model an in-flight trap: the spinning function runs above an
+	// interrupt-context boundary at the stack base, exactly where a
+	// syscall handler would.
+	ex.ics = append(ex.ics, &IContext{frameIdx: 0, retSlot: -1, savedSP: ex.sp, savedPriv: hw.PrivKernel, entrySteps: v.Counters.Steps})
+	v.SetExec(ex)
+	v.WatchdogFuel = 10_000
+	ret, err := v.Run()
+	if err != nil {
+		t.Fatalf("watchdog unwind surfaced an error: %v", err)
+	}
+	if ret != abi.Errno(abi.EFAULT) {
+		t.Errorf("aborted trap returned %#x, want EFAULT", ret)
+	}
+	if v.Counters.WatchdogFaults != 1 {
+		t.Errorf("WatchdogFaults = %d, want 1", v.Counters.WatchdogFaults)
+	}
+	if v.Counters.Oops != 1 {
+		t.Errorf("Oops = %d, want 1", v.Counters.Oops)
+	}
+}
+
+// TestFailStopDiagnostics: FailStop is a structured error carrying its
+// cause through Unwrap, and the VM counts every fail-stop.
+func TestFailStopDiagnostics(t *testing.T) {
+	cause := fmt.Errorf("boom")
+	v := newTestVM(t, ConfigNative, factorialModule())
+	err := v.failStop("test rung", cause)
+	var fs *FailStop
+	if !errors.As(err, &fs) {
+		t.Fatalf("failStop returned %T", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Error("FailStop does not unwrap to its cause")
+	}
+	if !strings.Contains(fs.Error(), "test rung") || !strings.Contains(fs.Error(), "boom") {
+		t.Errorf("diagnostic %q missing reason or cause", fs.Error())
+	}
+	if v.Counters.FailStops != 1 {
+		t.Errorf("FailStops = %d, want 1", v.Counters.FailStops)
+	}
+	if (&FailStop{Reason: "bare"}).Error() != "vm fail-stop: bare" {
+		t.Error("bare FailStop diagnostic malformed")
+	}
+}

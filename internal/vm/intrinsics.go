@@ -30,12 +30,18 @@ func (vm *VM) installCoreIntrinsics() {
 
 	reg(svaops.ObjRegister, func(vm *VM, a []uint64) (IntrinsicResult, error) {
 		vm.Mach.CPU.Cycles += cycRegObj
-		pool := vm.Pools.Pool(int(a[0]))
+		pool, err := vm.Pools.PoolChecked(int(a[0]))
+		if err != nil {
+			return IntrinsicResult{}, err
+		}
 		return IntrinsicResult{}, pool.Register(a[1], a[2], 0)
 	})
 	reg(svaops.ObjRegisterStack, func(vm *VM, a []uint64) (IntrinsicResult, error) {
 		vm.Mach.CPU.Cycles += cycRegObj
-		pool := vm.Pools.Pool(int(a[0]))
+		pool, err := vm.Pools.PoolChecked(int(a[0]))
+		if err != nil {
+			return IntrinsicResult{}, err
+		}
 		if err := pool.RegisterStack(a[1], a[2]); err != nil {
 			return IntrinsicResult{}, err
 		}
@@ -47,19 +53,28 @@ func (vm *VM) installCoreIntrinsics() {
 	})
 	reg(svaops.ObjDrop, func(vm *VM, a []uint64) (IntrinsicResult, error) {
 		vm.Mach.CPU.Cycles += cycDropObj
-		pool := vm.Pools.Pool(int(a[0]))
+		pool, err := vm.Pools.PoolChecked(int(a[0]))
+		if err != nil {
+			return IntrinsicResult{}, err
+		}
 		return IntrinsicResult{}, pool.Drop(a[1])
 	})
 	reg(svaops.BoundsCheck, func(vm *VM, a []uint64) (IntrinsicResult, error) {
 		vm.Counters.ChecksBounds++
 		vm.Mach.CPU.Cycles += cycBounds
-		pool := vm.Pools.Pool(int(a[0]))
+		pool, err := vm.Pools.PoolChecked(int(a[0]))
+		if err != nil {
+			return IntrinsicResult{}, err
+		}
 		return IntrinsicResult{}, pool.BoundsCheck(a[1], a[2])
 	})
 	reg(svaops.LSCheck, func(vm *VM, a []uint64) (IntrinsicResult, error) {
 		vm.Counters.ChecksLS++
 		vm.Mach.CPU.Cycles += cycLS
-		pool := vm.Pools.Pool(int(a[0]))
+		pool, err := vm.Pools.PoolChecked(int(a[0]))
+		if err != nil {
+			return IntrinsicResult{}, err
+		}
 		return IntrinsicResult{}, pool.LoadStoreCheck(a[1])
 	})
 	reg(svaops.ICCheck, func(vm *VM, a []uint64) (IntrinsicResult, error) {
@@ -70,17 +85,28 @@ func (vm *VM) installCoreIntrinsics() {
 	reg(svaops.ElideBounds, func(vm *VM, a []uint64) (IntrinsicResult, error) {
 		vm.Counters.ElidedBounds++
 		vm.Mach.CPU.Cycles += cycElide
-		vm.Pools.Pool(int(a[0])).NoteElidedBounds()
+		pool, err := vm.Pools.PoolChecked(int(a[0]))
+		if err != nil {
+			return IntrinsicResult{}, err
+		}
+		pool.NoteElidedBounds()
 		return IntrinsicResult{}, nil
 	})
 	reg(svaops.ElideLS, func(vm *VM, a []uint64) (IntrinsicResult, error) {
 		vm.Counters.ElidedLS++
 		vm.Mach.CPU.Cycles += cycElide
-		vm.Pools.Pool(int(a[0])).NoteElidedLS()
+		pool, err := vm.Pools.PoolChecked(int(a[0]))
+		if err != nil {
+			return IntrinsicResult{}, err
+		}
+		pool.NoteElidedLS()
 		return IntrinsicResult{}, nil
 	})
 	reg(svaops.GetBoundsLo, func(vm *VM, a []uint64) (IntrinsicResult, error) {
-		pool := vm.Pools.Pool(int(a[0]))
+		pool, err := vm.Pools.PoolChecked(int(a[0]))
+		if err != nil {
+			return IntrinsicResult{}, err
+		}
 		lo, _, ok := pool.GetBounds(a[1])
 		if !ok {
 			return IntrinsicResult{Value: 0}, nil
@@ -88,7 +114,10 @@ func (vm *VM) installCoreIntrinsics() {
 		return IntrinsicResult{Value: lo}, nil
 	})
 	reg(svaops.GetBoundsHi, func(vm *VM, a []uint64) (IntrinsicResult, error) {
-		pool := vm.Pools.Pool(int(a[0]))
+		pool, err := vm.Pools.PoolChecked(int(a[0]))
+		if err != nil {
+			return IntrinsicResult{}, err
+		}
 		_, hi, ok := pool.GetBounds(a[1])
 		if !ok {
 			return IntrinsicResult{Value: ^uint64(0)}, nil

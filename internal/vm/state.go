@@ -3,6 +3,8 @@ package vm
 import (
 	"fmt"
 
+	"sva/internal/abi"
+	"sva/internal/faultinject"
 	"sva/internal/hw"
 	"sva/internal/telemetry"
 )
@@ -48,14 +50,92 @@ func (vm *VM) SaveIntegerState(buf uint64, retSlot int) {
 
 // LoadIntegerState installs the continuation saved under buf
 // (llva.load.integer).  The saved state remains loadable again.
+//
+// This is the interrupt-context restore seam: the restored continuation is
+// structurally validated before it becomes the current state, so a
+// corrupted save (hardware fault, ClassICRestore injection) surfaces as a
+// recoverable guest fault in the *current* context rather than installing
+// state the interpreter would later index-panic on.
 func (vm *VM) LoadIntegerState(buf uint64) error {
 	c := vm.savedStates[buf]
 	if c == nil {
 		return &GuestFault{Kind: "load.integer of buffer with no saved state", Addr: buf}
 	}
-	vm.cur = c.ex.clone()
+	restored := c.ex.clone()
+	if vm.chaos != nil && vm.chaos.Should(faultinject.ClassICRestore) {
+		vm.corruptRestore(restored)
+	}
+	if err := validateExec(restored); err != nil {
+		return err
+	}
+	vm.cur = restored
 	vm.Mach.CPU.Int.SP = vm.cur.sp
 	vm.Mach.CPU.Int.Priv = vm.cur.priv
+	return nil
+}
+
+// corruptRestore is the ClassICRestore injection payload: damage one field
+// of a continuation about to be installed, the way a flipped bit in the
+// SVM's saved-state memory would.
+func (vm *VM) corruptRestore(e *Exec) {
+	mode := vm.chaos.Rand(4)
+	switch mode {
+	case 0:
+		bit := 16 + vm.chaos.Rand(16)
+		e.sp ^= 1 << bit
+		vm.chaos.Note("state.restore", "flip sp bit %d -> %#x", bit, e.sp)
+	case 1:
+		e.priv |= 4 // structurally invalid privilege: validation rejects it
+		vm.chaos.Note("state.restore", "corrupt privilege -> %d", e.priv)
+	case 2:
+		if len(e.ics) > 0 {
+			k := vm.chaos.Rand(uint64(len(e.ics)))
+			skew := int(1 + vm.chaos.Rand(8))
+			e.ics[k].frameIdx += skew
+			vm.chaos.Note("state.restore", "skew ic %d frameIdx by %d", k, skew)
+		} else {
+			e.sp ^= 1 << (20 + vm.chaos.Rand(8))
+			vm.chaos.Note("state.restore", "flip sp (no ics) -> %#x", e.sp)
+		}
+	case 3:
+		if len(e.frames) > 1 {
+			k := 1 + vm.chaos.Rand(uint64(len(e.frames)-1))
+			e.frames[k].retTo += int(1 + vm.chaos.Rand(1<<16))
+			vm.chaos.Note("state.restore", "skew frame %d retTo -> %d", k, e.frames[k].retTo)
+		} else {
+			e.priv |= 4
+			vm.chaos.Note("state.restore", "corrupt privilege (single frame) -> %d", e.priv)
+		}
+	}
+}
+
+// validateExec structurally validates a continuation before installation:
+// every index the interpreter will later trust must be in range and the
+// privilege level must be one the architecture defines.  A violation is a
+// recoverable guest fault ("corrupted integer state").
+func validateExec(e *Exec) error {
+	if len(e.frames) == 0 && !e.done {
+		return &GuestFault{Kind: "corrupted integer state: empty frame stack"}
+	}
+	if e.priv != hw.PrivKernel && e.priv != hw.PrivUser {
+		return &GuestFault{Kind: fmt.Sprintf("corrupted integer state: privilege %d", e.priv)}
+	}
+	for i, f := range e.frames {
+		if f.fn == nil || f.block < 0 || f.idx < 0 {
+			return &GuestFault{Kind: fmt.Sprintf("corrupted integer state: frame %d malformed", i)}
+		}
+		if f.retTo >= 0 && i > 0 && f.retTo >= len(e.frames[i-1].regs) {
+			return &GuestFault{Kind: fmt.Sprintf("corrupted integer state: frame %d return slot %d out of range", i, f.retTo)}
+		}
+	}
+	for i, ic := range e.ics {
+		if ic.frameIdx < 0 || ic.frameIdx > len(e.frames) {
+			return &GuestFault{Kind: fmt.Sprintf("corrupted integer state: ic %d frame index %d outside stack of %d", i, ic.frameIdx, len(e.frames))}
+		}
+		if ic.retSlot >= 0 && ic.frameIdx > 0 && ic.retSlot >= len(e.frames[ic.frameIdx-1].regs) {
+			return &GuestFault{Kind: fmt.Sprintf("corrupted integer state: ic %d return slot %d out of range", i, ic.retSlot)}
+		}
+	}
 	return nil
 }
 
@@ -195,6 +275,9 @@ func (vm *VM) SetSavedRetval(isp, val uint64) error {
 		return &GuestFault{Kind: "set.retval of state with no pending trap result", Addr: isp}
 	}
 	top := c.ex.frames[len(c.ex.frames)-1]
+	if c.retSlot >= len(top.regs) {
+		return &GuestFault{Kind: "set.retval slot outside saved frame registers", Addr: isp}
+	}
 	top.regs[c.retSlot] = val
 	return nil
 }
@@ -234,7 +317,7 @@ func (vm *VM) TrapEnter(num int64, args []uint64) (IntrinsicResult, error) {
 	}
 	h := vm.syscalls[num]
 	if h == nil {
-		return IntrinsicResult{Value: ^uint64(37)}, nil // -38: ENOSYS
+		return IntrinsicResult{Value: abi.Errno(abi.ENOSYS)}, nil
 	}
 	// On kernel entry the SVM spills the control state that the kernel
 	// will overwrite onto the kernel stack (§3.3).  The native-port

@@ -13,6 +13,7 @@ package vm
 import (
 	"fmt"
 
+	"sva/internal/faultinject"
 	"sva/internal/hw"
 	"sva/internal/ir"
 	"sva/internal/metapool"
@@ -179,6 +180,18 @@ type VM struct {
 	// it stops execution with an error (runaway-guest protection).
 	StepBudget uint64
 
+	// WatchdogFuel bounds the steps any single trap handler may run
+	// (0 = disabled).  A runaway handler raises a recoverable guest fault
+	// instead of burning the whole step budget inside one trap.
+	WatchdogFuel uint64
+	// oopsStreak counts consecutive oops unwinds with no successful trap
+	// exit in between; past oopsStormLimit the execution fail-stops.
+	oopsStreak int
+	// chaos is the installed fault injector (nil in production); see
+	// InstallChaos.  The VM consults it only on the interrupt-context
+	// restore seam — hardware seams hold their own reference.
+	chaos *faultinject.Injector
+
 	pendingCallSets [][]string
 }
 
@@ -263,8 +276,16 @@ func (vm *VM) LoadModule(m *ir.Module, user bool) error {
 	}
 	var layout ir.Layout
 	for _, g := range m.Globals {
-		size := layout.Size(g.ValueType)
-		align := layout.Align(g.ValueType)
+		// Module contents may come from decoded (untrusted) bytecode, so a
+		// malformed global type is a load error, not a host panic.
+		size, err := layout.TrySize(g.ValueType)
+		if err != nil {
+			return fmt.Errorf("vm: global @%s: %w", g.Nm, err)
+		}
+		align, err := layout.TryAlign(g.ValueType)
+		if err != nil {
+			return fmt.Errorf("vm: global @%s: %w", g.Nm, err)
+		}
 		var base *uint64
 		if user {
 			base = &vm.nextUGlobal
@@ -318,7 +339,11 @@ func elemSizeOf(mp *ir.MetapoolDesc) uint64 {
 		return 0
 	}
 	var layout ir.Layout
-	return uint64(layout.Size(mp.ElemType))
+	sz, err := layout.TrySize(mp.ElemType)
+	if err != nil {
+		return 0 // malformed descriptor: treat as untyped (no TH fast path)
+	}
+	return uint64(sz)
 }
 
 // initGlobal writes a constant initializer into guest memory.
@@ -326,7 +351,11 @@ func (vm *VM) initGlobal(addr uint64, t *ir.Type, c ir.Constant) error {
 	var layout ir.Layout
 	switch c := c.(type) {
 	case *ir.ConstInt:
-		return vm.Mach.Phys.Store(addr, c.V, int(layout.Size(c.Typ)))
+		sz, err := layout.TrySize(c.Typ)
+		if err != nil {
+			return err
+		}
+		return vm.Mach.Phys.Store(addr, c.V, int(sz))
 	case *ir.ConstFloat:
 		return vm.Mach.Phys.Store(addr, c.Bits(), 8)
 	case *ir.ConstNull:
@@ -340,7 +369,10 @@ func (vm *VM) initGlobal(addr uint64, t *ir.Type, c ir.Constant) error {
 		if !t.IsArray() {
 			return fmt.Errorf("array initializer for %s", t)
 		}
-		esz := layout.Size(t.Elem())
+		esz, err := layout.TrySize(t.Elem())
+		if err != nil {
+			return err
+		}
 		for i, e := range c.Elems {
 			if err := vm.initGlobal(addr+uint64(int64(i)*esz), t.Elem(), e); err != nil {
 				return err
@@ -352,7 +384,10 @@ func (vm *VM) initGlobal(addr uint64, t *ir.Type, c ir.Constant) error {
 			return fmt.Errorf("struct initializer for %s", t)
 		}
 		for i, e := range c.Fields {
-			off := layout.FieldOffset(t, i)
+			off, err := layout.TryFieldOffset(t, i)
+			if err != nil {
+				return err
+			}
 			if err := vm.initGlobal(addr+uint64(off), t.Field(i), e); err != nil {
 				return err
 			}
