@@ -15,9 +15,11 @@ vet:
 	$(GO) vet ./...
 
 # The bench harness and the fault campaign fan out goroutines per kernel
-# config, per table job and per injection run; race the whole tree.
+# config, per table job and per injection run, and SMP runs sibling VCPUs
+# concurrently; race the whole tree at 1 and 4 host CPUs so both the
+# serial and the parallel schedules are exercised.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -cpu=1,4 ./...
 
 check: build vet test race
 

@@ -16,9 +16,14 @@
 //	sva-bench -table=ablation   §4.8 cloning/devirtualization ablation
 //	sva-bench -table=faults     fault-injection campaign outcome matrix
 //	sva-bench -table=all        everything
+//	sva-bench -table=smp        SMP syscall-throughput scaling at 1/2/4/8 VCPUs
 //	sva-bench -seeds=25         seeds per fault class for -table=faults
 //	sva-bench -scale=4          divide iteration counts by 4 (quick run)
 //	sva-bench -workers=1        serial generation (default: one worker per CPU)
+//	sva-bench -benchjson=out.json      dump numeric rows as machine-readable JSON
+//	sva-bench -baseline=BENCH_seed.json  print per-row deltas vs a saved dump
+//	sva-bench -cpuprofile=cpu.pprof    host-level CPU profile of the bench run
+//	sva-bench -memprofile=mem.pprof    host heap profile at exit
 //
 // Every table is generated on its own deterministic virtual machines, so
 // table sections are independent jobs: with -workers > 1 they run
@@ -31,6 +36,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"sva/internal/hbench"
@@ -38,15 +45,42 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate (4..9, checks, profile, exploits, tcb, ablation, faults, all)")
+	table := flag.String("table", "all", "which table to regenerate (4..9, checks, profile, exploits, tcb, ablation, faults, smp, all)")
 	scale := flag.Uint64("scale", 1, "divide iteration counts (1 = full run)")
 	seeds := flag.Int("seeds", 25, "seeds per fault class for -table=faults")
 	workers := flag.Int("workers", report.DefaultWorkers(), "max concurrent table jobs and per-table configurations (1 = serial)")
+	benchjson := flag.String("benchjson", "", "write numeric table rows as JSON to this file")
+	baseline := flag.String("baseline", "", "print per-row deltas against a saved -benchjson dump")
+	cpuprofile := flag.String("cpuprofile", "", "write a host CPU profile (pprof) to this file")
+	memprofile := flag.String("memprofile", "", "write a host heap profile (pprof) to this file at exit")
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "sva-bench:", err)
+		os.Exit(1)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	s := report.Scale(*scale)
 	w := *workers
-	want := func(name string) bool { return *table == "all" || *table == name }
+	metrics := &report.MetricSet{}
+	// -table takes a comma-separated list ("-table=5,7,8"); "all" selects
+	// every table.
+	wanted := map[string]bool{}
+	for _, t := range strings.Split(*table, ",") {
+		wanted[strings.TrimSpace(t)] = true
+	}
+	want := func(name string) bool { return wanted["all"] || wanted[name] }
 
 	// Each job renders one or more related sections; related tables that
 	// share booted systems stay inside a single job so their relative
@@ -70,6 +104,7 @@ func main() {
 			if err != nil {
 				return "", err
 			}
+			report.RecordAppRows(metrics, rows)
 			var parts []string
 			if want("5") {
 				parts = append(parts, report.Table5(rows))
@@ -92,6 +127,7 @@ func main() {
 				if err != nil {
 					return "", err
 				}
+				report.RecordBenchRows(metrics, "table7", rows)
 				parts = append(parts, report.Table7(rows))
 			}
 			if want("8") {
@@ -99,6 +135,7 @@ func main() {
 				if err != nil {
 					return "", err
 				}
+				report.RecordBenchRows(metrics, "table8", rows)
 				parts = append(parts, report.Table8(rows))
 			}
 			if want("checks") {
@@ -121,6 +158,16 @@ func main() {
 	if want("9") {
 		add("table9", report.Table9)
 	}
+	if want("smp") {
+		add("smp", func() (string, error) {
+			rows, err := report.RunSMPN(s, w)
+			if err != nil {
+				return "", err
+			}
+			report.RecordSMPRows(metrics, rows)
+			return report.SMPTable(rows), nil
+		})
+	}
 	if want("exploits") {
 		add("exploits", func() (string, error) { return report.ExploitTableN(w) })
 	}
@@ -136,10 +183,33 @@ func main() {
 
 	out, err := report.RunJobs(jobs, w)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sva-bench:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	for _, t := range out {
 		fmt.Println(t)
+	}
+
+	if *benchjson != "" {
+		if err := metrics.WriteJSON(*benchjson); err != nil {
+			fail(err)
+		}
+	}
+	if *baseline != "" {
+		base, err := report.ReadBaseline(*baseline)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(report.DeltaReport(base, metrics.Metrics()))
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
 	}
 }

@@ -24,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"sva/internal/faultinject"
@@ -41,11 +43,38 @@ func main() {
 	profile := flag.Bool("profile", false, "attribute virtual cycles to guest functions and SVA ops")
 	trace := flag.String("trace", "", "dump the structured event trace as JSONL to this file (- for stdout)")
 	chaos := flag.String("chaos", "", "arm seeded fault injection: <class>:<seed> (memflip|oom|diskio|netio|irq|icrestore|splay)")
+	cpuprofile := flag.String("cpuprofile", "", "write a host CPU profile (pprof) to this file")
+	memprofile := flag.String("memprofile", "", "write a host heap profile (pprof) to this file at exit")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "sva-run:", err)
 		os.Exit(1)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}()
 	}
 
 	cfgs := map[string]vm.Config{

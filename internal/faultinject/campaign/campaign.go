@@ -9,6 +9,7 @@
 package campaign
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -255,10 +256,111 @@ func RunOne(class faultinject.Class, seed uint64) (res Result) {
 	return res
 }
 
+// SMPVCPUs is the virtual-CPU count of the campaign's SMP variant.
+const SMPVCPUs = 4
+
+// RunOneSMP is RunOne's SMP variant: a fresh ConfigSafe system, one armed
+// injector, and the smp_worker battery dispatched across SMPVCPUs virtual
+// CPUs.  The battery is per-task syscalls only (the SMP dispatch contract),
+// so I/O-seam classes (diskio, netio) may legitimately never fire here —
+// the acceptance criterion stays what it was: zero host escapes.
+func RunOneSMP(class faultinject.Class, seed uint64) (res Result) {
+	res = Result{Class: class, Seed: seed, Prog: "smp_worker"}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Outcome = Escape
+			res.Detail = fmt.Sprintf("panic escaped the VM: %v", r)
+		}
+	}()
+
+	u := hbench.BuildBenchModule()
+	sys, err := kernel.NewSystem(vm.ConfigSafe, true, u.M)
+	if err != nil {
+		res.Outcome = Escape
+		res.Detail = fmt.Sprintf("clean boot failed: %v", err)
+		return res
+	}
+	worker := u.M.Func("smp_worker")
+	const tasks = 8
+	for t := 0; t < tasks; t++ {
+		if _, err := sys.SpawnSMP(worker, 40+seed%20); err != nil {
+			// Spawning runs un-injected; a failure here is a broken harness,
+			// not a classified fault response.
+			res.Outcome = Escape
+			res.Detail = fmt.Sprintf("clean spawn failed: %v", err)
+			return res
+		}
+	}
+
+	// Arm before RunSMP: sibling VCPUs are cloned from the boot VM on the
+	// first RunSMP call and inherit the injector and watchdog fuel.
+	inj := faultinject.New(class, seed)
+	sys.VM.InstallChaos(inj)
+	sys.VM.WatchdogFuel = watchdogFuel
+
+	v0 := sys.VM.MergedViolations()
+	c0 := sys.VM.Counters
+
+	runs, runErr := sys.RunSMP(SMPVCPUs, 20_000_000)
+	res.Fired = inj.Fired
+	sys.VM.UninstallChaos()
+
+	firstErr := runErr
+	for _, r := range runs {
+		if r.Err != nil {
+			var hp *kernel.HostPanicError
+			if errors.As(r.Err, &hp) {
+				res.Outcome = Escape
+				res.Detail = r.Err.Error()
+				return res
+			}
+			if firstErr == nil {
+				firstErr = r.Err
+			}
+		}
+	}
+	var merged vm.Counters
+	for _, v := range sys.VM.VCPUs() {
+		if err := v.CheckHostInvariants(); err != nil {
+			res.Outcome = Escape
+			res.Detail = fmt.Sprintf("host invariant broken on vcpu %d: %v", v.CPUID(), err)
+			return res
+		}
+		merged.Add(v.Counters)
+	}
+
+	switch {
+	case sys.VM.MergedViolations() > v0:
+		res.Outcome = Detected
+	case merged.Oops > c0.Oops:
+		res.Outcome = Oops
+		if firstErr != nil {
+			res.Detail = firstErr.Error()
+		}
+	case firstErr != nil || merged.FailStops > c0.FailStops || merged.WatchdogFaults > c0.WatchdogFaults:
+		res.Outcome = FailStop
+		if firstErr != nil {
+			res.Detail = firstErr.Error()
+		}
+	default:
+		res.Outcome = Tolerated
+	}
+	return res
+}
+
 // Run executes a full campaign: every class in classes × seeds 1..seedsPer,
 // with up to workers concurrent runs (each on its own machine).  Results
 // come back in deterministic (class, seed) order regardless of workers.
 func Run(classes []faultinject.Class, seedsPer int, workers int) ([]Result, *Summary, error) {
+	return runWith(RunOne, classes, seedsPer, workers)
+}
+
+// RunSMP executes the campaign's SMP variant (RunOneSMP per unit).
+func RunSMP(classes []faultinject.Class, seedsPer int, workers int) ([]Result, *Summary, error) {
+	return runWith(RunOneSMP, classes, seedsPer, workers)
+}
+
+func runWith(one func(faultinject.Class, uint64) Result, classes []faultinject.Class, seedsPer int, workers int) ([]Result, *Summary, error) {
 	if seedsPer < 1 {
 		seedsPer = 1
 	}
@@ -278,7 +380,7 @@ func Run(classes []faultinject.Class, seedsPer int, workers int) ([]Result, *Sum
 	}
 	if workers <= 1 {
 		for i, u := range units {
-			out[i] = RunOne(u.class, u.seed)
+			out[i] = one(u.class, u.seed)
 		}
 	} else {
 		// Define the shared kernel named-struct types once before fanning
@@ -291,7 +393,7 @@ func Run(classes []faultinject.Class, seedsPer int, workers int) ([]Result, *Sum
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					out[i] = RunOne(units[i].class, units[i].seed)
+					out[i] = one(units[i].class, units[i].seed)
 				}
 			}()
 		}

@@ -57,6 +57,49 @@ func TestFullCampaign(t *testing.T) {
 	}
 }
 
+// TestOnePerClassSMP is the fast SMP sanity pass: one seeded 4-VCPU run of
+// every class must classify without a host escape.  Unlike the uniprocessor
+// battery, the SMP battery is per-task syscalls only, so classes whose seam
+// sits in a driver (diskio, netio) may legitimately report zero firings.
+func TestOnePerClassSMP(t *testing.T) {
+	for _, c := range faultinject.Classes {
+		r := RunOneSMP(c, 1)
+		t.Logf("%-10s prog=%-14s fired=%-4d outcome=%-9s %s", c, r.Prog, r.Fired, r.Outcome, r.Detail)
+		if r.Outcome == Escape {
+			t.Errorf("%s: host escape: %s", c, r.Detail)
+		}
+	}
+}
+
+// TestFullCampaignSMP extends the robustness claim to parallel execution:
+// every fault class times 25 seeds against a 4-VCPU system, zero escapes.
+func TestFullCampaignSMP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full SMP campaign skipped in -short mode")
+	}
+	const seedsPer = 25
+	results, sum, err := RunSMP(faultinject.Classes, seedsPer, runtime.NumCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sum.Total(), len(faultinject.Classes)*seedsPer; got != want {
+		t.Errorf("campaign classified %d runs, want %d — some run was not classified", got, want)
+	}
+	for i, c := range sum.Classes {
+		row := sum.Counts[i]
+		t.Logf("%-10s detected=%-3d oops=%-3d failstop=%-3d tolerated=%-3d escape=%-3d fired=%d",
+			c, row[Detected], row[Oops], row[FailStop], row[Tolerated], row[Escape], sum.Fired[i])
+	}
+	for _, r := range results {
+		if r.Outcome == Escape {
+			t.Errorf("HOST ESCAPE: %s seed=%d prog=%s: %s", r.Class, r.Seed, r.Prog, r.Detail)
+		}
+	}
+	if n := sum.Escapes(); n != 0 {
+		t.Errorf("campaign recorded %d host escapes, want 0", n)
+	}
+}
+
 // TestChaosInvariance is the zero-cost-when-disabled property, mirroring
 // the telemetry invariance test: a system with every injection hook wired
 // but the injector inert (ClassNone) must produce bit-identical results,

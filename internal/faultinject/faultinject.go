@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Class identifies one fault class — a seam in the SVM where the campaign
@@ -147,9 +148,11 @@ var defaultInterval = [numClasses]uint64{
 // share a single Injector, so the firing schedule is a global property of
 // the (class, seed) pair, not of any one component.
 //
-// An Injector is not safe for concurrent use; the SVM interpreter is
-// single-threaded per machine, and campaigns give each parallel run its
-// own machine and injector.
+// An Injector serializes its stream internally, so several virtual CPUs
+// sharing one machine may consult it concurrently (SMP campaigns).  The
+// stream then interleaves by arrival order rather than a global schedule,
+// but each (class, seed) pair still fires the same total pattern for a
+// deterministic uniprocessor run.
 type Injector struct {
 	Class Class
 	Seed  uint64
@@ -164,6 +167,7 @@ type Injector struct {
 	// as "inject" events alongside the oops/fail-stop events they cause.
 	Observer func(Record)
 
+	mu        sync.Mutex
 	rng       uint64
 	interval  uint64
 	countdown uint64
@@ -187,6 +191,8 @@ func New(class Class, seed uint64) *Injector {
 
 // SetInterval overrides the mean operation interval between injections.
 func (i *Injector) SetInterval(n uint64) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
 	if n == 0 {
 		n = 1
 	}
@@ -214,6 +220,8 @@ func (i *Injector) Should(c Class) bool {
 	if c != i.Class {
 		return false
 	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
 	if i.Limit != 0 && i.Fired >= i.Limit {
 		return false
 	}
@@ -232,6 +240,8 @@ func (i *Injector) Rand(n uint64) uint64 {
 	if n == 0 {
 		return 0
 	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
 	return i.next() % n
 }
 
@@ -245,6 +255,8 @@ func (i *Injector) Note(site, format string, args ...interface{}) {
 	if i.Observer != nil {
 		i.Observer(rec)
 	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
 	if len(i.log) >= maxRecords {
 		i.dropped++
 		return
@@ -253,7 +265,15 @@ func (i *Injector) Note(site, format string, args ...interface{}) {
 }
 
 // Records returns the injection log, oldest first.
-func (i *Injector) Records() []Record { return i.log }
+func (i *Injector) Records() []Record {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.log
+}
 
 // Dropped returns how many records were discarded once the log filled.
-func (i *Injector) Dropped() uint64 { return i.dropped }
+func (i *Injector) Dropped() uint64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.dropped
+}

@@ -236,6 +236,22 @@ func BuildBenchModule() *userland.U {
 	b.Store(b.Param(0), setupSize)
 	b.Ret(ir.I64c(0))
 
+	// smp_worker(iters): the SMP scaling workload — three per-task syscalls
+	// per iteration (getpid, gettimeofday, getrusage), touching only the
+	// task's own state, so virtual CPUs never contend inside the guest.
+	// Dispatched via kernel.SpawnSMP/RunSMP, which calls the bare function
+	// (not the .start wrapper): returning to the host ends the task without
+	// an exit syscall, keeping worker CPUs out of the scheduler.
+	u.Prog("smp_worker")
+	wtv := b.Alloca(ir.ArrayOf(2, ir.I64), "tv")
+	wru := b.Alloca(ir.ArrayOf(4, ir.I64), "ru")
+	b.For("i", ir.I64c(0), b.Param(0), ir.I64c(1), func(i ir.Value) {
+		u.GetPID()
+		u.GetTimeofday(u.Addr(wtv))
+		u.GetRusage(u.Addr(wru))
+	})
+	b.Ret(ir.I64c(0))
+
 	u.SealAll()
 	return u
 }
@@ -351,6 +367,64 @@ var BandwidthOps = []struct {
 	{"pipe (32k)", "bw_pipe", 32 * 1024, 6},
 	{"pipe (64k)", "bw_pipe", 64 * 1024, 4},
 	{"pipe (128k)", "bw_pipe", 128 * 1024, 3},
+}
+
+// SMPVCPUs lists the scaling battery's virtual-CPU counts.
+var SMPVCPUs = []int{1, 2, 4, 8}
+
+// SMPPoint is one cell of the SMP scaling battery.
+type SMPPoint struct {
+	VCPUs    int
+	Tasks    int
+	Syscalls uint64 // syscalls dispatched across all virtual CPUs
+	Makespan uint64 // max per-VCPU virtual-cycle delta (parallel wall-clock)
+	Busy     uint64 // summed per-VCPU cycle deltas
+	// Throughput is syscalls per million virtual cycles of makespan — the
+	// aggregate rate.  Time is virtual, so the measurement is exact and
+	// deterministic even on a single-core host.
+	Throughput float64
+}
+
+// MeasureSMP boots a fresh cfg system, parks `tasks` copies of smp_worker
+// (iters iterations each) and dispatches them across n virtual CPUs.  A
+// fresh system per cell keeps cells independent: no recycled stacks, pids
+// or page-map state leak between CPU counts.
+func MeasureSMP(cfg vm.Config, n, tasks int, iters uint64) (SMPPoint, error) {
+	u := BuildBenchModule()
+	sys, err := kernel.NewSystem(cfg, true, u.M)
+	if err != nil {
+		return SMPPoint{}, fmt.Errorf("hbench: smp boot %v: %w", cfg, err)
+	}
+	worker := u.M.Func("smp_worker")
+	for t := 0; t < tasks; t++ {
+		if _, err := sys.SpawnSMP(worker, iters); err != nil {
+			return SMPPoint{}, err
+		}
+	}
+	runs, err := sys.RunSMP(n, 0)
+	if err != nil {
+		return SMPPoint{}, err
+	}
+	p := SMPPoint{VCPUs: n, Tasks: tasks}
+	for _, r := range runs {
+		if r.Err != nil {
+			return SMPPoint{}, fmt.Errorf("hbench: smp cpu %d: %w", r.CPU, r.Err)
+		}
+		for _, ret := range r.Rets {
+			if int64(ret) != 0 {
+				return SMPPoint{}, fmt.Errorf("hbench: smp worker on cpu %d returned %d", r.CPU, int64(ret))
+			}
+		}
+		p.Syscalls += r.Syscalls
+		p.Busy += r.Cycles
+		if r.Cycles > p.Makespan {
+			p.Makespan = r.Cycles
+		}
+	}
+	if p.Makespan > 0 {
+		p.Throughput = float64(p.Syscalls) * 1e6 / float64(p.Makespan)
+	}
+	return p, nil
 }
 
 // PrepareBandwidth creates the 128 KB benchmark file once per system and

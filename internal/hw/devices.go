@@ -3,6 +3,7 @@ package hw
 import (
 	"bytes"
 	"fmt"
+	"sync"
 
 	"sva/internal/faultinject"
 )
@@ -13,6 +14,7 @@ const (
 	VecConsole = 33
 	VecDisk    = 34
 	VecNIC     = 35
+	VecIPI     = 36 // inter-processor interrupt (SMP wakeups)
 	VecSyscall = 0x80
 )
 
@@ -22,14 +24,20 @@ const NumVectors = 256
 // InterruptController queues raised vectors and delivers them when
 // interrupts are enabled.  Handlers themselves live in the SVM/kernel; the
 // controller only tracks pending state.
+//
+// SMP: the controller keeps one pending queue per virtual CPU.  Device
+// raises land on CPU 0 (the paper's uniprocessor interrupt routing);
+// RaiseOn targets a specific CPU (IPIs).  All state is mutex-guarded so
+// any CPU may raise or poll concurrently.
 type InterruptController struct {
-	pending []int
+	mu      sync.Mutex
+	pending [][]int // one queue per virtual CPU; index 0 always exists
 	enabled bool
 
 	Raised, Delivered uint64
-	// BadRaises counts Raise calls with an out-of-range vector; the raise
-	// is dropped rather than crashing the platform (a fault is the raiser's
-	// problem, never the controller's).
+	// BadRaises counts Raise calls with an out-of-range vector or CPU; the
+	// raise is dropped rather than crashing the platform (a fault is the
+	// raiser's problem, never the controller's).
 	BadRaises uint64
 	// Spurious counts chaos-injected vectors delivered by Next.
 	Spurious uint64
@@ -39,44 +47,75 @@ type InterruptController struct {
 }
 
 // NewInterruptController returns a controller with interrupts disabled
-// (as at boot).
-func NewInterruptController() *InterruptController { return &InterruptController{} }
+// (as at boot) and a single CPU queue.
+func NewInterruptController() *InterruptController {
+	return &InterruptController{pending: make([][]int, 1)}
+}
+
+// SetCPUs sizes the per-CPU pending queues.  Call before the virtual CPUs
+// start polling; existing queue contents are preserved.
+func (ic *InterruptController) SetCPUs(n int) {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	for len(ic.pending) < n {
+		ic.pending = append(ic.pending, nil)
+	}
+}
 
 // Enable turns interrupt delivery on or off, returning the previous state
 // (the primitive beneath sti/cli).
 func (ic *InterruptController) Enable(on bool) bool {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
 	prev := ic.enabled
 	ic.enabled = on
 	return prev
 }
 
 // Enabled reports whether interrupts are deliverable.
-func (ic *InterruptController) Enabled() bool { return ic.enabled }
+func (ic *InterruptController) Enabled() bool {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	return ic.enabled
+}
 
-// Raise queues vector for delivery.  An out-of-range vector is dropped and
-// counted: raising is reachable from guest-influenced paths, so a bad
-// vector must degrade, not panic the host.
-func (ic *InterruptController) Raise(vector int) {
-	if vector < 0 || vector >= NumVectors {
+// Raise queues vector for delivery on CPU 0 (device interrupt routing).
+func (ic *InterruptController) Raise(vector int) { ic.RaiseOn(0, vector) }
+
+// RaiseOn queues vector for delivery on the given CPU.  An out-of-range
+// vector or CPU is dropped and counted: raising is reachable from
+// guest-influenced paths, so a bad argument must degrade, not panic the
+// host.
+func (ic *InterruptController) RaiseOn(cpu, vector int) {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	if vector < 0 || vector >= NumVectors || cpu < 0 || cpu >= len(ic.pending) {
 		ic.BadRaises++
 		return
 	}
-	ic.pending = append(ic.pending, vector)
+	ic.pending[cpu] = append(ic.pending[cpu], vector)
 	ic.Raised++
 }
 
-// Next dequeues the next deliverable vector, or -1 if none (or disabled).
-func (ic *InterruptController) Next() int {
-	if !ic.enabled {
+// Next dequeues CPU 0's next deliverable vector, or -1 if none (or
+// delivery is disabled).
+func (ic *InterruptController) Next() int { return ic.NextOn(0) }
+
+// NextOn dequeues the next deliverable vector for the given CPU.
+func (ic *InterruptController) NextOn(cpu int) int {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	if !ic.enabled || cpu < 0 || cpu >= len(ic.pending) {
 		return -1
 	}
+	q := ic.pending[cpu]
 	if ic.Chaos != nil && ic.Chaos.Should(faultinject.ClassIRQ) {
 		// Half the injections deliver the head vector again without
 		// dequeuing it (a double interrupt); the rest deliver a random
 		// spurious vector, possibly one no handler is installed for.
 		var v int
-		if len(ic.pending) > 0 && ic.Chaos.Rand(2) == 0 {
-			v = ic.pending[0]
+		if len(q) > 0 && ic.Chaos.Rand(2) == 0 {
+			v = q[0]
 			ic.Chaos.Note("intr.next", "double delivery of vector %d", v)
 		} else {
 			v = int(ic.Chaos.Rand(NumVectors))
@@ -85,20 +124,29 @@ func (ic *InterruptController) Next() int {
 		ic.Spurious++
 		return v
 	}
-	if len(ic.pending) == 0 {
+	if len(q) == 0 {
 		return -1
 	}
-	v := ic.pending[0]
-	ic.pending = ic.pending[1:]
+	v := q[0]
+	ic.pending[cpu] = q[1:]
 	ic.Delivered++
 	return v
 }
 
-// Pending returns the queued vector count.
-func (ic *InterruptController) Pending() int { return len(ic.pending) }
+// Pending returns the queued vector count across every CPU.
+func (ic *InterruptController) Pending() int {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	n := 0
+	for _, q := range ic.pending {
+		n += len(q)
+	}
+	return n
+}
 
 // Timer raises VecTimer every Interval cycles when armed.
 type Timer struct {
+	mu       sync.Mutex
 	Interval uint64
 	next     uint64
 	armed    bool
@@ -107,6 +155,8 @@ type Timer struct {
 
 // Arm programs the timer to fire every interval cycles, starting from now.
 func (t *Timer) Arm(now, interval uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.Interval = interval
 	t.next = now + interval
 	t.armed = interval > 0
@@ -115,6 +165,8 @@ func (t *Timer) Arm(now, interval uint64) {
 // Advance is called with the current cycle count; it raises timer
 // interrupts for every elapsed interval.
 func (t *Timer) Advance(now uint64, ic *InterruptController) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if !t.armed {
 		return
 	}
@@ -128,24 +180,43 @@ func (t *Timer) Advance(now uint64, ic *InterruptController) {
 // Console is a character device: output accumulates in a buffer, input is
 // an injected queue (tests and examples feed it).
 type Console struct {
+	mu  sync.Mutex
 	out bytes.Buffer
 	in  []byte
 }
 
 // WriteByte emits one byte to the console output.
-func (c *Console) WriteByte(b byte) error { return c.out.WriteByte(b) }
+func (c *Console) WriteByte(b byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.out.WriteByte(b)
+}
 
 // Output returns everything written so far.
-func (c *Console) Output() string { return c.out.String() }
+func (c *Console) Output() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.out.String()
+}
 
 // ResetOutput clears the output buffer.
-func (c *Console) ResetOutput() { c.out.Reset() }
+func (c *Console) ResetOutput() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.out.Reset()
+}
 
 // InjectInput appends bytes to the input queue.
-func (c *Console) InjectInput(p []byte) { c.in = append(c.in, p...) }
+func (c *Console) InjectInput(p []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.in = append(c.in, p...)
+}
 
 // ReadInput pops one input byte; ok is false when the queue is empty.
 func (c *Console) ReadInput() (byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if len(c.in) == 0 {
 		return 0, false
 	}
@@ -159,6 +230,7 @@ const SectorSize = 512
 
 // BlockDevice is an in-memory disk addressed in 512-byte sectors.
 type BlockDevice struct {
+	mu     sync.Mutex
 	data   []byte
 	Reads  uint64
 	Writes uint64
@@ -180,6 +252,8 @@ func (d *BlockDevice) NumSectors() int { return len(d.data) / SectorSize }
 
 // ReadSector copies sector n into buf (must be SectorSize bytes).
 func (d *BlockDevice) ReadSector(n int, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.Chaos != nil && d.Chaos.Should(faultinject.ClassDiskIO) {
 		d.IOErrors++
 		d.Chaos.Note("disk.read", "I/O error reading sector %d", n)
@@ -198,6 +272,8 @@ func (d *BlockDevice) ReadSector(n int, buf []byte) error {
 
 // WriteSector copies buf (one sector) into sector n.
 func (d *BlockDevice) WriteSector(n int, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.Chaos != nil && d.Chaos.Should(faultinject.ClassDiskIO) {
 		d.IOErrors++
 		d.Chaos.Note("disk.write", "I/O error writing sector %d", n)
@@ -218,6 +294,7 @@ func (d *BlockDevice) WriteSector(n int, buf []byte) error {
 // receive queue (the isolated-network stand-in for the paper's 100Mb
 // Ethernet test network).
 type LoopbackNIC struct {
+	mu       sync.Mutex
 	rx       [][]byte
 	TxFrames uint64
 	RxFrames uint64
@@ -240,6 +317,8 @@ func NewLoopbackNIC() *LoopbackNIC {
 
 // Send transmits one frame; it appears on the receive queue.
 func (n *LoopbackNIC) Send(frame []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if n.Chaos != nil && n.Chaos.Should(faultinject.ClassNetIO) {
 		n.Dropped++
 		n.Chaos.Note("nic.send", "transmit error on %d-byte frame", len(frame))
@@ -257,6 +336,8 @@ func (n *LoopbackNIC) Send(frame []byte) error {
 
 // Recv pops the next received frame (nil when the queue is empty).
 func (n *LoopbackNIC) Recv() []byte {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if len(n.rx) == 0 {
 		return nil
 	}
@@ -275,11 +356,17 @@ func (n *LoopbackNIC) Recv() []byte {
 }
 
 // PendingFrames returns the receive-queue depth.
-func (n *LoopbackNIC) PendingFrames() int { return len(n.rx) }
+func (n *LoopbackNIC) PendingFrames() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.rx)
+}
 
 // Machine bundles the full simulated platform.
 type Machine struct {
-	Phys    *PhysMemory
+	Phys *PhysMemory
+	// CPU is the boot processor (virtual CPU 0); additional VCPUs allocate
+	// their own CPU state and share everything else.
 	CPU     *CPU
 	MMU     *MMU
 	Intr    *InterruptController
@@ -302,6 +389,13 @@ func NewMachine(memLimit uint64, diskSectors int) *Machine {
 		Disk:    NewBlockDevice(diskSectors),
 		NIC:     NewLoopbackNIC(),
 	}
+}
+
+// EnableSMP prepares the platform for n virtual CPUs: engages the memory
+// content locks and sizes the per-CPU interrupt queues.
+func (m *Machine) EnableSMP(n int) {
+	m.Phys.EnableSMP(n > 1)
+	m.Intr.SetCPUs(n)
 }
 
 // SetChaos arms (or, with nil, disarms) fault injection on every hardware

@@ -8,11 +8,19 @@
 // through these APIs, which internal/svaos wraps as the SVA-OS operations —
 // so the guest kernel manipulates hardware exactly the way the paper
 // prescribes: through the virtual instruction set, never directly.
+//
+// SMP: one Machine may be driven by several virtual CPUs (goroutines).
+// Physical memory reaches its pages through a lock-free two-level atomic
+// directory, and page *contents* are guarded by striped locks that engage
+// only after EnableSMP — a uniprocessor machine pays one atomic flag load
+// per transfer and nothing else.  Devices carry their own small mutexes.
 package hw
 
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"sva/internal/faultinject"
 )
@@ -20,11 +28,37 @@ import (
 // PageSize is the physical/virtual page size in bytes.
 const PageSize = 4096
 
+const (
+	physL2Bits = 11 // pages per directory leaf
+	physL1Bits = 11 // leaves in the directory
+	// physCoverPages is the page count the two-level directory covers:
+	// 4 M pages = 16 GiB.  Pages beyond it live in an overflow map (the
+	// guest address layout tops out far below, so it is effectively cold).
+	physCoverPages = uint64(1) << (physL1Bits + physL2Bits)
+	// memStripes is the page-content lock stripe count (SMP mode only).
+	memStripes = 64
+)
+
+// physLeaf is one directory leaf: pointers to materialized page arrays.
+type physLeaf [1 << physL2Bits]atomic.Pointer[[PageSize]byte]
+
 // PhysMemory is a sparse, paged physical memory.  Pages materialize
 // (zeroed) on first touch, so a 64-bit address space costs only what the
-// guest actually uses.
+// guest actually uses.  Page lookup is lock-free (atomic directory walk +
+// CAS materialization); under SMP, page contents are additionally guarded
+// by striped mutexes so concurrent virtual CPUs never race host memory.
 type PhysMemory struct {
-	pages map[uint64]*[PageSize]byte
+	dir [1 << physL1Bits]atomic.Pointer[physLeaf]
+	// high holds pages above the directory's coverage window.
+	highMu sync.Mutex
+	high   map[uint64]*[PageSize]byte
+
+	touched atomic.Int64
+	// smp engages the striped content locks; set by EnableSMP before the
+	// virtual CPUs launch.
+	smp     atomic.Bool
+	stripes [memStripes]sync.Mutex
+
 	// Limit, if non-zero, bounds the highest addressable byte.
 	Limit uint64
 	// Chaos, when set, is the fault injector consulted on the memory seams:
@@ -36,8 +70,12 @@ type PhysMemory struct {
 
 // NewPhysMemory returns a memory with the given size limit (0 = unlimited).
 func NewPhysMemory(limit uint64) *PhysMemory {
-	return &PhysMemory{pages: make(map[uint64]*[PageSize]byte), Limit: limit}
+	return &PhysMemory{high: make(map[uint64]*[PageSize]byte), Limit: limit}
 }
+
+// EnableSMP engages (or releases) the striped page-content locks.  Call
+// before the virtual CPUs start sharing this memory.
+func (m *PhysMemory) EnableSMP(on bool) { m.smp.Store(on) }
 
 // MemFault reports an out-of-range physical access.
 type MemFault struct {
@@ -49,12 +87,44 @@ func (f *MemFault) Error() string {
 	return fmt.Sprintf("physical memory fault at %#x (size %d)", f.Addr, f.Size)
 }
 
+// page returns the backing array for the page containing addr,
+// materializing it if needed.  Lock-free: two atomic loads on the hot
+// path, CAS on first touch (the losing CPU adopts the winner's page).
 func (m *PhysMemory) page(addr uint64) *[PageSize]byte {
 	idx := addr / PageSize
-	p := m.pages[idx]
+	if idx >= physCoverPages {
+		return m.highPage(idx)
+	}
+	slot := &m.dir[idx>>physL2Bits]
+	leaf := slot.Load()
+	if leaf == nil {
+		leaf = new(physLeaf)
+		if !slot.CompareAndSwap(nil, leaf) {
+			leaf = slot.Load()
+		}
+	}
+	ps := &leaf[idx&(1<<physL2Bits-1)]
+	p := ps.Load()
 	if p == nil {
 		p = new([PageSize]byte)
-		m.pages[idx] = p
+		if ps.CompareAndSwap(nil, p) {
+			m.touched.Add(1)
+		} else {
+			p = ps.Load()
+		}
+	}
+	return p
+}
+
+// highPage serves the overflow map above the directory window.
+func (m *PhysMemory) highPage(idx uint64) *[PageSize]byte {
+	m.highMu.Lock()
+	defer m.highMu.Unlock()
+	p := m.high[idx]
+	if p == nil {
+		p = new([PageSize]byte)
+		m.high[idx] = p
+		m.touched.Add(1)
 	}
 	return p
 }
@@ -78,9 +148,19 @@ func (m *PhysMemory) ReadAt(addr uint64, buf []byte) error {
 	if err := m.check(addr, len(buf)); err != nil {
 		return err
 	}
+	locked := m.smp.Load()
 	for len(buf) > 0 {
 		p := m.page(addr)
 		off := addr % PageSize
+		if locked {
+			mu := &m.stripes[(addr/PageSize)%memStripes]
+			mu.Lock()
+			n := copy(buf, p[off:])
+			mu.Unlock()
+			buf = buf[n:]
+			addr += uint64(n)
+			continue
+		}
 		n := copy(buf, p[off:])
 		buf = buf[n:]
 		addr += uint64(n)
@@ -97,9 +177,19 @@ func (m *PhysMemory) WriteAt(addr uint64, buf []byte) error {
 	if err := m.check(addr, len(buf)); err != nil {
 		return err
 	}
+	locked := m.smp.Load()
 	for len(buf) > 0 {
 		p := m.page(addr)
 		off := addr % PageSize
+		if locked {
+			mu := &m.stripes[(addr/PageSize)%memStripes]
+			mu.Lock()
+			n := copy(p[off:], buf)
+			mu.Unlock()
+			buf = buf[n:]
+			addr += uint64(n)
+			continue
+		}
 		n := copy(p[off:], buf)
 		buf = buf[n:]
 		addr += uint64(n)
@@ -153,6 +243,7 @@ func (m *PhysMemory) Zero(addr uint64, n uint64) error {
 	if err := m.check(addr, int(n)); err != nil {
 		return err
 	}
+	locked := m.smp.Load()
 	for n > 0 {
 		p := m.page(addr)
 		off := addr % PageSize
@@ -160,8 +251,16 @@ func (m *PhysMemory) Zero(addr uint64, n uint64) error {
 		if c > n {
 			c = n
 		}
+		var mu *sync.Mutex
+		if locked {
+			mu = &m.stripes[(addr/PageSize)%memStripes]
+			mu.Lock()
+		}
 		for i := uint64(0); i < c; i++ {
 			p[off+i] = 0
+		}
+		if mu != nil {
+			mu.Unlock()
 		}
 		addr += c
 		n -= c
@@ -170,4 +269,4 @@ func (m *PhysMemory) Zero(addr uint64, n uint64) error {
 }
 
 // PagesTouched returns how many physical pages have materialized.
-func (m *PhysMemory) PagesTouched() int { return len(m.pages) }
+func (m *PhysMemory) PagesTouched() int { return int(m.touched.Load()) }

@@ -1,6 +1,9 @@
 package hw
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Page-table entry permission bits.
 const (
@@ -34,7 +37,12 @@ func (f *PageFault) Error() string {
 // §3.4: "Since the SVM mediates all memory mappings, it can ensure that
 // the memory pages given to it by the OS kernel are not accessible from
 // the kernel").
+//
+// The MMU is reached only from SVA-OS intrinsic paths (never the VM's
+// load/store hot path), so a single internal mutex keeps it SMP-safe at
+// no measurable cost.
 type MMU struct {
+	mu    sync.Mutex
 	table map[uint64]PTE // keyed by virtual page number
 	tlb   map[uint64]PTE
 	// Reserved pages may not be remapped by the guest: the SVM's own
@@ -53,6 +61,8 @@ func vpn(addr uint64) uint64 { return addr / PageSize }
 
 // Map installs a translation for the page containing vaddr.
 func (m *MMU) Map(vaddr, paddr uint64, perms int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	v := vpn(vaddr)
 	if m.reserved[v] {
 		return fmt.Errorf("mmu: page %#x is reserved by the SVM", vaddr&^(PageSize-1))
@@ -65,6 +75,8 @@ func (m *MMU) Map(vaddr, paddr uint64, perms int) error {
 
 // Unmap removes the translation for the page containing vaddr.
 func (m *MMU) Unmap(vaddr uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	v := vpn(vaddr)
 	if m.reserved[v] {
 		return fmt.Errorf("mmu: page %#x is reserved by the SVM", vaddr&^(PageSize-1))
@@ -77,6 +89,8 @@ func (m *MMU) Unmap(vaddr uint64) error {
 
 // Protect changes the permissions of an existing mapping.
 func (m *MMU) Protect(vaddr uint64, perms int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	v := vpn(vaddr)
 	pte, ok := m.table[v]
 	if !ok {
@@ -94,6 +108,8 @@ func (m *MMU) Protect(vaddr uint64, perms int) error {
 // Reserve marks the page containing vaddr as SVM-private: mapped with the
 // given physical page, inaccessible to further guest remapping.
 func (m *MMU) Reserve(vaddr, paddr uint64, perms int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	v := vpn(vaddr)
 	m.table[v] = PTE{Phys: paddr &^ (PageSize - 1), Perms: perms}
 	m.reserved[v] = true
@@ -103,6 +119,8 @@ func (m *MMU) Reserve(vaddr, paddr uint64, perms int) {
 // Translate maps a virtual address to a physical address, checking the
 // access kind and privilege.
 func (m *MMU) Translate(vaddr uint64, access int, user bool) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	v := vpn(vaddr)
 	pte, ok := m.tlb[v]
 	if ok {
@@ -129,12 +147,22 @@ func (m *MMU) Translate(vaddr uint64, access int, user bool) (uint64, error) {
 
 // Mapped reports whether the page containing vaddr has a translation.
 func (m *MMU) Mapped(vaddr uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	_, ok := m.table[vpn(vaddr)]
 	return ok
 }
 
 // FlushTLB clears the translation cache.
-func (m *MMU) FlushTLB() { m.tlb = map[uint64]PTE{} }
+func (m *MMU) FlushTLB() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tlb = map[uint64]PTE{}
+}
 
 // NumMappings returns the installed translation count.
-func (m *MMU) NumMappings() int { return len(m.table) }
+func (m *MMU) NumMappings() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.table)
+}

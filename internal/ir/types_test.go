@@ -1,6 +1,8 @@
 package ir
 
 import (
+	"fmt"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -47,7 +49,11 @@ func TestIntType(t *testing.T) {
 }
 
 func TestNamedStructRecursive(t *testing.T) {
-	node := NamedStruct("list_node_t")
+	// Named structs intern globally, and `go test -cpu=1,4` runs this test
+	// twice in one process — the name must be unique per invocation for
+	// the fresh-struct assertions to hold.
+	name := fmt.Sprintf("list_node_t_%d", namedStructSeq.Add(1))
+	node := NamedStruct(name)
 	if !node.Opaque() {
 		t.Fatal("fresh named struct should be opaque")
 	}
@@ -55,19 +61,21 @@ func TestNamedStructRecursive(t *testing.T) {
 	if node.Opaque() {
 		t.Fatal("struct still opaque after SetBody")
 	}
-	if NamedStruct("list_node_t") != node {
+	if NamedStruct(name) != node {
 		t.Error("named structs not interned by name")
 	}
 	if node.Field(1).Elem() != node {
 		t.Error("recursive field does not close the loop")
 	}
-	if got := node.String(); got != "%list_node_t" {
+	if got := node.String(); got != "%"+name {
 		t.Errorf("String() = %q", got)
 	}
-	if got := node.DefString(); got != "%list_node_t = {i64, %list_node_t*}" {
-		t.Errorf("DefString() = %q", got)
+	if got, want := node.DefString(), fmt.Sprintf("%%%s = {i64, %%%s*}", name, name); got != want {
+		t.Errorf("DefString() = %q, want %q", got, want)
 	}
 }
+
+var namedStructSeq atomic.Int64
 
 func TestTypeString(t *testing.T) {
 	cases := []struct {

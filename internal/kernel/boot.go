@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"sync"
 
 	"sva/internal/hw"
 	"sva/internal/ir"
@@ -60,6 +61,9 @@ type System struct {
 	// Extra holds the user modules loaded alongside the kernel.
 	Extra []*ir.Module
 	boots uint64
+	// vcpus holds every virtual CPU once RunSMP has enabled SMP
+	// (nil on a uniprocessor system).
+	vcpus []*vm.VM
 }
 
 // NewSystem builds the kernel, optionally safety-compiles it (ConfigSafe),
@@ -259,6 +263,169 @@ func (s *System) TaskPtr(pid int) (uint64, error) {
 		return 0, fmt.Errorf("kernel: pid %d has no task", pid)
 	}
 	return t, nil
+}
+
+// callKernel runs a kernel function serially on the boot CPU — host glue
+// playing the boot loader (smp_spawn, smp_finish).  Must not be called
+// while virtual CPUs are running.
+func (s *System) callKernel(name string, args ...uint64) (uint64, error) {
+	f := s.VM.FuncByName(name)
+	if f == nil {
+		return 0, fmt.Errorf("kernel: no function %s", name)
+	}
+	top, err := s.taskKStack(1)
+	if err != nil {
+		return 0, err
+	}
+	ex, err := s.VM.NewExec(f, args, top, hw.PrivKernel)
+	if err != nil {
+		return 0, err
+	}
+	s.VM.SetExec(ex)
+	s.VM.StepBudget = s.VM.Counters.Steps + 10_000_000
+	return s.VM.Run()
+}
+
+// SpawnSMP fabricates a user task running fn(arg), parked in the
+// TaskSMPReady state until RunSMP dispatches it to a virtual CPU.  Spawning
+// is serialized on the boot CPU: the stack free lists it manipulates are
+// guest globals with no cross-CPU discipline.
+func (s *System) SpawnSMP(fn *ir.Function, arg uint64) (uint64, error) {
+	addr := s.VM.FuncAddr(fn)
+	if addr == 0 {
+		return 0, fmt.Errorf("kernel: program %s not loaded", fn.Name())
+	}
+	pid, err := s.callKernel("smp_spawn", addr, arg)
+	if err != nil {
+		return 0, err
+	}
+	if int64(pid) < 0 {
+		return 0, fmt.Errorf("kernel: smp_spawn: errno %d", -int64(pid))
+	}
+	return pid, nil
+}
+
+// HostPanicError wraps a panic that escaped a virtual CPU's interpreter
+// during RunSMP.  Panics cannot cross goroutines, so the dispatch loop
+// absorbs them into this error; the fault campaign classifies it as a host
+// escape.
+type HostPanicError struct {
+	CPU int
+	Val any
+}
+
+func (e *HostPanicError) Error() string {
+	return fmt.Sprintf("host panic on vcpu %d: %v", e.CPU, e.Val)
+}
+
+// SMPRun is one virtual CPU's outcome from RunSMP.
+type SMPRun struct {
+	CPU      int
+	Pids     []uint64 // tasks this CPU claimed and ran, in order
+	Rets     []uint64 // their user-function return values
+	Err      error    // first failure (ends this CPU's dispatch loop)
+	Cycles   uint64   // virtual cycles this CPU consumed during the run
+	Syscalls uint64   // traps dispatched on this CPU during the run
+}
+
+// RunSMP dispatches every parked SMP task across ncpu virtual CPUs and
+// waits for all of them.  Each CPU's host goroutine loops: activate
+// smp_take, which CAS-claims one task from its static partition (pid mod
+// ncpu) and load.integers into it; the task's user function returning ends
+// the activation, and the loop re-enters smp_take until the partition
+// drains.  Completed tasks are reaped serially afterwards.  budget is the
+// per-activation step budget (0 = default).  The first call fixes the
+// machine's CPU count; later calls must pass the same ncpu.
+func (s *System) RunSMP(ncpu int, budget uint64) ([]SMPRun, error) {
+	if ncpu < 1 || ncpu > MaxCPUs {
+		return nil, fmt.Errorf("kernel: RunSMP with %d CPUs (max %d)", ncpu, MaxCPUs)
+	}
+	if s.vcpus == nil {
+		vcpus, err := s.VM.EnableSMP(ncpu)
+		if err != nil {
+			return nil, err
+		}
+		s.vcpus = vcpus
+	}
+	if len(s.vcpus) != ncpu {
+		return nil, fmt.Errorf("kernel: machine has %d CPUs, RunSMP asked for %d", len(s.vcpus), ncpu)
+	}
+	takeFn := s.VM.FuncByName("smp_take")
+	if takeFn == nil {
+		return nil, fmt.Errorf("kernel: no smp_take")
+	}
+	claimedBase, ok := s.VM.GlobalAddrByName("smp_claimed")
+	if !ok {
+		return nil, fmt.Errorf("kernel: no smp_claimed")
+	}
+	if budget == 0 {
+		budget = 500_000_000
+	}
+	// Dispatch-loop kernel stacks, allocated serially up front (the stack
+	// cursor lives on the boot VM and is not meant for concurrent use).
+	tops := make([]uint64, ncpu)
+	for i := range tops {
+		t, err := s.VM.AllocKernelStack(KStackSize)
+		if err != nil {
+			return nil, err
+		}
+		tops[i] = t
+	}
+	runs := make([]SMPRun, ncpu)
+	var wg sync.WaitGroup
+	for i := 0; i < ncpu; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v := s.vcpus[i]
+			r := &runs[i]
+			r.CPU = i
+			startCyc, startTraps := v.CPU.Cycles, v.Counters.Traps
+			for {
+				ex, err := v.NewExec(takeFn, []uint64{uint64(i), uint64(ncpu)}, tops[i], hw.PrivKernel)
+				if err != nil {
+					r.Err = err
+					break
+				}
+				v.SetExec(ex)
+				v.StepBudget = v.Counters.Steps + budget
+				ret, err := func() (ret uint64, err error) {
+					defer func() {
+						if rec := recover(); rec != nil {
+							err = &HostPanicError{CPU: i, Val: rec}
+						}
+					}()
+					return v.Run()
+				}()
+				if err != nil {
+					r.Err = err
+					break
+				}
+				claimed, err := s.VM.Mach.Phys.Load(claimedBase+uint64(i)*8, 8)
+				if err != nil {
+					r.Err = err
+					break
+				}
+				if claimed == 0 {
+					break // partition drained: smp_take found nothing
+				}
+				r.Pids = append(r.Pids, claimed)
+				r.Rets = append(r.Rets, ret)
+			}
+			r.Cycles = v.CPU.Cycles - startCyc
+			r.Syscalls = v.Counters.Traps - startTraps
+		}(i)
+	}
+	wg.Wait()
+	// Reap on the boot CPU, strictly after every dispatcher has joined.
+	for _, r := range runs {
+		for _, pid := range r.Pids {
+			if _, err := s.callKernel("smp_finish", pid); err != nil {
+				return runs, err
+			}
+		}
+	}
+	return runs, nil
 }
 
 // PeekGlobal reads an i64 kernel global (tests and the exploit harness).

@@ -103,6 +103,9 @@ const (
 const (
 	KStackSize = 64 * 1024
 	StateBufSz = 64 // opaque integer-state handle buffer
+	// MaxCPUs bounds the per-CPU data arrays (current_task, sched_target,
+	// smp_claimed).  It matches vm.MaxVCPUs; slot 0 is the boot processor.
+	MaxCPUs = 8
 )
 
 // File type constants.
@@ -121,6 +124,9 @@ const (
 	TaskVfork    = 3 // parent suspended until child exec/exit
 	TaskBlocked  = 4 // pipe I/O
 	TaskZombie   = 5
+	// TaskSMPReady marks a task fabricated by smp_spawn and parked until an
+	// idle virtual CPU claims it with a compare-and-swap (smp_take).
+	TaskSMPReady = 6
 	TaskFree     = 0
 )
 
@@ -311,11 +317,15 @@ var progNameLen = 24
 
 // defineGlobals declares globals shared across subsystems.
 func (k *K) defineGlobals() {
-	k.Current = k.global("current_task", ir.PointerTo(k.TaskT), nil, SubCore)
+	// current_task and sched_target are per-CPU arrays indexed by
+	// sva.cpu.id.  Slot 0 sits at the global's base address, so the host
+	// boot loader's uniprocessor pokes (which write the bare symbol) keep
+	// addressing the boot processor unchanged.
+	k.Current = k.global("current_task", ir.ArrayOf(MaxCPUs, ir.PointerTo(k.TaskT)), nil, SubCore)
 	k.Ledger.Analysis[SubCore]++ // §6.3: current-task global instead of stack masking
 	k.PidTable = k.global("pid_table", ir.ArrayOf(NumPids, ir.PointerTo(k.TaskT)), nil, SubCore)
 	k.NextPid = k.global("next_pid", ir.I64, c64(2), SubCore)
-	k.SchedTgt = k.global("sched_target", ir.PointerTo(k.TaskT), nil, SubCore)
+	k.SchedTgt = k.global("sched_target", ir.ArrayOf(MaxCPUs, ir.PointerTo(k.TaskT)), nil, SubCore)
 	k.Resuming = k.global("sched_resuming", ir.I64, c64(0), SubCore)
 	k.ConsFops = k.global("console_fops", k.FopsT, nil, SubFS)
 	k.BlkFops = k.global("blkdev_fops", k.FopsT, nil, SubFS)
@@ -344,6 +354,22 @@ func (k *K) fn(name, subsystem string, ret *ir.Type, params []*ir.Type, names ..
 func (k *K) op(name string, args ...ir.Value) *ir.Instr {
 	k.Ledger.SVAOS[k.B.Fn.Subsystem]++
 	return k.B.Call(svaops.Get(k.M, name), args...)
+}
+
+// Cur returns the address of the calling CPU's current_task slot.  Per-CPU
+// data is reached through sva.cpu.id — the SMP port's substitute for the
+// %gs-relative current of a native kernel.  The id is masked with
+// MaxCPUs-1 (a no-op: the VM guarantees id < MaxCPUs) so the safe
+// config's static array-bounds analysis can prove the index in bounds
+// instead of charging a run-time check to every syscall.
+func (k *K) Cur() ir.Value { return k.B.Index(k.Current, k.cpuSlot()) }
+
+// Sched returns the address of the calling CPU's sched_target slot.
+func (k *K) Sched() ir.Value { return k.B.Index(k.SchedTgt, k.cpuSlot()) }
+
+// cpuSlot emits the masked per-CPU array index.
+func (k *K) cpuSlot() ir.Value {
+	return k.B.And(k.op(svaops.CPUID), c64(MaxCPUs-1))
 }
 
 // c64/c32 shorthand constants.

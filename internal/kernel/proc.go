@@ -138,7 +138,7 @@ func (k *K) buildProc() {
 	// pick_next() -> next runnable task (round robin from current pid),
 	// or null when nothing is runnable.
 	k.fn("pick_next", SubCore, taskP, nil)
-	curT := b.Load(k.Current)
+	curT := b.Load(k.Cur())
 	curPid := b.Load(b.FieldAddr(curT, 0))
 	b.For("i", c64(1), c64(NumPids+1), c64(1), func(i ir.Value) {
 		pid2 := b.Add(curPid, i)
@@ -164,15 +164,15 @@ func (k *K) buildProc() {
 	b.If(none, func() {
 		// Nothing runnable.  If the caller itself is runnable, keep going;
 		// a fully blocked system is a guest deadlock.
-		curOK := b.ICmp(ir.PredEQ, b.Load(b.FieldAddr(b.Load(k.Current), 1)), c64(TaskRunnable))
+		curOK := b.ICmp(ir.PredEQ, b.Load(b.FieldAddr(b.Load(k.Cur()), 1)), c64(TaskRunnable))
 		b.If(curOK, func() { b.Ret(nil) })
 		k.op(svaops.Halt, c64(111)) // deadlock marker
 		b.Ret(nil)
 	})
-	same := b.ICmp(ir.PredEQ, b.PtrToInt(next, ir.I64), b.PtrToInt(b.Load(k.Current), ir.I64))
+	same := b.ICmp(ir.PredEQ, b.PtrToInt(next, ir.I64), b.PtrToInt(b.Load(k.Cur()), ir.I64))
 	b.If(same, func() { b.Ret(nil) })
-	b.Store(next, k.SchedTgt)
-	me := b.Load(k.Current)
+	b.Store(next, k.Sched())
+	me := b.Load(k.Cur())
 	stbuf := b.Bitcast(b.FieldAddr(me, 4), bp)
 	// Lazy FP save (§3.3): only written if the FP unit was touched since
 	// the last load, so integer-only switches stay cheap.
@@ -181,12 +181,12 @@ func (k *K) buildProc() {
 	// Snapshot path: sched_target != current.  Resume path: whoever loaded
 	// us stored us into both current and sched_target.
 	resumed := b.ICmp(ir.PredEQ,
-		b.PtrToInt(b.Load(k.SchedTgt), ir.I64),
-		b.PtrToInt(b.Load(k.Current), ir.I64))
+		b.PtrToInt(b.Load(k.Sched()), ir.I64),
+		b.PtrToInt(b.Load(k.Cur()), ir.I64))
 	b.If(resumed, func() { b.Ret(nil) })
-	tgt := b.Load(k.SchedTgt)
-	b.Store(tgt, k.Current)
-	b.Store(tgt, k.SchedTgt)
+	tgt := b.Load(k.Sched())
+	b.Store(tgt, k.Cur())
+	b.Store(tgt, k.Sched())
 	k.op(svaops.SetKStack, b.Load(b.FieldAddr(tgt, 3)))
 	k.op(svaops.LoadFP, b.Bitcast(b.FieldAddr(tgt, 4), bp))
 	k.op(svaops.LoadInteger, b.Bitcast(b.FieldAddr(tgt, 4), bp))
@@ -194,7 +194,7 @@ func (k *K) buildProc() {
 
 	// do_exit(code): terminate the current task.
 	k.fn("do_exit", SubCore, ir.Void, []*ir.Type{ir.I64}, "code")
-	me2 := b.Load(k.Current)
+	me2 := b.Load(k.Cur())
 	b.Store(b.Param(0), b.FieldAddr(me2, 6))
 	b.Store(c64(TaskZombie), b.FieldAddr(me2, 1))
 	// Close every open file.
@@ -245,7 +245,7 @@ func (k *K) buildProc() {
 	// --- syscalls ---------------------------------------------------------
 
 	k.syscall("sys_getpid", SubCore)
-	b.Ret(b.Load(b.FieldAddr(b.Load(k.Current), 0)))
+	b.Ret(b.Load(b.FieldAddr(b.Load(k.Cur()), 0)))
 
 	k.syscall("sys_yield", SubCore)
 	b.Call(k.M.Func("schedule"))
@@ -260,7 +260,7 @@ func (k *K) buildProc() {
 	child := b.Call(k.M.Func("task_alloc"))
 	nomem := b.ICmp(ir.PredEQ, b.PtrToInt(child, ir.I64), c64(0))
 	b.If(nomem, func() { b.Ret(errno(ENOMEM)) })
-	me3 := b.Load(k.Current)
+	me3 := b.Load(k.Cur())
 	b.Store(b.Load(b.FieldAddr(me3, 0)), b.FieldAddr(child, 2)) // parent pid
 	// Share open files (bump refcounts).
 	b.For("fd", c64(0), c64(NumFiles), c64(1), func(fd ir.Value) {
@@ -303,7 +303,7 @@ func (k *K) buildProc() {
 	fnaddr := b.Call(k.M.Func("prog_lookup"), nb)
 	noent := b.ICmp(ir.PredEQ, fnaddr, c64(0))
 	b.If(noent, func() { b.Ret(errno(ENOENT)) })
-	me4 := b.Load(k.Current)
+	me4 := b.Load(k.Cur())
 	// The old image's stack and heap arena are dead once the new image
 	// replaces the interrupted context; recycle them.
 	b.Call(k.M.Func("user_stack_free"), b.Load(b.FieldAddr(me4, 11)))
@@ -326,7 +326,7 @@ func (k *K) buildProc() {
 	// sys_waitpid(icp, pid): reap a zombie child (pid<=0: any child).
 	k.syscall("sys_waitpid", SubCore)
 	b.Loop(func() {
-		me5 := b.Load(k.Current)
+		me5 := b.Load(k.Cur())
 		myPid := b.Load(b.FieldAddr(me5, 0))
 		foundChild := b.Alloca(ir.I64, "haschild")
 		b.Store(c64(0), foundChild)
@@ -359,14 +359,14 @@ func (k *K) buildProc() {
 		})
 		none2 := b.ICmp(ir.PredEQ, b.Load(foundChild), c64(0))
 		b.If(none2, func() { b.Ret(errno(ECHILD)) })
-		b.Store(c64(TaskWaiting), b.FieldAddr(b.Load(k.Current), 1))
+		b.Store(c64(TaskWaiting), b.FieldAddr(b.Load(k.Cur()), 1))
 		b.Call(k.M.Func("schedule"))
 	})
 	b.Seal()
 
 	// sys_brk(icp, incr): classic sbrk.  Returns the old break.
 	k.syscall("sys_brk", SubCore)
-	me6 := b.Load(k.Current)
+	me6 := b.Load(k.Cur())
 	base := b.Load(b.FieldAddr(me6, 9))
 	lazy := b.ICmp(ir.PredEQ, base, c64(0))
 	b.If(lazy, func() {
@@ -390,7 +390,7 @@ func (k *K) buildProc() {
 	ru := b.Alloca(ir.ArrayOf(4, ir.I64), "ru")
 	cyc := k.op(svaops.Cycles)
 	b.Store(cyc, b.Index(ru, c32(0)))
-	me7 := b.Load(k.Current)
+	me7 := b.Load(k.Cur())
 	b.Store(b.Load(b.FieldAddr(me7, 13)), b.Index(ru, c32(1)))
 	b.Store(b.Load(b.FieldAddr(me7, 0)), b.Index(ru, c32(2)))
 	b.Store(c64(0), b.Index(ru, c32(3)))
@@ -420,7 +420,77 @@ func (k *K) buildProc() {
 	b.Store(c64(TaskRunnable), b.FieldAddr(t0, 1))
 	b.Store(b.Param(0), b.FieldAddr(t0, 3))
 	b.Store(t0, b.Index(k.PidTable, c64(1)))
-	b.Store(t0, k.Current)
-	b.Store(t0, k.SchedTgt)
+	b.Store(t0, k.Cur())
+	b.Store(t0, k.Sched())
 	b.Ret(nil)
+
+	// --- SMP dispatch (DESIGN.md §13) -------------------------------------
+	//
+	// The host boot loader calls smp_spawn serially on the boot CPU to park
+	// TaskSMPReady tasks, then runs smp_take concurrently on every virtual
+	// CPU.  The only cross-CPU handoff is the compare-and-swap claim on the
+	// task-state field; stack and pid-table recycling (smp_spawn, smp_finish)
+	// stay serialized on the boot CPU, so the free lists never race.
+
+	smpClaimed := k.global("smp_claimed", ir.ArrayOf(MaxCPUs, ir.I64), nil, SubArchDep)
+
+	// smp_spawn(fnaddr, arg) -> pid: fabricate a user task running
+	// fnaddr(arg) on fresh stacks, parked in the SMPReady state.
+	k.fn("smp_spawn", SubArchDep, ir.I64, []*ir.Type{ir.I64, ir.I64}, "fnaddr", "arg")
+	st := b.Call(k.M.Func("task_alloc"))
+	snull := b.ICmp(ir.PredEQ, b.PtrToInt(st, ir.I64), c64(0))
+	b.If(snull, func() { b.Ret(errno(ENOMEM)) })
+	b.Store(c64(1), b.FieldAddr(st, 2)) // child of the boot task
+	sustk := b.Call(k.M.Func("user_stack_alloc"))
+	b.Store(sustk, b.FieldAddr(st, 11))
+	k.op(svaops.InitUserState,
+		b.Bitcast(b.FieldAddr(st, 4), bp),
+		b.IntToPtr(b.Param(0), bp),
+		b.Param(1),
+		sustk,
+		b.Load(b.FieldAddr(st, 3)))
+	b.Store(c64(TaskSMPReady), b.FieldAddr(st, 1))
+	b.Ret(b.Load(b.FieldAddr(st, 0)))
+
+	// smp_take(cpu, ncpu): claim one parked task from this CPU's static
+	// partition (pid mod ncpu) and switch into it.  The claim is a CAS on
+	// the state field, so two CPUs scanning concurrently can never run the
+	// same task.  Returns 0 with smp_claimed[cpu] == 0 when the partition
+	// is drained; otherwise load.integer switches away and the claimed
+	// task's completion returns to the host boot loader, which re-invokes
+	// smp_take — the idle loop lives host-side, one guest activation per
+	// dispatched task.
+	k.fn("smp_take", SubArchDep, ir.I64, []*ir.Type{ir.I64, ir.I64}, "cpu", "ncpu")
+	b.Store(c64(0), b.Index(smpClaimed, b.And(b.Param(0), c64(MaxCPUs-1))))
+	b.For("pid", c64(2), c64(NumPids), c64(1), func(pid ir.Value) {
+		mine := b.ICmp(ir.PredEQ, b.SRem(pid, b.Param(1)), b.SRem(b.Param(0), b.Param(1)))
+		b.If(mine, func() {
+			ct := b.Load(b.Index(k.PidTable, pid))
+			has := b.ICmp(ir.PredNE, b.PtrToInt(ct, ir.I64), c64(0))
+			b.If(has, func() {
+				old := b.CmpXchg(b.FieldAddr(ct, 1), c64(TaskSMPReady), c64(TaskRunnable))
+				won := b.ICmp(ir.PredEQ, old, c64(TaskSMPReady))
+				b.If(won, func() {
+					b.Store(ct, k.Cur())
+					b.Store(ct, k.Sched())
+					b.Store(b.Load(b.FieldAddr(ct, 0)), b.Index(smpClaimed, b.And(b.Param(0), c64(MaxCPUs-1))))
+					k.op(svaops.LoadInteger, b.Bitcast(b.FieldAddr(ct, 4), bp))
+					b.Ret(c64(0)) // unreachable: load.integer switches away
+				})
+			})
+		})
+	})
+	b.Ret(c64(0))
+
+	// smp_finish(pid): reap a completed SMP task (boot CPU, after join).
+	k.fn("smp_finish", SubArchDep, ir.I64, []*ir.Type{ir.I64}, "pid")
+	ft := b.Call(k.M.Func("find_task"), b.Param(0))
+	fnull := b.ICmp(ir.PredEQ, b.PtrToInt(ft, ir.I64), c64(0))
+	b.If(fnull, func() { b.Ret(errno(ESRCH)) })
+	b.Call(k.M.Func("kstack_free"), b.Load(b.FieldAddr(ft, 3)))
+	b.Call(k.M.Func("user_stack_free"), b.Load(b.FieldAddr(ft, 11)))
+	b.Call(k.M.Func("user_arena_free"), b.Load(b.FieldAddr(ft, 9)))
+	b.Store(ir.Null(taskP), b.Index(k.PidTable, b.Param(0)))
+	b.Call(k.M.Func("kmem_cache_free"), b.Load(taskCache), b.Bitcast(ft, bp))
+	b.Ret(c64(0))
 }

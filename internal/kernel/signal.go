@@ -17,7 +17,7 @@ func (k *K) buildSignal() {
 	// deliver_signals(icp): push a handler call for every pending signal
 	// of the current task onto the interrupted context.
 	k.fn("deliver_signals", SubCore, ir.Void, []*ir.Type{ir.I64}, "icp")
-	me := b.Load(k.Current)
+	me := b.Load(k.Cur())
 	pend := b.FieldAddr(me, 8)
 	b.For("sig", c64(0), c64(NumSigs), c64(1), func(sig ir.Value) {
 		mask := b.Shl(c64(1), sig)
@@ -41,7 +41,7 @@ func (k *K) buildSignal() {
 		b.ZExt(b.ICmp(ir.PredSGE, b.Param(1), c64(NumSigs)), ir.I64))
 	isBad := b.ICmp(ir.PredNE, badSig, c64(0))
 	b.If(isBad, func() { b.Ret(errno(EINVAL)) })
-	me2 := b.Load(k.Current)
+	me2 := b.Load(k.Cur())
 	slot := b.Index(b.FieldAddr(me2, 7), b.Param(1))
 	old := b.Load(slot)
 	b.Store(b.Param(2), slot)
@@ -60,7 +60,7 @@ func (k *K) buildSignal() {
 	b.If(noT, func() { b.Ret(errno(ESRCH)) })
 	pend2 := b.FieldAddr(t, 8)
 	b.Store(b.Or(b.Load(pend2), b.Shl(c64(1), b.Param(2))), pend2)
-	isSelf := b.ICmp(ir.PredEQ, b.PtrToInt(t, ir.I64), b.PtrToInt(b.Load(k.Current), ir.I64))
+	isSelf := b.ICmp(ir.PredEQ, b.PtrToInt(t, ir.I64), b.PtrToInt(b.Load(k.Cur()), ir.I64))
 	b.If(isSelf, func() {
 		b.Call(k.M.Func("deliver_signals"), b.Param(0))
 	})

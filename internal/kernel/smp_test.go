@@ -1,0 +1,154 @@
+package kernel
+
+import (
+	"fmt"
+	"testing"
+
+	"sva/internal/ir"
+	"sva/internal/userland"
+	"sva/internal/vm"
+)
+
+// smpModule builds the dispatch-test worker: it loops Param(0) times over
+// getpid and returns its own pid, so every SMPRun return value self-reports
+// which task the virtual CPU actually ran.
+func smpModule() *userland.U {
+	u := userland.New("smptest")
+	b := u.B
+	u.Prog("smp_probe")
+	pid := b.Alloca(ir.I64, "pid")
+	b.For("i", ir.I64c(0), b.Param(0), ir.I64c(1), func(i ir.Value) {
+		b.Store(u.GetPID(), pid)
+	})
+	b.Ret(b.Load(pid))
+	u.SealAll()
+	return u
+}
+
+// bootSMP boots a fresh system with tasks spawned smp_probe workers parked
+// and ready to dispatch.
+func bootSMP(t *testing.T, cfg vm.Config, tasks int, iters uint64) (*System, []uint64) {
+	t.Helper()
+	u := smpModule()
+	sys, err := NewSystem(cfg, true, u.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := u.M.Func("smp_probe")
+	pids := make([]uint64, tasks)
+	for i := range pids {
+		pid, err := sys.SpawnSMP(fn, iters)
+		if err != nil {
+			t.Fatalf("spawn %d: %v", i, err)
+		}
+		pids[i] = pid
+	}
+	return sys, pids
+}
+
+// TestSMPDispatch checks the dispatch protocol at every supported VCPU
+// count: each spawned task is claimed exactly once, only by a CPU in its
+// static partition, and the worker's getpid loop observes its own pid.
+func TestSMPDispatch(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("%dvcpu", n), func(t *testing.T) {
+			const tasks = 8
+			sys, spawned := bootSMP(t, vm.ConfigSafe, tasks, 10)
+			runs, err := sys.RunSMP(n, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := map[uint64]int{}
+			for _, r := range runs {
+				if r.Err != nil {
+					t.Fatalf("vcpu %d: %v", r.CPU, r.Err)
+				}
+				for j, pid := range r.Pids {
+					seen[pid]++
+					if pid%uint64(n) != uint64(r.CPU%n) {
+						t.Errorf("vcpu %d claimed pid %d outside its partition", r.CPU, pid)
+					}
+					if r.Rets[j] != pid {
+						t.Errorf("pid %d: worker returned %d, want its own pid", pid, r.Rets[j])
+					}
+				}
+			}
+			for _, pid := range spawned {
+				if seen[pid] != 1 {
+					t.Errorf("pid %d dispatched %d times, want exactly once", pid, seen[pid])
+				}
+			}
+			if len(seen) != tasks {
+				t.Errorf("dispatched %d distinct tasks, want %d", len(seen), tasks)
+			}
+		})
+	}
+}
+
+// TestSMPDeterminism runs the same workload twice at 4 VCPUs and requires
+// identical per-CPU virtual cycle and syscall counts: scheduling is in
+// virtual time, so host goroutine interleaving must not leak into results.
+func TestSMPDeterminism(t *testing.T) {
+	measure := func() []SMPRun {
+		sys, _ := bootSMP(t, vm.ConfigSafe, 8, 25)
+		runs, err := sys.RunSMP(4, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runs
+	}
+	a, b := measure(), measure()
+	for i := range a {
+		if a[i].Cycles != b[i].Cycles || a[i].Syscalls != b[i].Syscalls {
+			t.Errorf("vcpu %d: run1 (cyc=%d sc=%d) != run2 (cyc=%d sc=%d)",
+				i, a[i].Cycles, a[i].Syscalls, b[i].Cycles, b[i].Syscalls)
+		}
+	}
+}
+
+// TestSMPReap checks that smp_finish returned every task's resources: after
+// a full dispatch+reap cycle a second full spawn round must succeed (the
+// pid table and kernel/user stacks were actually freed).
+func TestSMPReap(t *testing.T) {
+	u := smpModule()
+	sys, err := NewSystem(vm.ConfigSafe, true, u.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := u.M.Func("smp_probe")
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 8; i++ {
+			if _, err := sys.SpawnSMP(fn, 5); err != nil {
+				t.Fatalf("round %d spawn %d: %v", round, i, err)
+			}
+		}
+		runs, err := sys.RunSMP(2, 0)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		got := 0
+		for _, r := range runs {
+			got += len(r.Pids)
+		}
+		if got != 8 {
+			t.Fatalf("round %d dispatched %d tasks, want 8", round, got)
+		}
+	}
+}
+
+// TestSMPUniprocessorUnchanged pins the shared==nil invariant: a system
+// that never calls RunSMP with n>1 reports exactly one VCPU and keeps the
+// boot VM as CPU 0.
+func TestSMPUniprocessorUnchanged(t *testing.T) {
+	sys, _ := bootSMP(t, vm.ConfigSafe, 2, 5)
+	if _, err := sys.RunSMP(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	vcpus := sys.VM.VCPUs()
+	if len(vcpus) != 1 || vcpus[0] != sys.VM {
+		t.Errorf("uniprocessor run grew %d VCPUs, want just the boot VM", len(vcpus))
+	}
+	if id := sys.VM.CPUID(); id != 0 {
+		t.Errorf("boot VM CPUID = %d, want 0", id)
+	}
+}

@@ -172,7 +172,7 @@ func (k *K) buildVFS() {
 
 	// fd_install(file) -> fd or -EMFILE.
 	k.fn("fd_install", SubFS, ir.I64, []*ir.Type{fileP}, "file")
-	cur := b.Load(k.Current)
+	cur := b.Load(k.Cur())
 	b.For("fd", c64(0), c64(NumFiles), c64(1), func(fd ir.Value) {
 		slot := b.Index(b.FieldAddr(cur, 5), fd)
 		empty := b.ICmp(ir.PredEQ, b.PtrToInt(b.Load(slot), ir.I64), c64(0))
@@ -189,7 +189,7 @@ func (k *K) buildVFS() {
 		b.ZExt(b.ICmp(ir.PredSGE, b.Param(0), c64(NumFiles)), ir.I64))
 	isBad := b.ICmp(ir.PredNE, bad, c64(0))
 	b.If(isBad, func() { b.Ret(ir.Null(fileP)) })
-	cur2 := b.Load(k.Current)
+	cur2 := b.Load(k.Cur())
 	b.Ret(b.Load(b.Index(b.FieldAddr(cur2, 5), b.Param(0))))
 
 	// file_close(file): drop a reference; on last close call the release
@@ -267,7 +267,7 @@ func (k *K) buildVFS() {
 	file := b.Call(k.M.Func("fd_get"), b.Param(1))
 	badfd := b.ICmp(ir.PredEQ, b.PtrToInt(file, ir.I64), c64(0))
 	b.If(badfd, func() { b.Ret(errno(EBADF)) })
-	cur3 := b.Load(k.Current)
+	cur3 := b.Load(k.Cur())
 	b.Store(ir.Null(fileP), b.Index(b.FieldAddr(cur3, 5), b.Param(1)))
 	b.Ret(b.Call(k.M.Func("file_close"), file))
 

@@ -51,7 +51,7 @@ func TestSplayCorruptionFailsClosed(t *testing.T) {
 		if !errors.As(err, &v) {
 			t.Errorf("seed %d: unstructured error %v", seed, err)
 		}
-		if p.Quarantined {
+		if p.IsQuarantined() {
 			// Once quarantined, every later check fails closed too.
 			if err := p.LoadStoreCheck(base); err == nil {
 				t.Errorf("seed %d: quarantined pool passed a load/store check", seed)
@@ -68,7 +68,7 @@ func TestQuarantineIdempotent(t *testing.T) {
 	// modes degrade to lookup misses instead.
 	var r *Registry
 	var p *Pool
-	for seed := uint64(1); seed <= 32 && (p == nil || !p.Quarantined); seed++ {
+	for seed := uint64(1); seed <= 32 && (p == nil || !p.IsQuarantined()); seed++ {
 		r = NewRegistry()
 		p = NewPool("MPQ", false, true, 0)
 		r.AddPool(p)
@@ -81,7 +81,7 @@ func TestQuarantineIdempotent(t *testing.T) {
 		_ = p.LoadStoreCheck(0x2000)
 		p.chaos = nil
 	}
-	if !p.Quarantined {
+	if !p.IsQuarantined() {
 		t.Fatal("no seed in 1..32 produced a quarantining corruption")
 	}
 	v1 := p.Stats.Violations
@@ -115,7 +115,7 @@ func TestChaosDisarmedIsInert(t *testing.T) {
 			t.Fatalf("disarmed pool violated: %v", err)
 		}
 	}
-	if p.Quarantined {
+	if p.IsQuarantined() {
 		t.Error("disarmed pool quarantined itself")
 	}
 }

@@ -5,10 +5,27 @@
 // load-store checks on non-type-homogeneous pools, and indirect call
 // checks — plus object registration/deregistration (pchk.reg.obj /
 // pchk.drop.obj).
+//
+// Lookup fast path: a two-level shadow page map (pagemap.go) resolves the
+// common cases in O(1) without touching the tree; the splay tree is the
+// slow path for pages shared by several objects and the oracle the
+// equivalence tests compare against.
+//
+// Concurrency: pools are shared by every virtual CPU of an SMP guest.  The
+// lookup path is read-mostly concurrent — page-map reads are lock-free,
+// per-VCPU statistics shards and last-hit caches are owner-written, and
+// only the slow path and the registration path take the pool's write
+// mutex.  Checks deliberately run unserialized against registration: a
+// guest that races an access against a free gets a racy verdict, exactly
+// as it would on SMP hardware; a guest whose accesses are ordered by its
+// own locks (which the SVM executes with host happens-before edges)
+// always sees the current object set.
 package metapool
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"sva/internal/faultinject"
 	"sva/internal/splay"
@@ -76,6 +93,16 @@ func (v *Violation) Error() string {
 // one type.
 type Stats = telemetry.CheckStats
 
+// hitCache is one VCPU's last-hit cache: the most recently found objects,
+// most recent first.  Each cache is written only by its owning VCPU;
+// invalidation is by generation — a mutation of the object set bumps the
+// pool epoch, and a cache whose recorded epoch is stale starts empty.
+type hitCache struct {
+	epoch uint64
+	n     int
+	r     [2]splay.Range
+}
+
 // Pool is one run-time metapool.
 type Pool struct {
 	Name string
@@ -89,16 +116,31 @@ type Pool struct {
 	// ElemSize is the object element size for TH pools (0 otherwise).
 	ElemSize uint64
 
+	// mu guards the splay tree, maxObj, and all page-map mutation.  The
+	// lookup fast path never takes it.
+	mu      sync.Mutex
 	objects splay.Tree
 
-	// lastHit is the per-pool last-hit cache in front of the splay tree
-	// (the §7.1.3 per-check-site cache, hoisted to the pool): the most
-	// recently found objects, most recent first.  Entries are invalidated
-	// whenever the object set changes.  nCached is the live entry count.
-	lastHit [2]splay.Range
-	nCached int
-	// NoCache disables the last-hit cache, forcing every lookup through
-	// the splay tree (used to benchmark the uncached path).
+	// pm is the O(1) shadow page map in front of the tree; unmapped
+	// counts objects it cannot represent (while nonzero, a page-map miss
+	// is not definitive).  epoch is the object-set generation used to
+	// invalidate the per-VCPU last-hit caches.
+	pm       pageMap
+	unmapped atomic.Uint64
+	epoch    atomic.Uint64
+	// NoPageMap disables the page-map fast path, forcing every lookup
+	// through the last-hit cache and splay tree (the splay-only
+	// configuration the equivalence property test and the lookup
+	// microbenchmark compare against).
+	NoPageMap bool
+
+	// cache0 is VCPU 0's last-hit cache (always present, so single-CPU
+	// pools allocate nothing extra); caches holds one per VCPU once
+	// setVCPUs ran.
+	cache0 hitCache
+	caches []*hitCache
+	// NoCache disables the last-hit cache, forcing every slow-path lookup
+	// through the splay tree (used to benchmark the uncached path).
 	NoCache bool
 
 	// trace, when set, receives pool lifecycle events (cold paths only:
@@ -107,27 +149,76 @@ type Pool struct {
 
 	// chaos, when set, is the fault injector consulted on splay lookups
 	// (ClassSplay corrupts a node's metadata in place).  nil in production;
-	// the hook costs one pointer compare.
+	// the hook costs one pointer compare.  While armed, every lookup takes
+	// the slow path: in-place node corruption bypasses the page map, so
+	// the page map must not answer for a possibly-diverged tree.
 	chaos *faultinject.Injector
 	// maxObj is the largest object length ever registered: the redundancy
-	// that lets find() recognize grow-corruptions of a splay node.
+	// that lets the slow path recognize grow-corruptions of a splay node.
 	maxObj uint64
-	// Quarantined is set once check metadata fails validation; from then
+	// quarantined is set once check metadata fails validation; from then
 	// on every check fails closed with a MetadataCorruption violation.
-	Quarantined bool
+	quarantined atomic.Bool
 
 	// userLo/userHi: if set, all of userspace is treated as one registered
-	// object of this pool (paper §4.6).
+	// object of this pool (paper §4.6).  Written during setup only.
 	userLo, userHi uint64
 	hasUser        bool
 
-	Stats Stats
+	// Stats is VCPU 0's statistics shard (and the only one before
+	// setVCPUs); shards holds one per VCPU.  Each shard is written only
+	// by its owning VCPU; snapshots merge them.
+	Stats  Stats
+	shards []*Stats
 }
 
 // NewPool creates a metapool.
 func NewPool(name string, typeHomogeneous, complete bool, elemSize uint64) *Pool {
 	return &Pool{Name: name, TypeHomogeneous: typeHomogeneous, Complete: complete, ElemSize: elemSize}
 }
+
+// setVCPUs sizes the per-VCPU statistics shards and last-hit caches.
+// Must be called before the VCPUs start running.
+func (p *Pool) setVCPUs(n int) {
+	for len(p.shards) < n {
+		if len(p.shards) == 0 {
+			p.shards = append(p.shards, &p.Stats)
+			p.caches = append(p.caches, &p.cache0)
+			continue
+		}
+		p.shards = append(p.shards, &Stats{})
+		p.caches = append(p.caches, &hitCache{})
+	}
+}
+
+// stats returns cpu's statistics shard (VCPU 0 is the embedded Stats).
+func (p *Pool) stats(cpu int) *Stats {
+	if cpu > 0 && cpu < len(p.shards) {
+		return p.shards[cpu]
+	}
+	return &p.Stats
+}
+
+// cache returns cpu's last-hit cache.
+func (p *Pool) cache(cpu int) *hitCache {
+	if cpu > 0 && cpu < len(p.caches) {
+		return p.caches[cpu]
+	}
+	return &p.cache0
+}
+
+// mergedStats sums the per-VCPU shards into one view of the pool.
+func (p *Pool) mergedStats() Stats {
+	s := p.Stats
+	for i := 1; i < len(p.shards); i++ {
+		s.Add(*p.shards[i])
+	}
+	return s
+}
+
+// IsQuarantined reports whether the pool's metadata was found corrupt
+// (every check fails closed from then on).
+func (p *Pool) IsQuarantined() bool { return p.quarantined.Load() }
 
 // RegisterUserSpace marks [lo, hi) — the whole of user-space memory — as a
 // single valid object of the pool.
@@ -142,43 +233,89 @@ func (p *Pool) userRange(addr uint64) (splay.Range, bool) {
 	return splay.Range{}, false
 }
 
-// find looks up the object containing addr through the last-hit cache,
-// falling back to the splay tree on a miss.  Cached entries are live
-// objects, so a hit needs no tree access at all — this is what made the
-// extended Jones–Kelly checks practical in SAFECode and is the paper's
-// §7.1.3 planned check optimization.
-func (p *Pool) find(addr uint64) (splay.Range, bool) {
-	if p.Quarantined {
+// find looks up the object containing addr on behalf of VCPU 0.
+func (p *Pool) find(addr uint64) (splay.Range, bool) { return p.findCPU(0, addr) }
+
+// findCPU looks up the object containing addr.  The page map answers the
+// common cases in O(1) without locks; everything else goes through cpu's
+// last-hit cache and then the splay tree under the pool mutex.
+func (p *Pool) findCPU(cpu int, addr uint64) (splay.Range, bool) {
+	if p.quarantined.Load() {
 		return splay.Range{}, false // fail closed: metadata is untrusted
 	}
-	if p.chaos != nil && p.chaos.Should(faultinject.ClassSplay) {
-		p.corruptNode()
-	}
-	if !p.NoCache {
-		for i := 0; i < p.nCached; i++ {
-			if p.lastHit[i].Contains(addr) {
-				p.Stats.CacheHits++
-				if i != 0 {
-					p.lastHit[0], p.lastHit[i] = p.lastHit[i], p.lastHit[0]
-				}
-				return p.lastHit[0], true
+	if p.chaos == nil && !p.NoPageMap {
+		st := p.stats(cpu)
+		r, v := p.pm.lookup(addr)
+		switch v {
+		case pmHit:
+			if r.Contains(addr) {
+				st.PageHits++
+				return r, true
+			}
+			// The page's only object does not contain addr: definitive
+			// miss, unless unmapped objects could also overlap the page.
+			if p.unmapped.Load() == 0 {
+				st.PageHits++
+				return splay.Range{}, false
+			}
+		case pmMiss:
+			if p.unmapped.Load() == 0 {
+				st.PageHits++
+				return splay.Range{}, false
 			}
 		}
-		p.Stats.CacheMisses++
 	}
+	return p.findSlow(cpu, addr)
+}
+
+// findSlow is the splay-tree path: overflow pages, unmapped objects, the
+// NoPageMap configuration, and every lookup while fault injection is
+// armed.  CacheHits counts lookups the last-hit cache absorbed;
+// CacheMisses counts lookups that reached the tree (PageHits, above,
+// counts lookups the page map answered before either).
+func (p *Pool) findSlow(cpu int, addr uint64) (splay.Range, bool) {
+	st := p.stats(cpu)
+	if p.chaos != nil {
+		p.mu.Lock()
+		if p.chaos.Should(faultinject.ClassSplay) {
+			p.corruptNode()
+		}
+		p.mu.Unlock()
+	}
+	c := p.cache(cpu)
+	if !p.NoCache {
+		if e := p.epoch.Load(); c.epoch != e {
+			c.epoch, c.n = e, 0
+		}
+		for i := 0; i < c.n; i++ {
+			if c.r[i].Contains(addr) {
+				st.CacheHits++
+				if i != 0 {
+					c.r[0], c.r[i] = c.r[i], c.r[0]
+				}
+				return c.r[0], true
+			}
+		}
+		st.CacheMisses++
+	}
+	p.mu.Lock()
 	r, ok := p.objects.Find(addr)
-	if ok && !p.rangeValid(r) {
+	bad := ok && !p.rangeValid(r)
+	if bad {
 		// The checker's own metadata is damaged.  Fail closed: quarantine
 		// the pool rather than answer checks from corrupt state.
-		p.quarantine(r)
+		p.quarantineLocked(r)
+	}
+	p.mu.Unlock()
+	if bad {
 		return splay.Range{}, false
 	}
 	if ok && !p.NoCache {
 		// Move-to-front insert; the oldest entry falls off the end.
-		p.lastHit[1] = p.lastHit[0]
-		p.lastHit[0] = r
-		if p.nCached < len(p.lastHit) {
-			p.nCached++
+		c.r[1] = c.r[0]
+		c.r[0] = r
+		if c.n < len(c.r) {
+			c.n++
 		}
 	}
 	return r, ok
@@ -191,12 +328,12 @@ func (p *Pool) rangeValid(r splay.Range) bool {
 	return r.Len != 0 && r.Start+r.Len > r.Start && r.Len <= p.maxObj
 }
 
-// quarantine marks the pool's metadata as untrusted.  Idempotent.
-func (p *Pool) quarantine(r splay.Range) {
-	if p.Quarantined {
+// quarantineLocked marks the pool's metadata as untrusted.  Idempotent;
+// caller holds p.mu.
+func (p *Pool) quarantineLocked(r splay.Range) {
+	if p.quarantined.Swap(true) {
 		return
 	}
-	p.Quarantined = true
 	p.invalidate()
 	if p.trace != nil {
 		p.trace.Emit(telemetry.EvQuarantine, p.Name, []uint64{r.Start, r.Len},
@@ -206,8 +343,8 @@ func (p *Pool) quarantine(r splay.Range) {
 
 // corruptionErr is the fail-closed answer every check gives once the pool
 // is quarantined.
-func (p *Pool) corruptionErr(addr uint64) error {
-	p.Stats.Violations++
+func (p *Pool) corruptionErr(st *Stats, addr uint64) error {
+	st.Violations++
 	return &Violation{Kind: MetadataCorruption, Pool: p.Name, Addr: addr,
 		Msg: "pool quarantined: check metadata corrupt, failing closed"}
 }
@@ -215,7 +352,8 @@ func (p *Pool) corruptionErr(addr uint64) error {
 // corruptNode is the ClassSplay injection payload: flip metadata in one
 // splay node in place, modeling a hardware fault striking the checker's own
 // state.  All three modes are fail-closed under rangeValid / lookup-miss
-// semantics — the point of the campaign is proving that.
+// semantics — the point of the campaign is proving that.  Caller holds
+// p.mu.
 func (p *Pool) corruptNode() {
 	n := p.objects.Len()
 	if n == 0 {
@@ -241,10 +379,11 @@ func (p *Pool) corruptNode() {
 	}
 }
 
-// invalidate clears the last-hit cache.  Called on every mutation of the
-// object set (Register/RegisterStack/Drop/Reset): a cached range may have
-// just been removed, so serving it would be a stale answer.
-func (p *Pool) invalidate() { p.nCached = 0 }
+// invalidate bumps the object-set epoch, emptying every VCPU's last-hit
+// cache at its next lookup.  Called on every mutation of the object set
+// (Register/RegisterStack/Drop/Reset): a cached range may have just been
+// removed, so serving it would be a stale answer.
+func (p *Pool) invalidate() { p.epoch.Add(1) }
 
 // Object tags.
 const (
@@ -252,63 +391,111 @@ const (
 	TagStack = 1
 )
 
-// RegisterStack records a stack object.  A conflicting *stale stack*
+// RegisterStack records a stack object (VCPU 0).
+func (p *Pool) RegisterStack(addr, size uint64) error {
+	return p.RegisterStackCPU(0, addr, size)
+}
+
+// RegisterStackCPU records a stack object.  A conflicting *stale stack*
 // registration — left behind when a task died without unwinding its kernel
 // frames — is evicted first: its frame is gone, so the registration cannot
 // correspond to a live object.  Conflicts with non-stack objects are real
 // violations.
-func (p *Pool) RegisterStack(addr, size uint64) error {
+func (p *Pool) RegisterStackCPU(cpu int, addr, size uint64) error {
 	if size == 0 {
 		return nil
 	}
+	st := p.stats(cpu)
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.invalidate()
 	if size > p.maxObj {
 		p.maxObj = size
 	}
 	for {
-		if p.objects.Insert(splay.Range{Start: addr, Len: size, Tag: TagStack}) {
-			p.Stats.Registered++
+		rg := splay.Range{Start: addr, Len: size, Tag: TagStack}
+		if p.objects.Insert(rg) {
+			p.mapInsert(rg)
+			st.Registered++
 			return nil
 		}
 		old, ok := p.objects.FindOverlap(addr, size)
 		if !ok || old.Tag != TagStack {
-			p.Stats.Violations++
+			st.Violations++
 			return &Violation{Kind: RegistrationConflict, Pool: p.Name, Addr: addr,
 				Msg: fmt.Sprintf("stack object [%#x,%#x) overlaps a live object", addr, addr+size)}
 		}
 		p.objects.Remove(old.Start)
+		p.mapRemove(old)
 	}
 }
 
-// Register records a new object [addr, addr+size) (pchk.reg.obj).
+// Register records a new object [addr, addr+size) on behalf of VCPU 0.
 func (p *Pool) Register(addr, size uint64, tag uint32) error {
+	return p.RegisterCPU(0, addr, size, tag)
+}
+
+// RegisterCPU records a new object [addr, addr+size) (pchk.reg.obj).
+func (p *Pool) RegisterCPU(cpu int, addr, size uint64, tag uint32) error {
 	if size == 0 {
 		return nil // zero-sized allocations register nothing
 	}
+	st := p.stats(cpu)
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.invalidate()
 	if size > p.maxObj {
 		p.maxObj = size
 	}
-	if !p.objects.Insert(splay.Range{Start: addr, Len: size, Tag: tag}) {
-		p.Stats.Violations++
+	rg := splay.Range{Start: addr, Len: size, Tag: tag}
+	if !p.objects.Insert(rg) {
+		st.Violations++
 		return &Violation{Kind: RegistrationConflict, Pool: p.Name, Addr: addr,
 			Msg: fmt.Sprintf("object [%#x,%#x) overlaps a live object", addr, addr+size)}
 	}
-	p.Stats.Registered++
+	p.mapInsert(rg)
+	st.Registered++
 	return nil
 }
 
-// Drop removes the object starting at addr (pchk.drop.obj).  Dropping a
+// mapInsert publishes a freshly inserted range in the page map (or counts
+// it unmapped).  Caller holds p.mu.
+func (p *Pool) mapInsert(r splay.Range) {
+	if mappable(r) {
+		p.pm.insert(r)
+	} else {
+		p.unmapped.Add(1)
+	}
+}
+
+// mapRemove invalidates a just-removed range's page nodes.  Caller holds
+// p.mu; the tree no longer contains r.
+func (p *Pool) mapRemove(r splay.Range) {
+	if mappable(r) {
+		p.pm.remove(r, &p.objects)
+	} else {
+		p.unmapped.Add(^uint64(0))
+	}
+}
+
+// Drop removes the object starting at addr on behalf of VCPU 0.
+func (p *Pool) Drop(addr uint64) error { return p.DropCPU(0, addr) }
+
+// DropCPU removes the object starting at addr (pchk.drop.obj).  Dropping a
 // pointer that is not the start of a live object is an illegal free
 // (guarantee T5: no double or illegal frees).
-func (p *Pool) Drop(addr uint64) error {
+func (p *Pool) DropCPU(cpu int, addr uint64) error {
+	st := p.stats(cpu)
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.invalidate()
 	if r, ok := p.objects.FindStart(addr); ok {
 		p.objects.Remove(r.Start)
-		p.Stats.Dropped++
+		p.mapRemove(r)
+		st.Dropped++
 		return nil
 	}
-	p.Stats.Violations++
+	st.Violations++
 	if r, ok := p.objects.Find(addr); ok {
 		return &Violation{Kind: IllegalFree, Pool: p.Name, Addr: addr,
 			Msg: fmt.Sprintf("free of interior pointer into %v", r)}
@@ -317,34 +504,45 @@ func (p *Pool) Drop(addr uint64) error {
 		Msg: "free of address with no live object (double free?)"}
 }
 
-// GetBounds returns the bounds of the object containing addr.
+// GetBounds returns the bounds of the object containing addr (VCPU 0).
 func (p *Pool) GetBounds(addr uint64) (start, end uint64, ok bool) {
+	return p.GetBoundsCPU(0, addr)
+}
+
+// GetBoundsCPU returns the bounds of the object containing addr.
+func (p *Pool) GetBoundsCPU(cpu int, addr uint64) (start, end uint64, ok bool) {
 	if r, ok := p.userRange(addr); ok {
 		return r.Start, r.End(), true
 	}
-	if r, ok := p.find(addr); ok {
+	if r, ok := p.findCPU(cpu, addr); ok {
 		return r.Start, r.End(), true
 	}
 	return 0, 0, false
 }
 
-// BoundsCheck verifies that derived — a pointer computed by indexing from
-// src — still points into (or one past) the same registered object
+// BoundsCheck verifies an indexing operation on behalf of VCPU 0.
+func (p *Pool) BoundsCheck(src, derived uint64) error {
+	return p.BoundsCheckCPU(0, src, derived)
+}
+
+// BoundsCheckCPU verifies that derived — a pointer computed by indexing
+// from src — still points into (or one past) the same registered object
 // (pchk.bounds / the boundscheck operation).
 //
 // For incomplete pools the check is "reduced" (§4.5): if neither pointer
 // hits a registered object, nothing can be concluded and the check passes;
 // if either one hits, both must be in the same object.
-func (p *Pool) BoundsCheck(src, derived uint64) error {
-	p.Stats.BoundsChecks++
-	if p.Quarantined {
-		return p.corruptionErr(src)
+func (p *Pool) BoundsCheckCPU(cpu int, src, derived uint64) error {
+	st := p.stats(cpu)
+	st.BoundsChecks++
+	if p.quarantined.Load() {
+		return p.corruptionErr(st, src)
 	}
 	r, ok := p.userRange(src)
 	if !ok {
-		r, ok = p.find(src)
-		if p.Quarantined {
-			return p.corruptionErr(src)
+		r, ok = p.findCPU(cpu, src)
+		if p.quarantined.Load() {
+			return p.corruptionErr(st, src)
 		}
 	}
 	if ok {
@@ -352,50 +550,56 @@ func (p *Pool) BoundsCheck(src, derived uint64) error {
 		if derived >= r.Start && derived <= r.End() {
 			return nil
 		}
-		p.Stats.Violations++
+		st.Violations++
 		return &Violation{Kind: BoundsViolation, Pool: p.Name, Addr: derived,
 			Msg: fmt.Sprintf("indexing from %#x escapes object %v", src, r)}
 	}
 	// Source not registered.  Check whether the derived pointer lands in
 	// some object; then src and derived straddle an object boundary.
-	if r2, ok2 := p.find(derived); ok2 {
-		p.Stats.Violations++
+	if r2, ok2 := p.findCPU(cpu, derived); ok2 {
+		st.Violations++
 		return &Violation{Kind: BoundsViolation, Pool: p.Name, Addr: derived,
 			Msg: fmt.Sprintf("indexing from unregistered %#x into object %v", src, r2)}
 	}
-	if p.Quarantined {
-		return p.corruptionErr(derived)
+	if p.quarantined.Load() {
+		return p.corruptionErr(st, derived)
 	}
 	if p.Complete {
-		p.Stats.Violations++
+		st.Violations++
 		return &Violation{Kind: BoundsViolation, Pool: p.Name, Addr: src,
 			Msg: "indexing from pointer with no registered object in complete pool"}
 	}
 	return nil // reduced check on incomplete pool: inconclusive
 }
 
-// LoadStoreCheck verifies that a pointer used by a load or store targets a
-// registered object of this pool (pchk.lscheck).  It is only required for
-// non-TH pools; for incomplete pools it is disabled by the compiler (the
-// sole source of false negatives, §4.5).
+// LoadStoreCheck verifies a load/store pointer on behalf of VCPU 0.
 func (p *Pool) LoadStoreCheck(addr uint64) error {
-	p.Stats.LSChecks++
-	if p.Quarantined {
-		return p.corruptionErr(addr)
+	return p.LoadStoreCheckCPU(0, addr)
+}
+
+// LoadStoreCheckCPU verifies that a pointer used by a load or store
+// targets a registered object of this pool (pchk.lscheck).  It is only
+// required for non-TH pools; for incomplete pools it is disabled by the
+// compiler (the sole source of false negatives, §4.5).
+func (p *Pool) LoadStoreCheckCPU(cpu int, addr uint64) error {
+	st := p.stats(cpu)
+	st.LSChecks++
+	if p.quarantined.Load() {
+		return p.corruptionErr(st, addr)
 	}
 	if _, ok := p.userRange(addr); ok {
 		return nil
 	}
-	if _, ok := p.find(addr); ok {
+	if _, ok := p.findCPU(cpu, addr); ok {
 		return nil
 	}
-	if p.Quarantined {
-		return p.corruptionErr(addr)
+	if p.quarantined.Load() {
+		return p.corruptionErr(st, addr)
 	}
 	if !p.Complete {
 		return nil // reduced check
 	}
-	p.Stats.Violations++
+	st.Violations++
 	return &Violation{Kind: LoadStoreViolation, Pool: p.Name, Addr: addr,
 		Msg: "access through pointer outside every registered object"}
 }
@@ -404,8 +608,14 @@ func (p *Pool) LoadStoreCheck(addr uint64) error {
 // at this site (the check itself does not run).
 func (p *Pool) NoteElidedBounds() { p.Stats.ElidedBounds++ }
 
+// NoteElidedBoundsCPU is NoteElidedBounds charged to cpu's shard.
+func (p *Pool) NoteElidedBoundsCPU(cpu int) { p.stats(cpu).ElidedBounds++ }
+
 // NoteElidedLS records an elided load-store check.
 func (p *Pool) NoteElidedLS() { p.Stats.ElidedLS++ }
+
+// NoteElidedLSCPU is NoteElidedLS charged to cpu's shard.
+func (p *Pool) NoteElidedLSCPU(cpu int) { p.stats(cpu).ElidedLS++ }
 
 // Contains reports whether addr falls in a registered object (no stats).
 func (p *Pool) Contains(addr uint64) bool {
@@ -417,22 +627,32 @@ func (p *Pool) Contains(addr uint64) bool {
 }
 
 // NumObjects returns the live object count.
-func (p *Pool) NumObjects() int { return p.objects.Len() }
+func (p *Pool) NumObjects() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.objects.Len()
+}
 
-// Reset drops all objects and statistics (pool destruction).
+// Reset drops all objects and VCPU 0's statistics (pool destruction).
+// Statistics shards of other VCPUs are owner-written and survive a reset;
+// merged views simply keep their history.
 func (p *Pool) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.trace != nil {
 		p.trace.Emit(telemetry.EvPoolReset, p.Name, []uint64{uint64(p.objects.Len())}, "")
 	}
 	p.invalidate()
 	p.objects.Clear()
+	p.pm.clear()
+	p.unmapped.Store(0)
 	p.Stats = Stats{}
-	p.Quarantined = false
+	p.quarantined.Store(false)
 	p.maxObj = 0
 }
 
 // SplayLookups returns how many lookups reached the pool's splay tree
-// (cache hits never do).
+// (page-map and cache hits never do).
 func (p *Pool) SplayLookups() uint64 { return p.objects.Lookups }
 
 // Registry is the VM's table of run-time metapools plus the indirect-call
@@ -440,27 +660,61 @@ func (p *Pool) SplayLookups() uint64 { return p.objects.Lookups }
 type Registry struct {
 	Pools []*Pool
 	// CallSets[i] is the set of legal function addresses for indirect
-	// call-check set i.
+	// call-check set i.  Populated at module-load time, read-only after.
 	CallSets []map[uint64]bool
 	// ICChecks/ICViolations count indirect-call checks at the registry
-	// level (call sets are not owned by any single pool).
+	// level (call sets are not owned by any single pool).  These are
+	// VCPU 0's shard; icShards holds the others.
 	ICChecks     uint64
 	ICViolations uint64
+	icShards     []*icStat
+	// nvcpu is the shard count applied to pools added after SetVCPUs.
+	nvcpu int
 	// noCache is inherited by pools added after SetCacheDisabled(true).
 	noCache bool
+	// noPageMap is inherited by pools added after SetPageMapDisabled(true).
+	noPageMap bool
 	// trace is inherited by pools added after SetTrace.
 	trace *telemetry.Trace
 	// chaos is inherited by pools added after SetChaos.
 	chaos *faultinject.Injector
 }
 
+// icStat is one VCPU's indirect-call counter shard.
+type icStat struct {
+	Checks     uint64
+	Violations uint64
+}
+
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry { return &Registry{} }
+
+// SetVCPUs sizes every pool's per-VCPU statistics shards and last-hit
+// caches, plus the registry's indirect-call shards.  Must be called before
+// the VCPUs start running; pools added later inherit the count.
+func (r *Registry) SetVCPUs(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.nvcpu = n
+	for len(r.icShards) < n {
+		r.icShards = append(r.icShards, &icStat{})
+	}
+	for _, p := range r.Pools {
+		p.setVCPUs(n)
+	}
+}
 
 // AddPool appends a pool and returns its ID.
 func (r *Registry) AddPool(p *Pool) int {
 	if r.noCache {
 		p.NoCache = true
+	}
+	if r.noPageMap {
+		p.NoPageMap = true
+	}
+	if r.nvcpu > 1 {
+		p.setVCPUs(r.nvcpu)
 	}
 	p.trace = r.trace
 	p.chaos = r.chaos
@@ -498,41 +752,53 @@ func (r *Registry) AddCallSet(targets map[uint64]bool) int {
 	return len(r.CallSets) - 1
 }
 
-// IndirectCallCheck verifies that target is a legal callee for set id
-// (control-flow integrity, guarantee T1).
+// IndirectCallCheck verifies an indirect call on behalf of VCPU 0.
 func (r *Registry) IndirectCallCheck(id int, target uint64) error {
-	r.ICChecks++
+	return r.IndirectCallCheckCPU(0, id, target)
+}
+
+// IndirectCallCheckCPU verifies that target is a legal callee for set id
+// (control-flow integrity, guarantee T1).
+func (r *Registry) IndirectCallCheckCPU(cpu, id int, target uint64) error {
+	checks, viols := &r.ICChecks, &r.ICViolations
+	if cpu > 0 && cpu < len(r.icShards) {
+		sh := r.icShards[cpu]
+		checks, viols = &sh.Checks, &sh.Violations
+	}
+	*checks++
 	if id < 0 || id >= len(r.CallSets) {
-		r.ICViolations++
+		*viols++
 		return &Violation{Kind: IndirectCallViolation, Pool: fmt.Sprintf("callset%d", id),
 			Addr: target, Msg: "unknown call set"}
 	}
 	if r.CallSets[id][target] {
 		return nil
 	}
-	r.ICViolations++
+	*viols++
 	return &Violation{Kind: IndirectCallViolation, Pool: fmt.Sprintf("callset%d", id),
 		Addr: target, Msg: "indirect call target not in compiler-computed callee set"}
 }
 
-// TotalStats sums statistics across all pools plus the registry-level
-// indirect-call counters.
+// icTotals sums the registry-level indirect-call counters across shards.
+func (r *Registry) icTotals() (checks, viols uint64) {
+	checks, viols = r.ICChecks, r.ICViolations
+	for i := 1; i < len(r.icShards); i++ {
+		checks += r.icShards[i].Checks
+		viols += r.icShards[i].Violations
+	}
+	return checks, viols
+}
+
+// TotalStats sums statistics across all pools (merging per-VCPU shards)
+// plus the registry-level indirect-call counters.
 func (r *Registry) TotalStats() Stats {
 	var s Stats
 	for _, p := range r.Pools {
-		s.Registered += p.Stats.Registered
-		s.Dropped += p.Stats.Dropped
-		s.BoundsChecks += p.Stats.BoundsChecks
-		s.LSChecks += p.Stats.LSChecks
-		s.ICChecks += p.Stats.ICChecks
-		s.ElidedBounds += p.Stats.ElidedBounds
-		s.ElidedLS += p.Stats.ElidedLS
-		s.Violations += p.Stats.Violations
-		s.CacheHits += p.Stats.CacheHits
-		s.CacheMisses += p.Stats.CacheMisses
+		s.Add(p.mergedStats())
 	}
-	s.ICChecks += r.ICChecks
-	s.Violations += r.ICViolations
+	ic, icv := r.icTotals()
+	s.ICChecks += ic
+	s.Violations += icv
 	return s
 }
 
@@ -548,6 +814,18 @@ func (r *Registry) SetCacheDisabled(disabled bool) {
 	}
 }
 
+// SetPageMapDisabled toggles the page-map fast path on every current pool
+// and every pool registered later.  The map itself stays maintained, so
+// re-enabling needs no rebuild; only the lookup path changes.  This is the
+// splay-only configuration of the equivalence property test and the
+// lookup microbenchmark.
+func (r *Registry) SetPageMapDisabled(disabled bool) {
+	r.noPageMap = disabled
+	for _, p := range r.Pools {
+		p.NoPageMap = disabled
+	}
+}
+
 // PoolSnapshot is one pool's row in a Registry snapshot.
 type PoolSnapshot = telemetry.PoolStats
 
@@ -556,11 +834,14 @@ type PoolSnapshot = telemetry.PoolStats
 // and `sva-bench -table=checks` render it.
 type Snapshot = telemetry.CheckSnapshot
 
-// Snapshot returns the registry's current statistics.
+// Snapshot returns the registry's current statistics, merging per-VCPU
+// shards.  During an SMP run the shards are live; snapshot after the VCPUs
+// join for exact totals.
 func (r *Registry) Snapshot() Snapshot {
+	ic, icv := r.icTotals()
 	s := Snapshot{
-		ICChecks:     r.ICChecks,
-		ICViolations: r.ICViolations,
+		ICChecks:     ic,
+		ICViolations: icv,
 		Totals:       r.TotalStats(),
 	}
 	for _, p := range r.Pools {
@@ -570,12 +851,19 @@ func (r *Registry) Snapshot() Snapshot {
 			Complete:        p.Complete,
 			Objects:         p.NumObjects(),
 			SplayLookups:    p.SplayLookups(),
-			SplayDepth:      p.objects.Depth(),
-			Quarantined:     p.Quarantined,
-			Stats:           p.Stats,
+			SplayDepth:      p.splayDepth(),
+			Quarantined:     p.quarantined.Load(),
+			Stats:           p.mergedStats(),
 		})
 	}
 	return s
+}
+
+// splayDepth reads the tree height under the pool mutex (snapshot gauge).
+func (p *Pool) splayDepth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.objects.Depth()
 }
 
 // Attach registers the metapool registry as a telemetry source: every
@@ -597,10 +885,18 @@ func (r *Registry) SetTrace(t *telemetry.Trace) {
 
 // SetChaos arms (or, with nil, disarms) the ClassSplay fault-injection seam
 // on every current and future pool.  With no injector the hot-path cost is
-// one nil compare per splay lookup.
+// one nil compare per lookup.  While armed, lookups bypass the page map
+// (in-place node corruption diverges the tree from the map); disarming
+// rebuilds each pool's page map from its tree so the fast path resumes
+// from consistent state.
 func (r *Registry) SetChaos(inj *faultinject.Injector) {
 	r.chaos = inj
 	for _, p := range r.Pools {
+		p.mu.Lock()
 		p.chaos = inj
+		if inj == nil {
+			p.unmapped.Store(p.pm.rebuild(&p.objects))
+		}
+		p.mu.Unlock()
 	}
 }

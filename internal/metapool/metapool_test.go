@@ -261,6 +261,7 @@ func TestIndirectCallStatsInTotals(t *testing.T) {
 
 func TestLastHitCache(t *testing.T) {
 	p := NewPool("MP1", false, true, 0)
+	p.NoPageMap = true // pin the slow-path cache behavior, not the page map
 	if err := p.Register(0x1000, 64, TagHeap); err != nil {
 		t.Fatal(err)
 	}
@@ -328,6 +329,7 @@ func TestCacheInvalidatedOnMutation(t *testing.T) {
 
 func TestNoCacheDisablesCaching(t *testing.T) {
 	p := NewPool("MP1", false, true, 0)
+	p.NoPageMap = true // pin the slow-path cache behavior, not the page map
 	p.NoCache = true
 	if err := p.Register(0x1000, 64, TagHeap); err != nil {
 		t.Fatal(err)

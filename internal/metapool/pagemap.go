@@ -1,0 +1,202 @@
+// The two-level shadow page map: the O(1) fast path in front of every
+// metapool's splay tree.
+//
+// The paper (§7.1.3) identifies the splay-tree object lookup behind each
+// boundscheck/lscheck as the dominant run-time cost of SVA, and our own
+// -table=profile attribution agrees.  The splay tree is O(log n) on a miss
+// of its root, and — worse for SMP — *every* lookup rotates the tree, so a
+// read-mostly workload generates write traffic on shared state.
+//
+// The page map shadows the object set at page granularity: for each
+// 4 KiB guest page it records whether zero, one, or more than one
+// registered object overlaps the page.  The common cases resolve without
+// touching the tree at all:
+//
+//   - no entry        → no object overlaps the page: a definitive miss
+//   - a single entry  → the only object on the page; Contains() decides
+//   - overflow entry  → several objects share the page: defer to the tree
+//
+// Lookups are lock-free: page nodes are immutable once published and
+// reached through two atomic pointer loads.  All mutation happens on the
+// registration path (pchk.reg.obj / pchk.drop.obj / pool reset) under the
+// pool's write mutex, which also owns the splay tree.
+//
+// Objects the map cannot represent — spanning more pages than
+// maxObjPages, or lying above the 4 GiB coverage window — are counted in
+// Pool.unmapped instead of being mapped; while that count is nonzero a
+// "definitive miss" is demoted to a slow-path verdict, so correctness
+// never depends on every object being representable.  (The guest address
+// layout tops out below 4 GiB, so in practice only pathological
+// registrations take this path.)
+package metapool
+
+import (
+	"sync/atomic"
+
+	"sva/internal/splay"
+)
+
+const (
+	pageShift = 12
+	// PageSize is the page-map granule (one guest page).
+	PageSize = 1 << pageShift
+	l2Bits   = 10 // pages per leaf
+	l1Bits   = 10 // leaves per directory
+	// pmCoverage is the top of the address range the page map covers:
+	// 12 + 10 + 10 = 32 bits, 4 GiB.
+	pmCoverage = uint64(1) << (pageShift + l2Bits + l1Bits)
+	// maxObjPages bounds host work per registration: an object spanning
+	// more pages than this is left unmapped rather than walked page by
+	// page (registration arguments are guest-controlled; a 2^40-byte
+	// "object" must not buy a 2^28-iteration host loop).
+	maxObjPages = 1024
+)
+
+// pmVerdict is the outcome of a page-map lookup.
+type pmVerdict uint8
+
+const (
+	// pmMiss: no registered object overlaps the page.  Definitive only
+	// while Pool.unmapped is zero.
+	pmMiss pmVerdict = iota
+	// pmHit: exactly one object overlaps the page (returned alongside).
+	pmHit
+	// pmSlow: several objects share the page, or the address lies outside
+	// the coverage window — defer to the splay tree.
+	pmSlow
+)
+
+// pageEntry is one published page node.  Entries are immutable after
+// publication; invalidation replaces the pointer, never the pointee.
+type pageEntry struct {
+	r        splay.Range
+	overflow bool
+}
+
+// overflowEntry is the shared sentinel for pages with >1 object.
+var overflowEntry = &pageEntry{overflow: true}
+
+type pageLeaf [1 << l2Bits]atomic.Pointer[pageEntry]
+
+// pageMap is the two-level directory.  Leaves materialize on first use and
+// are never reclaimed while the pool lives (a Reset drops them wholesale).
+type pageMap struct {
+	dir [1 << l1Bits]atomic.Pointer[pageLeaf]
+}
+
+// mappable reports whether the page map can represent r (see maxObjPages
+// and pmCoverage above).
+func mappable(r splay.Range) bool {
+	if r.Len == 0 || r.End() < r.Start || r.End() > pmCoverage {
+		return false
+	}
+	return (r.End()-1)>>pageShift-r.Start>>pageShift < maxObjPages
+}
+
+// lookup resolves addr against the page map.  It is the lock-free O(1)
+// fast path: two atomic loads, no tree access, no mutation.
+func (m *pageMap) lookup(addr uint64) (splay.Range, pmVerdict) {
+	if addr >= pmCoverage {
+		return splay.Range{}, pmSlow
+	}
+	leaf := m.dir[addr>>(pageShift+l2Bits)].Load()
+	if leaf == nil {
+		return splay.Range{}, pmMiss
+	}
+	e := leaf[(addr>>pageShift)&(1<<l2Bits-1)].Load()
+	if e == nil {
+		return splay.Range{}, pmMiss
+	}
+	if e.overflow {
+		return splay.Range{}, pmSlow
+	}
+	return e.r, pmHit
+}
+
+// leaf returns the leaf covering page pg, materializing it if needed.
+// Called only under the pool mutex (single writer), so a plain
+// load-check-store suffices; concurrent readers see either nil (miss on an
+// empty leaf — correct) or the published leaf.
+func (m *pageMap) leaf(pg uint64) *pageLeaf {
+	slot := &m.dir[pg>>l2Bits]
+	l := slot.Load()
+	if l == nil {
+		l = new(pageLeaf)
+		slot.Store(l)
+	}
+	return l
+}
+
+// insert publishes r on every page it overlaps.  Caller holds the pool
+// mutex and has verified mappable(r).
+func (m *pageMap) insert(r splay.Range) {
+	first, last := r.Start>>pageShift, (r.End()-1)>>pageShift
+	for pg := first; pg <= last; pg++ {
+		slot := &m.leaf(pg)[pg&(1<<l2Bits-1)]
+		if slot.Load() == nil {
+			slot.Store(&pageEntry{r: r})
+		} else {
+			// A second object on the page: checks there go to the tree.
+			slot.Store(overflowEntry)
+		}
+	}
+}
+
+// remove invalidates r's pages after the object was deleted from t.
+// Overflow pages are recomputed from the surviving objects: back to a
+// single entry or a definitive miss where possible.  Caller holds the pool
+// mutex and has verified mappable(r); t no longer contains r.
+func (m *pageMap) remove(r splay.Range, t *splay.Tree) {
+	first, last := r.Start>>pageShift, (r.End()-1)>>pageShift
+	for pg := first; pg <= last; pg++ {
+		leaf := m.dir[pg>>l2Bits].Load()
+		if leaf == nil {
+			continue
+		}
+		slot := &leaf[pg&(1<<l2Bits-1)]
+		e := slot.Load()
+		switch {
+		case e == nil:
+			// Nothing was mapped here (cannot happen for a mapped object,
+			// but stay tolerant: a nil entry is always a safe miss).
+		case !e.overflow:
+			// r was the only object on the page.
+			slot.Store(nil)
+		default:
+			rs := t.OverlapRanges(pg<<pageShift, PageSize, 2)
+			switch {
+			case len(rs) == 0:
+				slot.Store(nil)
+			case len(rs) == 1 && mappable(rs[0]):
+				slot.Store(&pageEntry{r: rs[0]})
+				// An unmappable survivor keeps the overflow entry: its own
+				// removal will not walk these pages, so it must not own a
+				// direct entry here.
+			}
+		}
+	}
+}
+
+// clear drops every leaf (pool reset).
+func (m *pageMap) clear() {
+	for i := range m.dir {
+		m.dir[i].Store(nil)
+	}
+}
+
+// rebuild reconstitutes the map from the tree's current object set and
+// returns how many objects could not be mapped.  Used when the splay
+// oracle may have diverged from the map (fault injection disarmed after
+// in-place node corruption).  Caller holds the pool mutex.
+func (m *pageMap) rebuild(t *splay.Tree) (unmapped uint64) {
+	m.clear()
+	t.Walk(func(r splay.Range) bool {
+		if mappable(r) {
+			m.insert(r)
+		} else {
+			unmapped++
+		}
+		return true
+	})
+	return unmapped
+}

@@ -1,0 +1,162 @@
+package report
+
+// Machine-readable benchmark results.  sva-bench can dump every numeric
+// table row as JSON (-benchjson) and diff a run against a saved baseline
+// (-baseline), so a performance PR carries before/after evidence instead
+// of two hand-compared table dumps.  All numbers are virtual-time values,
+// so baseline deltas are deterministic properties of the code, not of the
+// host the bench ran on.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sva/internal/hbench"
+)
+
+// Metric is one machine-readable measurement: a named scalar from one of
+// the rendered tables.
+type Metric struct {
+	Table string  `json:"table"` // table the row came from ("table7", "smp", ...)
+	Name  string  `json:"name"`  // row/column identifier ("lat_getpid/native", ...)
+	Unit  string  `json:"unit"`  // "ns", "%", "sc/Mcyc", ...
+	Value float64 `json:"value"`
+}
+
+// Key identifies a metric across runs.
+func (m Metric) Key() string { return m.Table + "/" + m.Name }
+
+// MetricSet accumulates metrics from concurrently running table jobs.
+type MetricSet struct {
+	mu sync.Mutex
+	ms []Metric
+}
+
+// Add records one measurement; it is safe to call from parallel jobs.
+func (s *MetricSet) Add(table, name, unit string, value float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.ms = append(s.ms, Metric{Table: table, Name: name, Unit: unit, Value: value})
+	s.mu.Unlock()
+}
+
+// Metrics returns the accumulated measurements sorted by key, so the JSON
+// output is independent of job completion order.
+func (s *MetricSet) Metrics() []Metric {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	out := make([]Metric, len(s.ms))
+	copy(out, s.ms)
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// benchFile is the on-disk schema of a -benchjson dump.
+type benchFile struct {
+	Metrics []Metric `json:"metrics"`
+}
+
+// WriteJSON dumps the metric set to path as indented JSON.
+func (s *MetricSet) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(benchFile{Metrics: s.Metrics()}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBaseline loads a previously saved -benchjson file, keyed for lookup.
+func ReadBaseline(path string) (map[string]Metric, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	out := make(map[string]Metric, len(f.Metrics))
+	for _, m := range f.Metrics {
+		out[m.Key()] = m
+	}
+	return out, nil
+}
+
+// DeltaReport renders per-row deltas of the current metrics against a
+// saved baseline.  Rows only present on one side are listed as added or
+// removed rather than silently dropped.
+func DeltaReport(baseline map[string]Metric, cur []Metric) string {
+	var sb strings.Builder
+	sb.WriteString("Baseline deltas (current vs baseline)\n")
+	fmt.Fprintf(&sb, "%-44s %14s %14s %10s\n", "metric", "baseline", "current", "delta")
+	seen := make(map[string]bool, len(cur))
+	for _, m := range cur {
+		seen[m.Key()] = true
+		b, ok := baseline[m.Key()]
+		if !ok {
+			fmt.Fprintf(&sb, "%-44s %14s %14.2f %10s\n", m.Key(), "-", m.Value, "new")
+			continue
+		}
+		delta := "0.0%"
+		if b.Value != 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(m.Value-b.Value)/b.Value)
+		} else if m.Value != 0 {
+			delta = "+inf"
+		}
+		fmt.Fprintf(&sb, "%-44s %11.2f %2s %11.2f %2s %10s\n",
+			m.Key(), b.Value, b.Unit, m.Value, m.Unit, delta)
+	}
+	removed := make([]string, 0)
+	for k := range baseline {
+		if !seen[k] {
+			removed = append(removed, k)
+		}
+	}
+	sort.Strings(removed)
+	for _, k := range removed {
+		fmt.Fprintf(&sb, "%-44s %11.2f %2s %14s %10s\n", k, baseline[k].Value, baseline[k].Unit, "-", "gone")
+	}
+	return sb.String()
+}
+
+// RecordAppRows feeds Table 5/6 rows into a metric set.
+func RecordAppRows(s *MetricSet, rows []AppRow) {
+	for _, r := range rows {
+		s.Add("table5", r.Name+"/native_ns", "ns", float64(r.Native/time.Nanosecond))
+		s.Add("table5", r.Name+"/over_gcc", "%", r.OverGCC)
+		s.Add("table5", r.Name+"/over_llvm", "%", r.OverLLVM)
+		s.Add("table5", r.Name+"/over_safe", "%", r.OverSafe)
+	}
+}
+
+// RecordBenchRows feeds Table 7/8 rows into a metric set.
+func RecordBenchRows(s *MetricSet, table string, rows []BenchRow) {
+	for _, r := range rows {
+		s.Add(table, r.Name+"/native_ns", "ns", float64(r.Native/time.Nanosecond))
+		s.Add(table, r.Name+"/over_gcc", "%", r.OverGCC)
+		s.Add(table, r.Name+"/over_llvm", "%", r.OverLLVM)
+		s.Add(table, r.Name+"/over_safe", "%", r.OverSafe)
+	}
+}
+
+// RecordSMPRows feeds SMP scaling rows into a metric set.
+func RecordSMPRows(s *MetricSet, rows []SMPRow) {
+	for _, r := range rows {
+		for ci, cfg := range hbench.Configs {
+			s.Add("smp", fmt.Sprintf("%s/%dvcpu_tput", cfg.String(), r.VCPUs),
+				"sc/Mcyc", r.Points[ci].Throughput)
+			s.Add("smp", fmt.Sprintf("%s/%dvcpu_makespan", cfg.String(), r.VCPUs),
+				"cyc", float64(r.Points[ci].Makespan))
+		}
+	}
+}

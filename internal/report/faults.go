@@ -16,6 +16,7 @@ import (
 // renders the outcome matrix.  It returns an error if any run escaped the
 // SVM: a fault table with escapes is a failing build, not a report.
 func FaultTable(seedsPer, workers int) (string, error) {
+	workers = ClampWorkers(workers)
 	results, sum, err := campaign.Run(faultinject.Classes, seedsPer, workers)
 	if err != nil {
 		return "", err

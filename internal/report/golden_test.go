@@ -8,9 +8,10 @@ import (
 )
 
 // TestChecksTableGolden pins the -table=checks report byte-for-byte against
-// the output captured before the telemetry redesign: routing the statistics
-// through telemetry.Registry must not change a single byte.  Virtual cycles
-// are deterministic, so a fresh runner reproduces the golden exactly.
+// the committed capture: refactors that should not change check behaviour
+// (telemetry routing, lookup fast paths) must not change a single byte,
+// and changes that do move the numbers regenerate the golden deliberately.
+// Virtual cycles are deterministic, so a fresh runner reproduces it exactly.
 func TestChecksTableGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("boots four kernels")

@@ -11,6 +11,17 @@ import (
 // DefaultWorkers is the default fan-out for parallel table generation.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
+// ClampWorkers normalizes a worker count: zero and negative values mean
+// "one worker per CPU" rather than silently degenerating to a serial run
+// (workers <= 1 is the documented serial path, but 0 and -1 came from
+// flag plumbing, not from a user asking for serial).
+func ClampWorkers(workers int) int {
+	if workers <= 0 {
+		return DefaultWorkers()
+	}
+	return workers
+}
+
 // forEach runs fn(0..n-1) on a bounded pool of worker goroutines and
 // returns the lowest-index error.  workers <= 1 runs inline, in order.
 func forEach(workers, n int, fn func(int) error) error {
@@ -63,6 +74,7 @@ type TableJob struct {
 // RunJobs executes table jobs across a bounded worker pool and returns
 // their outputs in job order.  workers <= 1 degenerates to the serial path.
 func RunJobs(jobs []TableJob, workers int) ([]string, error) {
+	workers = ClampWorkers(workers)
 	if workers > 1 {
 		// Define the shared named-struct types once before fanning out:
 		// concurrent kernel builds then re-set identical bodies, which

@@ -292,6 +292,84 @@ func Table8(rows []BenchRow) string {
 	return sb.String()
 }
 
+// --- SMP scaling (-table=smp) -----------------------------------------------
+
+// SMPRow is one virtual-CPU count measured across the four configurations.
+type SMPRow struct {
+	VCPUs  int
+	Points [4]hbench.SMPPoint // indexed like hbench.Configs
+}
+
+// RunSMP measures the SMP battery serially (shorthand for RunSMPN).
+func RunSMP(scale Scale) ([]SMPRow, error) { return RunSMPN(scale, 1) }
+
+// RunSMPN measures the SMP syscall-throughput battery: eight smp_worker
+// tasks dispatched across 1/2/4/8 virtual CPUs under every kernel
+// configuration.  Each (config, vcpus) cell boots a fresh machine, so the
+// cells are independent; with workers > 1 they run concurrently, and
+// because time is virtual the numbers are bit-identical to a serial run.
+func RunSMPN(scale Scale, workers int) ([]SMPRow, error) {
+	iters := scale.apply(200)
+	const tasks = 8 // divides evenly across 1/2/4/8 CPUs
+	type cell struct{ ci, ni int }
+	cells := make([]cell, 0, len(hbench.Configs)*len(hbench.SMPVCPUs))
+	for ci := range hbench.Configs {
+		for ni := range hbench.SMPVCPUs {
+			cells = append(cells, cell{ci, ni})
+		}
+	}
+	points := make([][4]hbench.SMPPoint, len(hbench.SMPVCPUs))
+	err := forEach(workers, len(cells), func(i int) error {
+		c := cells[i]
+		p, err := hbench.MeasureSMP(hbench.Configs[c.ci], hbench.SMPVCPUs[c.ni], tasks, iters)
+		if err != nil {
+			return err
+		}
+		points[c.ni][c.ci] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SMPRow, len(hbench.SMPVCPUs))
+	for ni, n := range hbench.SMPVCPUs {
+		rows[ni] = SMPRow{VCPUs: n, Points: points[ni]}
+	}
+	return rows, nil
+}
+
+// SMPTable renders aggregate syscall throughput (syscalls per million
+// virtual cycles of makespan) and the speedup versus one virtual CPU.
+func SMPTable(rows []SMPRow) string {
+	var sb strings.Builder
+	sb.WriteString("SMP scaling: aggregate syscall throughput (sc/Mcyc) across virtual CPUs\n")
+	fmt.Fprintf(&sb, "%-6s", "VCPUs")
+	for _, cfg := range hbench.Configs {
+		fmt.Fprintf(&sb, " %10s %7s", cfg.String(), "speedup")
+	}
+	sb.WriteString("\n")
+	var base [4]float64
+	for _, r := range rows {
+		if r.VCPUs == 1 {
+			for ci := range r.Points {
+				base[ci] = r.Points[ci].Throughput
+			}
+		}
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-6d", r.VCPUs)
+		for ci := range r.Points {
+			sp := 0.0
+			if base[ci] > 0 {
+				sp = r.Points[ci].Throughput / base[ci]
+			}
+			fmt.Fprintf(&sb, " %10.0f %6.2fx", r.Points[ci].Throughput, sp)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
 // --- check statistics (-table=checks) ---------------------------------------
 
 // ChecksTable drives the Table 7 latency battery on the safety-checked
@@ -314,8 +392,17 @@ func FormatChecks(s telemetry.Snapshot) string {
 	snap, c, m := s.Checks, s.VM, s.Static
 	var sb strings.Builder
 	sb.WriteString("Check statistics (sva-safe, Table 7 battery)\n")
-	fmt.Fprintf(&sb, "%-16s %3s %3s %6s %9s %9s %9s %9s %10s %10s %7s %9s %5s\n",
-		"Pool", "TH", "C", "objs", "bounds", "b-elide", "lscheck", "ls-elide", "cache-hit", "cache-miss", "hit%", "splay", "viol")
+	fmt.Fprintf(&sb, "%-16s %3s %3s %6s %9s %9s %9s %9s %10s %10s %10s %7s %9s %5s\n",
+		"Pool", "TH", "C", "objs", "bounds", "b-elide", "lscheck", "ls-elide", "pm-hit", "cache-hit", "cache-miss", "fast%", "splay", "viol")
+	// fastPct is the share of lookups answered without the splay tree
+	// (page-map verdicts plus last-hit cache hits).
+	fastPct := func(s telemetry.CheckStats) float64 {
+		tot := s.PageHits + s.CacheHits + s.CacheMisses
+		if tot == 0 {
+			return 0
+		}
+		return 100 * float64(s.PageHits+s.CacheHits) / float64(tot)
+	}
 	idle := 0
 	for _, p := range snap.Pools {
 		s := p.Stats
@@ -323,23 +410,15 @@ func FormatChecks(s telemetry.Snapshot) string {
 			idle++
 			continue
 		}
-		hitPct := 0.0
-		if s.CacheHits+s.CacheMisses > 0 {
-			hitPct = 100 * float64(s.CacheHits) / float64(s.CacheHits+s.CacheMisses)
-		}
-		fmt.Fprintf(&sb, "%-16s %3s %3s %6d %9d %9d %9d %9d %10d %10d %6.1f%% %9d %5d\n",
+		fmt.Fprintf(&sb, "%-16s %3s %3s %6d %9d %9d %9d %9d %10d %10d %10d %6.1f%% %9d %5d\n",
 			p.Name, yn(p.TypeHomogeneous), yn(p.Complete), p.Objects,
-			s.BoundsChecks, s.ElidedBounds, s.LSChecks, s.ElidedLS, s.CacheHits, s.CacheMisses, hitPct,
+			s.BoundsChecks, s.ElidedBounds, s.LSChecks, s.ElidedLS, s.PageHits, s.CacheHits, s.CacheMisses, fastPct(s),
 			p.SplayLookups, s.Violations)
 	}
 	t := snap.Totals
-	totHit := 0.0
-	if t.CacheHits+t.CacheMisses > 0 {
-		totHit = 100 * float64(t.CacheHits) / float64(t.CacheHits+t.CacheMisses)
-	}
-	fmt.Fprintf(&sb, "%-16s %3s %3s %6s %9d %9d %9d %9d %10d %10d %6.1f%% %9s %5d\n",
+	fmt.Fprintf(&sb, "%-16s %3s %3s %6s %9d %9d %9d %9d %10d %10d %10d %6.1f%% %9s %5d\n",
 		"Total", "", "", "", t.BoundsChecks, t.ElidedBounds, t.LSChecks, t.ElidedLS,
-		t.CacheHits, t.CacheMisses, totHit, "", t.Violations)
+		t.PageHits, t.CacheHits, t.CacheMisses, fastPct(t), "", t.Violations)
 	fmt.Fprintf(&sb, "pools with no check activity: %d\n", idle)
 	fmt.Fprintf(&sb, "indirect-call checks: %d (violations: %d)\n", snap.ICChecks, snap.ICViolations)
 	fmt.Fprintf(&sb, "vm counters: bounds=%d lscheck=%d icheck=%d elided-bounds=%d elided-ls=%d\n",

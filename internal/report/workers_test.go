@@ -1,0 +1,37 @@
+package report
+
+import (
+	"runtime"
+	"testing"
+)
+
+// Regression: RunJobs and FaultTable used to pass workers straight to the
+// pool, so a 0 or negative count (the zero value of an unset flag) silently
+// degenerated to a serial run.  The clamp maps those to one worker per CPU.
+func TestClampWorkers(t *testing.T) {
+	def := runtime.GOMAXPROCS(0)
+	for _, tc := range []struct{ in, want int }{
+		{0, def}, {-1, def}, {-100, def}, {1, 1}, {2, 2}, {16, 16},
+	} {
+		if got := ClampWorkers(tc.in); got != tc.want {
+			t.Errorf("ClampWorkers(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRunJobsClampsWorkers(t *testing.T) {
+	jobs := []TableJob{
+		{Name: "a", Gen: func() (string, error) { return "out-a", nil }},
+		{Name: "b", Gen: func() (string, error) { return "out-b", nil }},
+		{Name: "c", Gen: func() (string, error) { return "out-c", nil }},
+	}
+	for _, w := range []int{-1, 0, 1, 3} {
+		out, err := RunJobs(jobs, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(out) != 3 || out[0] != "out-a" || out[1] != "out-b" || out[2] != "out-c" {
+			t.Fatalf("workers=%d: outputs out of order: %q", w, out)
+		}
+	}
+}

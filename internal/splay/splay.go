@@ -220,6 +220,47 @@ func (t *Tree) FindOverlap(start, length uint64) (Range, bool) {
 	return hit, found
 }
 
+// OverlapRanges returns up to max ranges overlapping [start, start+length),
+// in ascending start order, WITHOUT splaying.  The page-map invalidation
+// protocol uses it to recompute a page node after a free: it must see every
+// object on the page but may not reshape the tree (the read path holds no
+// lock on the tree structure beyond the pool mutex, and a read-only query
+// keeps the oracle comparison honest).  Ranges never overlap each other, so
+// subtrees entirely left of start or right of end can be pruned.
+func (t *Tree) OverlapRanges(start, length uint64, max int) []Range {
+	end := start + length
+	if end < start { // wraparound: clamp to the address-space top
+		end = ^uint64(0)
+	}
+	var out []Range
+	var rec func(n *node) bool
+	rec = func(n *node) bool {
+		if n == nil {
+			return true
+		}
+		// Children are strictly ordered by start and ranges are disjoint,
+		// so a node ending at or before start rules out its left subtree,
+		// and one starting at or after end rules out its right subtree.
+		if n.r.End() > start {
+			if !rec(n.left) {
+				return false
+			}
+		}
+		if n.r.Start < end && n.r.End() > start {
+			out = append(out, n.r)
+			if max > 0 && len(out) >= max {
+				return false
+			}
+		}
+		if n.r.Start < end {
+			return rec(n.right)
+		}
+		return true
+	}
+	rec(t.root)
+	return out
+}
+
 // Walk visits every range in ascending start order.  The visit function
 // returns false to stop early.
 func (t *Tree) Walk(visit func(Range) bool) {

@@ -46,8 +46,16 @@ const (
 
 	// Kernel thread fabrication and exec.
 	InitState = "sva.init.state"
-	ExecState = "sva.exec.state"
-	SetKStack = "sva.kstack.set"
+	// InitUserState fabricates a saved user-mode state directly (entry
+	// function, argument, user stack, kernel stack) — the SMP dispatch
+	// primitive: any virtual CPU's scheduler can materialize a runnable
+	// user process without forking from an existing context.
+	InitUserState = "sva.init.user.state"
+	ExecState     = "sva.exec.state"
+	SetKStack     = "sva.kstack.set"
+
+	// CPUID returns the executing virtual CPU's index (0 on the boot CPU).
+	CPUID = "sva.cpu.id"
 
 	// Handler registration (§4.8 relies on RegisterSyscall for analysis).
 	RegisterSyscall   = "sva.register.syscall"
@@ -199,6 +207,8 @@ var Ops = []*Op{
 
 	{Trap, ClassSys, costTrap, sig(ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64)},
 	{InitState, ClassSys, 0, sig(ir.Void, BytePtr, BytePtr, ir.I64, ir.I64)},
+	{InitUserState, ClassSys, 0, sig(ir.Void, BytePtr, BytePtr, ir.I64, ir.I64, ir.I64)},
+	{CPUID, ClassSys, 0, sig(ir.I64)},
 	{ExecState, ClassSys, 0, sig(ir.Void, ir.I64, BytePtr, ir.I64, ir.I64)},
 	{SetKStack, ClassSys, 0, sig(ir.Void, ir.I64)},
 	{RegisterSyscall, ClassSys, 0, sig(ir.Void, ir.I64, BytePtr)},

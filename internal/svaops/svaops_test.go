@@ -35,7 +35,7 @@ func TestEveryOperationHasSignature(t *testing.T) {
 		SaveInteger, LoadInteger, SaveFP, LoadFP,
 		IContextSave, IContextLoad, IContextCommit, IPushFunction,
 		WasPrivileged, IContextSetRetval, StateSetKStack, StateSetUStack,
-		Trap, InitState, ExecState, SetKStack,
+		Trap, InitState, ExecState, SetKStack, InitUserState, CPUID,
 		RegisterSyscall, RegisterInterrupt,
 		MMUMap, MMUUnmap, MMUProtect,
 		IOPutc, IOGetc, DiskRead, DiskWrite, NetSend, NetRecv,

@@ -131,6 +131,12 @@ func Install(m *vm.VM) {
 		}
 		return none{}, m.InitState(a[0], a[1], a[2], a[3])
 	})
+	reg(svaops.InitUserState, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.InitUserState); err != nil {
+			return none{}, err
+		}
+		return none{}, m.InitUserState(a[0], a[1], a[2], a[3], a[4])
+	})
 	reg(svaops.ExecState, func(m *vm.VM, a []uint64) (none, error) {
 		if err := requireKernel(m, svaops.ExecState); err != nil {
 			return none{}, err
@@ -219,7 +225,7 @@ func Install(m *vm.VM) {
 		if err := m.MemWriteBytes(a[1], buf); err != nil {
 			return none{}, err
 		}
-		m.Mach.CPU.Cycles += m.Mach.Disk.SeekCost
+		m.CPU.Cycles += m.Mach.Disk.SeekCost
 		return none{Value: 0}, nil
 	})
 	reg(svaops.DiskWrite, func(m *vm.VM, a []uint64) (none, error) {
@@ -233,7 +239,7 @@ func Install(m *vm.VM) {
 		if err := m.Mach.Disk.WriteSector(int(a[0]), buf); err != nil {
 			return none{Value: ^uint64(0)}, nil
 		}
-		m.Mach.CPU.Cycles += m.Mach.Disk.SeekCost
+		m.CPU.Cycles += m.Mach.Disk.SeekCost
 		return none{Value: 0}, nil
 	})
 	reg(svaops.NetSend, func(m *vm.VM, a []uint64) (none, error) {
@@ -247,7 +253,7 @@ func Install(m *vm.VM) {
 		if err := m.Mach.NIC.Send(buf); err != nil {
 			return none{Value: ^uint64(0)}, nil
 		}
-		m.Mach.CPU.Cycles += m.Mach.NIC.PerFrameCost
+		m.CPU.Cycles += m.Mach.NIC.PerFrameCost
 		return none{Value: 0}, nil
 	})
 	reg(svaops.NetRecv, func(m *vm.VM, a []uint64) (none, error) {

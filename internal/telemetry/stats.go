@@ -40,6 +40,28 @@ type VMStats struct {
 	Quarantines    uint64
 }
 
+// Add accumulates another VM's counters into s (merging per-VCPU counter
+// blocks into one machine-wide view).
+func (s *VMStats) Add(o VMStats) {
+	s.Steps += o.Steps
+	s.KSteps += o.KSteps
+	s.Calls += o.Calls
+	s.Traps += o.Traps
+	s.Intrinsics += o.Intrinsics
+	s.MemOps += o.MemOps
+	s.ChecksBounds += o.ChecksBounds
+	s.ChecksLS += o.ChecksLS
+	s.ChecksIC += o.ChecksIC
+	s.ElidedBounds += o.ElidedBounds
+	s.ElidedLS += o.ElidedLS
+	s.Translations += o.Translations
+	s.Switches += o.Switches
+	s.Oops += o.Oops
+	s.FailStops += o.FailStops
+	s.WatchdogFaults += o.WatchdogFaults
+	s.Quarantines += o.Quarantines
+}
+
 // CheckStats counts run-time check activity (the stats block behind
 // metapool.Stats; one per pool, plus a summed total).
 type CheckStats struct {
@@ -53,10 +75,30 @@ type CheckStats struct {
 	ElidedBounds uint64
 	ElidedLS     uint64
 	Violations   uint64
-	// CacheHits/CacheMisses count last-hit cache outcomes on the check
-	// hot path (a miss falls through to the splay tree).
+	// PageHits counts lookups answered by the O(1) shadow page map
+	// (single-object hit or definitive miss) without reaching the
+	// last-hit cache or the splay tree.
+	PageHits uint64
+	// CacheHits/CacheMisses count last-hit cache outcomes on the
+	// slow path (a miss falls through to the splay tree).
 	CacheHits   uint64
 	CacheMisses uint64
+}
+
+// Add accumulates another check-stats block into s (merging a pool's
+// per-VCPU shards into one row).
+func (s *CheckStats) Add(o CheckStats) {
+	s.Registered += o.Registered
+	s.Dropped += o.Dropped
+	s.BoundsChecks += o.BoundsChecks
+	s.LSChecks += o.LSChecks
+	s.ICChecks += o.ICChecks
+	s.ElidedBounds += o.ElidedBounds
+	s.ElidedLS += o.ElidedLS
+	s.Violations += o.Violations
+	s.PageHits += o.PageHits
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
 }
 
 // PoolStats is one metapool's row in a snapshot.

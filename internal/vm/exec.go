@@ -38,7 +38,7 @@ type stackObj struct {
 // dropCleanups deregisters a frame's stack objects.
 func (vm *VM) dropCleanups(fr *Frame) {
 	for _, c := range fr.cleanups {
-		_ = vm.Pools.Pool(c.pool).Drop(c.addr)
+		_ = vm.Pools.Pool(c.pool).DropCPU(vm.cpuID, c.addr)
 	}
 	fr.cleanups = nil
 }
@@ -201,8 +201,8 @@ func (vm *VM) NewExec(fn *ir.Function, args []uint64, stackTop uint64, priv uint
 func (vm *VM) SetExec(e *Exec) {
 	vm.cur = e
 	if e != nil {
-		vm.Mach.CPU.Int.Priv = e.priv
-		vm.Mach.CPU.Int.SP = e.sp
+		vm.CPU.Int.Priv = e.priv
+		vm.CPU.Int.SP = e.sp
 	}
 }
 
@@ -408,13 +408,29 @@ func (vm *VM) watchdogCheck() error {
 }
 
 // pollInterrupts advances the timer and delivers one pending interrupt if
-// the controller is enabled and a handler is registered.
+// the controller is enabled and a handler is registered.  Under SMP it is
+// also the halt-latch observation point: a sibling's sva.halt stops this
+// VCPU within one poll interval (64 steps).
 func (vm *VM) pollInterrupts() {
-	vm.Mach.Timer.Advance(vm.Counters.Steps, vm.Mach.Intr)
+	if vm.shared != nil {
+		if vm.shared.halted.Load() {
+			vm.Halted = true
+			vm.ExitCode = vm.shared.exitCode.Load()
+			return
+		}
+		// Only the boot CPU drives the timer; its step counter is the
+		// machine's timekeeping reference, as on real hardware where the
+		// BSP owns the PIT.
+		if vm.cpuID == 0 {
+			vm.Mach.Timer.Advance(vm.Counters.Steps, vm.Mach.Intr)
+		}
+	} else {
+		vm.Mach.Timer.Advance(vm.Counters.Steps, vm.Mach.Intr)
+	}
 	if vm.cur == nil || vm.cur.done {
 		return
 	}
-	vec := vm.Mach.Intr.Next()
+	vec := vm.Mach.Intr.NextOn(vm.cpuID)
 	if vec < 0 {
 		return
 	}
@@ -438,14 +454,14 @@ func (vm *VM) step() error {
 	ex := vm.cur
 	fr := ex.frames[len(ex.frames)-1]
 	if vm.prof != nil {
-		c0 := vm.Mach.CPU.Cycles
+		c0 := vm.CPU.Cycles
 		fn := fr.fn.Nm
 		caller := ""
 		if n := len(ex.frames); n >= 2 {
 			caller = ex.frames[n-2].fn.Nm
 		}
 		err := vm.stepIn(ex, fr)
-		vm.prof.ChargeFn(fn, caller, vm.Mach.CPU.Cycles-c0)
+		vm.prof.ChargeFn(fn, caller, vm.CPU.Cycles-c0)
 		return err
 	}
 	return vm.stepIn(ex, fr)
@@ -466,11 +482,11 @@ func (vm *VM) stepIn(ex *Exec, fr *Frame) error {
 	if ex.priv == hw.PrivKernel {
 		vm.Counters.KSteps++
 	}
-	vm.Mach.CPU.Cycles++
+	vm.CPU.Cycles++
 	if fr.cf == nil && vm.Counters.Steps&(1<<CycDirectPenaltyShift-1) == 0 {
 		// Untranslated code: the §3.4 translator's output is slightly
 		// better than the direct path (the gcc/llvm delta of Table 5).
-		vm.Mach.CPU.Cycles++
+		vm.CPU.Cycles++
 	}
 	return vm.exec(ex, fr, in, ops)
 }
@@ -524,7 +540,7 @@ func (vm *VM) exec(ex *Exec, fr *Frame, in *ir.Instr, ops []coperand) error {
 			r = fx / fy
 		}
 		fr.regs[in.Num()] = math.Float64bits(r)
-		vm.Mach.CPU.FP.Dirty = true
+		vm.CPU.FP.Dirty = true
 
 	case ir.OpICmp:
 		x, err := vm.arg(fr, in, ops, 0)
@@ -754,14 +770,20 @@ func (vm *VM) exec(ex *Exec, fr *Frame, in *ir.Instr, ops []coperand) error {
 			return &GuestFault{Kind: "cmpxchg of malformed type: " + lerr.Error(), PC: fr.fn.Nm}
 		}
 		size := int(sz)
+		// Under SMP the load-compare-store must be guest-atomic: one
+		// mutex serializes every atomic instruction across VCPUs.
+		if vm.shared != nil {
+			vm.shared.atomics.Lock()
+		}
 		old, err := vm.memLoad(p, size)
+		if err == nil && old == expected {
+			err = vm.memStore(p, repl, size)
+		}
+		if vm.shared != nil {
+			vm.shared.atomics.Unlock()
+		}
 		if err != nil {
 			return err
-		}
-		if old == expected {
-			if err := vm.memStore(p, repl, size); err != nil {
-				return err
-			}
 		}
 		fr.regs[in.Num()] = old
 
@@ -779,30 +801,38 @@ func (vm *VM) exec(ex *Exec, fr *Frame, in *ir.Instr, ops []coperand) error {
 			return &GuestFault{Kind: "atomicrmw of malformed type: " + lerr.Error(), PC: fr.fn.Nm}
 		}
 		size := int(sz)
+		if vm.shared != nil {
+			vm.shared.atomics.Lock()
+		}
 		old, err := vm.memLoad(p, size)
+		if err == nil {
+			var nv uint64
+			switch in.RMW {
+			case ir.RMWAdd:
+				nv = old + v
+			case ir.RMWSub:
+				nv = old - v
+			case ir.RMWXchg:
+				nv = v
+			case ir.RMWAnd:
+				nv = old & v
+			case ir.RMWOr:
+				nv = old | v
+			}
+			err = vm.memStore(p, ir.Truncate(nv, in.Typ.Bits()), size)
+		}
+		if vm.shared != nil {
+			vm.shared.atomics.Unlock()
+		}
 		if err != nil {
-			return err
-		}
-		var nv uint64
-		switch in.RMW {
-		case ir.RMWAdd:
-			nv = old + v
-		case ir.RMWSub:
-			nv = old - v
-		case ir.RMWXchg:
-			nv = v
-		case ir.RMWAnd:
-			nv = old & v
-		case ir.RMWOr:
-			nv = old | v
-		}
-		if err := vm.memStore(p, ir.Truncate(nv, in.Typ.Bits()), size); err != nil {
 			return err
 		}
 		fr.regs[in.Num()] = old
 
 	case ir.OpFence:
-		// Single virtual CPU: a fence is ordering-only.
+		// Ordering-only.  Guest-visible ordering across VCPUs is provided
+		// by the atomics mutex (every cross-CPU handoff in the kernel goes
+		// through cmpxchg/atomicrmw), so a standalone fence stays free.
 
 	default:
 		return fmt.Errorf("vm: unimplemented opcode %s", in.Op)
@@ -1089,7 +1119,7 @@ func (vm *VM) pushIContext(retSlot int) uint64 {
 		ex.sp = ex.kstackTop
 	}
 	ex.priv = hw.PrivKernel
-	vm.Mach.CPU.Int.Priv = hw.PrivKernel
+	vm.CPU.Int.Priv = hw.PrivKernel
 	return uint64(len(ex.ics))
 }
 
@@ -1104,7 +1134,7 @@ func (vm *VM) popIContext() {
 	ex.ics = ex.ics[:len(ex.ics)-1]
 	ex.sp = ic.savedSP
 	ex.priv = ic.savedPriv
-	vm.Mach.CPU.Int.Priv = ic.savedPriv
+	vm.CPU.Int.Priv = ic.savedPriv
 	// A trap completed without faulting: the guest is making progress, so
 	// the oops-storm streak starts over.
 	vm.oopsStreak = 0
@@ -1185,7 +1215,7 @@ func (vm *VM) handleGuestError(err error) error {
 	ex.frames = ex.frames[:ic.frameIdx]
 	ex.sp = ic.savedSP
 	ex.priv = ic.savedPriv
-	vm.Mach.CPU.Int.Priv = ic.savedPriv
+	vm.CPU.Int.Priv = ic.savedPriv
 	if vm.trace != nil {
 		vm.trace.Emit(telemetry.EvOops, "", []uint64{uint64(len(ex.ics))}, err.Error())
 	}

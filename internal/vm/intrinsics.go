@@ -29,20 +29,20 @@ func (vm *VM) installCoreIntrinsics() {
 	// --- Run-time checks (§4.5, Table 3) ---------------------------------
 
 	reg(svaops.ObjRegister, func(vm *VM, a []uint64) (IntrinsicResult, error) {
-		vm.Mach.CPU.Cycles += cycRegObj
+		vm.CPU.Cycles += cycRegObj
 		pool, err := vm.Pools.PoolChecked(int(a[0]))
 		if err != nil {
 			return IntrinsicResult{}, err
 		}
-		return IntrinsicResult{}, pool.Register(a[1], a[2], 0)
+		return IntrinsicResult{}, pool.RegisterCPU(vm.cpuID, a[1], a[2], 0)
 	})
 	reg(svaops.ObjRegisterStack, func(vm *VM, a []uint64) (IntrinsicResult, error) {
-		vm.Mach.CPU.Cycles += cycRegObj
+		vm.CPU.Cycles += cycRegObj
 		pool, err := vm.Pools.PoolChecked(int(a[0]))
 		if err != nil {
 			return IntrinsicResult{}, err
 		}
-		if err := pool.RegisterStack(a[1], a[2]); err != nil {
+		if err := pool.RegisterStackCPU(vm.cpuID, a[1], a[2]); err != nil {
 			return IntrinsicResult{}, err
 		}
 		// The registration dies with the owning frame.
@@ -52,54 +52,54 @@ func (vm *VM) installCoreIntrinsics() {
 		return IntrinsicResult{}, nil
 	})
 	reg(svaops.ObjDrop, func(vm *VM, a []uint64) (IntrinsicResult, error) {
-		vm.Mach.CPU.Cycles += cycDropObj
+		vm.CPU.Cycles += cycDropObj
 		pool, err := vm.Pools.PoolChecked(int(a[0]))
 		if err != nil {
 			return IntrinsicResult{}, err
 		}
-		return IntrinsicResult{}, pool.Drop(a[1])
+		return IntrinsicResult{}, pool.DropCPU(vm.cpuID, a[1])
 	})
 	reg(svaops.BoundsCheck, func(vm *VM, a []uint64) (IntrinsicResult, error) {
 		vm.Counters.ChecksBounds++
-		vm.Mach.CPU.Cycles += cycBounds
+		vm.CPU.Cycles += cycBounds
 		pool, err := vm.Pools.PoolChecked(int(a[0]))
 		if err != nil {
 			return IntrinsicResult{}, err
 		}
-		return IntrinsicResult{}, pool.BoundsCheck(a[1], a[2])
+		return IntrinsicResult{}, pool.BoundsCheckCPU(vm.cpuID, a[1], a[2])
 	})
 	reg(svaops.LSCheck, func(vm *VM, a []uint64) (IntrinsicResult, error) {
 		vm.Counters.ChecksLS++
-		vm.Mach.CPU.Cycles += cycLS
+		vm.CPU.Cycles += cycLS
 		pool, err := vm.Pools.PoolChecked(int(a[0]))
 		if err != nil {
 			return IntrinsicResult{}, err
 		}
-		return IntrinsicResult{}, pool.LoadStoreCheck(a[1])
+		return IntrinsicResult{}, pool.LoadStoreCheckCPU(vm.cpuID, a[1])
 	})
 	reg(svaops.ICCheck, func(vm *VM, a []uint64) (IntrinsicResult, error) {
 		vm.Counters.ChecksIC++
-		vm.Mach.CPU.Cycles += cycIC
-		return IntrinsicResult{}, vm.Pools.IndirectCallCheck(int(a[0]), a[1])
+		vm.CPU.Cycles += cycIC
+		return IntrinsicResult{}, vm.Pools.IndirectCallCheckCPU(vm.cpuID, int(a[0]), a[1])
 	})
 	reg(svaops.ElideBounds, func(vm *VM, a []uint64) (IntrinsicResult, error) {
 		vm.Counters.ElidedBounds++
-		vm.Mach.CPU.Cycles += cycElide
+		vm.CPU.Cycles += cycElide
 		pool, err := vm.Pools.PoolChecked(int(a[0]))
 		if err != nil {
 			return IntrinsicResult{}, err
 		}
-		pool.NoteElidedBounds()
+		pool.NoteElidedBoundsCPU(vm.cpuID)
 		return IntrinsicResult{}, nil
 	})
 	reg(svaops.ElideLS, func(vm *VM, a []uint64) (IntrinsicResult, error) {
 		vm.Counters.ElidedLS++
-		vm.Mach.CPU.Cycles += cycElide
+		vm.CPU.Cycles += cycElide
 		pool, err := vm.Pools.PoolChecked(int(a[0]))
 		if err != nil {
 			return IntrinsicResult{}, err
 		}
-		pool.NoteElidedLS()
+		pool.NoteElidedLSCPU(vm.cpuID)
 		return IntrinsicResult{}, nil
 	})
 	reg(svaops.GetBoundsLo, func(vm *VM, a []uint64) (IntrinsicResult, error) {
@@ -107,7 +107,7 @@ func (vm *VM) installCoreIntrinsics() {
 		if err != nil {
 			return IntrinsicResult{}, err
 		}
-		lo, _, ok := pool.GetBounds(a[1])
+		lo, _, ok := pool.GetBoundsCPU(vm.cpuID, a[1])
 		if !ok {
 			return IntrinsicResult{Value: 0}, nil
 		}
@@ -118,7 +118,7 @@ func (vm *VM) installCoreIntrinsics() {
 		if err != nil {
 			return IntrinsicResult{}, err
 		}
-		_, hi, ok := pool.GetBounds(a[1])
+		_, hi, ok := pool.GetBoundsCPU(vm.cpuID, a[1])
 		if !ok {
 			return IntrinsicResult{Value: ^uint64(0)}, nil
 		}
@@ -136,8 +136,8 @@ func (vm *VM) installCoreIntrinsics() {
 	// These model the hand-optimized memcpy/memset assembly of a real
 	// kernel's lib/ directory.  They respect the current privilege level.
 
-	reg(svaops.Memcpy, vm.memcpyIntrinsic)
-	reg(svaops.Memmove, vm.memcpyIntrinsic) // flat copy handles overlap via buffer
+	reg(svaops.Memcpy, memcpyIntrinsic)
+	reg(svaops.Memmove, memcpyIntrinsic) // flat copy handles overlap via buffer
 	reg(svaops.Memset, func(vm *VM, a []uint64) (IntrinsicResult, error) {
 		dst, c, n := a[0], byte(a[1]), a[2]
 		if err := vm.checkAccess(dst, int(n), true); err != nil {
@@ -185,14 +185,27 @@ func (vm *VM) installCoreIntrinsics() {
 	reg(svaops.Halt, func(vm *VM, a []uint64) (IntrinsicResult, error) {
 		vm.Halted = true
 		vm.ExitCode = a[0]
+		if vm.shared != nil {
+			// First halt wins the machine-wide exit code; siblings observe
+			// the latch at their next interrupt poll.
+			if !vm.shared.halted.Swap(true) {
+				vm.shared.exitCode.Store(a[0])
+			}
+		}
 		return IntrinsicResult{}, nil
 	})
 	reg(svaops.Cycles, func(vm *VM, a []uint64) (IntrinsicResult, error) {
-		return IntrinsicResult{Value: vm.Mach.CPU.Cycles}, nil
+		return IntrinsicResult{Value: vm.CPU.Cycles}, nil
+	})
+	reg(svaops.CPUID, func(vm *VM, a []uint64) (IntrinsicResult, error) {
+		return IntrinsicResult{Value: uint64(vm.cpuID)}, nil
 	})
 }
 
-func (vm *VM) memcpyIntrinsic(_ *VM, a []uint64) (IntrinsicResult, error) {
+// memcpyIntrinsic is a plain function, not a method: handlers must act on
+// the virtual CPU passed at dispatch, never on the VM they were registered
+// against (a bound receiver would cross-wire sibling VCPUs under SMP).
+func memcpyIntrinsic(vm *VM, a []uint64) (IntrinsicResult, error) {
 	dst, src, n := a[0], a[1], a[2]
 	if n == 0 {
 		return IntrinsicResult{Value: dst}, nil

@@ -41,11 +41,14 @@ func (e *Exec) Depth() int { return len(e.frames) }
 // buffer address (llva.save.integer).  Execution later resumes at the
 // instruction after the save (the pc has already advanced past the call).
 func (vm *VM) SaveIntegerState(buf uint64, retSlot int) {
-	vm.savedStates[buf] = &Continuation{ex: *vm.cur.clone(), retSlot: -1}
+	c := &Continuation{ex: *vm.cur.clone(), retSlot: -1}
+	vm.stateMu.Lock()
+	vm.savedStates[buf] = c
+	vm.stateMu.Unlock()
 	_ = retSlot
 	// Mirror the live CPU control registers into the machine model.
-	vm.Mach.CPU.Int.SP = vm.cur.sp
-	vm.Mach.CPU.Int.Priv = vm.cur.priv
+	vm.CPU.Int.SP = vm.cur.sp
+	vm.CPU.Int.Priv = vm.cur.priv
 }
 
 // LoadIntegerState installs the continuation saved under buf
@@ -57,11 +60,18 @@ func (vm *VM) SaveIntegerState(buf uint64, retSlot int) {
 // recoverable guest fault in the *current* context rather than installing
 // state the interpreter would later index-panic on.
 func (vm *VM) LoadIntegerState(buf uint64) error {
+	// Clone under the state lock: a sibling VCPU may be retargeting this
+	// continuation (set.retval / set.kstack) concurrently.
+	vm.stateMu.Lock()
 	c := vm.savedStates[buf]
-	if c == nil {
+	var restored *Exec
+	if c != nil {
+		restored = c.ex.clone()
+	}
+	vm.stateMu.Unlock()
+	if restored == nil {
 		return &GuestFault{Kind: "load.integer of buffer with no saved state", Addr: buf}
 	}
-	restored := c.ex.clone()
 	if vm.chaos != nil && vm.chaos.Should(faultinject.ClassICRestore) {
 		vm.corruptRestore(restored)
 	}
@@ -69,8 +79,8 @@ func (vm *VM) LoadIntegerState(buf uint64) error {
 		return err
 	}
 	vm.cur = restored
-	vm.Mach.CPU.Int.SP = vm.cur.sp
-	vm.Mach.CPU.Int.Priv = vm.cur.priv
+	vm.CPU.Int.SP = vm.cur.sp
+	vm.CPU.Int.Priv = vm.cur.priv
 	return nil
 }
 
@@ -142,18 +152,23 @@ func validateExec(e *Exec) error {
 // SaveFPState implements llva.save.fp's lazy protocol: with always==false
 // the state is only saved if it changed since the last load.
 func (vm *VM) SaveFPState(buf uint64, always bool) {
-	if !always && !vm.Mach.CPU.FP.Dirty {
+	if !always && !vm.CPU.FP.Dirty {
 		return
 	}
-	vm.savedFP[buf] = vm.Mach.CPU.FP
-	vm.Mach.CPU.FP.Dirty = false
+	vm.stateMu.Lock()
+	vm.savedFP[buf] = vm.CPU.FP
+	vm.stateMu.Unlock()
+	vm.CPU.FP.Dirty = false
 }
 
 // LoadFPState implements llva.load.fp.
 func (vm *VM) LoadFPState(buf uint64) {
-	if s, ok := vm.savedFP[buf]; ok {
-		vm.Mach.CPU.FP = s
-		vm.Mach.CPU.FP.Dirty = false
+	vm.stateMu.Lock()
+	s, ok := vm.savedFP[buf]
+	vm.stateMu.Unlock()
+	if ok {
+		vm.CPU.FP = s
+		vm.CPU.FP.Dirty = false
 	}
 }
 
@@ -184,7 +199,9 @@ func (vm *VM) IContextSaveState(icp, isp uint64) error {
 		cp.pending = append([]pendingCall(nil), nic.pending...)
 		c.ics = append(c.ics, &cp)
 	}
+	vm.stateMu.Lock()
 	vm.savedStates[isp] = &Continuation{ex: *c, retSlot: ic.retSlot}
+	vm.stateMu.Unlock()
 	return nil
 }
 
@@ -196,12 +213,19 @@ func (vm *VM) IContextLoadState(icp, isp uint64) error {
 	if err != nil {
 		return err
 	}
+	vm.stateMu.Lock()
 	c := vm.savedStates[isp]
-	if c == nil {
+	var restored *Exec
+	var restoredRetSlot int
+	if c != nil {
+		restored = c.ex.clone()
+		restoredRetSlot = c.retSlot
+	}
+	vm.stateMu.Unlock()
+	if restored == nil {
 		return &GuestFault{Kind: "icontext.load of buffer with no saved state", Addr: isp}
 	}
 	ex := vm.cur
-	restored := c.ex.clone()
 	newFrames := append([]*Frame{}, restored.frames...)
 	newFrames = append(newFrames, ex.frames[ic.frameIdx:]...)
 	// Adjust the boundary and saved registers of this icontext.
@@ -209,12 +233,12 @@ func (vm *VM) IContextLoadState(icp, isp uint64) error {
 	ic.frameIdx = len(restored.frames)
 	ic.savedSP = restored.sp
 	ic.savedPriv = restored.priv
-	ic.retSlot = c.retSlot
+	ic.retSlot = restoredRetSlot
 	ex.frames = newFrames
 	// Re-point the in-flight trap's result at the restored context's
 	// pending slot.
 	if len(newFrames) > ic.frameIdx {
-		ex.frames[ic.frameIdx].retTo = c.retSlot
+		ex.frames[ic.frameIdx].retTo = restoredRetSlot
 	}
 	// Fix frame boundaries of any icontexts above this one.
 	for i := int(icp); i < len(ex.ics); i++ {
@@ -267,6 +291,8 @@ func (vm *VM) IContextWasPrivileged(icp uint64) (uint64, error) {
 // SetSavedRetval overwrites the trap return value inside a saved Integer
 // State (the fork child's "return 0").
 func (vm *VM) SetSavedRetval(isp, val uint64) error {
+	vm.stateMu.Lock()
+	defer vm.stateMu.Unlock()
 	c := vm.savedStates[isp]
 	if c == nil {
 		return &GuestFault{Kind: "set.retval of buffer with no saved state", Addr: isp}
@@ -286,6 +312,8 @@ func (vm *VM) SetSavedRetval(isp, val uint64) error {
 // State (llva.state.set.kstack), so a forked child traps onto its own
 // kernel stack.
 func (vm *VM) SetSavedKStack(isp, top uint64) error {
+	vm.stateMu.Lock()
+	defer vm.stateMu.Unlock()
 	c := vm.savedStates[isp]
 	if c == nil {
 		return &GuestFault{Kind: "state.set.kstack of buffer with no saved state", Addr: isp}
@@ -298,6 +326,8 @@ func (vm *VM) SetSavedKStack(isp, top uint64) error {
 // (llva.state.set.stack): future stack allocations of the resumed context
 // come from the new region.
 func (vm *VM) SetSavedUStack(isp, sp uint64) error {
+	vm.stateMu.Lock()
+	defer vm.stateMu.Unlock()
 	c := vm.savedStates[isp]
 	if c == nil {
 		return &GuestFault{Kind: "state.set.stack of buffer with no saved state", Addr: isp}
@@ -310,7 +340,7 @@ func (vm *VM) SetSavedUStack(isp, sp uint64) error {
 // registered syscall handler and instructs the stepper to invoke it inside
 // a fresh interrupt context.
 func (vm *VM) TrapEnter(num int64, args []uint64) (IntrinsicResult, error) {
-	vm.Mach.CPU.Cycles += cycTrap
+	vm.CPU.Cycles += cycTrap
 	vm.syscallCounts[num]++
 	if vm.trace != nil {
 		vm.trace.Emit(telemetry.EvTrapEnter, "syscall", []uint64{uint64(num)}, "")
@@ -325,13 +355,13 @@ func (vm *VM) TrapEnter(num int64, args []uint64) (IntrinsicResult, error) {
 	// spill.
 	if vm.Cfg != ConfigNative {
 		var buf [hw.IntegerStateSize]byte
-		vm.Mach.CPU.Int.Encode(buf[:])
+		vm.CPU.Int.Encode(buf[:])
 		spill := vm.cur.kstackTop
 		if spill == 0 {
 			spill = vm.cur.sp
 		}
 		_ = vm.Mach.Phys.WriteAt(spill-hw.IntegerStateSize, buf[:])
-		vm.Mach.CPU.Cycles += CycTrapSpill
+		vm.CPU.Cycles += CycTrapSpill
 	}
 	// The handler receives the icontext handle it will have after entry,
 	// followed by the six trap arguments.
@@ -368,7 +398,41 @@ func (vm *VM) InitState(buf, fnAddr, arg, kstackTop uint64) error {
 		spBase: kstackTop,
 		retTo:  -1,
 	})
+	vm.stateMu.Lock()
 	vm.savedStates[buf] = &Continuation{ex: *ex, retSlot: -1}
+	vm.stateMu.Unlock()
+	return nil
+}
+
+// InitUserState fabricates a fresh saved Integer State that, when loaded,
+// runs fn(arg) in *user* mode on the given user stack, trapping onto the
+// given kernel stack (sva.init.user.state).  This is the SMP dispatch
+// primitive: a scheduler on any virtual CPU materializes a runnable user
+// process directly, without forking it from an existing context the way
+// sva.init.state + icontext surgery would require.
+func (vm *VM) InitUserState(buf, fnAddr, arg, ustackTop, kstackTop uint64) error {
+	f := vm.addrFunc[fnAddr]
+	if f == nil {
+		return &GuestFault{Kind: "init.user.state of non-function address", Addr: fnAddr}
+	}
+	if f.IsDecl() {
+		return &GuestFault{Kind: "init.user.state of body-less function", Addr: fnAddr}
+	}
+	params := make([]uint64, len(f.Params))
+	if len(params) > 0 {
+		params[0] = arg
+	}
+	ex := &Exec{sp: ustackTop, priv: hw.PrivUser, kstackTop: kstackTop}
+	ex.frames = append(ex.frames, &Frame{
+		fn:     f,
+		regs:   make([]uint64, f.NumInstrs()),
+		params: params,
+		spBase: ustackTop,
+		retTo:  -1,
+	})
+	vm.stateMu.Lock()
+	vm.savedStates[buf] = &Continuation{ex: *ex, retSlot: -1}
+	vm.stateMu.Unlock()
 	return nil
 }
 

@@ -30,7 +30,7 @@ func (vm *VM) Profiler() *telemetry.Profiler { return vm.prof }
 // events and returns it.  Events are stamped with the virtual-cycle clock.
 func (vm *VM) EnableTrace(capacity int) *telemetry.Trace {
 	t := telemetry.NewTrace(capacity)
-	t.CycleSource = func() uint64 { return vm.Mach.CPU.Cycles }
+	t.CycleSource = func() uint64 { return vm.CPU.Cycles }
 	vm.trace = t
 	vm.Pools.SetTrace(t)
 	return t
@@ -52,10 +52,10 @@ func (vm *VM) SyscallCounts() map[int64]uint64 { return vm.syscallCounts }
 // trace is attached: the handler's cycle delta is booked against the
 // operation, and check/MMU outcomes become trace events.
 func (vm *VM) observedIntrinsic(name string, h IntrinsicFn, args []uint64) (IntrinsicResult, error) {
-	c0 := vm.Mach.CPU.Cycles
+	c0 := vm.CPU.Cycles
 	res, err := h(vm, args)
 	if vm.prof != nil {
-		vm.prof.ChargeOp(name, vm.Mach.CPU.Cycles-c0)
+		vm.prof.ChargeOp(name, vm.CPU.Cycles-c0)
 	}
 	if vm.trace != nil {
 		vm.traceIntrinsic(name, args, err)

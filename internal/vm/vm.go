@@ -12,6 +12,7 @@ package vm
 
 import (
 	"fmt"
+	"sync"
 
 	"sva/internal/faultinject"
 	"sva/internal/hw"
@@ -120,9 +121,17 @@ type IntrinsicResult struct {
 type IntrinsicFn func(vm *VM, args []uint64) (IntrinsicResult, error)
 
 // VM is a Secure Virtual Machine instance bound to one simulated machine.
+// Under SMP one VM value exists per virtual CPU: EnableSMP clones the boot
+// VM into siblings that share the kernel image, metapools, devices and
+// saved-state tables while owning private processor state, execution
+// stack, counters and caches.
 type VM struct {
 	Mach *hw.Machine
-	Cfg  Config
+	// CPU is this virtual CPU's processor state.  On the boot VM it aliases
+	// Mach.CPU (so existing readers of Mach.CPU stay correct); sibling
+	// VCPUs own a private CPU.
+	CPU *hw.CPU
+	Cfg Config
 	// Pools is the run-time metapool registry (populated when a
 	// safety-compiled module is loaded).
 	Pools *metapool.Registry
@@ -135,8 +144,16 @@ type VM struct {
 
 	intrinsics map[string]IntrinsicFn
 
-	// cur is the single virtual CPU's current execution state.
+	// cur is this virtual CPU's current execution state.
 	cur *Exec
+	// cpuID is this virtual CPU's index (0 on the boot CPU).
+	cpuID int
+	// shared is the SMP rendezvous state; nil on a uniprocessor VM.
+	shared *smpShared
+	// stateMu guards savedStates, savedFP and the kernel-stack allocator —
+	// tables shared across VCPUs.  The pointer is shared by EnableSMP;
+	// uncontended on a uniprocessor.
+	stateMu *sync.Mutex
 	// savedStates holds continuations stored by llva.save.integer, keyed
 	// by the (opaque) buffer address the guest passed.
 	savedStates map[uint64]*Continuation
@@ -199,7 +216,9 @@ type VM struct {
 func New(mach *hw.Machine, cfg Config) *VM {
 	vm := &VM{
 		Mach:        mach,
+		CPU:         mach.CPU,
 		Cfg:         cfg,
+		stateMu:     &sync.Mutex{},
 		Pools:       metapool.NewRegistry(),
 		funcAddr:    map[*ir.Function]uint64{},
 		addrFunc:    map[uint64]*ir.Function{},
@@ -225,6 +244,19 @@ func New(mach *hw.Machine, cfg Config) *VM {
 		s.Kernel.Syscalls = make(map[int64]uint64, len(vm.syscallCounts))
 		for num, n := range vm.syscallCounts {
 			s.Kernel.Syscalls[num] = n
+		}
+		if vm.shared != nil {
+			// SMP: fold every sibling VCPU's private counters into the one
+			// machine-wide snapshot (taken after the VCPUs have joined).
+			for _, v := range vm.shared.vcpus {
+				if v == vm {
+					continue
+				}
+				s.VM.Add(v.Counters)
+				for num, n := range v.syscallCounts {
+					s.Kernel.Syscalls[num] += n
+				}
+			}
 		}
 		if vm.prof != nil {
 			s.Profile = vm.prof.Snapshot()
@@ -445,14 +477,28 @@ func (vm *VM) GlobalAddrByName(name string) (uint64, bool) {
 }
 
 // AllocKernelStack reserves a kernel stack region and returns its top.
+// The allocator cursor lives on the boot VM so all VCPUs carve from one
+// region; stateMu serializes concurrent guest allocations.
 func (vm *VM) AllocKernelStack(size uint64) (uint64, error) {
 	size = uint64(ir.AlignUp(int64(size), hw.PageSize))
-	base := vm.nextKStack
-	vm.nextKStack += size + hw.PageSize // guard page between stacks
-	if vm.nextKStack > KStackTop {
+	owner := vm.bootVM()
+	vm.stateMu.Lock()
+	defer vm.stateMu.Unlock()
+	base := owner.nextKStack
+	owner.nextKStack += size + hw.PageSize // guard page between stacks
+	if owner.nextKStack > KStackTop {
 		return 0, fmt.Errorf("vm: kernel stack space exhausted")
 	}
 	return base + size, nil
+}
+
+// bootVM returns the boot (CPU 0) VM, which owns the shared allocator
+// cursors.
+func (vm *VM) bootVM() *VM {
+	if vm.shared != nil {
+		return vm.shared.vcpus[0]
+	}
+	return vm
 }
 
 // Syscall returns the handler registered for a syscall number.
