@@ -1,7 +1,7 @@
 # Tier-1 gate plus the race-sensitive packages this repo parallelizes.
 GO ?= go
 
-.PHONY: all build test vet race check bench tables chaos
+.PHONY: all build test vet race check equiv bench tables chaos
 
 all: check
 
@@ -14,14 +14,21 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Threaded-engine oracle gate: the engine-on and engine-off twins must
+# produce bit-identical verdicts, virtual time and trap behavior across
+# the exploit battery, the randomized programs and the vm-level suites.
+equiv:
+	$(GO) test -run 'Equivalence' ./internal/vm/ ./internal/exploits/ ./internal/safety/
+
 # The bench harness and the fault campaign fan out goroutines per kernel
 # config, per table job and per injection run, and SMP runs sibling VCPUs
-# concurrently; race the whole tree at 1 and 4 host CPUs so both the
-# serial and the parallel schedules are exercised.
+# concurrently (with the threaded engine on by default, so the shared
+# translation cache races too); race the whole tree at 1 and 4 host CPUs
+# so both the serial and the parallel schedules are exercised.
 race:
 	$(GO) test -race -cpu=1,4 ./...
 
-check: build vet test race
+check: build vet test equiv race
 
 # Fixed-seed fault-injection smoke: three classes through sva-run plus a
 # one-seed-per-class campaign table.  Any host escape fails the target.

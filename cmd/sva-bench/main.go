@@ -17,6 +17,7 @@
 //	sva-bench -table=faults     fault-injection campaign outcome matrix
 //	sva-bench -table=all        everything
 //	sva-bench -table=smp        SMP syscall-throughput scaling at 1/2/4/8 VCPUs
+//	sva-bench -table=engine     threaded-code engine wall-clock speedup (not in "all": host-dependent)
 //	sva-bench -seeds=25         seeds per fault class for -table=faults
 //	sva-bench -scale=4          divide iteration counts by 4 (quick run)
 //	sva-bench -workers=1        serial generation (default: one worker per CPU)
@@ -166,6 +167,19 @@ func main() {
 			}
 			report.RecordSMPRows(metrics, rows)
 			return report.SMPTable(rows), nil
+		})
+	}
+	// The engine table measures host wall-clock, so it is never part of
+	// "all" (every other table is deterministic virtual time) and must be
+	// requested by name.
+	if wanted["engine"] {
+		add("engine", func() (string, error) {
+			rows, gm, err := report.RunEngine(s)
+			if err != nil {
+				return "", err
+			}
+			report.RecordEngineRows(metrics, rows, gm)
+			return report.EngineTable(rows, gm), nil
 		})
 	}
 	if want("exploits") {

@@ -178,11 +178,11 @@ func TestSignedTranslationCache(t *testing.T) {
 	m := sampleModule()
 	image, _ := Encode(m)
 
-	if e, err := cache.Get(image); e != nil || err != nil {
+	if e, err := cache.Get(image, "sva-safe"); e != nil || err != nil {
 		t.Fatalf("empty cache Get = %v, %v", e, err)
 	}
 	cache.Put(image, []byte("native-code-blob"), "sva-safe")
-	e, err := cache.Get(image)
+	e, err := cache.Get(image, "sva-safe")
 	if err != nil || e == nil {
 		t.Fatalf("Get after Put = %v, %v", e, err)
 	}
@@ -191,18 +191,18 @@ func TestSignedTranslationCache(t *testing.T) {
 	}
 	// Tampering with the cached translation must be detected.
 	e.Translation[0] ^= 0xFF
-	if _, err := cache.Get(image); err == nil {
+	if _, err := cache.Get(image, "sva-safe"); err == nil {
 		t.Error("tampered translation accepted")
 	}
 	// The corrupt entry is evicted.
-	if e2, err := cache.Get(image); e2 != nil || err != nil {
+	if e2, err := cache.Get(image, "sva-safe"); e2 != nil || err != nil {
 		t.Errorf("corrupt entry not evicted: %v, %v", e2, err)
 	}
 	// An entry for different bytecode must not verify.
 	cache.Put(image, []byte("blob"), "sva-safe")
 	other := append([]byte(nil), image...)
 	other[len(other)-1] ^= 1
-	if e3, _ := cache.Get(other); e3 != nil {
+	if e3, _ := cache.Get(other, "sva-safe"); e3 != nil {
 		t.Error("cache returned translation for different bytecode")
 	}
 }

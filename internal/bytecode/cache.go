@@ -96,39 +96,58 @@ func VerifyFile(image, blob []byte) error {
 	return nil
 }
 
+// cacheKey identifies one translation: the bytecode image hash plus the
+// VM configuration that produced it.  Keying by hash alone let a safe and
+// an sva-llvm translation of the same module overwrite each other, and
+// Get could hand back a translation built for the wrong config.
+type cacheKey struct {
+	hash   [32]byte
+	config string
+}
+
 // Cache is an in-memory signed translation cache (the on-disk cache of a
 // real deployment; the examples persist it through these APIs).
 type Cache struct {
 	signer  *Signer
-	entries map[[32]byte]*CacheEntry
+	entries map[cacheKey]*CacheEntry
 	Hits    int
 	Misses  int
 }
 
 // NewCache creates a cache bound to a signer.
 func NewCache(s *Signer) *Cache {
-	return &Cache{signer: s, entries: map[[32]byte]*CacheEntry{}}
+	return &Cache{signer: s, entries: map[cacheKey]*CacheEntry{}}
 }
 
-// Put stores and signs a translation for the given bytecode image.
+// Put stores and signs a translation for the given bytecode image and
+// configuration.  Entries for distinct configurations coexist.
 func (c *Cache) Put(bytecodeImage, translation []byte, config string) *CacheEntry {
 	e := &CacheEntry{ModuleHash: Hash(bytecodeImage), Config: config, Translation: translation}
 	c.signer.Sign(e)
-	c.entries[e.ModuleHash] = e
+	c.entries[cacheKey{hash: e.ModuleHash, config: config}] = e
 	return e
 }
 
-// Get fetches and verifies the cached translation for a bytecode image;
-// a verification failure removes the corrupt entry.
-func (c *Cache) Get(bytecodeImage []byte) (*CacheEntry, error) {
-	h := Hash(bytecodeImage)
-	e, ok := c.entries[h]
+// Get fetches and verifies the cached translation for a bytecode image in
+// the given configuration; a verification failure removes the corrupt
+// entry.  The returned entry's Config always equals the requested config —
+// a translation built for another configuration is never handed out.
+func (c *Cache) Get(bytecodeImage []byte, config string) (*CacheEntry, error) {
+	k := cacheKey{hash: Hash(bytecodeImage), config: config}
+	e, ok := c.entries[k]
 	if !ok {
 		c.Misses++
 		return nil, nil
 	}
+	if e.Config != config {
+		// Unreachable through Put, but the cache may be rehydrated from
+		// disk: a mislabeled entry is corrupt, same as a bad signature.
+		delete(c.entries, k)
+		c.Misses++
+		return nil, fmt.Errorf("bytecode: cached translation is for config %q, not %q", e.Config, config)
+	}
 	if err := c.signer.Verify(e, bytecodeImage); err != nil {
-		delete(c.entries, h)
+		delete(c.entries, k)
 		c.Misses++
 		return nil, err
 	}

@@ -37,6 +37,8 @@ const (
 	physCoverPages = uint64(1) << (physL1Bits + physL2Bits)
 	// memStripes is the page-content lock stripe count (SMP mode only).
 	memStripes = 64
+	// tlbSlots sizes the uniprocessor page-pointer cache.
+	tlbSlots = 64
 )
 
 // physLeaf is one directory leaf: pointers to materialized page arrays.
@@ -58,6 +60,14 @@ type PhysMemory struct {
 	// virtual CPUs launch.
 	smp     atomic.Bool
 	stripes [memStripes]sync.Mutex
+
+	// tlb is a direct-mapped page-pointer cache for the uniprocessor
+	// Load/Store fast paths.  Pages materialize once and are never freed
+	// or replaced, so a cached pointer can never go stale; the TLB is
+	// read and written only on the !smp path, where a single goroutine
+	// drives the machine.
+	tlbIdx  [tlbSlots]uint64
+	tlbPage [tlbSlots]*[PageSize]byte
 
 	// Limit, if non-zero, bounds the highest addressable byte.
 	Limit uint64
@@ -116,6 +126,20 @@ func (m *PhysMemory) page(addr uint64) *[PageSize]byte {
 	return p
 }
 
+// pageFast is page() behind the direct-mapped TLB.  Uniprocessor fast
+// paths only: the TLB slots are plain (unsynchronized) fields.
+func (m *PhysMemory) pageFast(addr uint64) *[PageSize]byte {
+	idx := addr / PageSize
+	s := idx & (tlbSlots - 1)
+	if p := m.tlbPage[s]; p != nil && m.tlbIdx[s] == idx {
+		return p
+	}
+	p := m.page(addr)
+	m.tlbIdx[s] = idx
+	m.tlbPage[s] = p
+	return p
+}
+
 // highPage serves the overflow map above the directory window.
 func (m *PhysMemory) highPage(idx uint64) *[PageSize]byte {
 	m.highMu.Lock()
@@ -148,6 +172,11 @@ func (m *PhysMemory) ReadAt(addr uint64, buf []byte) error {
 	if err := m.check(addr, len(buf)); err != nil {
 		return err
 	}
+	// Single-page transfers on a uniprocessor skip the per-page loop.
+	if off := addr % PageSize; off+uint64(len(buf)) <= PageSize && !m.smp.Load() {
+		copy(buf, m.pageFast(addr)[off:])
+		return nil
+	}
 	locked := m.smp.Load()
 	for len(buf) > 0 {
 		p := m.page(addr)
@@ -177,6 +206,11 @@ func (m *PhysMemory) WriteAt(addr uint64, buf []byte) error {
 	if err := m.check(addr, len(buf)); err != nil {
 		return err
 	}
+	// Single-page transfers on a uniprocessor skip the per-page loop.
+	if off := addr % PageSize; off+uint64(len(buf)) <= PageSize && !m.smp.Load() {
+		copy(m.pageFast(addr)[off:], buf)
+		return nil
+	}
 	locked := m.smp.Load()
 	for len(buf) > 0 {
 		p := m.page(addr)
@@ -199,6 +233,26 @@ func (m *PhysMemory) WriteAt(addr uint64, buf []byte) error {
 
 // Load reads a little-endian unsigned integer of the given byte size.
 func (m *PhysMemory) Load(addr uint64, size int) (uint64, error) {
+	// Fast path: an access that stays inside one page on a uniprocessor
+	// with no fault injector decodes straight out of the backing array —
+	// no staging buffer, no per-page copy loop.  Semantically identical to
+	// the general path below (same bounds check, same page walk).
+	if off := addr % PageSize; off+uint64(size) <= PageSize && m.Chaos == nil && !m.smp.Load() {
+		if m.Limit != 0 && addr+uint64(size) > m.Limit {
+			return 0, &MemFault{Addr: addr, Size: size}
+		}
+		p := m.pageFast(addr)
+		switch size {
+		case 8:
+			return binary.LittleEndian.Uint64(p[off:]), nil
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off:])), nil
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off:])), nil
+		case 1:
+			return uint64(p[off]), nil
+		}
+	}
 	var buf [8]byte
 	if size != 1 && size != 2 && size != 4 && size != 8 {
 		return 0, &MemFault{Addr: addr, Size: size}
@@ -219,6 +273,27 @@ func (m *PhysMemory) Load(addr uint64, size int) (uint64, error) {
 
 // Store writes a little-endian unsigned integer of the given byte size.
 func (m *PhysMemory) Store(addr uint64, v uint64, size int) error {
+	// Fast path mirror of Load's: single page, uniprocessor, no injector.
+	if off := addr % PageSize; off+uint64(size) <= PageSize && m.Chaos == nil && !m.smp.Load() {
+		if m.Limit != 0 && addr+uint64(size) > m.Limit {
+			return &MemFault{Addr: addr, Size: size}
+		}
+		p := m.pageFast(addr)
+		switch size {
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:], v)
+			return nil
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(v))
+			return nil
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(v))
+			return nil
+		case 1:
+			p[off] = byte(v)
+			return nil
+		}
+	}
 	var buf [8]byte
 	if size != 1 && size != 2 && size != 4 && size != 8 {
 		return &MemFault{Addr: addr, Size: size}
@@ -256,9 +331,7 @@ func (m *PhysMemory) Zero(addr uint64, n uint64) error {
 			mu = &m.stripes[(addr/PageSize)%memStripes]
 			mu.Lock()
 		}
-		for i := uint64(0); i < c; i++ {
-			p[off+i] = 0
-		}
+		clear(p[off : off+c])
 		if mu != nil {
 			mu.Unlock()
 		}

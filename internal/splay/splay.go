@@ -35,9 +35,32 @@ type node struct {
 type Tree struct {
 	root *node
 	size int
+	// free chains recycled nodes through their left pointers.  Stack
+	// objects register and drop once per kernel trap, so node turnover is
+	// the hottest allocation in the whole check path; the free list keeps
+	// it off the host allocator.  Bounded by the tree's peak size.
+	free *node
 
 	// Lookups counts Find operations (run-time check accounting).
 	Lookups uint64
+}
+
+// newNode hands out a recycled node or a fresh one.
+func (t *Tree) newNode(r Range) *node {
+	if n := t.free; n != nil {
+		t.free = n.left
+		n.r = r
+		n.left, n.right = nil, nil
+		return n
+	}
+	return &node{r: r}
+}
+
+// freeNode returns a detached node to the free list.
+func (t *Tree) freeNode(n *node) {
+	n.right = nil
+	n.left = t.free
+	t.free = n
 }
 
 // Len returns the number of registered ranges.
@@ -108,7 +131,7 @@ func (t *Tree) Insert(r Range) bool {
 		return false // address wraparound
 	}
 	if t.root == nil {
-		t.root = &node{r: r}
+		t.root = t.newNode(r)
 		t.size++
 		return true
 	}
@@ -118,7 +141,7 @@ func (t *Tree) Insert(r Range) bool {
 	if rangesOverlap(t.root.r, r) {
 		return false
 	}
-	n := &node{r: r}
+	n := t.newNode(r)
 	if r.Start < t.root.r.Start {
 		// Check the rightmost node of root.left for overlap.
 		if t.root.left != nil {
@@ -187,7 +210,8 @@ func (t *Tree) Remove(addr uint64) (Range, bool) {
 	if !t.root.r.Contains(addr) {
 		return Range{}, false
 	}
-	removed := t.root.r
+	dead := t.root
+	removed := dead.r
 	if t.root.left == nil {
 		t.root = t.root.right
 	} else {
@@ -197,6 +221,7 @@ func (t *Tree) Remove(addr uint64) (Range, bool) {
 		t.root.right = right
 	}
 	t.size--
+	t.freeNode(dead)
 	return removed, true
 }
 

@@ -16,8 +16,12 @@ package telemetry
 // VMStats aggregates virtual-machine execution counters (the stats block
 // behind vm.Counters).
 type VMStats struct {
-	Steps        uint64 // instructions interpreted
-	KSteps       uint64 // instructions interpreted at kernel privilege
+	Steps  uint64 // instructions interpreted
+	KSteps uint64 // instructions interpreted at kernel privilege
+	// EngineSteps counts instructions retired by the direct-threaded
+	// engine (a subset of Steps; zero with the engine off or in
+	// untranslated configurations).
+	EngineSteps  uint64
 	Calls        uint64
 	Traps        uint64 // syscalls + interrupts delivered
 	Intrinsics   uint64
@@ -45,6 +49,7 @@ type VMStats struct {
 func (s *VMStats) Add(o VMStats) {
 	s.Steps += o.Steps
 	s.KSteps += o.KSteps
+	s.EngineSteps += o.EngineSteps
 	s.Calls += o.Calls
 	s.Traps += o.Traps
 	s.Intrinsics += o.Intrinsics

@@ -76,6 +76,12 @@ type Exec struct {
 	ics       []*IContext
 	done      bool
 	retVal    uint64
+	// pool recycles popped frames (newFrame/popFrame); never cloned or
+	// saved with the execution state.
+	pool []*Frame
+	// icPool recycles popped interrupt contexts (pushIContext/popIContext);
+	// like pool, it is never cloned or saved.
+	icPool []*IContext
 }
 
 // Continuation is a saved copy of an Exec.  retSlot tracks which register
@@ -95,13 +101,29 @@ func (e *Exec) clone() *Exec {
 		done:      e.done,
 		retVal:    e.retVal,
 	}
+	// Bulk-allocate the copied frames and their register files: one Frame
+	// array plus one word arena instead of three allocations per frame.
+	// Arena slices use full-length caps, so any later append copies out
+	// rather than bleeding into a sibling frame's words.
+	words := 0
+	for _, f := range e.frames {
+		words += len(f.regs) + len(f.params)
+	}
+	arena := make([]uint64, words)
+	backing := make([]Frame, len(e.frames))
 	cp.frames = make([]*Frame, len(e.frames))
 	for i, f := range e.frames {
-		nf := *f
-		nf.regs = append([]uint64(nil), f.regs...)
-		nf.params = append([]uint64(nil), f.params...)
+		nf := &backing[i]
+		*nf = *f
+		nr, np := len(f.regs), len(f.params)
+		nf.regs = arena[:nr:nr]
+		arena = arena[nr:]
+		nf.params = arena[:np:np]
+		arena = arena[np:]
+		copy(nf.regs, f.regs)
+		copy(nf.params, f.params)
 		nf.cleanups = append([]stackObj(nil), f.cleanups...)
-		cp.frames[i] = &nf
+		cp.frames[i] = nf
 	}
 	cp.ics = make([]*IContext, len(e.ics))
 	for i, ic := range e.ics {
@@ -311,6 +333,24 @@ func (vm *VM) memStore(addr uint64, v uint64, size int) error {
 	return vm.Mach.Phys.Store(addr, v, size)
 }
 
+// memScratchCap bounds the retained size of the per-VCPU byte scratch:
+// larger requests fall back to the allocator so one huge memcpy does not
+// pin its buffer for the VM's lifetime.
+const memScratchCap = 64 << 10
+
+// memScratch returns an n-byte buffer reused across memory-intrinsic
+// calls.  Callers must fully consume it before the next guest operation
+// and must never retain it (Phys.ReadAt/WriteAt copy, they do not alias).
+func (vm *VM) memScratch(n int) []byte {
+	if n > memScratchCap {
+		return make([]byte, n)
+	}
+	if cap(vm.membuf) < n {
+		vm.membuf = make([]byte, memScratchCap)
+	}
+	return vm.membuf[:n]
+}
+
 // MemReadBytes copies guest memory for host-side inspection (no privilege
 // checks; used by intrinsics and tests).
 func (vm *VM) MemReadBytes(addr uint64, n int) ([]byte, error) {
@@ -372,6 +412,17 @@ func (vm *VM) Run() (ret uint64, err error) {
 		}
 		if vm.StepBudget != 0 && vm.Counters.Steps >= vm.StepBudget {
 			return 0, ErrStepBudget
+		}
+		if vm.engine {
+			if fr := vm.cur.frames[len(vm.cur.frames)-1]; fr.cf != nil {
+				// Translated top frame: the threaded engine dispatches
+				// until an untranslated frame (or halt/completion/budget)
+				// hands control back to this loop.
+				if herr := vm.runEngine(); herr != nil {
+					return 0, herr
+				}
+				continue
+			}
 		}
 		if err := vm.step(); err != nil {
 			if herr := vm.handleGuestError(err); herr != nil {
@@ -988,7 +1039,7 @@ func (vm *VM) execCall(ex *Exec, fr *Frame, in *ir.Instr, ops []coperand) error 
 	if err != nil {
 		return err
 	}
-	args := make([]uint64, len(in.Args))
+	args := vm.argScratch(len(in.Args))
 	for i := range in.Args {
 		args[i], err = vm.arg(fr, in, ops, i)
 		if err != nil {
@@ -1057,23 +1108,92 @@ func (vm *VM) resolveCallee(fr *Frame, callee ir.Value) (*ir.Function, error) {
 	return f, nil
 }
 
+// newFrame hands out a recycled frame from the Exec's pool, or a fresh
+// one.  Frames cycle constantly on syscall-heavy workloads; recycling
+// them (and their register files) keeps the call path off the host
+// allocator.  Pools are per-Exec, so saved continuations and cloned
+// executions (which deep-copy their frames) never share frame storage
+// with a live stack.
+func (ex *Exec) newFrame() *Frame {
+	if n := len(ex.pool); n > 0 {
+		fr := ex.pool[n-1]
+		ex.pool[n-1] = nil
+		ex.pool = ex.pool[:n-1]
+		return fr
+	}
+	return &Frame{}
+}
+
 // pushCall pushes a new frame calling fn(args).
 func (vm *VM) pushCall(fn *ir.Function, args []uint64, retTo int, icTop bool) {
 	ex := vm.cur
-	fr := &Frame{
-		fn:     fn,
-		regs:   make([]uint64, fn.NumInstrs()),
-		params: args,
-		spBase: ex.sp,
-		retTo:  retTo,
-		icTop:  icTop,
+	fr := ex.newFrame()
+	nregs := fn.NumInstrs()
+	if cap(fr.regs) < nregs {
+		fr.regs = make([]uint64, nregs)
+	} else {
+		fr.regs = fr.regs[:nregs]
+		clear(fr.regs)
 	}
+	// Copy rather than alias the arguments: params are read-only once the
+	// frame exists (no caller observes writes through them), and copying
+	// lets both the callers' argument buffers and this frame's params
+	// storage recycle through their pools.
+	na := len(args)
+	if cap(fr.params) < na {
+		fr.params = make([]uint64, na)
+	} else {
+		fr.params = fr.params[:na]
+	}
+	copy(fr.params, args)
+	fr.fn = fn
+	fr.cf = nil
+	fr.block = 0
+	fr.idx = 0
+	fr.prev = 0
+	fr.spBase = ex.sp
+	fr.retTo = retTo
+	fr.icTop = icTop
+	fr.cleanups = nil
 	if vm.Cfg.Translated() {
-		if cf, err := vm.translate(fn); err == nil {
-			fr.cf = cf
-		}
+		fr.cf = vm.translateCached(fn)
 	}
 	ex.frames = append(ex.frames, fr)
+}
+
+// translateCached fronts translate with a per-VCPU plain map: the shared
+// engineCache needs a concurrent map, but each VCPU's hot call path can
+// memoize the answer lock-free.  The cache keys on the intrinsic-binding
+// generation so an intrinsic-table mutation flushes it along with the
+// shared cache.  Failed translations are not memoized — a later LoadModule
+// can resolve the missing symbol, and retrying matches the shared cache's
+// behavior.
+func (vm *VM) translateCached(fn *ir.Function) *compiledFunc {
+	if g := vm.eng.intrGen.Load(); g != vm.tcGen || vm.tcache == nil {
+		vm.tcache = make(map[*ir.Function]*compiledFunc)
+		vm.tcGen = g
+	}
+	if cf, ok := vm.tcache[fn]; ok {
+		return cf
+	}
+	cf, err := vm.translate(fn)
+	if err != nil {
+		return nil
+	}
+	vm.tcache[fn] = cf
+	return cf
+}
+
+// argScratch returns a reusable per-VCPU buffer for building call
+// arguments.  Callers must hand the buffer off before the next guest
+// operation: pushCall copies it into frame params, and intrinsic handlers
+// never retain their argument slice past the call (the two that keep
+// argument data — TrapEnter, IContextPushFunction — copy it).
+func (vm *VM) argScratch(n int) []uint64 {
+	if cap(vm.argbuf) < n {
+		vm.argbuf = make([]uint64, n)
+	}
+	return vm.argbuf[:n]
 }
 
 // popFrame returns from the top frame with the given value.
@@ -1086,6 +1206,7 @@ func (vm *VM) popFrame(val uint64) error {
 	if len(ex.frames) == 0 {
 		ex.done = true
 		ex.retVal = val
+		ex.pool = append(ex.pool, fr)
 		return nil
 	}
 	parent := ex.frames[len(ex.frames)-1]
@@ -1095,7 +1216,11 @@ func (vm *VM) popFrame(val uint64) error {
 		}
 		parent.regs[fr.retTo] = val
 	}
-	if fr.icTop {
+	icTop := fr.icTop
+	// Recycle before popIContext: nothing below reads fr, and pending
+	// signal dispatch inside popIContext may immediately reuse the slot.
+	ex.pool = append(ex.pool, fr)
+	if icTop {
 		vm.popIContext()
 	}
 	return nil
@@ -1105,13 +1230,20 @@ func (vm *VM) popFrame(val uint64) error {
 // and kernel privilege, and returns the opaque icontext handle.
 func (vm *VM) pushIContext(retSlot int) uint64 {
 	ex := vm.cur
-	ic := &IContext{
-		frameIdx:   len(ex.frames),
-		savedSP:    ex.sp,
-		savedPriv:  ex.priv,
-		retSlot:    retSlot,
-		entrySteps: vm.Counters.Steps,
+	var ic *IContext
+	if n := len(ex.icPool); n > 0 {
+		ic = ex.icPool[n-1]
+		ex.icPool[n-1] = nil
+		ex.icPool = ex.icPool[:n-1]
+		*ic = IContext{pending: ic.pending[:0]}
+	} else {
+		ic = &IContext{}
 	}
+	ic.frameIdx = len(ex.frames)
+	ic.savedSP = ex.sp
+	ic.savedPriv = ex.priv
+	ic.retSlot = retSlot
+	ic.entrySteps = vm.Counters.Steps
 	ex.ics = append(ex.ics, ic)
 	// Switch to the kernel stack only on a user→kernel transition; nested
 	// (internal) traps keep the current kernel stack pointer.
@@ -1147,6 +1279,9 @@ func (vm *VM) popIContext() {
 		p := ic.pending[i]
 		vm.pushCall(p.fn, p.args, -1, false)
 	}
+	// Recycle last: the pending dispatch above may push a new trap frame,
+	// but it never re-enters this interrupt context.
+	ex.icPool = append(ex.icPool, ic)
 }
 
 // icontext returns the interrupt context for a guest handle.
@@ -1248,14 +1383,20 @@ type gepStep struct {
 }
 
 func (vm *VM) gepOffset(fr *Frame, in *ir.Instr) (int64, error) {
-	plan := vm.gepPlans[in]
-	if plan == nil {
+	var plan *gepPlan
+	if p, ok := vm.eng.gepPlans.Load(in); ok {
+		plan = p.(*gepPlan)
+	} else {
 		var err error
 		plan, err = buildGEPPlan(in)
 		if err != nil {
 			return 0, err
 		}
-		vm.gepPlans[in] = plan
+		// Plans are immutable once built; LoadOrStore keeps concurrent
+		// builders (untranslated configs have no eng.mu serialization)
+		// agreeing on one canonical plan.
+		got, _ := vm.eng.gepPlans.LoadOrStore(in, plan)
+		plan = got.(*gepPlan)
 	}
 	off := plan.constOff
 	for _, s := range plan.steps {

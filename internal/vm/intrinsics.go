@@ -143,7 +143,7 @@ func (vm *VM) installCoreIntrinsics() {
 		if err := vm.checkAccess(dst, int(n), true); err != nil {
 			return IntrinsicResult{}, err
 		}
-		buf := make([]byte, n)
+		buf := vm.memScratch(int(n)) // n ≤ MaxAccess after checkAccess
 		for i := range buf {
 			buf[i] = c
 		}
@@ -161,12 +161,12 @@ func (vm *VM) installCoreIntrinsics() {
 		if err := vm.checkAccess(q, int(n), false); err != nil {
 			return IntrinsicResult{}, err
 		}
-		bp, err := vm.MemReadBytes(p, int(n))
-		if err != nil {
+		s := vm.memScratch(int(2 * n)) // n ≤ MaxAccess after checkAccess
+		bp, bq := s[:n], s[n:]
+		if err := vm.Mach.Phys.ReadAt(p, bp); err != nil {
 			return IntrinsicResult{}, err
 		}
-		bq, err := vm.MemReadBytes(q, int(n))
-		if err != nil {
+		if err := vm.Mach.Phys.ReadAt(q, bq); err != nil {
 			return IntrinsicResult{}, err
 		}
 		for i := range bp {
@@ -221,8 +221,8 @@ func memcpyIntrinsic(vm *VM, a []uint64) (IntrinsicResult, error) {
 	if err := vm.checkAccess(dst, int(n), true); err != nil {
 		return IntrinsicResult{}, err
 	}
-	buf, err := vm.MemReadBytes(src, int(n))
-	if err != nil {
+	buf := vm.memScratch(int(n)) // n ≤ MaxAccess after both checkAccess calls
+	if err := vm.Mach.Phys.ReadAt(src, buf); err != nil {
 		return IntrinsicResult{}, err
 	}
 	if err := vm.Mach.Phys.WriteAt(dst, buf); err != nil {
@@ -240,6 +240,9 @@ func (vm *VM) RegisterSyscallHandler(num int64, fnAddr uint64) error {
 		return fmt.Errorf("vm: register syscall %d: bad handler address %#x", num, fnAddr)
 	}
 	vm.syscalls[num] = f
+	if un := uint64(num); un < denseSyscalls {
+		vm.syscallsDense[un] = f
+	}
 	return nil
 }
 

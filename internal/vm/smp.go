@@ -6,20 +6,24 @@ import (
 	"sync/atomic"
 
 	"sva/internal/hw"
-	"sva/internal/ir"
 )
 
 // This file implements SMP: several virtual CPUs (host goroutines) driving
 // one simulated machine.  The memory model (DESIGN.md §13):
 //
-//   - Kernel image, metapools, devices, intrinsic/handler tables and the
-//     saved-state tables are shared by reference.
-//   - Processor state (CPU), the execution stack (cur), counters, fault
-//     logs, the translation cache and the GEP-plan cache are private per
-//     VCPU — no lock on any interpreter hot path.
+//   - Kernel image, metapools, devices, intrinsic/handler tables, the
+//     saved-state tables and the translation cache (compiled functions and
+//     GEP plans; engineCache in translate.go) are shared by reference — a
+//     function translates once per machine, and every VCPU dispatches the
+//     same compiled closures.  Cache reads are lock-free sync.Map loads;
+//     builds serialize on eng.mu, a leaf lock never held across a guest
+//     instruction.
+//   - Processor state (CPU), the execution stack (cur), counters and fault
+//     logs are private per VCPU — no lock on any interpreter hot path.
 //   - Lock order (outermost first): shared.atomics → stateMu → device
 //     mutexes.  Metapool internals take their own write lock below all of
-//     these and never call back out.
+//     these and never call back out; eng.mu nests below everything (its
+//     holder only evaluates constants and inspects IR).
 
 // MaxVCPUs bounds EnableSMP.  The guest kernel sizes its per-CPU arrays
 // (current_task, sched_target) to match.
@@ -79,9 +83,10 @@ func (vm *VM) EnableSMP(n int) ([]*VM, error) {
 
 // newVCPU clones the boot VM into a sibling virtual CPU.  Shared by
 // reference: machine, pools, module tables, intrinsics, syscall/interrupt
-// handlers, saved states (stateMu-guarded), chaos injector.  Private:
-// processor state, execution stack, counters, violation/fault logs,
-// translation and GEP-plan caches, profiler/trace lanes.
+// handlers, saved states (stateMu-guarded), the translation cache (the
+// struct copy carries the eng pointer, so siblings reuse — never rebuild —
+// compiled functions), chaos injector.  Private: processor state,
+// execution stack, counters, violation/fault logs, profiler/trace lanes.
 func (vm *VM) newVCPU(id int) *VM {
 	cp := *vm
 	v := &cp
@@ -92,14 +97,20 @@ func (vm *VM) newVCPU(id int) *VM {
 	v.Violations = nil
 	v.FaultLog = nil
 	v.syscallCounts = map[int64]uint64{}
-	v.translated = map[*ir.Function]*compiledFunc{}
-	v.gepPlans = map[*ir.Instr]*gepPlan{}
+	v.syscallCountsDense = [denseSyscalls]uint64{}
 	v.prof = nil
 	v.trace = nil
 	v.oopsStreak = 0
 	v.Halted = false
 	v.ExitCode = 0
 	v.pendingCallSets = nil
+	// Per-VCPU scratch: the struct copy must not share the boot CPU's
+	// lock-free translation memo or argument buffer.
+	v.tcache = nil
+	v.tcGen = 0
+	v.argbuf = nil
+	v.hargs = nil
+	v.membuf = nil
 	return v
 }
 

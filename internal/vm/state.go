@@ -6,6 +6,7 @@ import (
 	"sva/internal/abi"
 	"sva/internal/faultinject"
 	"sva/internal/hw"
+	"sva/internal/ir"
 	"sva/internal/telemetry"
 )
 
@@ -186,11 +187,28 @@ func (vm *VM) IContextSaveState(icp, isp uint64) error {
 		priv:      ic.savedPriv,
 		kstackTop: ex.kstackTop,
 	}
+	// Bulk-copy the interrupted frames: one Frame array and one word arena
+	// (full-cap slices, so appends copy out) instead of three allocations
+	// per frame.  Fork saves state once per trap, making this the hottest
+	// copy in process creation.
+	words := 0
 	for _, f := range ex.frames[:ic.frameIdx] {
-		nf := *f
-		nf.regs = append([]uint64(nil), f.regs...)
-		nf.params = append([]uint64(nil), f.params...)
-		c.frames = append(c.frames, &nf)
+		words += len(f.regs) + len(f.params)
+	}
+	arena := make([]uint64, words)
+	backing := make([]Frame, ic.frameIdx)
+	c.frames = make([]*Frame, ic.frameIdx)
+	for i, f := range ex.frames[:ic.frameIdx] {
+		nf := &backing[i]
+		*nf = *f
+		nr, np := len(f.regs), len(f.params)
+		nf.regs = arena[:nr:nr]
+		arena = arena[nr:]
+		nf.params = arena[:np:np]
+		arena = arena[np:]
+		copy(nf.regs, f.regs)
+		copy(nf.params, f.params)
+		c.frames[i] = nf
 	}
 	// Interrupt contexts nested beneath this one belong to the interrupted
 	// computation.
@@ -341,11 +359,21 @@ func (vm *VM) SetSavedUStack(isp, sp uint64) error {
 // a fresh interrupt context.
 func (vm *VM) TrapEnter(num int64, args []uint64) (IntrinsicResult, error) {
 	vm.CPU.Cycles += cycTrap
-	vm.syscallCounts[num]++
+	var h *ir.Function
+	if un := uint64(num); un < denseSyscalls {
+		vm.syscallCountsDense[un]++
+		if h = vm.syscallsDense[un]; h == nil {
+			// Registered after this VCPU was cloned: the shared map is
+			// authoritative.
+			h = vm.syscalls[num]
+		}
+	} else {
+		vm.syscallCounts[num]++
+		h = vm.syscalls[num]
+	}
 	if vm.trace != nil {
 		vm.trace.Emit(telemetry.EvTrapEnter, "syscall", []uint64{uint64(num)}, "")
 	}
-	h := vm.syscalls[num]
 	if h == nil {
 		return IntrinsicResult{Value: abi.Errno(abi.ENOSYS)}, nil
 	}
@@ -364,9 +392,14 @@ func (vm *VM) TrapEnter(num int64, args []uint64) (IntrinsicResult, error) {
 		vm.CPU.Cycles += CycTrapSpill
 	}
 	// The handler receives the icontext handle it will have after entry,
-	// followed by the six trap arguments.
+	// followed by the six trap arguments.  The buffer is per-VCPU scratch:
+	// the stepper copies PushArgs into the handler frame's params before
+	// the next trap can run.
 	icp := uint64(len(vm.cur.ics) + 1)
-	hargs := make([]uint64, 0, 7)
+	if cap(vm.hargs) < len(h.Params)+len(args)+1 {
+		vm.hargs = make([]uint64, 0, len(h.Params)+len(args)+1)
+	}
+	hargs := vm.hargs[:0]
 	hargs = append(hargs, icp)
 	hargs = append(hargs, args...)
 	for len(hargs) < len(h.Params) {

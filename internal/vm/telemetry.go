@@ -46,7 +46,7 @@ func (vm *VM) DisableTrace() {
 func (vm *VM) Trace() *telemetry.Trace { return vm.trace }
 
 // SyscallCounts returns the per-syscall-number trap dispatch tallies.
-func (vm *VM) SyscallCounts() map[int64]uint64 { return vm.syscallCounts }
+func (vm *VM) SyscallCounts() map[int64]uint64 { return vm.syscallTally() }
 
 // observedIntrinsic wraps an intrinsic handler call when a profiler or
 // trace is attached: the handler's cycle delta is booked against the

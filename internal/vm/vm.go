@@ -98,6 +98,25 @@ const (
 	CycDirectPenaltyShift = 5
 )
 
+// denseSyscalls is the syscall-number window served by the dense trap
+// dispatch arrays (see VM.syscallsDense).
+const denseSyscalls = 512
+
+// syscallTally merges this VCPU's dense trap tallies with the overflow
+// map into a fresh per-number count map.
+func (vm *VM) syscallTally() map[int64]uint64 {
+	out := make(map[int64]uint64, len(vm.syscallCounts)+16)
+	for num, n := range vm.syscallCounts {
+		out[num] = n
+	}
+	for num, n := range vm.syscallCountsDense {
+		if n != 0 {
+			out[int64(num)] += n
+		}
+	}
+	return out
+}
+
 // Counters aggregates execution statistics.  It is the telemetry schema's
 // VM block; the alias keeps the historical vm.Counters name working.
 type Counters = telemetry.VMStats
@@ -163,10 +182,24 @@ type VM struct {
 	syscalls   map[int64]*ir.Function
 	interrupts map[int64]*ir.Function
 
-	// translation cache (ConfigSVALLVM / ConfigSafe).
-	translated map[*ir.Function]*compiledFunc
-
-	gepPlans map[*ir.Instr]*gepPlan
+	// eng is the machine-wide translation cache (compiled functions, GEP
+	// plans, intrinsic-binding generation).  Shared by reference across
+	// every VCPU — a function translates once per machine, not per CPU.
+	eng *engineCache
+	// engine gates direct-threaded dispatch of translated frames (the §3.4
+	// engine; see engine.go).  Default on; SetEngine(false) yields the
+	// pre-lowered interpreter the equivalence suite uses as oracle.
+	engine bool
+	// tcache/tcGen memoize eng.translated per VCPU without the concurrent
+	// map (see translateCached); argbuf is the per-VCPU call-argument
+	// scratch (see argScratch).  All private to this VCPU.
+	tcache map[*ir.Function]*compiledFunc
+	tcGen  uint64
+	argbuf []uint64
+	// hargs is TrapEnter's handler-argument scratch, also per-VCPU.
+	hargs []uint64
+	// membuf is the memory-intrinsic byte scratch (see memScratch).
+	membuf []byte
 
 	// Violations records every safety violation detected at run time.
 	Violations []*metapool.Violation
@@ -184,6 +217,13 @@ type VM struct {
 	trace *telemetry.Trace
 	// syscallCounts tallies trap dispatches per syscall number.
 	syscallCounts map[int64]uint64
+	// syscallsDense/syscallCountsDense are the trap hot path for small
+	// syscall numbers (the only kind real kernels use): a direct array
+	// index instead of two map operations per trap.  The maps remain
+	// authoritative for registration and for numbers outside the window;
+	// readers merge the dense tallies via syscallTally.
+	syscallsDense      *[denseSyscalls]*ir.Function
+	syscallCountsDense [denseSyscalls]uint64
 
 	Halted   bool
 	ExitCode uint64
@@ -215,36 +255,34 @@ type VM struct {
 // New creates a VM on the given machine.
 func New(mach *hw.Machine, cfg Config) *VM {
 	vm := &VM{
-		Mach:        mach,
-		CPU:         mach.CPU,
-		Cfg:         cfg,
-		stateMu:     &sync.Mutex{},
-		Pools:       metapool.NewRegistry(),
-		funcAddr:    map[*ir.Function]uint64{},
-		addrFunc:    map[uint64]*ir.Function{},
-		globalAddr:  map[*ir.Global]uint64{},
-		symFunc:     map[string]*ir.Function{},
-		intrinsics:  map[string]IntrinsicFn{},
-		savedStates: map[uint64]*Continuation{},
-		savedFP:     map[uint64]hw.FPState{},
-		syscalls:    map[int64]*ir.Function{},
-		interrupts:  map[int64]*ir.Function{},
-		translated:  map[*ir.Function]*compiledFunc{},
-		gepPlans:    map[*ir.Instr]*gepPlan{},
-		nextKGlobal: KGlobalBase,
-		nextUGlobal: UserBase,
-		nextFunc:    CodeBase,
-		nextKStack:  KStackBase,
+		Mach:          mach,
+		CPU:           mach.CPU,
+		Cfg:           cfg,
+		stateMu:       &sync.Mutex{},
+		Pools:         metapool.NewRegistry(),
+		funcAddr:      map[*ir.Function]uint64{},
+		addrFunc:      map[uint64]*ir.Function{},
+		globalAddr:    map[*ir.Global]uint64{},
+		symFunc:       map[string]*ir.Function{},
+		intrinsics:    map[string]IntrinsicFn{},
+		savedStates:   map[uint64]*Continuation{},
+		savedFP:       map[uint64]hw.FPState{},
+		syscalls:      map[int64]*ir.Function{},
+		syscallsDense: &[denseSyscalls]*ir.Function{},
+		interrupts:    map[int64]*ir.Function{},
+		eng:           newEngineCache(),
+		engine:        true,
+		nextKGlobal:   KGlobalBase,
+		nextUGlobal:   UserBase,
+		nextFunc:      CodeBase,
+		nextKStack:    KStackBase,
 
 		Telemetry:     telemetry.NewRegistry(),
 		syscallCounts: map[int64]uint64{},
 	}
 	vm.Telemetry.Register(func(s *telemetry.Snapshot) {
 		s.VM = vm.Counters
-		s.Kernel.Syscalls = make(map[int64]uint64, len(vm.syscallCounts))
-		for num, n := range vm.syscallCounts {
-			s.Kernel.Syscalls[num] = n
-		}
+		s.Kernel.Syscalls = vm.syscallTally()
 		if vm.shared != nil {
 			// SMP: fold every sibling VCPU's private counters into the one
 			// machine-wide snapshot (taken after the VCPUs have joined).
@@ -253,7 +291,7 @@ func New(mach *hw.Machine, cfg Config) *VM {
 					continue
 				}
 				s.VM.Add(v.Counters)
-				for num, n := range v.syscallCounts {
+				for num, n := range v.syscallTally() {
 					s.Kernel.Syscalls[num] += n
 				}
 			}
@@ -279,7 +317,25 @@ func New(mach *hw.Machine, cfg Config) *VM {
 // RegisterIntrinsic installs (or replaces) a handler for a named intrinsic.
 func (vm *VM) RegisterIntrinsic(name string, fn IntrinsicFn) {
 	vm.intrinsics[name] = fn
+	// Compiled call closures bind handlers at translate time; flush so
+	// future translations rebind, and bump the generation so frames still
+	// holding old compiled forms re-resolve through the live table.
+	vm.eng.invalidate()
 }
+
+// SetEngine toggles direct-threaded dispatch on every VCPU of the machine.
+// Off, translated configs run the pre-lowered interpreter — the engine's
+// differential-testing oracle.  Verdicts, virtual cycles, counters and
+// trap behavior are bit-identical either way (the equivalence suite in
+// internal/exploits enforces this).
+func (vm *VM) SetEngine(on bool) {
+	for _, v := range vm.VCPUs() {
+		v.engine = on
+	}
+}
+
+// EngineOn reports whether threaded-code dispatch is enabled.
+func (vm *VM) EngineOn() bool { return vm.engine }
 
 // LoadModule links a module into the VM: assigns code addresses to
 // functions, allocates and initializes globals, and registers metapool
