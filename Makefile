@@ -1,7 +1,7 @@
 # Tier-1 gate plus the race-sensitive packages this repo parallelizes.
 GO ?= go
 
-.PHONY: all build test vet race check equiv bench tables chaos
+.PHONY: all build test vet lint race check equiv bench tables chaos
 
 all: check
 
@@ -13,6 +13,15 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Static diagnostics: go vet, then staticcheck/govulncheck when the host has
+# them (CI images may; this repo never installs tools), then sva-lint's
+# kernel-invariant rules over every built-in target.  The JSON artifact is
+# what CI uploads.
+lint: vet
+	@command -v staticcheck >/dev/null 2>&1 && staticcheck ./... || echo "lint: staticcheck not installed, skipping"
+	@command -v govulncheck >/dev/null 2>&1 && govulncheck ./... || echo "lint: govulncheck not installed, skipping"
+	$(GO) run ./cmd/sva-lint -target all -json sva-lint.json
 
 # Threaded-engine oracle gate: the engine-on and engine-off twins must
 # produce bit-identical verdicts, virtual time and trap behavior across
@@ -28,7 +37,7 @@ equiv:
 race:
 	$(GO) test -race -cpu=1,4 ./...
 
-check: build vet test equiv race
+check: build lint test equiv race
 
 # Fixed-seed fault-injection smoke: three classes through sva-run plus a
 # one-seed-per-class campaign table.  Any host escape fails the target.

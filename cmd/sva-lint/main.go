@@ -1,0 +1,103 @@
+// Command sva-lint statically checks SVA kernel-usage invariants: it runs
+// the internal/analysis value-range framework plus the internal/lint rule
+// engine over compiled modules or guest bytecode and reports findings as
+// human-readable lines and/or a JSON artifact.
+//
+// Usage:
+//
+//	sva-lint                     lint the safety-compiled kernel + userland + apps
+//	sva-lint -target userland    lint one built-in target (kernel|userland|apps|all)
+//	sva-lint -json out.json      also write findings as JSON
+//	sva-lint prog.sva ...        lint bytecode files instead of built-in targets
+//
+// Exit status is 1 when any finding is reported.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"sva/internal/apps"
+	"sva/internal/bytecode"
+	"sva/internal/ir"
+	"sva/internal/kernel"
+	"sva/internal/lint"
+	"sva/internal/pointer"
+	"sva/internal/safety"
+	"sva/internal/userland"
+)
+
+func main() {
+	target := flag.String("target", "all", "built-in lint target: kernel|userland|apps|all")
+	jsonOut := flag.String("json", "", "write findings to this file as JSON")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "sva-lint:", err)
+		os.Exit(2)
+	}
+
+	var findings []lint.Finding
+	if flag.NArg() > 0 {
+		for _, path := range flag.Args() {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fail(err)
+			}
+			mod, err := bytecode.Decode(data)
+			if err != nil {
+				fail(err)
+			}
+			findings = append(findings, lint.Run(nil, mod)...)
+		}
+	} else {
+		runKernel := *target == "kernel" || *target == "all"
+		runUser := *target == "userland" || *target == "all"
+		runApps := *target == "apps" || *target == "all"
+		if !runKernel && !runUser && !runApps {
+			fail(fmt.Errorf("unknown target %q", *target))
+		}
+		if runKernel {
+			img := kernel.Build()
+			prog, err := safety.Compile(kernel.SafetyConfig(true), img.Kernel)
+			if err != nil {
+				fail(err)
+			}
+			findings = append(findings, lint.Run(prog.Res, img.Kernel)...)
+		}
+		if runUser {
+			findings = append(findings, lintModule(userland.BuildTestPrograms().M)...)
+		}
+		if runApps {
+			findings = append(findings, lintModule(apps.BuildAppsModule().M)...)
+		}
+	}
+
+	if *jsonOut != "" {
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		blob, err := json.MarshalIndent(findings, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "sva-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+	fmt.Println("sva-lint: OK (0 findings)")
+}
+
+func lintModule(m *ir.Module) []lint.Finding {
+	var pt *pointer.Result
+	return lint.Run(pt, m)
+}

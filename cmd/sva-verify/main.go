@@ -25,7 +25,7 @@ import (
 func main() {
 	useKernel := flag.Bool("kernel", false, "verify the bundled safety-compiled kernel")
 	dis := flag.Bool("dis", false, "print the module's textual IR (disassemble)")
-	inject := flag.String("inject", "", "inject a pointer-analysis bug first (aliasing|edge|th-claim|split|bogus-elision)")
+	inject := flag.String("inject", "", "inject a pointer-analysis bug first (aliasing|edge|th-claim|split|bogus-elision|bogus-range-elision)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -62,11 +62,12 @@ func main() {
 
 	if *inject != "" {
 		kinds := map[string]typecheck.BugKind{
-			"aliasing":      typecheck.BugAliasing,
-			"edge":          typecheck.BugEdge,
-			"th-claim":      typecheck.BugTHClaim,
-			"split":         typecheck.BugSplit,
-			"bogus-elision": typecheck.BugBogusElision,
+			"aliasing":            typecheck.BugAliasing,
+			"edge":                typecheck.BugEdge,
+			"th-claim":            typecheck.BugTHClaim,
+			"split":               typecheck.BugSplit,
+			"bogus-elision":       typecheck.BugBogusElision,
+			"bogus-range-elision": typecheck.BugBogusRangeElision,
 		}
 		kind, ok := kinds[*inject]
 		if !ok {

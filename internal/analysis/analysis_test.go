@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"testing"
+
+	"sva/internal/ir"
+)
+
+// TestComposedGuardRefinement mirrors the kernel's range-guard idiom
+// (find_task, fd_get):
+//
+//	bad = or (zext (icmp slt p0, 0)), (zext (icmp sge p0, 64))
+//	br (icmp ne bad, 0), trap, body
+//
+// On the body edge p0 must be refined to [0, 63].
+func TestComposedGuardRefinement(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+	f := b.NewFunc("guarded", ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false), "idx")
+	neg := b.ICmp(ir.PredSLT, b.Param(0), ir.I64c(0))
+	big := b.ICmp(ir.PredSGE, b.Param(0), ir.I64c(64))
+	bad := b.Or(b.ZExt(neg, ir.I64), b.ZExt(big, ir.I64))
+	b.If(b.ICmp(ir.PredNE, bad, ir.I64c(0)), func() {
+		b.Ret(ir.I64c(-1))
+	})
+	body := b.Cur
+	b.Ret(b.Param(0))
+
+	fr := ForFunction(f, nil)
+	got := fr.At(f.Params[0], body)
+	if got != Range(0, 63) {
+		t.Fatalf("refined param range = %v, want [0,63]", got)
+	}
+	if !fr.ProveIn(f.Params[0], body, 0, 63) {
+		t.Fatal("ProveIn failed on the guarded range")
+	}
+	// At entry the parameter is unconstrained.
+	if got := fr.At(f.Params[0], f.Entry()); !got.IsTop(64) {
+		t.Fatalf("entry range = %v, want top", got)
+	}
+	// The witness must be the two comparisons holding the bounds.
+	_, wit := fr.AtWitness(f.Params[0], body)
+	if len(wit) != 2 {
+		t.Fatalf("witness count = %d (%v), want 2", len(wit), wit)
+	}
+}
+
+// TestURemAndMaskTransfer covers the blkdev sector offset (urem by 512)
+// and the per-CPU masked-index idiom (and with MaxCPUs-1).
+func TestURemAndMaskTransfer(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+	f := b.NewFunc("mods", ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false), "x")
+	off := b.URem(b.Param(0), ir.I64c(512))
+	cpu := b.And(b.Param(0), ir.I64c(7))
+	sum := b.Add(off, cpu)
+	b.Ret(sum)
+
+	fr := ForFunction(f, nil)
+	blk := f.Entry()
+	if got := fr.At(off, blk); got != Range(0, 511) {
+		t.Fatalf("urem range = %v, want [0,511]", got)
+	}
+	if got := fr.At(cpu, blk); got != Range(0, 7) {
+		t.Fatalf("mask range = %v, want [0,7]", got)
+	}
+	if got := fr.At(sum, blk); got != Range(0, 518) {
+		t.Fatalf("sum range = %v, want [0,518]", got)
+	}
+}
+
+// TestSelectRefinement covers dentry_add's length capping:
+// select(ult(n, 23), n, 23) must land in [0, 23] even though n is unknown.
+func TestSelectRefinement(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+	f := b.NewFunc("cap", ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false), "n")
+	capped := b.Select(b.ICmp(ir.PredULT, b.Param(0), ir.I64c(23)), b.Param(0), ir.I64c(23))
+	b.Ret(capped)
+
+	fr := ForFunction(f, nil)
+	if got := fr.At(capped, f.Entry()); got != Range(0, 23) {
+		t.Fatalf("select range = %v, want [0,23]", got)
+	}
+}
+
+// TestLoopWideningTerminates runs an unguarded counter loop through the
+// solver: the count must widen to the type maximum, not hang.
+func TestLoopWideningTerminates(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+	f := b.NewFunc("spin", ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false), "n")
+	cell := b.Alloca(ir.I64, "i")
+	b.Store(ir.I64c(0), cell)
+	b.While(func() ir.Value {
+		return b.ICmp(ir.PredNE, b.Load(cell), b.Param(0))
+	}, func() {
+		b.Store(b.Add(b.Load(cell), ir.I64c(1)), cell)
+	})
+	b.Ret(b.Load(cell))
+
+	fr := ForFunction(f, nil)
+	// Loads are Top; what matters is that the fixed point terminated and
+	// the increment's range is sane (non-empty).
+	var inc *ir.Instr
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == ir.OpAdd {
+				inc = in
+			}
+		}
+	}
+	if inc == nil {
+		t.Fatal("no add instruction found")
+	}
+	if got := fr.At(inc, inc.Parent()); got.IsEmpty() {
+		t.Fatalf("increment range = %v, want non-empty", got)
+	}
+}
+
+// TestRangeUnreachable: a block only reachable when 3 < 2 must be pruned by
+// sparse-conditional reachability while the plain CFG still reaches it.
+func TestRangeUnreachable(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+	f := b.NewFunc("dead", ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false), "x")
+	cond := b.ICmp(ir.PredSLT, ir.I64c(3), ir.I64c(2))
+	var deadBlk *ir.BasicBlock
+	b.If(cond, func() {
+		deadBlk = b.Cur
+		b.Ret(ir.I64c(99))
+	})
+	b.Ret(ir.I64c(0))
+
+	fr := ForFunction(f, nil)
+	if !f.CFG().Reachable(deadBlk) {
+		t.Fatal("CFG should reach the dead block syntactically")
+	}
+	if fr.RangeReachable(deadBlk) {
+		t.Fatal("range analysis failed to prune the 3<2 branch")
+	}
+}
+
+// TestInterprocSummaries: a static helper returning urem(x, 64) propagates
+// [0,63] to its caller, and a non-escaping callee's parameter picks up the
+// joined range of its call-site arguments.
+func TestInterprocSummaries(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+
+	helper := b.NewFunc("helper", ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false), "x")
+	b.Ret(b.URem(b.Param(0), ir.I64c(64)))
+
+	sink := b.NewFunc("sink", ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false), "v")
+	b.Ret(b.Param(0))
+
+	caller := b.NewFunc("caller", ir.FuncOf(ir.I64, []*ir.Type{ir.I64}, false), "y")
+	h := b.Call(helper, b.Param(0))
+	s := b.Call(sink, h)
+	b.Ret(s)
+
+	mr := ForModule(nil, m)
+	if got := mr.Returns[helper]; got != Range(0, 63) {
+		t.Fatalf("helper return summary = %v, want [0,63]", got)
+	}
+	// The call result inside caller uses the summary.
+	cfr := mr.Func[caller]
+	if got := cfr.At(h, h.Parent()); got != Range(0, 63) {
+		t.Fatalf("call result range = %v, want [0,63]", got)
+	}
+	// sink's parameter takes the joined call-site argument range.
+	if got := mr.Params[sink.Params[0]]; got != Range(0, 63) {
+		t.Fatalf("sink param summary = %v, want [0,63]", got)
+	}
+	// caller's own return flows the summary through.
+	if got := mr.Returns[caller]; got != Range(0, 63) {
+		t.Fatalf("caller return summary = %v, want [0,63]", got)
+	}
+}

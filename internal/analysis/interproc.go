@@ -1,0 +1,270 @@
+package analysis
+
+import (
+	"sort"
+
+	"sva/internal/ir"
+	"sva/internal/pointer"
+)
+
+// ModuleRanges is the interprocedural result: per-function converged
+// ranges plus bottom-up return summaries and top-down parameter summaries
+// for functions whose call sites are all visible (non-escaping "static"
+// functions, resolved through the pointer-analysis call graph).
+type ModuleRanges struct {
+	Func    map[*ir.Function]*FuncRanges
+	Returns map[*ir.Function]Interval
+	Params  map[*ir.Param]Interval
+}
+
+// ForModule analyzes every defined function in the modules.  pt may be nil
+// (indirect calls then block parameter summaries for their targets but
+// direct-call summaries still flow).
+func ForModule(pt *pointer.Result, mods ...*ir.Module) *ModuleRanges {
+	mr := &ModuleRanges{
+		Func:    map[*ir.Function]*FuncRanges{},
+		Returns: map[*ir.Function]Interval{},
+		Params:  map[*ir.Param]Interval{},
+	}
+
+	var funcs []*ir.Function
+	for _, m := range mods {
+		for _, f := range m.Funcs {
+			if !f.IsDecl() {
+				funcs = append(funcs, f)
+			}
+		}
+	}
+
+	escaped := escapedFuncs(mods)
+	callees := func(in *ir.Instr) []*ir.Function {
+		if cf, ok := in.Callee.(*ir.Function); ok {
+			return []*ir.Function{cf}
+		}
+		if pt != nil {
+			return pt.Callees(in)
+		}
+		return nil
+	}
+
+	// Call-graph edges caller → callee, restricted to defined functions.
+	edges := map[*ir.Function][]*ir.Function{}
+	callers := map[*ir.Function][]*ir.Instr{}
+	callerOf := map[*ir.Instr]*ir.Function{}
+	for _, f := range funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpCall {
+					continue
+				}
+				for _, cf := range callees(in) {
+					if cf.IsDecl() {
+						continue
+					}
+					edges[f] = append(edges[f], cf)
+					callers[cf] = append(callers[cf], in)
+					callerOf[in] = f
+				}
+			}
+		}
+	}
+
+	// Reverse-topological SCC order (callees before callers); members of
+	// non-trivial SCCs (recursion) get no summaries.
+	order, recursive := sccOrder(funcs, edges)
+
+	// Phase 1 — bottom-up return summaries: analyze callees first so a
+	// caller's calls evaluate to the callee's joined return range.
+	returnsPass := func() {
+		for _, f := range order {
+			fr := ForFunction(f, &Options{Returns: mr.Returns, Params: mr.Params})
+			mr.Func[f] = fr
+			if recursive[f] || !f.Sig.Ret().IsInt() {
+				continue
+			}
+			ret := Empty()
+			for _, b := range f.Blocks {
+				t := b.Terminator()
+				if t == nil || t.Op != ir.OpRet || len(t.Args) == 0 {
+					continue
+				}
+				if !fr.RangeReachable(b) {
+					continue
+				}
+				ret = Join(ret, fr.At(t.Args[0], b))
+			}
+			if !ret.IsEmpty() {
+				mr.Returns[f] = ret
+			}
+		}
+	}
+
+	// Phase 2 — top-down parameter summaries, callers first: a function
+	// whose address never escapes is entered only at its visible call
+	// sites, so each parameter's range is the join of the argument ranges
+	// there.
+	paramsPass := func() {
+		for i := len(order) - 1; i >= 0; i-- {
+			f := order[i]
+			if recursive[f] || escaped[f] || len(callers[f]) == 0 {
+				continue
+			}
+			args := make([]Interval, len(f.Params))
+			for j := range args {
+				args[j] = Empty()
+			}
+			for _, site := range callers[f] {
+				cfr := mr.Func[callerOf[site]]
+				for j := range f.Params {
+					if j >= len(site.Args) || !f.Params[j].Typ.IsInt() {
+						continue
+					}
+					args[j] = Join(args[j], cfr.At(site.Args[j], site.Parent()))
+				}
+			}
+			for j, p := range f.Params {
+				if p.Typ.IsInt() && !args[j].IsEmpty() && !args[j].IsTop(p.Typ.Bits()) {
+					mr.Params[p] = args[j]
+				}
+			}
+			// Re-solve with the refined entry state so the summaries
+			// propagate into the body (and onward to its callees'
+			// argument ranges via mr.Func).
+			mr.Func[f] = ForFunction(f, &Options{Returns: mr.Returns, Params: mr.Params})
+		}
+	}
+
+	// Two rounds of each: the second returns pass folds refined parameter
+	// summaries back into callers processed before their callees.  Every
+	// summary is a sound over-approximation given sound inputs, so a fixed
+	// round count stays sound — further rounds only add precision.
+	returnsPass()
+	paramsPass()
+	returnsPass()
+
+	return mr
+}
+
+// escapedFuncs reports functions whose address is taken anywhere outside a
+// direct call's callee slot: global initializers, instruction operands, or
+// indirect-call target sets.  Their full caller set is unknowable.
+func escapedFuncs(mods []*ir.Module) map[*ir.Function]bool {
+	escaped := map[*ir.Function]bool{}
+	markConst := func(c ir.Constant) {
+		var visit func(c ir.Constant)
+		visit = func(c ir.Constant) {
+			switch x := c.(type) {
+			case *ir.GlobalAddr:
+				if f, ok := x.G.(*ir.Function); ok {
+					escaped[f] = true
+				}
+			case *ir.ConstArray:
+				for _, e := range x.Elems {
+					visit(e)
+				}
+			case *ir.ConstStruct:
+				for _, e := range x.Fields {
+					visit(e)
+				}
+			}
+		}
+		if c != nil {
+			visit(c)
+		}
+	}
+	for _, m := range mods {
+		for _, g := range m.Globals {
+			markConst(g.Init)
+		}
+		for _, set := range m.CallSets {
+			for _, name := range set {
+				if f := m.Func(name); f != nil {
+					escaped[f] = true
+				}
+			}
+		}
+		for _, f := range m.Funcs {
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					// The direct-call callee slot is not an escape;
+					// any other operand position is.
+					for _, a := range in.Args {
+						if af, ok := a.(*ir.Function); ok {
+							escaped[af] = true
+						}
+						if ga, ok := a.(*ir.GlobalAddr); ok {
+							if af, ok := ga.G.(*ir.Function); ok {
+								escaped[af] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return escaped
+}
+
+// sccOrder returns the defined functions in reverse-topological order of
+// strongly connected components (callees first) plus the set of functions
+// in cycles.  Tarjan, iterative enough for kernel-sized graphs.
+func sccOrder(funcs []*ir.Function, edges map[*ir.Function][]*ir.Function) ([]*ir.Function, map[*ir.Function]bool) {
+	index := map[*ir.Function]int{}
+	low := map[*ir.Function]int{}
+	onStack := map[*ir.Function]bool{}
+	var stack []*ir.Function
+	next := 0
+	recursive := map[*ir.Function]bool{}
+	var order []*ir.Function
+
+	var strong func(f *ir.Function)
+	strong = func(f *ir.Function) {
+		index[f] = next
+		low[f] = next
+		next++
+		stack = append(stack, f)
+		onStack[f] = true
+		for _, g := range edges[f] {
+			if _, seen := index[g]; !seen {
+				strong(g)
+				if low[g] < low[f] {
+					low[f] = low[g]
+				}
+			} else if onStack[g] && index[g] < low[f] {
+				low[f] = index[g]
+			}
+		}
+		if low[f] == index[f] {
+			var scc []*ir.Function
+			for {
+				g := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[g] = false
+				scc = append(scc, g)
+				if g == f {
+					break
+				}
+			}
+			selfLoop := false
+			for _, e := range edges[f] {
+				if e == f {
+					selfLoop = true
+				}
+			}
+			if len(scc) > 1 || selfLoop {
+				for _, g := range scc {
+					recursive[g] = true
+				}
+			}
+			// Tarjan pops SCCs in reverse-topological order already.
+			sort.Slice(scc, func(i, j int) bool { return scc[i].Nm < scc[j].Nm })
+			order = append(order, scc...)
+		}
+	}
+	for _, f := range funcs {
+		if _, seen := index[f]; !seen {
+			strong(f)
+		}
+	}
+	return order, recursive
+}

@@ -1,0 +1,180 @@
+// Package analysis implements a sparse conditional value-range framework
+// over the SVA IR: a signed integer-interval lattice with widening,
+// branch-refined ranges on icmp edges, and bottom-up interprocedural return
+// summaries resolved through the pointer-analysis call graph.
+//
+// Two consumers sit on top: elision rule R3 in internal/safety (a bounds or
+// load/store check whose GEP indices have proven in-bounds ranges is
+// rewritten to pchk.elide.*, re-derived independently by internal/typecheck
+// so this package stays out of the TCB), and cmd/sva-lint's kernel-invariant
+// rule engine.
+package analysis
+
+import "fmt"
+
+// Interval is a signed integer interval [Lo, Hi], inclusive on both ends.
+// Lo > Hi encodes the empty interval (bottom: no value observed yet, or
+// provably unreachable).  Machine widths enter through Top(bits) and the
+// width-aware transfer functions; the representation itself is plain int64,
+// which covers every SVA integer width (i1..i64).
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Empty returns the bottom element.
+func Empty() Interval { return Interval{Lo: 1, Hi: 0} }
+
+// Point returns the singleton interval {v}.
+func Point(v int64) Interval { return Interval{Lo: v, Hi: v} }
+
+// Range returns [lo, hi]; it normalizes an inverted pair to Empty.
+func Range(lo, hi int64) Interval {
+	if lo > hi {
+		return Empty()
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// MinS and MaxS are the extreme signed values of a width.  i1 is treated as
+// the unsigned pair {0, 1}, matching the VM's booleans.
+func MinS(bits int) int64 {
+	if bits <= 1 {
+		return 0
+	}
+	return -(int64(1) << (bits - 1))
+}
+
+func MaxS(bits int) int64 {
+	if bits <= 1 {
+		return 1
+	}
+	return int64(1)<<(bits-1) - 1
+}
+
+// Top returns the full interval of a width.
+func Top(bits int) Interval { return Interval{Lo: MinS(bits), Hi: MaxS(bits)} }
+
+// IsEmpty reports whether the interval is bottom.
+func (iv Interval) IsEmpty() bool { return iv.Lo > iv.Hi }
+
+// IsTop reports whether the interval covers the whole width.
+func (iv Interval) IsTop(bits int) bool {
+	return !iv.IsEmpty() && iv.Lo <= MinS(bits) && iv.Hi >= MaxS(bits)
+}
+
+// Contains reports v ∈ iv.
+func (iv Interval) Contains(v int64) bool { return !iv.IsEmpty() && iv.Lo <= v && v <= iv.Hi }
+
+// Within reports iv ⊆ [lo, hi] with iv non-empty: the form every in-bounds
+// proof takes.  The empty interval deliberately fails — an "unreachable"
+// proof should be made via reachability, not vacuous bounds.
+func (iv Interval) Within(lo, hi int64) bool {
+	return !iv.IsEmpty() && iv.Lo >= lo && iv.Hi <= hi
+}
+
+// Join is the lattice least upper bound (interval hull).
+func Join(a, b Interval) Interval {
+	if a.IsEmpty() {
+		return b
+	}
+	if b.IsEmpty() {
+		return a
+	}
+	lo, hi := a.Lo, a.Hi
+	if b.Lo < lo {
+		lo = b.Lo
+	}
+	if b.Hi > hi {
+		hi = b.Hi
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Meet is the lattice greatest lower bound (intersection).
+func Meet(a, b Interval) Interval {
+	if a.IsEmpty() || b.IsEmpty() {
+		return Empty()
+	}
+	lo, hi := a.Lo, a.Hi
+	if b.Lo > lo {
+		lo = b.Lo
+	}
+	if b.Hi < hi {
+		hi = b.Hi
+	}
+	return Range(lo, hi)
+}
+
+// Widen accelerates convergence: any bound of next that moved past the
+// corresponding bound of prev jumps straight to the width extreme.  Widen is
+// an upper bound of Join(prev, next), which is what termination needs.
+func Widen(prev, next Interval, bits int) Interval {
+	if prev.IsEmpty() {
+		return next
+	}
+	if next.IsEmpty() {
+		return prev
+	}
+	out := Interval{Lo: prev.Lo, Hi: prev.Hi}
+	if next.Lo < prev.Lo {
+		out.Lo = MinS(bits)
+	}
+	if next.Hi > prev.Hi {
+		out.Hi = MaxS(bits)
+	}
+	return out
+}
+
+func (iv Interval) String() string {
+	if iv.IsEmpty() {
+		return "⊥"
+	}
+	if iv.Lo == iv.Hi {
+		return fmt.Sprintf("{%d}", iv.Lo)
+	}
+	return fmt.Sprintf("[%d,%d]", iv.Lo, iv.Hi)
+}
+
+// clamp truncates an interval to a width, going to Top on any overflow of
+// the width's signed range (the VM wraps, so a clipped interval would be
+// unsound — the whole interval must widen).
+func clamp(lo, hi int64, bits int, overflow bool) Interval {
+	if overflow || lo < MinS(bits) || hi > MaxS(bits) {
+		return Top(bits)
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// addOv adds with overflow detection.
+func addOv(a, b int64) (int64, bool) {
+	s := a + b
+	return s, (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0)
+}
+
+func mulOv(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, false
+	}
+	p := a * b
+	return p, p/b != a
+}
+
+// nonNeg reports iv ⊆ [0, ∞): the precondition for treating unsigned
+// operations as their signed counterparts.
+func (iv Interval) nonNeg() bool { return !iv.IsEmpty() && iv.Lo >= 0 }
+
+// bitCeil returns the smallest power-of-two bound 2^k with max < 2^k
+// (saturating at MaxS(64)): or/xor of values below 2^k stays below 2^k.
+func bitCeil(max int64) int64 {
+	if max < 0 {
+		return MaxS(64)
+	}
+	c := int64(1)
+	for c <= max {
+		if c > MaxS(64)/2 {
+			return MaxS(64)
+		}
+		c <<= 1
+	}
+	return c - 1
+}

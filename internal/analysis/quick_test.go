@@ -1,0 +1,289 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sva/internal/ir"
+)
+
+// Property tests: the lattice operations and transfer functions are checked
+// against their algebraic laws and against concrete narrow-width execution
+// on randomized inputs.  The seed is fixed so failures reproduce.
+const quickSeed = 20070823
+
+func quickCfg(t *testing.T) *quick.Config {
+	t.Helper()
+	return &quick.Config{
+		MaxCount: 2000,
+		Rand:     rand.New(rand.NewSource(quickSeed)),
+	}
+}
+
+// sample holds a random interval of width bits together with a concrete
+// member x — generators below keep the invariant x ∈ iv ⊆ Top(bits).
+type sample struct {
+	iv Interval
+	x  int64
+}
+
+func genSample(r *rand.Rand, bits int) sample {
+	span := int64(1) << uint(bits)
+	a := MinS(bits) + r.Int63n(span)
+	b := MinS(bits) + r.Int63n(span)
+	if a > b {
+		a, b = b, a
+	}
+	x := a + r.Int63n(b-a+1)
+	return sample{iv: Range(a, b), x: x}
+}
+
+func TestQuickLatticeLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(quickSeed))
+	for i := 0; i < 5000; i++ {
+		bits := 8
+		if i%2 == 1 {
+			bits = 16
+		}
+		s1, s2 := genSample(r, bits), genSample(r, bits)
+		a, b := s1.iv, s2.iv
+		// Join is an upper bound of both operands.
+		j := Join(a, b)
+		if !j.Contains(s1.x) || !j.Contains(s2.x) {
+			t.Fatalf("join %s ⊔ %s = %s drops a member", a, b, j)
+		}
+		// Meet is a lower bound: anything in both is in the meet, and the
+		// meet never invents members.
+		m := Meet(a, b)
+		if a.Contains(s2.x) && b.Contains(s2.x) && !m.Contains(s2.x) {
+			t.Fatalf("meet %s ⊓ %s = %s drops shared member %d", a, b, m, s2.x)
+		}
+		if !m.IsEmpty() && (!a.Contains(m.Lo) || !b.Contains(m.Lo) || !a.Contains(m.Hi) || !b.Contains(m.Hi)) {
+			t.Fatalf("meet %s ⊓ %s = %s exceeds an operand", a, b, m)
+		}
+		// Commutativity.
+		if j != Join(b, a) || m != Meet(b, a) {
+			t.Fatalf("join/meet not commutative on %s, %s", a, b)
+		}
+		// Monotonicity of join: widening an operand can only widen the join.
+		grown := Join(a, Range(s1.x, s1.x))
+		jg := Join(grown, b)
+		if jg.Lo > j.Lo || jg.Hi < j.Hi {
+			t.Fatalf("join not monotone: %s vs %s", jg, j)
+		}
+		// Widen covers both inputs and is stable once the chain stops
+		// growing (the termination argument).
+		w := Widen(a, j, bits)
+		if !w.Contains(s1.x) || !w.Contains(s2.x) {
+			t.Fatalf("widen %s ▽ %s = %s drops a member", a, j, w)
+		}
+		if Widen(a, a, bits) != a {
+			t.Fatalf("widen not reflexive on %s", a)
+		}
+		if sub := Meet(a, b); !sub.IsEmpty() && Widen(a, Meet(sub, a), bits) != a {
+			t.Fatalf("widen grew on a shrinking chain: %s", a)
+		}
+	}
+}
+
+// wrap truncates v to a signed integer of the given width, matching the VM's
+// wrapping arithmetic.
+func wrap(v int64, bits int) int64 {
+	return int64(ir.Truncate(uint64(v), bits)<<uint(64-bits)) >> uint(64-bits)
+}
+
+// concrete evaluates op on x, y with the VM's wrap-around semantics at
+// width bits; ok=false means the operation traps (no result to check).
+func concrete(op ir.Op, x, y int64, bits int) (int64, bool) {
+	ux := ir.Truncate(uint64(x), bits)
+	uy := ir.Truncate(uint64(y), bits)
+	switch op {
+	case ir.OpAdd:
+		return wrap(x+y, bits), true
+	case ir.OpSub:
+		return wrap(x-y, bits), true
+	case ir.OpMul:
+		return wrap(x*y, bits), true
+	case ir.OpUDiv:
+		if uy == 0 {
+			return 0, false
+		}
+		return wrap(int64(ux/uy), bits), true
+	case ir.OpSDiv:
+		if y == 0 {
+			return 0, false
+		}
+		return wrap(x/y, bits), true
+	case ir.OpURem:
+		if uy == 0 {
+			return 0, false
+		}
+		return wrap(int64(ux%uy), bits), true
+	case ir.OpSRem:
+		if y == 0 {
+			return 0, false
+		}
+		return wrap(x%y, bits), true
+	case ir.OpAnd:
+		return wrap(x&y, bits), true
+	case ir.OpOr:
+		return wrap(x|y, bits), true
+	case ir.OpXor:
+		return wrap(x^y, bits), true
+	case ir.OpShl:
+		return wrap(int64(ux<<(uy%64)), bits), true
+	case ir.OpLShr:
+		return wrap(int64(ux>>(uy%64)), bits), true
+	case ir.OpAShr:
+		sh := uy % 64
+		return wrap(x>>sh, bits), true
+	}
+	return 0, false
+}
+
+var quickBinOps = []ir.Op{
+	ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpUDiv, ir.OpSDiv, ir.OpURem,
+	ir.OpSRem, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpLShr, ir.OpAShr,
+}
+
+// TestQuickTransferSoundness: for random intervals and random members, the
+// concrete result of every binary operation lies inside the transferred
+// interval — the abstract transformer over-approximates execution.
+func TestQuickTransferSoundness(t *testing.T) {
+	r := rand.New(rand.NewSource(quickSeed))
+	for i := 0; i < 20000; i++ {
+		bits := 8
+		if i%2 == 1 {
+			bits = 16
+		}
+		s1, s2 := genSample(r, bits), genSample(r, bits)
+		op := quickBinOps[i%len(quickBinOps)]
+		out := TransferBin(op, s1.iv, s2.iv, bits)
+		got, ok := concrete(op, s1.x, s2.x, bits)
+		if !ok {
+			continue // trapping input: no result to contain
+		}
+		if !out.Contains(got) {
+			t.Fatalf("%v: %s op %s = %s does not contain %d op %d = %d (bits=%d)",
+				op, s1.iv, s2.iv, out, s1.x, s2.x, got, bits)
+		}
+	}
+}
+
+// TestQuickCastSoundness: zext/sext/trunc transfers contain the concrete
+// conversion for every member.
+func TestQuickCastSoundness(t *testing.T) {
+	r := rand.New(rand.NewSource(quickSeed))
+	for i := 0; i < 10000; i++ {
+		from, to := 8, 16
+		if i%2 == 1 {
+			from, to = 16, 8
+		}
+		s := genSample(r, from)
+		var op ir.Op
+		var got int64
+		switch i % 3 {
+		case 0:
+			op, got = ir.OpZExt, int64(ir.Truncate(uint64(s.x), from))
+		case 1:
+			op, got = ir.OpSExt, s.x
+		case 2:
+			op, got = ir.OpTrunc, wrap(s.x, to)
+		}
+		if (op == ir.OpZExt || op == ir.OpSExt) && to < from {
+			continue // extensions only widen
+		}
+		out := TransferCast(op, s.iv, from, to)
+		if !out.Contains(got) {
+			t.Fatalf("%v %d->%d: %s = %s does not contain %d (x=%d)",
+				op, from, to, s.iv, out, got, s.x)
+		}
+	}
+}
+
+// TestQuickDecideICmp: a decided comparison (+1/0) must agree with every
+// concrete member pair; -1 makes no claim.
+func TestQuickDecideICmp(t *testing.T) {
+	preds := []ir.Pred{ir.PredEQ, ir.PredNE, ir.PredSLT, ir.PredSLE, ir.PredSGT,
+		ir.PredSGE, ir.PredULT, ir.PredULE, ir.PredUGT, ir.PredUGE}
+	evalPred := func(p ir.Pred, x, y int64, bits int) bool {
+		ux, uy := ir.Truncate(uint64(x), bits), ir.Truncate(uint64(y), bits)
+		switch p {
+		case ir.PredEQ:
+			return x == y
+		case ir.PredNE:
+			return x != y
+		case ir.PredSLT:
+			return x < y
+		case ir.PredSLE:
+			return x <= y
+		case ir.PredSGT:
+			return x > y
+		case ir.PredSGE:
+			return x >= y
+		case ir.PredULT:
+			return ux < uy
+		case ir.PredULE:
+			return ux <= uy
+		case ir.PredUGT:
+			return ux > uy
+		case ir.PredUGE:
+			return ux >= uy
+		}
+		return false
+	}
+	r := rand.New(rand.NewSource(quickSeed))
+	for i := 0; i < 20000; i++ {
+		bits := 8
+		if i%2 == 1 {
+			bits = 16
+		}
+		s1, s2 := genSample(r, bits), genSample(r, bits)
+		p := preds[i%len(preds)]
+		switch DecideICmp(p, s1.iv, s2.iv) {
+		case 1:
+			if !evalPred(p, s1.x, s2.x, bits) {
+				t.Fatalf("%v decided true for %s, %s but %d,%d disagrees", p, s1.iv, s2.iv, s1.x, s2.x)
+			}
+		case 0:
+			if evalPred(p, s1.x, s2.x, bits) {
+				t.Fatalf("%v decided false for %s, %s but %d,%d disagrees", p, s1.iv, s2.iv, s1.x, s2.x)
+			}
+		}
+	}
+}
+
+// TestQuickViaQuickCheck drives the same soundness property through
+// testing/quick's generator for coverage of its value distribution.
+func TestQuickViaQuickCheck(t *testing.T) {
+	prop := func(aLo, aHi, bLo, bHi int8, xo, yo uint8, opSel uint8) bool {
+		a := Range(int64(min8(aLo, aHi)), int64(max8(aLo, aHi)))
+		b := Range(int64(min8(bLo, bHi)), int64(max8(bLo, bHi)))
+		x := a.Lo + int64(xo)%(a.Hi-a.Lo+1)
+		y := b.Lo + int64(yo)%(b.Hi-b.Lo+1)
+		op := quickBinOps[int(opSel)%len(quickBinOps)]
+		got, ok := concrete(op, x, y, 8)
+		if !ok {
+			return true
+		}
+		return TransferBin(op, a, b, 8).Contains(got)
+	}
+	if err := quick.Check(prop, quickCfg(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min8(a, b int8) int8 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max8(a, b int8) int8 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,463 @@
+package analysis
+
+import (
+	"sva/internal/ir"
+)
+
+// fact is a branch-edge refinement: on entry to its block, value v is known
+// to lie in iv.  SSA values are immutable, so a fact established on an edge
+// holds at every block the edge's target dominates — no kill analysis is
+// needed.  src is the comparison instruction the fact was decomposed from
+// (the proof witness: the constants it consumes are what the verifier's
+// bug-injection experiment corrupts).
+type fact struct {
+	v   ir.Value
+	iv  Interval
+	src *ir.Instr
+}
+
+// Options configures a function analysis.
+type Options struct {
+	// Returns supplies return-range summaries for direct calls (from the
+	// bottom-up interprocedural pass).  Nil means every call yields Top.
+	Returns map[*ir.Function]Interval
+	// Params supplies entry ranges for the function's own parameters
+	// (from the top-down call-site pass).  Nil means Top.
+	Params map[*ir.Param]Interval
+}
+
+// FuncRanges holds converged value ranges for one function.
+type FuncRanges struct {
+	F   *ir.Function
+	cfg *ir.CFG
+	dom *ir.DomTree
+	opt Options
+
+	val   map[*ir.Instr]Interval
+	facts map[*ir.BasicBlock][]fact
+	reach map[*ir.BasicBlock]bool
+}
+
+// widenAfter is the number of per-value updates tolerated before a bound is
+// widened to the width extreme.
+const widenAfter = 8
+
+// maxPasses caps the fixed-point iteration; with widening the solver
+// converges in a handful of passes, the cap is a safety net.
+const maxPasses = 64
+
+// ForFunction runs the sparse conditional range analysis on f.
+func ForFunction(f *ir.Function, opt *Options) *FuncRanges {
+	fr := &FuncRanges{
+		F:     f,
+		val:   map[*ir.Instr]Interval{},
+		facts: map[*ir.BasicBlock][]fact{},
+	}
+	if opt != nil {
+		fr.opt = *opt
+	}
+	if len(f.Blocks) == 0 {
+		return fr
+	}
+	fr.cfg = f.CFG()
+	fr.dom = f.DomTree()
+	fr.collectFacts()
+	fr.iterate()
+	fr.computeReach()
+	return fr
+}
+
+// collectFacts records, for every block with a unique conditional-branch
+// predecessor, the refinements its branch condition implies.
+func (fr *FuncRanges) collectFacts() {
+	for _, t := range fr.cfg.RPO {
+		preds := fr.cfg.Preds[t]
+		if len(preds) != 1 {
+			continue
+		}
+		br := preds[0].Terminator()
+		if br == nil || br.Op != ir.OpCondBr || br.Blocks[0] == br.Blocks[1] {
+			continue
+		}
+		istrue := br.Blocks[0] == t
+		blk := t
+		assertCond(br.Args[0], istrue, func(ft fact) {
+			fr.facts[blk] = append(fr.facts[blk], ft)
+		})
+	}
+}
+
+// assertCond decomposes "cond is istrue" into interval facts about the SSA
+// values feeding it.  It understands the kernel's composed-guard idiom:
+//
+//	icmp ne (or (zext (icmp slt x, lo)), (zext (icmp sge x, hi))), 0
+//
+// whose false edge implies both inner comparisons are false, i.e.
+// x ∈ [lo, hi-1].
+func assertCond(cond ir.Value, istrue bool, emit func(fact)) {
+	in, ok := cond.(*ir.Instr)
+	if !ok {
+		return
+	}
+	if in.Op == ir.OpICmp {
+		assertICmp(in, istrue, emit)
+		return
+	}
+	// A non-icmp i1 used directly as a branch condition.
+	if istrue {
+		assertNonZero(in, emit)
+	} else {
+		assertZero(in, emit)
+	}
+}
+
+func assertICmp(in *ir.Instr, istrue bool, emit func(fact)) {
+	pred := in.Pred
+	if !istrue {
+		pred = negatePred(pred)
+	}
+	a, b := in.Args[0], in.Args[1]
+	if cb, ok := b.(*ir.ConstInt); ok {
+		emitImplied(a, pred, cb, in, emit)
+	}
+	if ca, ok := a.(*ir.ConstInt); ok {
+		emitImplied(b, swapPred(pred), ca, in, emit)
+	}
+}
+
+// emitImplied emits the interval implied for v by "v pred c", and recurses
+// into boolean structure when the comparison is against zero.
+func emitImplied(v ir.Value, pred ir.Pred, c *ir.ConstInt, src *ir.Instr, emit func(fact)) {
+	if !v.Type().IsInt() {
+		return
+	}
+	bits := v.Type().Bits()
+	sv := c.SignedValue()
+	uv := ir.Truncate(c.V, bits)
+	switch pred {
+	case ir.PredEQ:
+		emit(fact{v: v, iv: Point(sv), src: src})
+		if sv == 0 {
+			assertZero(v, emit)
+		}
+	case ir.PredNE:
+		if sv == 0 {
+			assertNonZero(v, emit)
+		}
+	case ir.PredSLT:
+		if sv > MinS(bits) {
+			emit(fact{v: v, iv: Range(MinS(bits), sv-1), src: src})
+		}
+	case ir.PredSLE:
+		emit(fact{v: v, iv: Range(MinS(bits), sv), src: src})
+	case ir.PredSGT:
+		if sv < MaxS(bits) {
+			emit(fact{v: v, iv: Range(sv+1, MaxS(bits)), src: src})
+		}
+	case ir.PredSGE:
+		emit(fact{v: v, iv: Range(sv, MaxS(bits)), src: src})
+	case ir.PredULT:
+		// x <u c bounds x to [0, c-1] only when c itself fits the
+		// signed non-negative range (otherwise the set wraps).
+		if uv > 0 && int64(uv) <= MaxS(bits) {
+			emit(fact{v: v, iv: Range(0, int64(uv)-1), src: src})
+		}
+	case ir.PredULE:
+		if int64(uv) >= 0 && int64(uv) <= MaxS(bits) {
+			emit(fact{v: v, iv: Range(0, int64(uv)), src: src})
+		}
+	}
+	// uge/ugt against a constant admit negative (huge unsigned) values,
+	// so they imply no signed interval.
+}
+
+// assertZero handles "v == 0": or(a,b) == 0 forces both operands to zero,
+// casts pass through, and a zero icmp result asserts its negation.
+func assertZero(v ir.Value, emit func(fact)) {
+	in, ok := v.(*ir.Instr)
+	if !ok {
+		return
+	}
+	switch in.Op {
+	case ir.OpOr:
+		emitZeroFact(in.Args[0], in, emit)
+		emitZeroFact(in.Args[1], in, emit)
+		assertZero(in.Args[0], emit)
+		assertZero(in.Args[1], emit)
+	case ir.OpZExt, ir.OpSExt:
+		emitZeroFact(in.Args[0], in, emit)
+		assertZero(in.Args[0], emit)
+	case ir.OpICmp:
+		assertICmp(in, false, emit)
+	}
+}
+
+// assertNonZero handles "v != 0": and(a,b) != 0 forces both operands
+// non-zero, casts pass through, and a non-zero icmp result asserts itself.
+func assertNonZero(v ir.Value, emit func(fact)) {
+	in, ok := v.(*ir.Instr)
+	if !ok {
+		return
+	}
+	switch in.Op {
+	case ir.OpAnd:
+		assertNonZero(in.Args[0], emit)
+		assertNonZero(in.Args[1], emit)
+	case ir.OpZExt, ir.OpSExt:
+		assertNonZero(in.Args[0], emit)
+	case ir.OpICmp:
+		assertICmp(in, true, emit)
+	}
+}
+
+func emitZeroFact(v ir.Value, src *ir.Instr, emit func(fact)) {
+	if v.Type().IsInt() {
+		emit(fact{v: v, iv: Point(0), src: src})
+	}
+}
+
+// iterate runs the ascending fixed-point: instruction ranges start at
+// bottom and only grow (join with the previous value, widening after
+// widenAfter updates), so convergence is guaranteed.
+func (fr *FuncRanges) iterate() {
+	counts := map[*ir.Instr]int{}
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for _, b := range fr.cfg.RPO {
+			for _, in := range b.Instrs {
+				if !in.Typ.IsInt() {
+					continue
+				}
+				next := fr.eval(in)
+				old, seen := fr.val[in]
+				if !seen {
+					old = Empty()
+				}
+				merged := Join(old, next)
+				if merged == old {
+					continue
+				}
+				counts[in]++
+				if counts[in] > widenAfter {
+					merged = Widen(old, merged, in.Typ.Bits())
+				}
+				if merged != old {
+					fr.val[in] = merged
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// eval computes one transfer-function application for in, reading operands
+// through At so dominating branch facts refine them.
+func (fr *FuncRanges) eval(in *ir.Instr) Interval {
+	bits := in.Typ.Bits()
+	blk := in.Parent()
+	get := func(v ir.Value) Interval { return fr.At(v, blk) }
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpUDiv, ir.OpSDiv, ir.OpURem,
+		ir.OpSRem, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpLShr, ir.OpAShr:
+		return TransferBin(in.Op, get(in.Args[0]), get(in.Args[1]), bits)
+	case ir.OpZExt, ir.OpSExt, ir.OpTrunc:
+		from := 64
+		if in.Args[0].Type().IsInt() {
+			from = in.Args[0].Type().Bits()
+		}
+		return TransferCast(in.Op, get(in.Args[0]), from, bits)
+	case ir.OpICmp:
+		switch DecideICmp(in.Pred, get(in.Args[0]), get(in.Args[1])) {
+		case 1:
+			return Point(1)
+		case 0:
+			return Point(0)
+		}
+		return Range(0, 1)
+	case ir.OpSelect:
+		t := Meet(get(in.Args[1]), impliedBy(in.Args[0], true, in.Args[1]))
+		e := Meet(get(in.Args[2]), impliedBy(in.Args[0], false, in.Args[2]))
+		switch c := get(in.Args[0]); {
+		case c == Point(1):
+			return t
+		case c == Point(0):
+			return e
+		}
+		return Join(t, e)
+	case ir.OpPhi:
+		out := Empty()
+		for i, v := range in.Args {
+			if i < len(in.Blocks) {
+				out = Join(out, fr.At(v, in.Blocks[i]))
+			}
+		}
+		return out
+	}
+	// Loads, calls (unless summarized), atomics, ptrtoint, fptosi: unknown.
+	if in.Op == ir.OpCall && fr.opt.Returns != nil {
+		if callee, ok := in.Callee.(*ir.Function); ok {
+			if iv, ok := fr.opt.Returns[callee]; ok {
+				return iv
+			}
+		}
+	}
+	return Top(bits)
+}
+
+// impliedBy returns the interval a condition value implies for target when
+// the condition evaluates to istrue (used for select-arm refinement: the
+// true arm of select(x <u 23, x, 23) is bounded by the condition).
+func impliedBy(cond ir.Value, istrue bool, target ir.Value) Interval {
+	if !target.Type().IsInt() {
+		return Top(64)
+	}
+	out := Top(target.Type().Bits())
+	assertCond(cond, istrue, func(ft fact) {
+		if ft.v == target {
+			out = Meet(out, ft.iv)
+		}
+	})
+	return out
+}
+
+// At returns the range of v as observed at blk: the converged global range
+// refined by every fact recorded on blk or a dominator of blk.
+func (fr *FuncRanges) At(v ir.Value, blk *ir.BasicBlock) Interval {
+	iv, _ := fr.atWitness(v, blk, false)
+	return iv
+}
+
+// AtWitness is At plus the comparison instructions whose facts tightened
+// the result — the constants those comparisons consume are the proof's
+// witnesses (corrupting one must break the proof).
+func (fr *FuncRanges) AtWitness(v ir.Value, blk *ir.BasicBlock) (Interval, []*ir.Instr) {
+	return fr.atWitness(v, blk, true)
+}
+
+func (fr *FuncRanges) atWitness(v ir.Value, blk *ir.BasicBlock, wantWit bool) (Interval, []*ir.Instr) {
+	var iv Interval
+	switch x := v.(type) {
+	case *ir.ConstInt:
+		return Point(x.SignedValue()), nil
+	case *ir.Instr:
+		got, ok := fr.val[x]
+		if !ok {
+			if x.Typ.IsInt() {
+				// Never evaluated: unreachable code (bottom).
+				got = Empty()
+			} else {
+				return Top(64), nil
+			}
+		}
+		iv = got
+	case *ir.Param:
+		if fr.opt.Params != nil {
+			if p, ok := fr.opt.Params[x]; ok {
+				iv = p
+				break
+			}
+		}
+		if x.Typ.IsInt() {
+			iv = Top(x.Typ.Bits())
+		} else {
+			return Top(64), nil
+		}
+	default:
+		return Top(64), nil
+	}
+	var wit []*ir.Instr
+	if fr.dom == nil || blk == nil {
+		return iv, wit
+	}
+	for d := blk; d != nil; d = fr.dom.IDom(d) {
+		for _, ft := range fr.facts[d] {
+			if ft.v != v {
+				continue
+			}
+			refined := Meet(iv, ft.iv)
+			if refined != iv {
+				iv = refined
+				if wantWit && ft.src != nil {
+					wit = append(wit, ft.src)
+				}
+			}
+		}
+	}
+	return iv, wit
+}
+
+// computeReach marks blocks reachable once branch conditions with decided
+// ranges prune edges (the "sparse conditional" half of the framework).
+func (fr *FuncRanges) computeReach() {
+	fr.reach = map[*ir.BasicBlock]bool{}
+	if len(fr.F.Blocks) == 0 {
+		return
+	}
+	work := []*ir.BasicBlock{fr.F.Entry()}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		if fr.reach[b] {
+			continue
+		}
+		fr.reach[b] = true
+		t := b.Terminator()
+		if t == nil {
+			continue
+		}
+		push := func(s *ir.BasicBlock) {
+			if !fr.reach[s] {
+				work = append(work, s)
+			}
+		}
+		switch t.Op {
+		case ir.OpCondBr:
+			switch fr.At(t.Args[0], b) {
+			case Point(1):
+				push(t.Blocks[0])
+			case Point(0):
+				push(t.Blocks[1])
+			default:
+				push(t.Blocks[0])
+				push(t.Blocks[1])
+			}
+		case ir.OpSwitch:
+			v := fr.At(t.Args[0], b)
+			if v.Lo == v.Hi && !v.IsEmpty() {
+				matched := false
+				for i := 1; i < len(t.Args); i++ {
+					c, ok := t.Args[i].(*ir.ConstInt)
+					if ok && c.SignedValue() == v.Lo && i < len(t.Blocks) {
+						push(t.Blocks[i])
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					push(t.Blocks[0])
+				}
+			} else {
+				for _, s := range t.Blocks {
+					push(s)
+				}
+			}
+		default:
+			for _, s := range t.Succs() {
+				push(s)
+			}
+		}
+	}
+}
+
+// RangeReachable reports whether b survives sparse-conditional pruning.
+// Blocks the plain CFG reaches but RangeReachable rejects are the lint
+// engine's "range-unreachable" findings.
+func (fr *FuncRanges) RangeReachable(b *ir.BasicBlock) bool { return fr.reach[b] }
+
+// ProveIn reports v ∈ [lo, hi] at blk with a non-vacuous (non-empty) range.
+func (fr *FuncRanges) ProveIn(v ir.Value, blk *ir.BasicBlock, lo, hi int64) bool {
+	return fr.At(v, blk).Within(lo, hi)
+}

@@ -1,0 +1,320 @@
+package analysis
+
+import "sva/internal/ir"
+
+// TransferBin computes the output interval of a binary integer instruction
+// from its operand intervals, at the given result width.  The SVA VM wraps
+// on overflow, so any transfer whose exact result could leave the width's
+// signed range goes to Top rather than clipping.
+func TransferBin(op ir.Op, a, b Interval, bits int) Interval {
+	if a.IsEmpty() || b.IsEmpty() {
+		return Empty()
+	}
+	switch op {
+	case ir.OpAdd:
+		lo, ov1 := addOv(a.Lo, b.Lo)
+		hi, ov2 := addOv(a.Hi, b.Hi)
+		return clamp(lo, hi, bits, ov1 || ov2)
+	case ir.OpSub:
+		lo, ov1 := addOv(a.Lo, -b.Hi)
+		hi, ov2 := addOv(a.Hi, -b.Lo)
+		if b.Hi == MinS(64) || b.Lo == MinS(64) {
+			return Top(bits)
+		}
+		return clamp(lo, hi, bits, ov1 || ov2)
+	case ir.OpMul:
+		lo, hi := int64(0), int64(0)
+		first := true
+		for _, x := range [2]int64{a.Lo, a.Hi} {
+			for _, y := range [2]int64{b.Lo, b.Hi} {
+				p, ov := mulOv(x, y)
+				if ov {
+					return Top(bits)
+				}
+				if first || p < lo {
+					lo = p
+				}
+				if first || p > hi {
+					hi = p
+				}
+				first = false
+			}
+		}
+		return clamp(lo, hi, bits, false)
+	case ir.OpUDiv:
+		if !a.nonNeg() || !b.nonNeg() {
+			return Top(bits)
+		}
+		bl := b.Lo
+		if bl < 1 {
+			bl = 1 // divisor 0 traps; the surviving path divided by ≥ 1
+		}
+		bh := b.Hi
+		if bh < 1 {
+			return Empty() // divisor provably 0: no value flows on
+		}
+		return Range(a.Lo/bh, a.Hi/bl)
+	case ir.OpSDiv:
+		if b.Lo < 1 {
+			return Top(bits) // negative or possibly-zero divisors: punt
+		}
+		lo, hi := int64(0), int64(0)
+		first := true
+		for _, x := range [2]int64{a.Lo, a.Hi} {
+			for _, y := range [2]int64{b.Lo, b.Hi} {
+				q := x / y
+				if first || q < lo {
+					lo = q
+				}
+				if first || q > hi {
+					hi = q
+				}
+				first = false
+			}
+		}
+		return clamp(lo, hi, bits, false)
+	case ir.OpURem:
+		// The per-CPU masked-index idiom's sibling: x urem C is in
+		// [0, C-1] regardless of x, provided the divisor is positive.
+		if !b.nonNeg() || b.Lo < 1 {
+			return Top(bits)
+		}
+		out := Interval{Lo: 0, Hi: b.Hi - 1}
+		if a.nonNeg() && a.Hi < out.Hi {
+			out.Hi = a.Hi
+		}
+		return out
+	case ir.OpSRem:
+		if b.IsEmpty() || (b.Lo <= 0 && b.Hi >= 0) {
+			return Top(bits) // divisor may be 0
+		}
+		d := b.Hi
+		if -b.Lo > d {
+			d = -b.Lo
+		}
+		lo, hi := int64(0), int64(0)
+		if a.Lo < 0 {
+			lo = -(d - 1)
+		}
+		if a.Hi > 0 {
+			hi = d - 1
+		}
+		return Range(lo, hi)
+	case ir.OpAnd:
+		// A non-negative mask clears the sign bit: x & m ∈ [0, m] for
+		// any x when m ≥ 0 (the sva.cpu.id masking idiom).
+		switch {
+		case a.nonNeg() && b.nonNeg():
+			hi := a.Hi
+			if b.Hi < hi {
+				hi = b.Hi
+			}
+			return Interval{Lo: 0, Hi: hi}
+		case a.nonNeg():
+			return Interval{Lo: 0, Hi: a.Hi}
+		case b.nonNeg():
+			return Interval{Lo: 0, Hi: b.Hi}
+		}
+		return Top(bits)
+	case ir.OpOr:
+		if a.nonNeg() && b.nonNeg() {
+			lo := a.Lo
+			if b.Lo > lo {
+				lo = b.Lo
+			}
+			m := a.Hi
+			if b.Hi > m {
+				m = b.Hi
+			}
+			return Range(lo, bitCeil(m))
+		}
+		return Top(bits)
+	case ir.OpXor:
+		if a.nonNeg() && b.nonNeg() {
+			m := a.Hi
+			if b.Hi > m {
+				m = b.Hi
+			}
+			return Range(0, bitCeil(m))
+		}
+		return Top(bits)
+	case ir.OpShl:
+		if !a.nonNeg() || !b.nonNeg() || b.Hi >= int64(bits) {
+			return Top(bits)
+		}
+		if a.Hi != 0 && a.Hi > MaxS(bits)>>uint(b.Hi) {
+			return Top(bits)
+		}
+		return Range(a.Lo<<uint(b.Lo), a.Hi<<uint(b.Hi))
+	case ir.OpLShr:
+		if !b.nonNeg() || b.Hi >= 64 {
+			return Top(bits)
+		}
+		if a.nonNeg() {
+			return Range(a.Lo>>uint(b.Hi), a.Hi>>uint(b.Lo))
+		}
+		if b.Lo >= 1 {
+			// Any shift of at least one strips the sign bit.
+			hi := int64(ir.Truncate(^uint64(0), bits) >> uint(b.Lo))
+			return Range(0, hi)
+		}
+		return Top(bits)
+	case ir.OpAShr:
+		if !b.nonNeg() || b.Hi >= 64 {
+			return Top(bits)
+		}
+		lo := a.Lo >> uint(b.Lo)
+		if v := a.Lo >> uint(b.Hi); v < lo {
+			lo = v
+		}
+		hi := a.Hi >> uint(b.Lo)
+		if v := a.Hi >> uint(b.Hi); v > hi {
+			hi = v
+		}
+		return Range(lo, hi)
+	}
+	return Top(bits)
+}
+
+// TransferCast computes the output interval of an integer cast.
+func TransferCast(op ir.Op, src Interval, fromBits, toBits int) Interval {
+	if src.IsEmpty() {
+		return Empty()
+	}
+	switch op {
+	case ir.OpZExt:
+		if src.nonNeg() {
+			return src
+		}
+		if fromBits < 64 {
+			u := int64(1)<<uint(fromBits) - 1
+			if u <= MaxS(toBits) {
+				return Range(0, u)
+			}
+		}
+		return Top(toBits)
+	case ir.OpSExt:
+		return src
+	case ir.OpTrunc:
+		if src.Within(MinS(toBits), MaxS(toBits)) {
+			return src
+		}
+		return Top(toBits)
+	}
+	return Top(toBits)
+}
+
+// DecideICmp evaluates a comparison over intervals: +1 provably true, 0
+// provably false, -1 unknown.  Unsigned predicates decide only when both
+// sides are known non-negative (where the orders coincide).
+func DecideICmp(pred ir.Pred, a, b Interval) int {
+	if a.IsEmpty() || b.IsEmpty() {
+		return -1
+	}
+	switch pred {
+	case ir.PredEQ:
+		if a.Lo == a.Hi && b.Lo == b.Hi && a.Lo == b.Lo {
+			return 1
+		}
+		if Meet(a, b).IsEmpty() {
+			return 0
+		}
+		return -1
+	case ir.PredNE:
+		switch DecideICmp(ir.PredEQ, a, b) {
+		case 1:
+			return 0
+		case 0:
+			return 1
+		}
+		return -1
+	case ir.PredULT, ir.PredULE, ir.PredUGT, ir.PredUGE:
+		if !a.nonNeg() || !b.nonNeg() {
+			return -1
+		}
+		return DecideICmp(signedOf(pred), a, b)
+	case ir.PredSLT:
+		if a.Hi < b.Lo {
+			return 1
+		}
+		if a.Lo >= b.Hi {
+			return 0
+		}
+	case ir.PredSLE:
+		if a.Hi <= b.Lo {
+			return 1
+		}
+		if a.Lo > b.Hi {
+			return 0
+		}
+	case ir.PredSGT:
+		return DecideICmp(ir.PredSLT, b, a)
+	case ir.PredSGE:
+		return DecideICmp(ir.PredSLE, b, a)
+	}
+	return -1
+}
+
+func signedOf(pred ir.Pred) ir.Pred {
+	switch pred {
+	case ir.PredULT:
+		return ir.PredSLT
+	case ir.PredULE:
+		return ir.PredSLE
+	case ir.PredUGT:
+		return ir.PredSGT
+	case ir.PredUGE:
+		return ir.PredSGE
+	}
+	return pred
+}
+
+// negatePred returns the predicate holding on the false edge.
+func negatePred(pred ir.Pred) ir.Pred {
+	switch pred {
+	case ir.PredEQ:
+		return ir.PredNE
+	case ir.PredNE:
+		return ir.PredEQ
+	case ir.PredULT:
+		return ir.PredUGE
+	case ir.PredULE:
+		return ir.PredUGT
+	case ir.PredUGT:
+		return ir.PredULE
+	case ir.PredUGE:
+		return ir.PredULT
+	case ir.PredSLT:
+		return ir.PredSGE
+	case ir.PredSLE:
+		return ir.PredSGT
+	case ir.PredSGT:
+		return ir.PredSLE
+	case ir.PredSGE:
+		return ir.PredSLT
+	}
+	return pred
+}
+
+// swapPred mirrors a predicate across its operands: (a pred b) == (b swap(pred) a).
+func swapPred(pred ir.Pred) ir.Pred {
+	switch pred {
+	case ir.PredULT:
+		return ir.PredUGT
+	case ir.PredULE:
+		return ir.PredUGE
+	case ir.PredUGT:
+		return ir.PredULT
+	case ir.PredUGE:
+		return ir.PredULE
+	case ir.PredSLT:
+		return ir.PredSGT
+	case ir.PredSLE:
+		return ir.PredSGE
+	case ir.PredSGT:
+		return ir.PredSLT
+	case ir.PredSGE:
+		return ir.PredSLE
+	}
+	return pred // eq/ne are symmetric
+}

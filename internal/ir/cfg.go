@@ -13,6 +13,31 @@ type CFG struct {
 	RPONum map[*BasicBlock]int
 }
 
+// CFG returns the function's control-flow graph, computing it on first use
+// and caching it on the function.  The cache is dropped automatically when a
+// block is added or a terminator appended; passes that change control flow
+// any other way (rewriting a terminator in place, truncating a block) must
+// call InvalidateCFG first.
+func (f *Function) CFG() *CFG {
+	if f.cfg == nil {
+		f.cfg = BuildCFG(f)
+	}
+	return f.cfg
+}
+
+// DomTree returns the function's dominator tree, cached alongside CFG().
+func (f *Function) DomTree() *DomTree {
+	if f.dom == nil {
+		f.dom = BuildDomTree(f.CFG())
+	}
+	return f.dom
+}
+
+// InvalidateCFG drops the cached CFG and dominator tree.
+func (f *Function) InvalidateCFG() {
+	f.cfg, f.dom = nil, nil
+}
+
 // BuildCFG computes the CFG of f.
 func BuildCFG(f *Function) *CFG {
 	c := &CFG{

@@ -1,0 +1,90 @@
+package ir
+
+import "testing"
+
+// benchCFGFunc builds a function with n diamond-shaped regions in sequence
+// (2n+2 blocks), roughly the shape the safety compiler sees after
+// instrumenting a syscall with guard branches.
+func benchCFGFunc(n int) *Function {
+	m := NewModule("bench")
+	f := m.NewFunc("diamonds", FuncOf(I64, []*Type{I64}, false))
+	cur := f.NewBlock("entry")
+	for i := 0; i < n; i++ {
+		t := f.NewBlock("t")
+		e := f.NewBlock("e")
+		join := f.NewBlock("join")
+		cond := &Instr{Op: OpICmp, Typ: I1, Pred: PredSLT, Args: []Value{f.Params[0], NewInt(I64, int64(i))}}
+		cur.Append(cond)
+		cur.Append(&Instr{Op: OpCondBr, Args: []Value{cond}, Blocks: []*BasicBlock{t, e}})
+		t.Append(&Instr{Op: OpBr, Blocks: []*BasicBlock{join}})
+		e.Append(&Instr{Op: OpBr, Blocks: []*BasicBlock{join}})
+		cur = join
+	}
+	cur.Append(&Instr{Op: OpRet, Args: []Value{NewInt(I64, 0)}})
+	return f
+}
+
+// BenchmarkCFGRebuild measures the old behavior: every analysis pass
+// rebuilds the CFG and dominator tree from scratch.
+func BenchmarkCFGRebuild(b *testing.B) {
+	f := benchCFGFunc(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := BuildCFG(f)
+		dom := BuildDomTree(cfg)
+		_ = dom.IDom(f.Blocks[len(f.Blocks)-1])
+	}
+}
+
+// BenchmarkCFGCached measures the cached accessors: repeated passes over an
+// unmutated function reuse the same CFG and dominator tree.
+func BenchmarkCFGCached(b *testing.B) {
+	f := benchCFGFunc(64)
+	f.CFG() // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dom := f.DomTree()
+		_ = dom.IDom(f.Blocks[len(f.Blocks)-1])
+	}
+}
+
+// TestCFGCacheInvalidation pins the invalidation contract: adding a block or
+// appending a terminator drops the cache; appending a plain instruction (the
+// instrumenter's bulk insertion path) keeps it.
+func TestCFGCacheInvalidation(t *testing.T) {
+	f := benchCFGFunc(2)
+	c1 := f.CFG()
+	d1 := f.DomTree()
+	if f.CFG() != c1 || f.DomTree() != d1 {
+		t.Fatal("cache not reused on unmutated function")
+	}
+
+	// Non-terminator append: block-level CFG is unchanged, cache survives.
+	f.Blocks[1].Instrs = append([]*Instr{{Op: OpAdd, Typ: I64, Args: []Value{f.Params[0], NewInt(I64, 1)}}}, f.Blocks[1].Instrs...)
+	if f.CFG() != c1 {
+		t.Fatal("cache dropped by non-terminator mutation")
+	}
+
+	// New block invalidates.
+	nb := f.NewBlock("late")
+	if f.cfg != nil || f.dom != nil {
+		t.Fatal("NewBlock did not invalidate the CFG cache")
+	}
+	c2 := f.CFG()
+	if c2 == c1 {
+		t.Fatal("stale CFG returned after NewBlock")
+	}
+
+	// Appending a terminator invalidates.
+	nb.Append(&Instr{Op: OpRet, Args: []Value{NewInt(I64, 0)}})
+	if f.cfg != nil {
+		t.Fatal("terminator append did not invalidate the CFG cache")
+	}
+
+	// Explicit invalidation.
+	f.CFG()
+	f.InvalidateCFG()
+	if f.cfg != nil || f.dom != nil {
+		t.Fatal("InvalidateCFG left a cached CFG")
+	}
+}

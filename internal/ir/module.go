@@ -205,6 +205,13 @@ type Function struct {
 	RetPool string
 
 	nextNum int
+
+	// cfg/dom cache the derived control-flow structures handed out by
+	// CFG()/DomTree().  They are invalidated automatically when a block is
+	// added or a terminator appended; passes that mutate control flow by
+	// other means must call InvalidateCFG.
+	cfg *CFG
+	dom *DomTree
 }
 
 func (f *Function) Type() *Type   { return PointerTo(f.Sig) }
@@ -228,6 +235,7 @@ func (f *Function) Entry() *BasicBlock {
 func (f *Function) NewBlock(label string) *BasicBlock {
 	b := &BasicBlock{Nm: label, Func: f}
 	f.Blocks = append(f.Blocks, b)
+	f.InvalidateCFG()
 	return b
 }
 
@@ -260,6 +268,9 @@ func (b *BasicBlock) Ident() string { return "%" + b.Nm }
 func (b *BasicBlock) Append(in *Instr) *Instr {
 	in.parent = b
 	b.Instrs = append(b.Instrs, in)
+	if in.Op.IsTerminator() && b.Func != nil {
+		b.Func.InvalidateCFG()
+	}
 	return in
 }
 

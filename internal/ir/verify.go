@@ -73,8 +73,8 @@ func VerifyFunc(f *Function) []error {
 		return errs // CFG construction needs terminators
 	}
 
-	cfg := BuildCFG(f)
-	dom := BuildDomTree(cfg)
+	cfg := f.CFG()
+	dom := f.DomTree()
 	f.Renumber()
 
 	// Instruction index within block for same-block dominance.

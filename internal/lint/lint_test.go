@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"testing"
+
+	"sva/internal/apps"
+	"sva/internal/ir"
+	"sva/internal/kernel"
+	"sva/internal/safety"
+	"sva/internal/svaops"
+	"sva/internal/userland"
+)
+
+func c64(v int64) *ir.ConstInt { return ir.I64c(v) }
+
+func hasRule(fs []Finding, rule string) bool {
+	for _, f := range fs {
+		if f.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func onlyRule(t *testing.T, fs []Finding, rule string) {
+	t.Helper()
+	if !hasRule(fs, rule) {
+		t.Fatalf("no %s finding; got %v", rule, fs)
+	}
+}
+
+// --- seeded misuse fixtures, one per rule -----------------------------------
+
+// fixtureCertainTrap: a bounds check whose GEP uses constant index 9 into an
+// 8-element array — the check can never pass.
+func fixtureCertainTrap() *ir.Module {
+	m := ir.NewModule("fix_certain_trap")
+	b := ir.NewBuilder(m)
+	at := ir.ArrayOf(8, ir.I64)
+	f := b.NewFunc("f", ir.FuncOf(ir.Void, []*ir.Type{ir.PointerTo(at)}, false), "a")
+	g := b.GEP(b.Param(0), c64(0), c64(9))
+	bp := b.Bitcast(b.Param(0), svaops.BytePtr)
+	dp := b.Bitcast(g, svaops.BytePtr)
+	b.Call(svaops.Get(m, svaops.BoundsCheck), ir.NewInt(ir.I32, 0), bp, dp)
+	b.Ret(nil)
+	b.Seal()
+	_ = f
+	return m
+}
+
+// fixtureRangeUnreachable: a branch on 3 < 2 — the true arm is
+// CFG-reachable but range propagation proves it dead.
+func fixtureRangeUnreachable() *ir.Module {
+	m := ir.NewModule("fix_range_unreachable")
+	b := ir.NewBuilder(m)
+	f := b.NewFunc("f", ir.FuncOf(ir.I64, nil, false))
+	dead := f.NewBlock("dead")
+	live := f.NewBlock("live")
+	cond := b.ICmp(ir.PredSLT, c64(3), c64(2))
+	b.CondBr(cond, dead, live)
+	b.SetBlock(dead)
+	b.Ret(c64(1))
+	b.SetBlock(live)
+	b.Ret(c64(0))
+	b.Seal()
+	return m
+}
+
+// fixtureIContext: an icontext.save whose handle is only committed on one
+// arm of a branch — the other path returns with the save still open.
+func fixtureIContext() *ir.Module {
+	m := ir.NewModule("fix_icontext")
+	b := ir.NewBuilder(m)
+	f := b.NewFunc("handler", ir.FuncOf(ir.Void, []*ir.Type{ir.I64, ir.I64}, false), "icp", "c")
+	buf := b.Alloca(ir.ArrayOf(64, ir.I8), "buf")
+	bp := b.Bitcast(buf, svaops.BytePtr)
+	b.Call(svaops.Get(m, svaops.IContextSave), b.Param(0), bp)
+	thenB := f.NewBlock("then")
+	elseB := f.NewBlock("else")
+	cond := b.ICmp(ir.PredNE, b.Param(1), c64(0))
+	b.CondBr(cond, thenB, elseB)
+	b.SetBlock(thenB)
+	b.Call(svaops.Get(m, svaops.IContextCommit), b.Param(0))
+	b.Ret(nil)
+	b.SetBlock(elseB)
+	b.Ret(nil) // leaks the saved context
+	b.Seal()
+	return m
+}
+
+// fixtureMMUOrder: protect of a page that was never mapped.
+func fixtureMMUOrder() *ir.Module {
+	m := ir.NewModule("fix_mmu_order")
+	b := ir.NewBuilder(m)
+	b.NewFunc("init", ir.FuncOf(ir.Void, nil, false))
+	b.Call(svaops.Get(m, svaops.MMUProtect), c64(0x100000), c64(5))
+	b.Ret(nil)
+	b.Seal()
+	return m
+}
+
+// fixtureCPUIDMask: a per-CPU array indexed by raw sva.cpu.id with no
+// bounding mask.
+func fixtureCPUIDMask() *ir.Module {
+	m := ir.NewModule("fix_cpuid_mask")
+	b := ir.NewBuilder(m)
+	at := ir.ArrayOf(8, ir.I64)
+	b.NewFunc("percpu", ir.FuncOf(ir.I64, []*ir.Type{ir.PointerTo(at)}, false), "a")
+	id := b.Call(svaops.Get(m, svaops.CPUID))
+	g := b.GEP(b.Param(0), c64(0), id)
+	b.Ret(b.Load(g))
+	b.Seal()
+	return m
+}
+
+// fixtureUserCopyReg: a user-copy into a stack buffer that was never
+// registered with its pool.
+func fixtureUserCopyReg() *ir.Module {
+	m := ir.NewModule("fix_usercopy_reg")
+	b := ir.NewBuilder(m)
+	cfu := m.NewFunc("__copy_from_user",
+		ir.FuncOf(ir.I64, []*ir.Type{svaops.BytePtr, ir.I64, ir.I64}, false))
+	f := b.NewFunc("sys_read_name", ir.FuncOf(ir.Void, []*ir.Type{ir.I64}, false), "uaddr")
+	buf := b.Alloca(ir.ArrayOf(24, ir.I8), "name")
+	bp := b.Bitcast(buf, svaops.BytePtr)
+	b.Call(cfu, bp, b.Param(0), c64(24))
+	b.Ret(nil)
+	b.Seal()
+	f.SafetyCompiled = true
+	return m
+}
+
+func TestFixturesEachTripTheirRule(t *testing.T) {
+	for _, tc := range []struct {
+		rule string
+		mod  *ir.Module
+	}{
+		{"certain-trap", fixtureCertainTrap()},
+		{"range-unreachable", fixtureRangeUnreachable()},
+		{"icontext-pairing", fixtureIContext()},
+		{"mmu-order", fixtureMMUOrder()},
+		{"cpuid-mask", fixtureCPUIDMask()},
+		{"usercopy-reg", fixtureUserCopyReg()},
+	} {
+		t.Run(tc.rule, func(t *testing.T) {
+			fs := Run(nil, tc.mod)
+			onlyRule(t, fs, tc.rule)
+		})
+	}
+}
+
+// TestCompliantVariantsStaySilent: the correct version of each idiom must
+// not be flagged — the rules prove violations, not style.
+func TestCompliantVariantsStaySilent(t *testing.T) {
+	t.Run("icontext save+commit", func(t *testing.T) {
+		m := ir.NewModule("ok_icontext")
+		b := ir.NewBuilder(m)
+		b.NewFunc("handler", ir.FuncOf(ir.Void, []*ir.Type{ir.I64}, false), "icp")
+		buf := b.Alloca(ir.ArrayOf(64, ir.I8), "buf")
+		bp := b.Bitcast(buf, svaops.BytePtr)
+		b.Call(svaops.Get(m, svaops.IContextSave), b.Param(0), bp)
+		b.Call(svaops.Get(m, svaops.IContextCommit), b.Param(0))
+		b.Ret(nil)
+		b.Seal()
+		if fs := Run(nil, m); len(fs) != 0 {
+			t.Fatalf("unexpected findings: %v", fs)
+		}
+	})
+	t.Run("mmu map then protect", func(t *testing.T) {
+		m := ir.NewModule("ok_mmu")
+		b := ir.NewBuilder(m)
+		b.NewFunc("init", ir.FuncOf(ir.Void, nil, false))
+		b.Call(svaops.Get(m, svaops.MMUMap), c64(0x100000), c64(0x100000), c64(7))
+		b.Call(svaops.Get(m, svaops.MMUProtect), c64(0x100000), c64(5))
+		b.Ret(nil)
+		b.Seal()
+		if fs := Run(nil, m); len(fs) != 0 {
+			t.Fatalf("unexpected findings: %v", fs)
+		}
+	})
+	t.Run("cpuid masked", func(t *testing.T) {
+		m := ir.NewModule("ok_cpuid")
+		b := ir.NewBuilder(m)
+		at := ir.ArrayOf(8, ir.I64)
+		b.NewFunc("percpu", ir.FuncOf(ir.I64, []*ir.Type{ir.PointerTo(at)}, false), "a")
+		id := b.And(b.Call(svaops.Get(m, svaops.CPUID)), c64(7))
+		g := b.GEP(b.Param(0), c64(0), id)
+		b.Ret(b.Load(g))
+		b.Seal()
+		if fs := Run(nil, m); len(fs) != 0 {
+			t.Fatalf("unexpected findings: %v", fs)
+		}
+	})
+	t.Run("usercopy registered", func(t *testing.T) {
+		m := ir.NewModule("ok_usercopy")
+		b := ir.NewBuilder(m)
+		cfu := m.NewFunc("__copy_from_user",
+			ir.FuncOf(ir.I64, []*ir.Type{svaops.BytePtr, ir.I64, ir.I64}, false))
+		f := b.NewFunc("sys_read_name", ir.FuncOf(ir.Void, []*ir.Type{ir.I64}, false), "uaddr")
+		buf := b.Alloca(ir.ArrayOf(24, ir.I8), "name")
+		bp := b.Bitcast(buf, svaops.BytePtr)
+		b.Call(svaops.Get(m, svaops.ObjRegisterStack), ir.NewInt(ir.I32, 0), bp, c64(24))
+		b.Call(cfu, bp, b.Param(0), c64(24))
+		b.Ret(nil)
+		b.Seal()
+		f.SafetyCompiled = true
+		if fs := Run(nil, m); len(fs) != 0 {
+			t.Fatalf("unexpected findings: %v", fs)
+		}
+	})
+}
+
+// TestShippedTargetsAreClean is the acceptance bar: the safety-compiled
+// kernel and the shipped user programs lint clean.
+func TestShippedTargetsAreClean(t *testing.T) {
+	img := kernel.Build()
+	prog, err := safety.Compile(kernel.SafetyConfig(true), img.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs := Run(prog.Res, img.Kernel); len(fs) != 0 {
+		t.Errorf("kernel: %d findings: %v", len(fs), fs)
+	}
+	if fs := Run(nil, userland.BuildTestPrograms().M); len(fs) != 0 {
+		t.Errorf("userland: %d findings: %v", len(fs), fs)
+	}
+	if fs := Run(nil, apps.BuildAppsModule().M); len(fs) != 0 {
+		t.Errorf("apps: %d findings: %v", len(fs), fs)
+	}
+}

@@ -71,7 +71,7 @@ func TestTCBTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(s, "25/25 detected") {
+	if !strings.Contains(s, "30/30 detected") {
 		t.Errorf("TCB table: %s", s)
 	}
 	t.Log("\n" + s)

@@ -35,26 +35,39 @@ package safety
 import (
 	"fmt"
 
+	"sva/internal/analysis"
 	"sva/internal/ir"
 	"sva/internal/svaops"
 )
 
+// elideStats attributes elisions to the rule that proved them (a site
+// provable several ways counts for the first rule in R1 → R2 → R3 order).
+type elideStats struct {
+	BoundsR1, BoundsR2, BoundsR3 int
+	LSR1                         int
+}
+
+func (s elideStats) bounds() int { return s.BoundsR1 + s.BoundsR2 + s.BoundsR3 }
+
 // elideModule runs redundant-check elimination over every safety-compiled
-// function of m, returning the number of bounds and load-store checks
-// rewritten to pchk.elide.* annotations.
-func elideModule(m *ir.Module) (elidedBounds, elidedLS int) {
+// function of m, returning per-rule counts of bounds and load-store checks
+// rewritten to pchk.elide.* annotations.  rangeElide toggles rule R3 (the
+// R3 on/off equivalence suite and ablations).
+func elideModule(m *ir.Module, rangeElide bool) (stats elideStats) {
 	for _, f := range m.Funcs {
 		if !f.SafetyCompiled {
 			continue
 		}
-		nb, nl := elideFunc(m, f)
-		elidedBounds += nb
-		elidedLS += nl
+		fs := elideFunc(m, f, rangeElide)
+		stats.BoundsR1 += fs.BoundsR1
+		stats.BoundsR2 += fs.BoundsR2
+		stats.BoundsR3 += fs.BoundsR3
+		stats.LSR1 += fs.LSR1
 	}
 	return
 }
 
-func elideFunc(m *ir.Module, f *ir.Function) (elidedBounds, elidedLS int) {
+func elideFunc(m *ir.Module, f *ir.Function, rangeElide bool) (stats elideStats) {
 	if len(f.Blocks) == 0 {
 		return
 	}
@@ -71,9 +84,16 @@ func elideFunc(m *ir.Module, f *ir.Function) (elidedBounds, elidedLS int) {
 			switch name {
 			case svaops.BoundsCheck:
 				key, pool, keyed := ea.boundsKey(in)
-				if (keyed && ea.provenByEvidence(key, pool, b, i)) || ea.gepGuardSafe(in) {
+				switch {
+				case keyed && ea.provenByEvidence(key, pool, b, i):
 					in.Callee = svaops.Get(m, svaops.ElideBounds)
-					elidedBounds++
+					stats.BoundsR1++
+				case ea.gepGuardSafe(in):
+					in.Callee = svaops.Get(m, svaops.ElideBounds)
+					stats.BoundsR2++
+				case rangeElide && ea.gepRangeSafe(in):
+					in.Callee = svaops.Get(m, svaops.ElideBounds)
+					stats.BoundsR3++
 				}
 				if keyed {
 					ea.evidence[key] = append(ea.evidence[key], eviSite{b, i})
@@ -82,7 +102,7 @@ func elideFunc(m *ir.Module, f *ir.Function) (elidedBounds, elidedLS int) {
 				key, pool, keyed := ea.lsKey(in)
 				if keyed && ea.provenByEvidence(key, pool, b, i) {
 					in.Callee = svaops.Get(m, svaops.ElideLS)
-					elidedLS++
+					stats.LSR1++
 				}
 				if keyed {
 					ea.evidence[key] = append(ea.evidence[key], eviSite{b, i})
@@ -119,6 +139,10 @@ type elideAnalysis struct {
 
 	cells  map[*ir.Instr]*cellInfo
 	guards map[*ir.Instr][]cellGuard
+
+	// rng is the lazily built intraprocedural value-range analysis backing
+	// rule R3 (vrange.go).
+	rng *analysis.FuncRanges
 }
 
 // cellInfo is the discipline summary for one induction cell (an i64
@@ -151,11 +175,10 @@ const cellLimitMax = int64(1) << 61
 const cellStepMax = int64(1) << 31
 
 func newElideAnalysis(f *ir.Function) *elideAnalysis {
-	cfg := ir.BuildCFG(f)
 	return &elideAnalysis{
 		f:        f,
-		cfg:      cfg,
-		dom:      ir.BuildDomTree(cfg),
+		cfg:      f.CFG(),
+		dom:      f.DomTree(),
 		evidence: map[string][]eviSite{},
 		vns:      map[ir.Value]string{},
 		leafID:   map[ir.Value]int{},

@@ -47,7 +47,8 @@ func (cb *checkedBuilder) ls(pool int64, p ir.Value) *ir.Instr {
 func (cb *checkedBuilder) finish(f *ir.Function) (int, int) {
 	cb.b.Seal()
 	f.SafetyCompiled = true
-	return elideFunc(cb.m, f)
+	s := elideFunc(cb.m, f, true)
+	return s.bounds(), s.LSR1
 }
 
 // TestElideIdenticalDominatingCheck: two checks on the same (pool, value)
@@ -230,8 +231,8 @@ func TestElideModuleOnRealCompile(t *testing.T) {
 	cb.b.Ret(nil)
 	cb.b.Seal()
 	f.SafetyCompiled = true
-	nb, nl := elideModule(cb.m)
-	if nb != 1 || nl != 0 {
-		t.Fatalf("elideModule = (%d, %d), want (1, 0)", nb, nl)
+	s := elideModule(cb.m, true)
+	if s.bounds() != 1 || s.LSR1 != 0 {
+		t.Fatalf("elideModule = (%d, %d), want (1, 0)", s.bounds(), s.LSR1)
 	}
 }

@@ -40,6 +40,10 @@ type Config struct {
 	// DisableElide turns off redundant run-time check elimination
 	// (§7.1.3; ablation studies and the elision equivalence tests).
 	DisableElide bool
+	// DisableRangeElide turns off only elision rule R3 (value-range proven
+	// indices), keeping R1/R2: the R3 on/off trap-equivalence suite and
+	// elision-delta measurements flip this.
+	DisableRangeElide bool
 }
 
 // Program is the result of safety compilation over a set of modules.
@@ -91,15 +95,26 @@ func Compile(cfg Config, mods ...*ir.Module) (*Program, error) {
 			return nil, err
 		}
 	}
+	var elided elideStats
 	if !cfg.DisableElide {
 		for _, m := range mods {
-			elideModule(m)
+			s := elideModule(m, !cfg.DisableRangeElide)
+			elided.BoundsR1 += s.BoundsR1
+			elided.BoundsR2 += s.BoundsR2
+			elided.BoundsR3 += s.BoundsR3
+			elided.LSR1 += s.LSR1
 		}
 	}
 	p.annotate()
+	// collectMetrics recounts from the instruction stream, which cannot
+	// attribute an elision to its rule (or a clone to the heuristic):
+	// preserve the pass-reported numbers across it.
 	clones2, devirt := p.Metrics.ClonesCreated, inst.devirtualized
 	p.collectMetrics()
 	p.Metrics.ClonesCreated, p.Metrics.Devirtualized = clones2, devirt
+	p.Metrics.BoundsElidedR1 = elided.BoundsR1
+	p.Metrics.BoundsElidedR2 = elided.BoundsR2
+	p.Metrics.BoundsElidedR3 = elided.BoundsR3
 
 	mods[0].Metapools = p.Descs
 	mods[0].CallSets = inst.callSets

@@ -1,0 +1,150 @@
+package safety
+
+// Rule R3 (value-range proven indices): a bounds check whose GEP indices
+// all have interval-analysis-proven in-bounds ranges is redundant.  The
+// ranges come from internal/analysis — the sparse conditional value-range
+// framework — run strictly intraprocedurally here (calls evaluate to Top):
+// the bytecode verifier re-derives every R3 elision with its own
+// self-contained copy of the same lattice (internal/typecheck/vrange.go),
+// and keeping both sides intraprocedural keeps them in provable lockstep.
+//
+// Two sub-rules:
+//
+//	R3a (typed traversal): like R2's gepGuardSafe, but an array index may
+//	also be proven by its interval — covering parameter-guard idioms
+//	(`if (pid < 0 || pid >= NumPids) return` refines pid to [0,64)) that
+//	no counted-loop cell discipline can see.
+//
+//	R3b (byte view): a single-index GEP on an i8* whose base resolves to
+//	an object of statically known byte extent (fixed alloca, global, or a
+//	provably in-bounds typed GEP into one); the index interval must stay
+//	strictly inside the extent.  This covers memcpy/memset span checks on
+//	capped lengths (select(len <u N, len, N)) and the sector-buffer
+//	urem-offset idiom.
+//
+// Strictness: R3 requires derived ∈ [base, base+extent-1] even though the
+// run-time check also admits one-past-the-end.  A one-past-end pointer of
+// an *unregistered* root can alias the first byte of an adjacent registered
+// object, which the reduced check reports as a straddle — so eliding it
+// would hide a violation.  Strict in-bounds pointers stay inside the root's
+// own memory and pass the check whether or not the root is registered.
+
+import (
+	"sva/internal/analysis"
+	"sva/internal/ir"
+)
+
+// ranges lazily runs the intraprocedural interval analysis for the
+// function under elision.
+func (ea *elideAnalysis) ranges() *analysis.FuncRanges {
+	if ea.rng == nil {
+		ea.rng = analysis.ForFunction(ea.f, nil)
+	}
+	return ea.rng
+}
+
+// rangeIn reports whether idx's interval at blk lies in [0, n).
+func (ea *elideAnalysis) rangeIn(idx ir.Value, n int64, blk *ir.BasicBlock) bool {
+	return ea.ranges().At(idx, blk).Within(0, n-1)
+}
+
+// gepRangeSafe is rule R3's entry point, mirroring gepGuardSafe's contract:
+// the check must pair a GEP with its own base, and every index must be
+// proven in-bounds.  Ranges are evaluated at the check's block — the check
+// executes under every guard dominating it, and SSA immutability makes the
+// refinements valid for the index values wherever they were computed.
+func (ea *elideAnalysis) gepRangeSafe(check *ir.Instr) bool {
+	g, ok := stripPtrCasts(check.Args[2]).(*ir.Instr)
+	if !ok || g.Op != ir.OpGEP {
+		return false
+	}
+	if stripPtrCasts(check.Args[1]) != stripPtrCasts(g.Args[0]) {
+		return false
+	}
+	blk := check.Parent()
+	if blk == nil {
+		return false
+	}
+	return ea.gepRangeInBounds(g, blk)
+}
+
+// gepRangeInBounds proves every index of g in-bounds at blk.
+func (ea *elideAnalysis) gepRangeInBounds(g *ir.Instr, blk *ir.BasicBlock) bool {
+	base := g.Args[0].Type().Elem()
+	// R3b: byte-view indexing off an object of known extent.
+	if base == ir.I8 && len(g.Args) == 2 {
+		ext, ok := ea.byteExtent(stripPtrCasts(g.Args[0]), blk)
+		if !ok {
+			return false
+		}
+		idx := g.Args[1]
+		return indexBoundedBy(idx, ext) || ea.cellBound(idx, ext) || ea.rangeIn(idx, ext, blk)
+	}
+	// R3a: typed traversal with range-proven array indices.
+	cur := base
+	for k := 1; k < len(g.Args); k++ {
+		idx := g.Args[k]
+		if k == 1 {
+			c, okc := idx.(*ir.ConstInt)
+			if !okc || c.SignedValue() != 0 {
+				return false
+			}
+			continue
+		}
+		switch cur.Kind() {
+		case ir.ArrayKind:
+			n := int64(cur.Len())
+			if !indexBoundedBy(idx, n) && !ea.cellBound(idx, n) && !ea.rangeIn(idx, n, blk) {
+				return false
+			}
+			cur = cur.Elem()
+		case ir.StructKind:
+			c, okc := idx.(*ir.ConstInt)
+			if !okc {
+				return false
+			}
+			fi := c.SignedValue()
+			if fi < 0 || fi >= int64(cur.NumFields()) {
+				return false
+			}
+			cur = cur.Field(int(fi))
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// byteExtent resolves a (cast-stripped) pointer to the byte size of the
+// object or sub-object it provably points at the start of: a fixed-size
+// alloca, a global, or an in-bounds typed GEP path into one.
+func (ea *elideAnalysis) byteExtent(v ir.Value, blk *ir.BasicBlock) (int64, bool) {
+	var layout ir.Layout
+	switch x := v.(type) {
+	case *ir.Global:
+		sz, err := layout.TrySize(x.ValueType)
+		return sz, err == nil && sz > 0
+	case *ir.Instr:
+		switch x.Op {
+		case ir.OpAlloca:
+			if len(x.Args) != 0 {
+				return 0, false // dynamic element count
+			}
+			sz, err := layout.TrySize(x.AllocTy)
+			return sz, err == nil && sz > 0
+		case ir.OpGEP:
+			// An interior pointer: its own traversal must be in-bounds
+			// and rooted at an object of known extent; the remaining
+			// extent is the size of the element it points at.
+			if _, ok := ea.byteExtent(stripPtrCasts(x.Args[0]), blk); !ok {
+				return 0, false
+			}
+			if !ea.gepRangeInBounds(x, blk) {
+				return 0, false
+			}
+			sz, err := layout.TrySize(x.Typ.Elem())
+			return sz, err == nil && sz > 0
+		}
+	}
+	return 0, false
+}

@@ -47,6 +47,12 @@ type StaticStats struct {
 	// redundancy pass rewrote to a pchk.elide.* annotation.
 	BoundsChecksInserted int
 	BoundsChecksElided   int
+	// Per-rule attribution of elided bounds checks: R1 dominating
+	// identical check, R2 guarded counted-loop index, R3 value-range
+	// proven indices (a site provable several ways counts for the first).
+	BoundsElidedR1 int
+	BoundsElidedR2 int
+	BoundsElidedR3 int
 	GEPsProvenSafe       int
 	LSChecksInserted     int
 	LSChecksElided       int

@@ -21,6 +21,10 @@ package typecheck
 // extent: first index zero, constant in-range struct fields, and array
 // indices either statically bounded or loads of a disciplined induction
 // cell proven in [0, len) by a live loop-header guard.
+//
+// Rule R3 (value-range proven indices): like R2 but the index bounds come
+// from an interval abstract interpretation over the function's SSA values
+// (branch-refined ranges, urem/and-mask transfers); see vrange.go.
 
 import (
 	"fmt"
@@ -46,6 +50,9 @@ type elideVerifier struct {
 
 	cells  map[*ir.Instr]*vcellInfo
 	guards map[*ir.Instr][]vcellGuard
+
+	// rng is the lazily-built value-range analysis for rule R3 (vrange.go).
+	rng *vRanges
 }
 
 type vcellInfo struct {
@@ -73,14 +80,14 @@ func (c *Checker) checkElisions(f *ir.Function) {
 	}
 	ev := &elideVerifier{
 		f:        f,
-		cfg:      ir.BuildCFG(f),
+		cfg:      f.CFG(),
 		evidence: map[string][]elideSite{},
 		vns:      map[ir.Value]string{},
 		leafID:   map[ir.Value]int{},
 		cells:    map[*ir.Instr]*vcellInfo{},
 		guards:   map[*ir.Instr][]vcellGuard{},
 	}
-	ev.dom = ir.BuildDomTree(ev.cfg)
+	ev.dom = f.DomTree()
 	inRPO := map[*ir.BasicBlock]bool{}
 	for _, b := range ev.cfg.RPO {
 		inRPO[b] = true
@@ -105,12 +112,12 @@ func (c *Checker) checkElisions(f *ir.Function) {
 				}
 			case svaops.ElideBounds:
 				key, pool, keyed := ev.boundsKey(in)
-				if (keyed && ev.provenByEvidence(key, pool, b, i)) || ev.gepGuardSafe(in) {
+				if (keyed && ev.provenByEvidence(key, pool, b, i)) || ev.gepGuardSafe(in) || ev.gepRangeSafe(in) {
 					if keyed {
 						ev.evidence[key] = append(ev.evidence[key], elideSite{b, i})
 					}
 				} else {
-					c.fail(f, "elision", "cannot re-derive elided bounds check on %s (no dominating check or guard proof)",
+					c.fail(f, "elision", "cannot re-derive elided bounds check on %s (no dominating check, guard or range proof)",
 						in.Args[2].Ident())
 				}
 			case svaops.ElideLS:

@@ -29,9 +29,16 @@ const (
 	// the checker must re-derive every elision and reject this one
 	// (§7.1.3 optimization under the §5 TCB discipline).
 	BugBogusElision
+	// BugBogusRangeElision: a legitimately R3-elided check has the proof
+	// pulled out from under it — a constant the value-range derivation
+	// depends on (a branch-guard comparison bound, a urem divisor, an
+	// and-mask) is corrupted so the index interval no longer fits the
+	// accessed extent.  The checker's independent re-derivation must fail
+	// and reject the now-unjustified elision.
+	BugBogusRangeElision
 )
 
-var bugNames = [...]string{"aliasing", "edge", "th-claim", "split", "bogus-elision"}
+var bugNames = [...]string{"aliasing", "edge", "th-claim", "split", "bogus-elision", "bogus-range-elision"}
 
 func (k BugKind) String() string {
 	if int(k) < len(bugNames) {
@@ -55,6 +62,8 @@ func InjectBug(kind BugKind, seed int, descs []*ir.MetapoolDesc, mods ...*ir.Mod
 		return injectSplit(seed, descs, mods)
 	case BugBogusElision:
 		return injectBogusElision(seed, mods)
+	case BugBogusRangeElision:
+		return injectBogusRangeElision(seed, mods)
 	}
 	return "", false
 }
@@ -237,6 +246,168 @@ func injectBogusElision(seed int, mods []*ir.Module) (string, bool) {
 	}
 	s.in.Callee = svaops.Get(s.m, elide)
 	return fmt.Sprintf("rewrote unjustified %s in @%s to %s", name, s.f.Nm, elide), true
+}
+
+// newReplayVerifier builds a fresh elideVerifier for f (fresh value-range
+// state too, so it sees the current constants, not pre-corruption ones).
+func newReplayVerifier(f *ir.Function) *elideVerifier {
+	ev := &elideVerifier{
+		f:        f,
+		cfg:      f.CFG(),
+		evidence: map[string][]elideSite{},
+		vns:      map[ir.Value]string{},
+		leafID:   map[ir.Value]int{},
+		cells:    map[*ir.Instr]*vcellInfo{},
+		guards:   map[*ir.Instr][]vcellGuard{},
+	}
+	ev.dom = f.DomTree()
+	return ev
+}
+
+// replayElisions walks f the way checkElisions does, calling visit for each
+// pchk.elide.bounds with the verifier, its proof status under each rule, and
+// the site position.  Returning false stops the walk.
+func replayElisions(ev *elideVerifier, visit func(in *ir.Instr, r1, r2, r3 bool) bool) {
+	for _, b := range ev.cfg.RPO {
+		for i, in := range b.Instrs {
+			name, ok := in.IsIntrinsicCall()
+			if !ok {
+				continue
+			}
+			switch name {
+			case svaops.BoundsCheck:
+				if key, _, keyed := ev.boundsKey(in); keyed {
+					ev.evidence[key] = append(ev.evidence[key], elideSite{b, i})
+				}
+			case svaops.LSCheck:
+				if key, _, keyed := ev.lsKey(in); keyed {
+					ev.evidence[key] = append(ev.evidence[key], elideSite{b, i})
+				}
+			case svaops.ElideBounds:
+				key, pool, keyed := ev.boundsKey(in)
+				r1 := keyed && ev.provenByEvidence(key, pool, b, i)
+				r2 := ev.gepGuardSafe(in)
+				r3 := ev.gepRangeSafe(in)
+				if !visit(in, r1, r2, r3) {
+					return
+				}
+				if keyed && (r1 || r2 || r3) {
+					ev.evidence[key] = append(ev.evidence[key], elideSite{b, i})
+				}
+			case svaops.ElideLS:
+				if key, pool, keyed := ev.lsKey(in); keyed && ev.provenByEvidence(key, pool, b, i) {
+					ev.evidence[key] = append(ev.evidence[key], elideSite{b, i})
+				}
+			}
+		}
+	}
+}
+
+// rangeProofConsts collects the constants an R3 proof leans on for one
+// elided check: ConstInt operands of the fact-source comparisons that
+// tightened an index interval (branch-guard bounds), and ConstInt operands
+// of each index's defining instruction and its immediate operands (urem
+// divisors, and-masks, select cap arms).
+func (ev *elideVerifier) rangeProofConsts(check *ir.Instr) []struct {
+	host *ir.Instr
+	argi int
+} {
+	type slot = struct {
+		host *ir.Instr
+		argi int
+	}
+	var out []slot
+	g, ok := vstripPtrCasts(check.Args[2]).(*ir.Instr)
+	if !ok || g.Op != ir.OpGEP {
+		return nil
+	}
+	blk := check.Parent()
+	seen := map[*ir.Instr]bool{}
+	addHost := func(h *ir.Instr) {
+		if h == nil || seen[h] {
+			return
+		}
+		seen[h] = true
+		for i, a := range h.Args {
+			if c, okc := a.(*ir.ConstInt); okc && c.Type().IsInt() {
+				out = append(out, slot{h, i})
+			}
+		}
+	}
+	for k := 1; k < len(g.Args); k++ {
+		_, wits := ev.ranges().atWitness(g.Args[k], blk, true)
+		for _, w := range wits {
+			addHost(w)
+		}
+		if di, oki := g.Args[k].(*ir.Instr); oki {
+			addHost(di)
+			for _, a := range di.Args {
+				if ai, oka := a.(*ir.Instr); oka {
+					addHost(ai)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func injectBogusRangeElision(seed int, mods []*ir.Module) (string, bool) {
+	// Candidates: elisions only R3 justifies (an R1/R2 proof would survive
+	// the corruption), paired with each constant their proof depends on.
+	type cand struct {
+		f      *ir.Function
+		target *ir.Instr
+		host   *ir.Instr
+		argi   int
+	}
+	var cands []cand
+	for _, m := range mods {
+		for _, f := range m.Funcs {
+			if !f.SafetyCompiled {
+				continue
+			}
+			ev := newReplayVerifier(f)
+			replayElisions(ev, func(in *ir.Instr, r1, r2, r3 bool) bool {
+				if r1 || r2 || !r3 {
+					return true
+				}
+				for _, s := range ev.rangeProofConsts(in) {
+					cands = append(cands, cand{f, in, s.host, s.argi})
+				}
+				return true
+			})
+		}
+	}
+	if len(cands) == 0 {
+		return "", false
+	}
+	// Not every constant is load-bearing (a proof can hold through several
+	// facts): corrupt, re-derive with a fresh verifier, and keep the first
+	// corruption the checker genuinely cannot re-prove.
+	for t := 0; t < len(cands); t++ {
+		c := cands[(seed+t)%len(cands)]
+		old := c.host.Args[c.argi].(*ir.ConstInt)
+		bits := old.Type().Bits()
+		nv := vMaxS(bits)
+		if old.SignedValue() == nv {
+			nv = vMinS(bits)
+		}
+		c.host.Args[c.argi] = ir.NewInt(old.Type(), nv)
+		broken := false
+		replayElisions(newReplayVerifier(c.f), func(in *ir.Instr, r1, r2, r3 bool) bool {
+			if in != c.target {
+				return true
+			}
+			broken = !r1 && !r2 && !r3
+			return false
+		})
+		if broken {
+			return fmt.Sprintf("corrupted range witness in @%s: %s constant %d -> %d under elided check on %s",
+				c.f.Nm, c.host.Op, old.SignedValue(), nv, c.target.Args[2].Ident()), true
+		}
+		c.host.Args[c.argi] = old
+	}
+	return "", false
 }
 
 func descsByName(descs []*ir.MetapoolDesc, name string) *ir.MetapoolDesc {

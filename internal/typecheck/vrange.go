@@ -1,0 +1,868 @@
+package typecheck
+
+// Independent re-derivation of elision rule R3 (value-range proven
+// indices).  This file is a self-contained copy of the interval lattice,
+// transfer functions and sparse conditional solver in internal/analysis,
+// deliberately NOT importing that package: the verifier must re-prove every
+// elision with machinery of its own so the optimizer-side framework stays
+// outside the trusted computing base (the same discipline elide.go applies
+// to rules R1/R2).  Both sides run strictly intraprocedurally (calls
+// evaluate to Top), which keeps them in provable lockstep.  Keep the
+// algorithms behaviorally identical to internal/analysis: the verifier
+// must prove at least everything the optimizer elides, and the §5 TCB
+// experiment relies on it proving nothing more.
+
+import (
+	"sva/internal/ir"
+)
+
+// ---------------------------------------------------------------------------
+// Interval lattice.
+
+type vInterval struct {
+	Lo, Hi int64
+}
+
+func vEmpty() vInterval        { return vInterval{Lo: 1, Hi: 0} }
+func vPoint(v int64) vInterval { return vInterval{Lo: v, Hi: v} }
+
+func vRange(lo, hi int64) vInterval {
+	if lo > hi {
+		return vEmpty()
+	}
+	return vInterval{Lo: lo, Hi: hi}
+}
+
+func vMinS(bits int) int64 {
+	if bits <= 1 {
+		return 0
+	}
+	return -(int64(1) << (bits - 1))
+}
+
+func vMaxS(bits int) int64 {
+	if bits <= 1 {
+		return 1
+	}
+	return int64(1)<<(bits-1) - 1
+}
+
+func vTop(bits int) vInterval { return vInterval{Lo: vMinS(bits), Hi: vMaxS(bits)} }
+
+func (iv vInterval) isEmpty() bool { return iv.Lo > iv.Hi }
+
+func (iv vInterval) within(lo, hi int64) bool {
+	return !iv.isEmpty() && iv.Lo >= lo && iv.Hi <= hi
+}
+
+func (iv vInterval) nonNeg() bool { return !iv.isEmpty() && iv.Lo >= 0 }
+
+func vJoin(a, b vInterval) vInterval {
+	if a.isEmpty() {
+		return b
+	}
+	if b.isEmpty() {
+		return a
+	}
+	lo, hi := a.Lo, a.Hi
+	if b.Lo < lo {
+		lo = b.Lo
+	}
+	if b.Hi > hi {
+		hi = b.Hi
+	}
+	return vInterval{Lo: lo, Hi: hi}
+}
+
+func vMeet(a, b vInterval) vInterval {
+	if a.isEmpty() || b.isEmpty() {
+		return vEmpty()
+	}
+	lo, hi := a.Lo, a.Hi
+	if b.Lo > lo {
+		lo = b.Lo
+	}
+	if b.Hi < hi {
+		hi = b.Hi
+	}
+	return vRange(lo, hi)
+}
+
+func vWiden(prev, next vInterval, bits int) vInterval {
+	if prev.isEmpty() {
+		return next
+	}
+	if next.isEmpty() {
+		return prev
+	}
+	out := vInterval{Lo: prev.Lo, Hi: prev.Hi}
+	if next.Lo < prev.Lo {
+		out.Lo = vMinS(bits)
+	}
+	if next.Hi > prev.Hi {
+		out.Hi = vMaxS(bits)
+	}
+	return out
+}
+
+func vClamp(lo, hi int64, bits int, overflow bool) vInterval {
+	if overflow || lo < vMinS(bits) || hi > vMaxS(bits) {
+		return vTop(bits)
+	}
+	return vInterval{Lo: lo, Hi: hi}
+}
+
+func vAddOv(a, b int64) (int64, bool) {
+	s := a + b
+	return s, (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0)
+}
+
+func vMulOv(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, false
+	}
+	p := a * b
+	return p, p/b != a
+}
+
+func vBitCeil(max int64) int64 {
+	if max < 0 {
+		return vMaxS(64)
+	}
+	c := int64(1)
+	for c <= max {
+		if c > vMaxS(64)/2 {
+			return vMaxS(64)
+		}
+		c <<= 1
+	}
+	return c - 1
+}
+
+// ---------------------------------------------------------------------------
+// Transfer functions (wrapping semantics: possible overflow goes to Top).
+
+func vTransferBin(op ir.Op, a, b vInterval, bits int) vInterval {
+	if a.isEmpty() || b.isEmpty() {
+		return vEmpty()
+	}
+	switch op {
+	case ir.OpAdd:
+		lo, ov1 := vAddOv(a.Lo, b.Lo)
+		hi, ov2 := vAddOv(a.Hi, b.Hi)
+		return vClamp(lo, hi, bits, ov1 || ov2)
+	case ir.OpSub:
+		if b.Hi == vMinS(64) || b.Lo == vMinS(64) {
+			return vTop(bits)
+		}
+		lo, ov1 := vAddOv(a.Lo, -b.Hi)
+		hi, ov2 := vAddOv(a.Hi, -b.Lo)
+		return vClamp(lo, hi, bits, ov1 || ov2)
+	case ir.OpMul:
+		lo, hi := int64(0), int64(0)
+		first := true
+		for _, x := range [2]int64{a.Lo, a.Hi} {
+			for _, y := range [2]int64{b.Lo, b.Hi} {
+				p, ov := vMulOv(x, y)
+				if ov {
+					return vTop(bits)
+				}
+				if first || p < lo {
+					lo = p
+				}
+				if first || p > hi {
+					hi = p
+				}
+				first = false
+			}
+		}
+		return vClamp(lo, hi, bits, false)
+	case ir.OpUDiv:
+		if !a.nonNeg() || !b.nonNeg() {
+			return vTop(bits)
+		}
+		bl := b.Lo
+		if bl < 1 {
+			bl = 1
+		}
+		bh := b.Hi
+		if bh < 1 {
+			return vEmpty()
+		}
+		return vRange(a.Lo/bh, a.Hi/bl)
+	case ir.OpSDiv:
+		if b.Lo < 1 {
+			return vTop(bits)
+		}
+		lo, hi := int64(0), int64(0)
+		first := true
+		for _, x := range [2]int64{a.Lo, a.Hi} {
+			for _, y := range [2]int64{b.Lo, b.Hi} {
+				q := x / y
+				if first || q < lo {
+					lo = q
+				}
+				if first || q > hi {
+					hi = q
+				}
+				first = false
+			}
+		}
+		return vClamp(lo, hi, bits, false)
+	case ir.OpURem:
+		if !b.nonNeg() || b.Lo < 1 {
+			return vTop(bits)
+		}
+		out := vInterval{Lo: 0, Hi: b.Hi - 1}
+		if a.nonNeg() && a.Hi < out.Hi {
+			out.Hi = a.Hi
+		}
+		return out
+	case ir.OpSRem:
+		if b.isEmpty() || (b.Lo <= 0 && b.Hi >= 0) {
+			return vTop(bits)
+		}
+		d := b.Hi
+		if -b.Lo > d {
+			d = -b.Lo
+		}
+		lo, hi := int64(0), int64(0)
+		if a.Lo < 0 {
+			lo = -(d - 1)
+		}
+		if a.Hi > 0 {
+			hi = d - 1
+		}
+		return vRange(lo, hi)
+	case ir.OpAnd:
+		switch {
+		case a.nonNeg() && b.nonNeg():
+			hi := a.Hi
+			if b.Hi < hi {
+				hi = b.Hi
+			}
+			return vInterval{Lo: 0, Hi: hi}
+		case a.nonNeg():
+			return vInterval{Lo: 0, Hi: a.Hi}
+		case b.nonNeg():
+			return vInterval{Lo: 0, Hi: b.Hi}
+		}
+		return vTop(bits)
+	case ir.OpOr:
+		if a.nonNeg() && b.nonNeg() {
+			lo := a.Lo
+			if b.Lo > lo {
+				lo = b.Lo
+			}
+			m := a.Hi
+			if b.Hi > m {
+				m = b.Hi
+			}
+			return vRange(lo, vBitCeil(m))
+		}
+		return vTop(bits)
+	case ir.OpXor:
+		if a.nonNeg() && b.nonNeg() {
+			m := a.Hi
+			if b.Hi > m {
+				m = b.Hi
+			}
+			return vRange(0, vBitCeil(m))
+		}
+		return vTop(bits)
+	case ir.OpShl:
+		if !a.nonNeg() || !b.nonNeg() || b.Hi >= int64(bits) {
+			return vTop(bits)
+		}
+		if a.Hi != 0 && a.Hi > vMaxS(bits)>>uint(b.Hi) {
+			return vTop(bits)
+		}
+		return vRange(a.Lo<<uint(b.Lo), a.Hi<<uint(b.Hi))
+	case ir.OpLShr:
+		if !b.nonNeg() || b.Hi >= 64 {
+			return vTop(bits)
+		}
+		if a.nonNeg() {
+			return vRange(a.Lo>>uint(b.Hi), a.Hi>>uint(b.Lo))
+		}
+		if b.Lo >= 1 {
+			hi := int64(ir.Truncate(^uint64(0), bits) >> uint(b.Lo))
+			return vRange(0, hi)
+		}
+		return vTop(bits)
+	case ir.OpAShr:
+		if !b.nonNeg() || b.Hi >= 64 {
+			return vTop(bits)
+		}
+		lo := a.Lo >> uint(b.Lo)
+		if v := a.Lo >> uint(b.Hi); v < lo {
+			lo = v
+		}
+		hi := a.Hi >> uint(b.Lo)
+		if v := a.Hi >> uint(b.Hi); v > hi {
+			hi = v
+		}
+		return vRange(lo, hi)
+	}
+	return vTop(bits)
+}
+
+func vTransferCast(op ir.Op, src vInterval, fromBits, toBits int) vInterval {
+	if src.isEmpty() {
+		return vEmpty()
+	}
+	switch op {
+	case ir.OpZExt:
+		if src.nonNeg() {
+			return src
+		}
+		if fromBits < 64 {
+			u := int64(1)<<uint(fromBits) - 1
+			if u <= vMaxS(toBits) {
+				return vRange(0, u)
+			}
+		}
+		return vTop(toBits)
+	case ir.OpSExt:
+		return src
+	case ir.OpTrunc:
+		if src.within(vMinS(toBits), vMaxS(toBits)) {
+			return src
+		}
+		return vTop(toBits)
+	}
+	return vTop(toBits)
+}
+
+func vDecideICmp(pred ir.Pred, a, b vInterval) int {
+	if a.isEmpty() || b.isEmpty() {
+		return -1
+	}
+	switch pred {
+	case ir.PredEQ:
+		if a.Lo == a.Hi && b.Lo == b.Hi && a.Lo == b.Lo {
+			return 1
+		}
+		if vMeet(a, b).isEmpty() {
+			return 0
+		}
+		return -1
+	case ir.PredNE:
+		switch vDecideICmp(ir.PredEQ, a, b) {
+		case 1:
+			return 0
+		case 0:
+			return 1
+		}
+		return -1
+	case ir.PredULT, ir.PredULE, ir.PredUGT, ir.PredUGE:
+		if !a.nonNeg() || !b.nonNeg() {
+			return -1
+		}
+		return vDecideICmp(vSignedOf(pred), a, b)
+	case ir.PredSLT:
+		if a.Hi < b.Lo {
+			return 1
+		}
+		if a.Lo >= b.Hi {
+			return 0
+		}
+	case ir.PredSLE:
+		if a.Hi <= b.Lo {
+			return 1
+		}
+		if a.Lo > b.Hi {
+			return 0
+		}
+	case ir.PredSGT:
+		return vDecideICmp(ir.PredSLT, b, a)
+	case ir.PredSGE:
+		return vDecideICmp(ir.PredSLE, b, a)
+	}
+	return -1
+}
+
+func vSignedOf(pred ir.Pred) ir.Pred {
+	switch pred {
+	case ir.PredULT:
+		return ir.PredSLT
+	case ir.PredULE:
+		return ir.PredSLE
+	case ir.PredUGT:
+		return ir.PredSGT
+	case ir.PredUGE:
+		return ir.PredSGE
+	}
+	return pred
+}
+
+func vNegatePred(pred ir.Pred) ir.Pred {
+	switch pred {
+	case ir.PredEQ:
+		return ir.PredNE
+	case ir.PredNE:
+		return ir.PredEQ
+	case ir.PredULT:
+		return ir.PredUGE
+	case ir.PredULE:
+		return ir.PredUGT
+	case ir.PredUGT:
+		return ir.PredULE
+	case ir.PredUGE:
+		return ir.PredULT
+	case ir.PredSLT:
+		return ir.PredSGE
+	case ir.PredSLE:
+		return ir.PredSGT
+	case ir.PredSGT:
+		return ir.PredSLE
+	case ir.PredSGE:
+		return ir.PredSLT
+	}
+	return pred
+}
+
+func vSwapPred(pred ir.Pred) ir.Pred {
+	switch pred {
+	case ir.PredULT:
+		return ir.PredUGT
+	case ir.PredULE:
+		return ir.PredUGE
+	case ir.PredUGT:
+		return ir.PredULT
+	case ir.PredUGE:
+		return ir.PredULE
+	case ir.PredSLT:
+		return ir.PredSGT
+	case ir.PredSLE:
+		return ir.PredSGE
+	case ir.PredSGT:
+		return ir.PredSLT
+	case ir.PredSGE:
+		return ir.PredSLE
+	}
+	return pred
+}
+
+// ---------------------------------------------------------------------------
+// Sparse conditional solver.
+
+// vFact is a branch-edge refinement: on entry to its block, v lies in iv.
+// src is the comparison it was decomposed from (the injection experiment's
+// corruption target).
+type vFact struct {
+	v   ir.Value
+	iv  vInterval
+	src *ir.Instr
+}
+
+const (
+	vWidenAfter = 8
+	vMaxPasses  = 64
+)
+
+type vRanges struct {
+	f   *ir.Function
+	cfg *ir.CFG
+	dom *ir.DomTree
+
+	val   map[*ir.Instr]vInterval
+	facts map[*ir.BasicBlock][]vFact
+}
+
+func vForFunction(f *ir.Function) *vRanges {
+	vr := &vRanges{
+		f:     f,
+		val:   map[*ir.Instr]vInterval{},
+		facts: map[*ir.BasicBlock][]vFact{},
+	}
+	if len(f.Blocks) == 0 {
+		return vr
+	}
+	vr.cfg = f.CFG()
+	vr.dom = f.DomTree()
+	vr.collectFacts()
+	vr.iterate()
+	return vr
+}
+
+func (vr *vRanges) collectFacts() {
+	for _, t := range vr.cfg.RPO {
+		preds := vr.cfg.Preds[t]
+		if len(preds) != 1 {
+			continue
+		}
+		br := preds[0].Terminator()
+		if br == nil || br.Op != ir.OpCondBr || br.Blocks[0] == br.Blocks[1] {
+			continue
+		}
+		istrue := br.Blocks[0] == t
+		blk := t
+		vAssertCond(br.Args[0], istrue, func(ft vFact) {
+			vr.facts[blk] = append(vr.facts[blk], ft)
+		})
+	}
+}
+
+func vAssertCond(cond ir.Value, istrue bool, emit func(vFact)) {
+	in, ok := cond.(*ir.Instr)
+	if !ok {
+		return
+	}
+	if in.Op == ir.OpICmp {
+		vAssertICmp(in, istrue, emit)
+		return
+	}
+	if istrue {
+		vAssertNonZero(in, emit)
+	} else {
+		vAssertZero(in, emit)
+	}
+}
+
+func vAssertICmp(in *ir.Instr, istrue bool, emit func(vFact)) {
+	pred := in.Pred
+	if !istrue {
+		pred = vNegatePred(pred)
+	}
+	a, b := in.Args[0], in.Args[1]
+	if cb, ok := b.(*ir.ConstInt); ok {
+		vEmitImplied(a, pred, cb, in, emit)
+	}
+	if ca, ok := a.(*ir.ConstInt); ok {
+		vEmitImplied(b, vSwapPred(pred), ca, in, emit)
+	}
+}
+
+func vEmitImplied(v ir.Value, pred ir.Pred, c *ir.ConstInt, src *ir.Instr, emit func(vFact)) {
+	if !v.Type().IsInt() {
+		return
+	}
+	bits := v.Type().Bits()
+	sv := c.SignedValue()
+	uv := ir.Truncate(c.V, bits)
+	switch pred {
+	case ir.PredEQ:
+		emit(vFact{v: v, iv: vPoint(sv), src: src})
+		if sv == 0 {
+			vAssertZero(v, emit)
+		}
+	case ir.PredNE:
+		if sv == 0 {
+			vAssertNonZero(v, emit)
+		}
+	case ir.PredSLT:
+		if sv > vMinS(bits) {
+			emit(vFact{v: v, iv: vRange(vMinS(bits), sv-1), src: src})
+		}
+	case ir.PredSLE:
+		emit(vFact{v: v, iv: vRange(vMinS(bits), sv), src: src})
+	case ir.PredSGT:
+		if sv < vMaxS(bits) {
+			emit(vFact{v: v, iv: vRange(sv+1, vMaxS(bits)), src: src})
+		}
+	case ir.PredSGE:
+		emit(vFact{v: v, iv: vRange(sv, vMaxS(bits)), src: src})
+	case ir.PredULT:
+		if uv > 0 && int64(uv) <= vMaxS(bits) {
+			emit(vFact{v: v, iv: vRange(0, int64(uv)-1), src: src})
+		}
+	case ir.PredULE:
+		if int64(uv) >= 0 && int64(uv) <= vMaxS(bits) {
+			emit(vFact{v: v, iv: vRange(0, int64(uv)), src: src})
+		}
+	}
+}
+
+func vAssertZero(v ir.Value, emit func(vFact)) {
+	in, ok := v.(*ir.Instr)
+	if !ok {
+		return
+	}
+	switch in.Op {
+	case ir.OpOr:
+		vEmitZeroFact(in.Args[0], in, emit)
+		vEmitZeroFact(in.Args[1], in, emit)
+		vAssertZero(in.Args[0], emit)
+		vAssertZero(in.Args[1], emit)
+	case ir.OpZExt, ir.OpSExt:
+		vEmitZeroFact(in.Args[0], in, emit)
+		vAssertZero(in.Args[0], emit)
+	case ir.OpICmp:
+		vAssertICmp(in, false, emit)
+	}
+}
+
+func vAssertNonZero(v ir.Value, emit func(vFact)) {
+	in, ok := v.(*ir.Instr)
+	if !ok {
+		return
+	}
+	switch in.Op {
+	case ir.OpAnd:
+		vAssertNonZero(in.Args[0], emit)
+		vAssertNonZero(in.Args[1], emit)
+	case ir.OpZExt, ir.OpSExt:
+		vAssertNonZero(in.Args[0], emit)
+	case ir.OpICmp:
+		vAssertICmp(in, true, emit)
+	}
+}
+
+func vEmitZeroFact(v ir.Value, src *ir.Instr, emit func(vFact)) {
+	if v.Type().IsInt() {
+		emit(vFact{v: v, iv: vPoint(0), src: src})
+	}
+}
+
+func (vr *vRanges) iterate() {
+	counts := map[*ir.Instr]int{}
+	for pass := 0; pass < vMaxPasses; pass++ {
+		changed := false
+		for _, b := range vr.cfg.RPO {
+			for _, in := range b.Instrs {
+				if !in.Typ.IsInt() {
+					continue
+				}
+				next := vr.eval(in)
+				old, seen := vr.val[in]
+				if !seen {
+					old = vEmpty()
+				}
+				merged := vJoin(old, next)
+				if merged == old {
+					continue
+				}
+				counts[in]++
+				if counts[in] > vWidenAfter {
+					merged = vWiden(old, merged, in.Typ.Bits())
+				}
+				if merged != old {
+					vr.val[in] = merged
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+func (vr *vRanges) eval(in *ir.Instr) vInterval {
+	bits := in.Typ.Bits()
+	blk := in.Parent()
+	get := func(v ir.Value) vInterval { return vr.at(v, blk) }
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpUDiv, ir.OpSDiv, ir.OpURem,
+		ir.OpSRem, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpLShr, ir.OpAShr:
+		return vTransferBin(in.Op, get(in.Args[0]), get(in.Args[1]), bits)
+	case ir.OpZExt, ir.OpSExt, ir.OpTrunc:
+		from := 64
+		if in.Args[0].Type().IsInt() {
+			from = in.Args[0].Type().Bits()
+		}
+		return vTransferCast(in.Op, get(in.Args[0]), from, bits)
+	case ir.OpICmp:
+		switch vDecideICmp(in.Pred, get(in.Args[0]), get(in.Args[1])) {
+		case 1:
+			return vPoint(1)
+		case 0:
+			return vPoint(0)
+		}
+		return vRange(0, 1)
+	case ir.OpSelect:
+		t := vMeet(get(in.Args[1]), vImpliedBy(in.Args[0], true, in.Args[1]))
+		e := vMeet(get(in.Args[2]), vImpliedBy(in.Args[0], false, in.Args[2]))
+		switch c := get(in.Args[0]); {
+		case c == vPoint(1):
+			return t
+		case c == vPoint(0):
+			return e
+		}
+		return vJoin(t, e)
+	case ir.OpPhi:
+		out := vEmpty()
+		for i, v := range in.Args {
+			if i < len(in.Blocks) {
+				out = vJoin(out, vr.at(v, in.Blocks[i]))
+			}
+		}
+		return out
+	}
+	return vTop(bits)
+}
+
+func vImpliedBy(cond ir.Value, istrue bool, target ir.Value) vInterval {
+	if !target.Type().IsInt() {
+		return vTop(64)
+	}
+	out := vTop(target.Type().Bits())
+	vAssertCond(cond, istrue, func(ft vFact) {
+		if ft.v == target {
+			out = vMeet(out, ft.iv)
+		}
+	})
+	return out
+}
+
+func (vr *vRanges) at(v ir.Value, blk *ir.BasicBlock) vInterval {
+	iv, _ := vr.atWitness(v, blk, false)
+	return iv
+}
+
+// atWitness additionally returns the comparison instructions whose facts
+// tightened the result: the proof's witnesses.
+func (vr *vRanges) atWitness(v ir.Value, blk *ir.BasicBlock, wantWit bool) (vInterval, []*ir.Instr) {
+	var iv vInterval
+	switch x := v.(type) {
+	case *ir.ConstInt:
+		return vPoint(x.SignedValue()), nil
+	case *ir.Instr:
+		got, ok := vr.val[x]
+		if !ok {
+			if x.Typ.IsInt() {
+				got = vEmpty()
+			} else {
+				return vTop(64), nil
+			}
+		}
+		iv = got
+	case *ir.Param:
+		if x.Typ.IsInt() {
+			iv = vTop(x.Typ.Bits())
+		} else {
+			return vTop(64), nil
+		}
+	default:
+		return vTop(64), nil
+	}
+	var wit []*ir.Instr
+	if vr.dom == nil || blk == nil {
+		return iv, wit
+	}
+	for d := blk; d != nil; d = vr.dom.IDom(d) {
+		for _, ft := range vr.facts[d] {
+			if ft.v != v {
+				continue
+			}
+			refined := vMeet(iv, ft.iv)
+			if refined != iv {
+				iv = refined
+				if wantWit && ft.src != nil {
+					wit = append(wit, ft.src)
+				}
+			}
+		}
+	}
+	return iv, wit
+}
+
+// ---------------------------------------------------------------------------
+// R3 re-derivation on top of the solver.
+
+// ranges lazily runs the intraprocedural analysis for the function under
+// verification.
+func (ev *elideVerifier) ranges() *vRanges {
+	if ev.rng == nil {
+		ev.rng = vForFunction(ev.f)
+	}
+	return ev.rng
+}
+
+func (ev *elideVerifier) rangeIn(idx ir.Value, n int64, blk *ir.BasicBlock) bool {
+	return ev.ranges().at(idx, blk).within(0, n-1)
+}
+
+// gepRangeSafe re-derives rule R3: the check pairs a GEP with its own base
+// and every index interval is proven in-bounds at the check's block.  See
+// internal/safety/vrange.go for the full rule statement (including why
+// one-past-the-end is NOT accepted).
+func (ev *elideVerifier) gepRangeSafe(check *ir.Instr) bool {
+	g, ok := vstripPtrCasts(check.Args[2]).(*ir.Instr)
+	if !ok || g.Op != ir.OpGEP {
+		return false
+	}
+	if vstripPtrCasts(check.Args[1]) != vstripPtrCasts(g.Args[0]) {
+		return false
+	}
+	blk := check.Parent()
+	if blk == nil {
+		return false
+	}
+	return ev.gepRangeInBounds(g, blk)
+}
+
+func (ev *elideVerifier) gepRangeInBounds(g *ir.Instr, blk *ir.BasicBlock) bool {
+	base := g.Args[0].Type().Elem()
+	// R3b: byte-view indexing off an object of known extent.
+	if base == ir.I8 && len(g.Args) == 2 {
+		ext, ok := ev.byteExtent(vstripPtrCasts(g.Args[0]), blk)
+		if !ok {
+			return false
+		}
+		idx := g.Args[1]
+		return indexBounded(idx, ext) || ev.cellBound(idx, ext) || ev.rangeIn(idx, ext, blk)
+	}
+	// R3a: typed traversal with range-proven array indices.
+	cur := base
+	for k := 1; k < len(g.Args); k++ {
+		idx := g.Args[k]
+		if k == 1 {
+			c, okc := idx.(*ir.ConstInt)
+			if !okc || c.SignedValue() != 0 {
+				return false
+			}
+			continue
+		}
+		switch cur.Kind() {
+		case ir.ArrayKind:
+			n := int64(cur.Len())
+			if !indexBounded(idx, n) && !ev.cellBound(idx, n) && !ev.rangeIn(idx, n, blk) {
+				return false
+			}
+			cur = cur.Elem()
+		case ir.StructKind:
+			c, okc := idx.(*ir.ConstInt)
+			if !okc {
+				return false
+			}
+			fi := c.SignedValue()
+			if fi < 0 || fi >= int64(cur.NumFields()) {
+				return false
+			}
+			cur = cur.Field(int(fi))
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (ev *elideVerifier) byteExtent(v ir.Value, blk *ir.BasicBlock) (int64, bool) {
+	var layout ir.Layout
+	switch x := v.(type) {
+	case *ir.Global:
+		sz, err := layout.TrySize(x.ValueType)
+		return sz, err == nil && sz > 0
+	case *ir.Instr:
+		switch x.Op {
+		case ir.OpAlloca:
+			if len(x.Args) != 0 {
+				return 0, false
+			}
+			sz, err := layout.TrySize(x.AllocTy)
+			return sz, err == nil && sz > 0
+		case ir.OpGEP:
+			if _, ok := ev.byteExtent(vstripPtrCasts(x.Args[0]), blk); !ok {
+				return 0, false
+			}
+			if !ev.gepRangeInBounds(x, blk) {
+				return 0, false
+			}
+			sz, err := layout.TrySize(x.Typ.Elem())
+			return sz, err == nil && sz > 0
+		}
+	}
+	return 0, false
+}
