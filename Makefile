@@ -1,7 +1,7 @@
 # Tier-1 gate plus the race-sensitive packages this repo parallelizes.
 GO ?= go
 
-.PHONY: all build test vet lint race check equiv bench tables chaos
+.PHONY: all build test vet lint race check equiv bench tables chaos netsmoke
 
 all: check
 
@@ -37,7 +37,13 @@ equiv:
 race:
 	$(GO) test -race -cpu=1,4 ./...
 
-check: build lint test equiv race
+# Descriptor-ring serving smoke: the net table at reduced scale.  The
+# harness fails the row on any lost request, bad checksum or malformed
+# descriptor, so this is a conservation gate, not just a perf printout.
+netsmoke:
+	$(GO) run ./cmd/sva-bench -table=net -scale=8
+
+check: build lint test equiv race netsmoke
 
 # Fixed-seed fault-injection smoke: three classes through sva-run plus a
 # one-seed-per-class campaign table.  Any host escape fails the target.

@@ -17,6 +17,7 @@
 //	sva-bench -table=faults     fault-injection campaign outcome matrix
 //	sva-bench -table=all        everything
 //	sva-bench -table=smp        SMP syscall-throughput scaling at 1/2/4/8 VCPUs
+//	sva-bench -table=net        descriptor-ring socket serving at 1/2/4 VCPUs
 //	sva-bench -table=engine     threaded-code engine wall-clock speedup (not in "all": host-dependent)
 //	sva-bench -seeds=25         seeds per fault class for -table=faults
 //	sva-bench -scale=4          divide iteration counts by 4 (quick run)
@@ -46,7 +47,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate (4..9, checks, profile, exploits, tcb, ablation, faults, smp, all)")
+	table := flag.String("table", "all", "which table to regenerate (4..9, checks, profile, exploits, tcb, ablation, faults, smp, net, all)")
 	scale := flag.Uint64("scale", 1, "divide iteration counts (1 = full run)")
 	seeds := flag.Int("seeds", 25, "seeds per fault class for -table=faults")
 	workers := flag.Int("workers", report.DefaultWorkers(), "max concurrent table jobs and per-table configurations (1 = serial)")
@@ -167,6 +168,16 @@ func main() {
 			}
 			report.RecordSMPRows(metrics, rows)
 			return report.SMPTable(rows), nil
+		})
+	}
+	if want("net") {
+		add("net", func() (string, error) {
+			rows, err := report.RunNetN(s, w)
+			if err != nil {
+				return "", err
+			}
+			report.RecordNetRows(metrics, rows)
+			return report.NetTable(rows), nil
 		})
 	}
 	// The engine table measures host wall-clock, so it is never part of

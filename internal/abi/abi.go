@@ -25,6 +25,8 @@ const (
 	SysGettimeofday = 78
 	SysNetSend      = 102
 	SysNetRecv      = 103
+	SysNetServe     = 104
+	SysNetPump      = 105
 	SysYield        = 158
 	// The historically vulnerable entry points.
 	SysSetsockoptMSFilter = 200 // BID 10179: MCAST_MSFILTER integer overflow
@@ -54,4 +56,3 @@ const (
 // two's-complement register value the kernel ABI returns to user space:
 // Errno(EFAULT) is the uint64 encoding of -14.
 func Errno(e int) uint64 { return uint64(-int64(e)) }
-

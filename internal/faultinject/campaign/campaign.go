@@ -128,7 +128,7 @@ var battery = []prog{
 // classes rotate through the full battery by seed.
 var classBattery = map[faultinject.Class][]prog{
 	faultinject.ClassDiskIO:    {{"chaos_disk", 40}},
-	faultinject.ClassNetIO:     {{"chaos_net", 80}},
+	faultinject.ClassNetIO:     {{"chaos_net", 80}, {"chaos_netring", 40}},
 	faultinject.ClassICRestore: {{"lat_pipe", 30}},
 }
 
@@ -163,6 +163,17 @@ func buildChaosProgs() *userland.U {
 	b.For("i", ir.I64c(0), b.Param(0), ir.I64c(1), func(i ir.Value) {
 		u.Trap(abi.SysNetSend, u.Addr(nb), ir.I64c(64))
 		u.Trap(abi.SysNetRecv, u.Addr(nb), ir.I64c(64))
+	})
+	b.Ret(ir.I64c(0))
+
+	// chaos_netring: drive the descriptor-ring NIC path — pump request
+	// frames onto this CPU's Tx ring (they loop back as Rx traffic), then
+	// serve them, so every iteration crosses post/doorbell/reap with the
+	// injector armed on the wire.
+	u.Prog("chaos_netring")
+	b.For("i", ir.I64c(0), b.Param(0), ir.I64c(1), func(i ir.Value) {
+		u.Trap(abi.SysNetPump, ir.I64c(8))
+		u.Trap(abi.SysNetServe, ir.I64c(64))
 	})
 	b.Ret(ir.I64c(0))
 

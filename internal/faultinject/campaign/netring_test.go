@@ -1,0 +1,34 @@
+package campaign
+
+import (
+	"testing"
+
+	"sva/internal/faultinject"
+)
+
+// TestNetIORingCampaign pins the tentpole's robustness criterion: the
+// netio fault class, driven specifically through the descriptor-ring path
+// (chaos_netring pumps frames onto the Tx ring and serves them back),
+// must classify 25 seeds with zero host escapes, and the wire seam must
+// actually fire.  Odd seeds select chaos_netring in the two-program
+// netio battery; the evens re-cover the legacy shim path for free.
+func TestNetIORingCampaign(t *testing.T) {
+	const seeds = 25
+	ringRuns, fired := 0, uint64(0)
+	for seed := uint64(0); seed < seeds; seed++ {
+		r := RunOne(faultinject.ClassNetIO, seed)
+		if r.Outcome == Escape {
+			t.Errorf("HOST ESCAPE: netio seed=%d prog=%s: %s", seed, r.Prog, r.Detail)
+		}
+		if r.Prog == "chaos_netring" {
+			ringRuns++
+			fired += r.Fired
+		}
+	}
+	if ringRuns == 0 {
+		t.Fatal("no seed selected chaos_netring; the ring path went uncovered")
+	}
+	if fired == 0 {
+		t.Errorf("no injection fired across %d ring-path runs; the wire seam is unreachable", ringRuns)
+	}
+}

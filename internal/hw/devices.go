@@ -21,6 +21,47 @@ const (
 // NumVectors is the size of the interrupt vector space.
 const NumVectors = 256
 
+// DevStats is the uniform counter snapshot every device exposes.
+type DevStats struct {
+	Name   string
+	Ops    uint64 // completed operations (frames, sectors, bytes moved)
+	Bytes  uint64 // payload bytes transferred
+	Errors uint64 // injected faults + rejected/malformed requests
+}
+
+// Device is the uniform face of every simulated device: a name, an
+// interrupt vector, a fault-injection attachment point and a counter
+// snapshot.  Chaos attaches at this interface (Machine.SetChaos walks
+// Devices()), so a new device gets fault coverage by embedding ChaosPort
+// and registering itself — nothing per-device to open-code.
+type Device interface {
+	DevName() string
+	Vector() int
+	AttachChaos(*faultinject.Injector)
+	Stats() DevStats
+}
+
+// RingDevice extends Device with descriptor-ring I/O: shared rings in
+// guest-visible memory, doorbell-driven batch consumption and reapable
+// completions.  See ring.go for the ring layout and trust rules.
+type RingDevice interface {
+	Device
+	AttachRing(ring int, base, slots uint64, mem RingMemory) error
+	Doorbell(ring int, now uint64) (int, error)
+	Reap(ring int) (uint64, error)
+}
+
+// ChaosPort is the embeddable fault-injection attachment point.  The
+// promoted Chaos field keeps the historical `dev.Chaos = inj` form
+// working; AttachChaos satisfies the Device interface.
+type ChaosPort struct {
+	// Chaos, when set, is consulted on the device's fault seams.
+	Chaos *faultinject.Injector
+}
+
+// AttachChaos arms (nil disarms) fault injection on this device.
+func (p *ChaosPort) AttachChaos(inj *faultinject.Injector) { p.Chaos = inj }
+
 // InterruptController queues raised vectors and delivers them when
 // interrupts are enabled.  Handlers themselves live in the SVM/kernel; the
 // controller only tracks pending state.
@@ -180,15 +221,33 @@ func (t *Timer) Advance(now uint64, ic *InterruptController) {
 // Console is a character device: output accumulates in a buffer, input is
 // an injected queue (tests and examples feed it).
 type Console struct {
-	mu  sync.Mutex
+	mu sync.Mutex
+	ChaosPort
 	out bytes.Buffer
 	in  []byte
+	// Written/Read count bytes moved in each direction.
+	Written uint64
+	ReadN   uint64
+}
+
+// DevName implements Device.
+func (c *Console) DevName() string { return "console" }
+
+// Vector implements Device.
+func (c *Console) Vector() int { return VecConsole }
+
+// Stats implements Device.
+func (c *Console) Stats() DevStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return DevStats{Name: "console", Ops: c.Written + c.ReadN, Bytes: c.Written + c.ReadN}
 }
 
 // WriteByte emits one byte to the console output.
 func (c *Console) WriteByte(b byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.Written++
 	return c.out.WriteByte(b)
 }
 
@@ -222,6 +281,7 @@ func (c *Console) ReadInput() (byte, bool) {
 	}
 	b := c.in[0]
 	c.in = c.in[1:]
+	c.ReadN++
 	return b, true
 }
 
@@ -230,7 +290,9 @@ const SectorSize = 512
 
 // BlockDevice is an in-memory disk addressed in 512-byte sectors.
 type BlockDevice struct {
-	mu     sync.Mutex
+	mu sync.Mutex
+	// ChaosPort: ClassDiskIO, when armed, fails sector transfers.
+	ChaosPort
 	data   []byte
 	Reads  uint64
 	Writes uint64
@@ -238,8 +300,24 @@ type BlockDevice struct {
 	SeekCost uint64
 	// IOErrors counts chaos-injected transfer failures.
 	IOErrors uint64
-	// Chaos, when set, lets ClassDiskIO fail sector transfers.
-	Chaos *faultinject.Injector
+}
+
+// DevName implements Device.
+func (d *BlockDevice) DevName() string { return "disk" }
+
+// Vector implements Device.
+func (d *BlockDevice) Vector() int { return VecDisk }
+
+// Stats implements Device.
+func (d *BlockDevice) Stats() DevStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DevStats{
+		Name:   "disk",
+		Ops:    d.Reads + d.Writes,
+		Bytes:  (d.Reads + d.Writes) * SectorSize,
+		Errors: d.IOErrors,
+	}
 }
 
 // NewBlockDevice creates a disk with the given sector count.
@@ -290,78 +368,6 @@ func (d *BlockDevice) WriteSector(n int, buf []byte) error {
 	return nil
 }
 
-// LoopbackNIC is a network interface whose transmit queue feeds its own
-// receive queue (the isolated-network stand-in for the paper's 100Mb
-// Ethernet test network).
-type LoopbackNIC struct {
-	mu       sync.Mutex
-	rx       [][]byte
-	TxFrames uint64
-	RxFrames uint64
-	TxBytes  uint64
-	RxBytes  uint64
-	// MTU bounds frame size.
-	MTU int
-	// PerFrameCost simulates wire+DMA latency in cycles per frame.
-	PerFrameCost uint64
-	// Dropped counts chaos-injected send failures and receive drops.
-	Dropped uint64
-	// Chaos, when set, lets ClassNetIO fail sends and drop received frames.
-	Chaos *faultinject.Injector
-}
-
-// NewLoopbackNIC returns a NIC with a 1500-byte MTU.
-func NewLoopbackNIC() *LoopbackNIC {
-	return &LoopbackNIC{MTU: 1500, PerFrameCost: 20}
-}
-
-// Send transmits one frame; it appears on the receive queue.
-func (n *LoopbackNIC) Send(frame []byte) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.Chaos != nil && n.Chaos.Should(faultinject.ClassNetIO) {
-		n.Dropped++
-		n.Chaos.Note("nic.send", "transmit error on %d-byte frame", len(frame))
-		return fmt.Errorf("nic: injected transmit error")
-	}
-	if len(frame) == 0 || len(frame) > n.MTU {
-		return fmt.Errorf("nic: bad frame size %d", len(frame))
-	}
-	cp := append([]byte(nil), frame...)
-	n.rx = append(n.rx, cp)
-	n.TxFrames++
-	n.TxBytes += uint64(len(frame))
-	return nil
-}
-
-// Recv pops the next received frame (nil when the queue is empty).
-func (n *LoopbackNIC) Recv() []byte {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if len(n.rx) == 0 {
-		return nil
-	}
-	if n.Chaos != nil && n.Chaos.Should(faultinject.ClassNetIO) {
-		// The wire ate the frame: drop it and report an empty queue.
-		n.rx = n.rx[1:]
-		n.Dropped++
-		n.Chaos.Note("nic.recv", "dropped received frame")
-		return nil
-	}
-	f := n.rx[0]
-	n.rx = n.rx[1:]
-	n.RxFrames++
-	n.RxBytes += uint64(len(f))
-	return f
-}
-
-// PendingFrames returns the receive-queue depth.
-func (n *LoopbackNIC) PendingFrames() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return len(n.rx)
-}
-
 // Machine bundles the full simulated platform.
 type Machine struct {
 	Phys *PhysMemory
@@ -373,13 +379,13 @@ type Machine struct {
 	Timer   *Timer
 	Console *Console
 	Disk    *BlockDevice
-	NIC     *LoopbackNIC
+	NIC     *RingNIC
 }
 
 // NewMachine assembles a platform with the given physical memory limit and
 // disk size.
 func NewMachine(memLimit uint64, diskSectors int) *Machine {
-	return &Machine{
+	m := &Machine{
 		Phys:    NewPhysMemory(memLimit),
 		CPU:     NewCPU(),
 		MMU:     NewMMU(),
@@ -387,8 +393,16 @@ func NewMachine(memLimit uint64, diskSectors int) *Machine {
 		Timer:   &Timer{},
 		Console: &Console{},
 		Disk:    NewBlockDevice(diskSectors),
-		NIC:     NewLoopbackNIC(),
+		NIC:     NewRingNIC(),
 	}
+	m.NIC.Intr = m.Intr
+	return m
+}
+
+// Devices enumerates the platform's devices behind the uniform Device
+// interface (chaos attachment, stats collection).
+func (m *Machine) Devices() []Device {
+	return []Device{m.Console, m.Disk, m.NIC}
 }
 
 // EnableSMP prepares the platform for n virtual CPUs: engages the memory
@@ -399,10 +413,12 @@ func (m *Machine) EnableSMP(n int) {
 }
 
 // SetChaos arms (or, with nil, disarms) fault injection on every hardware
-// seam of the platform at once.
+// seam of the platform at once: the memory and interrupt fabrics directly,
+// and every device through its Device interface.
 func (m *Machine) SetChaos(inj *faultinject.Injector) {
 	m.Phys.Chaos = inj
 	m.Intr.Chaos = inj
-	m.Disk.Chaos = inj
-	m.NIC.Chaos = inj
+	for _, d := range m.Devices() {
+		d.AttachChaos(inj)
+	}
 }

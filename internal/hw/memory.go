@@ -153,6 +153,10 @@ func (m *PhysMemory) highPage(idx uint64) *[PageSize]byte {
 	return p
 }
 
+// Check validates [addr, addr+n) against the memory limit without
+// transferring (the RingMemory validation hook).
+func (m *PhysMemory) Check(addr uint64, n int) error { return m.check(addr, n) }
+
 func (m *PhysMemory) check(addr uint64, n int) error {
 	if n < 0 {
 		return &MemFault{Addr: addr, Size: n}

@@ -57,6 +57,8 @@ const (
 	SysGettimeofday       = abi.SysGettimeofday
 	SysNetSend            = abi.SysNetSend
 	SysNetRecv            = abi.SysNetRecv
+	SysNetServe           = abi.SysNetServe
+	SysNetPump            = abi.SysNetPump
 	SysYield              = abi.SysYield
 	SysSetsockoptMSFilter = abi.SysSetsockoptMSFilter
 	SysIGMPInput          = abi.SysIGMPInput
@@ -216,6 +218,7 @@ func Build() *Image {
 	k.buildProc()     // tasks, scheduler, fork/exec/exit/wait
 	k.buildSignal()   // sigaction/kill + dispatch
 	k.buildDrivers()  // net driver + character drivers (excluded as-tested)
+	k.buildNetRing()  // descriptor-ring NIC driver + socket-serve loop
 	k.buildNet()      // sockets + vulnerable protocol modules
 	k.buildCoreDump() // the ELF core-dump path (the missed exploit's home)
 	k.buildFSInit()   // wires fops tables to driver/pipe implementations

@@ -1,0 +1,282 @@
+// Package netload is the host-side load generator for the descriptor-ring
+// NIC: an open-loop request source simulating ~10^6 connections (a 2^20
+// connection-ID space), a response sink that validates guest checksums and
+// stamps per-request latency, and a Measure harness that drives the guest
+// socket server (sys_netserve) across SMP virtual CPUs.
+//
+// Arrivals are open-loop: each queue's requests are scheduled on a fixed
+// virtual-cycle timetable (epoch + cumulative random inter-arrival gaps)
+// that does not care how fast the server drains them, so queueing delay
+// under overload shows up in the latency tail exactly as it would on a
+// real load generator.  Time is virtual cycles throughout; with the
+// nominal 1-cycle-per-nanosecond clock a cycle count reads as nanoseconds
+// at 1 GHz.
+//
+// Determinism: queue q is owned by virtual CPU q (the guest driver indexes
+// rings by sva.cpu.id), every Source/Sink callback runs under the NIC lock
+// from that one CPU, and each queue has its own splitmix64 stream seeded
+// independently of the CPU count — so a (config, vcpus, perCPU, gap) cell
+// is bit-reproducible.
+package netload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"sva/internal/abi"
+	"sva/internal/ir"
+	"sva/internal/kernel"
+	"sva/internal/userland"
+	"sva/internal/vm"
+)
+
+// ReqBytes is the request frame size.  Layout:
+//
+//	off 0  u64 conn  connection ID (generator-written)
+//	off 8  u64 req   per-queue request index (generator-written)
+//	off 16 u64 sum   payload checksum (guest-written reply field)
+//	off 24 ...       pseudorandom payload
+const ReqBytes = 128
+
+// ConnSpace is the connection-ID space: ~10^6 simulated connections.
+const ConnSpace = 1 << 20
+
+// Config parameterizes one load run.
+type Config struct {
+	Conns    int    // connection-ID space (default ConnSpace)
+	PerQueue int    // requests issued per queue
+	Gap      int    // mean inter-arrival gap in cycles (0 = back-to-back)
+	Queues   int    // queues to drive (= VCPUs serving)
+	Seed     uint64 // generator seed
+}
+
+func splitmix(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// queueGen is one queue's generator + collector state.  Only the owning
+// VCPU's doorbells touch it, always under the NIC mutex.
+type queueGen struct {
+	rng      uint64
+	epoch    uint64 // virtual-cycle origin: first Rx doorbell on this queue
+	epochSet bool
+	rel      uint64 // cumulative schedule offset of the last released arrival
+	nextGap  uint64 // drawn-but-unreleased inter-arrival gap
+	haveGap  bool
+	issued   int
+	sched    []uint64 // absolute scheduled arrival per request index
+	lats     []uint64 // completion latency per served request
+	served   int
+	badSums  int
+}
+
+// Load is the generator/collector pair to attach to a RingNIC.
+type Load struct {
+	cfg Config
+	qs  []queueGen
+}
+
+// New returns a Load for cfg with defaults filled in.
+func New(cfg Config) *Load {
+	if cfg.Conns <= 0 {
+		cfg.Conns = ConnSpace
+	}
+	if cfg.Queues <= 0 {
+		cfg.Queues = 1
+	}
+	l := &Load{cfg: cfg, qs: make([]queueGen, cfg.Queues)}
+	for q := range l.qs {
+		l.qs[q].rng = cfg.Seed*0x9e3779b97f4a7c15 + uint64(q+1)
+	}
+	return l
+}
+
+// Source is the RingNIC arrival callback: release every request whose
+// scheduled arrival has passed, up to max (the posted Rx capacity).  The
+// schedule is fixed at the queue's epoch — service speed never delays an
+// arrival, only its delivery.
+func (l *Load) Source(queue int, now uint64, max int) [][]byte {
+	if queue < 0 || queue >= len(l.qs) {
+		return nil
+	}
+	g := &l.qs[queue]
+	if !g.epochSet {
+		g.epoch, g.epochSet = now, true
+	}
+	var out [][]byte
+	for len(out) < max && g.issued < l.cfg.PerQueue {
+		if !g.haveGap {
+			g.nextGap = 1
+			if l.cfg.Gap > 0 {
+				g.nextGap += splitmix(&g.rng) % uint64(2*l.cfg.Gap)
+			}
+			g.haveGap = true
+		}
+		arr := g.epoch + g.rel + g.nextGap
+		if arr > now {
+			break // not due yet; keep the drawn gap for the next doorbell
+		}
+		g.rel += g.nextGap
+		g.haveGap = false
+		f := make([]byte, ReqBytes)
+		binary.LittleEndian.PutUint64(f[0:], splitmix(&g.rng)%uint64(l.cfg.Conns))
+		binary.LittleEndian.PutUint64(f[8:], uint64(g.issued))
+		for i := 24; i < ReqBytes; i += 8 {
+			binary.LittleEndian.PutUint64(f[i:], splitmix(&g.rng))
+		}
+		g.sched = append(g.sched, arr)
+		g.issued++
+		out = append(out, f)
+	}
+	return out
+}
+
+// Sink is the RingNIC transmit callback: verify the checksum the guest
+// stamped into the reply and record the request's completion latency
+// against its scheduled (not delivered) arrival, so host-side queueing
+// counts.
+func (l *Load) Sink(queue int, frame []byte, now uint64) {
+	if queue < 0 || queue >= len(l.qs) || len(frame) < 24 {
+		return
+	}
+	g := &l.qs[queue]
+	req := binary.LittleEndian.Uint64(frame[8:])
+	got := binary.LittleEndian.Uint64(frame[16:])
+	var want uint64
+	for _, b := range frame[24:] {
+		want += uint64(b)
+	}
+	if got != want {
+		g.badSums++
+	}
+	if req < uint64(len(g.sched)) {
+		g.lats = append(g.lats, now-g.sched[req])
+	}
+	g.served++
+}
+
+// Point is one measured cell of the net table.
+type Point struct {
+	VCPUs   int
+	Issued  int
+	Served  int
+	BadSums int
+	// Makespan is the longest per-VCPU virtual-cycle delta.
+	Makespan uint64
+	// RPS is requests per second at the nominal 1 GHz virtual clock.
+	RPS float64
+	// P50/P99 are completion-latency percentiles in virtual cycles
+	// (nanoseconds at 1 GHz), measured from scheduled arrival.
+	P50, P99 uint64
+	// Ring activity: doorbells rung, descriptors completed, coalesced
+	// interrupts raised, frames-per-doorbell (Completed/Doorbells), and
+	// the doorbell batch-size histogram (hw.BatchBuckets).
+	Doorbells     uint64
+	Completed     uint64
+	IntrRaised    uint64
+	FramesPerBell float64
+	BatchHist     []uint64
+	// BadDescs must be zero on a clean run (no malformed descriptors).
+	BadDescs uint64
+}
+
+func percentile(sorted []uint64, p int) uint64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[(len(sorted)-1)*p/100]
+}
+
+// BuildModule emits the guest socket-server program.  net_server(target)
+// loops sys_netserve in 64-request slices until it has served target
+// requests, spinning briefly whenever a slice comes back empty so virtual
+// time advances and scheduled arrivals mature.
+func BuildModule() *userland.U {
+	u := userland.New("netload")
+	b := u.B
+	u.Prog("net_server")
+	target := b.Param(0)
+	total := b.Alloca(ir.I64, "total")
+	b.Store(ir.I64c(0), total)
+	b.While(func() ir.Value {
+		return b.ICmp(ir.PredULT, b.Load(total), target)
+	}, func() {
+		r := u.Trap(abi.SysNetServe, ir.I64c(int64(kernel.NetRingSlots)))
+		b.Store(b.Add(b.Load(total), r), total)
+		b.If(b.ICmp(ir.PredEQ, r, ir.I64c(0)), func() {
+			b.For("spin", ir.I64c(0), ir.I64c(64), ir.I64c(1), func(i ir.Value) {})
+		})
+	})
+	b.Ret(ir.I64c(0))
+	u.SealAll()
+	return u
+}
+
+// Measure boots a fresh cfg system, attaches the load generator, parks one
+// net_server task per VCPU (perCPU requests each) and dispatches them.  A
+// fresh system per cell keeps cells independent and bit-reproducible.
+func Measure(cfg vm.Config, vcpus, perCPU, gap int) (Point, error) {
+	u := BuildModule()
+	sys, err := kernel.NewSystem(cfg, true, u.M)
+	if err != nil {
+		return Point{}, fmt.Errorf("netload: boot %v: %w", cfg, err)
+	}
+	ld := New(Config{PerQueue: perCPU, Gap: gap, Queues: vcpus, Seed: 0x5eed})
+	nic := sys.VM.Mach.NIC
+	nic.Source = ld.Source
+	nic.Sink = ld.Sink
+	server := u.M.Func("net_server")
+	for t := 0; t < vcpus; t++ {
+		if _, err := sys.SpawnSMP(server, uint64(perCPU)); err != nil {
+			return Point{}, err
+		}
+	}
+	runs, err := sys.RunSMP(vcpus, 0)
+	if err != nil {
+		return Point{}, err
+	}
+	p := Point{VCPUs: vcpus}
+	for _, r := range runs {
+		if r.Err != nil {
+			return Point{}, fmt.Errorf("netload: vcpu %d: %w", r.CPU, r.Err)
+		}
+		for _, ret := range r.Rets {
+			if int64(ret) != 0 {
+				return Point{}, fmt.Errorf("netload: server on vcpu %d returned %d", r.CPU, int64(ret))
+			}
+		}
+		if r.Cycles > p.Makespan {
+			p.Makespan = r.Cycles
+		}
+	}
+	var lats []uint64
+	for q := range ld.qs {
+		g := &ld.qs[q]
+		p.Issued += g.issued
+		p.Served += g.served
+		p.BadSums += g.badSums
+		lats = append(lats, g.lats...)
+	}
+	// Merge order depends on nothing: the per-queue lists are each
+	// deterministic and the merge is fully sorted.
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p.P50 = percentile(lats, 50)
+	p.P99 = percentile(lats, 99)
+	if p.Makespan > 0 {
+		p.RPS = float64(p.Served) * 1e9 / float64(p.Makespan)
+	}
+	p.Doorbells = nic.Doorbells
+	p.Completed = nic.Completed
+	p.IntrRaised = nic.IntrRaised
+	p.BadDescs = nic.BadDescs
+	if nic.Doorbells > 0 {
+		p.FramesPerBell = float64(nic.Completed) / float64(nic.Doorbells)
+	}
+	p.BatchHist = append([]uint64(nil), nic.BatchHist[:]...)
+	return p, nil
+}

@@ -1,0 +1,136 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"sva/internal/hw"
+	"sva/internal/netload"
+	"sva/internal/vm"
+)
+
+// --- network serving (-table=net) -------------------------------------------
+
+// NetVCPUs is the virtual-CPU counts the net table sweeps.
+var NetVCPUs = []int{1, 2, 4}
+
+// netConfigs is the config pair the net table compares: the unchecked
+// native kernel against the fully safety-checked one.
+var netConfigs = [2]vm.Config{vm.ConfigNative, vm.ConfigSafe}
+
+// Net load regimes: the "load" cells run with a mean inter-arrival gap so
+// the latency percentiles measure service + moderate queueing; the
+// "saturation" cells run back-to-back arrivals so throughput measures the
+// service rate and doorbell batches fill.
+const (
+	netPerCPU  = 1500
+	netLoadGap = 8000
+	netSatGap  = 0
+)
+
+// NetRow is one virtual-CPU count measured across both configurations and
+// both load regimes.
+type NetRow struct {
+	VCPUs int
+	Load  [2]netload.Point // offered-load regime, indexed like netConfigs
+	Sat   [2]netload.Point // saturation regime
+}
+
+// RunNet measures the net battery serially (shorthand for RunNetN).
+func RunNet(scale Scale) ([]NetRow, error) { return RunNetN(scale, 1) }
+
+// RunNetN measures the ring-served socket workload: one net_server task
+// per VCPU over the descriptor-ring NIC, under an open-loop load
+// generator, across native and safety-checked kernels at 1/2/4 VCPUs.
+// Every cell boots a fresh machine and runs on deterministic virtual
+// time, so parallel generation is bit-identical to a serial run.
+func RunNetN(scale Scale, workers int) ([]NetRow, error) {
+	perCPU := int(scale.apply(netPerCPU))
+	type cell struct {
+		ni, ci, gap int
+		sat         bool
+	}
+	var cells []cell
+	for ni := range NetVCPUs {
+		for ci := range netConfigs {
+			cells = append(cells, cell{ni, ci, netLoadGap, false})
+			cells = append(cells, cell{ni, ci, netSatGap, true})
+		}
+	}
+	rows := make([]NetRow, len(NetVCPUs))
+	for ni, n := range NetVCPUs {
+		rows[ni].VCPUs = n
+	}
+	err := forEach(workers, len(cells), func(i int) error {
+		c := cells[i]
+		p, err := netload.Measure(netConfigs[c.ci], NetVCPUs[c.ni], perCPU, c.gap)
+		if err != nil {
+			return err
+		}
+		if p.Issued != p.Served {
+			return fmt.Errorf("net: vcpus=%d cfg=%v: issued %d served %d",
+				NetVCPUs[c.ni], netConfigs[c.ci], p.Issued, p.Served)
+		}
+		if p.BadSums != 0 || p.BadDescs != 0 {
+			return fmt.Errorf("net: vcpus=%d cfg=%v: %d bad checksums, %d bad descriptors",
+				NetVCPUs[c.ni], netConfigs[c.ci], p.BadSums, p.BadDescs)
+		}
+		if c.sat {
+			rows[c.ni].Sat[c.ci] = p
+		} else {
+			rows[c.ni].Load[c.ci] = p
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// NetTable renders the net serving table: saturation throughput for both
+// configurations with the safe-vs-native overhead, the safe kernel's
+// latency percentiles under offered load, and the achieved
+// frames-per-doorbell batching, plus the batch-size distribution of the
+// widest safe cell.
+func NetTable(rows []NetRow) string {
+	var sb strings.Builder
+	sb.WriteString("Net serving: descriptor-ring socket server under open-loop load\n")
+	sb.WriteString("(virtual cycles; ns at the nominal 1 GHz clock; req/s from saturation cells,\n")
+	fmt.Fprintf(&sb, "p50/p99 from offered-load cells with mean inter-arrival gap %d cyc)\n", netLoadGap)
+	fmt.Fprintf(&sb, "%-6s %14s %14s %8s %12s %12s %9s\n",
+		"VCPUs", "native req/s", "safe req/s", "ovh", "safe p50", "safe p99", "fr/bell")
+	for _, r := range rows {
+		nat, safe := r.Sat[0], r.Sat[1]
+		ovh := 0.0
+		if safe.RPS > 0 {
+			ovh = (nat.RPS/safe.RPS - 1) * 100
+		}
+		fmt.Fprintf(&sb, "%-6d %14.0f %14.0f %+6.1f%% %9d ns %9d ns %9.1f\n",
+			r.VCPUs, nat.RPS, safe.RPS, ovh,
+			r.Load[1].P50, r.Load[1].P99, safe.FramesPerBell)
+	}
+	last := rows[len(rows)-1].Sat[1]
+	sb.WriteString("Frames-per-doorbell distribution (sva-safe, saturation, widest cell):\n")
+	for i, label := range hw.BatchBuckets {
+		if i < len(last.BatchHist) && last.BatchHist[i] > 0 {
+			fmt.Fprintf(&sb, "  %7s: %d\n", label, last.BatchHist[i])
+		}
+	}
+	fmt.Fprintf(&sb, "Legacy per-frame ABI moves 1 frame per hypercall; ring doorbells average %.1f.\n",
+		last.FramesPerBell)
+	return sb.String()
+}
+
+// RecordNetRows feeds net serving rows into a metric set.
+func RecordNetRows(s *MetricSet, rows []NetRow) {
+	for _, r := range rows {
+		for ci, cfg := range netConfigs {
+			pre := fmt.Sprintf("%s/%dvcpu", cfg.String(), r.VCPUs)
+			s.Add("net", pre+"_rps", "req/s", r.Sat[ci].RPS)
+			s.Add("net", pre+"_p50", "cyc", float64(r.Load[ci].P50))
+			s.Add("net", pre+"_p99", "cyc", float64(r.Load[ci].P99))
+			s.Add("net", pre+"_frbell", "fr/bell", r.Sat[ci].FramesPerBell)
+		}
+	}
+}

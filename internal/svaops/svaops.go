@@ -73,6 +73,12 @@ const (
 	DiskWrite = "sva.io.disk.write"
 	NetSend   = "sva.io.net.send"
 	NetRecv   = "sva.io.net.recv"
+	// Descriptor-ring net I/O (the batched replacement for send/recv;
+	// the old pair survives as compat shims over a 1-slot ring).
+	NetRingAttach = "sva.io.net.attach"
+	NetPost       = "sva.io.net.post"
+	NetDoorbell   = "sva.io.net.doorbell"
+	NetReap       = "sva.io.net.reap"
 
 	// Interrupt control and time.
 	IntrEnable = "sva.intr.enable"
@@ -174,12 +180,12 @@ func sig(ret *ir.Type, params ...*ir.Type) *ir.Type {
 
 // Virtual-cycle charges (see Op.Cost).
 const (
-	costTrap      = 150 // hardware trap entry + return
-	costBounds    = 25  // splay lookup + range compare
-	costLS        = 20  // splay lookup
-	costReg       = 15  // splay insert
-	costDrop      = 15  // splay delete
-	costIC        = 10  // set membership
+	costTrap   = 150 // hardware trap entry + return
+	costBounds = 25  // splay lookup + range compare
+	costLS     = 20  // splay lookup
+	costReg    = 15  // splay insert
+	costDrop   = 15  // splay delete
+	costIC     = 10  // set membership
 	// costElide is the residual cost of a check the compiler proved
 	// redundant (§7.1.3): the annotation itself is free in native code;
 	// one cycle models accounting noise so elision never looks better
@@ -229,6 +235,10 @@ var Ops = []*Op{
 	{DiskWrite, ClassIO, 0, sig(ir.I64, ir.I64, BytePtr)},
 	{NetSend, ClassIO, 0, sig(ir.I64, BytePtr, ir.I64)},
 	{NetRecv, ClassIO, 0, sig(ir.I64, BytePtr, ir.I64)},
+	{NetRingAttach, ClassIO, 0, sig(ir.I64, ir.I64, BytePtr, ir.I64)},
+	{NetPost, ClassIO, 0, sig(ir.I64, ir.I64, BytePtr, ir.I64)},
+	{NetDoorbell, ClassIO, 0, sig(ir.I64, ir.I64)},
+	{NetReap, ClassIO, 0, sig(ir.I64, ir.I64)},
 
 	{Memcpy, ClassMem, 0, sig(BytePtr, BytePtr, BytePtr, ir.I64)},
 	{Memmove, ClassMem, 0, sig(BytePtr, BytePtr, BytePtr, ir.I64)},

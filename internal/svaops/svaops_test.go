@@ -39,6 +39,7 @@ func TestEveryOperationHasSignature(t *testing.T) {
 		RegisterSyscall, RegisterInterrupt,
 		MMUMap, MMUUnmap, MMUProtect,
 		IOPutc, IOGetc, DiskRead, DiskWrite, NetSend, NetRecv,
+		NetRingAttach, NetPost, NetDoorbell, NetReap,
 		IntrEnable, TimerArm, Cycles, Halt, PseudoAlloc,
 		Memcpy, Memmove, Memset, Memcmp,
 		ObjRegister, ObjRegisterStack, ObjDrop, BoundsCheck, LSCheck,

@@ -242,6 +242,11 @@ func Install(m *vm.VM) {
 		m.CPU.Cycles += m.Mach.Disk.SeekCost
 		return none{Value: 0}, nil
 	})
+	// sva.io.net.send/recv are compat shims over the ring NIC's implicit
+	// 1-slot ring (CompatSend/CompatRecv): guest-visible behavior — trap
+	// conditions, return values, chaos ordering and cycle charges — is
+	// bit-identical to the legacy synchronous handlers (InstallLegacyNet
+	// re-registers those verbatim for the equivalence twins).
 	reg(svaops.NetSend, func(m *vm.VM, a []uint64) (none, error) {
 		if err := requireKernel(m, svaops.NetSend); err != nil {
 			return none{}, err
@@ -250,7 +255,7 @@ func Install(m *vm.VM) {
 		if err != nil {
 			return none{}, err
 		}
-		if err := m.Mach.NIC.Send(buf); err != nil {
+		if err := m.Mach.NIC.CompatSend(buf); err != nil {
 			return none{Value: ^uint64(0)}, nil
 		}
 		m.CPU.Cycles += m.Mach.NIC.PerFrameCost
@@ -260,7 +265,7 @@ func Install(m *vm.VM) {
 		if err := requireKernel(m, svaops.NetRecv); err != nil {
 			return none{}, err
 		}
-		f := m.Mach.NIC.Recv()
+		f := m.Mach.NIC.CompatRecv()
 		if f == nil {
 			return none{Value: ^uint64(0)}, nil
 		}
@@ -271,6 +276,57 @@ func Install(m *vm.VM) {
 			return none{}, err
 		}
 		return none{Value: uint64(len(f))}, nil
+	})
+
+	// --- Descriptor-ring net I/O -------------------------------------------
+	//
+	// Amortized batch costing (the well-founded model the old per-frame
+	// charge lacked): every doorbell charges PerBatchCost once plus
+	// PerFrameCost per descriptor CONSUMED — successful or errored — so a
+	// guest pays for the work the device actually did, and error paths
+	// cost the same as success paths.  Post and reap are index
+	// bookkeeping and charge nothing beyond their instruction cost.
+
+	reg(svaops.NetRingAttach, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.NetRingAttach); err != nil {
+			return none{}, err
+		}
+		if err := m.Mach.NIC.AttachRing(int(int64(a[0])), a[1], a[2], m.DMA()); err != nil {
+			return none{Value: ^uint64(0)}, nil
+		}
+		return none{Value: 0}, nil
+	})
+	reg(svaops.NetPost, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.NetPost); err != nil {
+			return none{}, err
+		}
+		ok, err := m.Mach.NIC.Post(int(int64(a[0])), a[1], a[2])
+		if err != nil || !ok {
+			return none{Value: ^uint64(0)}, nil
+		}
+		return none{Value: 0}, nil
+	})
+	reg(svaops.NetDoorbell, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.NetDoorbell); err != nil {
+			return none{}, err
+		}
+		nic := m.Mach.NIC
+		consumed, err := nic.Doorbell(int(int64(a[0])), m.CPU.Cycles)
+		m.CPU.Cycles += nic.PerBatchCost + nic.PerFrameCost*uint64(consumed)
+		if err != nil {
+			return none{Value: ^uint64(0)}, nil
+		}
+		return none{Value: uint64(consumed)}, nil
+	})
+	reg(svaops.NetReap, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.NetReap); err != nil {
+			return none{}, err
+		}
+		cons, err := m.Mach.NIC.Reap(int(int64(a[0])))
+		if err != nil {
+			return none{Value: ^uint64(0)}, nil
+		}
+		return none{Value: cons}, nil
 	})
 
 	// --- Interrupt control and time ----------------------------------------
@@ -291,6 +347,43 @@ func Install(m *vm.VM) {
 		}
 		m.Mach.Timer.Arm(m.Counters.Steps, a[0])
 		return none{}, nil
+	})
+}
+
+// InstallLegacyNet re-registers the pre-ring synchronous NetSend/NetRecv
+// handlers (verbatim, minus the compat-ring batch accounting).  The net
+// shim equivalence tests run twin systems — one with this applied — to
+// prove the compat shims in Install are bit-identical for the guest.
+func InstallLegacyNet(m *vm.VM) {
+	m.RegisterIntrinsic(svaops.NetSend, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.NetSend); err != nil {
+			return none{}, err
+		}
+		buf, err := m.MemReadBytes(a[0], int(a[1]))
+		if err != nil {
+			return none{}, err
+		}
+		if err := m.Mach.NIC.Send(buf); err != nil {
+			return none{Value: ^uint64(0)}, nil
+		}
+		m.CPU.Cycles += m.Mach.NIC.PerFrameCost
+		return none{Value: 0}, nil
+	})
+	m.RegisterIntrinsic(svaops.NetRecv, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.NetRecv); err != nil {
+			return none{}, err
+		}
+		f := m.Mach.NIC.Recv()
+		if f == nil {
+			return none{Value: ^uint64(0)}, nil
+		}
+		if uint64(len(f)) > a[1] {
+			f = f[:a[1]]
+		}
+		if err := m.MemWriteBytes(a[0], f); err != nil {
+			return none{}, err
+		}
+		return none{Value: uint64(len(f))}, nil
 	})
 }
 

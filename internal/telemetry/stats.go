@@ -13,6 +13,32 @@
 // Registry; Registry.Snapshot pulls everything into one typed Snapshot.
 package telemetry
 
+// DeviceStats is one device's uniform counter snapshot (the telemetry
+// mirror of hw.DevStats; this package stays import-free of hw).
+type DeviceStats struct {
+	Name   string
+	Ops    uint64
+	Bytes  uint64
+	Errors uint64
+}
+
+// NetStats is the device-layer snapshot: every platform device's uniform
+// counters plus the descriptor-ring NIC's batching and interrupt
+// coalescing activity.
+type NetStats struct {
+	Devices []DeviceStats
+	// Ring NIC activity.
+	TxFrames   uint64
+	RxFrames   uint64
+	Doorbells  uint64
+	Completed  uint64 // descriptors completed across all doorbells
+	IntrRaised uint64 // coalesced completion interrupts delivered
+	BadDescs   uint64 // malformed descriptors/indices the host refused
+	Dropped    uint64 // chaos-injected wire losses
+	// Batches is the frames-per-doorbell histogram (hw.BatchBuckets).
+	Batches []uint64
+}
+
 // VMStats aggregates virtual-machine execution counters (the stats block
 // behind vm.Counters).
 type VMStats struct {
@@ -145,6 +171,9 @@ type Snapshot struct {
 	VM     VMStats
 	Checks CheckSnapshot
 	Kernel KernelStats
+	// Net is the device-layer view: per-device counters plus the ring
+	// NIC's batching/coalescing activity (nil before the machine binds).
+	Net *NetStats
 	// Static is the safety compiler's static accounting (nil when the
 	// running configuration was not safety-compiled).
 	Static *StaticStats

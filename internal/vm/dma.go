@@ -1,0 +1,64 @@
+package vm
+
+import "sva/internal/hw"
+
+// dmaMem is the guarded memory view the VM hands to ring devices
+// (hw.RingMemory).  Devices act on guest-authored descriptors, so every
+// transfer re-applies the hardware access rules — null guard, SVM
+// bootstrap reserve, MaxAccess burst bound — on top of the
+// physical-memory limit.  A descriptor can therefore never steer device
+// DMA into the SVM's protected state.
+//
+// The checks are deliberately stateless (pure address arithmetic plus
+// PhysMemory's limit): a device consumes descriptors on whatever VCPU
+// rang the doorbell, concurrently with the VM that attached the ring, so
+// this path must not read any per-VCPU execution state.
+type dmaMem struct{ vm *VM }
+
+// DMA returns the device-DMA view of this VM's guest memory.
+func (vm *VM) DMA() hw.RingMemory { return dmaMem{vm} }
+
+func (d dmaMem) Check(addr uint64, n int) error {
+	if n < 0 || n > MaxAccess {
+		return &GuestFault{Kind: "transfer length exceeds architecture limit", Addr: addr}
+	}
+	end := addr + uint64(n)
+	if end < addr {
+		return &GuestFault{Kind: "access range wraps the address space", Addr: addr}
+	}
+	if addr < NullGuardTop {
+		return &GuestFault{Kind: "null dereference", Addr: addr}
+	}
+	if addr < SVMTop && end > SVMBase {
+		return &GuestFault{Kind: "access to SVM-protected memory", Addr: addr}
+	}
+	return d.vm.Mach.Phys.Check(addr, n)
+}
+
+func (d dmaMem) Load(addr uint64, size int) (uint64, error) {
+	if err := d.Check(addr, size); err != nil {
+		return 0, err
+	}
+	return d.vm.Mach.Phys.Load(addr, size)
+}
+
+func (d dmaMem) Store(addr uint64, v uint64, size int) error {
+	if err := d.Check(addr, size); err != nil {
+		return err
+	}
+	return d.vm.Mach.Phys.Store(addr, v, size)
+}
+
+func (d dmaMem) ReadAt(addr uint64, buf []byte) error {
+	if err := d.Check(addr, len(buf)); err != nil {
+		return err
+	}
+	return d.vm.Mach.Phys.ReadAt(addr, buf)
+}
+
+func (d dmaMem) WriteAt(addr uint64, buf []byte) error {
+	if err := d.Check(addr, len(buf)); err != nil {
+		return err
+	}
+	return d.vm.Mach.Phys.WriteAt(addr, buf)
+}

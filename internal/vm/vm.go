@@ -296,6 +296,24 @@ func New(mach *hw.Machine, cfg Config) *VM {
 				}
 			}
 		}
+		nic := vm.Mach.NIC
+		net := &telemetry.NetStats{
+			TxFrames:   nic.TxFrames,
+			RxFrames:   nic.RxFrames,
+			Doorbells:  nic.Doorbells,
+			Completed:  nic.Completed,
+			IntrRaised: nic.IntrRaised,
+			BadDescs:   nic.BadDescs,
+			Dropped:    nic.Dropped,
+			Batches:    append([]uint64(nil), nic.BatchHist[:]...),
+		}
+		for _, d := range vm.Mach.Devices() {
+			st := d.Stats()
+			net.Devices = append(net.Devices, telemetry.DeviceStats{
+				Name: st.Name, Ops: st.Ops, Bytes: st.Bytes, Errors: st.Errors,
+			})
+		}
+		s.Net = net
 		if vm.prof != nil {
 			s.Profile = vm.prof.Snapshot()
 		}
