@@ -1,7 +1,7 @@
 # Tier-1 gate plus the race-sensitive packages this repo parallelizes.
 GO ?= go
 
-.PHONY: all build test vet lint race check equiv bench tables chaos netsmoke
+.PHONY: all build test vet lint race check equiv bench tables chaos netsmoke domsmoke
 
 all: check
 
@@ -43,7 +43,14 @@ race:
 netsmoke:
 	$(GO) run ./cmd/sva-bench -table=net -scale=8
 
-check: build lint test equiv race netsmoke
+# Multi-domain smoke: two domains boot off one shared image, trade a
+# channel ping, one is killed and microrebooted while the sibling's sends
+# fail closed — all under the race detector, because the two VMs share a
+# read-only image and one translation cache.
+domsmoke:
+	$(GO) test -race -run 'TestDomainSmoke|TestConcurrentSiblings' ./internal/domain/
+
+check: build lint test equiv race netsmoke domsmoke
 
 # Fixed-seed fault-injection smoke: three classes through sva-run plus a
 # one-seed-per-class campaign table.  Any host escape fails the target.

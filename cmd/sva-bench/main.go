@@ -18,6 +18,7 @@
 //	sva-bench -table=all        everything
 //	sva-bench -table=smp        SMP syscall-throughput scaling at 1/2/4/8 VCPUs
 //	sva-bench -table=net        descriptor-ring socket serving at 1/2/4 VCPUs
+//	sva-bench -table=domains    multi-domain serving at 1/2/4 domains + supervised microreboot recovery
 //	sva-bench -table=engine     threaded-code engine wall-clock speedup (not in "all": host-dependent)
 //	sva-bench -seeds=25         seeds per fault class for -table=faults
 //	sva-bench -scale=4          divide iteration counts by 4 (quick run)
@@ -47,7 +48,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate (4..9, checks, profile, exploits, tcb, ablation, faults, smp, net, all)")
+	table := flag.String("table", "all", "which table to regenerate (4..9, checks, profile, exploits, tcb, ablation, faults, smp, net, domains, all)")
 	scale := flag.Uint64("scale", 1, "divide iteration counts (1 = full run)")
 	seeds := flag.Int("seeds", 25, "seeds per fault class for -table=faults")
 	workers := flag.Int("workers", report.DefaultWorkers(), "max concurrent table jobs and per-table configurations (1 = serial)")
@@ -178,6 +179,16 @@ func main() {
 			}
 			report.RecordNetRows(metrics, rows)
 			return report.NetTable(rows), nil
+		})
+	}
+	if want("domains") {
+		add("domains", func() (string, error) {
+			rows, recs, err := report.RunDomainsN(s, w)
+			if err != nil {
+				return "", err
+			}
+			report.RecordDomainRows(metrics, rows, recs)
+			return report.DomainsTable(rows, recs), nil
 		})
 	}
 	// The engine table measures host wall-clock, so it is never part of

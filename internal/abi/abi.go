@@ -27,6 +27,8 @@ const (
 	SysNetRecv      = 103
 	SysNetServe     = 104
 	SysNetPump      = 105
+	SysChanSend     = 106
+	SysChanRecv     = 107
 	SysYield        = 158
 	// The historically vulnerable entry points.
 	SysSetsockoptMSFilter = 200 // BID 10179: MCAST_MSFILTER integer overflow
@@ -46,10 +48,16 @@ const (
 	EAGAIN = 11
 	ENOMEM = 12
 	EFAULT = 14
+	EBUSY  = 16
 	EINVAL = 22
 	ENFILE = 23
 	EMFILE = 24
 	ENOSYS = 38
+	// EHOSTDOWN is the fail-closed verdict of the inter-domain channel:
+	// the peer domain is dead, rebooting, or was never connected.  It is
+	// deliberately distinct from EAGAIN (ring momentarily full, retry) so
+	// a guest can tell "back off" from "peer is gone".
+	EHOSTDOWN = 112
 )
 
 // Errno converts a positive errno constant into the negative

@@ -1,0 +1,40 @@
+package domain
+
+import (
+	"sva/internal/abi"
+	"sva/internal/ir"
+	"sva/internal/userland"
+)
+
+// BuildChanProgs emits the guest programs the channel smoke tests and the
+// -table=domains recovery probe run inside domains:
+//
+//	chan_send(v)   one sys_chan_send(v); returns its raw result — 0,
+//	               -EAGAIN (ring full) or -EHOSTDOWN (peer dead).
+//	chan_recv(_)   one sys_chan_recv; returns the message value or -EAGAIN.
+//	chan_pump(n)   n sends of v=100..100+n-1; returns the count that
+//	               returned 0, so a partial refusal is visible.
+func BuildChanProgs() *userland.U {
+	u := userland.New("chanprogs")
+	b := u.B
+
+	u.Prog("chan_send")
+	b.Ret(u.Trap(abi.SysChanSend, b.Param(0)))
+
+	u.Prog("chan_recv")
+	b.Ret(u.Trap(abi.SysChanRecv))
+
+	u.Prog("chan_pump")
+	sent := b.Alloca(ir.I64, "sent")
+	b.Store(ir.I64c(0), sent)
+	b.For("i", ir.I64c(0), b.Param(0), ir.I64c(1), func(i ir.Value) {
+		rc := u.Trap(abi.SysChanSend, b.Add(i, ir.I64c(100)))
+		b.If(b.ICmp(ir.PredEQ, rc, ir.I64c(0)), func() {
+			b.Store(b.Add(b.Load(sent), ir.I64c(1)), sent)
+		})
+	})
+	b.Ret(b.Load(sent))
+
+	u.SealAll()
+	return u
+}

@@ -1,0 +1,150 @@
+// Package domain implements multi-domain SVM: N independent guest kernels
+// (domains) inside one host process, each with a private metapool
+// registry, physical memory and device set, over a shared read-only
+// kernel image and translation cache (kernel.SharedImage).
+//
+// The blast-radius contract is the whole point: any fault class the
+// fail-stop ladder can produce in one domain — oops storms, watchdog
+// exhaustion, metapool quarantine, even a host-side panic absorbed by the
+// RunSMP recover rung — ends that one domain.  Siblings keep serving with
+// bit-identical virtual-cycle behaviour, and the supervisor microreboots
+// the dead domain from the pristine shared image under a deterministic
+// exponential backoff, declaring it permanently failed after MaxReboots.
+//
+// Inter-domain channels (hw.ChanPort pairs over a hw.Link) fail closed:
+// a send toward a dead or rebooting domain returns -EHOSTDOWN to the
+// guest — distinguishable from -EAGAIN, never blocking, and never
+// trusting the dead peer's ring state (frames cross via a host-side
+// inbox; no domain ever maps another's memory).
+package domain
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"sva/internal/kernel"
+	"sva/internal/vm"
+)
+
+// State is a domain's lifecycle state as the supervisor sees it.
+type State int
+
+const (
+	// StateRunning: booted and admissible for guest work.
+	StateRunning State = iota
+	// StateDead: the fail-stop ladder ended this incarnation; channel
+	// endpoints are down (peers get -EHOSTDOWN) until a microreboot.
+	StateDead
+	// StateFailed: permanently failed — MaxReboots exhausted or the
+	// pristine image itself refused to boot.  Channels stay down forever.
+	StateFailed
+)
+
+var stateNames = [...]string{"running", "dead", "FAILED"}
+
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Cause classifies why a domain died — the supervisor's read of the
+// fail-stop ladder's terminal rung.
+type Cause int
+
+const (
+	// CauseNone: the domain is healthy (Classify found nothing fatal).
+	CauseNone Cause = iota
+	// CauseOopsStorm: livelock in the recovery path — more than the oops
+	// storm limit of consecutive faults with no successful trap exit.
+	CauseOopsStorm
+	// CauseWatchdog: a trap handler exhausted its watchdog fuel.
+	CauseWatchdog
+	// CauseQuarantine: a metapool was quarantined (fail-closed metadata
+	// verdict).  The ledger survives the microreboot: the fresh
+	// incarnation re-arms the same quarantine before admitting work.
+	CauseQuarantine
+	// CauseFailStop: a structured fail-stop (or unrecoverable guest
+	// fault) outside the more specific rungs above.
+	CauseFailStop
+	// CauseHostRecover: a host-side panic absorbed by the recover rung
+	// (kernel.HostPanicError) — the worst survivable outcome; the domain
+	// is torn down and rebuilt from scratch.
+	CauseHostRecover
+	// CauseInduced: the supervisor (or a test) killed the domain
+	// deliberately.
+	CauseInduced
+)
+
+var causeNames = [...]string{
+	"healthy", "oops-storm", "watchdog", "quarantine",
+	"fail-stop", "host-recover", "induced",
+}
+
+func (c Cause) String() string {
+	if int(c) < len(causeNames) {
+		return causeNames[c]
+	}
+	return fmt.Sprintf("cause(%d)", int(c))
+}
+
+// Domain is one guest kernel under supervision.  Sys is replaced wholesale
+// on every microreboot; everything else is the supervisor's durable record
+// of the domain across incarnations.
+type Domain struct {
+	ID    int
+	Sys   *kernel.System
+	State State
+
+	// LastCause/LastDetail describe the most recent death.
+	LastCause  Cause
+	LastDetail string
+
+	// Reboots counts completed microreboots of this domain.
+	Reboots int
+	// BootCycles is the virtual cycles the current incarnation's boot
+	// burned (kernel_entry on the fresh machine).
+	BootCycles uint64
+	// LastRecover is the most recent microreboot's time-to-recover in
+	// virtual cycles: the deterministic backoff penalty plus BootCycles.
+	LastRecover uint64
+
+	// quarLedger accumulates quarantined metapool names across
+	// incarnations — a guest must not launder a quarantine verdict by
+	// dying and rebooting.
+	quarLedger map[string]bool
+
+	att *attachment // channel endpoint, nil when unconnected
+}
+
+// Classify reads the fail-stop ladder's terminal rung out of a domain's VM
+// and the error its last run returned.  CauseNone means the domain is
+// still admissible; anything else is a death verdict for the supervisor.
+func Classify(v *vm.VM, runErr error) (Cause, string) {
+	var hp *kernel.HostPanicError
+	if errors.As(runErr, &hp) {
+		return CauseHostRecover, runErr.Error()
+	}
+	var fs *vm.FailStop
+	if errors.As(runErr, &fs) {
+		switch {
+		case strings.Contains(fs.Reason, "oops storm"):
+			return CauseOopsStorm, fs.Error()
+		case strings.Contains(fs.Reason, "watchdog") || v.Counters.WatchdogFaults > 0:
+			return CauseWatchdog, fs.Error()
+		}
+		return CauseFailStop, fs.Error()
+	}
+	if runErr != nil && v.Counters.WatchdogFaults > 0 {
+		return CauseWatchdog, runErr.Error()
+	}
+	if names := v.Pools.QuarantinedNames(); len(names) > 0 {
+		return CauseQuarantine, "quarantined pools: " + strings.Join(names, ",")
+	}
+	if runErr != nil {
+		return CauseFailStop, runErr.Error()
+	}
+	return CauseNone, ""
+}

@@ -1,0 +1,180 @@
+package domain
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sva/internal/hw"
+	"sva/internal/kernel"
+)
+
+// attachment records which side of which link a domain's channel port is
+// bound to, so a microreboot can rebind the fresh machine's port and
+// bring the side back up.
+type attachment struct {
+	link *hw.Link
+	side int
+}
+
+// DefaultMaxReboots is the permanent-fail threshold: a domain that dies
+// this many times is declared StateFailed and never rebooted again.
+const DefaultMaxReboots = 3
+
+// DefaultBackoffBase is the virtual-cycle penalty charged for a domain's
+// first microreboot; each consecutive reboot doubles it.  Backoff is
+// accounting, not host sleeping — recovery time stays deterministic and
+// is reported in virtual cycles by -table=domains.
+const DefaultBackoffBase = 1 << 20
+
+// ErrPermanentFail is returned by Reboot once a domain has exhausted its
+// reboot budget (or its replacement failed to boot).  The domain's
+// channel side stays down forever: peers keep getting -EHOSTDOWN.
+var ErrPermanentFail = errors.New("domain: permanent-fail threshold reached")
+
+// Supervisor owns a fleet of domains booted from one pristine shared
+// image.  It watches each domain's fail-stop ladder (Observe), takes
+// channel endpoints down on death (fail-closed, before anything else),
+// and microreboots dead domains under deterministic exponential backoff.
+//
+// The supervisor itself runs no guest code and trusts no guest state:
+// every verdict it acts on comes from host-side SVM counters, and every
+// reboot starts from the shared image, never from the dead incarnation.
+type Supervisor struct {
+	Img     *kernel.SharedImage
+	Domains []*Domain
+
+	// MaxReboots is the permanent-fail threshold (DefaultMaxReboots).
+	MaxReboots int
+	// BackoffBase is the first reboot's virtual-cycle penalty; reboot k
+	// (1-based) charges BackoffBase << (k-1).
+	BackoffBase uint64
+}
+
+// NewSupervisor builds the shared image's fleet: n domains, each booted
+// on a private machine via kernel.NewSystemShared.
+func NewSupervisor(img *kernel.SharedImage, n int) (*Supervisor, error) {
+	s := &Supervisor{Img: img, MaxReboots: DefaultMaxReboots, BackoffBase: DefaultBackoffBase}
+	for i := 0; i < n; i++ {
+		sys, err := kernel.NewSystemShared(img)
+		if err != nil {
+			return nil, fmt.Errorf("domain %d: boot: %w", i, err)
+		}
+		s.Domains = append(s.Domains, &Domain{
+			ID:         i,
+			Sys:        sys,
+			State:      StateRunning,
+			BootCycles: sys.VM.CPU.Cycles,
+			quarLedger: map[string]bool{},
+		})
+	}
+	return s, nil
+}
+
+// Connect wires domains a and b together over a fresh inter-domain link:
+// a's channel port becomes side 0, b's side 1.  Each machine has one
+// channel port, so a domain participates in at most one link; connecting
+// an already-connected domain rebinds it.
+func (s *Supervisor) Connect(a, b int) *hw.Link {
+	l := hw.NewLink()
+	da, db := s.Domains[a], s.Domains[b]
+	l.Bind(0, da.Sys.VM.Mach.Chan)
+	l.Bind(1, db.Sys.VM.Mach.Chan)
+	da.att = &attachment{link: l, side: 0}
+	db.att = &attachment{link: l, side: 1}
+	return l
+}
+
+// Kill marks a running domain dead with the given cause.  The channel
+// side goes down first — from this instant a peer's send fails closed
+// with -EHOSTDOWN — and any quarantine verdicts of the dying incarnation
+// are folded into the durable ledger.
+func (s *Supervisor) Kill(id int, cause Cause, detail string) {
+	d := s.Domains[id]
+	if d.State != StateRunning {
+		return
+	}
+	if d.att != nil {
+		d.att.link.SetDown(d.att.side, true)
+	}
+	for _, n := range d.Sys.VM.Pools.QuarantinedNames() {
+		d.quarLedger[n] = true
+	}
+	d.State = StateDead
+	d.LastCause = cause
+	d.LastDetail = detail
+}
+
+// Observe classifies the outcome of a domain's last run and, on any fatal
+// verdict, kills the domain.  It returns the cause (CauseNone = healthy).
+func (s *Supervisor) Observe(id int, runErr error) Cause {
+	d := s.Domains[id]
+	if d.State != StateRunning {
+		return d.LastCause
+	}
+	cause, detail := Classify(d.Sys.VM, runErr)
+	if cause != CauseNone {
+		s.Kill(id, cause, detail)
+	}
+	return cause
+}
+
+// QuarantineLedger returns the domain's accumulated quarantined-pool
+// names in sorted (deterministic) order.
+func (d *Domain) QuarantineLedger() []string {
+	names := make([]string, 0, len(d.quarLedger))
+	for n := range d.quarLedger {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Backoff returns the virtual-cycle penalty the domain's next microreboot
+// will charge: BackoffBase << Reboots, the deterministic exponential
+// schedule.
+func (s *Supervisor) Backoff(d *Domain) uint64 {
+	return s.BackoffBase << uint(d.Reboots)
+}
+
+// Reboot microreboots a dead domain: a fresh machine, VM and device set
+// booted from the pristine shared image (siblings keep executing the
+// shared translation cache throughout), the quarantine ledger re-applied
+// before any guest work is admitted, and the channel endpoint rebound and
+// brought back up last.  Past MaxReboots the domain is declared
+// permanently failed and its channel side stays down forever.
+func (s *Supervisor) Reboot(id int) error {
+	d := s.Domains[id]
+	switch d.State {
+	case StateFailed:
+		return ErrPermanentFail
+	case StateRunning:
+		return fmt.Errorf("domain %d: not dead (state %v)", id, d.State)
+	}
+	if d.Reboots >= s.MaxReboots {
+		d.State = StateFailed
+		return ErrPermanentFail
+	}
+	backoff := s.Backoff(d)
+	sys, err := kernel.NewSystemShared(s.Img)
+	if err != nil {
+		// The pristine image refused to boot: nothing left to retry from.
+		d.State = StateFailed
+		return fmt.Errorf("domain %d: reboot: %w", id, err)
+	}
+	// The verdicts of every prior incarnation outlive the reboot: re-arm
+	// them on the fresh registry before the domain sees guest work.
+	sys.VM.Pools.ApplyQuarantine(d.QuarantineLedger())
+	d.Sys = sys
+	d.Reboots++
+	d.BootCycles = sys.VM.CPU.Cycles
+	d.LastRecover = backoff + d.BootCycles
+	d.State = StateRunning
+	d.LastCause = CauseNone
+	d.LastDetail = ""
+	if d.att != nil {
+		d.att.link.Bind(d.att.side, sys.VM.Mach.Chan)
+		d.att.link.SetDown(d.att.side, false)
+	}
+	return nil
+}

@@ -235,13 +235,19 @@ func RunOne(class faultinject.Class, seed uint64) (res Result) {
 
 	// Disarm before auditing, so the audit itself cannot fire injections.
 	sys.VM.UninstallChaos()
+	classifyOutcome(&res, sys, runErr, v0, c0)
+	return res
+}
 
+// classifyOutcome audits an injected run and fills res.Outcome/Detail —
+// the uniprocessor classification ladder, shared by RunOne and the
+// cross-domain campaign's injected half.
+func classifyOutcome(res *Result, sys *kernel.System, runErr error, v0 int, c0 vm.Counters) {
 	if err := sys.VM.CheckHostInvariants(); err != nil {
 		res.Outcome = Escape
 		res.Detail = "host invariant broken: " + err.Error()
-		return res
+		return
 	}
-
 	c1 := sys.VM.Counters
 	switch {
 	case len(sys.VM.Violations) > v0:
@@ -260,11 +266,9 @@ func RunOne(class faultinject.Class, seed uint64) (res Result) {
 	default:
 		res.Outcome = Tolerated
 	}
-
 	if res.Outcome == FailStop && res.Detail == "" {
 		res.Detail = "fail-stop counter advanced without a surfaced error"
 	}
-	return res
 }
 
 // SMPVCPUs is the virtual-CPU count of the campaign's SMP variant.

@@ -1,0 +1,233 @@
+// Cross-domain blast-radius campaign: the PR-4 injector fires every fault
+// class into domain A while sibling domain B — booted from the same
+// shared image, sharing nothing but the read-only kernel modules and the
+// translation cache — serves the descriptor-ring socket workload.  The
+// acceptance criterion is two zeros: zero host escapes (as ever) and zero
+// sibling divergences — B's verdicts, virtual-cycle counts and reply
+// checksums must be bit-identical to an uninjected solo run, no matter
+// what the injector does to A.
+package campaign
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+
+	"sva/internal/faultinject"
+	"sva/internal/hbench"
+	"sva/internal/kernel"
+	"sva/internal/netload"
+	"sva/internal/userland"
+	"sva/internal/vm"
+)
+
+// The sibling workload's shape: small enough that a 7-class x 25-seed
+// campaign stays fast, large enough that every ring seam (post, doorbell,
+// reap, interrupt coalescing) is crossed thousands of times.
+const (
+	CrossVCPUs  = 2
+	CrossPerCPU = 96
+	CrossGap    = 32
+)
+
+// CrossResult is one classified pair run: domain A's injection outcome
+// plus domain B's measured workload and its divergence verdict.
+type CrossResult struct {
+	Result
+	Sibling netload.Point
+	// Diverged is true when B's run was not bit-identical to the
+	// uninjected baseline — a blast-radius violation.
+	Diverged      bool
+	DivergeDetail string
+}
+
+// crossEnv is the campaign's shared fixture: the pristine image (built
+// once; every pair boots from it) and the uninjected solo baseline.
+type crossEnv struct {
+	img   *kernel.SharedImage
+	bench *userland.U
+	chaos *userland.U
+	net   *userland.U
+	base  netload.Point
+	err   error
+}
+
+var (
+	crossOnce sync.Once
+	cross     crossEnv
+)
+
+func crossSetup() {
+	cross.bench = hbench.BuildBenchModule()
+	cross.chaos = buildChaosProgs()
+	cross.net = netload.BuildModule()
+	cross.img, cross.err = kernel.BuildShared(vm.ConfigSafe, true,
+		cross.bench.M, cross.chaos.M, cross.net.M)
+	if cross.err != nil {
+		return
+	}
+	sys, err := kernel.NewSystemShared(cross.img)
+	if err != nil {
+		cross.err = fmt.Errorf("baseline boot: %w", err)
+		return
+	}
+	cross.base, cross.err = netload.MeasureOn(sys, cross.net, CrossVCPUs, CrossPerCPU, CrossGap)
+}
+
+// Baseline returns the uninjected solo run every sibling is compared
+// against (building it on first use).
+func Baseline() (netload.Point, error) {
+	crossOnce.Do(crossSetup)
+	return cross.base, cross.err
+}
+
+// RunOnePair boots domains A and B from the shared image, arms one
+// injector on A only, and runs A's battery and B's socket workload
+// CONCURRENTLY — the two guests really are executing at the same time in
+// one process, sharing the translation cache, while the injector tears
+// into A.  B's Point is then compared bit-for-bit against the baseline.
+func RunOnePair(class faultinject.Class, seed uint64) (res CrossResult) {
+	res.Result = Result{Class: class, Seed: seed}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Outcome = Escape
+			res.Detail = fmt.Sprintf("panic escaped the VM: %v", r)
+		}
+	}()
+
+	crossOnce.Do(crossSetup)
+	if cross.err != nil {
+		res.Outcome = Escape
+		res.Detail = fmt.Sprintf("shared fixture: %v", cross.err)
+		return res
+	}
+	sysA, errA := kernel.NewSystemShared(cross.img)
+	sysB, errB := kernel.NewSystemShared(cross.img)
+	if errA != nil || errB != nil {
+		res.Outcome = Escape
+		res.Detail = fmt.Sprintf("clean boot failed: %v %v", errA, errB)
+		return res
+	}
+
+	progs := battery
+	if pb, ok := classBattery[class]; ok {
+		progs = pb
+	}
+	pick := progs[seed%uint64(len(progs))]
+	res.Prog = pick.Name
+	f := cross.bench.M.Func(pick.Name)
+	if f == nil {
+		f = cross.chaos.M.Func(pick.Name)
+	}
+	if f == nil {
+		res.Outcome = Escape
+		res.Detail = "battery program missing: " + pick.Name
+		return res
+	}
+
+	// Domain A: the victim.  The injector is installed on A's VM, A's
+	// machine and A's metapool registry — nothing of B's.
+	inj := faultinject.New(class, seed)
+	sysA.VM.InstallChaos(inj)
+	sysA.VM.WatchdogFuel = watchdogFuel
+	v0 := len(sysA.VM.Violations)
+	c0 := sysA.VM.Counters
+
+	var wg sync.WaitGroup
+	var runErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				runErr = &kernel.HostPanicError{CPU: 0, Val: r}
+			}
+		}()
+		_, runErr = sysA.RunUser(f, pick.Iters, 100_000_000)
+	}()
+	sib, sibErr := netload.MeasureOn(sysB, cross.net, CrossVCPUs, CrossPerCPU, CrossGap)
+	wg.Wait()
+
+	res.Fired = inj.Fired
+	sysA.VM.UninstallChaos()
+	classifyOutcome(&res.Result, sysA, runErr, v0, c0)
+
+	res.Sibling = sib
+	switch {
+	case sibErr != nil:
+		res.Diverged = true
+		res.DivergeDetail = "sibling workload failed: " + sibErr.Error()
+	case !reflect.DeepEqual(sib, cross.base):
+		res.Diverged = true
+		res.DivergeDetail = fmt.Sprintf("sibling diverged from baseline:\n got %+v\nwant %+v", sib, cross.base)
+	}
+	return res
+}
+
+// RunCross executes the full cross-domain campaign: every class x seeds
+// 1..seedsPer, up to workers concurrent pairs, results in deterministic
+// order.  It returns the summary plus the sibling-divergence count — the
+// second number that must be zero.
+func RunCross(classes []faultinject.Class, seedsPer, workers int) ([]CrossResult, *Summary, int, error) {
+	crossOnce.Do(crossSetup)
+	if cross.err != nil {
+		return nil, nil, 0, cross.err
+	}
+	if seedsPer < 1 {
+		seedsPer = 1
+	}
+	type unit struct {
+		class faultinject.Class
+		seed  uint64
+	}
+	var units []unit
+	for _, c := range classes {
+		for s := 1; s <= seedsPer; s++ {
+			units = append(units, unit{c, uint64(s)})
+		}
+	}
+	out := make([]CrossResult, len(units))
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers <= 1 {
+		for i, u := range units {
+			out[i] = RunOnePair(u.class, u.seed)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					out[i] = RunOnePair(units[i].class, units[i].seed)
+				}
+			}()
+		}
+		for i := range units {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	sum := &Summary{Classes: classes}
+	sum.Counts = make([][numOutcomes]int, len(classes))
+	sum.Fired = make([]uint64, len(classes))
+	idx := map[faultinject.Class]int{}
+	for i, c := range classes {
+		idx[c] = i
+	}
+	diverged := 0
+	for _, r := range out {
+		i := idx[r.Class]
+		sum.Counts[i][r.Outcome]++
+		sum.Fired[i] += r.Fired
+		if r.Diverged {
+			diverged++
+		}
+	}
+	return out, sum, diverged, nil
+}

@@ -1,0 +1,68 @@
+package campaign
+
+import (
+	"runtime"
+	"testing"
+
+	"sva/internal/faultinject"
+)
+
+// TestCrossOnePerClass is the fast blast-radius pass: one injected pair
+// per fault class — A takes the injection, B must be bit-identical to the
+// uninjected baseline.
+func TestCrossOnePerClass(t *testing.T) {
+	base, err := Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Served == 0 || base.BadSums != 0 || base.BadDescs != 0 {
+		t.Fatalf("baseline unhealthy: %+v", base)
+	}
+	for _, c := range faultinject.Classes {
+		r := RunOnePair(c, 1)
+		t.Logf("%-10s prog=%-14s fired=%-4d outcome=%-9s sibling: served=%d sum=%#x",
+			c, r.Prog, r.Fired, r.Outcome, r.Sibling.Served, r.Sibling.ReplySum)
+		if r.Outcome == Escape {
+			t.Errorf("%s: host escape: %s", c, r.Detail)
+		}
+		if r.Diverged {
+			t.Errorf("%s: sibling divergence: %s", c, r.DivergeDetail)
+		}
+	}
+}
+
+// TestCrossCampaign is the full blast-radius acceptance run: every class
+// times 25 seeds against domain A, domain B's verdicts, cycle counts and
+// reply checksums bit-identical to the solo baseline on every single run.
+func TestCrossCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full cross-domain campaign skipped in -short mode")
+	}
+	const seedsPer = 25
+	results, sum, diverged, err := RunCross(faultinject.Classes, seedsPer, runtime.NumCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sum.Total(), len(faultinject.Classes)*seedsPer; got != want {
+		t.Errorf("campaign classified %d runs, want %d", got, want)
+	}
+	for i, c := range sum.Classes {
+		row := sum.Counts[i]
+		t.Logf("%-10s detected=%-3d oops=%-3d failstop=%-3d tolerated=%-3d escape=%-3d fired=%d",
+			c, row[Detected], row[Oops], row[FailStop], row[Tolerated], row[Escape], sum.Fired[i])
+	}
+	for _, r := range results {
+		if r.Outcome == Escape {
+			t.Errorf("HOST ESCAPE: %s seed=%d prog=%s: %s", r.Class, r.Seed, r.Prog, r.Detail)
+		}
+		if r.Diverged {
+			t.Errorf("SIBLING DIVERGENCE: %s seed=%d: %s", r.Class, r.Seed, r.DivergeDetail)
+		}
+	}
+	if n := sum.Escapes(); n != 0 {
+		t.Errorf("campaign recorded %d host escapes, want 0", n)
+	}
+	if diverged != 0 {
+		t.Errorf("campaign recorded %d sibling divergences, want 0", diverged)
+	}
+}

@@ -1,0 +1,376 @@
+// Inter-domain channel: the descriptor-ring shape of the NIC (shared
+// rings in guest memory, doorbells, host-shadowed consumer index) turned
+// into a point-to-point link between two guest domains.  See DESIGN.md
+// §17.
+//
+// Trust boundary: a ChanPort only ever touches ITS OWN domain's guest
+// memory.  Frames cross the domain boundary through a host-side Link
+// inbox — the sending port copies frames out of its own Tx ring into the
+// inbox, and the receiving port later pulls them into its own posted Rx
+// descriptors.  Neither side ever reads the other's ring memory, so a
+// dead or compromised peer's ring state is structurally untrustable, not
+// just unchecked.
+//
+// Fail-closed rule: when the peer side is down (dead, rebooting, or never
+// bound), a Tx doorbell error-completes every posted descriptor (DescErr)
+// and returns ErrPeerDown immediately — it never blocks, and the refused
+// frames are definitively NOT delivered, now or ever: a send the guest
+// was told failed must not surface at the peer after its microreboot.
+// The svaos handler maps ErrPeerDown to -EHOSTDOWN, distinguishable from
+// -EAGAIN so the guest can tell "peer is gone" from "back off and retry".
+package hw
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sva/internal/faultinject"
+)
+
+// ErrPeerDown is the fail-closed sentinel of the inter-domain channel:
+// the peer domain is dead, rebooting, or no link is bound.
+var ErrPeerDown = errors.New("chan peer down")
+
+// ChanMTU bounds an inter-domain frame.
+const ChanMTU = 256
+
+// Channel ring indices on a port: 0 transmits toward the peer, 1
+// receives.  (Same even-Tx/odd-Rx convention as the NIC, single queue.)
+const ChanRings = 2
+
+// Link is the host-side interconnect pairing two ChanPorts.  It owns the
+// in-flight frames (inbox per side) and the liveness flags the
+// supervisor flips around a microreboot.  One mutex covers both sides,
+// so concurrent doorbells from both domains cannot deadlock on lock
+// order.
+type Link struct {
+	mu    sync.Mutex
+	ports [2]*ChanPort
+	inbox [2][][]byte // frames in flight TOWARD that side
+	down  [2]bool     // side is dead/rebooting: sends to it fail closed
+	// Delivered counts frames handed across the boundary; Refused counts
+	// fail-closed Tx doorbells.
+	Delivered uint64
+	Refused   uint64
+}
+
+// NewLink returns an interconnect with both sides unbound (and therefore
+// down: a send on an unbound link fails closed).
+func NewLink() *Link { return &Link{} }
+
+// Bind attaches a port as one side of the link, replacing any previous
+// port on that side (a microreboot binds the fresh machine's port) and
+// dropping frames still in flight toward it — a rebooted domain must not
+// receive traffic addressed to its previous life.
+func (l *Link) Bind(side int, p *ChanPort) {
+	if side != 0 && side != 1 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ports[side] = p
+	l.inbox[side] = nil
+	p.link = l
+	p.side = side
+}
+
+// SetDown marks one side dead (sends toward it fail closed) or alive
+// again.  Marking a side down also drops its in-flight inbox: frames
+// addressed to the dead incarnation are not replayed into the next.
+func (l *Link) SetDown(side int, down bool) {
+	if side != 0 && side != 1 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.down[side] = down
+	if down {
+		l.inbox[side] = nil
+	}
+}
+
+// Down reports one side's liveness flag.
+func (l *Link) Down(side int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.down[side]
+}
+
+// ChanPort is one domain's end of an inter-domain channel, a RingDevice
+// with a single queue pair (ring 0 Tx, ring 1 Rx).  Unlinked ports fail
+// closed on every doorbell.
+type ChanPort struct {
+	mu sync.Mutex
+	ChaosPort
+
+	link *Link
+	side int
+
+	rings [ChanRings]ring
+
+	TxFrames uint64
+	RxFrames uint64
+	TxBytes  uint64
+	RxBytes  uint64
+	// Dropped counts chaos-injected frame losses on the Tx path.
+	Dropped uint64
+	// BadDescs counts malformed descriptors and producer indices.
+	BadDescs uint64
+	// PeerDown counts fail-closed doorbells (peer dead/rebooting/unbound).
+	PeerDown  uint64
+	Doorbells uint64
+	Completed uint64
+	// MTU bounds frame size; PerFrameCost/PerBatchCost mirror the NIC's
+	// amortized cycle charging.
+	MTU          int
+	PerFrameCost uint64
+	PerBatchCost uint64
+}
+
+// NewChanPort returns an unlinked channel port.
+func NewChanPort() *ChanPort {
+	return &ChanPort{MTU: ChanMTU, PerFrameCost: 20, PerBatchCost: 100}
+}
+
+// DevName implements Device.
+func (p *ChanPort) DevName() string { return "chan" }
+
+// Vector implements Device.
+func (p *ChanPort) Vector() int { return VecChan }
+
+// Stats implements Device.
+func (p *ChanPort) Stats() DevStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return DevStats{
+		Name:   "chan",
+		Ops:    p.TxFrames + p.RxFrames,
+		Bytes:  p.TxBytes + p.RxBytes,
+		Errors: p.Dropped + p.BadDescs + p.PeerDown,
+	}
+}
+
+// AttachRing implements RingDevice with the same validation and
+// re-attach refusal as the NIC.
+func (p *ChanPort) AttachRing(idx int, base, slots uint64, mem RingMemory) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if idx < 0 || idx >= len(p.rings) {
+		return fmt.Errorf("chan: ring index %d out of range", idx)
+	}
+	if mem == nil {
+		return fmt.Errorf("chan: nil ring memory")
+	}
+	if slots == 0 || slots > RingMaxSlots || slots&(slots-1) != 0 {
+		return fmt.Errorf("chan: bad slot count %d", slots)
+	}
+	if p.rings[idx].attached() {
+		return fmt.Errorf("chan: ring %d: %w", idx, ErrRingAttached)
+	}
+	if err := mem.Check(base, int(RingHdrSize+slots*RingDescSize)); err != nil {
+		return fmt.Errorf("chan: ring window: %w", err)
+	}
+	p.rings[idx] = ring{base: base, slots: slots, mem: mem}
+	return p.rings[idx].mem.Store(base+8, 0, 8)
+}
+
+// Post mirrors RingNIC.Post for the channel rings.
+func (p *ChanPort) Post(idx int, addr, ln uint64) (bool, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r, err := p.ringAt(idx)
+	if err != nil {
+		return false, err
+	}
+	prod, err := r.mem.Load(r.base, 8)
+	if err != nil {
+		return false, err
+	}
+	if prod-r.cons >= r.slots {
+		return false, nil
+	}
+	da := r.descAddr(prod & (r.slots - 1))
+	if err := r.mem.Store(da, addr, 8); err != nil {
+		return false, err
+	}
+	if err := r.mem.Store(da+8, ln, 4); err != nil {
+		return false, err
+	}
+	if err := r.mem.Store(da+12, DescFree, 4); err != nil {
+		return false, err
+	}
+	return true, r.mem.Store(r.base, prod+1, 8)
+}
+
+// Reap implements RingDevice: the trusted consumer index.
+func (p *ChanPort) Reap(idx int) (uint64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r, err := p.ringAt(idx)
+	if err != nil {
+		return 0, err
+	}
+	return r.cons, nil
+}
+
+func (p *ChanPort) ringAt(idx int) (*ring, error) {
+	if idx < 0 || idx >= len(p.rings) {
+		return nil, fmt.Errorf("chan: ring index %d out of range", idx)
+	}
+	r := &p.rings[idx]
+	if !r.attached() {
+		return nil, fmt.Errorf("chan: ring %d not attached", idx)
+	}
+	return r, nil
+}
+
+// Doorbell implements RingDevice.  Lock order: own port mutex, then the
+// link mutex — the peer port's mutex is NEVER taken, so two domains
+// ringing doorbells at each other concurrently cannot deadlock.
+func (p *ChanPort) Doorbell(idx int, now uint64) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r, err := p.ringAt(idx)
+	if err != nil {
+		return 0, err
+	}
+	p.Doorbells++
+
+	prod, err := r.mem.Load(r.base, 8)
+	if err != nil {
+		return 0, err
+	}
+	avail := prod - r.cons
+	if avail > r.slots {
+		p.BadDescs++
+		avail = r.slots
+	}
+
+	var consumed int
+	if idx == RingDirTx {
+		consumed, err = p.doorbellTx(r, avail, now)
+	} else {
+		consumed = p.doorbellRx(r, avail)
+	}
+
+	// Refused doorbells still consumed (error-completed) their
+	// descriptors; advance the consumer index either way.
+	r.cons += uint64(consumed)
+	_ = r.mem.Store(r.base+8, r.cons, 8)
+	p.Completed += uint64(consumed)
+	return consumed, err
+}
+
+// refuseTx error-completes every posted Tx descriptor: the fail-closed
+// path.  Each frame is definitively dropped — were the descriptors left
+// pending instead, a later doorbell would deliver them to the peer's NEXT
+// incarnation, after the guest was already told the sends failed.
+func (p *ChanPort) refuseTx(r *ring, avail uint64) int {
+	for i := uint64(0); i < avail; i++ {
+		da := r.descAddr((r.cons + i) & (r.slots - 1))
+		_ = r.mem.Store(da+12, DescErr, 4)
+	}
+	p.PeerDown++
+	return int(avail)
+}
+
+// doorbellTx consumes posted Tx descriptors into the peer's inbox.  The
+// fail-closed check runs before any frame crosses: a doorbell at a dead
+// peer error-completes the batch and returns ErrPeerDown.
+func (p *ChanPort) doorbellTx(r *ring, avail, now uint64) (int, error) {
+	l := p.link
+	if l == nil {
+		return p.refuseTx(r, avail), fmt.Errorf("chan: unbound port: %w", ErrPeerDown)
+	}
+	peer := 1 - p.side
+	l.mu.Lock()
+	if l.down[peer] || l.ports[peer] == nil {
+		l.Refused++
+		l.mu.Unlock()
+		return p.refuseTx(r, avail), fmt.Errorf("chan: peer side %d: %w", peer, ErrPeerDown)
+	}
+	consumed := 0
+	for i := uint64(0); i < avail; i++ {
+		slot := (r.cons + uint64(consumed)) & (r.slots - 1)
+		da := r.descAddr(slot)
+		addr, err1 := r.mem.Load(da, 8)
+		ln, err2 := r.mem.Load(da+8, 4)
+		status := uint64(DescErr)
+		if err1 == nil && err2 == nil && ln > 0 && ln <= uint64(p.MTU) {
+			buf := make([]byte, ln)
+			if err := r.mem.ReadAt(addr, buf); err != nil {
+				p.BadDescs++
+			} else if p.Chaos != nil && p.Chaos.Should(faultinject.ClassNetIO) {
+				p.Dropped++
+				p.Chaos.Note("chan.send", "dropped %d-byte inter-domain frame", ln)
+				status = DescDone // the wire ate it after the port accepted it
+			} else {
+				l.inbox[peer] = append(l.inbox[peer], buf)
+				l.Delivered++
+				p.TxFrames++
+				p.TxBytes += ln
+				status = DescDone
+			}
+		} else {
+			p.BadDescs++
+		}
+		_ = r.mem.Store(da+12, status, 4)
+		consumed++
+	}
+	l.mu.Unlock()
+	return consumed, nil
+}
+
+// doorbellRx fills posted Rx descriptors from this side's inbox,
+// truncating to the posted capacity and writing back the used length.
+func (p *ChanPort) doorbellRx(r *ring, avail uint64) int {
+	l := p.link
+	if l == nil {
+		return 0 // nothing can be in flight toward an unbound port
+	}
+	l.mu.Lock()
+	consumed := 0
+	for uint64(consumed) < avail && len(l.inbox[p.side]) > 0 {
+		f := l.inbox[p.side][0]
+		l.inbox[p.side] = l.inbox[p.side][1:]
+		slot := (r.cons + uint64(consumed)) & (r.slots - 1)
+		da := r.descAddr(slot)
+		addr, err1 := r.mem.Load(da, 8)
+		cap64, err2 := r.mem.Load(da+8, 4)
+		status := uint64(DescErr)
+		used := uint64(0)
+		if err1 == nil && err2 == nil && cap64 > 0 && cap64 <= uint64(p.MTU) {
+			used = uint64(len(f))
+			if used > cap64 {
+				used = cap64
+			}
+			if err := r.mem.WriteAt(addr, f[:used]); err != nil {
+				p.BadDescs++
+				used = 0
+			} else {
+				p.RxFrames++
+				p.RxBytes += used
+				status = DescDone
+			}
+		} else {
+			p.BadDescs++
+		}
+		_ = r.mem.Store(da+8, used, 4)
+		_ = r.mem.Store(da+12, status, 4)
+		consumed++
+	}
+	l.mu.Unlock()
+	return consumed
+}
+
+// InFlight returns the frame count queued toward one side (tests and the
+// supervisor's drain accounting).
+func (l *Link) InFlight(side int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if side != 0 && side != 1 {
+		return 0
+	}
+	return len(l.inbox[side])
+}

@@ -15,6 +15,7 @@ const (
 	VecDisk    = 34
 	VecNIC     = 35
 	VecIPI     = 36 // inter-processor interrupt (SMP wakeups)
+	VecChan    = 37 // inter-domain channel completions
 	VecSyscall = 0x80
 )
 
@@ -380,6 +381,9 @@ type Machine struct {
 	Console *Console
 	Disk    *BlockDevice
 	NIC     *RingNIC
+	// Chan is the inter-domain channel port; unlinked (fail-closed) until
+	// a domain supervisor binds it to a Link.
+	Chan *ChanPort
 }
 
 // NewMachine assembles a platform with the given physical memory limit and
@@ -394,6 +398,7 @@ func NewMachine(memLimit uint64, diskSectors int) *Machine {
 		Console: &Console{},
 		Disk:    NewBlockDevice(diskSectors),
 		NIC:     NewRingNIC(),
+		Chan:    NewChanPort(),
 	}
 	m.NIC.Intr = m.Intr
 	return m
@@ -402,7 +407,7 @@ func NewMachine(memLimit uint64, diskSectors int) *Machine {
 // Devices enumerates the platform's devices behind the uniform Device
 // interface (chaos attachment, stats collection).
 func (m *Machine) Devices() []Device {
-	return []Device{m.Console, m.Disk, m.NIC}
+	return []Device{m.Console, m.Disk, m.NIC, m.Chan}
 }
 
 // EnableSMP prepares the platform for n virtual CPUs: engages the memory

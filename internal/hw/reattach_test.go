@@ -1,0 +1,61 @@
+package hw
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestRingReattachRefused is the satellite regression for the silent
+// re-window bug: a second AttachRing on an attached queue pair used to
+// silently re-window the ring (resetting the device's consumer shadow and
+// letting a hostile guest desynchronize host completion writes from its
+// own view).  It must now fail with the distinct ErrRingAttached sentinel
+// and leave the original window fully operational.
+func TestRingReattachRefused(t *testing.T) {
+	n, mem := ringMach()
+	attach(t, n, 0, mem)
+
+	err := n.AttachRing(0, rtBase+0x8000, rtSlots, mem)
+	if !errors.Is(err, ErrRingAttached) {
+		t.Fatalf("re-attach: err = %v, want ErrRingAttached", err)
+	}
+	// Same window, same slots — still a re-attach, still refused.
+	if err := n.AttachRing(0, rtBase, rtSlots, mem); !errors.Is(err, ErrRingAttached) {
+		t.Fatalf("identical re-attach: err = %v, want ErrRingAttached", err)
+	}
+	// A different ring of the same device attaches fine.
+	attach(t, n, 1, mem)
+
+	// The original window still serves: post + doorbell on ring 0 works
+	// and completions land at the original base, not the rejected one.
+	frame := []byte{1, 2, 3, 4}
+	postFrame(t, n, mem, 0, 0, frame)
+	var got [][]byte
+	n.Sink = func(q int, f []byte, now uint64) { got = append(got, append([]byte(nil), f...)) }
+	if _, err := n.Doorbell(0, 0); err != nil {
+		t.Fatalf("doorbell after refused re-attach: %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("served %d frames after refused re-attach, want 1", len(got))
+	}
+	cons, err := mem.Load(rtBase+8, 8)
+	if err != nil || cons != 1 {
+		t.Errorf("consumer shadow at original window = %d (err %v), want 1", cons, err)
+	}
+}
+
+// TestChanPortReattachRefused: the channel port enforces the same
+// re-attach refusal as the NIC.
+func TestChanPortReattachRefused(t *testing.T) {
+	p := NewChanPort()
+	mem := NewPhysMemory(0)
+	if err := p.AttachRing(0, rtBase, rtSlots, mem); err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	if err := p.AttachRing(0, rtBase+0x8000, rtSlots, mem); !errors.Is(err, ErrRingAttached) {
+		t.Fatalf("re-attach: err = %v, want ErrRingAttached", err)
+	}
+	if err := p.AttachRing(1, rtBase+0x1000, rtSlots, mem); err != nil {
+		t.Fatalf("attach ring 1: %v", err)
+	}
+}

@@ -16,11 +16,19 @@
 package hw
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"sva/internal/faultinject"
 )
+
+// ErrRingAttached is returned (wrapped) when a guest attempts to attach a
+// ring index that is already attached.  Re-windowing a live ring would
+// let a hostile guest move the descriptor window out from under the
+// host's shadow consumer mid-serve, so the second attach fails instead;
+// the svaos handler maps it to -EBUSY.
+var ErrRingAttached = errors.New("ring already attached")
 
 // RingMemory is the DMA view a ring device holds on guest memory.  The VM
 // hands devices a guarded implementation (null page, SVM reserve and
@@ -323,6 +331,9 @@ func (n *RingNIC) AttachRing(idx int, base, slots uint64, mem RingMemory) error 
 	}
 	if slots == 0 || slots > RingMaxSlots || slots&(slots-1) != 0 {
 		return fmt.Errorf("nic: bad slot count %d", slots)
+	}
+	if n.rings[idx].attached() {
+		return fmt.Errorf("nic: ring %d: %w", idx, ErrRingAttached)
 	}
 	if err := mem.Check(base, int(RingHdrSize+slots*RingDescSize)); err != nil {
 		return fmt.Errorf("nic: ring window: %w", err)

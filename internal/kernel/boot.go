@@ -113,6 +113,84 @@ func NewSystemWith(cfg vm.Config, scfg safety.Config, extra ...*ir.Module) (*Sys
 	return sys, nil
 }
 
+// SharedImage is a pristine kernel image prepared once and booted by
+// many domains: the built (and, for ConfigSafe, safety-compiled) module
+// set with every function renumbered up front, plus the cross-domain
+// translation cache.  The image and cache are read-only from the
+// domains' perspective — a microrebooting domain re-links the same
+// modules via LoadModuleShared, which never renumbers, so sibling
+// domains can keep executing the shared IR throughout.
+type SharedImage struct {
+	Img   *Image
+	Prog  *safety.Program // nil unless ConfigSafe
+	Cfg   vm.Config
+	Extra []*ir.Module
+	Cache *vm.SharedCache
+}
+
+// BuildShared builds and prepares a kernel image for multi-domain use.
+func BuildShared(cfg vm.Config, asTested bool, extra ...*ir.Module) (*SharedImage, error) {
+	return BuildSharedWith(cfg, SafetyConfig(asTested), extra...)
+}
+
+// BuildSharedWith is BuildShared with an explicit safety config.
+func BuildSharedWith(cfg vm.Config, scfg safety.Config, extra ...*ir.Module) (*SharedImage, error) {
+	img := Build()
+	var prog *safety.Program
+	if cfg == vm.ConfigSafe {
+		mods := append([]*ir.Module{img.Kernel}, extra...)
+		p, err := safety.Compile(scfg, mods...)
+		if err != nil {
+			return nil, fmt.Errorf("kernel: safety compile: %w", err)
+		}
+		prog = p
+	}
+	if errs := ir.VerifyModule(img.Kernel); len(errs) != 0 {
+		return nil, fmt.Errorf("kernel: module does not verify: %v", errs[0])
+	}
+	// Renumber every function of every module exactly once, before any
+	// domain boots.  Domain (re)boots use LoadModuleShared, which skips
+	// renumbering — Renumber writes per-instruction state, and a
+	// microreboot must not race siblings executing the shared IR.
+	for _, m := range append([]*ir.Module{img.Kernel}, extra...) {
+		for _, f := range m.Funcs {
+			f.Renumber()
+		}
+	}
+	return &SharedImage{Img: img, Prog: prog, Cfg: cfg, Extra: extra, Cache: vm.NewSharedCache()}, nil
+}
+
+// NewSystemShared boots one domain from a shared image: a private
+// machine, VM, metapool registry and device set over the shared
+// read-only modules and translation cache.  Safe to call concurrently
+// with sibling domains executing (microreboot).
+func NewSystemShared(si *SharedImage) (*System, error) {
+	mach := hw.NewMachine(0, 256)
+	v := vm.NewWithCache(mach, si.Cfg, si.Cache)
+	svaos.Install(v)
+	if si.Prog != nil {
+		si.Prog.Attach(v.Telemetry)
+	}
+	if err := v.LoadModuleShared(si.Img.Kernel, false); err != nil {
+		return nil, err
+	}
+	for _, m := range si.Extra {
+		if err := v.LoadModuleShared(m, true); err != nil {
+			return nil, err
+		}
+	}
+	// Sharing compiled closures is only sound when every domain resolved
+	// the same addresses; refuse to boot a divergent layout.
+	if err := si.Cache.AdoptLayout(v.LayoutFingerprint()); err != nil {
+		return nil, err
+	}
+	sys := &System{VM: v, Img: si.Img, Prog: si.Prog, Extra: si.Extra}
+	if err := sys.Boot(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
 // Boot runs kernel_entry on a fresh kernel stack.
 func (s *System) Boot() error {
 	entry := s.VM.FuncByName(s.Img.Entry)

@@ -1,0 +1,104 @@
+package kernel
+
+import (
+	"sva/internal/ir"
+	"sva/internal/svaops"
+)
+
+// Inter-domain channel driver (net/drivers): the guest half of
+// hw.ChanPort — one queue pair (ring 0 Tx toward the peer domain, ring 1
+// Rx) in statically-sized kernel globals, driven from the boot CPU.
+//
+// Same trust discipline as the NIC driver: a buffer address coming back
+// through a descriptor is re-derived as an offset into chanring_bufs and
+// re-indexed through the bounds-checked Index, so a corrupted descriptor
+// lands on a safety violation, not a wild pointer.
+//
+// The distinguishable errnos surface here: sys_chan_send propagates the
+// SVM's -EHOSTDOWN when the peer domain is dead or rebooting (the
+// doorbell fails closed without blocking), and returns -EAGAIN when the
+// Tx ring is momentarily full; sys_chan_recv returns -EAGAIN when
+// nothing has arrived.
+const (
+	ChanRingSlots = 16 // descriptors per ring (power of two)
+	ChanFrameSize = 64 // bytes per message buffer
+	ChanRingBytes = 16 + ChanRingSlots*16
+)
+
+func (k *K) buildChanRing() {
+	b := k.B
+
+	area := k.global("chanring_area", ir.ArrayOf(2*ChanRingBytes, ir.I8), nil, SubNetDrv)
+	bufs := k.global("chanring_bufs", ir.ArrayOf(2*ChanRingSlots*ChanFrameSize, ir.I8), nil, SubNetDrv)
+	txSeqG := k.global("chanring_txseq", ir.I64, c64(0), SubNetDrv)
+	seenG := k.global("chanring_seen", ir.I64, c64(0), SubNetDrv)
+	chanIntrs := k.global("chan_intrs", ir.I64, c64(0), SubNetDrv)
+
+	// chan_isr(vec, icp): channel completion interrupt — count only; the
+	// syscalls poll the rings.
+	k.fn("chan_isr", SubArchDep, ir.Void, []*ir.Type{ir.I64, ir.I64}, "vec", "icp")
+	b.AtomicRMW(ir.RMWAdd, chanIntrs, c64(1))
+	b.Ret(nil)
+
+	// chanring_init(): attach the queue pair and post every Rx buffer.
+	// Fully unrolled so every ring base and buffer offset is a constant
+	// the verifier can see.
+	k.fn("chanring_init", SubNetDrv, ir.Void, nil)
+	for r := 0; r < 2; r++ {
+		base := b.Index(area, c64(int64(r*ChanRingBytes)))
+		k.op(svaops.ChanAttach, c64(int64(r)), base, c64(ChanRingSlots))
+	}
+	for i := 0; i < ChanRingSlots; i++ {
+		off := int64((ChanRingSlots + i) * ChanFrameSize)
+		k.op(svaops.ChanPost, c64(1), b.Index(bufs, c64(off)), c64(ChanFrameSize))
+	}
+	b.Ret(nil)
+
+	// sys_chan_send(icp, value): stamp value (+ sequence tag) into the
+	// next Tx buffer, post it, ring the doorbell.  Returns 0, -EAGAIN
+	// (ring full), or the doorbell's errno — -EHOSTDOWN when the peer is
+	// down.
+	k.syscall("sys_chan_send", SubNetDrv)
+	val := b.Param(1)
+	seq := b.Load(txSeqG)
+	slot := b.And(seq, c64(ChanRingSlots-1))
+	bufP := b.Index(bufs, b.Mul(slot, c64(ChanFrameSize)))
+	b.Store(val, b.Bitcast(bufP, ir.PointerTo(ir.I64)))
+	b.Store(seq, b.Bitcast(b.GEP(bufP, c64(8)), ir.PointerTo(ir.I64)))
+	ret := b.Alloca(ir.I64, "ret")
+	rc := k.op(svaops.ChanPost, c64(0), bufP, c64(16))
+	b.If(b.ICmp(ir.PredNE, rc, c64(0)), func() {
+		b.Store(errno(EAGAIN), ret)
+	})
+	b.If(b.ICmp(ir.PredEQ, rc, c64(0)), func() {
+		b.Store(b.Add(seq, c64(1)), txSeqG)
+		drc := k.op(svaops.ChanDoorbell, c64(0))
+		isErr := b.ICmp(ir.PredSLT, drc, c64(0))
+		b.If(isErr, func() { b.Store(drc, ret) })
+		b.If(b.ICmp(ir.PredSGE, drc, c64(0)), func() { b.Store(c64(0), ret) })
+	})
+	b.Ret(b.Load(ret))
+
+	// sys_chan_recv(icp): pull arrivals into the posted Rx descriptors,
+	// return the next message's value (reposting its buffer) or -EAGAIN.
+	k.syscall("sys_chan_recv", SubNetDrv)
+	k.op(svaops.ChanDoorbell, c64(1))
+	cons := k.op(svaops.ChanReap, c64(1))
+	seen := b.Load(seenG)
+	ret2 := b.Alloca(ir.I64, "ret")
+	b.Store(errno(EAGAIN), ret2)
+	b.If(b.ICmp(ir.PredULT, seen, cons), func() {
+		rslot := b.And(seen, c64(ChanRingSlots-1))
+		dOff := b.Add(b.Add(c64(ChanRingBytes), c64(16)), b.Mul(rslot, c64(16)))
+		st := b.ZExt(b.Load(b.Bitcast(b.Index(area, b.Add(dOff, c64(12))), ir.PointerTo(ir.I32))), ir.I64)
+		addr := b.Load(b.Bitcast(b.Index(area, dOff), ir.PointerTo(ir.I64)))
+		b.If(b.ICmp(ir.PredEQ, st, c64(1)), func() {
+			// Re-derive the buffer from the untrusted descriptor address.
+			frameP := b.Index(bufs, b.Sub(addr, b.PtrToInt(bufs, ir.I64)))
+			b.Store(b.Load(b.Bitcast(frameP, ir.PointerTo(ir.I64))), ret2)
+			k.op(svaops.ChanPost, c64(1), frameP, c64(ChanFrameSize))
+		})
+		b.Store(b.Add(seen, c64(1)), seenG)
+	})
+	b.Ret(b.Load(ret2))
+}

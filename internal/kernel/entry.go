@@ -37,6 +37,8 @@ func (k *K) buildSyscalls() {
 		{SysNetRecv, "sys_netrecv"},
 		{SysNetServe, "sys_netserve"},
 		{SysNetPump, "sys_netpump"},
+		{SysChanSend, "sys_chan_send"},
+		{SysChanRecv, "sys_chan_recv"},
 		{SysYield, "sys_yield"},
 		{SysSetsockoptMSFilter, "sys_setsockopt_msfilter"},
 		{SysIGMPInput, "sys_igmp_input"},
@@ -82,12 +84,14 @@ func (k *K) buildEntry() {
 	b.Call(k.M.Func("fs_init"))
 	b.Call(k.M.Func("net_init"))
 	b.Call(k.M.Func("netring_init"))
+	b.Call(k.M.Func("chanring_init"))
 	b.Call(k.M.Func("proc_init"), b.Param(0))
 	b.Call(k.M.Func("syscalls_init"))
 	// Clock: register the tick handler, program the interval timer, and
 	// enable interrupt delivery.
 	k.op(svaops.RegisterInterrupt, c64(32), b.Bitcast(k.M.Func("timer_isr"), k.BP))
 	k.op(svaops.RegisterInterrupt, c64(35), b.Bitcast(k.M.Func("nic_isr"), k.BP))
+	k.op(svaops.RegisterInterrupt, c64(37), b.Bitcast(k.M.Func("chan_isr"), k.BP))
 	k.op(svaops.TimerArm, c64(20000))
 	k.op(svaops.IntrEnable, c64(1))
 	// Manufactured BIOS range, registered before first use (§4.7).

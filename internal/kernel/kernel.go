@@ -59,6 +59,8 @@ const (
 	SysNetRecv            = abi.SysNetRecv
 	SysNetServe           = abi.SysNetServe
 	SysNetPump            = abi.SysNetPump
+	SysChanSend           = abi.SysChanSend
+	SysChanRecv           = abi.SysChanRecv
 	SysYield              = abi.SysYield
 	SysSetsockoptMSFilter = abi.SysSetsockoptMSFilter
 	SysIGMPInput          = abi.SysIGMPInput
@@ -66,7 +68,8 @@ const (
 	SysPollEvents         = abi.SysPollEvents
 	SysCoreDump           = abi.SysCoreDump
 
-	EPERM  = abi.EPERM
+	EPERM     = abi.EPERM
+	EHOSTDOWN = abi.EHOSTDOWN
 	ENOENT = abi.ENOENT
 	ESRCH  = abi.ESRCH
 	EBADF  = abi.EBADF
@@ -219,6 +222,7 @@ func Build() *Image {
 	k.buildSignal()   // sigaction/kill + dispatch
 	k.buildDrivers()  // net driver + character drivers (excluded as-tested)
 	k.buildNetRing()  // descriptor-ring NIC driver + socket-serve loop
+	k.buildChanRing() // inter-domain channel driver
 	k.buildNet()      // sockets + vulnerable protocol modules
 	k.buildCoreDump() // the ELF core-dump path (the missed exploit's home)
 	k.buildFSInit()   // wires fops tables to driver/pipe implementations

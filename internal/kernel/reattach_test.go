@@ -1,0 +1,98 @@
+package kernel
+
+import (
+	"testing"
+
+	"sva/internal/abi"
+	"sva/internal/hw"
+	"sva/internal/ir"
+	"sva/internal/svaops"
+	"sva/internal/userland"
+	"sva/internal/vm"
+)
+
+// TestHostileRingReattachMidServe is the seed-style regression for the
+// silent re-window bug: a hostile "driver" that re-attaches the live NIC
+// queue pair mid-serve must get -EBUSY back — and the original ring must
+// keep serving, its consumer shadow untouched by the rejected window.
+func TestHostileRingReattachMidServe(t *testing.T) {
+	buildUser := func() *userland.U {
+		u := userland.New("ringuser")
+		b := u.B
+		u.Prog("pump_serve")
+		total := b.Alloca(ir.I64, "total")
+		b.Store(ir.I64c(0), total)
+		b.For("i", ir.I64c(0), b.Param(0), ir.I64c(1), func(i ir.Value) {
+			u.Trap(abi.SysNetPump, ir.I64c(8))
+			served := u.Trap(abi.SysNetServe, ir.I64c(64))
+			b.Store(b.Add(b.Load(total), served), total)
+		})
+		b.Ret(b.Load(total))
+		u.SealAll()
+		return u
+	}
+
+	// run executes pump_serve, optionally mounts the attack, and executes
+	// pump_serve again.  The twin comparison below requires the attacked
+	// run to be bit-identical to the control run in everything but the
+	// attack's own -EBUSY.
+	run := func(attack bool) (before, after uint64) {
+		t.Helper()
+		u := buildUser()
+		sys, err := NewSystem(vm.ConfigSafe, true, u.M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before, err = sys.RunUser(u.M.Func("pump_serve"), 4, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attack {
+			// The hostile module: re-attach the live ring 0 over its own
+			// buffer, mid-serve.
+			drv := ir.NewModule("evildrv")
+			db := ir.NewBuilder(drv)
+			win := drv.NewGlobal("evil_ring", ir.ArrayOf(NetRingBytes, ir.I8), nil)
+			db.NewFunc("evil_init", ir.FuncOf(ir.I64, nil, false))
+			rc := db.Call(svaops.Get(drv, svaops.NetRingAttach),
+				ir.I64c(0), db.Bitcast(win, svaops.BytePtr), ir.I64c(NetRingSlots))
+			db.Ret(rc)
+			db.Seal()
+			if errs := ir.VerifyModule(drv); len(errs) != 0 {
+				t.Fatalf("evil module: %v", errs[0])
+			}
+			if err := sys.VM.LoadModule(drv, false); err != nil {
+				t.Fatal(err)
+			}
+			top, _ := sys.VM.AllocKernelStack(KStackSize)
+			ex, err := sys.VM.NewExec(drv.Func("evil_init"), nil, top, hw.PrivKernel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys.VM.SetExec(ex)
+			got, err := sys.VM.Run()
+			if err != nil {
+				t.Fatalf("evil_init: %v", err)
+			}
+			if got != abi.Errno(abi.EBUSY) {
+				t.Fatalf("hostile re-attach returned %d, want -EBUSY (%d)",
+					int64(got), int64(abi.Errno(abi.EBUSY)))
+			}
+		}
+		after, err = sys.RunUser(u.M.Func("pump_serve"), 4, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return before, after
+	}
+
+	cb, ca := run(false)
+	ab, aa := run(true)
+	if cb == 0 || ca == 0 {
+		t.Fatalf("control run served nothing (batches %d, %d)", cb, ca)
+	}
+	if ab != cb || aa != ca {
+		t.Errorf("attacked run served (%d, %d), control (%d, %d) — the refused re-attach disturbed ring state",
+			ab, aa, cb, ca)
+	}
+}

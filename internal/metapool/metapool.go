@@ -636,6 +636,13 @@ func (p *Pool) NumObjects() int {
 // Reset drops all objects and VCPU 0's statistics (pool destruction).
 // Statistics shards of other VCPUs are owner-written and survive a reset;
 // merged views simply keep their history.
+//
+// The quarantine bit deliberately SURVIVES a reset: quarantine means the
+// pool's metadata failed validation, and a guest that destroys and
+// re-creates the pool (a rebooted kernel re-running its init path at the
+// same VA) must not launder the verdict — fail-closed state only clears
+// when the whole domain is rebuilt from the pristine image and the
+// supervisor re-applies its ledger (Registry.ApplyQuarantine).
 func (p *Pool) Reset() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -647,9 +654,14 @@ func (p *Pool) Reset() {
 	p.pm.clear()
 	p.unmapped.Store(0)
 	p.Stats = Stats{}
-	p.quarantined.Store(false)
 	p.maxObj = 0
 }
+
+// Quarantine forces the pool into the fail-closed state (every check
+// reports MetadataCorruption from now on).  Exposed for the domain
+// supervisor's cross-reboot ledger; the normal entry point is metadata
+// validation failing during a check.
+func (p *Pool) Quarantine() { p.quarantined.Store(true) }
 
 // SplayLookups returns how many lookups reached the pool's splay tree
 // (page-map and cache hits never do).
@@ -705,13 +717,24 @@ func (r *Registry) SetVCPUs(n int) {
 	}
 }
 
-// AddPool appends a pool and returns its ID.
+// AddPool appends a pool and returns its ID.  Quarantine is sticky by
+// name within a registry lifetime: a kernel that reboots inside the same
+// VM and re-creates a pool (same name, possibly the same VA) inherits
+// the old incarnation's fail-closed verdict rather than laundering it.
 func (r *Registry) AddPool(p *Pool) int {
 	if r.noCache {
 		p.NoCache = true
 	}
 	if r.noPageMap {
 		p.NoPageMap = true
+	}
+	if !p.IsQuarantined() {
+		for _, old := range r.Pools {
+			if old.Name == p.Name && old.IsQuarantined() {
+				p.Quarantine()
+				break
+			}
+		}
 	}
 	if r.nvcpu > 1 {
 		p.setVCPUs(r.nvcpu)
@@ -744,6 +767,39 @@ func (r *Registry) PoolChecked(id int) (*Pool, error) {
 			Addr: uint64(id), Msg: "check names a metapool that does not exist"}
 	}
 	return r.Pools[id], nil
+}
+
+// QuarantinedNames returns the names of every quarantined pool — the
+// domain supervisor's ledger, carried across a microreboot and re-applied
+// to the fresh registry with ApplyQuarantine.
+func (r *Registry) QuarantinedNames() []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, p := range r.Pools {
+		if p.IsQuarantined() && !seen[p.Name] {
+			seen[p.Name] = true
+			names = append(names, p.Name)
+		}
+	}
+	return names
+}
+
+// ApplyQuarantine forces every pool whose name appears in names into the
+// fail-closed state (and remembers nothing else: names with no matching
+// pool are ignored — the rebuilt image may legitimately not create them).
+func (r *Registry) ApplyQuarantine(names []string) {
+	if len(names) == 0 {
+		return
+	}
+	set := map[string]bool{}
+	for _, n := range names {
+		set[n] = true
+	}
+	for _, p := range r.Pools {
+		if set[p.Name] {
+			p.Quarantine()
+		}
+	}
 }
 
 // AddCallSet registers an indirect-call target set, returning its ID.

@@ -73,6 +73,7 @@ type queueGen struct {
 	lats     []uint64 // completion latency per served request
 	served   int
 	badSums  int
+	replySum uint64 // FNV-1a over every reply byte, in service order
 }
 
 // Load is the generator/collector pair to attach to a RingNIC.
@@ -92,6 +93,7 @@ func New(cfg Config) *Load {
 	l := &Load{cfg: cfg, qs: make([]queueGen, cfg.Queues)}
 	for q := range l.qs {
 		l.qs[q].rng = cfg.Seed*0x9e3779b97f4a7c15 + uint64(q+1)
+		l.qs[q].replySum = 14695981039346656037 // FNV-1a offset basis
 	}
 	return l
 }
@@ -154,6 +156,12 @@ func (l *Load) Sink(queue int, frame []byte, now uint64) {
 	if got != want {
 		g.badSums++
 	}
+	// Fold every reply byte into the queue's running FNV-1a digest: the
+	// cross-domain campaign compares this against an uninjected solo run,
+	// so a single flipped reply bit anywhere is a detected divergence.
+	for _, b := range frame {
+		g.replySum = (g.replySum ^ uint64(b)) * 1099511628211
+	}
 	if req < uint64(len(g.sched)) {
 		g.lats = append(g.lats, now-g.sched[req])
 	}
@@ -183,6 +191,9 @@ type Point struct {
 	BatchHist     []uint64
 	// BadDescs must be zero on a clean run (no malformed descriptors).
 	BadDescs uint64
+	// ReplySum digests every reply byte (per-queue FNV-1a, XOR-folded):
+	// the blast-radius campaign's bit-identity witness.
+	ReplySum uint64
 }
 
 func percentile(sorted []uint64, p int) uint64 {
@@ -226,6 +237,15 @@ func Measure(cfg vm.Config, vcpus, perCPU, gap int) (Point, error) {
 	if err != nil {
 		return Point{}, fmt.Errorf("netload: boot %v: %w", cfg, err)
 	}
+	return MeasureOn(sys, u, vcpus, perCPU, gap)
+}
+
+// MeasureOn drives the socket-server workload on an already-booted system
+// whose image includes BuildModule()'s module u — the multi-domain path,
+// where the caller boots domains from one shared image and measures each.
+// Virtual time is per-domain, so the Point is bit-reproducible regardless
+// of what sibling domains (or fault injectors aimed at them) are doing.
+func MeasureOn(sys *kernel.System, u *userland.U, vcpus, perCPU, gap int) (Point, error) {
 	ld := New(Config{PerQueue: perCPU, Gap: gap, Queues: vcpus, Seed: 0x5eed})
 	nic := sys.VM.Mach.NIC
 	nic.Source = ld.Source
@@ -260,6 +280,7 @@ func Measure(cfg vm.Config, vcpus, perCPU, gap int) (Point, error) {
 		p.Issued += g.issued
 		p.Served += g.served
 		p.BadSums += g.badSums
+		p.ReplySum ^= g.replySum
 		lats = append(lats, g.lats...)
 	}
 	// Merge order depends on nothing: the per-queue lists are each

@@ -1,0 +1,209 @@
+package report
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+
+	"sva/internal/domain"
+	"sva/internal/kernel"
+	"sva/internal/netload"
+	"sva/internal/userland"
+	"sva/internal/vm"
+)
+
+// --- multi-domain SVM (-table=domains) --------------------------------------
+
+// DomainCounts is the fleet sizes the domains table sweeps.
+var DomainCounts = []int{1, 2, 4}
+
+// Domain workload shape: every domain serves the ring socket workload on
+// one VCPU at saturation, so per-domain req/s is directly comparable
+// across fleet sizes (virtual time is per-domain — a sibling cannot slow
+// you down, and the table proves it by requiring identical cells).
+const (
+	domVCPUs  = 1
+	domPerCPU = 1500
+)
+
+// DomainRow is one fleet size: every domain's measured workload.
+type DomainRow struct {
+	Domains int
+	Per     []netload.Point
+	AggRPS  float64
+}
+
+// RecoveryRow is one supervised microreboot of the induced-kill probe.
+type RecoveryRow struct {
+	Reboot  int // 1-based
+	Backoff uint64
+	Boot    uint64
+	Recover uint64 // Backoff + Boot, virtual cycles
+}
+
+// domainImage builds the pristine shared image the whole table boots
+// from: the safe-config kernel plus the socket-server and channel-probe
+// programs.
+func domainImage() (*kernel.SharedImage, *userland.U, *userland.U, error) {
+	nu := netload.BuildModule()
+	cu := domain.BuildChanProgs()
+	img, err := kernel.BuildShared(vm.ConfigSafe, true, nu.M, cu.M)
+	return img, nu, cu, err
+}
+
+// RunDomains measures the domains battery serially.
+func RunDomains(scale Scale) ([]DomainRow, []RecoveryRow, error) {
+	return RunDomainsN(scale, 1)
+}
+
+// RunDomainsN measures per-domain serving throughput at each fleet size
+// (all domains of a fleet run concurrently, sharing only the read-only
+// image and translation cache) and then the supervised-recovery probe: a
+// two-domain fleet where domain 0 is killed and microrebooted through the
+// full backoff schedule while domain 1's channel sends observe the
+// fail-closed errno, with time-to-recover recorded in virtual cycles.
+func RunDomainsN(scale Scale, workers int) ([]DomainRow, []RecoveryRow, error) {
+	perCPU := int(scale.apply(domPerCPU))
+	img, nu, cu, err := domainImage()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	rows := make([]DomainRow, len(DomainCounts))
+	err = forEach(workers, len(DomainCounts), func(i int) error {
+		n := DomainCounts[i]
+		sup, err := domain.NewSupervisor(img, n)
+		if err != nil {
+			return err
+		}
+		row := DomainRow{Domains: n, Per: make([]netload.Point, n)}
+		var wg sync.WaitGroup
+		errs := make([]error, n)
+		for d := 0; d < n; d++ {
+			wg.Add(1)
+			go func(d int) {
+				defer wg.Done()
+				row.Per[d], errs[d] = netload.MeasureOn(sup.Domains[d].Sys, nu, domVCPUs, perCPU, 0)
+			}(d)
+		}
+		wg.Wait()
+		for d, e := range errs {
+			if e != nil {
+				return fmt.Errorf("domains=%d domain %d: %w", n, d, e)
+			}
+			p := row.Per[d]
+			if p.Issued != p.Served || p.BadSums != 0 || p.BadDescs != 0 {
+				return fmt.Errorf("domains=%d domain %d unhealthy: %+v", n, d, p)
+			}
+			// Isolation witness: every domain of every fleet size serves
+			// the bit-identical workload with bit-identical cycle counts.
+			if !reflect.DeepEqual(p, row.Per[0]) {
+				return fmt.Errorf("domains=%d: domain %d diverged from domain 0", n, d)
+			}
+			row.AggRPS += p.RPS
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	recs, err := runRecovery(img, cu)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, recs, nil
+}
+
+// runRecovery drives the induced-kill probe on a connected two-domain
+// fleet, checking the fail-closed channel verdicts at every step.
+func runRecovery(img *kernel.SharedImage, cu *userland.U) ([]RecoveryRow, error) {
+	sup, err := domain.NewSupervisor(img, 2)
+	if err != nil {
+		return nil, err
+	}
+	sup.Connect(0, 1)
+	send := cu.M.Func("chan_send")
+	probe := func(want int64, when string) error {
+		got, err := sup.Domains[1].Sys.RunUser(send, 1, 50_000_000)
+		if err != nil {
+			return fmt.Errorf("recovery probe (%s): %w", when, err)
+		}
+		if int64(got) != want {
+			return fmt.Errorf("recovery probe (%s): send rc = %d, want %d", when, int64(got), want)
+		}
+		return nil
+	}
+	var recs []RecoveryRow
+	for r := 1; r <= sup.MaxReboots; r++ {
+		sup.Kill(0, domain.CauseInduced, "induced kill (recovery probe)")
+		if err := probe(-int64(kernel.EHOSTDOWN), fmt.Sprintf("dead #%d", r)); err != nil {
+			return nil, err
+		}
+		if err := sup.Reboot(0); err != nil {
+			return nil, fmt.Errorf("reboot %d: %w", r, err)
+		}
+		d := sup.Domains[0]
+		recs = append(recs, RecoveryRow{
+			Reboot:  r,
+			Backoff: d.LastRecover - d.BootCycles,
+			Boot:    d.BootCycles,
+			Recover: d.LastRecover,
+		})
+		if err := probe(0, fmt.Sprintf("recovered #%d", r)); err != nil {
+			return nil, err
+		}
+	}
+	// Past the budget the domain must fail permanently, sends staying
+	// fail-closed forever.
+	sup.Kill(0, domain.CauseInduced, "induced kill (past budget)")
+	if err := sup.Reboot(0); !errors.Is(err, domain.ErrPermanentFail) {
+		return nil, fmt.Errorf("reboot past budget: err = %v, want permanent fail", err)
+	}
+	if err := probe(-int64(kernel.EHOSTDOWN), "permanent fail"); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// DomainsTable renders the multi-domain table: per-domain saturation
+// throughput at each fleet size, and the supervised microreboot's
+// time-to-recover schedule.
+func DomainsTable(rows []DomainRow, recs []RecoveryRow) string {
+	var sb strings.Builder
+	sb.WriteString("Multi-domain SVM: fault-isolated guest kernels over one shared image\n")
+	sb.WriteString("(sva-safe; 1 VCPU per domain at saturation; per-domain figures are\n")
+	sb.WriteString("bit-identical across the fleet — virtual time is private to a domain)\n")
+	fmt.Fprintf(&sb, "%-8s %14s %14s %10s %10s\n",
+		"Domains", "req/s each", "req/s total", "p99", "fr/bell")
+	for _, r := range rows {
+		p := r.Per[0]
+		fmt.Fprintf(&sb, "%-8d %14.0f %14.0f %7d ns %10.1f\n",
+			r.Domains, p.RPS, r.AggRPS, p.P99, p.FramesPerBell)
+	}
+	sb.WriteString("Supervised microreboot (induced kill; deterministic exponential backoff;\n")
+	sb.WriteString("sibling's sends fail closed with -EHOSTDOWN while the domain is down):\n")
+	fmt.Fprintf(&sb, "%-8s %14s %14s %14s\n", "Reboot", "backoff cyc", "boot cyc", "recover cyc")
+	for _, rec := range recs {
+		fmt.Fprintf(&sb, "%-8d %14d %14d %14d\n", rec.Reboot, rec.Backoff, rec.Boot, rec.Recover)
+	}
+	fmt.Fprintf(&sb, "Reboot %d refused: permanent-fail threshold reached; channel stays down.\n",
+		len(recs)+1)
+	return sb.String()
+}
+
+// RecordDomainRows feeds the domains table into a metric set.
+func RecordDomainRows(s *MetricSet, rows []DomainRow, recs []RecoveryRow) {
+	for _, r := range rows {
+		pre := fmt.Sprintf("%ddom", r.Domains)
+		s.Add("domains", pre+"_rps_each", "req/s", r.Per[0].RPS)
+		s.Add("domains", pre+"_rps_total", "req/s", r.AggRPS)
+		s.Add("domains", pre+"_p99", "cyc", float64(r.Per[0].P99))
+	}
+	for _, rec := range recs {
+		s.Add("domains", fmt.Sprintf("recover_%d", rec.Reboot), "cyc", float64(rec.Recover))
+	}
+}

@@ -79,6 +79,12 @@ const (
 	NetPost       = "sva.io.net.post"
 	NetDoorbell   = "sva.io.net.doorbell"
 	NetReap       = "sva.io.net.reap"
+	// Inter-domain channel (same descriptor-ring shape on the domain's
+	// ChanPort; doorbells at a dead peer fail closed with -EHOSTDOWN).
+	ChanAttach   = "sva.io.chan.attach"
+	ChanPost     = "sva.io.chan.post"
+	ChanDoorbell = "sva.io.chan.doorbell"
+	ChanReap     = "sva.io.chan.reap"
 
 	// Interrupt control and time.
 	IntrEnable = "sva.intr.enable"
@@ -239,6 +245,10 @@ var Ops = []*Op{
 	{NetPost, ClassIO, 0, sig(ir.I64, ir.I64, BytePtr, ir.I64)},
 	{NetDoorbell, ClassIO, 0, sig(ir.I64, ir.I64)},
 	{NetReap, ClassIO, 0, sig(ir.I64, ir.I64)},
+	{ChanAttach, ClassIO, 0, sig(ir.I64, ir.I64, BytePtr, ir.I64)},
+	{ChanPost, ClassIO, 0, sig(ir.I64, ir.I64, BytePtr, ir.I64)},
+	{ChanDoorbell, ClassIO, 0, sig(ir.I64, ir.I64)},
+	{ChanReap, ClassIO, 0, sig(ir.I64, ir.I64)},
 
 	{Memcpy, ClassMem, 0, sig(BytePtr, BytePtr, BytePtr, ir.I64)},
 	{Memmove, ClassMem, 0, sig(BytePtr, BytePtr, BytePtr, ir.I64)},

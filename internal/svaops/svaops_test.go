@@ -40,6 +40,7 @@ func TestEveryOperationHasSignature(t *testing.T) {
 		MMUMap, MMUUnmap, MMUProtect,
 		IOPutc, IOGetc, DiskRead, DiskWrite, NetSend, NetRecv,
 		NetRingAttach, NetPost, NetDoorbell, NetReap,
+		ChanAttach, ChanPost, ChanDoorbell, ChanReap,
 		IntrEnable, TimerArm, Cycles, Halt, PseudoAlloc,
 		Memcpy, Memmove, Memset, Memcmp,
 		ObjRegister, ObjRegisterStack, ObjDrop, BoundsCheck, LSCheck,

@@ -8,8 +8,10 @@
 package svaos
 
 import (
+	"errors"
 	"fmt"
 
+	"sva/internal/abi"
 	"sva/internal/hw"
 	"sva/internal/svaops"
 	"sva/internal/vm"
@@ -292,6 +294,11 @@ func Install(m *vm.VM) {
 			return none{}, err
 		}
 		if err := m.Mach.NIC.AttachRing(int(int64(a[0])), a[1], a[2], m.DMA()); err != nil {
+			// Re-attaching a live ring is the hostile re-window move; it
+			// gets the distinguishable -EBUSY, other failures the generic -1.
+			if errors.Is(err, hw.ErrRingAttached) {
+				return none{Value: abi.Errno(abi.EBUSY)}, nil
+			}
 			return none{Value: ^uint64(0)}, nil
 		}
 		return none{Value: 0}, nil
@@ -323,6 +330,61 @@ func Install(m *vm.VM) {
 			return none{}, err
 		}
 		cons, err := m.Mach.NIC.Reap(int(int64(a[0])))
+		if err != nil {
+			return none{Value: ^uint64(0)}, nil
+		}
+		return none{Value: cons}, nil
+	})
+
+	// --- Inter-domain channel ------------------------------------------------
+	//
+	// Same ring ABI and amortized costing on the domain's ChanPort.  The
+	// distinguishable failures: re-attaching a live ring is -EBUSY, a
+	// doorbell at a dead/rebooting/unbound peer is -EHOSTDOWN (fail
+	// closed, never blocking — see hw.ErrPeerDown).
+
+	reg(svaops.ChanAttach, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.ChanAttach); err != nil {
+			return none{}, err
+		}
+		if err := m.Mach.Chan.AttachRing(int(int64(a[0])), a[1], a[2], m.DMA()); err != nil {
+			if errors.Is(err, hw.ErrRingAttached) {
+				return none{Value: abi.Errno(abi.EBUSY)}, nil
+			}
+			return none{Value: ^uint64(0)}, nil
+		}
+		return none{Value: 0}, nil
+	})
+	reg(svaops.ChanPost, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.ChanPost); err != nil {
+			return none{}, err
+		}
+		ok, err := m.Mach.Chan.Post(int(int64(a[0])), a[1], a[2])
+		if err != nil || !ok {
+			return none{Value: ^uint64(0)}, nil
+		}
+		return none{Value: 0}, nil
+	})
+	reg(svaops.ChanDoorbell, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.ChanDoorbell); err != nil {
+			return none{}, err
+		}
+		ch := m.Mach.Chan
+		consumed, err := ch.Doorbell(int(int64(a[0])), m.CPU.Cycles)
+		m.CPU.Cycles += ch.PerBatchCost + ch.PerFrameCost*uint64(consumed)
+		if err != nil {
+			if errors.Is(err, hw.ErrPeerDown) {
+				return none{Value: abi.Errno(abi.EHOSTDOWN)}, nil
+			}
+			return none{Value: ^uint64(0)}, nil
+		}
+		return none{Value: uint64(consumed)}, nil
+	})
+	reg(svaops.ChanReap, func(m *vm.VM, a []uint64) (none, error) {
+		if err := requireKernel(m, svaops.ChanReap); err != nil {
+			return none{}, err
+		}
+		cons, err := m.Mach.Chan.Reap(int(int64(a[0])))
 		if err != nil {
 			return none{Value: ^uint64(0)}, nil
 		}

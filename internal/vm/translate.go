@@ -72,14 +72,24 @@ func (cf *compiledFunc) coverage() (threaded, total int) {
 	return threaded, total
 }
 
-// engineCache is the machine-wide translation state shared by every VCPU:
+// engKey keys the compiled-function cache by (function, config): a
+// machine holds one config, but a cache shared across domains (see
+// SharedCache) may serve VMs running different configs, and the compiled
+// closures burn config-dependent behavior in at translate time.
+type engKey struct {
+	f   *ir.Function
+	cfg Config
+}
+
+// engineCache is the machine-wide translation state shared by every VCPU
+// — and, through SharedCache, by every domain of a multi-domain host:
 // compiled functions, GEP plans and the intrinsic-binding generation.
 // Reads are lock-free (sync.Map); builds serialize on mu, a leaf lock in
 // the documented order (shared.atomics → stateMu → device): compileFunc
 // only evaluates constants and inspects IR, never taking another lock.
 type engineCache struct {
 	mu         sync.Mutex
-	translated sync.Map // *ir.Function → *compiledFunc
+	translated sync.Map // engKey → *compiledFunc
 	gepPlans   sync.Map // *ir.Instr → *gepPlan
 	// intrGen counts intrinsic-table mutations.  Compiled call closures
 	// bind their handler at translate time and stamp the generation; a
@@ -106,12 +116,13 @@ func (e *engineCache) invalidate() {
 // function, no GEP plans, no Translations count — so a failed translate
 // leaves the caches exactly as it found them.
 func (vm *VM) translate(f *ir.Function) (*compiledFunc, error) {
-	if cf, ok := vm.eng.translated.Load(f); ok {
+	key := engKey{f: f, cfg: vm.Cfg}
+	if cf, ok := vm.eng.translated.Load(key); ok {
 		return cf.(*compiledFunc), nil
 	}
 	vm.eng.mu.Lock()
 	defer vm.eng.mu.Unlock()
-	if cf, ok := vm.eng.translated.Load(f); ok {
+	if cf, ok := vm.eng.translated.Load(key); ok {
 		return cf.(*compiledFunc), nil
 	}
 	cf, plans, err := vm.compileFunc(f)
@@ -123,9 +134,47 @@ func (vm *VM) translate(f *ir.Function) (*compiledFunc, error) {
 	for in, p := range plans {
 		vm.eng.gepPlans.Store(in, p)
 	}
-	vm.eng.translated.Store(f, cf)
+	vm.eng.translated.Store(key, cf)
 	vm.Counters.Translations++
 	return cf, nil
+}
+
+// SharedCache is a translation cache one host can share across several
+// machines (domains).  Sharing is only sound when every sharer resolves
+// the cached closures' burned-in constants identically: compiled
+// operands embed global and function ADDRESSES, so all sharing VMs must
+// load the same modules in the same order (kernel.BuildShared +
+// NewSystemShared guarantee this and assert the layout fingerprint).
+// Per-domain intrinsic tables are safe regardless — call closures stamp
+// the cache's intrinsic generation and re-resolve through the
+// dispatching VM's live table on mismatch.
+type SharedCache struct {
+	eng *engineCache
+	// fingerprint pins the loaded-module address layout of the first
+	// sharer; later sharers must match (0 = not yet adopted).
+	mu          sync.Mutex
+	fingerprint uint64
+}
+
+// NewSharedCache returns an empty cross-domain translation cache.
+func NewSharedCache() *SharedCache { return &SharedCache{eng: newEngineCache()} }
+
+// AdoptLayout records (first caller) or checks (later callers) a VM's
+// address-layout fingerprint.  It returns an error when a sharer's
+// layout diverges — sharing compiled closures between such VMs would
+// resolve burned-in addresses to the wrong objects, so the caller must
+// refuse to share rather than boot.
+func (sc *SharedCache) AdoptLayout(fp uint64) error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.fingerprint == 0 {
+		sc.fingerprint = fp
+		return nil
+	}
+	if sc.fingerprint != fp {
+		return fmt.Errorf("vm: shared cache layout mismatch: %#x vs %#x", sc.fingerprint, fp)
+	}
+	return nil
 }
 
 // compileFunc builds the full compiled form of f into locals: pre-lowered

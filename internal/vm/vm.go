@@ -253,7 +253,17 @@ type VM struct {
 }
 
 // New creates a VM on the given machine.
-func New(mach *hw.Machine, cfg Config) *VM {
+func New(mach *hw.Machine, cfg Config) *VM { return newVM(mach, cfg, newEngineCache()) }
+
+// NewWithCache creates a VM whose translation cache is a SharedCache —
+// the multi-domain configuration, where N machines share one compiled
+// form of the (identical, identically laid out) kernel image.  See
+// SharedCache for the soundness conditions.
+func NewWithCache(mach *hw.Machine, cfg Config, sc *SharedCache) *VM {
+	return newVM(mach, cfg, sc.eng)
+}
+
+func newVM(mach *hw.Machine, cfg Config, eng *engineCache) *VM {
 	vm := &VM{
 		Mach:          mach,
 		CPU:           mach.CPU,
@@ -270,7 +280,7 @@ func New(mach *hw.Machine, cfg Config) *VM {
 		syscalls:      map[int64]*ir.Function{},
 		syscallsDense: &[denseSyscalls]*ir.Function{},
 		interrupts:    map[int64]*ir.Function{},
-		eng:           newEngineCache(),
+		eng:           eng,
 		engine:        true,
 		nextKGlobal:   KGlobalBase,
 		nextUGlobal:   UserBase,
@@ -359,6 +369,20 @@ func (vm *VM) EngineOn() bool { return vm.engine }
 // functions, allocates and initializes globals, and registers metapool
 // descriptors.  user selects the user-space globals segment.
 func (vm *VM) LoadModule(m *ir.Module, user bool) error {
+	return vm.loadModule(m, user, true)
+}
+
+// LoadModuleShared links a module WITHOUT renumbering its instructions.
+// Renumber writes per-instruction state, so loading a module that other
+// machines are concurrently executing (a domain microrebooting from the
+// fleet's shared pristine image) must skip it; the caller guarantees the
+// module was renumbered once before any domain started (ir.VerifyModule
+// and kernel.BuildShared both do).
+func (vm *VM) LoadModuleShared(m *ir.Module, user bool) error {
+	return vm.loadModule(m, user, false)
+}
+
+func (vm *VM) loadModule(m *ir.Module, user, renumber bool) error {
 	vm.mods = append(vm.mods, m)
 	for _, f := range m.Funcs {
 		if first, dup := vm.symFunc[f.Nm]; dup {
@@ -367,7 +391,9 @@ func (vm *VM) LoadModule(m *ir.Module, user bool) error {
 			// GlobalAddr may name it directly) and numbered values so
 			// its module prints and verifies.
 			vm.funcAddr[f] = vm.funcAddr[first]
-			f.Renumber()
+			if renumber {
+				f.Renumber()
+			}
 			continue
 		}
 		addr := vm.nextFunc
@@ -378,7 +404,9 @@ func (vm *VM) LoadModule(m *ir.Module, user bool) error {
 		vm.funcAddr[f] = addr
 		vm.addrFunc[addr] = f
 		vm.symFunc[f.Nm] = f
-		f.Renumber()
+		if renumber {
+			f.Renumber()
+		}
 	}
 	var layout ir.Layout
 	for _, g := range m.Globals {
@@ -525,6 +553,27 @@ func (vm *VM) constAddr(c *ir.GlobalAddr) (uint64, error) {
 		return a, nil
 	}
 	return 0, fmt.Errorf("bad global address %T", c.G)
+}
+
+// LayoutFingerprint summarizes the address layout the loaded modules
+// produced: the post-load allocator cursors plus the loaded module and
+// function counts.  Two VMs that loaded the same modules in the same
+// order report the same fingerprint; SharedCache.AdoptLayout compares
+// them before letting domains share compiled closures (which burn
+// resolved global/function addresses in as constants).
+func (vm *VM) LayoutFingerprint() uint64 {
+	fp := uint64(14695981039346656037) // FNV offset basis
+	mix := func(v uint64) {
+		fp ^= v
+		fp *= 1099511628211
+	}
+	mix(vm.nextFunc)
+	mix(vm.nextKGlobal)
+	mix(vm.nextUGlobal)
+	mix(uint64(len(vm.mods)))
+	mix(uint64(len(vm.funcAddr)))
+	mix(uint64(vm.Cfg) + 1)
+	return fp
 }
 
 // FuncByName resolves a loaded function by symbol name.
