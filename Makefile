@@ -1,7 +1,7 @@
 # Tier-1 gate plus the race-sensitive packages this repo parallelizes.
 GO ?= go
 
-.PHONY: all build test vet lint race check equiv bench tables chaos netsmoke domsmoke
+.PHONY: all build test vet lint race check equiv bench tables chaos netsmoke domsmoke smpsmoke16
 
 all: check
 
@@ -50,7 +50,15 @@ netsmoke:
 domsmoke:
 	$(GO) test -race -run 'TestDomainSmoke|TestConcurrentSiblings' ./internal/domain/
 
-check: build lint test equiv race netsmoke domsmoke
+# 16-VCPU scaling smoke: boot and dispatch at the lifted VCPU ceiling,
+# then an abbreviated fault campaign (one seed per class) against a
+# 16-VCPU system — all under the race detector, because sixteen sibling
+# VCPUs hammer the sharded metapool write paths and epoch reclamation
+# concurrently.  Any host escape fails the target.
+smpsmoke16:
+	$(GO) test -race -run 'TestSMPDispatch|TestSMPSmoke16' ./internal/kernel/ ./internal/faultinject/campaign/
+
+check: build lint test equiv race netsmoke domsmoke smpsmoke16
 
 # Fixed-seed fault-injection smoke: three classes through sva-run plus a
 # one-seed-per-class campaign table.  Any host escape fails the target.

@@ -16,7 +16,9 @@
 //	sva-bench -table=ablation   §4.8 cloning/devirtualization ablation
 //	sva-bench -table=faults     fault-injection campaign outcome matrix
 //	sva-bench -table=all        everything
-//	sva-bench -table=smp        SMP syscall-throughput scaling at 1/2/4/8 VCPUs
+//	sva-bench -table=smp        SMP syscall-throughput scaling at 1/2/4/8/16/32 VCPUs
+//	                            plus a concurrent-registration microbench
+//	sva-bench -table=smp -wallclock   add host wall-clock microbench rows (nondeterministic)
 //	sva-bench -table=net        descriptor-ring socket serving at 1/2/4 VCPUs
 //	sva-bench -table=domains    multi-domain serving at 1/2/4 domains + supervised microreboot recovery
 //	sva-bench -table=engine     threaded-code engine wall-clock speedup (not in "all": host-dependent)
@@ -52,6 +54,7 @@ func main() {
 	scale := flag.Uint64("scale", 1, "divide iteration counts (1 = full run)")
 	seeds := flag.Int("seeds", 25, "seeds per fault class for -table=faults")
 	workers := flag.Int("workers", report.DefaultWorkers(), "max concurrent table jobs and per-table configurations (1 = serial)")
+	wallclock := flag.Bool("wallclock", false, "append host wall-clock rows to the -table=smp registration microbench (nondeterministic)")
 	benchjson := flag.String("benchjson", "", "write numeric table rows as JSON to this file")
 	baseline := flag.String("baseline", "", "print per-row deltas against a saved -benchjson dump")
 	cpuprofile := flag.String("cpuprofile", "", "write a host CPU profile (pprof) to this file")
@@ -168,7 +171,11 @@ func main() {
 				return "", err
 			}
 			report.RecordSMPRows(metrics, rows)
-			return report.SMPTable(rows), nil
+			// The registration microbench's model rows are deterministic
+			// virtual time; its wall-clock rows are host-bound and noisy,
+			// so they stay behind -wallclock and are never recorded into
+			// the metrics JSON.
+			return report.SMPTable(rows) + "\n" + report.ConcurrentRegBench(8, 20000, *wallclock), nil
 		})
 	}
 	if want("net") {

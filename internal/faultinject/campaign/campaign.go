@@ -271,15 +271,21 @@ func classifyOutcome(res *Result, sys *kernel.System, runErr error, v0 int, c0 v
 	}
 }
 
-// SMPVCPUs is the virtual-CPU count of the campaign's SMP variant.
+// SMPVCPUs is the virtual-CPU count of the campaign's default SMP variant.
 const SMPVCPUs = 4
 
-// RunOneSMP is RunOne's SMP variant: a fresh ConfigSafe system, one armed
-// injector, and the smp_worker battery dispatched across SMPVCPUs virtual
-// CPUs.  The battery is per-task syscalls only (the SMP dispatch contract),
-// so I/O-seam classes (diskio, netio) may legitimately never fire here —
-// the acceptance criterion stays what it was: zero host escapes.
-func RunOneSMP(class faultinject.Class, seed uint64) (res Result) {
+// RunOneSMP is RunOne's SMP variant at the default VCPU count.
+func RunOneSMP(class faultinject.Class, seed uint64) Result {
+	return RunOneSMPAt(class, seed, SMPVCPUs)
+}
+
+// RunOneSMPAt is RunOne's SMP variant: a fresh ConfigSafe system, one
+// armed injector, and the smp_worker battery (two tasks per CPU)
+// dispatched across vcpus virtual CPUs.  The battery is per-task syscalls
+// only (the SMP dispatch contract), so I/O-seam classes (diskio, netio)
+// may legitimately never fire here — the acceptance criterion stays what
+// it was: zero host escapes.
+func RunOneSMPAt(class faultinject.Class, seed uint64, vcpus int) (res Result) {
 	res = Result{Class: class, Seed: seed, Prog: "smp_worker"}
 	defer func() {
 		if r := recover(); r != nil {
@@ -296,7 +302,7 @@ func RunOneSMP(class faultinject.Class, seed uint64) (res Result) {
 		return res
 	}
 	worker := u.M.Func("smp_worker")
-	const tasks = 8
+	tasks := 2 * vcpus
 	for t := 0; t < tasks; t++ {
 		if _, err := sys.SpawnSMP(worker, 40+seed%20); err != nil {
 			// Spawning runs un-injected; a failure here is a broken harness,
@@ -316,7 +322,7 @@ func RunOneSMP(class faultinject.Class, seed uint64) (res Result) {
 	v0 := sys.VM.MergedViolations()
 	c0 := sys.VM.Counters
 
-	runs, runErr := sys.RunSMP(SMPVCPUs, 20_000_000)
+	runs, runErr := sys.RunSMP(vcpus, 20_000_000)
 	res.Fired = inj.Fired
 	sys.VM.UninstallChaos()
 
@@ -373,6 +379,14 @@ func Run(classes []faultinject.Class, seedsPer int, workers int) ([]Result, *Sum
 // RunSMP executes the campaign's SMP variant (RunOneSMP per unit).
 func RunSMP(classes []faultinject.Class, seedsPer int, workers int) ([]Result, *Summary, error) {
 	return runWith(RunOneSMP, classes, seedsPer, workers)
+}
+
+// RunSMPAt executes the campaign's SMP variant at an explicit VCPU count
+// (the 16-VCPU scaling gate drives this; the default stays SMPVCPUs).
+func RunSMPAt(classes []faultinject.Class, seedsPer, workers, vcpus int) ([]Result, *Summary, error) {
+	return runWith(func(c faultinject.Class, seed uint64) Result {
+		return RunOneSMPAt(c, seed, vcpus)
+	}, classes, seedsPer, workers)
 }
 
 func runWith(one func(faultinject.Class, uint64) Result, classes []faultinject.Class, seedsPer int, workers int) ([]Result, *Summary, error) {

@@ -71,14 +71,12 @@ func TestOnePerClassSMP(t *testing.T) {
 	}
 }
 
-// TestFullCampaignSMP extends the robustness claim to parallel execution:
-// every fault class times 25 seeds against a 4-VCPU system, zero escapes.
-func TestFullCampaignSMP(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full SMP campaign skipped in -short mode")
-	}
+// fullCampaignSMPAt drives the complete SMP campaign (every fault class
+// times 25 seeds) at one VCPU count and fails on any host escape.
+func fullCampaignSMPAt(t *testing.T, vcpus int) {
+	t.Helper()
 	const seedsPer = 25
-	results, sum, err := RunSMP(faultinject.Classes, seedsPer, runtime.NumCPU())
+	results, sum, err := RunSMPAt(faultinject.Classes, seedsPer, runtime.NumCPU(), vcpus)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,6 +95,41 @@ func TestFullCampaignSMP(t *testing.T) {
 	}
 	if n := sum.Escapes(); n != 0 {
 		t.Errorf("campaign recorded %d host escapes, want 0", n)
+	}
+}
+
+// TestFullCampaignSMP extends the robustness claim to parallel execution:
+// every fault class times 25 seeds against a 4-VCPU system, zero escapes.
+func TestFullCampaignSMP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full SMP campaign skipped in -short mode")
+	}
+	fullCampaignSMPAt(t, SMPVCPUs)
+}
+
+// TestFullCampaignSMP16 repeats the full campaign at 16 VCPUs — the
+// scaling PR's acceptance bar: the sharded write paths and epoch
+// reclamation must hold zero host escapes with 4x the default parallelism.
+func TestFullCampaignSMP16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 16-VCPU SMP campaign skipped in -short mode")
+	}
+	if raceDetectorOn {
+		t.Skip("175 sixteen-goroutine runs exceed the package timeout under -race; make smpsmoke16 covers 16-VCPU races")
+	}
+	fullCampaignSMPAt(t, 16)
+}
+
+// TestSMPSmoke16 is the abbreviated 16-VCPU gate behind `make smpsmoke16`:
+// a 16-VCPU boot plus one seeded run of every fault class, zero escapes.
+// It stays cheap enough to run under the race detector in `make check`.
+func TestSMPSmoke16(t *testing.T) {
+	for _, c := range faultinject.Classes {
+		r := RunOneSMPAt(c, 1, 16)
+		t.Logf("%-10s prog=%-14s fired=%-4d outcome=%-9s %s", c, r.Prog, r.Fired, r.Outcome, r.Detail)
+		if r.Outcome == Escape {
+			t.Errorf("%s: host escape: %s", c, r.Detail)
+		}
 	}
 }
 

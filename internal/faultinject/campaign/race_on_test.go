@@ -1,0 +1,10 @@
+//go:build race
+
+package campaign
+
+// raceDetectorOn reports whether this test binary was built with -race.
+// The full 16-VCPU campaign multiplies 175 sixteen-goroutine runs by the
+// race detector's overhead and blows the package test timeout on small
+// CI hosts, so it skips itself under race; `make smpsmoke16` keeps the
+// abbreviated 16-VCPU campaign under the race detector instead.
+const raceDetectorOn = true

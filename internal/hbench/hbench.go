@@ -369,8 +369,9 @@ var BandwidthOps = []struct {
 	{"pipe (128k)", "bw_pipe", 128 * 1024, 3},
 }
 
-// SMPVCPUs lists the scaling battery's virtual-CPU counts.
-var SMPVCPUs = []int{1, 2, 4, 8}
+// SMPVCPUs lists the scaling battery's virtual-CPU counts, up to the
+// vm.MaxVCPUs ceiling.
+var SMPVCPUs = []int{1, 2, 4, 8, 16, 32}
 
 // SMPPoint is one cell of the SMP scaling battery.
 type SMPPoint struct {

@@ -96,7 +96,19 @@ func (k *K) buildEntry() {
 	k.op(svaops.IntrEnable, c64(1))
 	// Manufactured BIOS range, registered before first use (§4.7).
 	k.op(svaops.PseudoAlloc, c64(0xE0000), c64(0xFFFFF))
+	// Manufactured descriptor-table slab: 16 contiguous 512-byte entries,
+	// declared in one batch (sva.pool.regbatch after safety compilation).
+	k.op(svaops.PseudoAllocBatch, c64(0xD0000), c64(16), c64(512))
 	k.Ledger.Analysis[SubCore]++
+	dtab := b.IntToPtr(c64(0xD0000), k.BP)
+	// Walk descriptor 0 (each batch element is its own object, so indexing
+	// must stay inside one element — crossing into element 1 would trap).
+	dsum := b.Alloca(ir.I64, "dsum")
+	b.Store(c64(0), dsum)
+	b.For("d", c64(0), c64(16), c64(1), func(d ir.Value) {
+		ch := b.Load(b.GEP(dtab, b.Mul(d, c64(32))))
+		b.Store(b.Add(b.Load(dsum), b.ZExt(ch, ir.I64)), dsum)
+	})
 	bios := b.IntToPtr(c64(0xE0000), k.BP)
 	// Scan for an ACPI-style signature (exercises the registered region).
 	sum := b.Alloca(ir.I64, "sum")

@@ -70,17 +70,17 @@ const (
 
 	EPERM     = abi.EPERM
 	EHOSTDOWN = abi.EHOSTDOWN
-	ENOENT = abi.ENOENT
-	ESRCH  = abi.ESRCH
-	EBADF  = abi.EBADF
-	ECHILD = abi.ECHILD
-	EAGAIN = abi.EAGAIN
-	ENOMEM = abi.ENOMEM
-	EFAULT = abi.EFAULT
-	EINVAL = abi.EINVAL
-	ENFILE = abi.ENFILE
-	EMFILE = abi.EMFILE
-	ENOSYS = abi.ENOSYS
+	ENOENT    = abi.ENOENT
+	ESRCH     = abi.ESRCH
+	EBADF     = abi.EBADF
+	ECHILD    = abi.ECHILD
+	EAGAIN    = abi.EAGAIN
+	ENOMEM    = abi.ENOMEM
+	EFAULT    = abi.EFAULT
+	EINVAL    = abi.EINVAL
+	ENFILE    = abi.ENFILE
+	EMFILE    = abi.EMFILE
+	ENOSYS    = abi.ENOSYS
 )
 
 // Guest memory layout constants (agreeing with the VM's map).
@@ -110,7 +110,7 @@ const (
 	StateBufSz = 64 // opaque integer-state handle buffer
 	// MaxCPUs bounds the per-CPU data arrays (current_task, sched_target,
 	// smp_claimed).  It matches vm.MaxVCPUs; slot 0 is the boot processor.
-	MaxCPUs = 8
+	MaxCPUs = 32
 )
 
 // File type constants.

@@ -50,8 +50,10 @@ func bootSMP(t *testing.T, cfg vm.Config, tasks int, iters uint64) (*System, []u
 // count: each spawned task is claimed exactly once, only by a CPU in its
 // static partition, and the worker's getpid loop observes its own pid.
 func TestSMPDispatch(t *testing.T) {
-	for _, n := range []int{1, 2, 4, 8} {
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
 		t.Run(fmt.Sprintf("%dvcpu", n), func(t *testing.T) {
+			// Eight tasks at every count: n > tasks leaves VCPUs idle,
+			// which the dispatch protocol must tolerate.
 			const tasks = 8
 			sys, spawned := bootSMP(t, vm.ConfigSafe, tasks, 10)
 			runs, err := sys.RunSMP(n, 0)

@@ -1,25 +1,28 @@
 // Package metapool implements the run-time side of SVA's safety checking
 // (paper §4.3–§4.5): a metapool is the run-time representation of one
-// points-to graph partition.  It records every registered object in a splay
-// tree and answers the three run-time checks — bounds checks on indexing,
+// points-to graph partition.  It records every registered object and
+// answers the three run-time checks — bounds checks on indexing,
 // load-store checks on non-type-homogeneous pools, and indirect call
 // checks — plus object registration/deregistration (pchk.reg.obj /
 // pchk.drop.obj).
 //
 // Lookup fast path: a two-level shadow page map (pagemap.go) resolves the
-// common cases in O(1) without touching the tree; the splay tree is the
+// common cases in O(1) without touching any tree; the splay trees are the
 // slow path for pages shared by several objects and the oracle the
 // equivalence tests compare against.
 //
-// Concurrency: pools are shared by every virtual CPU of an SMP guest.  The
-// lookup path is read-mostly concurrent — page-map reads are lock-free,
-// per-VCPU statistics shards and last-hit caches are owner-written, and
-// only the slow path and the registration path take the pool's write
-// mutex.  Checks deliberately run unserialized against registration: a
-// guest that races an access against a free gets a racy verdict, exactly
-// as it would on SMP hardware; a guest whose accesses are ordered by its
-// own locks (which the SVM executes with host happens-before edges)
-// always sees the current object set.
+// Concurrency: pools are shared by every virtual CPU of an SMP guest.
+// Page-map reads are lock-free (entries retired through epoch-based
+// reclamation, epoch.go); per-VCPU statistics shards, last-hit caches and
+// pending caches are owner-written.  The write path is sharded by address
+// region (shard.go): registrations are absorbed on per-CPU pending caches
+// (pending.go) or inserted into per-region splay trees under per-shard
+// locks, with a brlock gate arbitrating the rare wide-object operations.
+// Checks deliberately run unserialized against registration: a guest that
+// races an access against a free gets a racy verdict, exactly as it would
+// on SMP hardware; a guest whose accesses are ordered by its own locks
+// (which the SVM executes with host happens-before edges) always sees the
+// current object set.
 package metapool
 
 import (
@@ -116,12 +119,25 @@ type Pool struct {
 	// ElemSize is the object element size for TH pools (0 otherwise).
 	ElemSize uint64
 
-	// mu guards the splay tree, maxObj, and all page-map mutation.  The
-	// lookup fast path never takes it.
-	mu      sync.Mutex
-	objects splay.Tree
+	// obj holds the narrow objects, sharded by address region (shard.go).
+	obj [numShards]objShard
+	// wide is the tree of objects spanning regions or lying outside
+	// page-map coverage; wideCount lets the narrow paths skip wideMu
+	// entirely while no such object exists (the overwhelmingly common
+	// case — every real guest allocation is narrow).
+	wideMu    sync.Mutex
+	wide      splay.Tree
+	wideCount atomic.Uint64
 
-	// pm is the O(1) shadow page map in front of the tree; unmapped
+	// gate arbitrates narrow (shared) against wide (exclusive) write-path
+	// operations; the lookup path never touches it.
+	gate brGate
+
+	// Epoch-based reclamation state for recycled page entries (epoch.go).
+	era        atomic.Uint64
+	ebrR, ebrW [gateSlots]ebrSlot
+
+	// pm is the O(1) shadow page map in front of the trees; unmapped
 	// counts objects it cannot represent (while nonzero, a page-map miss
 	// is not definitive).  epoch is the object-set generation used to
 	// invalidate the per-VCPU last-hit caches.
@@ -129,9 +145,10 @@ type Pool struct {
 	unmapped atomic.Uint64
 	epoch    atomic.Uint64
 	// NoPageMap disables the page-map fast path, forcing every lookup
-	// through the last-hit cache and splay tree (the splay-only
+	// through the last-hit cache and splay trees (the splay-only
 	// configuration the equivalence property test and the lookup
-	// microbenchmark compare against).
+	// microbenchmark compare against).  It also disables the pending
+	// caches, whose invariants lean on page-map bookkeeping.
 	NoPageMap bool
 
 	// cache0 is VCPU 0's last-hit cache (always present, so single-CPU
@@ -140,12 +157,32 @@ type Pool struct {
 	cache0 hitCache
 	caches []*hitCache
 	// NoCache disables the last-hit cache, forcing every slow-path lookup
-	// through the splay tree (used to benchmark the uncached path).
+	// through the splay trees (used to benchmark the uncached path).
 	NoCache bool
 
+	// pend0 is VCPU 0's pending cache (pending.go); pends holds one per
+	// VCPU.  NoPend disables absorption (every registration goes through
+	// the shard trees), used by tests that pin exact tree traffic.
+	pend0  pendCache
+	pends  []*pendCache
+	NoPend bool
+	// pendRegion counts pended entries by address-region bucket across all
+	// caches (pending.go): the lock-free gate that lets lookups call a
+	// page-map miss definitive and lets an absorb skip every other cache.
+	pendRegion [pendBuckets]pendCounter
+
+	// SingleLock serializes every write-path operation on one mutex and
+	// disables absorption — a faithful stand-in for the pre-sharding
+	// write path, kept so the concurrent-registration microbenchmark can
+	// measure the sharded paths against the seed behavior.
+	SingleLock bool
+	slmu       sync.Mutex
+
 	// trace, when set, receives pool lifecycle events (cold paths only:
-	// registration and Reset — never the check hot path).
-	trace *telemetry.Trace
+	// registration conflicts and Reset — never the check hot path).
+	// traceMu serializes emission (Trace.Emit is not thread-safe).
+	trace   *telemetry.Trace
+	traceMu sync.Mutex
 
 	// chaos, when set, is the fault injector consulted on splay lookups
 	// (ClassSplay corrupts a node's metadata in place).  nil in production;
@@ -155,7 +192,7 @@ type Pool struct {
 	chaos *faultinject.Injector
 	// maxObj is the largest object length ever registered: the redundancy
 	// that lets the slow path recognize grow-corruptions of a splay node.
-	maxObj uint64
+	maxObj atomic.Uint64
 	// quarantined is set once check metadata fails validation; from then
 	// on every check fails closed with a MetadataCorruption violation.
 	quarantined atomic.Bool
@@ -164,6 +201,14 @@ type Pool struct {
 	// object of this pool (paper §4.6).  Written during setup only.
 	userLo, userHi uint64
 	hasUser        bool
+
+	// Cold write-path counters with no single owning VCPU, folded into
+	// mergedStats: batched counts sva.pool.regbatch calls, eraReclaimed
+	// counts epoch reclaim passes.  (Absorbed/Spilled are per-VCPU Stats
+	// fields: they are hot enough that a shared atomic would put one
+	// contended RMW on every absorbed registration.)
+	batched      atomic.Uint64
+	eraReclaimed atomic.Uint64
 
 	// Stats is VCPU 0's statistics shard (and the only one before
 	// setVCPUs); shards holds one per VCPU.  Each shard is written only
@@ -174,11 +219,14 @@ type Pool struct {
 
 // NewPool creates a metapool.
 func NewPool(name string, typeHomogeneous, complete bool, elemSize uint64) *Pool {
-	return &Pool{Name: name, TypeHomogeneous: typeHomogeneous, Complete: complete, ElemSize: elemSize}
+	p := &Pool{Name: name, TypeHomogeneous: typeHomogeneous, Complete: complete, ElemSize: elemSize}
+	p.pends = []*pendCache{&p.pend0}
+	p.era.Store(1) // 0 is the "idle" EBR slot value
+	return p
 }
 
-// setVCPUs sizes the per-VCPU statistics shards and last-hit caches.
-// Must be called before the VCPUs start running.
+// setVCPUs sizes the per-VCPU statistics shards, last-hit caches and
+// pending caches.  Must be called before the VCPUs start running.
 func (p *Pool) setVCPUs(n int) {
 	for len(p.shards) < n {
 		if len(p.shards) == 0 {
@@ -188,6 +236,9 @@ func (p *Pool) setVCPUs(n int) {
 		}
 		p.shards = append(p.shards, &Stats{})
 		p.caches = append(p.caches, &hitCache{})
+	}
+	for len(p.pends) < n {
+		p.pends = append(p.pends, &pendCache{})
 	}
 }
 
@@ -207,12 +258,15 @@ func (p *Pool) cache(cpu int) *hitCache {
 	return &p.cache0
 }
 
-// mergedStats sums the per-VCPU shards into one view of the pool.
+// mergedStats sums the per-VCPU shards plus the pool-level write-path
+// counters into one view of the pool.
 func (p *Pool) mergedStats() Stats {
 	s := p.Stats
 	for i := 1; i < len(p.shards); i++ {
 		s.Add(*p.shards[i])
 	}
+	s.Batched += p.batched.Load()
+	s.EpochReclaims += p.eraReclaimed.Load()
 	return s
 }
 
@@ -233,112 +287,175 @@ func (p *Pool) userRange(addr uint64) (splay.Range, bool) {
 	return splay.Range{}, false
 }
 
-// find looks up the object containing addr on behalf of VCPU 0.
+// find looks up the object containing addr on behalf of VCPU 0.  Under
+// SMP this attributes the lookup to VCPU 0's shard regardless of the
+// calling VCPU; see the per-CPU attribution note on Register.
 func (p *Pool) find(addr uint64) (splay.Range, bool) { return p.findCPU(0, addr) }
 
 // findCPU looks up the object containing addr.  The page map answers the
-// common cases in O(1) without locks; everything else goes through cpu's
-// last-hit cache and then the splay tree under the pool mutex.
+// common cases in O(1) without locks (under an epoch pin, so a concurrent
+// drop cannot recycle the entry mid-read); everything else goes through
+// cpu's last-hit cache, the pending caches, and the splay trees.
 func (p *Pool) findCPU(cpu int, addr uint64) (splay.Range, bool) {
 	if p.quarantined.Load() {
 		return splay.Range{}, false // fail closed: metadata is untrusted
 	}
 	if p.chaos == nil && !p.NoPageMap {
 		st := p.stats(cpu)
+		s := p.pinR(cpu)
 		r, v := p.pm.lookup(addr)
+		s.e.Store(0) // r is a copy; the entry is no longer referenced
 		switch v {
-		case pmHit:
-			if r.Contains(addr) {
+		case pmHit, pmMiss:
+			if v == pmHit && r.Contains(addr) {
 				st.PageHits++
 				return r, true
 			}
-			// The page's only object does not contain addr: definitive
-			// miss, unless unmapped objects could also overlap the page.
-			if p.unmapped.Load() == 0 {
+			// The page holds no object containing addr.  With no unmapped
+			// objects that verdict is complete for the trees, so only the
+			// pending caches can still answer — no tree visit either way.
+			if p.unmapped.Load() != 0 {
+				break // unmapped objects: only the slow path knows
+			}
+			if !p.pendMayContain(addr) {
 				st.PageHits++
 				return splay.Range{}, false
 			}
-		case pmMiss:
-			if p.unmapped.Load() == 0 {
-				st.PageHits++
-				return splay.Range{}, false
+			c := p.cache(cpu)
+			if cr, ok := p.cacheLookup(c, st, addr); ok {
+				return cr, true
 			}
+			if pr, ok := p.findInPends(cpu, addr); ok {
+				st.PendHits++
+				p.cacheInsert(c, pr)
+				return pr, true
+			}
+			st.PageHits++ // the page map's verdict stood
+			return splay.Range{}, false
 		}
 	}
 	return p.findSlow(cpu, addr)
 }
 
-// findSlow is the splay-tree path: overflow pages, unmapped objects, the
-// NoPageMap configuration, and every lookup while fault injection is
-// armed.  CacheHits counts lookups the last-hit cache absorbed;
-// CacheMisses counts lookups that reached the tree (PageHits, above,
-// counts lookups the page map answered before either).
+// findSlow is the tree path: overflow pages, unmapped or pended objects,
+// the NoPageMap configuration, and every lookup while fault injection is
+// armed.  CacheHits counts lookups the last-hit cache absorbed; PendHits
+// counts lookups answered by a pending cache; CacheMisses counts lookups
+// that reached a tree (PageHits, above, counts lookups the page map
+// answered before any of them).
 func (p *Pool) findSlow(cpu int, addr uint64) (splay.Range, bool) {
 	st := p.stats(cpu)
 	if p.chaos != nil {
-		p.mu.Lock()
-		if p.chaos.Should(faultinject.ClassSplay) {
-			p.corruptNode()
-		}
-		p.mu.Unlock()
+		p.chaosPrep(st)
 	}
 	c := p.cache(cpu)
-	if !p.NoCache {
-		if e := p.epoch.Load(); c.epoch != e {
-			c.epoch, c.n = e, 0
-		}
-		for i := 0; i < c.n; i++ {
-			if c.r[i].Contains(addr) {
-				st.CacheHits++
-				if i != 0 {
-					c.r[0], c.r[i] = c.r[i], c.r[0]
-				}
-				return c.r[0], true
-			}
-		}
-		st.CacheMisses++
+	if r, ok := p.cacheLookup(c, st, addr); ok {
+		return r, true
 	}
-	p.mu.Lock()
-	r, ok := p.objects.Find(addr)
+	if r, ok := p.findInPends(cpu, addr); ok {
+		st.PendHits++
+		p.cacheInsert(c, r)
+		return r, true
+	}
+	st.CacheMisses++ // this lookup pays for a tree descent
+	sh := &p.obj[shardIndex(addr)]
+	sh.mu.Lock()
+	r, ok := sh.tree.Find(addr)
 	bad := ok && !p.rangeValid(r)
 	if bad {
 		// The checker's own metadata is damaged.  Fail closed: quarantine
-		// the pool rather than answer checks from corrupt state.
-		p.quarantineLocked(r)
+		// the pool rather than answer checks from corrupt state.  The
+		// validity filter runs under the same shard lock as the find, so
+		// a concurrent Reset (which clears trees before zeroing maxObj)
+		// can never induce a spurious quarantine.
+		p.quarantine(r)
 	}
-	p.mu.Unlock()
+	sh.mu.Unlock()
 	if bad {
 		return splay.Range{}, false
 	}
-	if ok && !p.NoCache {
-		// Move-to-front insert; the oldest entry falls off the end.
-		c.r[1] = c.r[0]
-		c.r[0] = r
-		if c.n < len(c.r) {
-			c.n++
+	if !ok && p.wideCount.Load() != 0 {
+		p.wideMu.Lock()
+		r, ok = p.wide.Find(addr)
+		bad = ok && !p.rangeValid(r)
+		if bad {
+			p.quarantine(r)
 		}
+		p.wideMu.Unlock()
+		if bad {
+			return splay.Range{}, false
+		}
+	}
+	if ok {
+		p.cacheInsert(c, r)
 	}
 	return r, ok
 }
 
-// rangeValid is the plausibility filter on ranges coming back from the
+// cacheLookup consults cpu's last-hit cache (epoch-checked, move-to-front),
+// counting a CacheHit on success.  Misses are not counted here: the lookup
+// counters are disjoint — each lookup lands in exactly one of PageHits,
+// CacheHits, PendHits, or CacheMisses (the tree-path count) — so the
+// caller charges whichever structure finally answers.  A no-op returning
+// false when the cache is disabled.
+func (p *Pool) cacheLookup(c *hitCache, st *Stats, addr uint64) (splay.Range, bool) {
+	if p.NoCache {
+		return splay.Range{}, false
+	}
+	if e := p.epoch.Load(); c.epoch != e {
+		c.epoch, c.n = e, 0
+	}
+	for i := 0; i < c.n; i++ {
+		if c.r[i].Contains(addr) {
+			st.CacheHits++
+			if i != 0 {
+				c.r[0], c.r[i] = c.r[i], c.r[0]
+			}
+			return c.r[0], true
+		}
+	}
+	return splay.Range{}, false
+}
+
+// cacheInsert move-to-front inserts r into c; the oldest entry falls off.
+func (p *Pool) cacheInsert(c *hitCache, r splay.Range) {
+	if p.NoCache {
+		return
+	}
+	c.r[1] = c.r[0]
+	c.r[0] = r
+	if c.n < len(c.r) {
+		c.n++
+	}
+}
+
+// rangeValid is the plausibility filter on ranges coming back from a
 // splay tree: a zero or wrapping length, or a length larger than any object
 // ever registered here, cannot be an intact registration.
 func (p *Pool) rangeValid(r splay.Range) bool {
-	return r.Len != 0 && r.Start+r.Len > r.Start && r.Len <= p.maxObj
+	return r.Len != 0 && r.Start+r.Len > r.Start && r.Len <= p.maxObj.Load()
 }
 
-// quarantineLocked marks the pool's metadata as untrusted.  Idempotent;
-// caller holds p.mu.
-func (p *Pool) quarantineLocked(r splay.Range) {
+// quarantine marks the pool's metadata as untrusted.  Idempotent; callable
+// from any path (the Swap guarantees one winner emits the trace event).
+func (p *Pool) quarantine(r splay.Range) {
 	if p.quarantined.Swap(true) {
 		return
 	}
 	p.invalidate()
-	if p.trace != nil {
-		p.trace.Emit(telemetry.EvQuarantine, p.Name, []uint64{r.Start, r.Len},
-			"splay metadata failed validation")
+	p.emitTrace(telemetry.EvQuarantine, []uint64{r.Start, r.Len},
+		"splay metadata failed validation")
+}
+
+// emitTrace serializes trace emission (Trace.Emit is not thread-safe and
+// pool events can originate on any VCPU).  Cold paths only.
+func (p *Pool) emitTrace(kind telemetry.EventKind, args []uint64, msg string) {
+	if p.trace == nil {
+		return
 	}
+	p.traceMu.Lock()
+	p.trace.Emit(kind, p.Name, args, msg)
+	p.traceMu.Unlock()
 }
 
 // corruptionErr is the fail-closed answer every check gives once the pool
@@ -349,19 +466,46 @@ func (p *Pool) corruptionErr(st *Stats, addr uint64) error {
 		Msg: "pool quarantined: check metadata corrupt, failing closed"}
 }
 
+// chaosPrep runs before every lookup while fault injection is armed: it
+// drains the pending caches (the injector must see — and may corrupt —
+// the complete object set) and rolls the injection dice.  Exclusive gate:
+// chaos runs are cold by construction.
+func (p *Pool) chaosPrep(st *Stats) {
+	p.gate.lockAll()
+	p.drainPends(st)
+	if p.chaos.Should(faultinject.ClassSplay) {
+		p.corruptNode()
+	}
+	p.gate.unlockAll()
+}
+
 // corruptNode is the ClassSplay injection payload: flip metadata in one
 // splay node in place, modeling a hardware fault striking the checker's own
 // state.  All three modes are fail-closed under rangeValid / lookup-miss
-// semantics — the point of the campaign is proving that.  Caller holds
-// p.mu.
+// semantics — the point of the campaign is proving that.  Caller holds the
+// gate exclusively; the victim is picked uniformly across every shard tree
+// plus the wide tree (concurrent slow-path readers may reshape a tree but
+// cannot change membership, so the in-order rank is stable).
 func (p *Pool) corruptNode() {
-	n := p.objects.Len()
-	if n == 0 {
+	var lens [numShards + 1]int
+	total := 0
+	for i := range p.obj {
+		sh := &p.obj[i]
+		sh.mu.Lock()
+		lens[i] = sh.tree.Len()
+		sh.mu.Unlock()
+		total += lens[i]
+	}
+	p.wideMu.Lock()
+	lens[numShards] = p.wide.Len()
+	p.wideMu.Unlock()
+	total += lens[numShards]
+	if total == 0 {
 		return
 	}
-	k := int(p.chaos.Rand(uint64(n)))
+	k := int(p.chaos.Rand(uint64(total)))
 	mode := p.chaos.Rand(3)
-	old, ok := p.objects.MutateNth(k, func(r *splay.Range) {
+	payload := func(r *splay.Range) {
 		switch mode {
 		case 0:
 			r.Len = 0 // shrink to nothing: lookups miss, checks fail closed
@@ -370,9 +514,30 @@ func (p *Pool) corruptNode() {
 		case 2:
 			r.Start ^= 1 << (33 + p.chaos.Rand(20)) // teleport: lookups miss
 		}
-	})
+	}
+	var old splay.Range
+	var ok bool
+	hit := -1
+	for i := range p.obj {
+		if k < lens[i] {
+			sh := &p.obj[i]
+			sh.mu.Lock()
+			old, ok = sh.tree.MutateNth(k, payload)
+			sh.mu.Unlock()
+			hit = i
+			break
+		}
+		k -= lens[i]
+	}
+	if hit < 0 {
+		p.wideMu.Lock()
+		old, ok = p.wide.MutateNth(k, payload)
+		p.wideMu.Unlock()
+		hit = numShards
+	}
 	if ok {
-		p.chaos.Note("splay.find", "pool %s node %d was %v, mode %d", p.Name, k, old, mode)
+		p.chaos.Note("splay.find", "pool %s shard %d node %d was %v, mode %d",
+			p.Name, hit, k, old, mode)
 		// Drop cached copies of the pre-corruption range: the fault model
 		// is a damaged node, not a damaged node plus a helpful cache.
 		p.invalidate()
@@ -380,10 +545,32 @@ func (p *Pool) corruptNode() {
 }
 
 // invalidate bumps the object-set epoch, emptying every VCPU's last-hit
-// cache at its next lookup.  Called on every mutation of the object set
-// (Register/RegisterStack/Drop/Reset): a cached range may have just been
-// removed, so serving it would be a stale answer.
+// cache at its next lookup.  Called AFTER every removal from the object
+// set (Drop, stale-stack eviction, node corruption, Reset) — a cached
+// range may be the one just removed.  Registrations never invalidate: the
+// caches hold only positive hits, and adding an object cannot stale a
+// positive.
+//
+// The bump must follow the removal in program order.  A slow-path reader
+// locks only the owning shard: it loads the epoch, finds the object, and
+// caches it after unlocking.  If it found the object, its tree read
+// preceded the removal, so its epoch load preceded the post-removal bump
+// and its cache entry carries the pre-bump epoch — dead on arrival.
+// Bumping BEFORE the removal leaves a window where a racing reader caches
+// the doomed object under the new epoch and then serves it indefinitely,
+// turning one racy lookup into wrong verdicts for later accesses the
+// guest properly ordered after the free.
 func (p *Pool) invalidate() { p.epoch.Add(1) }
+
+// growMaxObj raises the largest-ever-object watermark to at least n.
+func (p *Pool) growMaxObj(n uint64) {
+	for {
+		cur := p.maxObj.Load()
+		if n <= cur || p.maxObj.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
 
 // Object tags.
 const (
@@ -400,108 +587,313 @@ func (p *Pool) RegisterStack(addr, size uint64) error {
 // registration — left behind when a task died without unwinding its kernel
 // frames — is evicted first: its frame is gone, so the registration cannot
 // correspond to a live object.  Conflicts with non-stack objects are real
-// violations.
+// violations.  Stack objects never use the pending caches: the eviction
+// protocol wants one coherent view of prior frames.
 func (p *Pool) RegisterStackCPU(cpu int, addr, size uint64) error {
 	if size == 0 {
 		return nil
 	}
-	st := p.stats(cpu)
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.invalidate()
-	if size > p.maxObj {
-		p.maxObj = size
+	if p.SingleLock {
+		p.slmu.Lock()
+		defer p.slmu.Unlock()
 	}
-	for {
-		rg := splay.Range{Start: addr, Len: size, Tag: TagStack}
-		if p.objects.Insert(rg) {
-			p.mapInsert(rg)
-			st.Registered++
-			return nil
-		}
-		old, ok := p.objects.FindOverlap(addr, size)
-		if !ok || old.Tag != TagStack {
-			st.Violations++
-			return &Violation{Kind: RegistrationConflict, Pool: p.Name, Addr: addr,
-				Msg: fmt.Sprintf("stack object [%#x,%#x) overlaps a live object", addr, addr+size)}
-		}
-		p.objects.Remove(old.Start)
-		p.mapRemove(old)
-	}
+	return p.registerSlow(cpu, splay.Range{Start: addr, Len: size, Tag: TagStack}, true)
 }
 
 // Register records a new object [addr, addr+size) on behalf of VCPU 0.
+//
+// Per-CPU attribution note: this legacy wrapper (and Drop, find,
+// NoteElidedBounds, NoteElidedLS) charges VCPU 0's statistics shard no
+// matter which host thread calls it.  The SMP kernel paths all use the
+// *CPU variants; callers without a VCPU identity are by definition
+// single-threaded setup/teardown code, so the skew is confined to shard 0
+// and merged snapshots (mergedStats) are exact either way — the
+// TestPerCPUStatsMerge regression pins that.
 func (p *Pool) Register(addr, size uint64, tag uint32) error {
 	return p.RegisterCPU(0, addr, size, tag)
 }
 
 // RegisterCPU records a new object [addr, addr+size) (pchk.reg.obj).
+// Fast path: absorb into cpu's pending cache (pending.go); otherwise the
+// sharded classic path.
 func (p *Pool) RegisterCPU(cpu int, addr, size uint64, tag uint32) error {
 	if size == 0 {
 		return nil // zero-sized allocations register nothing
 	}
-	st := p.stats(cpu)
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.invalidate()
-	if size > p.maxObj {
-		p.maxObj = size
+	if p.SingleLock {
+		p.slmu.Lock()
+		defer p.slmu.Unlock()
 	}
 	rg := splay.Range{Start: addr, Len: size, Tag: tag}
-	if !p.objects.Insert(rg) {
-		st.Violations++
-		return &Violation{Kind: RegistrationConflict, Pool: p.Name, Addr: addr,
-			Msg: fmt.Sprintf("object [%#x,%#x) overlaps a live object", addr, addr+size)}
+	if p.tryAbsorb(cpu, rg) {
+		return nil
 	}
-	p.mapInsert(rg)
+	return p.registerSlow(cpu, rg, false)
+}
+
+// registerSlow is the shared-structure registration path.  stack selects
+// the stale-stack eviction protocol (RegisterStackCPU).
+func (p *Pool) registerSlow(cpu int, rg splay.Range, stack bool) error {
+	st := p.stats(cpu)
+	p.growMaxObj(rg.Len)
+	if narrow(rg) {
+		g := p.gate.rlock(cpu)
+		err, retryWide := p.registerNarrow(st, rg, stack)
+		p.gate.runlock(g)
+		if !retryWide {
+			return err
+		}
+		// The conflicting object is a stale wide stack frame: evicting it
+		// needs the exclusive path.
+	}
+	p.gate.lockAll()
+	err := p.registerWide(st, rg, stack)
+	p.gate.unlockAll()
+	return err
+}
+
+// registerNarrow inserts a narrow object under the shared gate: one wide
+// overlap probe (skipped while no wide object exists), a flush of
+// overlapping pended entries, then the owning shard's tree.  Returns
+// retryWide when a stale wide stack frame must be evicted first.
+func (p *Pool) registerNarrow(st *Stats, rg splay.Range, stack bool) (err error, retryWide bool) {
+	if p.wideCount.Load() != 0 {
+		p.wideMu.Lock()
+		over := p.wide.OverlapRanges(rg.Start, rg.Len, 1)
+		p.wideMu.Unlock()
+		if len(over) > 0 {
+			if stack && over[0].Tag == TagStack {
+				return nil, true
+			}
+			st.Violations++
+			return p.conflictErr(rg, stack), false
+		}
+	}
+	p.flushOverlapping(st, rg.Start, rg.End())
+	sh := &p.obj[shardIndex(rg.Start)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for {
+		if sh.tree.Insert(rg) {
+			p.pmInsertShard(sh, rg)
+			st.Registered++
+			return nil, false
+		}
+		if stack {
+			if old, ok := sh.tree.FindOverlap(rg.Start, rg.Len); ok && old.Tag == TagStack {
+				sh.tree.Remove(old.Start)
+				p.pmRemoveShard(sh, old)
+				p.invalidate() // after the removal: the evicted frame may be cached
+				continue
+			}
+		}
+		st.Violations++
+		return p.conflictErr(rg, stack), false
+	}
+}
+
+// registerWide inserts an object under the exclusive gate: wide objects,
+// and narrow registrations that must evict a stale wide stack frame.
+// Pending caches drain first so conflict detection sees everything.
+func (p *Pool) registerWide(st *Stats, rg splay.Range, stack bool) error {
+	p.drainPends(st)
+	if rg.Start+rg.Len < rg.Start {
+		// Wraparound: the tree would reject it; classify as the
+		// registration conflict the seed path reported.
+		st.Violations++
+		return p.conflictErr(rg, stack)
+	}
+	for {
+		old, ok := p.anyOverlapLocked(rg)
+		if !ok {
+			break
+		}
+		if stack && old.Tag == TagStack {
+			p.removeObjectLocked(old)
+			p.invalidate() // after the removal: the evicted frame may be cached
+			continue
+		}
+		st.Violations++
+		return p.conflictErr(rg, stack)
+	}
+	if narrow(rg) {
+		sh := &p.obj[shardIndex(rg.Start)]
+		sh.mu.Lock()
+		sh.tree.Insert(rg)
+		p.pmInsertShard(sh, rg)
+		sh.mu.Unlock()
+	} else {
+		p.wideMu.Lock()
+		p.wide.Insert(rg)
+		p.wideMu.Unlock()
+		p.wideCount.Add(1)
+		p.mapInsertWide(rg)
+	}
 	st.Registered++
 	return nil
 }
 
-// mapInsert publishes a freshly inserted range in the page map (or counts
-// it unmapped).  Caller holds p.mu.
-func (p *Pool) mapInsert(r splay.Range) {
-	if mappable(r) {
-		p.pm.insert(r)
-	} else {
-		p.unmapped.Add(1)
+func (p *Pool) conflictErr(rg splay.Range, stack bool) error {
+	kind := "object"
+	if stack {
+		kind = "stack object"
 	}
+	return &Violation{Kind: RegistrationConflict, Pool: p.Name, Addr: rg.Start,
+		Msg: fmt.Sprintf("%s [%#x,%#x) overlaps a live object", kind, rg.Start, rg.End())}
 }
 
-// mapRemove invalidates a just-removed range's page nodes.  Caller holds
-// p.mu; the tree no longer contains r.
-func (p *Pool) mapRemove(r splay.Range) {
-	if mappable(r) {
-		p.pm.remove(r, &p.objects)
-	} else {
-		p.unmapped.Add(^uint64(0))
-	}
+// maxBatch bounds host work per sva.pool.regbatch call (arguments are
+// guest-controlled).
+const maxBatch = 4096
+
+// RegisterBatch records n objects of esize bytes starting at base
+// (VCPU 0).
+func (p *Pool) RegisterBatch(base, n, esize uint64) error {
+	return p.RegisterBatchCPU(0, base, n, esize)
 }
 
-// Drop removes the object starting at addr on behalf of VCPU 0.
+// RegisterBatchCPU records n contiguous objects of esize bytes starting at
+// base — the slab-refill shape (sva.pool.regbatch).  Semantically
+// identical to n RegisterCPU calls; the fast path registers the whole
+// batch under a single shard-lock hold.  On a conflict at element k,
+// elements before k stay registered and the conflict is returned, exactly
+// as the per-object sequence would behave.
+func (p *Pool) RegisterBatchCPU(cpu int, base, n, esize uint64) error {
+	if n == 0 || esize == 0 {
+		return nil
+	}
+	st := p.stats(cpu)
+	if n > maxBatch {
+		st.Violations++
+		return &Violation{Kind: RegistrationConflict, Pool: p.Name, Addr: base,
+			Msg: fmt.Sprintf("batch of %d objects exceeds the %d-object bound", n, maxBatch)}
+	}
+	if p.SingleLock {
+		p.slmu.Lock()
+		defer p.slmu.Unlock()
+	}
+	p.batched.Add(1)
+	total := n * esize
+	whole := splay.Range{Start: base, Len: total}
+	if total/esize == n && narrow(whole) && p.chaos == nil {
+		p.growMaxObj(esize)
+		g := p.gate.rlock(cpu)
+		defer p.gate.runlock(g)
+		if p.wideCount.Load() == 0 {
+			p.flushOverlapping(st, whole.Start, whole.End())
+			sh := &p.obj[shardIndex(base)]
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			for i := uint64(0); i < n; i++ {
+				rg := splay.Range{Start: base + i*esize, Len: esize, Tag: TagHeap}
+				if !sh.tree.Insert(rg) {
+					st.Violations++
+					return p.conflictErr(rg, false)
+				}
+				p.pmInsertShard(sh, rg)
+				st.Registered++
+			}
+			return nil
+		}
+	}
+	// Slow shape (wide batch, overflowing arithmetic, wide objects live, or
+	// chaos armed): element-at-a-time through the classic paths.
+	for i := uint64(0); i < n; i++ {
+		rg := splay.Range{Start: base + i*esize, Len: esize, Tag: TagHeap}
+		if p.tryAbsorb(cpu, rg) {
+			continue
+		}
+		if err := p.registerSlow(cpu, rg, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Drop removes the object starting at addr on behalf of VCPU 0 (see the
+// per-CPU attribution note on Register).
 func (p *Pool) Drop(addr uint64) error { return p.DropCPU(0, addr) }
 
 // DropCPU removes the object starting at addr (pchk.drop.obj).  Dropping a
 // pointer that is not the start of a live object is an illegal free
-// (guarantee T5: no double or illegal frees).
+// (guarantee T5: no double or illegal frees).  Fast path: the object is
+// still in a pending cache, or narrow in its region shard; only when wide
+// objects exist does a miss escalate to the exclusive gate.
 func (p *Pool) DropCPU(cpu int, addr uint64) error {
 	st := p.stats(cpu)
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.invalidate()
-	if r, ok := p.objects.FindStart(addr); ok {
-		p.objects.Remove(r.Start)
-		p.mapRemove(r)
+	if p.SingleLock {
+		p.slmu.Lock()
+		defer p.slmu.Unlock()
+	}
+	g := p.gate.rlock(cpu)
+	if dropped, observed := p.dropFromPends(cpu, addr); dropped {
+		p.gate.runlock(g)
+		if observed {
+			p.invalidate()
+		}
 		st.Dropped++
 		return nil
 	}
-	st.Violations++
-	if r, ok := p.objects.Find(addr); ok {
+	sh := &p.obj[shardIndex(addr)]
+	sh.mu.Lock()
+	if r, ok := sh.tree.FindStart(addr); ok {
+		sh.tree.Remove(r.Start)
+		p.pmRemoveShard(sh, r)
+		sh.mu.Unlock()
+		p.gate.runlock(g)
+		p.invalidate()
+		st.Dropped++
+		return nil
+	}
+	sh.mu.Unlock()
+	p.gate.runlock(g)
+	if p.wideCount.Load() != 0 {
+		p.gate.lockAll()
+		p.wideMu.Lock()
+		r, ok := p.wide.FindStart(addr)
+		if ok {
+			p.wide.Remove(r.Start)
+		}
+		p.wideMu.Unlock()
+		if ok {
+			p.wideCount.Add(^uint64(0))
+			p.mapRemoveWide(r)
+			p.invalidate()
+			p.gate.unlockAll()
+			st.Dropped++
+			return nil
+		}
+		p.gate.unlockAll()
+	}
+	st.Violations++ // nothing was removed: no invalidation needed
+	if r, ok := p.lookupAny(cpu, addr); ok {
 		return &Violation{Kind: IllegalFree, Pool: p.Name, Addr: addr,
 			Msg: fmt.Sprintf("free of interior pointer into %v", r)}
 	}
 	return &Violation{Kind: IllegalFree, Pool: p.Name, Addr: addr,
 		Msg: "free of address with no live object (double free?)"}
+}
+
+// lookupAny finds the object containing addr across pends, the owning
+// shard and the wide tree, without page-map help (violation-flavor
+// classification on the drop path).
+func (p *Pool) lookupAny(cpu int, addr uint64) (splay.Range, bool) {
+	if r, ok := p.findInPends(cpu, addr); ok {
+		return r, true
+	}
+	sh := &p.obj[shardIndex(addr)]
+	sh.mu.Lock()
+	r, ok := sh.tree.Find(addr)
+	sh.mu.Unlock()
+	if ok {
+		return r, true
+	}
+	if p.wideCount.Load() != 0 {
+		p.wideMu.Lock()
+		r, ok = p.wide.Find(addr)
+		p.wideMu.Unlock()
+	}
+	return r, ok
 }
 
 // GetBounds returns the bounds of the object containing addr (VCPU 0).
@@ -605,13 +997,15 @@ func (p *Pool) LoadStoreCheckCPU(cpu int, addr uint64) error {
 }
 
 // NoteElidedBounds records a bounds check the compiler proved redundant
-// at this site (the check itself does not run).
+// at this site (the check itself does not run).  Charges VCPU 0's shard;
+// see the attribution note on Register.
 func (p *Pool) NoteElidedBounds() { p.Stats.ElidedBounds++ }
 
 // NoteElidedBoundsCPU is NoteElidedBounds charged to cpu's shard.
 func (p *Pool) NoteElidedBoundsCPU(cpu int) { p.stats(cpu).ElidedBounds++ }
 
-// NoteElidedLS records an elided load-store check.
+// NoteElidedLS records an elided load-store check (VCPU 0's shard; see
+// the attribution note on Register).
 func (p *Pool) NoteElidedLS() { p.Stats.ElidedLS++ }
 
 // NoteElidedLSCPU is NoteElidedLS charged to cpu's shard.
@@ -626,11 +1020,26 @@ func (p *Pool) Contains(addr uint64) bool {
 	return ok
 }
 
-// NumObjects returns the live object count.
+// NumObjects returns the live object count (pended objects included: they
+// are registered and checkable, merely not yet spilled).
 func (p *Pool) NumObjects() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.objects.Len()
+	n := 0
+	for i := range p.pends {
+		c := p.pends[i]
+		c.mu.Lock()
+		n += c.n
+		c.mu.Unlock()
+	}
+	for i := range p.obj {
+		sh := &p.obj[i]
+		sh.mu.Lock()
+		n += sh.tree.Len()
+		sh.mu.Unlock()
+	}
+	p.wideMu.Lock()
+	n += p.wide.Len()
+	p.wideMu.Unlock()
+	return n
 }
 
 // Reset drops all objects and VCPU 0's statistics (pool destruction).
@@ -643,18 +1052,53 @@ func (p *Pool) NumObjects() int {
 // same VA) must not launder the verdict — fail-closed state only clears
 // when the whole domain is rebuilt from the pristine image and the
 // supervisor re-applies its ledger (Registry.ApplyQuarantine).
+//
+// Ordering: trees clear under their shard locks before maxObj zeroes, so
+// a concurrent slow-path reader — whose validity filter runs under the
+// same shard lock as its find — can never pair a live range with a zeroed
+// watermark (no spurious quarantine from a reset race).
 func (p *Pool) Reset() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.trace != nil {
-		p.trace.Emit(telemetry.EvPoolReset, p.Name, []uint64{uint64(p.objects.Len())}, "")
+	if p.SingleLock {
+		p.slmu.Lock()
+		defer p.slmu.Unlock()
 	}
-	p.invalidate()
-	p.objects.Clear()
+	p.gate.lockAll()
+	defer p.gate.unlockAll()
+	p.emitTrace(telemetry.EvPoolReset, []uint64{uint64(p.NumObjects())}, "")
+	for i := range p.pends {
+		c := p.pends[i]
+		c.mu.Lock()
+		c.n = 0
+		c.hi.Store(0)
+		c.lo.Store(0)
+		c.mu.Unlock()
+	}
+	for i := range p.pendRegion {
+		p.pendRegion[i].c.Store(0)
+	}
+	for i := range p.obj {
+		sh := &p.obj[i]
+		sh.mu.Lock()
+		sh.tree.ClearRecycle()
+		// Retired and recycled page entries go to the GC wholesale: a
+		// fresh pool must not inherit entries a straggling reader may
+		// still pin.
+		sh.limbo, sh.limboN, sh.free = nil, 0, nil
+		sh.mu.Unlock()
+	}
+	p.wideMu.Lock()
+	p.wide.ClearRecycle()
+	p.wideMu.Unlock()
+	p.wideCount.Store(0)
 	p.pm.clear()
 	p.unmapped.Store(0)
+	// Invalidate after the structures are empty — a reader that cached an
+	// object mid-reset did so under the pre-bump epoch (see invalidate).
+	p.invalidate()
 	p.Stats = Stats{}
-	p.maxObj = 0
+	p.batched.Store(0)
+	p.eraReclaimed.Store(0)
+	p.maxObj.Store(0)
 }
 
 // Quarantine forces the pool into the fail-closed state (every check
@@ -663,9 +1107,40 @@ func (p *Pool) Reset() {
 // validation failing during a check.
 func (p *Pool) Quarantine() { p.quarantined.Store(true) }
 
-// SplayLookups returns how many lookups reached the pool's splay tree
-// (page-map and cache hits never do).
-func (p *Pool) SplayLookups() uint64 { return p.objects.Lookups }
+// SplayLookups returns how many lookups reached the pool's splay trees
+// (page-map, last-hit-cache and pending-cache hits never do).
+func (p *Pool) SplayLookups() uint64 {
+	var n uint64
+	for i := range p.obj {
+		sh := &p.obj[i]
+		sh.mu.Lock()
+		n += sh.tree.Lookups
+		sh.mu.Unlock()
+	}
+	p.wideMu.Lock()
+	n += p.wide.Lookups
+	p.wideMu.Unlock()
+	return n
+}
+
+// splayDepth reads the deepest tree height across shards (snapshot gauge).
+func (p *Pool) splayDepth() int {
+	max := 0
+	for i := range p.obj {
+		sh := &p.obj[i]
+		sh.mu.Lock()
+		if d := sh.tree.Depth(); d > max {
+			max = d
+		}
+		sh.mu.Unlock()
+	}
+	p.wideMu.Lock()
+	if d := p.wide.Depth(); d > max {
+		max = d
+	}
+	p.wideMu.Unlock()
+	return max
+}
 
 // Registry is the VM's table of run-time metapools plus the indirect-call
 // target sets computed by the compiler's call-graph analysis.
@@ -915,13 +1390,6 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
-// splayDepth reads the tree height under the pool mutex (snapshot gauge).
-func (p *Pool) splayDepth() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.objects.Depth()
-}
-
 // Attach registers the metapool registry as a telemetry source: every
 // unified snapshot carries the full per-pool check statistics.
 func (r *Registry) Attach(reg *telemetry.Registry) {
@@ -942,17 +1410,17 @@ func (r *Registry) SetTrace(t *telemetry.Trace) {
 // SetChaos arms (or, with nil, disarms) the ClassSplay fault-injection seam
 // on every current and future pool.  With no injector the hot-path cost is
 // one nil compare per lookup.  While armed, lookups bypass the page map
-// (in-place node corruption diverges the tree from the map); disarming
-// rebuilds each pool's page map from its tree so the fast path resumes
+// (in-place node corruption diverges the trees from the map); disarming
+// rebuilds each pool's page map from its trees so the fast path resumes
 // from consistent state.
 func (r *Registry) SetChaos(inj *faultinject.Injector) {
 	r.chaos = inj
 	for _, p := range r.Pools {
-		p.mu.Lock()
+		p.gate.lockAll()
 		p.chaos = inj
 		if inj == nil {
-			p.unmapped.Store(p.pm.rebuild(&p.objects))
+			p.rebuildPM()
 		}
-		p.mu.Unlock()
+		p.gate.unlockAll()
 	}
 }

@@ -278,7 +278,9 @@ func TestLastHitCache(t *testing.T) {
 		t.Errorf("splay lookups = %d, want 1 (cache absorbs repeats)", got)
 	}
 
-	// Two hot objects fit the 2-entry cache.
+	// Two hot objects fit the 2-entry cache.  Registration does not
+	// invalidate the caches (it cannot stale a cached positive), so the
+	// 0x1000 entry survives the Register and only 0x2000 misses once.
 	if err := p.Register(0x2000, 64, TagHeap); err != nil {
 		t.Fatal(err)
 	}
@@ -291,11 +293,11 @@ func TestLastHitCache(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if hits := p.Stats.CacheHits - h0; hits != 8 {
-		t.Errorf("alternating hits = %d, want 8", hits)
+	if hits := p.Stats.CacheHits - h0; hits != 9 {
+		t.Errorf("alternating hits = %d, want 9", hits)
 	}
-	if misses := p.Stats.CacheMisses - m0; misses != 2 {
-		t.Errorf("alternating misses = %d, want 2", misses)
+	if misses := p.Stats.CacheMisses - m0; misses != 1 {
+		t.Errorf("alternating misses = %d, want 1", misses)
 	}
 }
 

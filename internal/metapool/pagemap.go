@@ -1,5 +1,5 @@
 // The two-level shadow page map: the O(1) fast path in front of every
-// metapool's splay tree.
+// metapool's splay trees.
 //
 // The paper (§7.1.3) identifies the splay-tree object lookup behind each
 // boundscheck/lscheck as the dominant run-time cost of SVA, and our own
@@ -10,16 +10,21 @@
 // The page map shadows the object set at page granularity: for each
 // 4 KiB guest page it records whether zero, one, or more than one
 // registered object overlaps the page.  The common cases resolve without
-// touching the tree at all:
+// touching any tree:
 //
 //   - no entry        → no object overlaps the page: a definitive miss
 //   - a single entry  → the only object on the page; Contains() decides
-//   - overflow entry  → several objects share the page: defer to the tree
+//   - overflow entry  → several objects share the page: defer to the trees
 //
-// Lookups are lock-free: page nodes are immutable once published and
-// reached through two atomic pointer loads.  All mutation happens on the
-// registration path (pchk.reg.obj / pchk.drop.obj / pool reset) under the
-// pool's write mutex, which also owns the splay tree.
+// Lookups are lock-free: page entries are immutable once published and
+// reached through two atomic pointer loads; readers hold an epoch pin
+// (epoch.go) across the dereference so recycled entries cannot be rewritten
+// under them.  Mutation ownership is split by object shape: a narrow
+// object's pages all live in one leaf, owned by the object's region shard
+// (mutated under that shard's mutex); wide-object mutation and whole-map
+// operations run under the exclusive registration gate, which excludes
+// every shard mutator.  A leaf therefore always has exactly one live
+// writer.
 //
 // Objects the map cannot represent — spanning more pages than
 // maxObjPages, or lying above the 4 GiB coverage window — are counted in
@@ -57,23 +62,30 @@ type pmVerdict uint8
 
 const (
 	// pmMiss: no registered object overlaps the page.  Definitive only
-	// while Pool.unmapped is zero.
+	// while Pool.unmapped is zero and no pending cache covers the address.
 	pmMiss pmVerdict = iota
 	// pmHit: exactly one object overlaps the page (returned alongside).
 	pmHit
 	// pmSlow: several objects share the page, or the address lies outside
-	// the coverage window — defer to the splay tree.
+	// the coverage window — defer to the splay trees.
 	pmSlow
 )
 
-// pageEntry is one published page node.  Entries are immutable after
-// publication; invalidation replaces the pointer, never the pointee.
+// pageEntry is one published page node.  Entries are immutable while
+// published; invalidation replaces the pointer, never the pointee.  next
+// and tag belong to the epoch-based reclamation machinery (epoch.go):
+// after unpublication an entry sits on its shard's limbo list (chained
+// through next, stamped with the retirement era in tag) until no reader
+// pin can reach it, then recycles through the shard's free list.
 type pageEntry struct {
 	r        splay.Range
 	overflow bool
+	next     *pageEntry
+	tag      uint64
 }
 
-// overflowEntry is the shared sentinel for pages with >1 object.
+// overflowEntry is the shared sentinel for pages with >1 object.  It is
+// never retired or recycled.
 var overflowEntry = &pageEntry{overflow: true}
 
 type pageLeaf [1 << l2Bits]atomic.Pointer[pageEntry]
@@ -85,7 +97,9 @@ type pageMap struct {
 }
 
 // mappable reports whether the page map can represent r (see maxObjPages
-// and pmCoverage above).
+// and pmCoverage above).  narrow(r) implies mappable(r): a narrow object
+// fits one 4 MiB region, which holds exactly maxObjPages pages and ends at
+// or below pmCoverage.
 func mappable(r splay.Range) bool {
 	if r.Len == 0 || r.End() < r.Start || r.End() > pmCoverage {
 		return false
@@ -94,7 +108,9 @@ func mappable(r splay.Range) bool {
 }
 
 // lookup resolves addr against the page map.  It is the lock-free O(1)
-// fast path: two atomic loads, no tree access, no mutation.
+// fast path: two atomic loads, no tree access, no mutation.  Callers that
+// dereference the returned Range of a recycled entry do so inside an epoch
+// pin (findCPU / pmClean).
 func (m *pageMap) lookup(addr uint64) (splay.Range, pmVerdict) {
 	if addr >= pmCoverage {
 		return splay.Range{}, pmSlow
@@ -114,7 +130,8 @@ func (m *pageMap) lookup(addr uint64) (splay.Range, pmVerdict) {
 }
 
 // leaf returns the leaf covering page pg, materializing it if needed.
-// Called only under the pool mutex (single writer), so a plain
+// A directory slot has exactly one live writer — the shard owning that
+// region, or the holder of the exclusive gate — so a plain
 // load-check-store suffices; concurrent readers see either nil (miss on an
 // empty leaf — correct) or the published leaf.
 func (m *pageMap) leaf(pg uint64) *pageLeaf {
@@ -127,8 +144,12 @@ func (m *pageMap) leaf(pg uint64) *pageLeaf {
 	return l
 }
 
-// insert publishes r on every page it overlaps.  Caller holds the pool
-// mutex and has verified mappable(r).
+// insert publishes r on every page it overlaps using fresh (GC-managed)
+// entries.  Used by the wide and rebuild paths only; the narrow path goes
+// through pmInsertShard for free-list recycling.  Caller holds the
+// exclusive gate and has verified mappable(r).  An entry this displaces to
+// overflow is dropped to the GC, never recycled — a straggling reader may
+// legally hold it forever.
 func (m *pageMap) insert(r splay.Range) {
 	first, last := r.Start>>pageShift, (r.End()-1)>>pageShift
 	for pg := first; pg <= last; pg++ {
@@ -136,23 +157,54 @@ func (m *pageMap) insert(r splay.Range) {
 		if slot.Load() == nil {
 			slot.Store(&pageEntry{r: r})
 		} else {
-			// A second object on the page: checks there go to the tree.
+			// A second object on the page: checks there go to the trees.
 			slot.Store(overflowEntry)
 		}
 	}
 }
 
-// remove invalidates r's pages after the object was deleted from t.
-// Overflow pages are recomputed from the surviving objects: back to a
-// single entry or a definitive miss where possible.  Caller holds the pool
-// mutex and has verified mappable(r); t no longer contains r.
-func (m *pageMap) remove(r splay.Range, t *splay.Tree) {
-	first, last := r.Start>>pageShift, (r.End()-1)>>pageShift
+// clear drops every leaf (pool reset / rebuild).  Published entries go to
+// the GC wholesale.
+func (m *pageMap) clear() {
+	for i := range m.dir {
+		m.dir[i].Store(nil)
+	}
+}
+
+// pmInsertShard publishes a narrow object's pages, recycling entries
+// through sh's free list.  Caller holds sh.mu, owns rg's single leaf, and
+// has inserted rg into sh.tree.
+func (p *Pool) pmInsertShard(sh *objShard, rg splay.Range) {
+	first, last := rg.Start>>pageShift, (rg.End()-1)>>pageShift
+	leaf := p.pm.leaf(first)
 	for pg := first; pg <= last; pg++ {
-		leaf := m.dir[pg>>l2Bits].Load()
-		if leaf == nil {
-			continue
+		slot := &leaf[pg&(1<<l2Bits-1)]
+		if e := slot.Load(); e == nil {
+			slot.Store(sh.allocEntry(rg))
+		} else {
+			// A second object on the page: demote to overflow and retire
+			// the displaced single entry.
+			slot.Store(overflowEntry)
+			p.retireEntry(sh, e)
 		}
+	}
+}
+
+// pmRemoveShard invalidates a narrow object's pages after its removal from
+// sh.tree, retiring displaced entries into sh's limbo list.  Overflow
+// pages are recomputed from the surviving objects — back to a single entry
+// or a definitive miss where possible.  While wide objects exist the
+// recomputation is skipped (survivors may live in the wide tree, which
+// this path must not lock): the page keeps a stale overflow entry, which
+// is always safe — it merely defers lookups to the trees — and the next
+// wide-object removal or rebuild tightens it again.  Caller holds sh.mu.
+func (p *Pool) pmRemoveShard(sh *objShard, r splay.Range) {
+	first, last := r.Start>>pageShift, (r.End()-1)>>pageShift
+	leaf := p.pm.dir[first>>l2Bits].Load()
+	if leaf == nil {
+		return
+	}
+	for pg := first; pg <= last; pg++ {
 		slot := &leaf[pg&(1<<l2Bits-1)]
 		e := slot.Load()
 		switch {
@@ -162,8 +214,68 @@ func (m *pageMap) remove(r splay.Range, t *splay.Tree) {
 		case !e.overflow:
 			// r was the only object on the page.
 			slot.Store(nil)
+			p.retireEntry(sh, e)
+		case p.wideCount.Load() == 0:
+			// With no wide objects, every survivor on this page is narrow
+			// and shares r's region, hence lives in sh.tree: the scan is
+			// complete, and any single survivor is mappable by narrowness.
+			rs := sh.tree.OverlapRanges(pg<<pageShift, PageSize, 2)
+			switch {
+			case len(rs) == 0:
+				slot.Store(nil)
+			case len(rs) == 1:
+				slot.Store(sh.allocEntry(rs[0]))
+			}
+		}
+	}
+}
+
+// mapInsertWide publishes a wide object (or counts it unmapped).  Caller
+// holds the exclusive gate with wideMu released; the object is already in
+// the wide tree.
+func (p *Pool) mapInsertWide(r splay.Range) {
+	if !mappable(r) {
+		p.unmapped.Add(1)
+		return
+	}
+	p.pm.insert(r)
+}
+
+// mapRemoveWide invalidates a wide object's pages after its removal from
+// the wide tree (or uncounts it if it was unmapped).  Overflow pages are
+// recomputed from both stores — the page's region shard and the wide tree,
+// locked one at a time (wideMu never nests with a shard mutex).  Caller
+// holds the exclusive gate with wideMu released.
+func (p *Pool) mapRemoveWide(r splay.Range) {
+	if !mappable(r) {
+		p.unmapped.Add(^uint64(0))
+		return
+	}
+	first, last := r.Start>>pageShift, (r.End()-1)>>pageShift
+	for pg := first; pg <= last; pg++ {
+		leaf := p.pm.dir[pg>>l2Bits].Load()
+		if leaf == nil {
+			continue
+		}
+		slot := &leaf[pg&(1<<l2Bits-1)]
+		e := slot.Load()
+		switch {
+		case e == nil:
+		case !e.overflow:
+			// r was the only object on the page.  The entry was published
+			// by the wide path, so it is GC-managed: no retirement needed.
+			slot.Store(nil)
 		default:
-			rs := t.OverlapRanges(pg<<pageShift, PageSize, 2)
+			pgStart := pg << pageShift
+			sh := &p.obj[shardIndex(pgStart)]
+			sh.mu.Lock()
+			rs := sh.tree.OverlapRanges(pgStart, PageSize, 2)
+			sh.mu.Unlock()
+			if len(rs) < 2 {
+				p.wideMu.Lock()
+				rs = append(rs, p.wide.OverlapRanges(pgStart, PageSize, 2)...)
+				p.wideMu.Unlock()
+			}
 			switch {
 			case len(rs) == 0:
 				slot.Store(nil)
@@ -177,26 +289,31 @@ func (m *pageMap) remove(r splay.Range, t *splay.Tree) {
 	}
 }
 
-// clear drops every leaf (pool reset).
-func (m *pageMap) clear() {
-	for i := range m.dir {
-		m.dir[i].Store(nil)
-	}
-}
-
-// rebuild reconstitutes the map from the tree's current object set and
-// returns how many objects could not be mapped.  Used when the splay
-// oracle may have diverged from the map (fault injection disarmed after
-// in-place node corruption).  Caller holds the pool mutex.
-func (m *pageMap) rebuild(t *splay.Tree) (unmapped uint64) {
-	m.clear()
-	t.Walk(func(r splay.Range) bool {
+// rebuildPM reconstitutes the page map from the trees' current object set
+// and recounts unmapped objects.  Used when the splay oracle may have
+// diverged from the map (fault injection disarmed after in-place node
+// corruption).  Caller holds the exclusive gate; all entries are fresh
+// (the old ones — possibly referencing corrupted-then-restored state — go
+// to the GC).
+func (p *Pool) rebuildPM() {
+	p.pm.clear()
+	var unmapped uint64
+	reinsert := func(r splay.Range) bool {
 		if mappable(r) {
-			m.insert(r)
+			p.pm.insert(r)
 		} else {
 			unmapped++
 		}
 		return true
-	})
-	return unmapped
+	}
+	for i := range p.obj {
+		sh := &p.obj[i]
+		sh.mu.Lock()
+		sh.tree.Walk(reinsert)
+		sh.mu.Unlock()
+	}
+	p.wideMu.Lock()
+	p.wide.Walk(reinsert)
+	p.wideMu.Unlock()
+	p.unmapped.Store(unmapped)
 }

@@ -128,6 +128,7 @@ func TestPageStraddlingObject(t *testing.T) {
 func TestSubPageAdjacentObjectsOverflow(t *testing.T) {
 	p := NewPool("MP1", false, true, 0)
 	p.NoCache = true // count tree traffic exactly
+	p.NoPend = true  // pend hits would bypass the tree traffic this test pins
 	if err := p.Register(0x5000, 64, TagHeap); err != nil {
 		t.Fatal(err)
 	}

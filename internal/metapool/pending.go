@@ -1,0 +1,392 @@
+// Per-CPU pending caches: the register/drop fast path.
+//
+// Kernel allocators register and drop short-lived objects at trap rate; a
+// register that is dropped a few hundred cycles later should never pay for
+// shared-structure insertion at all.  Each VCPU owns a small pending cache
+// of objects it registered that have not yet been spilled to the shared
+// shard trees.  A register that passes the safety preconditions is
+// "absorbed" into the owner's cache under only that cache's mutex; a drop
+// that finds its object still pending removes it the same way.  Only when
+// a cache fills does the owner spill it into the shard trees in one batch.
+//
+// Pended objects are invisible to the page map and the splay trees, so
+// every structure that answers membership must account for them:
+//
+//   - A pool-wide array of padded per-region counters (pendRegion) counts
+//     pended entries by address region.  The lock-free lookup path demotes
+//     a "definitive miss" to the slow path only while the address's region
+//     counter is nonzero; the slow path then scans the caches (own first,
+//     then others, one mutex at a time).  Each cache additionally keeps an
+//     atomic [lo,hi) envelope of its entries, the cold-path gate that
+//     spares the cross-cache scans a mutex acquisition.  The counters are
+//     the hot-path design point: a register/drop pair on one VCPU touches
+//     only that region's counter line, so VCPUs working disjoint regions
+//     share no written cache line at all — scanning every cache's envelope
+//     from the absorb path instead would put 2(N-1) remote loads of
+//     constantly-rewritten lines on every registration.
+//   - Classic registration paths flush overlapping pended entries into the
+//     trees first, so conflict detection sees one coherent object set.
+//   - Exclusive operations (wide registration, chaos preparation, Reset)
+//     drain every cache wholesale.
+//
+// Objects move in one direction only — pending cache → shard tree — and a
+// spill holds the cache's mutex across the tree inserts, so a concurrent
+// cross-CPU drop can never observe an object in neither structure, and a
+// spilled entry can never resurrect after a drop removed it.
+//
+// Two unsynchronized CPUs may absorb overlapping registrations without
+// either seeing the other's entry (each checked the other's summary before
+// either published).  That is a guest data race — both registrations are
+// counted, lookups may return either object, and the loser's spill insert
+// fails and is counted as a violation.  Guest-lock-ordered registrations
+// see each other's summaries through the host happens-before edges the VM
+// provides, so well-synchronized guests get exact verdicts.
+package metapool
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sva/internal/splay"
+)
+
+// pendCap is the per-CPU pending-cache capacity.  Small enough that scans
+// under a contended mutex stay cheap, large enough to absorb an
+// allocator's trap-rate register/drop churn between spills.
+const pendCap = 24
+
+// pendBuckets is the size of the per-region pended-entry counter array.
+// Buckets hash the address region ((addr>>regionShift) masked), with more
+// buckets than tree shards so that CPUs whose working regions merely
+// collide in the 4-bit shard index still get private counter lines.  A
+// collision is only conservative: the counter over-approximates, demoting
+// a lookup to the slow path or bouncing an absorb to the classic path.
+const pendBuckets = 64
+
+// pendBucket maps an address to its region counter.  Narrow objects lie
+// within one region, so an entry, every address it contains, and anything
+// overlapping it all map to the same bucket.
+func pendBucket(addr uint64) int { return int(addr>>regionShift) & (pendBuckets - 1) }
+
+// pendCounter is one padded region counter: the number of pended entries
+// whose region hashes here, across all caches.
+type pendCounter struct {
+	c atomic.Int64
+	_ [56]byte
+}
+
+// pendCache is one VCPU's pending-object cache.
+type pendCache struct {
+	mu sync.Mutex
+	// lo/hi summarize [lo,hi): a conservative envelope of every address
+	// any pended entry has covered since the cache last emptied.  hi==0
+	// means empty.  The envelope only grows while the cache is nonempty
+	// (and resets only when it empties), so a cross-CPU observer that
+	// misses an in-flight widening can only be party to a guest race.
+	// Other CPUs read the envelope without taking mu — but only on cold
+	// paths (cross-cache scans); the hot paths gate on the pendRegion
+	// counters instead.
+	lo, hi atomic.Uint64
+	n      int
+	r      [pendCap]splay.Range
+	// obs[i] is set once r[i] was returned by a slow-path lookup — the only
+	// way a pended entry can enter a VCPU's last-hit cache.  Dropping an
+	// unobserved entry skips the pool-wide cache invalidation (the hottest
+	// shared atomic on the register/drop fast path).
+	obs [pendCap]bool
+}
+
+// addLocked records rg.  Caller holds c.mu, has ensured capacity, and has
+// verified rg overlaps no pended entry.
+func (c *pendCache) addLocked(rg splay.Range) {
+	if c.hi.Load() == 0 {
+		c.lo.Store(rg.Start)
+		c.hi.Store(rg.End())
+	} else {
+		if rg.Start < c.lo.Load() {
+			c.lo.Store(rg.Start)
+		}
+		if rg.End() > c.hi.Load() {
+			c.hi.Store(rg.End())
+		}
+	}
+	c.r[c.n] = rg
+	c.obs[c.n] = false
+	c.n++
+}
+
+// removeAtLocked swap-deletes entry i, resetting the envelope if the cache
+// emptied.  Caller holds c.mu.
+func (c *pendCache) removeAtLocked(i int) {
+	c.n--
+	c.r[i] = c.r[c.n]
+	c.obs[i] = c.obs[c.n]
+	if c.n == 0 {
+		c.hi.Store(0)
+		c.lo.Store(0)
+	}
+}
+
+// mayContain reports whether addr could be inside a pended entry
+// (conservative: summary-based, no lock).
+func (c *pendCache) mayContain(addr uint64) bool {
+	hi := c.hi.Load()
+	return hi != 0 && addr < hi && addr >= c.lo.Load()
+}
+
+// mayOverlap reports whether [start,end) could overlap a pended entry.
+func (c *pendCache) mayOverlap(start, end uint64) bool {
+	hi := c.hi.Load()
+	return hi != 0 && start < hi && end > c.lo.Load()
+}
+
+// pendFor returns cpu's pending cache (VCPU 0 is the embedded pend0).
+func (p *Pool) pendFor(cpu int) *pendCache {
+	if cpu > 0 && cpu < len(p.pends) {
+		return p.pends[cpu]
+	}
+	return &p.pend0
+}
+
+// pendMayContain reports whether any CPU's pending cache could hold an
+// object containing addr.  Lock-free; used by findCPU to demote page-map
+// verdicts that would otherwise be definitive.  One load: an entry
+// containing addr shares addr's region, hence its bucket, and the counter
+// never under-counts live pended entries.
+func (p *Pool) pendMayContain(addr uint64) bool {
+	return p.pendRegion[pendBucket(addr)].c.Load() != 0
+}
+
+// tryAbsorb attempts to take a registration entirely on cpu's pending
+// cache.  Returns true when absorbed (the object is live and counted).
+// Every bail-out falls back to the classic sharded path, which re-derives
+// the verdict from scratch — absorb never has to be right about conflicts,
+// only about clean registrations.
+func (p *Pool) tryAbsorb(cpu int, rg splay.Range) bool {
+	if p.NoPend || p.NoPageMap || p.SingleLock || p.chaos != nil || p.quarantined.Load() {
+		return false
+	}
+	if !narrow(rg) || p.wideCount.Load() != 0 || p.unmapped.Load() != 0 {
+		return false
+	}
+	st := p.stats(cpu)
+	g := p.gate.rlock(cpu)
+	defer p.gate.runlock(g)
+	if p.wideCount.Load() != 0 {
+		return false
+	}
+	own := p.pendFor(cpu)
+	own.mu.Lock()
+	defer own.mu.Unlock()
+	for i := 0; i < own.n; i++ {
+		if own.r[i].Overlaps(rg) {
+			return false // conflict: let the classic path classify it
+		}
+	}
+	if own.n == pendCap {
+		p.spillLocked(own, st)
+	}
+	// Another CPU's cache might hold an overlapping entry; confirming
+	// would mean locking its mutex from here.  An overlapping entry shares
+	// rg's bucket, so if the bucket counter equals the number of our own
+	// entries there, every pended entry in the bucket is ours and was
+	// overlap-checked above; anything else bails to the classic path
+	// (whose flush yields the canonical verdict).
+	b := pendBucket(rg.Start)
+	ownInB := int64(0)
+	for i := 0; i < own.n; i++ {
+		if pendBucket(own.r[i].Start) == b {
+			ownInB++
+		}
+	}
+	if p.pendRegion[b].c.Load() != ownInB {
+		return false
+	}
+	// The shared structures must hold nothing overlapping rg.  With no
+	// wide and no unmapped objects, every live tree object is narrow and
+	// published in the page map, so scanning rg's pages is a complete
+	// overlap check — done lock-free under an epoch pin.
+	if !p.pmClean(cpu, rg) {
+		return false
+	}
+	p.pendRegion[b].c.Add(1)
+	own.addLocked(rg)
+	st.Registered++
+	st.Absorbed++
+	p.growMaxObj(rg.Len)
+	// No cache invalidation: the last-hit caches hold only positive hits,
+	// and adding an object cannot stale a positive.
+	return true
+}
+
+// pmClean reports whether no published page entry overlaps rg.  An
+// overflow page bails conservatively (the classic path will sort it out).
+func (p *Pool) pmClean(cpu int, rg splay.Range) bool {
+	s := p.pinW(cpu)
+	defer s.e.Store(0)
+	first, last := rg.Start>>pageShift, (rg.End()-1)>>pageShift
+	leaf := p.pm.dir[first>>l2Bits].Load()
+	if leaf == nil {
+		return true
+	}
+	for pg := first; pg <= last; pg++ {
+		e := leaf[pg&(1<<l2Bits-1)].Load()
+		if e == nil {
+			continue
+		}
+		if e.overflow || e.r.Overlaps(rg) {
+			return false
+		}
+	}
+	return true
+}
+
+// spillLocked batch-inserts every entry of own into the shard trees and
+// empties it.  Caller holds own.mu (held across the inserts: entries must
+// never be absent from both structures).  An insert that fails lost a
+// guest registration race; it is counted as a violation, matching the
+// verdict the loser would have gotten on the classic path.
+func (p *Pool) spillLocked(own *pendCache, st *Stats) {
+	for i := 0; i < own.n; i++ {
+		rg := own.r[i]
+		sh := &p.obj[shardIndex(rg.Start)]
+		sh.mu.Lock()
+		if sh.tree.Insert(rg) {
+			p.pmInsertShard(sh, rg)
+		} else {
+			st.Violations++
+		}
+		sh.mu.Unlock()
+		// Decrement after the insert: between the two, the entry is
+		// visible in both structures, never in neither.
+		p.pendRegion[pendBucket(rg.Start)].c.Add(-1)
+	}
+	own.n = 0
+	own.hi.Store(0)
+	own.lo.Store(0)
+	st.Spilled++
+}
+
+// flushOverlapping moves every pended entry overlapping [start,end) into
+// the shard trees, so a classic registration's conflict detection sees one
+// coherent object set.  [start,end) must be narrow (both callers register
+// narrow objects), so one bucket counter gates the whole scan.  Caller
+// holds the gate (shared or exclusive).
+func (p *Pool) flushOverlapping(st *Stats, start, end uint64) {
+	if p.pendRegion[pendBucket(start)].c.Load() == 0 {
+		return
+	}
+	for i := range p.pends {
+		c := p.pends[i]
+		if !c.mayOverlap(start, end) {
+			continue
+		}
+		c.mu.Lock()
+		for j := 0; j < c.n; {
+			rg := c.r[j]
+			if rg.End() <= start || rg.Start >= end {
+				j++
+				continue
+			}
+			sh := &p.obj[shardIndex(rg.Start)]
+			sh.mu.Lock()
+			if sh.tree.Insert(rg) {
+				p.pmInsertShard(sh, rg)
+			} else {
+				st.Violations++
+			}
+			sh.mu.Unlock()
+			c.removeAtLocked(j)
+			p.pendRegion[pendBucket(rg.Start)].c.Add(-1)
+		}
+		c.mu.Unlock()
+	}
+}
+
+// drainPends spills every pending cache completely.  Caller holds the gate
+// exclusively (wide registration, chaos preparation).
+func (p *Pool) drainPends(st *Stats) {
+	for i := range p.pends {
+		c := p.pends[i]
+		c.mu.Lock()
+		if c.n > 0 {
+			p.spillLocked(c, st)
+		}
+		c.mu.Unlock()
+	}
+}
+
+// dropFromPends removes the pended entry starting exactly at addr, if one
+// exists — the fast drop path for objects that never left their cache.
+// Own cache first (usually uncontended), then others, summary-gated.
+// observed reports whether the entry was ever returned by a lookup (and so
+// could sit in a last-hit cache); an unobserved drop needs no pool-wide
+// cache invalidation.  Caller holds the gate (shared).
+func (p *Pool) dropFromPends(cpu int, addr uint64) (dropped, observed bool) {
+	if p.pendRegion[pendBucket(addr)].c.Load() == 0 {
+		return false, false // nothing pended in addr's region anywhere
+	}
+	own := p.pendFor(cpu)
+	if hit, obs := p.dropFromPend(own, addr); hit {
+		return true, obs
+	}
+	for i := range p.pends {
+		if c := p.pends[i]; c != own {
+			if hit, obs := p.dropFromPend(c, addr); hit {
+				return true, obs
+			}
+		}
+	}
+	return false, false
+}
+
+func (p *Pool) dropFromPend(c *pendCache, addr uint64) (dropped, observed bool) {
+	if !c.mayContain(addr) {
+		return false, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 0; i < c.n; i++ {
+		if c.r[i].Start == addr {
+			obs := c.obs[i]
+			c.removeAtLocked(i)
+			p.pendRegion[pendBucket(addr)].c.Add(-1)
+			return true, obs
+		}
+	}
+	return false, false
+}
+
+// findInPends looks addr up in the pending caches (slow-path lookup).
+func (p *Pool) findInPends(cpu int, addr uint64) (splay.Range, bool) {
+	if p.pendRegion[pendBucket(addr)].c.Load() == 0 {
+		return splay.Range{}, false
+	}
+	own := p.pendFor(cpu)
+	if r, ok := p.findInPend(own, addr); ok {
+		return r, true
+	}
+	for i := range p.pends {
+		if c := p.pends[i]; c != own {
+			if r, ok := p.findInPend(c, addr); ok {
+				return r, true
+			}
+		}
+	}
+	return splay.Range{}, false
+}
+
+func (p *Pool) findInPend(c *pendCache, addr uint64) (splay.Range, bool) {
+	if !c.mayContain(addr) {
+		return splay.Range{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 0; i < c.n; i++ {
+		if c.r[i].Contains(addr) {
+			c.obs[i] = true // may enter a last-hit cache: drop must invalidate
+			return c.r[i], true
+		}
+	}
+	return splay.Range{}, false
+}

@@ -93,18 +93,21 @@ func ReadBaseline(path string) (map[string]Metric, error) {
 }
 
 // DeltaReport renders per-row deltas of the current metrics against a
-// saved baseline.  Rows only present on one side are listed as added or
-// removed rather than silently dropped.
+// saved baseline.  Rows only present on one side degrade gracefully
+// rather than erroring or being silently dropped: a current row the
+// baseline lacks (e.g. the 16/32-VCPU smp rows against a seed baseline
+// captured before the ceiling was raised) reads "no baseline", and
+// baseline rows the current run no longer produces read "gone".
 func DeltaReport(baseline map[string]Metric, cur []Metric) string {
 	var sb strings.Builder
 	sb.WriteString("Baseline deltas (current vs baseline)\n")
-	fmt.Fprintf(&sb, "%-44s %14s %14s %10s\n", "metric", "baseline", "current", "delta")
+	fmt.Fprintf(&sb, "%-44s %14s %14s %11s\n", "metric", "baseline", "current", "delta")
 	seen := make(map[string]bool, len(cur))
 	for _, m := range cur {
 		seen[m.Key()] = true
 		b, ok := baseline[m.Key()]
 		if !ok {
-			fmt.Fprintf(&sb, "%-44s %14s %14.2f %10s\n", m.Key(), "-", m.Value, "new")
+			fmt.Fprintf(&sb, "%-44s %14s %14.2f %11s\n", m.Key(), "-", m.Value, "no baseline")
 			continue
 		}
 		delta := "0.0%"
@@ -113,7 +116,7 @@ func DeltaReport(baseline map[string]Metric, cur []Metric) string {
 		} else if m.Value != 0 {
 			delta = "+inf"
 		}
-		fmt.Fprintf(&sb, "%-44s %11.2f %2s %11.2f %2s %10s\n",
+		fmt.Fprintf(&sb, "%-44s %11.2f %2s %11.2f %2s %11s\n",
 			m.Key(), b.Value, b.Unit, m.Value, m.Unit, delta)
 	}
 	removed := make([]string, 0)
@@ -124,7 +127,7 @@ func DeltaReport(baseline map[string]Metric, cur []Metric) string {
 	}
 	sort.Strings(removed)
 	for _, k := range removed {
-		fmt.Fprintf(&sb, "%-44s %11.2f %2s %14s %10s\n", k, baseline[k].Value, baseline[k].Unit, "-", "gone")
+		fmt.Fprintf(&sb, "%-44s %11.2f %2s %14s %11s\n", k, baseline[k].Value, baseline[k].Unit, "-", "gone")
 	}
 	return sb.String()
 }

@@ -1,0 +1,37 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDeltaReportMissingRows pins the graceful-degradation contract of
+// -baseline: rows the baseline lacks (a seed baseline captured before the
+// 16/32-VCPU smp rows existed) are labeled "no baseline", matched rows get
+// a percentage, and baseline-only rows are reported gone — nothing errors,
+// nothing is silently dropped.
+func TestDeltaReportMissingRows(t *testing.T) {
+	baseline := map[string]Metric{
+		"smp/sva-safe/8vcpu_tput": {Table: "smp", Name: "sva-safe/8vcpu_tput", Unit: "sc/Mcyc", Value: 100},
+		"smp/sva-safe/old_row":    {Table: "smp", Name: "sva-safe/old_row", Unit: "sc/Mcyc", Value: 7},
+	}
+	cur := []Metric{
+		{Table: "smp", Name: "sva-safe/8vcpu_tput", Unit: "sc/Mcyc", Value: 110},
+		{Table: "smp", Name: "sva-safe/16vcpu_tput", Unit: "sc/Mcyc", Value: 180},
+		{Table: "smp", Name: "sva-safe/32vcpu_tput", Unit: "sc/Mcyc", Value: 250},
+	}
+	out := DeltaReport(baseline, cur)
+	for _, want := range []string{
+		"smp/sva-safe/8vcpu_tput", "+10.0%",
+		"smp/sva-safe/16vcpu_tput", "no baseline",
+		"smp/sva-safe/32vcpu_tput",
+		"smp/sva-safe/old_row", "gone",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("delta report missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "no baseline"); n != 2 {
+		t.Errorf("expected 2 'no baseline' rows, got %d:\n%s", n, out)
+	}
+}

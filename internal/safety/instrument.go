@@ -369,6 +369,8 @@ func (ins *instrumenter) callSite(in *ir.Instr) {
 			ins.emit(in)
 		case svaops.PseudoAlloc:
 			ins.pseudoAlloc(in)
+		case svaops.PseudoAllocBatch:
+			ins.pseudoAllocBatch(in)
 		default:
 			ins.emit(in)
 		}
@@ -462,6 +464,43 @@ func (ins *instrumenter) pseudoAlloc(in *ir.Instr) {
 		Pool: ins.p.Descs[mp].Name})
 	size := ir.I64c(end.SignedValue() - start.SignedValue() + 1)
 	ins.call(svaops.ObjRegister, mpConst(mp), p, size)
+}
+
+// pseudoAllocBatch rewrites sva.pseudo.alloc.batch(base, n, esize) into a
+// single batched registration of n manufactured objects (§4.7 for the
+// slab/table shape: per-CPU arrays, descriptor tables).  The partition is
+// resolved like pseudoAlloc's, from the pointer manufactured at base.
+func (ins *instrumenter) pseudoAllocBatch(in *ir.Instr) {
+	base, ok1 := in.Args[0].(*ir.ConstInt)
+	n, ok2 := in.Args[1].(*ir.ConstInt)
+	esize, ok3 := in.Args[2].(*ir.ConstInt)
+	if !ok1 || !ok2 || !ok3 {
+		ins.emit(in)
+		return
+	}
+	mp := -1
+	fn := parentFunc(in)
+	if fn != nil {
+		for _, b := range fn.Blocks {
+			for _, other := range b.Instrs {
+				if other.Op != ir.OpIntToPtr {
+					continue
+				}
+				if c, ok := other.Args[0].(*ir.ConstInt); ok && c.V == base.V {
+					if id := ins.p.Pool(other); id >= 0 {
+						mp = id
+					}
+				}
+			}
+		}
+	}
+	if mp < 0 {
+		ins.emit(in)
+		return
+	}
+	p := ins.emit(&ir.Instr{Op: ir.OpIntToPtr, Typ: svaops.BytePtr, Args: []ir.Value{base},
+		Pool: ins.p.Descs[mp].Name})
+	ins.call(svaops.ObjRegisterBatch, mpConst(mp), p, ir.I64c(n.SignedValue()), ir.I64c(esize.SignedValue()))
 }
 
 func parentFunc(in *ir.Instr) *ir.Function {

@@ -344,6 +344,29 @@ func (t *Tree) Clear() {
 	t.size = 0
 }
 
+// ClearRecycle removes all ranges and returns every node to the free list.
+// Pool resets use it so a guest that tears down and re-creates a pool
+// (microreboot, pool_destroy/pool_create cycles) reuses the old tree's
+// nodes instead of re-paying the allocation cost of growing it back.
+func (t *Tree) ClearRecycle() {
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n == nil {
+			return
+		}
+		l, r := n.left, n.right
+		t.freeNode(n)
+		rec(l)
+		rec(r)
+	}
+	rec(t.root)
+	t.root = nil
+	t.size = 0
+}
+
+// Overlaps reports whether a and b share at least one address.
+func (a Range) Overlaps(b Range) bool { return rangesOverlap(a, b) }
+
 // Depth returns the tree's current height (0 for an empty tree).  Splaying
 // reshapes the tree on every lookup, so this is a point-in-time gauge for
 // telemetry, not a stable property.

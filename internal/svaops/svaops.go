@@ -97,6 +97,10 @@ const (
 	// Manufactured addresses (§4.7): replaced by ObjRegister during safety
 	// compilation; a no-op otherwise.
 	PseudoAlloc = "sva.pseudo.alloc"
+	// PseudoAllocBatch declares n manufactured objects of esize bytes each,
+	// laid out contiguously from a base address (the slab/table shape);
+	// replaced by ObjRegisterBatch during safety compilation.
+	PseudoAllocBatch = "sva.pseudo.alloc.batch"
 
 	// Optimized memory primitives (the kernel "lib" routines lower to
 	// these; they model hand-tuned assembly memcpy/memset).
@@ -112,6 +116,10 @@ const (
 	// automatically when the owning frame pops (SAFECode's "stack objects
 	// are deregistered when returning from the parent function").
 	ObjRegisterStack = "pchk.reg.stack"
+	// ObjRegisterBatch registers n contiguous objects of uniform size in
+	// one call — semantically n ObjRegister calls, but the SVM takes the
+	// pool's shard lock once for the whole batch (allocator slab refills).
+	ObjRegisterBatch = "sva.pool.regbatch"
 	ObjDrop          = "pchk.drop.obj"
 	BoundsCheck      = "pchk.bounds"
 	LSCheck          = "pchk.lscheck"
@@ -230,6 +238,7 @@ var Ops = []*Op{
 	{Cycles, ClassSys, 0, sig(ir.I64)},
 	{Halt, ClassSys, 0, sig(ir.Void, ir.I64)},
 	{PseudoAlloc, ClassSys, 0, sig(ir.Void, ir.I64, ir.I64)},
+	{PseudoAllocBatch, ClassSys, 0, sig(ir.Void, ir.I64, ir.I64, ir.I64)},
 
 	{MMUMap, ClassMMU, 0, sig(ir.I64, ir.I64, ir.I64, ir.I64)},
 	{MMUUnmap, ClassMMU, 0, sig(ir.I64, ir.I64)},
@@ -257,6 +266,7 @@ var Ops = []*Op{
 
 	{ObjRegister, ClassCheck, costReg, sig(ir.Void, ir.I32, BytePtr, ir.I64)},
 	{ObjRegisterStack, ClassCheck, costReg, sig(ir.Void, ir.I32, BytePtr, ir.I64)},
+	{ObjRegisterBatch, ClassCheck, costReg, sig(ir.Void, ir.I32, BytePtr, ir.I64, ir.I64)},
 	{ObjDrop, ClassCheck, costDrop, sig(ir.Void, ir.I32, BytePtr)},
 	{BoundsCheck, ClassCheck, costBounds, sig(ir.Void, ir.I32, BytePtr, BytePtr)},
 	{LSCheck, ClassCheck, costLS, sig(ir.Void, ir.I32, BytePtr)},

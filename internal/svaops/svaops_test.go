@@ -41,9 +41,9 @@ func TestEveryOperationHasSignature(t *testing.T) {
 		IOPutc, IOGetc, DiskRead, DiskWrite, NetSend, NetRecv,
 		NetRingAttach, NetPost, NetDoorbell, NetReap,
 		ChanAttach, ChanPost, ChanDoorbell, ChanReap,
-		IntrEnable, TimerArm, Cycles, Halt, PseudoAlloc,
+		IntrEnable, TimerArm, Cycles, Halt, PseudoAlloc, PseudoAllocBatch,
 		Memcpy, Memmove, Memset, Memcmp,
-		ObjRegister, ObjRegisterStack, ObjDrop, BoundsCheck, LSCheck,
+		ObjRegister, ObjRegisterStack, ObjRegisterBatch, ObjDrop, BoundsCheck, LSCheck,
 		ICCheck, GetBoundsLo, GetBoundsHi, ElideBounds, ElideLS,
 	}
 	for _, n := range names {

@@ -106,14 +106,27 @@ type CheckStats struct {
 	ElidedBounds uint64
 	ElidedLS     uint64
 	Violations   uint64
-	// PageHits counts lookups answered by the O(1) shadow page map
-	// (single-object hit or definitive miss) without reaching the
-	// last-hit cache or the splay tree.
+	// The four lookup counters are disjoint — every object lookup lands in
+	// exactly one, by whichever structure finally answered it.
+	// PageHits: the O(1) shadow page map (single-object hit or definitive
+	// miss, including misses confirmed after a pending-cache demotion).
 	PageHits uint64
-	// CacheHits/CacheMisses count last-hit cache outcomes on the
-	// slow path (a miss falls through to the splay tree).
+	// CacheHits: a per-VCPU last-hit cache.  CacheMisses: lookups that
+	// fell through every fast structure and paid for a splay-tree descent.
 	CacheHits   uint64
 	CacheMisses uint64
+	// PendHits: a per-VCPU pending registration cache (the object was
+	// registered but not yet spilled into a shard tree).
+	PendHits uint64
+	// Write-path sharding activity: Absorbed counts registrations taken
+	// entirely on a pending cache, Spilled counts batch spills of a full
+	// cache into the shard trees, Batched counts sva.pool.regbatch calls,
+	// and EpochReclaims counts epoch-based-reclamation passes over retired
+	// page-map entries.
+	Absorbed      uint64
+	Spilled       uint64
+	Batched       uint64
+	EpochReclaims uint64
 }
 
 // Add accumulates another check-stats block into s (merging a pool's
@@ -130,6 +143,11 @@ func (s *CheckStats) Add(o CheckStats) {
 	s.PageHits += o.PageHits
 	s.CacheHits += o.CacheHits
 	s.CacheMisses += o.CacheMisses
+	s.PendHits += o.PendHits
+	s.Absorbed += o.Absorbed
+	s.Spilled += o.Spilled
+	s.Batched += o.Batched
+	s.EpochReclaims += o.EpochReclaims
 }
 
 // PoolStats is one metapool's row in a snapshot.

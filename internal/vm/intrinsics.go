@@ -51,6 +51,16 @@ func (vm *VM) installCoreIntrinsics() {
 		fr.cleanups = append(fr.cleanups, stackObj{pool: int(a[0]), addr: a[1]})
 		return IntrinsicResult{}, nil
 	})
+	reg(svaops.ObjRegisterBatch, func(vm *VM, a []uint64) (IntrinsicResult, error) {
+		// One registration charge covers the whole batch: the point of the
+		// operation is amortizing per-object overhead on slab refills.
+		vm.CPU.Cycles += cycRegObj
+		pool, err := vm.Pools.PoolChecked(int(a[0]))
+		if err != nil {
+			return IntrinsicResult{}, err
+		}
+		return IntrinsicResult{}, pool.RegisterBatchCPU(vm.cpuID, a[1], a[2], a[3])
+	})
 	reg(svaops.ObjDrop, func(vm *VM, a []uint64) (IntrinsicResult, error) {
 		vm.CPU.Cycles += cycDropObj
 		pool, err := vm.Pools.PoolChecked(int(a[0]))
@@ -126,8 +136,12 @@ func (vm *VM) installCoreIntrinsics() {
 	})
 
 	// PseudoAlloc (§4.7) is rewritten to ObjRegister by the safety
-	// compiler; in unchecked configurations it is a no-op.
+	// compiler; in unchecked configurations it is a no-op.  Likewise
+	// PseudoAllocBatch → ObjRegisterBatch.
 	reg(svaops.PseudoAlloc, func(vm *VM, a []uint64) (IntrinsicResult, error) {
+		return IntrinsicResult{}, nil
+	})
+	reg(svaops.PseudoAllocBatch, func(vm *VM, a []uint64) (IntrinsicResult, error) {
 		return IntrinsicResult{}, nil
 	})
 

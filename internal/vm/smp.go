@@ -26,8 +26,9 @@ import (
 //     holder only evaluates constants and inspects IR).
 
 // MaxVCPUs bounds EnableSMP.  The guest kernel sizes its per-CPU arrays
-// (current_task, sched_target) to match.
-const MaxVCPUs = 8
+// (current_task, sched_target) to match, and the metapool brlock gate and
+// epoch-reclamation slot arrays are sized to it (metapool.gateSlots).
+const MaxVCPUs = 32
 
 // smpShared is the state every virtual CPU of one machine shares.
 type smpShared struct {
