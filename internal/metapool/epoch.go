@@ -32,7 +32,9 @@
 // page-map precheck (tryAbsorb) can run concurrently on behalf of the same
 // slot: a VCPU-0 reader and the legacy non-CPU wrappers both map to slot
 // 0.  Each array has at most one concurrent user per slot (one goroutine
-// per VCPU on each side), which is all the scheme needs.
+// per VCPU on each side), which is all the scheme needs — and which pin
+// enforces: a pin that finds its slot already nonzero panics rather than
+// silently overwriting another reader's announcement.
 package metapool
 
 import (
@@ -54,16 +56,29 @@ type ebrSlot struct {
 
 // pinR announces cpu as an active page-map reader and returns its slot;
 // the caller stores 0 to unpin once it has copied any Range it needs.
+//
+// The Swap enforces the one-concurrent-user-per-slot invariant the whole
+// scheme rests on: a nonzero prior value proves a second user entered the
+// slot while the first was still pinned — two overwriting pins would let a
+// reclaim pass free an entry the earlier reader still dereferences, so
+// fail loudly instead.  In practice that means two host threads in the
+// legacy non-CPU wrappers (find/Register/Drop/Contains all map to slot 0),
+// or one of them racing VCPU 0.  On amd64 a seq-cst Store compiles to XCHG
+// anyway, so the check costs one predictable branch.
 func (p *Pool) pinR(cpu int) *ebrSlot {
 	s := &p.ebrR[gslot(cpu)]
-	s.e.Store(p.era.Load())
+	if s.e.Swap(p.era.Load()) != 0 {
+		panic("metapool: concurrent EBR reader pins on one slot — legacy non-CPU wrappers are single-threaded-setup only")
+	}
 	return s
 }
 
 // pinW is pinR for the write-side page-map precheck (tryAbsorb).
 func (p *Pool) pinW(cpu int) *ebrSlot {
 	s := &p.ebrW[gslot(cpu)]
-	s.e.Store(p.era.Load())
+	if s.e.Swap(p.era.Load()) != 0 {
+		panic("metapool: concurrent EBR writer pins on one slot — legacy non-CPU wrappers are single-threaded-setup only")
+	}
 	return s
 }
 

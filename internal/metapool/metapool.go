@@ -603,12 +603,18 @@ func (p *Pool) RegisterStackCPU(cpu int, addr, size uint64) error {
 // Register records a new object [addr, addr+size) on behalf of VCPU 0.
 //
 // Per-CPU attribution note: this legacy wrapper (and Drop, find,
-// NoteElidedBounds, NoteElidedLS) charges VCPU 0's statistics shard no
-// matter which host thread calls it.  The SMP kernel paths all use the
-// *CPU variants; callers without a VCPU identity are by definition
+// NoteElidedBounds, NoteElidedLS, Contains) charges VCPU 0's statistics
+// shard no matter which host thread calls it.  The SMP kernel paths all
+// use the *CPU variants; callers without a VCPU identity are by definition
 // single-threaded setup/teardown code, so the skew is confined to shard 0
 // and merged snapshots (mergedStats) are exact either way — the
 // TestPerCPUStatsMerge regression pins that.
+//
+// Concurrency restriction: the legacy wrappers all share VCPU 0's epoch
+// slot, whose reclamation safety assumes one concurrent user per slot.
+// Calling them from two host threads at once — or from one host thread
+// while VCPU 0 is running — is a misuse that pin (epoch.go) detects and
+// panics on rather than risking a use-after-reclaim.
 func (p *Pool) Register(addr, size uint64, tag uint32) error {
 	return p.RegisterCPU(0, addr, size, tag)
 }
@@ -778,23 +784,30 @@ func (p *Pool) RegisterBatchCPU(cpu int, base, n, esize uint64) error {
 	if total/esize == n && narrow(whole) && p.chaos == nil {
 		p.growMaxObj(esize)
 		g := p.gate.rlock(cpu)
-		defer p.gate.runlock(g)
 		if p.wideCount.Load() == 0 {
 			p.flushOverlapping(st, whole.Start, whole.End())
 			sh := &p.obj[shardIndex(base)]
 			sh.mu.Lock()
-			defer sh.mu.Unlock()
 			for i := uint64(0); i < n; i++ {
 				rg := splay.Range{Start: base + i*esize, Len: esize, Tag: TagHeap}
 				if !sh.tree.Insert(rg) {
+					sh.mu.Unlock()
+					p.gate.runlock(g)
 					st.Violations++
 					return p.conflictErr(rg, false)
 				}
 				p.pmInsertShard(sh, rg)
 				st.Registered++
 			}
+			sh.mu.Unlock()
+			p.gate.runlock(g)
 			return nil
 		}
+		// Wide objects live: the element-at-a-time fallback re-acquires the
+		// gate slot per element (tryAbsorb, registerSlow), and sync.RWMutex
+		// forbids recursive RLock — a concurrent lockAll between the two
+		// acquisitions would deadlock.  Release ours before entering it.
+		p.gate.runlock(g)
 	}
 	// Slow shape (wide batch, overflowing arithmetic, wide objects live, or
 	// chaos armed): element-at-a-time through the classic paths.

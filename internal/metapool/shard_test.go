@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"sva/internal/splay"
 )
@@ -368,5 +369,123 @@ func TestRegisterBatch(t *testing.T) {
 	}
 	if a.mergedStats().Batched != 1 {
 		t.Errorf("Batched = %d, want 1", a.mergedStats().Batched)
+	}
+}
+
+// TestRegisterBatchWideConcurrent is the regression for the regbatch gate
+// deadlock: with a wide object live, the batch fast path used to fall
+// through to the element-at-a-time loop still holding its gate read slot,
+// and the loop re-acquires the same slot (tryAbsorb, registerSlow) — a
+// recursive RLock.  A concurrent lockAll (wide register/drop) arriving
+// between the two acquisitions then deadlocked the VM.  This drives
+// batches against wide-object churn on every VCPU and must complete.
+func TestRegisterBatchWideConcurrent(t *testing.T) {
+	p := NewPool("MPBW", false, true, 0)
+	p.setVCPUs(4)
+	// A wide object stays live for the whole run so every batch takes the
+	// fallback shape.
+	if err := p.Register(8<<regionShift, 2<<regionShift, TagHeap); err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 200
+	done := make(chan struct{})
+	go func() { // exclusive-gate churn: wide register/drop in a loop
+		defer close(done)
+		base := uint64(16) << regionShift
+		for i := 0; i < rounds; i++ {
+			if err := p.RegisterCPU(3, base, 2<<regionShift, TagHeap); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := p.DropCPU(3, base); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for cpu := 0; cpu < 3; cpu++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			base := 0x100000 + uint64(cpu)*0x40000
+			for i := 0; i < rounds; i++ {
+				if err := p.RegisterBatchCPU(cpu, base, 16, 64); err != nil {
+					t.Error(err)
+					return
+				}
+				for j := uint64(0); j < 16; j++ {
+					if err := p.DropCPU(cpu, base+j*64); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(cpu)
+	}
+	wg.Wait()
+	<-done
+	if got := p.NumObjects(); got != 1 {
+		t.Fatalf("NumObjects = %d after churn, want 1 (the wide object)", got)
+	}
+}
+
+// TestPinConflictPanics pins the one-concurrent-user-per-EBR-slot
+// invariant: a second pin on an already-pinned slot must panic instead of
+// silently overwriting the first reader's announcement (which would let
+// reclaim free an entry that reader still dereferences).
+func TestPinConflictPanics(t *testing.T) {
+	p := NewPool("MPP", false, true, 0)
+	p.setVCPUs(2)
+	s := p.pinR(1)
+	defer s.e.Store(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("second pinR on a pinned slot did not panic")
+		}
+	}()
+	p.pinR(1)
+}
+
+// TestRegisterBatchGateNotHeldAcrossFallback is the deterministic form of
+// the regbatch gate-deadlock regression.  It parks the batch's fallback
+// loop on a shard mutex the test holds, lets a lockAll writer queue up on
+// the batch CPU's gate slot, then releases the shard.  If the batch still
+// held its fast-path read slot across the fallback (the original bug), the
+// next element's inner rlock queues behind the writer while the writer
+// waits on the outer read hold — a deadlock this test converts into a
+// failure instead of a hung VM.
+func TestRegisterBatchGateNotHeldAcrossFallback(t *testing.T) {
+	p := NewPool("MPBG", false, true, 0)
+	p.setVCPUs(4)
+	// A live wide object forces every batch into the fallback shape.
+	if err := p.Register(8<<regionShift, 2<<regionShift, TagHeap); err != nil {
+		t.Fatal(err)
+	}
+	const base = uint64(0x100000)
+	sh := &p.obj[shardIndex(base)]
+	sh.mu.Lock() // parks element 0's shard insert
+	done := make(chan error, 1)
+	go func() { done <- p.RegisterBatchCPU(1, base, 8, 64) }()
+	time.Sleep(50 * time.Millisecond) // batch now blocked on sh.mu
+	gateDone := make(chan struct{})
+	go func() {
+		p.gate.lockAll()
+		p.gate.unlockAll()
+		close(gateDone)
+	}()
+	time.Sleep(50 * time.Millisecond) // writer now pending on slot 1
+	sh.mu.Unlock()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("regbatch deadlocked against lockAll: gate read slot held across the fallback loop")
+	}
+	<-gateDone
+	if got := p.NumObjects(); got != 9 {
+		t.Fatalf("NumObjects = %d, want 9 (wide + 8 batch elements)", got)
 	}
 }
